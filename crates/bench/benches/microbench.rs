@@ -1,0 +1,191 @@
+//! Criterion micro-benchmarks for the hot paths of the framework:
+//! the intra-executor load balancer, the Erlang-C performance model,
+//! Algorithm 1, the state store, routing-table lookups, and the live
+//! executor end to end.
+//!
+//! These are not paper figures (those live in `src/bin/`); they guard
+//! the cost of the building blocks — e.g. Table 3's claim that a full
+//! scheduling round stays in single-digit milliseconds rests on the
+//! `algorithm1` and `erlang_c` costs measured here.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elasticutor_core::balance::LoadBalancer;
+use elasticutor_core::ids::{Key, NodeId, ShardId, TaskId};
+use elasticutor_core::routing::RoutingTable;
+use elasticutor_queueing::jackson::{ExecutorLoad, JacksonNetwork};
+use elasticutor_queueing::{allocate, mmk, AllocationRequest};
+use elasticutor_scheduler::assignment::{Assignment, ClusterSpec};
+use elasticutor_scheduler::scheduler::{DynamicScheduler, ExecutorMeasurement, SchedulerConfig};
+use elasticutor_state::StateStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_load_balancer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_balancer_plan");
+    for &(shards, tasks) in &[(256usize, 8usize), (1024, 32), (8192, 64)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let loads: Vec<f64> = (0..shards).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let assignment: Vec<TaskId> = (0..shards)
+            .map(|s| TaskId((s % tasks) as u32))
+            .collect();
+        let task_ids: Vec<TaskId> = (0..tasks as u32).map(TaskId).collect();
+        let balancer = LoadBalancer::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}shards_{tasks}tasks")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(balancer.plan(
+                        black_box(&loads),
+                        black_box(&assignment),
+                        black_box(&task_ids),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_erlang_c(c: &mut Criterion) {
+    c.bench_function("erlang_c_k64", |b| {
+        b.iter(|| black_box(mmk::erlang_c(black_box(50.0), black_box(1.0), black_box(64))))
+    });
+    let network = JacksonNetwork::new(
+        10_000.0,
+        (0..32)
+            .map(|j| ExecutorLoad::new(300.0 + j as f64 * 10.0, 1_000.0))
+            .collect(),
+    );
+    let k: Vec<u32> = (0..32).map(|j| 1 + (j % 4)).collect();
+    c.bench_function("jackson_expected_latency_32execs", |b| {
+        b.iter(|| black_box(network.expected_latency(black_box(&k))))
+    });
+    c.bench_function("greedy_allocate_32execs", |b| {
+        b.iter(|| {
+            black_box(allocate(&AllocationRequest {
+                network: &network,
+                latency_target: 0.01,
+                available_cores: 256,
+            }))
+        })
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    // A full scheduling round at paper scale: 32 executors on 32 nodes.
+    let spec = ClusterSpec::uniform(32, 8);
+    let mut assignment = Assignment::empty(32, 32);
+    for j in 0..32 {
+        assignment.grant(j, NodeId(j as u32), &spec);
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let measurements: Vec<ExecutorMeasurement> = (0..32)
+        .map(|j| ExecutorMeasurement {
+            lambda: rng.gen_range(500.0..4_000.0),
+            mu: 1_000.0,
+            state_bytes: 8.0 * 1024.0 * 1024.0,
+            data_rate: rng.gen_range(1e4..1e6),
+            local_node: NodeId(j as u32),
+        })
+        .collect();
+    let scheduler = DynamicScheduler::new(SchedulerConfig::default());
+    c.bench_function("scheduler_full_round_32x32", |b| {
+        b.iter(|| {
+            black_box(
+                scheduler
+                    .schedule(
+                        black_box(&spec),
+                        black_box(&assignment),
+                        black_box(&measurements),
+                        black_box(40_000.0),
+                    )
+                    .expect("feasible"),
+            )
+        })
+    });
+}
+
+fn bench_state_store(c: &mut Criterion) {
+    let store = Arc::new(StateStore::with_shards(256));
+    let payload = Bytes::from(vec![0u8; 64]);
+    for key in 0..10_000u64 {
+        store.put(ShardId((key % 256) as u32), Key(key), payload.clone());
+    }
+    c.bench_function("state_store_get", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 7) % 10_000;
+            black_box(store.get(ShardId((key % 256) as u32), Key(key)))
+        })
+    });
+    c.bench_function("state_store_update", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 13) % 10_000;
+            store.update(ShardId((key % 256) as u32), Key(key), |old| {
+                old.map(|v| Bytes::copy_from_slice(v.as_ref()))
+            })
+        })
+    });
+    c.bench_function("state_store_extract_install_32kb_shard", |b| {
+        // One shard holds ~39 keys x 64 B; measure the full migration
+        // round-trip (what the reassignment protocol pays intra-process).
+        b.iter(|| {
+            let snap = store.extract_shard(ShardId(0)).expect("shard exists");
+            store.install_shard(black_box(snap));
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut table: RoutingTable<u64> = RoutingTable::new(8_192, TaskId(0));
+    for s in 0..8_192u32 {
+        table.set_task(ShardId(s), TaskId(s % 64)).expect("fresh");
+    }
+    c.bench_function("routing_table_route_8192_shards", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(table.route(Key(key), key))
+        })
+    });
+}
+
+fn bench_live_executor(c: &mut Criterion) {
+    use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Record};
+    use elasticutor_state::StateHandle;
+    let mut group = c.benchmark_group("live_executor");
+    group.sample_size(10);
+    group.bench_function("submit_drain_10k_records_4_tasks", |b| {
+        b.iter(|| {
+            let exec = ElasticExecutor::start(
+                ExecutorConfig {
+                    num_shards: 64,
+                    initial_tasks: 4,
+                    ..ExecutorConfig::default()
+                },
+                |_r: &Record, _s: &StateHandle| Vec::new(),
+            );
+            for i in 0..10_000u64 {
+                exec.submit(Record::new(Key(i % 512), Bytes::new()));
+            }
+            exec.wait_for_processed(10_000);
+            black_box(exec.shutdown());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_load_balancer,
+    bench_erlang_c,
+    bench_algorithm1,
+    bench_state_store,
+    bench_routing,
+    bench_live_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+use elasticutor_cluster::config::{ClusterConfig, EngineMode, ExperimentConfig};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_workload::MicroConfig;
+
+fn main() {
+    let sec = 1_000_000_000u64;
+    let micro = MicroConfig {
+        rate: 24_000.0,
+        omega: 0.0,
+        num_keys: 10_000,
+        calculator_executors: 8,
+        shards_per_executor: 64,
+        generator_parallelism: 4,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(EngineMode::Elastic, micro);
+    cfg.cluster = ClusterConfig::small(8, 4);
+    cfg.duration_ns = 20 * sec;
+    cfg.warmup_ns = 5 * sec;
+    let r = ClusterEngine::new(cfg).run_debug();
+    println!("tput={:.0} lat={:.1}ms", r.throughput, r.latency.mean_ns()/1e6);
+}

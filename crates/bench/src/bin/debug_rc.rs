@@ -1,0 +1,19 @@
+use elasticutor_cluster::config::{EngineMode, ExperimentConfig};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_workload::MicroConfig;
+
+fn main() {
+    let sec = 1_000_000_000u64;
+    let micro = MicroConfig {
+        rate: 200_000.0,
+        omega: 2.0,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(EngineMode::ResourceCentric, micro);
+    cfg.duration_ns = 200 * sec;
+    cfg.warmup_ns = 150 * sec;
+    cfg.backpressure_high = 32_768;
+    cfg.backpressure_low = 16_384;
+    let r = ClusterEngine::new(cfg).run_debug();
+    println!("tput={:.0} lat={:.1}ms reassigns={}", r.throughput, r.latency.mean_ns()/1e6, r.reassignments.len());
+}

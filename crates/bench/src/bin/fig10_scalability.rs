@@ -1,0 +1,80 @@
+//! Figure 10 — throughput of a single elastic executor as it scales from
+//! 1 to 256 cores, under (a) varying per-tuple computation costs and
+//! (b) varying tuple sizes.
+//!
+//! Paper claims to reproduce (§5.2, Figure 10):
+//! * the executor "generally can efficiently scale out to the whole
+//!   cluster (256 CPU cores)" — near-linear throughput growth;
+//! * it "cannot efficiently utilize more than 16 CPU cores with a very
+//!   large tuple size, e.g. 8 KB, or very low computation cost, e.g.
+//!   0.01 ms per tuple" — the data-intensity wall where remote data
+//!   transfer through the main process's NIC becomes the bottleneck.
+
+use elasticutor_bench::scaling::{core_sweep, run_single_executor, ScalingOpts};
+use elasticutor_bench::{fmt_rate, quick_mode, Table};
+
+fn main() {
+    let quick = quick_mode();
+    let cores = core_sweep(quick);
+
+    // ---- (a) varying computation costs, 128 B tuples ----
+    let costs_ns: Vec<(u64, &str)> = if quick {
+        vec![(1_000_000, "1ms"), (10_000, "0.01ms")]
+    } else {
+        vec![
+            (10_000_000, "10ms"),
+            (1_000_000, "1ms"),
+            (100_000, "0.1ms"),
+            (10_000, "0.01ms"),
+        ]
+    };
+    println!("Figure 10(a): single-executor throughput vs cores, varying CPU cost");
+    println!("(tuple size 128 B, shard state 32 KB, omega = 2)\n");
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(costs_ns.iter().map(|(_, n)| format!("{n}/tuple")));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut a = Table::new(&hdr);
+    for &k in &cores {
+        let mut row = vec![format!("{k}")];
+        for &(cost, _) in &costs_ns {
+            let report = run_single_executor(&ScalingOpts {
+                cores: k,
+                cpu_cost_ns: cost,
+                quick,
+                ..ScalingOpts::paper_default(k)
+            });
+            row.push(fmt_rate(report.throughput));
+        }
+        a.row(row);
+    }
+    a.print();
+    println!("\npaper: near-linear to 256 cores except 0.01 ms/tuple, which stalls ~16 cores\n");
+
+    // ---- (b) varying tuple sizes, 1 ms/tuple ----
+    let sizes: Vec<(u32, &str)> = if quick {
+        vec![(128, "128B"), (8192, "8KB")]
+    } else {
+        vec![(128, "128B"), (512, "512B"), (2048, "2KB"), (8192, "8KB")]
+    };
+    println!("Figure 10(b): single-executor throughput vs cores, varying tuple size");
+    println!("(CPU cost 1 ms/tuple, shard state 32 KB, omega = 2)\n");
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(sizes.iter().map(|(_, n)| format!("{n} tuples")));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut b = Table::new(&hdr);
+    for &k in &cores {
+        let mut row = vec![format!("{k}")];
+        for &(bytes, _) in &sizes {
+            let report = run_single_executor(&ScalingOpts {
+                cores: k,
+                tuple_bytes: bytes,
+                quick,
+                ..ScalingOpts::paper_default(k)
+            });
+            row.push(fmt_rate(report.throughput));
+        }
+        b.row(row);
+    }
+    b.print();
+    println!("\npaper: 8 KB tuples stall ~16 cores (remote transfer wall); small tuples scale");
+}

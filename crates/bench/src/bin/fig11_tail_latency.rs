@@ -1,0 +1,82 @@
+//! Figure 11 — 99th-percentile processing latency of a single elastic
+//! executor as it scales out, under (a) varying computation costs and
+//! (b) varying tuple sizes.
+//!
+//! Paper claims to reproduce (§5.2, Figure 11):
+//! * "in most settings, processing latency does not increase noticeably
+//!   as the elastic executor scales out";
+//! * "in the data-intensive workload, e.g., computational cost ≤ 0.1 ms
+//!   or tuple size ≥ 2 KB, the latency increases greatly as the number
+//!   of allocated CPU cores exceeds the points where remote data
+//!   transfer becomes the performance bottleneck";
+//! * "the latency does not grow infinitely, due to the back-pressure
+//!   mechanism".
+
+use elasticutor_bench::scaling::{core_sweep, run_single_executor, ScalingOpts};
+use elasticutor_bench::{fmt_latency_ns, quick_mode, Table};
+
+fn main() {
+    let quick = quick_mode();
+    let cores = core_sweep(quick);
+
+    // ---- (a) varying computation costs, 128 B tuples ----
+    let costs_ns: Vec<(u64, &str)> = if quick {
+        vec![(1_000_000, "1ms"), (10_000, "0.01ms")]
+    } else {
+        vec![
+            (10_000_000, "10ms"),
+            (1_000_000, "1ms"),
+            (100_000, "0.1ms"),
+            (10_000, "0.01ms"),
+        ]
+    };
+    println!("Figure 11(a): single-executor p99 latency vs cores, varying CPU cost");
+    println!("(tuple size 128 B, shard state 32 KB, omega = 2)\n");
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(costs_ns.iter().map(|(_, n)| format!("{n}/tuple")));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut a = Table::new(&hdr);
+    for &k in &cores {
+        let mut row = vec![format!("{k}")];
+        for &(cost, _) in &costs_ns {
+            let report = run_single_executor(&ScalingOpts {
+                cores: k,
+                cpu_cost_ns: cost,
+                quick,
+                ..ScalingOpts::paper_default(k)
+            });
+            row.push(fmt_latency_ns(report.latency.p99_ns()));
+        }
+        a.row(row);
+    }
+    a.print();
+    println!("\npaper: flat p99 while compute-bound; blows up past the data-intensity wall\n");
+
+    // ---- (b) varying tuple sizes, 1 ms/tuple ----
+    let sizes: Vec<(u32, &str)> = if quick {
+        vec![(128, "128B"), (8192, "8KB")]
+    } else {
+        vec![(128, "128B"), (512, "512B"), (2048, "2KB"), (8192, "8KB")]
+    };
+    println!("Figure 11(b): single-executor p99 latency vs cores, varying tuple size");
+    println!("(CPU cost 1 ms/tuple, shard state 32 KB, omega = 2)\n");
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(sizes.iter().map(|(_, n)| format!("{n} tuples")));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut b = Table::new(&hdr);
+    for &k in &cores {
+        let mut row = vec![format!("{k}")];
+        for &(bytes, _) in &sizes {
+            let report = run_single_executor(&ScalingOpts {
+                cores: k,
+                tuple_bytes: bytes,
+                quick,
+                ..ScalingOpts::paper_default(k)
+            });
+            row.push(fmt_latency_ns(report.latency.p99_ns()));
+        }
+        b.row(row);
+    }
+    b.print();
+    println!("\npaper: latency grows greatly for >=2KB tuples past ~16-32 cores, bounded by backpressure");
+}

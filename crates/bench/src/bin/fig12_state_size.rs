@@ -1,0 +1,60 @@
+//! Figure 12 — throughput of a single elastic executor scaling out under
+//! varying shard state sizes, at ω = 2 (a) and ω = 16 (b).
+//!
+//! Paper claims to reproduce (§5.2, Figure 12):
+//! * "the elastic executor scales efficiently under all the shard state
+//!   sizes but 32 MB" — with a large state, migration becomes the
+//!   bottleneck and remote cores go underutilized;
+//! * "as the workload dynamic ω increases to 16, the scalability under
+//!   the large state size decreases considerably, due to the increased
+//!   requirement of state migration".
+
+use elasticutor_bench::scaling::{core_sweep, run_single_executor, ScalingOpts};
+use elasticutor_bench::{fmt_bytes, fmt_rate, quick_mode, Table};
+
+fn run_panel(omega: f64, cores: &[u32], sizes: &[u64], quick: bool) {
+    println!(
+        "Figure 12({}): single-executor throughput vs cores, omega = {omega}",
+        if omega <= 2.0 { "a" } else { "b" }
+    );
+    println!("(tuple size 128 B, CPU cost 1 ms/tuple, varying shard state size)\n");
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(sizes.iter().map(|&s| format!("state {}", fmt_bytes(s))));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for &k in cores {
+        let mut row = vec![format!("{k}")];
+        for &s in sizes {
+            let report = run_single_executor(&ScalingOpts {
+                cores: k,
+                shard_state_bytes: s,
+                omega,
+                quick,
+                ..ScalingOpts::paper_default(k)
+            });
+            row.push(fmt_rate(report.throughput));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cores = core_sweep(quick);
+    let sizes: Vec<u64> = if quick {
+        vec![32 * 1024, 32 * 1024 * 1024]
+    } else {
+        vec![
+            32 * 1024,
+            1024 * 1024,
+            8 * 1024 * 1024,
+            32 * 1024 * 1024,
+        ]
+    };
+
+    run_panel(2.0, &cores, &sizes, quick);
+    run_panel(16.0, &cores, &sizes, quick);
+    println!("paper: every state size scales but 32 MB; at omega = 16 the 32 MB curve degrades further");
+}

@@ -1,0 +1,109 @@
+//! Figure 13 — the impact of the number of executors per operator (y)
+//! and the number of shards per executor (z) on Elasticutor's
+//! throughput, under three representative workloads, with the static and
+//! RC approaches as reference rows.
+//!
+//! Paper claims to reproduce (§5.3, Figure 13):
+//! * more shards help ("as z increases, the throughput generally
+//!   increases though the marginal increase is diminishing");
+//! * y = 256 (one core per executor) loses elasticity and degrades to
+//!   the static approach;
+//! * y = 1 collapses under the data-intensive workload (s = 8 KB) —
+//!   one executor must scale to many remote cores and remote transfer
+//!   is 64× more expensive than in the default workload;
+//! * y ∈ {8 (1), 32} is poor (acceptable) under the highly dynamic
+//!   workload (ω = 16): few executors ⇒ remote scaling ⇒ migration on
+//!   every shuffle; "setting one or two executors per node is robust".
+
+use elasticutor_bench::{fmt_rate, quick_mode, Table, SEC};
+use elasticutor_cluster::config::{EngineMode, ExperimentConfig};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_workload::MicroConfig;
+
+/// One of the three representative workloads of §5.3.
+struct Workload {
+    label: &'static str,
+    tuple_bytes: u32,
+    omega: f64,
+}
+
+fn base_micro(w: &Workload) -> MicroConfig {
+    MicroConfig {
+        // Offered above the 256-core ideal capacity (256 k/s at 1 ms per
+        // tuple) so measured throughput is the system's capacity.
+        rate: 300_000.0,
+        tuple_bytes: w.tuple_bytes,
+        omega: w.omega,
+        // Spread sources wide so their egress never caps the 8 KB runs.
+        generator_parallelism: 32,
+        ..MicroConfig::default()
+    }
+}
+
+fn run(mode: EngineMode, w: &Workload, y: u32, z: u32, quick: bool) -> f64 {
+    let mut micro = base_micro(w);
+    micro.calculator_executors = y;
+    micro.shards_per_executor = z;
+    let mut cfg = ExperimentConfig::micro(mode, micro);
+    cfg.duration_ns = if quick { 20 * SEC } else { 45 * SEC };
+    cfg.warmup_ns = if quick { 8 * SEC } else { 20 * SEC };
+    ClusterEngine::new(cfg).run().throughput
+}
+
+fn main() {
+    let quick = quick_mode();
+    let ys: Vec<u32> = if quick { vec![1, 32] } else { vec![1, 8, 32, 256] };
+    let zs: Vec<u32> = if quick {
+        vec![4, 256]
+    } else {
+        vec![1, 4, 16, 64, 256]
+    };
+    let workloads = [
+        Workload {
+            label: "default workload (s = 128 B, omega = 2)",
+            tuple_bytes: 128,
+            omega: 2.0,
+        },
+        Workload {
+            label: "data-intensive workload (s = 8 KB, omega = 2)",
+            tuple_bytes: 8192,
+            omega: 2.0,
+        },
+        Workload {
+            label: "highly dynamic workload (s = 128 B, omega = 16)",
+            tuple_bytes: 128,
+            omega: 16.0,
+        },
+    ];
+
+    println!("Figure 13: throughput of Elasticutor vs y (executors) and z (shards)");
+    println!("cluster: 32 nodes x 8 cores = 256 cores; offered 300k tuples/s\n");
+
+    for (i, w) in workloads.iter().enumerate() {
+        println!("Figure 13({}): {}", ["a", "b", "c"][i], w.label);
+        let mut headers = vec!["y \\ z".to_string()];
+        headers.extend(zs.iter().map(|z| format!("z={z}")));
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hdr);
+        for &y in &ys {
+            let mut row = vec![format!("y={y}")];
+            for &z in &zs {
+                row.push(fmt_rate(run(EngineMode::Elastic, w, y, z, quick)));
+            }
+            t.row(row);
+        }
+        // Reference rows: static and RC at the paper's default geometry.
+        let mut static_row = vec!["static".to_string()];
+        let static_tput = run(EngineMode::Static, w, 32, 256, quick);
+        static_row.extend(zs.iter().map(|_| fmt_rate(static_tput)));
+        t.row(static_row);
+        let mut rc_row = vec!["RC".to_string()];
+        let rc_tput = run(EngineMode::ResourceCentric, w, 32, 256, quick);
+        rc_row.extend(zs.iter().map(|_| fmt_rate(rc_tput)));
+        t.row(rc_row);
+        t.print();
+        println!();
+    }
+    println!("paper: z up => throughput up (diminishing); y=256 ~ static; y=1 collapses");
+    println!("under 8 KB tuples; small y suffers at omega=16; y=32 (1/node) is robust");
+}

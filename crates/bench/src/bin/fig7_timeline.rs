@@ -1,0 +1,86 @@
+//! Figure 7 — instantaneous throughput (1-second sliding window) under
+//! ω = 2, for static / RC / Elasticutor.
+//!
+//! Paper claims to reproduce: the static line is low but steady; both RC
+//! and Elasticutor dip transiently at every key shuffle (every 30 s), but
+//! RC's dips last ~10–20 s while Elasticutor's last ~1–3 s.
+
+use elasticutor_bench::{fmt_rate, quick_mode, Table, SEC};
+use elasticutor_cluster::config::{ClusterConfig, EngineMode, ExperimentConfig};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_metrics::TimeSeries;
+use elasticutor_workload::MicroConfig;
+
+fn main() {
+    let quick = quick_mode();
+    let rate = 200_000.0;
+    let (duration, warmup) = if quick { (60, 30) } else { (150, 60) };
+
+    println!("Figure 7: instantaneous throughput with omega = 2 (shuffle every 30 s)");
+    println!("cluster: 32 nodes x 8 cores; offered rate {rate} tuples/s\n");
+
+    let mut series: Vec<(String, TimeSeries, f64)> = Vec::new();
+    for mode in [
+        EngineMode::Static,
+        EngineMode::ResourceCentric,
+        EngineMode::Elastic,
+    ] {
+        let micro = MicroConfig {
+            rate,
+            omega: 2.0,
+            generator_parallelism: 32,
+            ..MicroConfig::default()
+        };
+        let mut cfg = ExperimentConfig::micro(mode, micro);
+        cfg.cluster = ClusterConfig::small(32, 8);
+        cfg.duration_ns = duration * SEC;
+        cfg.warmup_ns = warmup * SEC;
+        let report = ClusterEngine::new(cfg).run();
+        series.push((report.mode.to_string(), report.throughput_series, report.throughput));
+    }
+
+    // Timeline (post-warmup seconds).
+    let mut table = Table::new(&["t (s)", &series[0].0, &series[1].0, &series[2].0]);
+    let n = series[0].1.len();
+    for i in (warmup as usize)..n {
+        let t = series[0].1.samples()[i].0 / SEC;
+        table.row(vec![
+            format!("{t}"),
+            fmt_rate(series[0].1.samples()[i].1),
+            fmt_rate(series[1].1.samples().get(i).map_or(0.0, |s| s.1)),
+            fmt_rate(series[2].1.samples().get(i).map_or(0.0, |s| s.1)),
+        ]);
+    }
+    table.print();
+
+    // Dip analysis: transient degradations below 70% of the mode's own
+    // steady throughput, post-warmup.
+    println!("\nTransient degradation analysis (below 70% of steady rate):");
+    let mut dips = Table::new(&["mode", "dips", "longest dip", "total dip time"]);
+    for (name, ts, steady) in &series {
+        let post_warmup: Vec<(u64, f64)> = ts
+            .samples()
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t >= warmup * SEC)
+            .collect();
+        let mut trimmed = TimeSeries::new(name.clone());
+        for (t, v) in post_warmup {
+            trimmed.push(t, v);
+        }
+        let found = trimmed.dips_below(0.7 * steady);
+        let longest = found
+            .iter()
+            .map(|&(a, b)| (b - a) / SEC + 1)
+            .max()
+            .unwrap_or(0);
+        let total: u64 = found.iter().map(|&(a, b)| (b - a) / SEC + 1).sum();
+        dips.row(vec![
+            name.clone(),
+            format!("{}", found.len()),
+            format!("{longest}s"),
+            format!("{total}s"),
+        ]);
+    }
+    dips.print();
+}

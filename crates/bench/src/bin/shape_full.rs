@@ -1,0 +1,32 @@
+use elasticutor_cluster::config::{EngineMode, ExperimentConfig};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_workload::MicroConfig;
+
+fn main() {
+    let sec = 1_000_000_000u64;
+    // Full paper scale: 32 nodes x 8 cores = 256 cores; capacity 256k/s.
+    for (mode, omega) in [
+        (EngineMode::Static, 0.0),
+        (EngineMode::Elastic, 0.0),
+        (EngineMode::Elastic, 16.0),
+        (EngineMode::ResourceCentric, 2.0),
+    ] {
+        let micro = MicroConfig {
+            rate: 200_000.0,
+            omega,
+            ..MicroConfig::default()
+        };
+        let mut cfg = ExperimentConfig::micro(mode, micro);
+        cfg.duration_ns = 50 * sec;
+        cfg.warmup_ns = 20 * sec;
+        cfg.backpressure_high = 32_768;
+        cfg.backpressure_low = 16_384;
+        let t0 = std::time::Instant::now();
+        let r = ClusterEngine::new(cfg).run();
+        println!(
+            "{:12} omega={:4} tput={:8.0}/s lat_avg={:9.2}ms p99={:9.2}ms reassigns={:5} mig={:7}KB remote={:7}KB wall={:.1}s",
+            r.mode, omega, r.throughput, r.latency.mean_ns()/1e6, r.latency.p99_ns()/1e6,
+            r.reassignments.len(), r.state_migration_bytes/1024, r.remote_task_bytes/1024, t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! # elasticutor-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! paper's evaluation (§5). Each `src/bin/figN_*.rs` /
+//! `src/bin/tableN_*.rs` binary regenerates one result: it configures the
+//! simulated cluster, runs every engine variant the figure compares,
+//! and prints the same rows/series the paper reports.
+//!
+//! Conventions:
+//! * experiments are deterministic (fixed seeds) — identical output on
+//!   every run;
+//! * `ELASTICUTOR_QUICK=1` shrinks durations/sweeps for smoke testing;
+//! * passing `--csv` emits machine-readable CSV after the table.
+
+#![warn(missing_docs)]
+
+pub mod scaling;
+pub mod sse_exp;
+
+use std::fmt::Write as _;
+
+/// Returns true when quick (smoke-test) mode is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("ELASTICUTOR_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Returns true when `--csv` was passed.
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table (and CSV when `--csv` was passed).
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if csv_mode() {
+            println!("\n--- csv ---");
+            print!("{}", self.to_csv());
+        }
+    }
+}
+
+/// Formats a tuples/s figure compactly (e.g. `196.8k`).
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1_000.0 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats nanoseconds as adaptive ms/s text.
+pub fn fmt_latency_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Formats a byte count (KB/MB).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1024 * 1024 * 1024 {
+        format!("{:.2}GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1024 * 1024 {
+        format!("{:.1}MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1024 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// One second in simulated nanoseconds.
+pub const SEC: u64 = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["mode", "tput"]);
+        t.row(vec!["static".into(), "121.6k".into()]);
+        t.row(vec!["Elasticutor".into(), "196.8k".into()]);
+        let s = t.render();
+        assert!(s.contains("mode"));
+        assert!(s.contains("Elasticutor"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("mode,tput\n"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_rate(1_500_000.0), "1.50M");
+        assert_eq!(fmt_rate(42_000.0), "42.0k");
+        assert_eq!(fmt_rate(12.0), "12");
+        assert_eq!(fmt_latency_ns(2.5e9), "2.50s");
+        assert_eq!(fmt_latency_ns(3.2e6), "3.2ms");
+        assert_eq!(fmt_latency_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_latency_ns(999.0), "999ns");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+        assert_eq!(fmt_bytes(12), "12B");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

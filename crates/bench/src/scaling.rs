@@ -1,0 +1,146 @@
+//! Shared driver for the single-executor scalability experiments
+//! (Figures 10, 11 and 12).
+//!
+//! The paper's setup (§5.2): *one* elastic executor for the calculator
+//! operator on the full 32 × 8-core cluster; cores are granted manually
+//! (local node first, remote beyond 8) and the executor's throughput and
+//! tail latency are measured while data intensity (tuple size, CPU cost)
+//! and elasticity cost (shard state size, ω) vary.
+
+use elasticutor_cluster::config::{EngineMode, ExperimentConfig};
+use elasticutor_cluster::{ClusterEngine, RunReport};
+use elasticutor_workload::MicroConfig;
+
+use crate::SEC;
+
+/// Offered-rate ceiling, tuples/s. Keeps the event volume of the
+/// cheapest-tuple sweeps tractable; well above every data-intensity wall
+/// the experiments expose (~1.6 M tuples/s), so measured plateaus are
+/// genuine bottlenecks, not the cap.
+pub const OFFERED_CAP: f64 = 2_000_000.0;
+
+/// Fraction of ideal service capacity offered to the executor. Below
+/// saturation so queueing latency reflects service, matching the paper's
+/// setup where latency stays flat until a resource wall is hit.
+pub const OFFERED_FRACTION: f64 = 0.85;
+
+/// One point of a scalability sweep.
+#[derive(Clone, Debug)]
+pub struct ScalingOpts {
+    /// Cores granted to the single elastic executor (local first).
+    pub cores: u32,
+    /// Mean per-tuple CPU cost, ns.
+    pub cpu_cost_ns: u64,
+    /// Tuple payload size, bytes.
+    pub tuple_bytes: u32,
+    /// Per-shard state size, bytes.
+    pub shard_state_bytes: u64,
+    /// Key-shuffle rate ω, per minute.
+    pub omega: f64,
+    /// Shrink durations for smoke testing.
+    pub quick: bool,
+}
+
+impl ScalingOpts {
+    /// The paper's default scalability point: 1 ms tuples, 128 B
+    /// payload, 32 KB shard state, ω = 2.
+    pub fn paper_default(cores: u32) -> Self {
+        Self {
+            cores,
+            cpu_cost_ns: 1_000_000,
+            tuple_bytes: 128,
+            shard_state_bytes: 32 * 1024,
+            omega: 2.0,
+            quick: false,
+        }
+    }
+
+    /// Ideal service capacity of `cores` cores at this CPU cost,
+    /// tuples/s.
+    pub fn ideal_capacity(&self) -> f64 {
+        self.cores as f64 * 1e9 / self.cpu_cost_ns as f64
+    }
+
+    /// The offered arrival rate for this point.
+    pub fn offered_rate(&self) -> f64 {
+        (self.ideal_capacity() * OFFERED_FRACTION).min(OFFERED_CAP)
+    }
+
+    /// Run length: enough completions for stable estimates without
+    /// letting the cheap-tuple points dominate wall-clock time.
+    fn duration_ns(&self) -> u64 {
+        let target_completions = if self.quick { 2.0e5 } else { 1.5e6 };
+        let (lo, hi) = if self.quick { (4.0, 20.0) } else { (6.0, 60.0) };
+        let secs = (target_completions / self.offered_rate()).clamp(lo, hi);
+        (secs * 1e9) as u64
+    }
+}
+
+/// Runs one single-executor scalability point and returns its report.
+pub fn run_single_executor(opts: &ScalingOpts) -> RunReport {
+    let micro = MicroConfig {
+        rate: opts.offered_rate(),
+        omega: opts.omega,
+        tuple_bytes: opts.tuple_bytes,
+        cpu_cost_ns: opts.cpu_cost_ns,
+        calculator_executors: 1,
+        shards_per_executor: 256,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(EngineMode::Elastic, micro);
+    cfg.shard_state_bytes = opts.shard_state_bytes;
+    cfg.manual_cores = Some(opts.cores);
+    cfg.duration_ns = opts.duration_ns();
+    cfg.warmup_ns = cfg.duration_ns / 4;
+    // Tail latency needs several samples per window even at low rates.
+    cfg.sample_period_ns = SEC;
+    ClusterEngine::new(cfg).run()
+}
+
+/// The core counts swept on the x-axis of Figures 10–12.
+pub fn core_sweep(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![1, 8, 64, 256]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_rate_caps_and_scales() {
+        let p1 = ScalingOpts::paper_default(1);
+        assert!((p1.offered_rate() - 850.0).abs() < 1.0);
+        let p256 = ScalingOpts {
+            cpu_cost_ns: 10_000,
+            ..ScalingOpts::paper_default(256)
+        };
+        // 256 cores at 0.01 ms → ideal 25.6 M/s, capped at 2 M/s.
+        assert_eq!(p256.offered_rate(), OFFERED_CAP);
+    }
+
+    #[test]
+    fn durations_bounded() {
+        let cheap = ScalingOpts {
+            cpu_cost_ns: 10_000,
+            quick: true,
+            ..ScalingOpts::paper_default(256)
+        };
+        let d = cheap.duration_ns();
+        assert!((4 * SEC..=20 * SEC).contains(&d));
+        let slow = ScalingOpts {
+            cpu_cost_ns: 10_000_000,
+            ..ScalingOpts::paper_default(1)
+        };
+        assert_eq!(slow.duration_ns(), 60 * SEC);
+    }
+
+    #[test]
+    fn sweep_is_exponential() {
+        assert_eq!(core_sweep(false).len(), 9);
+        assert_eq!(core_sweep(true), vec![1, 8, 64, 256]);
+    }
+}

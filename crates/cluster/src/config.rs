@@ -1,0 +1,242 @@
+//! Cluster and experiment configuration.
+
+use elasticutor_scheduler::SchedulerPolicy;
+use elasticutor_workload::{MicroConfig, SseConfig};
+
+/// Physical-cluster parameters. Defaults mirror the paper's testbed: 32
+/// EC2 `t2.2xlarge` nodes × 8 cores, 1 Gbps Ethernet.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// CPU cores per node.
+    pub cores_per_node: u32,
+    /// Link bandwidth in bytes/s (1 Gbps ≈ 125 MB/s).
+    pub link_bandwidth: f64,
+    /// One-way network propagation + stack latency, ns.
+    pub link_latency_ns: u64,
+    /// Latency of an intra-node (inter-process / inter-thread) message.
+    pub local_latency_ns: u64,
+    /// One-way latency of a control message (master ↔ worker). Control
+    /// messages ride the same network but are small; only latency counts.
+    pub control_latency_ns: u64,
+    /// Master-side processing cost per upstream executor during RC's
+    /// pause/update rounds (routing-table rewrite, serialization of the
+    /// new partition map, per-connection coordination). Calibrated
+    /// against Figure 9(a): RC synchronization grows from tens to
+    /// hundreds of ms over 1→32 upstream executors.
+    pub master_per_executor_ns: u64,
+    /// Per-byte serialization + deserialization CPU cost for state
+    /// migration (in addition to wire time).
+    pub state_serde_ns_per_byte: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 32,
+            cores_per_node: 8,
+            link_bandwidth: 125.0e6,
+            link_latency_ns: 100_000,  // 100 µs one-way
+            local_latency_ns: 5_000,   // 5 µs intra-node hop
+            control_latency_ns: 500_000, // 0.5 ms master↔worker
+            master_per_executor_ns: 4_000_000, // 4 ms per upstream executor
+            state_serde_ns_per_byte: 2.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A smaller cluster for quick experiments.
+    pub fn small(nodes: u32, cores_per_node: u32) -> Self {
+        Self {
+            nodes,
+            cores_per_node,
+            ..Self::default()
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// Which execution paradigm the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Fixed executors, one core each, no elasticity (default Storm).
+    Static,
+    /// Resource-centric: operator-level key repartitioning with global
+    /// synchronization.
+    ResourceCentric,
+    /// Executor-centric with the full dynamic scheduler.
+    Elastic,
+    /// Executor-centric with cost/locality optimizations disabled
+    /// (naive-EC, §5.4).
+    NaiveElastic,
+}
+
+impl EngineMode {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineMode::Static => "static",
+            EngineMode::ResourceCentric => "RC",
+            EngineMode::Elastic => "Elasticutor",
+            EngineMode::NaiveElastic => "naive-EC",
+        }
+    }
+
+    /// The scheduler policy for elastic modes.
+    pub fn policy(&self) -> SchedulerPolicy {
+        match self {
+            EngineMode::NaiveElastic => SchedulerPolicy::Naive,
+            _ => SchedulerPolicy::Optimized,
+        }
+    }
+}
+
+/// Which workload feeds the topology.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    /// The §5.1 micro-benchmark (generator → calculator).
+    Micro(MicroConfig),
+    /// The §5.4 SSE application.
+    Sse(SseConfig),
+}
+
+/// A full experiment specification.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Execution paradigm.
+    pub mode: EngineMode,
+    /// Workload.
+    pub workload: WorkloadKind,
+    /// Per-shard state size in bytes (paper default: 32 KB; Figures 9b
+    /// and 12 sweep this).
+    pub shard_state_bytes: u64,
+    /// Simulated run length, ns.
+    pub duration_ns: u64,
+    /// Warm-up period excluded from summary metrics, ns.
+    pub warmup_ns: u64,
+    /// Sampling period for timeline series, ns.
+    pub sample_period_ns: u64,
+    /// Scheduling / rebalancing interval, ns.
+    pub scheduling_interval_ns: u64,
+    /// Latency target handed to the performance model, seconds.
+    pub latency_target_s: f64,
+    /// Backpressure high watermark: sources pause when the total queued
+    /// tuples exceed this.
+    pub backpressure_high: usize,
+    /// Backpressure low watermark: sources resume below this.
+    pub backpressure_low: usize,
+    /// For the single-executor scalability experiments (Figures 10–12):
+    /// bypass the model and pin this many cores on the (single) transform
+    /// executor, local cores first.
+    pub manual_cores: Option<u32>,
+    /// `θ` — intra-executor imbalance threshold for the shard balancer
+    /// (paper default 1.2; the θ-ablation bench sweeps this).
+    pub imbalance_threshold: f64,
+    /// `φ̃` — base data-intensity threshold in bytes/s for the
+    /// scheduler's locality constraint (paper default 512 KB/s; the
+    /// φ-ablation bench sweeps this).
+    pub phi_base: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A default micro-benchmark experiment in the given mode.
+    pub fn micro(mode: EngineMode, micro: MicroConfig) -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            mode,
+            workload: WorkloadKind::Micro(micro),
+            shard_state_bytes: 32 * 1024,
+            duration_ns: 60 * 1_000_000_000,
+            warmup_ns: 10 * 1_000_000_000,
+            sample_period_ns: 1_000_000_000,
+            scheduling_interval_ns: 1_000_000_000,
+            // Tight target: the allocator keeps adding cores while the
+            // modeled E[T] exceeds this, so it also bounds the steady
+            // queueing latency the elastic engines settle at.
+            latency_target_s: 0.01,
+            // Storm-style max-spout-pending: a few thousand tuples in
+            // flight keeps saturated-queue latency bounded while leaving
+            // enough concurrency to fill every core.
+            backpressure_high: 8_192,
+            backpressure_low: 4_096,
+            manual_cores: None,
+            imbalance_threshold: 1.2,
+            phi_base: 512.0 * 1024.0,
+            seed: 0xE1A5_71C0,
+        }
+    }
+
+    /// A default SSE experiment in the given mode.
+    pub fn sse(mode: EngineMode, sse: SseConfig) -> Self {
+        Self {
+            workload: WorkloadKind::Sse(sse),
+            ..Self::micro(mode, MicroConfig::default())
+        }
+    }
+
+    /// Validates watermarks and durations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.backpressure_low >= self.backpressure_high {
+            return Err("backpressure_low must be below backpressure_high".into());
+        }
+        if self.warmup_ns >= self.duration_ns {
+            return Err("warmup must be shorter than the run".into());
+        }
+        if self.sample_period_ns == 0 || self.scheduling_interval_ns == 0 {
+            return Err("periods must be positive".into());
+        }
+        if self.imbalance_threshold < 1.0 {
+            return Err("imbalance threshold theta must be >= 1.0".into());
+        }
+        if self.phi_base <= 0.0 {
+            return Err("phi_base must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 32);
+        assert_eq!(c.cores_per_node, 8);
+        assert_eq!(c.total_cores(), 256);
+        assert!((c.link_bandwidth - 125.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn mode_names_and_policies() {
+        assert_eq!(EngineMode::Static.name(), "static");
+        assert_eq!(EngineMode::ResourceCentric.name(), "RC");
+        assert_eq!(EngineMode::Elastic.name(), "Elasticutor");
+        assert_eq!(EngineMode::NaiveElastic.name(), "naive-EC");
+        assert_eq!(EngineMode::NaiveElastic.policy(), SchedulerPolicy::Naive);
+        assert_eq!(EngineMode::Elastic.policy(), SchedulerPolicy::Optimized);
+    }
+
+    #[test]
+    fn experiment_validation() {
+        let mut e = ExperimentConfig::micro(EngineMode::Elastic, MicroConfig::default());
+        e.validate().unwrap();
+        e.backpressure_low = e.backpressure_high;
+        assert!(e.validate().is_err());
+
+        let mut e = ExperimentConfig::micro(EngineMode::Static, MicroConfig::default());
+        e.warmup_ns = e.duration_ns;
+        assert!(e.validate().is_err());
+    }
+}

@@ -1,0 +1,1130 @@
+//! The event-driven cluster engine: data plane shared by all paradigms.
+//!
+//! One [`ClusterEngine`] simulates a whole cluster run: source executors
+//! emit tuples (drawn from a [`TupleSource`]), tuples hop across the
+//! [`Network`] to the receivers of downstream executors, receivers route
+//! through two-tier [`RoutingTable`]s to task queues, tasks serve tuples
+//! FCFS with per-operator service-time models, and emitters forward
+//! outputs downstream. Sink completions feed the latency and throughput
+//! metrics.
+//!
+//! Control-plane behaviour (dynamic scheduling, the consistent shard
+//! reassignment protocol, RC's global repartitioning) lives in
+//! `control.rs`; this file owns the structures and the data path.
+//!
+//! Simplifications, documented here once:
+//! * Source executors do not consume scheduled CPU cores (generation is
+//!   free); the measured operators compete for all `nodes × cores`.
+//! * A "process" is (executor × node): tasks of one executor on one node
+//!   share state (intra-process sharing); a reassignment between nodes
+//!   always crosses processes.
+//! * Backpressure is a global high/low watermark on queued tuples
+//!   (Storm's max-spout-pending behaves the same at the modeled
+//!   granularity).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use elasticutor_core::balance::LoadBalancer;
+use elasticutor_core::ids::{Key, NodeId, OperatorId, ShardId, TaskId};
+use elasticutor_core::partition::{DynamicPartition, StaticHashPartition};
+use elasticutor_core::routing::{RouteDecision, RoutingTable};
+use elasticutor_core::topology::Topology;
+use elasticutor_metrics::{LatencyHistogram, SlidingWindowCounter, TimeSeries};
+use elasticutor_scheduler::assignment::{Assignment, ClusterSpec};
+use elasticutor_scheduler::scheduler::{DynamicScheduler, SchedulerConfig};
+use elasticutor_sim::{SimRng, Simulation};
+use elasticutor_workload::profile::OperatorProfile;
+use elasticutor_workload::{MicroWorkload, SseWorkload, TupleSource};
+
+use crate::config::{EngineMode, ExperimentConfig, WorkloadKind};
+use crate::net::{Network, TrafficClass};
+use crate::report::{ReassignmentRecord, RunReport};
+
+/// A tuple in flight through the simulated cluster.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SimTuple {
+    /// Partitioning key.
+    pub key: Key,
+    /// Payload bytes (plus framing on the wire).
+    pub payload: u32,
+    /// Cost hint for `CostModel::FromTuple` operators.
+    pub cost_hint: u64,
+    /// Source emission time — the latency origin.
+    pub created_ns: u64,
+    /// Operator that will process this tuple (dense index).
+    pub op: u32,
+}
+
+impl SimTuple {
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        u64::from(self.payload) + 24
+    }
+}
+
+/// Work items in a task's pending queue.
+#[derive(Debug)]
+pub(crate) enum Work {
+    Tuple(SimTuple),
+    /// The labeling tuple of the consistent-reassignment protocol
+    /// (§3.3); carries the in-flight reassignment's slab index.
+    Label(usize),
+}
+
+/// One data-processing task (thread bound to a simulated core).
+#[derive(Debug)]
+pub(crate) struct TaskRt {
+    pub node: NodeId,
+    pub queue: VecDeque<Work>,
+    pub busy: bool,
+    /// Tuple currently being served (with its drawn service time).
+    pub current: Option<(SimTuple, u64)>,
+    /// True once the scheduler revoked this task's core: it drains its
+    /// shards and queue, then disappears.
+    pub retiring: bool,
+}
+
+impl TaskRt {
+    fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            queue: VecDeque::new(),
+            busy: false,
+            current: None,
+            retiring: false,
+        }
+    }
+}
+
+/// Runtime state of one transform executor.
+pub(crate) struct ExecRt {
+    pub op: OperatorId,
+    pub local_node: NodeId,
+    /// Two-tier routing: local shards → tasks (buffering while paused).
+    pub routing: RoutingTable<SimTuple>,
+    pub tasks: BTreeMap<TaskId, TaskRt>,
+    pub next_task: u32,
+    /// Per-local-shard accumulated service ns in the current window.
+    pub shard_load_ns: Vec<f64>,
+    /// Measurement window counters (reset every scheduling interval).
+    pub arrivals: u64,
+    /// EWMA-smoothed arrival rate (tuples/s) across windows; damps the
+    /// pause/catch-up oscillation a raw window rate would feed back into
+    /// the allocator.
+    pub ewma_lambda: f64,
+    pub served: u64,
+    pub service_ns_sum: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Whether this is a resource-centric executor (one task, shards
+    /// assigned at operator level).
+    pub is_rc: bool,
+    /// RC only: which operator-global shard each local slot refers to
+    /// (sorted ascending; parallel to `shard_load_ns`).
+    pub rc_global_shards: Vec<u32>,
+    /// True while this RC executor is being decommissioned.
+    pub rc_retired: bool,
+}
+
+impl ExecRt {
+    pub(crate) fn live_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, t)| !t.retiring)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    pub(crate) fn total_queued(&self) -> usize {
+        self.tasks
+            .values()
+            .map(|t| t.queue.len() + usize::from(t.busy))
+            .sum::<usize>()
+            + self.routing.buffered_tuples()
+    }
+}
+
+/// An in-flight elastic shard reassignment.
+#[derive(Debug)]
+pub(crate) struct ReassignRt {
+    pub exec: usize,
+    pub shard: ShardId,
+    pub from: TaskId,
+    pub to: TaskId,
+    pub started_ns: u64,
+    pub label_reached_ns: Option<u64>,
+    pub intra_node: bool,
+    pub state_bytes: u64,
+}
+
+/// Phases of an RC operator-level repartition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RepartPhase {
+    /// Control round pausing all upstream executors.
+    Pausing,
+    /// Waiting for in-flight tuples to drain out of the operator.
+    Draining,
+    /// Shard state crossing the network.
+    Migrating,
+    /// Control round installing new routing tables upstream.
+    Updating,
+}
+
+/// An in-flight RC repartition of one operator.
+pub(crate) struct RepartRt {
+    pub op: usize,
+    pub phase: RepartPhase,
+    pub started_ns: u64,
+    pub drain_done_ns: u64,
+    pub migrate_done_ns: u64,
+    /// Planned global-shard moves: (shard, from_exec, to_exec) as global
+    /// executor indices.
+    pub moves: Vec<(u32, usize, usize)>,
+    /// Executors being decommissioned by this repartition.
+    pub retire_execs: Vec<usize>,
+    /// Whether this is a bulk (executor-set resize) round — these get a
+    /// post-round cooldown; single-shard balancing rounds chain freely.
+    pub bulk: bool,
+    /// Tuples buffered at upstream emitters while paused, with their
+    /// origin node (order preserved).
+    pub buffered: VecDeque<(NodeId, SimTuple)>,
+}
+
+/// Events of the cluster simulation.
+pub(crate) enum Ev {
+    /// The global source stream fires its next tuple.
+    SourceEmit,
+    /// A tuple arrives at an executor's main-process receiver.
+    Ingest { exec: usize, tuple: SimTuple },
+    /// A tuple arrives at a remote task's process.
+    RemoteDeliver {
+        exec: usize,
+        task: TaskId,
+        tuple: SimTuple,
+    },
+    /// The labeling tuple of a reassignment arrives at a remote source
+    /// task. It rides the same main-process → task wire as data tuples
+    /// (same egress ⇒ FIFO), so it cannot overtake in-flight tuples of
+    /// its shard — the §3.3 correctness argument.
+    LabelArrive {
+        exec: usize,
+        task: TaskId,
+        reassign: usize,
+    },
+    /// A task finishes its current tuple.
+    TaskDone { exec: usize, task: TaskId },
+    /// An output tuple from a remote task reaches the main-process
+    /// emitter and continues downstream.
+    EmitterForward { exec: usize, tuple: SimTuple },
+    /// Migrated shard state arrives at the destination process.
+    StateArrived { reassign: usize },
+    /// Periodic scheduler / rebalancer invocation.
+    SchedTick,
+    /// Periodic metrics sample.
+    Sample,
+    /// RC repartition phase transition.
+    Repart { id: usize, phase: RepartPhase },
+    /// Poll whether an RC-draining operator has quiesced.
+    DrainPoll { id: usize },
+}
+
+/// The paradigm-specific operator-level partitioning.
+pub(crate) enum OpPartition {
+    /// Static hash over the operator's executors (static + elastic).
+    Static(StaticHashPartition),
+    /// RC: dynamic shard→executor map (indices are positions in
+    /// `op_execs[op]`, remapped on executor churn).
+    Dynamic(DynamicPartition),
+}
+
+/// The simulated cluster engine. Construct with [`ClusterEngine::new`]
+/// and drive with [`ClusterEngine::run`].
+pub struct ClusterEngine {
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) topology: Topology,
+    pub(crate) profiles: Vec<OperatorProfile>,
+    /// Fallback mean service ns per operator (for μ when idle and for
+    /// `FromTuple` operators).
+    pub(crate) mean_service_ns: Vec<u64>,
+    pub(crate) net: Network,
+    pub(crate) sim: Simulation<Ev>,
+    pub(crate) rng: SimRng,
+    pub(crate) source: SourceImpl,
+    pub(crate) source_nodes: Vec<NodeId>,
+    pub(crate) next_source: usize,
+    pub(crate) pending_emit: Option<(u64, SimTuple)>,
+    pub(crate) emitter_scheduled: bool,
+    /// The arrival process's own clock: tuple n arrives at Σ gaps,
+    /// regardless of backpressure. Latency is measured from this arrival
+    /// time, so time spent throttled at the source counts — the paper's
+    /// "processing latency" includes it (that is where the 2-orders gap
+    /// of Figures 6/16 comes from when a baseline cannot keep up).
+    pub(crate) virtual_arrival_ns: u64,
+    /// Transform executors (global dense indices).
+    pub(crate) execs: Vec<ExecRt>,
+    /// Operator (dense index) → global executor indices. Sources empty.
+    pub(crate) op_execs: Vec<Vec<usize>>,
+    pub(crate) op_partition: Vec<OpPartition>,
+    /// Operator currently paused by an RC repartition (index into
+    /// `reparts`), if any.
+    pub(crate) op_repart: Vec<Option<usize>>,
+    /// Scheduler ticks remaining before an operator may repartition
+    /// again (RC cooldown after each repartition).
+    pub(crate) op_repart_cooldown: Vec<u32>,
+    // --- Control plane ---
+    pub(crate) scheduler: DynamicScheduler,
+    pub(crate) cluster_spec: ClusterSpec,
+    /// Elastic modes: scheduler-facing assignment (executor × node).
+    pub(crate) assignment: Assignment,
+    pub(crate) balancer: LoadBalancer,
+    /// Per-node cores used (RC + static bookkeeping).
+    pub(crate) node_used: Vec<u32>,
+    pub(crate) reassigns: Vec<ReassignRt>,
+    pub(crate) reparts: Vec<RepartRt>,
+    // --- Backpressure ---
+    pub(crate) queued_total: usize,
+    pub(crate) sources_paused: bool,
+    /// When the current pause began (None while flowing).
+    pub(crate) paused_since: Option<u64>,
+    /// Paused nanoseconds accumulated in the current scheduling window.
+    pub(crate) paused_ns_window: u64,
+    // --- Metrics ---
+    pub(crate) sink_window: SlidingWindowCounter,
+    pub(crate) latency_hist: LatencyHistogram,
+    pub(crate) window_hist: LatencyHistogram,
+    pub(crate) throughput_series: TimeSeries,
+    pub(crate) latency_series: TimeSeries,
+    pub(crate) sink_completions: u64,
+    pub(crate) source_emissions: u64,
+    /// Source emissions in the current scheduling interval (λ0 input).
+    pub(crate) interval_source_emissions: u64,
+    pub(crate) records: Vec<ReassignmentRecord>,
+    pub(crate) scheduler_wall_us: Vec<u64>,
+    pub(crate) scheduler_rounds: u64,
+    pub(crate) warmup_ns: u64,
+}
+
+/// The workload source behind the engine (concrete to avoid dyn-dispatch
+/// in the hot path).
+pub(crate) enum SourceImpl {
+    Micro(MicroWorkload),
+    Sse(SseWorkload),
+}
+
+impl SourceImpl {
+    fn next_tuple(&mut self, now: u64) -> (u64, elasticutor_core::tuple::Tuple) {
+        match self {
+            SourceImpl::Micro(w) => w.next_tuple(now),
+            SourceImpl::Sse(w) => w.next_tuple(now),
+        }
+    }
+
+    pub(crate) fn nominal_rate(&self) -> f64 {
+        match self {
+            SourceImpl::Micro(w) => w.nominal_rate(),
+            SourceImpl::Sse(w) => w.nominal_rate(),
+        }
+    }
+}
+
+impl ClusterEngine {
+    /// Builds an engine for the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config is invalid — in particular when the
+    /// topology's initial transform executors outnumber the cluster's
+    /// cores: the simulated substrate pins each executor's first task to
+    /// a dedicated core (no time-sharing), so `Σ parallelism` of
+    /// transform operators must not exceed `nodes × cores_per_node`.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        cfg.validate().expect("invalid experiment config");
+        let mut rng = SimRng::new(cfg.seed);
+        let total_cores = cfg.cluster.total_cores();
+
+        // Topology + profiles + source.
+        let (topology, profiles, source, source_parallelism) = match &cfg.workload {
+            WorkloadKind::Micro(mc) => {
+                let mut mc = mc.clone();
+                if cfg.mode == EngineMode::Static {
+                    // Static: enough single-core executors to use every
+                    // core (paper §5: "we create enough executors ... to
+                    // fully utilize all CPU cores").
+                    mc.calculator_executors = total_cores;
+                    mc.shards_per_executor = 1;
+                }
+                // RC keeps the configured y: the partition granularity is
+                // y·z operator-global shards (§5: "the granularity of the
+                // key space repartitioning in the RC approach is 8192
+                // shards per operator, the same as in Elasticutor"), and
+                // RC starts with y executors, growing/shrinking from
+                // there.
+                let topo = mc.topology();
+                let profiles = vec![
+                    OperatorProfile {
+                        cost: elasticutor_workload::CostModel::Deterministic { ns: 1 },
+                        output_bytes: mc.tuple_bytes,
+                        state_write_bytes: 0,
+                    },
+                    OperatorProfile {
+                        cost: elasticutor_workload::CostModel::FromTuple,
+                        output_bytes: 0,
+                        state_write_bytes: 0,
+                    },
+                ];
+                let gen_par = mc.generator_parallelism;
+                let mean = mc.cpu_cost_ns;
+                let w = MicroWorkload::new(mc, rng.next_u64());
+                (topo, profiles, SourceImpl::Micro(w), (gen_par, vec![1u64, mean]))
+            }
+            WorkloadKind::Sse(sc) => {
+                let mut sc = sc.clone();
+                let transforms = 12u32; // transactor + 11 analytics
+                if cfg.mode == EngineMode::Static {
+                    sc.executors_per_operator = (total_cores / transforms).max(1);
+                    sc.shards_per_executor = 1;
+                }
+                let topo = sc.topology();
+                let profiles = sc.profiles();
+                let mut means = vec![1u64];
+                means.push(sc.transactor_cost_ns);
+                for _ in 0..11 {
+                    means.push(sc.analytics_cost_ns);
+                }
+                let par = sc.source_parallelism;
+                let w = SseWorkload::new(sc, rng.next_u64());
+                (topo, profiles, SourceImpl::Sse(w), (par, means))
+            }
+        };
+        let (source_parallelism, mean_service_ns) = source_parallelism;
+
+        // Source executor placement: round-robin over nodes.
+        let source_nodes: Vec<NodeId> = (0..source_parallelism)
+            .map(|i| NodeId(i % cfg.cluster.nodes))
+            .collect();
+
+        let cluster_spec = ClusterSpec::uniform(cfg.cluster.nodes, cfg.cluster.cores_per_node);
+
+        // The substrate pins one core per initial executor; fail loudly
+        // up front rather than panicking mid-grant.
+        if cfg.mode != EngineMode::Static {
+            let initial_executors: u32 = topology
+                .operators()
+                .iter()
+                .filter(|op| !topology.upstream(op.id).is_empty())
+                .map(|op| op.parallelism)
+                .sum();
+            assert!(
+                initial_executors <= total_cores,
+                "topology starts {initial_executors} transform executors but the cluster \
+                 has only {total_cores} cores; lower the per-operator parallelism"
+            );
+        }
+
+        let mut engine = Self {
+            net: Network::new(&cfg.cluster),
+            sim: Simulation::new(),
+            source,
+            source_nodes,
+            next_source: 0,
+            pending_emit: None,
+            emitter_scheduled: false,
+            virtual_arrival_ns: 0,
+            execs: Vec::new(),
+            op_execs: vec![Vec::new(); topology.operators().len()],
+            op_partition: Vec::new(),
+            op_repart: vec![None; topology.operators().len()],
+            op_repart_cooldown: vec![0; topology.operators().len()],
+            scheduler: DynamicScheduler::new(SchedulerConfig {
+                latency_target: cfg.latency_target_s,
+                policy: cfg.mode.policy(),
+                phi_base: cfg.phi_base,
+                ..SchedulerConfig::default()
+            }),
+            cluster_spec,
+            assignment: Assignment::empty(1, cfg.cluster.nodes as usize),
+            balancer: LoadBalancer {
+                imbalance_threshold: cfg.imbalance_threshold,
+                ..LoadBalancer::default()
+            },
+            node_used: vec![0; cfg.cluster.nodes as usize],
+            reassigns: Vec::new(),
+            reparts: Vec::new(),
+            queued_total: 0,
+            sources_paused: false,
+            paused_since: None,
+            paused_ns_window: 0,
+            sink_window: SlidingWindowCounter::one_second(),
+            latency_hist: LatencyHistogram::new(),
+            window_hist: LatencyHistogram::new(),
+            throughput_series: TimeSeries::new("throughput_tuples_per_s"),
+            latency_series: TimeSeries::new("latency_ms"),
+            sink_completions: 0,
+            source_emissions: 0,
+            interval_source_emissions: 0,
+            records: Vec::new(),
+            scheduler_wall_us: Vec::new(),
+            scheduler_rounds: 0,
+            warmup_ns: cfg.warmup_ns,
+            mean_service_ns,
+            profiles,
+            rng,
+            topology,
+            cfg,
+        };
+        engine.init_executors();
+        engine
+    }
+
+    /// Places initial executors and partitions per the engine mode.
+    fn init_executors(&mut self) {
+        let nodes = self.cfg.cluster.nodes;
+        let ops: Vec<_> = self.topology.operators().to_vec();
+        let mut next_node = 0u32;
+        for spec in &ops {
+            if self.topology.upstream(spec.id).is_empty() {
+                // Source operator: no transform executors.
+                self.op_partition
+                    .push(OpPartition::Static(StaticHashPartition::new(1)));
+                continue;
+            }
+            match self.cfg.mode {
+                EngineMode::Static | EngineMode::Elastic | EngineMode::NaiveElastic => {
+                    self.op_partition
+                        .push(OpPartition::Static(StaticHashPartition::new(
+                            spec.parallelism,
+                        )));
+                    for i in 0..spec.parallelism {
+                        let node = NodeId(next_node % nodes);
+                        next_node += 1;
+                        let _ = i;
+                        self.spawn_executor(spec.id, node, spec.shards_per_executor, Vec::new());
+                    }
+                }
+                EngineMode::ResourceCentric => {
+                    // Start with the configured y executors; the RC
+                    // scheduler resizes from there. Shards = y·z global.
+                    let initial = spec.parallelism;
+                    let global_shards = spec.parallelism * spec.shards_per_executor;
+                    let partition = DynamicPartition::new(global_shards, initial);
+                    // Executor i owns the shards the round-robin layout
+                    // gives it.
+                    for i in 0..initial {
+                        let node = NodeId(next_node % nodes);
+                        next_node += 1;
+                        let owned: Vec<u32> = (0..global_shards)
+                            .filter(|s| s % initial == i)
+                            .collect();
+                        let _ = i;
+                        self.spawn_executor(spec.id, node, owned.len() as u32, owned);
+                    }
+                    self.op_partition.push(OpPartition::Dynamic(partition));
+                }
+            }
+        }
+
+        // Core bookkeeping + scheduler assignment.
+        match self.cfg.mode {
+            EngineMode::Elastic | EngineMode::NaiveElastic => {
+                let m = self.execs.len();
+                let mut x = Assignment::empty(m, nodes as usize);
+                if let Some(k) = self.cfg.manual_cores {
+                    // Figures 10–12: a single transform executor granted k
+                    // cores, local node first, then round-robin remote.
+                    assert_eq!(m, 1, "manual_cores requires exactly one transform executor");
+                    assert!(
+                        k <= self.cfg.cluster.total_cores(),
+                        "manual_cores exceeds cluster capacity"
+                    );
+                    let local = self.execs[0].local_node;
+                    let per_node = self.cfg.cluster.cores_per_node;
+                    let mut granted = 0u32;
+                    let mut node_iter = (0..nodes).cycle().filter(|&n| NodeId(n) != local);
+                    while granted < k {
+                        let node = if granted < per_node {
+                            local
+                        } else {
+                            NodeId(node_iter.next().expect("nodes"))
+                        };
+                        if x.used_on_node(node) < per_node {
+                            x.grant(0, node, &self.cluster_spec);
+                            granted += 1;
+                        }
+                    }
+                } else {
+                    for (j, e) in self.execs.iter().enumerate() {
+                        x.grant(j, e.local_node, &self.cluster_spec);
+                    }
+                }
+                // Materialize tasks per the assignment.
+                for j in 0..m {
+                    for i in 0..nodes {
+                        let node = NodeId(i);
+                        for _ in 0..x.on_node(j, node) {
+                            self.add_task(j, node);
+                        }
+                    }
+                    self.rebalance_initial(j);
+                }
+                self.assignment = x;
+            }
+            EngineMode::Static | EngineMode::ResourceCentric => {
+                // One core per executor, bookkeeping only.
+                for j in 0..self.execs.len() {
+                    let node = self.execs[j].local_node;
+                    self.node_used[node.index()] += 1;
+                    self.add_task(j, node);
+                    self.rebalance_initial(j);
+                }
+            }
+        }
+
+        // Prime the event loop.
+        self.schedule_source_emit();
+        self.sim
+            .schedule_after(self.cfg.sample_period_ns, Ev::Sample);
+        if self.cfg.mode != EngineMode::Static {
+            self.sim
+                .schedule_after(self.cfg.scheduling_interval_ns, Ev::SchedTick);
+        }
+    }
+
+    fn spawn_executor(
+        &mut self,
+        op: OperatorId,
+        node: NodeId,
+        num_shards: u32,
+        rc_global_shards: Vec<u32>,
+    ) -> usize {
+        let idx = self.execs.len();
+        let is_rc = matches!(self.cfg.mode, EngineMode::ResourceCentric);
+        self.execs.push(ExecRt {
+            op,
+            is_rc,
+            local_node: node,
+            routing: RoutingTable::new(num_shards.max(1), TaskId(0)),
+            tasks: BTreeMap::new(),
+            next_task: 0,
+            shard_load_ns: vec![0.0; num_shards.max(1) as usize],
+            arrivals: 0,
+            ewma_lambda: 0.0,
+            served: 0,
+            service_ns_sum: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            rc_global_shards,
+            rc_retired: false,
+        });
+        self.op_execs[op.index()].push(idx);
+        idx
+    }
+
+    pub(crate) fn add_task(&mut self, exec: usize, node: NodeId) -> TaskId {
+        let e = &mut self.execs[exec];
+        let id = TaskId(e.next_task);
+        e.next_task += 1;
+        e.tasks.insert(id, TaskRt::new(node));
+        id
+    }
+
+    /// Spreads shards evenly across a fresh executor's tasks (no protocol
+    /// needed before the run starts).
+    fn rebalance_initial(&mut self, exec: usize) {
+        let e = &mut self.execs[exec];
+        let tasks: Vec<TaskId> = e.tasks.keys().copied().collect();
+        if tasks.is_empty() {
+            return;
+        }
+        let n = e.routing.num_shards();
+        for s in 0..n {
+            let t = tasks[(s as usize) % tasks.len()];
+            e.routing.set_task(ShardId(s), t).expect("fresh shard");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation to `duration_ns` and returns the report.
+    pub fn run(mut self) -> RunReport {
+        let deadline = self.cfg.duration_ns;
+        while let Some(ev) = self.sim.pop_until(deadline) {
+            self.handle(ev);
+        }
+        self.build_report()
+    }
+
+    /// Like [`Self::run`], printing a one-line engine state dump each
+    /// simulated second (development diagnostics).
+    pub fn run_debug(mut self) -> RunReport {
+        let deadline = self.cfg.duration_ns;
+        let mut next_dump = 0u64;
+        while let Some(ev) = self.sim.pop_until(deadline) {
+            self.handle(ev);
+            if self.sim.now() >= next_dump {
+                next_dump += 1_000_000_000;
+                let tasks: Vec<usize> = self.execs.iter().map(|e| e.tasks.len()).collect();
+                let queues: Vec<usize> = self.execs.iter().map(|e| e.total_queued()).collect();
+                let live = self
+                    .execs
+                    .iter()
+                    .filter(|e| !e.rc_retired)
+                    .count();
+                let reparts_live = self.op_repart.iter().filter(|r| r.is_some()).count();
+                eprintln!(
+                    "t={:3}s queued={:6} paused={} emissions={:6} execs={} reparts={} tasks={:?} queues={:?}",
+                    self.sim.now() / 1_000_000_000,
+                    self.queued_total,
+                    self.sources_paused,
+                    self.interval_source_emissions,
+                    live,
+                    reparts_live,
+                    tasks,
+                    queues,
+                );
+            }
+        }
+        self.build_report()
+    }
+
+    pub(crate) fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::SourceEmit => self.on_source_emit(),
+            Ev::Ingest { exec, tuple } => self.on_ingest(exec, tuple),
+            Ev::RemoteDeliver { exec, task, tuple } => {
+                // The tuple was counted while on the wire; enqueue_task
+                // re-counts it in the task queue.
+                self.queued_total -= 1;
+                self.enqueue_task(exec, task, Work::Tuple(tuple));
+            }
+            Ev::TaskDone { exec, task } => self.on_task_done(exec, task),
+            Ev::LabelArrive {
+                exec,
+                task,
+                reassign,
+            } => self.on_label_arrive(exec, task, reassign),
+            Ev::EmitterForward { exec, tuple } => self.forward_downstream(exec, tuple),
+            Ev::StateArrived { reassign } => self.on_state_arrived(reassign),
+            Ev::SchedTick => self.on_sched_tick(),
+            Ev::Sample => self.on_sample(),
+            Ev::Repart { id, phase } => self.on_repart_phase(id, phase),
+            Ev::DrainPoll { id } => self.on_drain_poll(id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    fn schedule_source_emit(&mut self) {
+        let now = self.sim.now();
+        if self.pending_emit.is_none() {
+            // Draw the next arrival on the virtual clock: the outside
+            // world does not stop producing while we are backpressured.
+            let (gap, t) = self.source.next_tuple(self.virtual_arrival_ns);
+            self.virtual_arrival_ns += gap;
+            let tuple = SimTuple {
+                key: t.key,
+                payload: t.payload_bytes,
+                cost_hint: t.cpu_cost_ns,
+                created_ns: self.virtual_arrival_ns,
+                op: 0, // set per downstream edge at emission
+            };
+            self.pending_emit = Some((self.virtual_arrival_ns, tuple));
+        }
+        let (at, _) = self.pending_emit.expect("just set");
+        self.sim.schedule_at(at.max(now), Ev::SourceEmit);
+        self.emitter_scheduled = true;
+    }
+
+    fn on_source_emit(&mut self) {
+        if self.sources_paused {
+            self.emitter_scheduled = false;
+            return;
+        }
+        let Some((_, tuple)) = self.pending_emit.take() else {
+            return;
+        };
+        let now = self.sim.now();
+        let src_node = self.source_nodes[self.next_source % self.source_nodes.len()];
+        self.next_source += 1;
+        if now >= self.warmup_ns {
+            self.source_emissions += 1;
+        }
+        self.interval_source_emissions += 1;
+        // Sources are operator 0 by construction (single-source
+        // topologies in this evaluation).
+        let source_op = self
+            .topology
+            .sources()
+            .next()
+            .expect("topology has a source")
+            .id;
+        let downstream: Vec<OperatorId> = self.topology.downstream(source_op).to_vec();
+        for down in downstream {
+            let mut t = tuple;
+            t.op = down.0;
+            self.route_to_operator(src_node, down, t);
+        }
+        self.schedule_source_emit();
+    }
+
+    pub(crate) fn pause_sources_if_needed(&mut self) {
+        if !self.sources_paused && self.queued_total > self.cfg.backpressure_high {
+            self.sources_paused = true;
+            self.paused_since = Some(self.sim.now());
+        }
+    }
+
+    pub(crate) fn resume_sources_if_possible(&mut self) {
+        if self.sources_paused && self.queued_total < self.cfg.backpressure_low {
+            self.sources_paused = false;
+            if let Some(since) = self.paused_since.take() {
+                self.paused_ns_window += self.sim.now().saturating_sub(since);
+            }
+            if !self.emitter_scheduled {
+                // Resume emission; the pending tuple (if any) goes out now.
+                self.schedule_source_emit();
+            }
+        }
+    }
+
+    /// Demand-inflation factor for the closing scheduling window. Under
+    /// backpressure the *admitted* rate is censored at current capacity:
+    /// if sources were paused for a fraction `p` of the window, the true
+    /// offered rate is at least `admitted / (1 - p)`. Feeding the raw
+    /// (censored) rate to the performance model would make it believe the
+    /// current allocation suffices, freezing a saturated system at its
+    /// current size; de-censoring lets the allocation converge in a few
+    /// rounds. Capped to damp noise from transient pauses.
+    pub(crate) fn take_window_demand_inflation(&mut self) -> f64 {
+        let now = self.sim.now();
+        if let Some(since) = self.paused_since {
+            self.paused_ns_window += now.saturating_sub(since);
+            self.paused_since = Some(now);
+        }
+        let p = (self.paused_ns_window as f64 / self.cfg.scheduling_interval_ns as f64)
+            .clamp(0.0, 0.95);
+        self.paused_ns_window = 0;
+        (1.0 / (1.0 - p)).min(4.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Routing + data plane
+    // ------------------------------------------------------------------
+
+    /// Sends `tuple` from `from_node` to the owning executor of operator
+    /// `op` for its key (or buffers it if the operator is mid-repartition).
+    pub(crate) fn route_to_operator(&mut self, from_node: NodeId, op: OperatorId, tuple: SimTuple) {
+        if let Some(rid) = self.op_repart[op.index()] {
+            self.reparts[rid].buffered.push_back((from_node, tuple));
+            self.queued_total += 1;
+            self.pause_sources_if_needed();
+            return;
+        }
+        let exec = match &self.op_partition[op.index()] {
+            OpPartition::Static(p) => {
+                let e = p.executor_for(tuple.key);
+                self.op_execs[op.index()][e.index()]
+            }
+            OpPartition::Dynamic(p) => {
+                let e = p.executor_for(tuple.key);
+                self.op_execs[op.index()][e.index()]
+            }
+        };
+        let dst = self.execs[exec].local_node;
+        let now = self.sim.now();
+        // Tuples on the inter-operator wire count toward backpressure
+        // (Storm's max-spout-pending tracks every unacked tuple): without
+        // this, a source resuming after a pause could flood an unbounded
+        // in-flight batch before the first one lands in a queue.
+        self.queued_total += 1;
+        self.pause_sources_if_needed();
+        let arrival = self
+            .net
+            .send(now, from_node, dst, tuple.wire_bytes(), TrafficClass::InterOperator);
+        self.sim.schedule_at(arrival, Ev::Ingest { exec, tuple });
+    }
+
+    fn on_ingest(&mut self, exec: usize, tuple: SimTuple) {
+        // Off the wire; the routing decision below re-counts it (queue,
+        // pause buffer, or remote-task hop).
+        self.queued_total -= 1;
+        let now = self.sim.now();
+        let is_rc = self.execs[exec].is_rc;
+        {
+            let e = &mut self.execs[exec];
+            e.arrivals += 1;
+            e.bytes_in += tuple.wire_bytes();
+        }
+        if is_rc {
+            // RC executors have exactly one task on their local node;
+            // the receiver hands tuples straight to it. If the tuple's
+            // global shard moved away while in flight (stale routing
+            // right after a repartition), bounce it back through the
+            // partition.
+            let global = match &self.op_partition[self.execs[exec].op.index()] {
+                OpPartition::Dynamic(p) => p.shard_for(tuple.key).0,
+                OpPartition::Static(_) => unreachable!("RC exec under static partition"),
+            };
+            match self.execs[exec].rc_global_shards.binary_search(&global) {
+                Err(_) => {
+                    let op = self.execs[exec].op;
+                    let node = self.execs[exec].local_node;
+                    self.route_to_operator(node, op, tuple);
+                    return;
+                }
+                Ok(slot) => {
+                    let demand = self.expected_cost_ns(&tuple);
+                    self.execs[exec].shard_load_ns[slot] += demand;
+                }
+            }
+            let task = *self.execs[exec].tasks.keys().next().expect("RC task");
+            self.enqueue_task(exec, task, Work::Tuple(tuple));
+            return;
+        }
+
+        let local_shard = self.execs[exec].routing.shard_for(tuple.key);
+        let demand = self.expected_cost_ns(&tuple);
+        self.execs[exec].shard_load_ns[local_shard.index()] += demand;
+        let decision = self.execs[exec].routing.route_shard(local_shard, tuple);
+        match decision {
+            RouteDecision::Buffered(_) => {
+                self.queued_total += 1;
+                self.pause_sources_if_needed();
+            }
+            RouteDecision::Deliver(task, tuple) => {
+                let task_node = self.execs[exec]
+                    .tasks
+                    .get(&task)
+                    .expect("routed to live task")
+                    .node;
+                let local = self.execs[exec].local_node;
+                if task_node == local {
+                    self.enqueue_task(exec, task, Work::Tuple(tuple));
+                } else {
+                    // Count wire-bound tuples toward backpressure: under
+                    // data-intensive workloads (Figures 10–11) the remote
+                    // egress is the bottleneck and an uncounted wire
+                    // backlog would grow without bound.
+                    self.queued_total += 1;
+                    self.pause_sources_if_needed();
+                    let arrival = self.net.send(
+                        now,
+                        local,
+                        task_node,
+                        tuple.wire_bytes(),
+                        TrafficClass::RemoteTask,
+                    );
+                    self.sim
+                        .schedule_at(arrival, Ev::RemoteDeliver { exec, task, tuple });
+                }
+            }
+        }
+    }
+
+    /// Expected service demand of `tuple` at its operator — the
+    /// *demand-true* load signal used for shard-load accounting. Unlike
+    /// consumed service time, it is not capped by a saturated core.
+    fn expected_cost_ns(&self, tuple: &SimTuple) -> f64 {
+        match self.profiles[tuple.op as usize].cost {
+            elasticutor_workload::CostModel::FromTuple => tuple.cost_hint.max(1) as f64,
+            elasticutor_workload::CostModel::Exponential { mean_ns } => mean_ns as f64,
+            elasticutor_workload::CostModel::Deterministic { ns } => ns.max(1) as f64,
+        }
+    }
+
+    pub(crate) fn enqueue_task(&mut self, exec: usize, task: TaskId, work: Work) {
+        if matches!(work, Work::Tuple(_)) {
+            self.queued_total += 1;
+            self.pause_sources_if_needed();
+        }
+        let needs_start = {
+            let e = &mut self.execs[exec];
+            let t = e.tasks.get_mut(&task).expect("enqueue to live task");
+            t.queue.push_back(work);
+            !t.busy
+        };
+        if needs_start {
+            self.start_service(exec, task);
+        }
+    }
+
+    /// Pops work until the task is busy on a tuple or idle.
+    pub(crate) fn start_service(&mut self, exec: usize, task: TaskId) {
+        loop {
+            let e = &mut self.execs[exec];
+            let Some(t) = e.tasks.get_mut(&task) else {
+                return; // removed while handling a label
+            };
+            if t.busy {
+                // A label handled below can transitively re-enter
+                // start_service for this very task (label → finish
+                // reassignment → deliver buffered → enqueue here). The
+                // inner call already started service; nothing to do.
+                return;
+            }
+            match t.queue.pop_front() {
+                None => return,
+                Some(Work::Tuple(tuple)) => {
+                    let cost = self.profiles[tuple.op as usize].cost;
+                    let core_tuple = elasticutor_core::tuple::Tuple::new(
+                        tuple.key,
+                        tuple.payload,
+                        tuple.cost_hint,
+                        tuple.created_ns,
+                    );
+                    let service = cost.draw(&core_tuple, &mut self.rng);
+                    let t = self.execs[exec].tasks.get_mut(&task).expect("live");
+                    t.busy = true;
+                    t.current = Some((tuple, service));
+                    self.sim.schedule_after(service, Ev::TaskDone { exec, task });
+                    return;
+                }
+                Some(Work::Label(rid)) => {
+                    self.on_label_reached(rid);
+                    // Loop re-checks existence and busy state: the label
+                    // may have drained this retiring task away, or
+                    // re-entered service on it.
+                }
+            }
+        }
+    }
+
+    fn on_task_done(&mut self, exec: usize, task: TaskId) {
+        let now = self.sim.now();
+        let (tuple, service) = {
+            let e = &mut self.execs[exec];
+            let t = e.tasks.get_mut(&task).expect("done on live task");
+            t.busy = false;
+            t.current.take().expect("task was serving")
+        };
+        self.queued_total -= 1;
+
+        // Accounting (shard demand is charged at ingest; here we only
+        // track μ inputs).
+        {
+            let e = &mut self.execs[exec];
+            e.served += 1;
+            e.service_ns_sum += service;
+        }
+
+        // Emit downstream or complete at sink.
+        let op = OperatorId(tuple.op);
+        let downstream: Vec<OperatorId> = self.topology.downstream(op).to_vec();
+        if downstream.is_empty() {
+            if now >= self.warmup_ns {
+                let latency = now.saturating_sub(tuple.created_ns);
+                self.latency_hist.record(latency);
+                self.window_hist.record(latency);
+                self.sink_window.record_at(now, 1);
+                self.sink_completions += 1;
+            } else {
+                self.sink_window.record_at(now, 1);
+            }
+        } else {
+            let out_bytes = self.profiles[tuple.op as usize].output_bytes;
+            let task_node = self.execs[exec].tasks[&task].node;
+            let local_node = self.execs[exec].local_node;
+            let mut out = tuple;
+            out.payload = out_bytes;
+            self.execs[exec].bytes_out +=
+                out.wire_bytes() * downstream.len() as u64;
+            if task_node == local_node {
+                for &d in &downstream {
+                    let mut t = out;
+                    t.op = d.0;
+                    self.route_to_operator(local_node, d, t);
+                }
+            } else {
+                // Remote task: outputs hop back to the main-process
+                // emitter first (§3.3: remote processes only talk to the
+                // receiver/emitter of the main process). The hop counts
+                // as in-flight.
+                for &d in &downstream {
+                    let mut t = out;
+                    t.op = d.0;
+                    self.queued_total += 1;
+                    self.pause_sources_if_needed();
+                    let arrival = self.net.send(
+                        now,
+                        task_node,
+                        local_node,
+                        t.wire_bytes(),
+                        TrafficClass::RemoteTask,
+                    );
+                    self.sim
+                        .schedule_at(arrival, Ev::EmitterForward { exec, tuple: t });
+                }
+            }
+        }
+
+        self.resume_sources_if_possible();
+
+        // Next unit of work (or retire).
+        let (queue_empty, retiring, owns_shards) = {
+            let e = &self.execs[exec];
+            let t = e.tasks.get(&task).expect("live");
+            (
+                t.queue.is_empty(),
+                t.retiring,
+                !e.routing.shards_of(task).is_empty(),
+            )
+        };
+        if queue_empty && retiring && !owns_shards {
+            self.execs[exec].tasks.remove(&task);
+            return;
+        }
+        if !queue_empty {
+            self.start_service(exec, task);
+        }
+    }
+
+    fn forward_downstream(&mut self, exec: usize, tuple: SimTuple) {
+        // Off the remote-task hop; route_to_operator re-counts it.
+        self.queued_total -= 1;
+        let node = self.execs[exec].local_node;
+        let op = OperatorId(tuple.op);
+        self.route_to_operator(node, op, tuple);
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    fn on_sample(&mut self) {
+        let now = self.sim.now();
+        let rate = self.sink_window.rate_at(now);
+        self.throughput_series.push(now, rate);
+        let mean_ms = self.window_hist.mean_ns() / 1e6;
+        self.latency_series.push(now, mean_ms);
+        self.window_hist.clear();
+        self.sim.schedule_after(self.cfg.sample_period_ns, Ev::Sample);
+    }
+
+    fn build_report(self) -> RunReport {
+        let measured_ns = self.cfg.duration_ns.saturating_sub(self.warmup_ns);
+        let throughput = if measured_ns > 0 {
+            self.sink_completions as f64 * 1e9 / measured_ns as f64
+        } else {
+            0.0
+        };
+        RunReport {
+            mode: self.cfg.mode.name(),
+            duration_ns: self.cfg.duration_ns,
+            sink_completions: self.sink_completions,
+            throughput,
+            source_emissions: self.source_emissions,
+            latency: self.latency_hist,
+            throughput_series: self.throughput_series,
+            latency_series: self.latency_series,
+            reassignments: self.records,
+            state_migration_bytes: self.net.bytes_state_migration(),
+            remote_task_bytes: self.net.bytes_remote_task(),
+            inter_operator_bytes: self.net.bytes_inter_operator(),
+            scheduler_wall_us: self.scheduler_wall_us,
+            scheduler_rounds: self.scheduler_rounds,
+            events_processed: self.sim.processed(),
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The hybrid elasticity planner — the paper's §4.2 future-work sketch.
+//!
+//! Elastic executors give *rapid* elasticity, but the operator-level key
+//! partition is static: under extreme skew one executor's key subspace
+//! can outgrow what even a whole node's cores can serve, and when the
+//! total workload collapses, idle executors pin nodes that could be
+//! freed. The paper proposes a hybrid: keep elastic executors for
+//! fast-path load balancing, and *infrequently* (minutes, not
+//! milliseconds) fall back to operator-level repartitioning to split
+//! persistently overloaded executors or merge persistently idle ones.
+//!
+//! This module implements that coarse-grained planner. It consumes
+//! per-executor load history and produces [`HybridAction`]s; executing a
+//! split/merge costs a full operator-level repartition (the expensive
+//! RC-style protocol), which is why the planner demands *sustained*
+//! evidence before acting:
+//!
+//! * **split** an executor whose demand exceeded `split_cores` cores for
+//!   `sustain_windows` consecutive windows — beyond that point remote
+//!   tasks dominate and per-shard balancing stops helping;
+//! * **merge** the two least-loaded executors of an operator when their
+//!   combined demand stayed under `merge_cores` cores — freeing one
+//!   executor's worth of bookkeeping and (eventually) its node.
+//!
+//! Hysteresis: an executor must leave the trigger region to be eligible
+//! again, so an executor oscillating around the threshold cannot cause
+//! repartition churn.
+
+use std::collections::HashMap;
+
+/// Configuration of the hybrid planner.
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// Demand (in cores) above which an executor is split-eligible.
+    pub split_cores: f64,
+    /// Combined demand (in cores) below which a pair of executors of the
+    /// same operator is merge-eligible.
+    pub merge_cores: f64,
+    /// Consecutive over/under-threshold windows required before acting.
+    pub sustain_windows: u32,
+    /// Minimum executors an operator must keep (merging never goes
+    /// below this).
+    pub min_executors_per_operator: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            split_cores: 16.0,
+            merge_cores: 0.5,
+            sustain_windows: 10,
+            min_executors_per_operator: 1,
+        }
+    }
+}
+
+/// One executor's load sample for a planning window.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSample {
+    /// Operator the executor belongs to.
+    pub operator: u32,
+    /// Executor's global id.
+    pub executor: u32,
+    /// Measured demand in cores (λ/μ).
+    pub demand_cores: f64,
+}
+
+/// A coarse-grained restructuring decision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HybridAction {
+    /// Split `executor` of `operator`: halve its key subspace, moving
+    /// the upper half (and its shards' state) to a new executor.
+    Split {
+        /// Operator owning the executor.
+        operator: u32,
+        /// The persistently overloaded executor.
+        executor: u32,
+        /// Its mean demand over the sustained window, in cores.
+        demand_cores: f64,
+    },
+    /// Merge `from` into `into` (both of `operator`): `from`'s key
+    /// subspace and state move to `into`, and `from` is retired.
+    Merge {
+        /// Operator owning both executors.
+        operator: u32,
+        /// Executor to retire.
+        from: u32,
+        /// Executor that absorbs the key subspace.
+        into: u32,
+        /// Combined mean demand, in cores.
+        demand_cores: f64,
+    },
+}
+
+/// Tracks sustained evidence per executor/pair.
+#[derive(Clone, Copy, Debug, Default)]
+struct Streak {
+    over: u32,
+    under: u32,
+    /// Set after an action fires; cleared once the executor leaves the
+    /// trigger region (the hysteresis latch).
+    latched: bool,
+}
+
+/// The hybrid split/merge planner (paper §4.2's coarse-granularity
+/// "detect and split those overloaded executors ... every 10 minutes").
+#[derive(Debug, Default)]
+pub struct HybridPlanner {
+    config: HybridConfig,
+    streaks: HashMap<u32, Streak>,
+    demand_sums: HashMap<u32, f64>,
+}
+
+impl HybridPlanner {
+    /// Creates a planner.
+    pub fn new(config: HybridConfig) -> Self {
+        Self {
+            config,
+            streaks: HashMap::new(),
+            demand_sums: HashMap::new(),
+        }
+    }
+
+    /// Feeds one window of load samples and returns any actions that
+    /// became due. Call once per coarse window (e.g. every 10 s–10 min;
+    /// the paper suggests minutes).
+    pub fn observe(&mut self, samples: &[LoadSample]) -> Vec<HybridAction> {
+        let mut actions = Vec::new();
+
+        // --- split detection (per executor) ---
+        for s in samples {
+            let streak = self.streaks.entry(s.executor).or_default();
+            let sum = self.demand_sums.entry(s.executor).or_insert(0.0);
+            if s.demand_cores > self.config.split_cores {
+                if streak.latched {
+                    continue; // acted already; wait for it to cool down
+                }
+                streak.over += 1;
+                *sum += s.demand_cores;
+                if streak.over >= self.config.sustain_windows {
+                    actions.push(HybridAction::Split {
+                        operator: s.operator,
+                        executor: s.executor,
+                        demand_cores: *sum / f64::from(streak.over),
+                    });
+                    streak.over = 0;
+                    streak.latched = true;
+                    *sum = 0.0;
+                }
+            } else {
+                streak.over = 0;
+                streak.latched = false;
+                *sum = 0.0;
+            }
+        }
+
+        // --- merge detection (per operator: two coldest executors) ---
+        let mut by_op: HashMap<u32, Vec<&LoadSample>> = HashMap::new();
+        for s in samples {
+            by_op.entry(s.operator).or_default().push(s);
+        }
+        for (op, mut execs) in by_op {
+            if execs.len() <= self.config.min_executors_per_operator || execs.len() < 2 {
+                continue;
+            }
+            execs.sort_by(|a, b| {
+                a.demand_cores
+                    .partial_cmp(&b.demand_cores)
+                    .expect("finite demand")
+            });
+            let (a, b) = (execs[0], execs[1]);
+            let combined = a.demand_cores + b.demand_cores;
+            // Track the pair's streak on the colder executor's id.
+            let streak = self.streaks.entry(a.executor).or_default();
+            if combined < self.config.merge_cores {
+                if streak.latched {
+                    continue;
+                }
+                streak.under += 1;
+                if streak.under >= self.config.sustain_windows {
+                    actions.push(HybridAction::Merge {
+                        operator: op,
+                        from: a.executor,
+                        into: b.executor,
+                        demand_cores: combined,
+                    });
+                    streak.under = 0;
+                    streak.latched = true;
+                }
+            } else {
+                streak.under = 0;
+            }
+        }
+
+        actions
+    }
+
+    /// Forgets an executor's history (call after executing a split or
+    /// merge, when ids are reassigned).
+    pub fn forget(&mut self, executor: u32) {
+        self.streaks.remove(&executor);
+        self.demand_sums.remove(&executor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(op: u32, exec: u32, demand: f64) -> LoadSample {
+        LoadSample {
+            operator: op,
+            executor: exec,
+            demand_cores: demand,
+        }
+    }
+
+    fn planner(sustain: u32) -> HybridPlanner {
+        HybridPlanner::new(HybridConfig {
+            split_cores: 16.0,
+            merge_cores: 0.5,
+            sustain_windows: sustain,
+            min_executors_per_operator: 1,
+        })
+    }
+
+    #[test]
+    fn split_requires_sustained_overload() {
+        let mut p = planner(3);
+        // Two hot windows, one cool window: streak resets.
+        assert!(p.observe(&[sample(0, 1, 20.0)]).is_empty());
+        assert!(p.observe(&[sample(0, 1, 22.0)]).is_empty());
+        assert!(p.observe(&[sample(0, 1, 2.0)]).is_empty());
+        assert!(p.observe(&[sample(0, 1, 25.0)]).is_empty());
+        assert!(p.observe(&[sample(0, 1, 25.0)]).is_empty());
+        let actions = p.observe(&[sample(0, 1, 25.0)]);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            HybridAction::Split {
+                operator,
+                executor,
+                demand_cores,
+            } => {
+                assert_eq!((*operator, *executor), (0, 1));
+                assert!((demand_cores - 25.0).abs() < 1e-9);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_latches_until_cooldown() {
+        let mut p = planner(2);
+        p.observe(&[sample(0, 7, 30.0)]);
+        let fired = p.observe(&[sample(0, 7, 30.0)]);
+        assert_eq!(fired.len(), 1);
+        // Still hot: no duplicate action while latched.
+        for _ in 0..5 {
+            assert!(p.observe(&[sample(0, 7, 30.0)]).is_empty());
+        }
+        // Cools down, then reheats: eligible again.
+        assert!(p.observe(&[sample(0, 7, 1.0)]).is_empty());
+        p.observe(&[sample(0, 7, 30.0)]);
+        assert_eq!(p.observe(&[sample(0, 7, 30.0)]).len(), 1);
+    }
+
+    #[test]
+    fn merge_pairs_two_coldest() {
+        let mut p = planner(2);
+        let window = [
+            sample(1, 10, 0.1),
+            sample(1, 11, 0.2),
+            sample(1, 12, 8.0),
+        ];
+        assert!(p.observe(&window).is_empty());
+        let actions = p.observe(&window);
+        assert_eq!(
+            actions,
+            vec![HybridAction::Merge {
+                operator: 1,
+                from: 10,
+                into: 11,
+                demand_cores: 0.30000000000000004,
+            }]
+        );
+    }
+
+    #[test]
+    fn merge_respects_minimum_parallelism() {
+        let mut p = HybridPlanner::new(HybridConfig {
+            sustain_windows: 1,
+            min_executors_per_operator: 2,
+            ..HybridConfig::default()
+        });
+        let window = [sample(0, 1, 0.1), sample(0, 2, 0.1)];
+        assert!(
+            p.observe(&window).is_empty(),
+            "cannot merge below the operator's minimum"
+        );
+    }
+
+    #[test]
+    fn busy_operators_are_left_alone() {
+        let mut p = planner(1);
+        let window = [
+            sample(0, 1, 4.0),
+            sample(0, 2, 5.0),
+            sample(0, 3, 6.0),
+        ];
+        for _ in 0..10 {
+            assert!(p.observe(&window).is_empty());
+        }
+    }
+
+    #[test]
+    fn forget_clears_history() {
+        let mut p = planner(2);
+        p.observe(&[sample(0, 1, 30.0)]);
+        p.forget(1);
+        // Streak restarted: needs the full sustain again.
+        assert!(p.observe(&[sample(0, 1, 30.0)]).is_empty());
+        assert_eq!(p.observe(&[sample(0, 1, 30.0)]).len(), 1);
+    }
+
+    #[test]
+    fn independent_executors_tracked_separately() {
+        let mut p = planner(2);
+        p.observe(&[sample(0, 1, 30.0), sample(0, 2, 30.0)]);
+        let actions = p.observe(&[sample(0, 1, 30.0), sample(0, 2, 30.0)]);
+        assert_eq!(actions.len(), 2, "both hot executors split");
+    }
+}

@@ -1,0 +1,43 @@
+//! # elasticutor-cluster
+//!
+//! A discrete-event-simulated cluster running the three execution
+//! paradigms of the paper on identical substrates:
+//!
+//! * **static** — one single-threaded executor per CPU core, static
+//!   operator-level key partitioning, no elasticity;
+//! * **resource-centric (RC)** — executors bound one-to-one to cores,
+//!   elasticity via operator-level key repartitioning with the expensive
+//!   4-phase global synchronization protocol;
+//! * **executor-centric (Elasticutor)** — static operator-level
+//!   partitioning, elastic executors with shards/tasks, intra-executor
+//!   load balancing, the labeling-tuple consistent-reassignment protocol,
+//!   and the model-based dynamic scheduler (plus the *naive-EC* ablation
+//!   that disables the scheduler's cost/locality optimizations).
+//!
+//! The algorithms under test — routing tables, the FFD load balancer,
+//! Algorithm 1, the queueing model — are the *same library code* the live
+//! runtime uses; only CPU cores and network links are simulated. See
+//! DESIGN.md §3 for why this substitution preserves the paper's effects.
+//!
+//! Modules:
+//! * [`config`] — cluster + experiment configuration (defaults mirror the
+//!   paper's 32×8-core EC2 testbed with 1 Gbps links).
+//! * [`net`] — the network model: per-node egress serialization,
+//!   bandwidth, propagation latency, byte accounting.
+//! * [`engine`] — the event-driven data plane and control protocols.
+//! * [`report`] — run reports: throughput/latency series, reassignment
+//!   timing breakdowns, migration and remote-transfer rates.
+
+#![warn(missing_docs)]
+
+pub mod config;
+mod control;
+pub mod engine;
+pub mod hybrid;
+pub mod net;
+pub mod report;
+
+pub use config::{ClusterConfig, EngineMode, ExperimentConfig, WorkloadKind};
+pub use engine::ClusterEngine;
+pub use hybrid::{HybridAction, HybridConfig, HybridPlanner, LoadSample};
+pub use report::{ReassignmentRecord, RunReport};

@@ -1,0 +1,196 @@
+//! The network model.
+//!
+//! Each node has one full-duplex NIC. Outbound messages **serialize on
+//! the sender's egress**: a transfer of `b` bytes occupies the egress for
+//! `b / bandwidth` seconds, and arrives one propagation latency after its
+//! egress slot ends. Intra-node messages bypass the NIC and cost a small
+//! constant. This first-order model captures the effects the paper
+//! depends on: remote tasks consume sender bandwidth proportionally to
+//! tuple size (Figures 10–11's data-intensity wall), and large state
+//! migrations occupy links for `size / bandwidth` (Figure 9b).
+
+use elasticutor_core::ids::NodeId;
+
+use crate::config::ClusterConfig;
+
+/// Classifies traffic for the byte-rate accounting of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Tuples flowing between operators (receiver → downstream receiver).
+    InterOperator,
+    /// Tuples between an executor's main process and its remote tasks.
+    RemoteTask,
+    /// Migrated shard state.
+    StateMigration,
+    /// Control-plane messages.
+    Control,
+}
+
+/// Per-node egress bookkeeping plus global byte counters.
+#[derive(Debug)]
+pub struct Network {
+    /// Earliest time each node's egress is free.
+    egress_free_at: Vec<u64>,
+    bandwidth: f64,
+    link_latency_ns: u64,
+    local_latency_ns: u64,
+    /// Cumulative bytes by traffic class (remote transfers only; local
+    /// hops are free and uncounted).
+    bytes_inter_operator: u64,
+    bytes_remote_task: u64,
+    bytes_state_migration: u64,
+    bytes_control: u64,
+}
+
+impl Network {
+    /// Builds the network for a cluster.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        Self {
+            egress_free_at: vec![0; cfg.nodes as usize],
+            bandwidth: cfg.link_bandwidth,
+            link_latency_ns: cfg.link_latency_ns,
+            local_latency_ns: cfg.local_latency_ns,
+            bytes_inter_operator: 0,
+            bytes_remote_task: 0,
+            bytes_state_migration: 0,
+            bytes_control: 0,
+        }
+    }
+
+    /// Schedules a transfer of `bytes` from `src` to `dst` starting no
+    /// earlier than `now`. Returns the arrival time at `dst`.
+    ///
+    /// Cross-node transfers serialize on `src`'s egress and are charged
+    /// to `class`. Intra-node messages cost `local_latency` and are not
+    /// charged (memory bandwidth is not the bottleneck under study).
+    pub fn send(
+        &mut self,
+        now: u64,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        class: TrafficClass,
+    ) -> u64 {
+        if src == dst {
+            return now + self.local_latency_ns;
+        }
+        let wire_ns = (bytes as f64 / self.bandwidth * 1e9).ceil() as u64;
+        let start = self.egress_free_at[src.index()].max(now);
+        let egress_done = start + wire_ns;
+        self.egress_free_at[src.index()] = egress_done;
+        match class {
+            TrafficClass::InterOperator => self.bytes_inter_operator += bytes,
+            TrafficClass::RemoteTask => self.bytes_remote_task += bytes,
+            TrafficClass::StateMigration => self.bytes_state_migration += bytes,
+            TrafficClass::Control => self.bytes_control += bytes,
+        }
+        egress_done + self.link_latency_ns
+    }
+
+    /// Latency-only control message (bytes negligible). Still crosses the
+    /// wire: costs one link latency between distinct nodes, local latency
+    /// otherwise. Does not occupy egress.
+    pub fn control_delay(&self, src: NodeId, dst: NodeId, control_latency_ns: u64) -> u64 {
+        if src == dst {
+            self.local_latency_ns
+        } else {
+            control_latency_ns
+        }
+    }
+
+    /// Cumulative remote bytes carried between operators.
+    pub fn bytes_inter_operator(&self) -> u64 {
+        self.bytes_inter_operator
+    }
+
+    /// Cumulative remote bytes between main processes and remote tasks —
+    /// the "remote data transfer" of Table 2.
+    pub fn bytes_remote_task(&self) -> u64 {
+        self.bytes_remote_task
+    }
+
+    /// Cumulative migrated-state bytes — the "state migration" of
+    /// Table 2.
+    pub fn bytes_state_migration(&self) -> u64 {
+        self.bytes_state_migration
+    }
+
+    /// Cumulative control bytes.
+    pub fn bytes_control(&self) -> u64 {
+        self.bytes_control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(&ClusterConfig {
+            nodes: 4,
+            cores_per_node: 2,
+            link_bandwidth: 1000.0, // 1000 B/s → 1 ms per byte
+            link_latency_ns: 1_000_000,
+            local_latency_ns: 1_000,
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn local_messages_are_cheap_and_uncounted() {
+        let mut n = net();
+        let t = n.send(100, NodeId(0), NodeId(0), 1_000_000, TrafficClass::InterOperator);
+        assert_eq!(t, 100 + 1_000);
+        assert_eq!(n.bytes_inter_operator(), 0);
+    }
+
+    #[test]
+    fn remote_transfer_time_is_bytes_over_bandwidth_plus_latency() {
+        let mut n = net();
+        // 500 bytes at 1000 B/s = 0.5 s = 5e8 ns, plus 1 ms latency.
+        let t = n.send(0, NodeId(0), NodeId(1), 500, TrafficClass::StateMigration);
+        assert_eq!(t, 500_000_000 + 1_000_000);
+        assert_eq!(n.bytes_state_migration(), 500);
+    }
+
+    #[test]
+    fn egress_serializes() {
+        let mut n = net();
+        let t1 = n.send(0, NodeId(0), NodeId(1), 100, TrafficClass::InterOperator);
+        let t2 = n.send(0, NodeId(0), NodeId(2), 100, TrafficClass::InterOperator);
+        // Second transfer waits for the first's egress slot.
+        assert_eq!(t1, 100_000_000 + 1_000_000);
+        assert_eq!(t2, 200_000_000 + 1_000_000);
+        // Different sender: no interference.
+        let t3 = n.send(0, NodeId(3), NodeId(1), 100, TrafficClass::InterOperator);
+        assert_eq!(t3, 100_000_000 + 1_000_000);
+    }
+
+    #[test]
+    fn idle_egress_starts_at_now() {
+        let mut n = net();
+        let t = n.send(5_000_000_000, NodeId(1), NodeId(2), 10, TrafficClass::RemoteTask);
+        assert_eq!(t, 5_000_000_000 + 10_000_000 + 1_000_000);
+        assert_eq!(n.bytes_remote_task(), 10);
+    }
+
+    #[test]
+    fn traffic_classes_accumulate_separately() {
+        let mut n = net();
+        n.send(0, NodeId(0), NodeId(1), 10, TrafficClass::InterOperator);
+        n.send(0, NodeId(0), NodeId(1), 20, TrafficClass::RemoteTask);
+        n.send(0, NodeId(0), NodeId(1), 30, TrafficClass::StateMigration);
+        n.send(0, NodeId(0), NodeId(1), 40, TrafficClass::Control);
+        assert_eq!(n.bytes_inter_operator(), 10);
+        assert_eq!(n.bytes_remote_task(), 20);
+        assert_eq!(n.bytes_state_migration(), 30);
+        assert_eq!(n.bytes_control(), 40);
+    }
+
+    #[test]
+    fn control_delay_local_vs_remote() {
+        let n = net();
+        assert_eq!(n.control_delay(NodeId(0), NodeId(0), 500_000), 1_000);
+        assert_eq!(n.control_delay(NodeId(0), NodeId(1), 500_000), 500_000);
+    }
+}

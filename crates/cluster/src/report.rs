@@ -1,0 +1,163 @@
+//! Run reports: everything an experiment harness needs to print a paper
+//! table or figure series.
+
+use elasticutor_metrics::{LatencyHistogram, TimeSeries};
+
+/// Timing of one completed shard reassignment (elastic engines) or one
+/// per-shard slice of an RC repartition — the data behind Figures 8/9.
+#[derive(Clone, Debug)]
+pub struct ReassignmentRecord {
+    /// When the reassignment began, ns.
+    pub started_ns: u64,
+    /// Synchronization portion: pause → all pending tuples of the shard
+    /// confirmed processed (labeling tuple dequeued, or for RC the global
+    /// pause + drain + routing-update rounds), ns.
+    pub sync_ns: u64,
+    /// State-migration portion (0 for intra-process moves), ns.
+    pub migration_ns: u64,
+    /// Whether source and destination tasks were on the same node.
+    pub intra_node: bool,
+    /// Bytes of state moved (0 for intra-process).
+    pub state_bytes: u64,
+}
+
+impl ReassignmentRecord {
+    /// Total reassignment latency.
+    pub fn total_ns(&self) -> u64 {
+        self.sync_ns + self.migration_ns
+    }
+}
+
+/// Mean sync/migration breakdown over a set of records.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReassignmentBreakdown {
+    /// Number of records aggregated.
+    pub count: usize,
+    /// Mean synchronization time, ms.
+    pub mean_sync_ms: f64,
+    /// Mean state-migration time, ms.
+    pub mean_migration_ms: f64,
+}
+
+/// Summarizes reassignment records, optionally filtering by locality.
+pub fn breakdown(records: &[ReassignmentRecord], intra_node: Option<bool>) -> ReassignmentBreakdown {
+    let filtered: Vec<&ReassignmentRecord> = records
+        .iter()
+        .filter(|r| intra_node.is_none_or(|want| r.intra_node == want))
+        .collect();
+    if filtered.is_empty() {
+        return ReassignmentBreakdown::default();
+    }
+    let n = filtered.len() as f64;
+    ReassignmentBreakdown {
+        count: filtered.len(),
+        mean_sync_ms: filtered.iter().map(|r| r.sync_ns as f64).sum::<f64>() / n / 1e6,
+        mean_migration_ms: filtered.iter().map(|r| r.migration_ns as f64).sum::<f64>() / n / 1e6,
+    }
+}
+
+/// The result of one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Engine mode name (static / RC / Elasticutor / naive-EC).
+    pub mode: &'static str,
+    /// Simulated duration, ns.
+    pub duration_ns: u64,
+    /// Tuples completed at sink operators after warm-up.
+    pub sink_completions: u64,
+    /// Mean sink throughput after warm-up, tuples/s.
+    pub throughput: f64,
+    /// Tuples admitted by sources after warm-up.
+    pub source_emissions: u64,
+    /// End-to-end latency distribution (source emission → sink
+    /// completion) after warm-up.
+    pub latency: LatencyHistogram,
+    /// Instantaneous sink throughput, sampled each `sample_period`.
+    pub throughput_series: TimeSeries,
+    /// Mean latency per sample window, ms.
+    pub latency_series: TimeSeries,
+    /// All shard reassignments performed.
+    pub reassignments: Vec<ReassignmentRecord>,
+    /// Total state bytes migrated across nodes.
+    pub state_migration_bytes: u64,
+    /// Total remote main-process ↔ remote-task bytes.
+    pub remote_task_bytes: u64,
+    /// Total inter-operator bytes crossing nodes.
+    pub inter_operator_bytes: u64,
+    /// Wall-clock microseconds spent inside scheduler invocations
+    /// (real, not simulated — Table 3's "scheduling time").
+    pub scheduler_wall_us: Vec<u64>,
+    /// Number of scheduler rounds executed.
+    pub scheduler_rounds: u64,
+    /// Simulated events processed (sanity/perf diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Mean state-migration rate over the run, MB/s.
+    pub fn state_migration_rate_mb_s(&self) -> f64 {
+        self.state_migration_bytes as f64 / (self.duration_ns as f64 / 1e9) / (1024.0 * 1024.0)
+    }
+
+    /// Mean remote-task data rate over the run, MB/s.
+    pub fn remote_transfer_rate_mb_s(&self) -> f64 {
+        self.remote_task_bytes as f64 / (self.duration_ns as f64 / 1e9) / (1024.0 * 1024.0)
+    }
+
+    /// Mean scheduler wall time, ms.
+    pub fn mean_scheduling_ms(&self) -> f64 {
+        if self.scheduler_wall_us.is_empty() {
+            return 0.0;
+        }
+        self.scheduler_wall_us.iter().sum::<u64>() as f64
+            / self.scheduler_wall_us.len() as f64
+            / 1000.0
+    }
+
+    /// Reassignment breakdown filtered by locality.
+    pub fn reassignment_breakdown(&self, intra_node: Option<bool>) -> ReassignmentBreakdown {
+        breakdown(&self.reassignments, intra_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sync_ms: u64, mig_ms: u64, intra: bool) -> ReassignmentRecord {
+        ReassignmentRecord {
+            started_ns: 0,
+            sync_ns: sync_ms * 1_000_000,
+            migration_ns: mig_ms * 1_000_000,
+            intra_node: intra,
+            state_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_filters_by_locality() {
+        let records = vec![rec(2, 0, true), rec(4, 10, false), rec(6, 20, false)];
+        let all = breakdown(&records, None);
+        assert_eq!(all.count, 3);
+        assert!((all.mean_sync_ms - 4.0).abs() < 1e-9);
+        let intra = breakdown(&records, Some(true));
+        assert_eq!(intra.count, 1);
+        assert!((intra.mean_migration_ms - 0.0).abs() < 1e-9);
+        let inter = breakdown(&records, Some(false));
+        assert_eq!(inter.count, 2);
+        assert!((inter.mean_migration_ms - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = breakdown(&[], None);
+        assert_eq!(b.count, 0);
+        assert_eq!(b.mean_sync_ms, 0.0);
+    }
+
+    #[test]
+    fn record_total() {
+        let r = rec(3, 7, false);
+        assert_eq!(r.total_ns(), 10_000_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests of the simulated cluster engines.
+
+use elasticutor_cluster::config::{ClusterConfig, EngineMode, ExperimentConfig, WorkloadKind};
+use elasticutor_cluster::ClusterEngine;
+use elasticutor_workload::{MicroConfig, SseConfig};
+
+const SEC: u64 = 1_000_000_000;
+
+/// A small, fast experiment: 4 nodes × 4 cores, modest load.
+fn quick_micro(mode: EngineMode, rate: f64, omega: f64) -> ExperimentConfig {
+    let micro = MicroConfig {
+        rate,
+        omega,
+        cpu_cost_ns: 1_000_000,
+        num_keys: 1000,
+        calculator_executors: 8,
+        shards_per_executor: 16,
+        generator_parallelism: 2,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(mode, micro);
+    cfg.cluster = ClusterConfig::small(4, 4);
+    cfg.duration_ns = 10 * SEC;
+    cfg.warmup_ns = 2 * SEC;
+    cfg.seed = 7;
+    cfg
+}
+
+#[test]
+fn static_engine_processes_at_offered_rate() {
+    // 2 000 tuples/s × 1 ms = 2 cores of demand over 16 static
+    // executors: easily sustained.
+    let report = ClusterEngine::new(quick_micro(EngineMode::Static, 2_000.0, 0.0)).run();
+    assert!(report.sink_completions > 0);
+    let ratio = report.throughput / 2_000.0;
+    assert!(
+        (0.85..=1.1).contains(&ratio),
+        "static throughput {} vs offered 2000",
+        report.throughput
+    );
+    // No elasticity machinery may run in static mode.
+    assert_eq!(report.scheduler_rounds, 0);
+    assert!(report.reassignments.is_empty());
+    assert_eq!(report.state_migration_bytes, 0);
+}
+
+#[test]
+fn elastic_engine_sustains_and_balances() {
+    // 5 000/s × 1 ms over 4 executors ≈ 1.25 cores per executor: the
+    // scheduler must grant multiple cores, and ω = 16 shuffles the hot
+    // keys every 3.75 s so the balancer keeps moving shards. Few, skewed
+    // keys make each shuffle actually shift shard loads; the warmup
+    // excludes the provisioning ramp (whose labeling tuples legitimately
+    // queue behind the startup backlog).
+    let mut cfg = quick_micro(EngineMode::Elastic, 5_000.0, 16.0);
+    if let WorkloadKind::Micro(m) = &mut cfg.workload {
+        m.calculator_executors = 4;
+        m.num_keys = 200;
+        m.skew = 0.9;
+    }
+    cfg.duration_ns = 20 * SEC;
+    cfg.warmup_ns = 8 * SEC;
+    let report = ClusterEngine::new(cfg).run();
+    let ratio = report.throughput / 5_000.0;
+    assert!(
+        (0.85..=1.1).contains(&ratio),
+        "elastic throughput {} vs offered 5000",
+        report.throughput
+    );
+    assert!(report.scheduler_rounds > 0, "scheduler must tick");
+    assert!(
+        !report.reassignments.is_empty(),
+        "expected intra-executor reassignments under a shifting workload"
+    );
+    // Elastic sync is local (no global synchronization): a labeling
+    // tuple through one task queue at moderate utilization — tens of ms
+    // at the very worst, not RC's hundreds (Figure 8).
+    let b = report.reassignment_breakdown(None);
+    assert!(
+        b.mean_sync_ms < 50.0,
+        "elastic sync should be fast, got {} ms",
+        b.mean_sync_ms
+    );
+}
+
+#[test]
+fn rc_engine_repartitions_with_global_sync() {
+    let report =
+        ClusterEngine::new(quick_micro(EngineMode::ResourceCentric, 2_000.0, 4.0)).run();
+    assert!(report.sink_completions > 0, "RC must make progress");
+    assert!(report.scheduler_rounds > 0);
+    if let Some(first) = report.reassignments.first() {
+        // RC synchronization includes the global pause rounds: with 2
+        // upstream executors the control rounds alone cost
+        // 2·(2·0.5 ms + 2·4 ms) = 18 ms.
+        assert!(
+            first.sync_ns >= 2_000_000,
+            "RC sync must include pause rounds, got {} ns",
+            first.sync_ns
+        );
+    }
+}
+
+#[test]
+fn naive_elastic_runs_and_migrates_more_than_optimized() {
+    let opt = ClusterEngine::new(quick_micro(EngineMode::Elastic, 2_500.0, 8.0)).run();
+    let naive = ClusterEngine::new(quick_micro(EngineMode::NaiveElastic, 2_500.0, 8.0)).run();
+    assert!(naive.sink_completions > 0);
+    assert!(opt.sink_completions > 0);
+    // The naive scheduler ignores migration cost; over a dynamic run it
+    // must not migrate *less* state than the optimized one.
+    assert!(
+        naive.state_migration_bytes >= opt.state_migration_bytes,
+        "naive {} vs optimized {}",
+        naive.state_migration_bytes,
+        opt.state_migration_bytes
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = ClusterEngine::new(quick_micro(EngineMode::Elastic, 1_500.0, 2.0)).run();
+    let b = ClusterEngine::new(quick_micro(EngineMode::Elastic, 1_500.0, 2.0)).run();
+    assert_eq!(a.sink_completions, b.sink_completions);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.state_migration_bytes, b.state_migration_bytes);
+    assert_eq!(a.reassignments.len(), b.reassignments.len());
+}
+
+#[test]
+fn backpressure_bounds_admission_under_overload() {
+    // Offered 20 000/s × 1 ms = 20 cores of demand on a 8-core cluster:
+    // impossible. Backpressure must throttle sources near capacity.
+    let micro = MicroConfig {
+        rate: 20_000.0,
+        cpu_cost_ns: 1_000_000,
+        num_keys: 1000,
+        calculator_executors: 4,
+        shards_per_executor: 16,
+        generator_parallelism: 2,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(EngineMode::Elastic, micro);
+    cfg.cluster = ClusterConfig::small(2, 4);
+    cfg.duration_ns = 10 * SEC;
+    cfg.warmup_ns = 2 * SEC;
+    cfg.backpressure_high = 2_000;
+    cfg.backpressure_low = 1_000;
+    let report = ClusterEngine::new(cfg).run();
+    // Sink rate ≈ capacity (8 cores → 8 000 tuples/s), clearly below the
+    // offered 20 000/s.
+    assert!(
+        report.throughput < 10_000.0,
+        "throughput {} should be capacity-bound",
+        report.throughput
+    );
+    assert!(
+        report.throughput > 5_000.0,
+        "throughput {} should be near capacity",
+        report.throughput
+    );
+    // Admission tracked completion (no unbounded queues).
+    let admitted = report.source_emissions as f64;
+    let completed = report.sink_completions as f64;
+    assert!(
+        (admitted - completed).abs() / completed < 0.25,
+        "admitted {admitted} vs completed {completed}"
+    );
+}
+
+#[test]
+fn single_executor_scales_with_manual_cores() {
+    let run = |cores: u32| {
+        let micro = MicroConfig {
+            rate: 50_000.0, // saturating
+            cpu_cost_ns: 1_000_000,
+            num_keys: 1000,
+            calculator_executors: 1,
+            shards_per_executor: 64,
+            generator_parallelism: 2,
+            ..MicroConfig::default()
+        };
+        let mut cfg = ExperimentConfig::micro(EngineMode::Elastic, micro);
+        cfg.cluster = ClusterConfig::small(4, 4);
+        cfg.duration_ns = 8 * SEC;
+        cfg.warmup_ns = 2 * SEC;
+        cfg.manual_cores = Some(cores);
+        cfg.backpressure_high = 4_000;
+        cfg.backpressure_low = 2_000;
+        ClusterEngine::new(cfg).run()
+    };
+    let t1 = run(1).throughput;
+    let t4 = run(4).throughput;
+    let t8 = run(8).throughput;
+    assert!(t1 > 500.0, "1 core ≈ 1 000/s, got {t1}");
+    assert!(t4 > 2.5 * t1, "4 cores should near-quadruple: {t1} → {t4}");
+    assert!(t8 > 1.5 * t4, "8 cores should keep scaling: {t4} → {t8}");
+}
+
+#[test]
+fn sse_topology_runs_end_to_end() {
+    let sse = SseConfig {
+        base_rate: 500.0,
+        num_stocks: 200,
+        executors_per_operator: 2,
+        shards_per_executor: 8,
+        source_parallelism: 2,
+        transactor_cost_ns: 200_000,
+        analytics_cost_ns: 50_000,
+        ..SseConfig::default()
+    };
+    let mut cfg = ExperimentConfig {
+        workload: WorkloadKind::Sse(sse),
+        ..ExperimentConfig::micro(EngineMode::Elastic, MicroConfig::default())
+    };
+    cfg.cluster = ClusterConfig::small(4, 8);
+    cfg.duration_ns = 8 * SEC;
+    cfg.warmup_ns = 2 * SEC;
+    let report = ClusterEngine::new(cfg).run();
+    // 500 orders/s × 11 sink operators ≈ 5 500 completions/s.
+    assert!(
+        report.throughput > 3_000.0,
+        "SSE sink throughput {} too low",
+        report.throughput
+    );
+    assert!(report.latency.count() > 0);
+    assert!(report.latency.p99_ns() > 0.0);
+}
+
+#[test]
+fn timeline_series_are_recorded() {
+    let report = ClusterEngine::new(quick_micro(EngineMode::Elastic, 1_000.0, 0.0)).run();
+    // 10 s run with 1 s samples → ~10 samples.
+    assert!(report.throughput_series.len() >= 8);
+    assert!(report.latency_series.len() >= 8);
+    assert!(report.throughput_series.mean() > 0.0);
+}

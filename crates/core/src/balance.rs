@@ -1,0 +1,663 @@
+//! Intra-executor load balancing (paper §3.1).
+//!
+//! An elastic executor spreads its `z` shards over its current tasks. Both
+//! changes in key distribution and CPU core reassignments skew the
+//! per-task load, so the executor periodically rebalances.
+//!
+//! The paper's algorithm: refine the shard→task assignment in rounds until
+//! the imbalance factor `δ = max task load / mean task load` drops below a
+//! threshold `θ` (default 1.2). Each round considers every single-shard
+//! move from the **most loaded** task to the **least loaded** task and
+//! applies the move that reduces `δ` the most. This is a
+//! First-Fit-Decreasing-flavoured heuristic for the NP-hard multiway
+//! partitioning problem that deliberately minimizes the number of moved
+//! shards — each move costs a state migration.
+//!
+//! [`LoadBalancer`] also provides:
+//! * [`LoadBalancer::assign_fresh`] — an FFD assignment from scratch
+//!   (used at startup and by the resource-centric baseline's operator-level
+//!   repartitioning, which rebuilds assignments wholesale);
+//! * [`LoadBalancer::plan_task_removal`] — drain plan when a core is
+//!   deallocated;
+//! * imbalance accounting shared by engines and tests.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{ShardId, TaskId};
+
+/// A single shard move from one task to another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMove {
+    /// The shard to reassign.
+    pub shard: ShardId,
+    /// Source task (currently owns the shard).
+    pub from: TaskId,
+    /// Destination task.
+    pub to: TaskId,
+}
+
+/// Per-task load totals derived from per-shard loads and an assignment.
+#[derive(Clone, Debug, Default)]
+pub struct TaskLoads {
+    loads: BTreeMap<TaskId, f64>,
+}
+
+impl TaskLoads {
+    /// Builds task loads by summing `shard_loads` under `assignment`
+    /// (`assignment[shard] = task`). Tasks listed in `tasks` but owning no
+    /// shards contribute zero entries, which matters for δ: an idle task
+    /// drags the mean down and must be counted.
+    pub fn from_assignment(
+        shard_loads: &[f64],
+        assignment: &[TaskId],
+        tasks: &[TaskId],
+    ) -> Self {
+        assert_eq!(
+            shard_loads.len(),
+            assignment.len(),
+            "one load per shard required"
+        );
+        let mut loads: BTreeMap<TaskId, f64> = tasks.iter().map(|&t| (t, 0.0)).collect();
+        for (s, &task) in assignment.iter().enumerate() {
+            *loads.entry(task).or_insert(0.0) += shard_loads[s];
+        }
+        Self { loads }
+    }
+
+    /// The load of `task` (zero if unknown).
+    pub fn load(&self, task: TaskId) -> f64 {
+        self.loads.get(&task).copied().unwrap_or(0.0)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// The imbalance factor `δ = max / mean`. Defined as 1.0 when there is
+    /// no load or a single task (perfectly balanced by definition).
+    pub fn imbalance(&self) -> f64 {
+        if self.loads.len() <= 1 {
+            return 1.0;
+        }
+        let total: f64 = self.loads.values().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.loads.len() as f64;
+        let max = self.loads.values().fold(0.0_f64, |a, &b| a.max(b));
+        max / mean
+    }
+
+    /// The most-loaded task (ties broken by lowest id).
+    pub fn most_loaded(&self) -> Option<TaskId> {
+        self.loads
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            .map(|(&t, _)| t)
+    }
+
+    /// The least-loaded task (ties broken by lowest id).
+    pub fn least_loaded(&self) -> Option<TaskId> {
+        self.loads
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
+            .map(|(&t, _)| t)
+    }
+
+    fn apply_move(&mut self, from: TaskId, to: TaskId, load: f64) {
+        *self.loads.get_mut(&from).expect("source task") -= load;
+        *self.loads.get_mut(&to).expect("destination task") += load;
+    }
+}
+
+/// Result of a rebalancing pass.
+#[derive(Clone, Debug)]
+pub struct BalanceOutcome {
+    /// Moves to apply, in order.
+    pub moves: Vec<ShardMove>,
+    /// Imbalance factor before the pass.
+    pub delta_before: f64,
+    /// Imbalance factor the assignment will have after applying `moves`.
+    pub delta_after: f64,
+}
+
+impl BalanceOutcome {
+    /// Whether the pass found nothing to do.
+    pub fn is_noop(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// The intra-executor load balancer.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadBalancer {
+    /// `θ` — stop refining once `δ ≤ θ`.
+    pub imbalance_threshold: f64,
+    /// Upper bound on moves per pass (safety valve; the paper's algorithm
+    /// converges quickly, but adversarial load vectors could churn).
+    pub max_moves: usize,
+}
+
+impl Default for LoadBalancer {
+    fn default() -> Self {
+        Self {
+            imbalance_threshold: 1.2,
+            max_moves: 64,
+        }
+    }
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given threshold and the default move cap.
+    pub fn new(imbalance_threshold: f64) -> Self {
+        Self {
+            imbalance_threshold,
+            ..Self::default()
+        }
+    }
+
+    /// Plans a rebalancing pass (paper §3.1, Algorithm description).
+    ///
+    /// * `shard_loads[s]` — measured load of shard `s` (e.g. CPU-ns per
+    ///   second over the metrics window);
+    /// * `assignment[s]` — task currently owning shard `s`;
+    /// * `tasks` — all live tasks (including ones owning no shards, e.g. a
+    ///   freshly added core).
+    ///
+    /// Returns the ordered moves; does not mutate the input. The caller
+    /// applies each move with the consistent-reassignment protocol.
+    pub fn plan(
+        &self,
+        shard_loads: &[f64],
+        assignment: &[TaskId],
+        tasks: &[TaskId],
+    ) -> BalanceOutcome {
+        let mut working: Vec<TaskId> = assignment.to_vec();
+        let mut task_loads = TaskLoads::from_assignment(shard_loads, &working, tasks);
+        let delta_before = task_loads.imbalance();
+        let mut moves = Vec::new();
+
+        if tasks.len() <= 1 {
+            return BalanceOutcome {
+                moves,
+                delta_before,
+                delta_after: delta_before,
+            };
+        }
+
+        while task_loads.imbalance() > self.imbalance_threshold && moves.len() < self.max_moves {
+            let src = task_loads.most_loaded().expect("nonempty");
+            let dst = task_loads.least_loaded().expect("nonempty");
+            if src == dst {
+                break;
+            }
+            let src_load = task_loads.load(src);
+            let dst_load = task_loads.load(dst);
+
+            // Among src's shards, pick the move minimizing the resulting
+            // local max(src', dst') — equivalently, the move that reduces δ
+            // the most, since only src and dst loads change and the mean is
+            // invariant. Moving load w: src' = src - w, dst' = dst + w.
+            // We want the w minimizing max(src - w, dst + w) subject to
+            // improving on the current max. The ideal w* = (src - dst) / 2.
+            let ideal = (src_load - dst_load) / 2.0;
+            let mut best: Option<(usize, f64)> = None; // (shard index, |w - ideal|)
+            for (s, &t) in working.iter().enumerate() {
+                if t != src {
+                    continue;
+                }
+                let w = shard_loads[s];
+                if w <= 0.0 {
+                    continue; // moving a zero-load shard cannot help
+                }
+                if w >= src_load - dst_load {
+                    // Would make dst the new max at least as bad as src was.
+                    continue;
+                }
+                let score = (w - ideal).abs();
+                match best {
+                    None => best = Some((s, score)),
+                    Some((_, b)) if score < b => best = Some((s, score)),
+                    _ => {}
+                }
+            }
+
+            let Some((shard_idx, _)) = best else {
+                break; // no single-shard move improves δ
+            };
+            let w = shard_loads[shard_idx];
+            task_loads.apply_move(src, dst, w);
+            working[shard_idx] = dst;
+            moves.push(ShardMove {
+                shard: ShardId::from_index(shard_idx),
+                from: src,
+                to: dst,
+            });
+        }
+
+        BalanceOutcome {
+            delta_after: task_loads.imbalance(),
+            moves,
+            delta_before,
+        }
+    }
+
+    /// First-Fit-Decreasing assignment from scratch: shards sorted by load
+    /// descending, each placed on the currently least-loaded task. Used at
+    /// startup and for operator-level repartitioning in the RC baseline.
+    pub fn assign_fresh(&self, shard_loads: &[f64], tasks: &[TaskId]) -> Vec<TaskId> {
+        assert!(!tasks.is_empty(), "need at least one task");
+        let mut order: Vec<usize> = (0..shard_loads.len()).collect();
+        order.sort_by(|&a, &b| shard_loads[b].partial_cmp(&shard_loads[a]).unwrap());
+        let mut loads: BTreeMap<TaskId, f64> = tasks.iter().map(|&t| (t, 0.0)).collect();
+        let mut assignment = vec![tasks[0]; shard_loads.len()];
+        for s in order {
+            let (&t, _) = loads
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
+                .expect("nonempty tasks");
+            assignment[s] = t;
+            *loads.get_mut(&t).unwrap() += shard_loads[s];
+        }
+        assignment
+    }
+
+    /// Plans a full rebalance with no move cap: shed-and-pack.
+    ///
+    /// Unlike [`Self::plan`] (the paper's incremental single-move rounds,
+    /// suited to fine intra-executor corrections), this computes, in one
+    /// pass, the move set that brings every task within `θ` of the mean:
+    /// overloaded tasks shed their smallest shards until they fit, and
+    /// the shed shards are packed FFD onto the least-loaded tasks. This
+    /// is what operator-level repartitioning (the RC baseline) needs when
+    /// the executor set changes: moves scale with the actual imbalance,
+    /// not with an iteration cap.
+    ///
+    /// Shards assigned to tasks not in `tasks` (e.g. removed executors)
+    /// are always shed.
+    pub fn rebalance_unbounded(
+        &self,
+        shard_loads: &[f64],
+        assignment: &[TaskId],
+        tasks: &[TaskId],
+    ) -> Vec<ShardMove> {
+        assert_eq!(shard_loads.len(), assignment.len());
+        assert!(!tasks.is_empty(), "need at least one task");
+        let total: f64 = shard_loads.iter().sum();
+        let mean = total / tasks.len() as f64;
+        // Shed threshold: keep tasks at or below θ·mean (with a small
+        // epsilon so exact-fit layouts do not churn).
+        let cap = self.imbalance_threshold * mean + 1e-12;
+
+        let mut loads = TaskLoads::from_assignment(shard_loads, assignment, tasks);
+        let task_set: std::collections::BTreeSet<TaskId> = tasks.iter().copied().collect();
+
+        // Phase 1: shed. Collect (shard, from) pairs to relocate.
+        let mut shed: Vec<(usize, TaskId)> = Vec::new();
+        // Group shards by owner, ascending load within owner so we shed
+        // the smallest shards first (finest-grained correction).
+        let mut by_owner: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+        for (s, &t) in assignment.iter().enumerate() {
+            by_owner.entry(t).or_default().push(s);
+        }
+        for (owner, mut shards) in by_owner {
+            shards.sort_by(|&a, &b| shard_loads[a].partial_cmp(&shard_loads[b]).unwrap());
+            if !task_set.contains(&owner) {
+                // Owner is gone: shed everything and stop tracking it so
+                // the packing phase can never choose it as a target.
+                for s in shards {
+                    shed.push((s, owner));
+                }
+                loads.loads.remove(&owner);
+                continue;
+            }
+            let mut load = loads.load(owner);
+            while load > cap {
+                let Some(s) = shards.pop() else { break };
+                // Shed the *largest* shards first when overloaded: fewest
+                // moves to get under the cap.
+                load -= shard_loads[s];
+                shed.push((s, owner));
+            }
+            *loads.loads.get_mut(&owner).expect("owner tracked") = load;
+        }
+
+        // Phase 2: pack shed shards FFD onto the least-loaded tasks.
+        shed.sort_by(|&(a, _), &(b, _)| shard_loads[b].partial_cmp(&shard_loads[a]).unwrap());
+        let mut moves = Vec::with_capacity(shed.len());
+        for (s, from) in shed {
+            let to = loads.least_loaded().expect("tasks nonempty");
+            *loads.loads.get_mut(&to).expect("tracked") += shard_loads[s];
+            moves.push(ShardMove {
+                shard: ShardId::from_index(s),
+                from,
+                to,
+            });
+        }
+        // Drop no-op moves (a shed shard may be packed right back).
+        moves.retain(|m| m.from != m.to);
+        moves
+    }
+
+    /// Plans the drain of a removed task: every shard it owns is moved to
+    /// the least-loaded surviving task, heaviest shards first.
+    pub fn plan_task_removal(
+        &self,
+        shard_loads: &[f64],
+        assignment: &[TaskId],
+        removed: TaskId,
+        surviving: &[TaskId],
+    ) -> Vec<ShardMove> {
+        assert!(!surviving.is_empty(), "cannot remove the last task");
+        assert!(
+            !surviving.contains(&removed),
+            "removed task must not be in the surviving set"
+        );
+        let mut loads = TaskLoads::from_assignment(shard_loads, assignment, surviving);
+        // Note: from_assignment adds the removed task's entry too (it owns
+        // shards); strip it so it never receives shards.
+        loads.loads.remove(&removed);
+
+        let mut owned: Vec<usize> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == removed)
+            .map(|(s, _)| s)
+            .collect();
+        owned.sort_by(|&a, &b| shard_loads[b].partial_cmp(&shard_loads[a]).unwrap());
+
+        let mut moves = Vec::with_capacity(owned.len());
+        for s in owned {
+            let dst = loads.least_loaded().expect("surviving tasks nonempty");
+            loads.apply_move(dst, dst, 0.0); // no-op keeps borrowck simple
+            *loads.loads.get_mut(&dst).unwrap() += shard_loads[s];
+            moves.push(ShardMove {
+                shard: ShardId::from_index(s),
+                from: removed,
+                to: dst,
+            });
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: u32) -> Vec<TaskId> {
+        (0..n).map(TaskId).collect()
+    }
+
+    fn apply(assignment: &mut [TaskId], moves: &[ShardMove]) {
+        for m in moves {
+            assert_eq!(assignment[m.shard.index()], m.from, "move source mismatch");
+            assignment[m.shard.index()] = m.to;
+        }
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        let loads = TaskLoads::from_assignment(
+            &[1.0, 1.0, 1.0, 1.0],
+            &[TaskId(0), TaskId(0), TaskId(1), TaskId(1)],
+            &tasks(2),
+        );
+        assert!((loads.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_counts_idle_tasks() {
+        // One task has all the load; with 2 tasks δ = max/mean = 2.
+        let loads = TaskLoads::from_assignment(
+            &[1.0, 1.0],
+            &[TaskId(0), TaskId(0)],
+            &tasks(2),
+        );
+        assert!((loads.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_is_balanced() {
+        let loads =
+            TaskLoads::from_assignment(&[0.0, 0.0], &[TaskId(0), TaskId(1)], &tasks(2));
+        assert!((loads.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_moves_to_new_empty_task() {
+        // Scale-out: a new core (task 1) arrives empty; the balancer must
+        // shift roughly half the load onto it.
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0; 8];
+        let mut assignment = vec![TaskId(0); 8];
+        let out = lb.plan(&shard_loads, &assignment, &tasks(2));
+        assert!(out.delta_before > 1.9);
+        assert!(out.delta_after <= lb.imbalance_threshold);
+        apply(&mut assignment, &out.moves);
+        let after = TaskLoads::from_assignment(&shard_loads, &assignment, &tasks(2));
+        assert!(after.imbalance() <= lb.imbalance_threshold);
+        // Minimality-ish: 8 uniform shards over 2 tasks → 4 moves suffice,
+        // and the algorithm must not move more than necessary.
+        assert_eq!(out.moves.len(), 4);
+        for m in &out.moves {
+            assert_eq!(m.from, TaskId(0));
+            assert_eq!(m.to, TaskId(1));
+        }
+    }
+
+    #[test]
+    fn plan_is_noop_when_balanced() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0, 1.0, 1.0, 1.0];
+        let assignment = vec![TaskId(0), TaskId(1), TaskId(0), TaskId(1)];
+        let out = lb.plan(&shard_loads, &assignment, &tasks(2));
+        assert!(out.is_noop());
+        assert!((out.delta_after - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_handles_single_dominant_shard() {
+        // One shard carries 40x the load of the rest. δ cannot reach θ
+        // (the hot shard alone exceeds the mean), but the balancer must
+        // still improve what it can and terminate without oscillating.
+        let lb = LoadBalancer::default();
+        let mut shard_loads = vec![1.0; 4];
+        shard_loads[0] = 40.0;
+        let mut assignment = vec![TaskId(0); 4];
+        let out = lb.plan(&shard_loads, &assignment, &tasks(2));
+        assert!(out.moves.len() < lb.max_moves, "must terminate early");
+        // No shard may bounce back and forth within one plan.
+        for m in &out.moves {
+            assert_eq!(
+                out.moves.iter().filter(|n| n.shard == m.shard).count(),
+                1,
+                "shard {m:?} moved more than once"
+            );
+        }
+        assert!(out.delta_after < out.delta_before);
+        apply(&mut assignment, &out.moves);
+        let after = TaskLoads::from_assignment(&shard_loads, &assignment, &tasks(2));
+        // Best achievable max is the dominant shard alone: δ = 40 / 21.5.
+        assert!((after.imbalance() - 40.0 / 21.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_single_task_is_noop() {
+        let lb = LoadBalancer::default();
+        let out = lb.plan(&[5.0, 3.0], &[TaskId(0), TaskId(0)], &tasks(1));
+        assert!(out.is_noop());
+    }
+
+    #[test]
+    fn plan_never_increases_imbalance() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![9.0, 1.0, 1.0, 1.0, 5.0, 2.0, 7.0, 3.0];
+        let assignment = vec![
+            TaskId(0),
+            TaskId(0),
+            TaskId(0),
+            TaskId(0),
+            TaskId(1),
+            TaskId(1),
+            TaskId(2),
+            TaskId(2),
+        ];
+        let out = lb.plan(&shard_loads, &assignment, &tasks(3));
+        assert!(out.delta_after <= out.delta_before + 1e-12);
+    }
+
+    #[test]
+    fn plan_respects_move_cap() {
+        let lb = LoadBalancer {
+            imbalance_threshold: 1.0001,
+            max_moves: 3,
+        };
+        let shard_loads = vec![1.0; 100];
+        let assignment = vec![TaskId(0); 100];
+        let out = lb.plan(&shard_loads, &assignment, &tasks(4));
+        assert!(out.moves.len() <= 3);
+    }
+
+    #[test]
+    fn fresh_assignment_is_balanced() {
+        let lb = LoadBalancer::default();
+        let shard_loads: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        let assignment = lb.assign_fresh(&shard_loads, &tasks(4));
+        let loads = TaskLoads::from_assignment(&shard_loads, &assignment, &tasks(4));
+        assert!(
+            loads.imbalance() < 1.2,
+            "FFD should balance well, got {}",
+            loads.imbalance()
+        );
+    }
+
+    #[test]
+    fn fresh_assignment_covers_all_tasks() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0; 8];
+        let assignment = lb.assign_fresh(&shard_loads, &tasks(8));
+        let mut seen: Vec<TaskId> = assignment.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "every task gets exactly one uniform shard");
+    }
+
+    #[test]
+    fn unbounded_rebalance_fills_new_tasks() {
+        // 64 uniform shards on 2 tasks; 6 new empty tasks appear. The
+        // unbounded rebalance must spread to all 8 without any move cap.
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0; 64];
+        let mut assignment: Vec<TaskId> = (0..64)
+            .map(|i| TaskId(u32::from(i % 2 == 0)))
+            .collect();
+        let all = tasks(8);
+        let moves = lb.rebalance_unbounded(&shard_loads, &assignment, &all);
+        assert!(moves.len() >= 40, "must move ~48 shards, got {}", moves.len());
+        apply(&mut assignment, &moves);
+        let loads = TaskLoads::from_assignment(&shard_loads, &assignment, &all);
+        assert!(
+            loads.imbalance() <= lb.imbalance_threshold + 1e-9,
+            "δ = {}",
+            loads.imbalance()
+        );
+    }
+
+    #[test]
+    fn unbounded_rebalance_sheds_removed_owners() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0; 8];
+        let mut assignment = vec![
+            TaskId(9), // owner not in the surviving set
+            TaskId(9),
+            TaskId(0),
+            TaskId(0),
+            TaskId(0),
+            TaskId(1),
+            TaskId(1),
+            TaskId(1),
+        ];
+        let all = tasks(2);
+        let moves = lb.rebalance_unbounded(&shard_loads, &assignment, &all);
+        apply(&mut assignment, &moves);
+        assert!(assignment.iter().all(|t| all.contains(t)));
+        let loads = TaskLoads::from_assignment(&shard_loads, &assignment, &all);
+        assert!(loads.imbalance() <= lb.imbalance_threshold + 1e-9);
+    }
+
+    #[test]
+    fn unbounded_rebalance_noop_when_balanced() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![1.0; 8];
+        let assignment: Vec<TaskId> = (0..8).map(|i| TaskId(i % 4)).collect();
+        let moves = lb.rebalance_unbounded(&shard_loads, &assignment, &tasks(4));
+        assert!(moves.is_empty(), "balanced layout must not churn: {moves:?}");
+    }
+
+    #[test]
+    fn task_removal_drains_everything() {
+        let lb = LoadBalancer::default();
+        let shard_loads = vec![4.0, 3.0, 2.0, 1.0, 1.0, 1.0];
+        let mut assignment = vec![
+            TaskId(2),
+            TaskId(2),
+            TaskId(0),
+            TaskId(0),
+            TaskId(1),
+            TaskId(1),
+        ];
+        let moves =
+            lb.plan_task_removal(&shard_loads, &assignment, TaskId(2), &[TaskId(0), TaskId(1)]);
+        assert_eq!(moves.len(), 2);
+        apply(&mut assignment, &moves);
+        assert!(assignment.iter().all(|&t| t != TaskId(2)));
+        let loads =
+            TaskLoads::from_assignment(&shard_loads, &assignment, &[TaskId(0), TaskId(1)]);
+        assert!(loads.imbalance() < 1.4, "δ = {}", loads.imbalance());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last task")]
+    fn task_removal_requires_survivors() {
+        let lb = LoadBalancer::default();
+        lb.plan_task_removal(&[1.0], &[TaskId(0)], TaskId(0), &[]);
+    }
+
+    #[test]
+    fn most_and_least_loaded_tie_break_deterministically() {
+        let loads = TaskLoads::from_assignment(
+            &[1.0, 1.0],
+            &[TaskId(0), TaskId(1)],
+            &tasks(2),
+        );
+        assert_eq!(loads.most_loaded(), Some(TaskId(0)));
+        assert_eq!(loads.least_loaded(), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn skewed_zipf_like_loads_converge() {
+        // Zipf-ish shard loads over 16 shards, 4 tasks, bad initial layout.
+        let lb = LoadBalancer::default();
+        let shard_loads: Vec<f64> = (1..=16).map(|i| 1.0 / i as f64).collect();
+        let mut assignment: Vec<TaskId> = (0..16)
+            .map(|i| if i < 8 { TaskId(0) } else { TaskId(1) })
+            .collect();
+        let all = tasks(4);
+        let out = lb.plan(&shard_loads, &assignment, &all);
+        apply(&mut assignment, &out.moves);
+        let after = TaskLoads::from_assignment(&shard_loads, &assignment, &all);
+        assert!(
+            after.imbalance() <= 1.5,
+            "δ after = {} (moves: {:?})",
+            after.imbalance(),
+            out.moves.len()
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Framework configuration with the paper's default parameters.
+
+use crate::error::{Error, Result};
+
+/// Tunable parameters of the Elasticutor framework.
+///
+/// Defaults reproduce the paper's evaluation setup (§5): 32 elastic
+/// executors per operator, 256 shards per executor (8192 per operator),
+/// imbalance threshold θ = 1.2, base data-intensity threshold
+/// φ̃ = 512 KB/s, and a 100 ms scheduling interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElasticutorConfig {
+    /// `y` — number of elastic executors per operator.
+    pub executors_per_operator: u32,
+    /// `z` — number of shards per executor.
+    pub shards_per_executor: u32,
+    /// `θ` — maximum tolerated workload imbalance factor
+    /// (max task load / mean task load) before the intra-executor load
+    /// balancer intervenes. The paper uses 1.2.
+    pub imbalance_threshold: f64,
+    /// `φ̃` — base data-intensity threshold in bytes per second. Executors
+    /// whose per-core input+output data rate exceeds φ are constrained to
+    /// local cores. The paper uses 512 KB/s.
+    pub data_intensity_threshold: f64,
+    /// User-specified target for average end-to-end processing latency, in
+    /// nanoseconds. The dynamic scheduler provisions cores until the
+    /// modeled `E[T]` drops below this.
+    pub latency_target_ns: u64,
+    /// Interval between dynamic-scheduler invocations, in nanoseconds.
+    pub scheduling_interval_ns: u64,
+    /// Length of the sliding window used to measure executor rates, in
+    /// nanoseconds.
+    pub metrics_window_ns: u64,
+    /// Bound on task pending queues, in tuples. When a queue is full the
+    /// receiver exerts backpressure on upstream emitters (Storm-style
+    /// max-pending).
+    pub pending_queue_capacity: usize,
+    /// Upper bound on shard moves applied per balancing round-trip, a
+    /// safety valve against pathological churn.
+    pub max_moves_per_rebalance: usize,
+}
+
+impl Default for ElasticutorConfig {
+    fn default() -> Self {
+        Self {
+            executors_per_operator: 32,
+            shards_per_executor: 256,
+            imbalance_threshold: 1.2,
+            data_intensity_threshold: 512.0 * 1024.0,
+            latency_target_ns: 50_000_000, // 50 ms
+            scheduling_interval_ns: 100_000_000, // 100 ms
+            metrics_window_ns: 1_000_000_000, // 1 s
+            pending_queue_capacity: 1024,
+            max_moves_per_rebalance: 64,
+        }
+    }
+}
+
+impl ElasticutorConfig {
+    /// Validates parameter ranges, returning a descriptive error for the
+    /// first violation found.
+    pub fn validate(&self) -> Result<()> {
+        if self.executors_per_operator == 0 {
+            return Err(Error::InvalidConfig(
+                "executors_per_operator must be >= 1".into(),
+            ));
+        }
+        if self.shards_per_executor == 0 {
+            return Err(Error::InvalidConfig(
+                "shards_per_executor must be >= 1".into(),
+            ));
+        }
+        if !(self.imbalance_threshold >= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "imbalance_threshold must be >= 1.0, got {}",
+                self.imbalance_threshold
+            )));
+        }
+        if !(self.data_intensity_threshold > 0.0) {
+            return Err(Error::InvalidConfig(
+                "data_intensity_threshold must be positive".into(),
+            ));
+        }
+        if self.pending_queue_capacity == 0 {
+            return Err(Error::InvalidConfig(
+                "pending_queue_capacity must be >= 1".into(),
+            ));
+        }
+        if self.max_moves_per_rebalance == 0 {
+            return Err(Error::InvalidConfig(
+                "max_moves_per_rebalance must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total shards per operator (`y * z`), the granularity at which the
+    /// resource-centric baseline repartitions.
+    pub fn shards_per_operator(&self) -> u32 {
+        self.executors_per_operator * self.shards_per_executor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ElasticutorConfig::default();
+        assert_eq!(c.executors_per_operator, 32);
+        assert_eq!(c.shards_per_executor, 256);
+        assert_eq!(c.shards_per_operator(), 8192);
+        assert!((c.imbalance_threshold - 1.2).abs() < 1e-12);
+        assert!((c.data_intensity_threshold - 524_288.0).abs() < 1e-6);
+        c.validate().expect("defaults must validate");
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = ElasticutorConfig::default();
+        c.imbalance_threshold = 0.9;
+        assert!(c.validate().is_err());
+
+        let mut c = ElasticutorConfig::default();
+        c.executors_per_operator = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ElasticutorConfig::default();
+        c.shards_per_executor = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ElasticutorConfig::default();
+        c.pending_queue_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ElasticutorConfig::default();
+        c.data_intensity_threshold = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ElasticutorConfig::default();
+        c.max_moves_per_rebalance = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn nan_threshold_rejected() {
+        let mut c = ElasticutorConfig::default();
+        c.imbalance_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

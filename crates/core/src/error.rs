@@ -1,0 +1,96 @@
+//! Shared error type for the Elasticutor crates.
+
+use std::fmt;
+
+use crate::ids::{ExecutorId, OperatorId, ShardId, TaskId};
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the core framework and its consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A topology failed validation (cycle, dangling edge, zero
+    /// parallelism, ...).
+    InvalidTopology(String),
+    /// An operator id does not exist in the topology.
+    UnknownOperator(OperatorId),
+    /// An executor id is out of range for its operator.
+    UnknownExecutor(OperatorId, ExecutorId),
+    /// A shard id is out of range for its executor.
+    UnknownShard(ShardId),
+    /// A task id does not (or no longer) exist in the executor.
+    UnknownTask(TaskId),
+    /// A shard reassignment was requested while another reassignment of the
+    /// same shard is still in flight.
+    ReassignmentInProgress(ShardId),
+    /// A shard reassignment targeted the task that already owns the shard.
+    ReassignmentNoop(ShardId, TaskId),
+    /// The scheduler could not find a feasible CPU-to-executor assignment
+    /// (Algorithm 1 returned FAIL at the maximum locality threshold).
+    Infeasible(String),
+    /// The requested resources exceed cluster capacity.
+    CapacityExceeded {
+        /// Cores requested by the allocation.
+        requested: usize,
+        /// Cores available in the cluster.
+        available: usize,
+    },
+    /// An executor cannot drop below one task.
+    LastTask(TaskId),
+    /// Configuration value out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            Error::UnknownOperator(op) => write!(f, "unknown operator {op}"),
+            Error::UnknownExecutor(op, ex) => write!(f, "unknown executor {ex} of {op}"),
+            Error::UnknownShard(s) => write!(f, "unknown shard {s}"),
+            Error::UnknownTask(t) => write!(f, "unknown task {t}"),
+            Error::ReassignmentInProgress(s) => {
+                write!(f, "shard {s} already has a reassignment in flight")
+            }
+            Error::ReassignmentNoop(s, t) => {
+                write!(f, "shard {s} is already assigned to task {t}")
+            }
+            Error::Infeasible(msg) => write!(f, "no feasible assignment: {msg}"),
+            Error::CapacityExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "allocation requests {requested} cores but only {available} are available"
+            ),
+            Error::LastTask(t) => write!(f, "cannot remove {t}: executors need at least one task"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::CapacityExceeded {
+            requested: 300,
+            available: 256,
+        };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("256"));
+        let e = Error::ReassignmentInProgress(ShardId(4));
+        assert!(e.to_string().contains("sh4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::UnknownTask(TaskId(1)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # elasticutor-core
+//!
+//! Core abstractions for the Elasticutor stream-processing framework
+//! (Wang et al., *Elasticutor: Rapid Elasticity for Realtime Stateful
+//! Stream Processing*, SIGMOD 2019).
+//!
+//! This crate is substrate-agnostic: the same types and algorithms are used
+//! by the live multithreaded runtime (`elasticutor-runtime`) and by the
+//! discrete-event simulated cluster (`elasticutor-cluster`).
+//!
+//! The pieces implemented here:
+//!
+//! * [`ids`] — strongly-typed identifiers for keys, shards, tasks,
+//!   executors, operators, nodes, and worker processes.
+//! * [`tuple`] — the data-plane tuple metadata (key, payload size, CPU
+//!   cost, timestamps).
+//! * [`hash`] — stable 64-bit hashing used by both tiers of the routing
+//!   scheme, so that key→shard mappings are reproducible everywhere.
+//! * [`topology`] — the user-facing computation graph: operators with
+//!   parallelism and shard counts, connected by grouped streams.
+//! * [`partition`] — operator-level key partitioning. Static hash
+//!   partitioning (the executor-centric and static paradigms) and dynamic
+//!   shard-granular partitioning (the resource-centric baseline).
+//! * [`routing`] — the two-tier routing table of an elastic executor:
+//!   a static key→shard hash tier and a dynamic shard→task map with
+//!   pause/buffer semantics used by the consistent-reassignment protocol.
+//! * [`balance`] — intra-executor load balancing (paper §3.1): the
+//!   First-Fit-Decreasing-style algorithm that moves shards between tasks
+//!   until the imbalance factor δ drops below θ, minimizing moved shards.
+//! * [`config`] — framework configuration with the paper's defaults.
+//! * [`error`] — shared error type.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod config;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod partition;
+pub mod routing;
+pub mod topology;
+pub mod tuple;
+
+pub use balance::{BalanceOutcome, LoadBalancer, ShardMove, TaskLoads};
+pub use config::ElasticutorConfig;
+pub use error::{Error, Result};
+pub use ids::{CoreId, ExecutorId, Key, NodeId, OperatorId, ProcessId, ShardId, TaskId};
+pub use partition::{DynamicPartition, StaticHashPartition};
+pub use routing::{RouteDecision, RoutingTable};
+pub use topology::{Grouping, OperatorKind, OperatorSpec, Topology, TopologyBuilder};
+pub use tuple::Tuple;

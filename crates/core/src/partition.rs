@@ -1,0 +1,277 @@
+//! Operator-level key partitioning.
+//!
+//! The three execution paradigms of paper §2.2 differ in how an operator's
+//! key space is split across executors:
+//!
+//! * **Static** and **executor-centric** paradigms use a *static* hash
+//!   partition ([`StaticHashPartition`]): `executor = h1(key) mod y`,
+//!   fixed for the topology's lifetime. Upstream routing tables never
+//!   change, which is precisely what gives Elasticutor inter-operator
+//!   independence.
+//! * The **resource-centric** baseline uses a *dynamic* partition
+//!   ([`DynamicPartition`]): the operator's key space is split into
+//!   `y × z` operator-global shards (`shard = h2(key) mod (y*z)`), and a
+//!   mutable shard→executor map is replicated into every upstream
+//!   executor's routing table. Repartitioning rewrites this map — and
+//!   therefore requires the expensive global synchronization protocol.
+
+use crate::hash;
+use crate::ids::{ExecutorId, Key, ShardId};
+
+/// Static operator-level partition: key → executor by hash.
+///
+/// This is tier 1 of Elasticutor's two-tier scheme and the (only) routing
+/// rule of the static paradigm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticHashPartition {
+    parallelism: u32,
+}
+
+impl StaticHashPartition {
+    /// Creates a partition over `parallelism` executors.
+    pub fn new(parallelism: u32) -> Self {
+        assert!(parallelism > 0, "parallelism must be positive");
+        Self { parallelism }
+    }
+
+    /// Number of executors.
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// The executor owning `key`'s subspace.
+    #[inline]
+    pub fn executor_for(&self, key: Key) -> ExecutorId {
+        ExecutorId(hash::key_to_executor(key.value(), self.parallelism))
+    }
+}
+
+/// Dynamic shard-granular partition used by the resource-centric baseline.
+///
+/// Keys hash statically onto `num_shards` operator-global shards; the
+/// shard→executor assignment is explicit and mutable. A repartitioning
+/// replaces assignments and reports which shards moved (each move entails
+/// state migration and a routing-table update at *every* upstream
+/// executor).
+#[derive(Clone, Debug)]
+pub struct DynamicPartition {
+    assignment: Vec<ExecutorId>,
+    num_executors: u32,
+    version: u64,
+}
+
+impl DynamicPartition {
+    /// Creates a partition of `num_shards` shards spread round-robin over
+    /// `num_executors` executors (the initial balanced layout).
+    pub fn new(num_shards: u32, num_executors: u32) -> Self {
+        assert!(num_shards > 0, "num_shards must be positive");
+        assert!(num_executors > 0, "num_executors must be positive");
+        let assignment = (0..num_shards)
+            .map(|s| ExecutorId(s % num_executors))
+            .collect();
+        Self {
+            assignment,
+            num_executors,
+            version: 0,
+        }
+    }
+
+    /// Number of operator-global shards.
+    pub fn num_shards(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// Number of executors the partition spreads over.
+    pub fn num_executors(&self) -> u32 {
+        self.num_executors
+    }
+
+    /// Monotonic version, bumped on every repartitioning. Upstream routing
+    /// tables carry the version they last installed; the engine uses the
+    /// mismatch to know which upstream executors still need updates.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The operator-global shard for `key`.
+    #[inline]
+    pub fn shard_for(&self, key: Key) -> ShardId {
+        ShardId(hash::key_to_shard(key.value(), self.num_shards()))
+    }
+
+    /// The executor currently owning `shard`.
+    #[inline]
+    pub fn executor_of(&self, shard: ShardId) -> ExecutorId {
+        self.assignment[shard.index()]
+    }
+
+    /// The executor currently owning `key`.
+    #[inline]
+    pub fn executor_for(&self, key: Key) -> ExecutorId {
+        self.executor_of(self.shard_for(key))
+    }
+
+    /// Shards currently owned by `executor`.
+    pub fn shards_of(&self, executor: ExecutorId) -> Vec<ShardId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e == executor)
+            .map(|(s, _)| ShardId::from_index(s))
+            .collect()
+    }
+
+    /// Applies a repartitioning: `new_assignment[shard] = executor`. Returns
+    /// the list of `(shard, from, to)` moves. Panics if the new assignment
+    /// has the wrong length or references an out-of-range executor.
+    pub fn repartition(
+        &mut self,
+        new_assignment: &[ExecutorId],
+    ) -> Vec<(ShardId, ExecutorId, ExecutorId)> {
+        assert_eq!(
+            new_assignment.len(),
+            self.assignment.len(),
+            "repartition must cover every shard"
+        );
+        let mut moves = Vec::new();
+        for (s, (&old, &new)) in self.assignment.iter().zip(new_assignment).enumerate() {
+            assert!(
+                new.0 < self.num_executors,
+                "executor {new} out of range (num_executors = {})",
+                self.num_executors
+            );
+            if old != new {
+                moves.push((ShardId::from_index(s), old, new));
+            }
+        }
+        if !moves.is_empty() {
+            self.assignment.copy_from_slice(new_assignment);
+            self.version += 1;
+        }
+        moves
+    }
+
+    /// Grows or shrinks the executor set (RC operator scaling). Newly added
+    /// executors start with no shards; removed executors must first have
+    /// their shards reassigned via [`Self::repartition`], otherwise this
+    /// panics.
+    pub fn resize_executors(&mut self, num_executors: u32) {
+        assert!(num_executors > 0, "num_executors must be positive");
+        if num_executors < self.num_executors {
+            let orphaned = self
+                .assignment
+                .iter()
+                .any(|e| e.0 >= num_executors);
+            assert!(
+                !orphaned,
+                "cannot shrink: shards still assigned to removed executors"
+            );
+        }
+        self.num_executors = num_executors;
+    }
+
+    /// A snapshot of the full assignment (for planning a repartition).
+    pub fn assignment(&self) -> &[ExecutorId] {
+        &self.assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_partition_is_stable_and_in_range() {
+        let p = StaticHashPartition::new(32);
+        for k in 0..10_000u64 {
+            let e = p.executor_for(Key(k));
+            assert!(e.0 < 32);
+            assert_eq!(e, p.executor_for(Key(k)), "stability");
+        }
+    }
+
+    #[test]
+    fn dynamic_initial_round_robin() {
+        let p = DynamicPartition::new(8, 4);
+        assert_eq!(p.executor_of(ShardId(0)), ExecutorId(0));
+        assert_eq!(p.executor_of(ShardId(5)), ExecutorId(1));
+        assert_eq!(p.shards_of(ExecutorId(2)), vec![ShardId(2), ShardId(6)]);
+        assert_eq!(p.version(), 0);
+    }
+
+    #[test]
+    fn repartition_reports_only_moves() {
+        let mut p = DynamicPartition::new(4, 2);
+        // old: [0,1,0,1] → new: [0,0,1,1]: shards 1 and 2 move.
+        let new = vec![ExecutorId(0), ExecutorId(0), ExecutorId(1), ExecutorId(1)];
+        let moves = p.repartition(&new);
+        assert_eq!(
+            moves,
+            vec![
+                (ShardId(1), ExecutorId(1), ExecutorId(0)),
+                (ShardId(2), ExecutorId(0), ExecutorId(1)),
+            ]
+        );
+        assert_eq!(p.version(), 1);
+        // Idempotent repartition does not bump the version.
+        let moves = p.repartition(&new);
+        assert!(moves.is_empty());
+        assert_eq!(p.version(), 1);
+    }
+
+    #[test]
+    fn key_routing_follows_repartition() {
+        let mut p = DynamicPartition::new(16, 2);
+        let key = Key(1234);
+        let shard = p.shard_for(key);
+        let before = p.executor_for(key);
+        let mut new = p.assignment().to_vec();
+        let target = ExecutorId(1 - before.0);
+        new[shard.index()] = target;
+        p.repartition(&new);
+        assert_eq!(p.executor_for(key), target);
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let mut p = DynamicPartition::new(4, 4);
+        p.resize_executors(6);
+        assert_eq!(p.num_executors(), 6);
+        // Move everything off executors 4,5 (they own nothing yet) and
+        // off 2,3 so we can shrink to 2.
+        let new = vec![ExecutorId(0), ExecutorId(1), ExecutorId(0), ExecutorId(1)];
+        p.repartition(&new);
+        p.resize_executors(2);
+        assert_eq!(p.num_executors(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrink_with_orphans_panics() {
+        let mut p = DynamicPartition::new(4, 4);
+        p.resize_executors(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every shard")]
+    fn repartition_wrong_len_panics() {
+        let mut p = DynamicPartition::new(4, 2);
+        p.repartition(&[ExecutorId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn repartition_oob_executor_panics() {
+        let mut p = DynamicPartition::new(2, 2);
+        p.repartition(&[ExecutorId(0), ExecutorId(7)]);
+    }
+
+    #[test]
+    fn shard_distribution_counts() {
+        let p = DynamicPartition::new(8192, 32);
+        // Round-robin: every executor owns exactly 256 shards.
+        for e in 0..32 {
+            assert_eq!(p.shards_of(ExecutorId(e)).len(), 256);
+        }
+    }
+}

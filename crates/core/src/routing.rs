@@ -1,0 +1,315 @@
+//! The two-tier routing table of an elastic executor.
+//!
+//! Paper §3.2 (Figure 4): the receiver daemon of an elastic executor maps
+//! each input tuple to its designated task in two tiers:
+//!
+//! 1. a **static** tier hashing the key to one of `z` shards, and
+//! 2. a **dynamic** shard→task mapping updated on shard reassignments.
+//!
+//! During a shard's reassignment (paper §3.3) routing for that shard is
+//! **paused**: arriving tuples are buffered at the receiver, and are
+//! flushed to the destination task once the state migration completes and
+//! the mapping is updated. [`RoutingTable`] implements exactly this: it is
+//! generic over the buffered tuple representation `T` so the simulated and
+//! live engines reuse identical semantics.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::hash;
+use crate::ids::{Key, ShardId, TaskId};
+
+/// Outcome of routing one tuple.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RouteDecision<T> {
+    /// Deliver the tuple to this task's pending queue; the tuple is
+    /// handed back to the caller.
+    Deliver(TaskId, T),
+    /// The tuple's shard is paused for reassignment; the tuple was buffered
+    /// inside the routing table and must not be delivered yet.
+    Buffered(ShardId),
+}
+
+/// Two-tier routing table with pause/buffer semantics.
+#[derive(Debug, Clone)]
+pub struct RoutingTable<T> {
+    /// `shard → task` (tier 2). Indexed by shard.
+    shard_to_task: Vec<TaskId>,
+    /// Buffers for paused shards. Sparse: almost always empty.
+    paused: BTreeMap<ShardId, Vec<T>>,
+    /// Bumped on every mapping update; lets observers cheaply detect change.
+    version: u64,
+}
+
+impl<T> RoutingTable<T> {
+    /// Creates a table of `num_shards` shards all mapped to `initial_task`.
+    pub fn new(num_shards: u32, initial_task: TaskId) -> Self {
+        Self {
+            shard_to_task: vec![initial_task; num_shards as usize],
+            paused: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Creates a table from an explicit shard→task assignment.
+    pub fn from_assignment(assignment: Vec<TaskId>) -> Self {
+        assert!(!assignment.is_empty(), "assignment must not be empty");
+        Self {
+            shard_to_task: assignment,
+            paused: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Number of shards (tier-1 modulus).
+    pub fn num_shards(&self) -> u32 {
+        self.shard_to_task.len() as u32
+    }
+
+    /// Tier-1: the shard owning `key`.
+    #[inline]
+    pub fn shard_for(&self, key: Key) -> ShardId {
+        ShardId(hash::key_to_shard(key.value(), self.num_shards()))
+    }
+
+    /// Tier-2 lookup: the task currently owning `shard`.
+    pub fn task_of(&self, shard: ShardId) -> Result<TaskId> {
+        self.shard_to_task
+            .get(shard.index())
+            .copied()
+            .ok_or(Error::UnknownShard(shard))
+    }
+
+    /// Routes a tuple: returns the destination task (handing the tuple
+    /// back), or buffers the tuple if its shard is paused.
+    pub fn route(&mut self, key: Key, tuple: T) -> RouteDecision<T> {
+        let shard = self.shard_for(key);
+        self.route_shard(shard, tuple)
+    }
+
+    /// Routes a tuple whose shard is already known (callers that computed
+    /// the shard externally, e.g. from an operator-global shard id).
+    pub fn route_shard(&mut self, shard: ShardId, tuple: T) -> RouteDecision<T> {
+        if let Some(buf) = self.paused.get_mut(&shard) {
+            buf.push(tuple);
+            return RouteDecision::Buffered(shard);
+        }
+        RouteDecision::Deliver(self.shard_to_task[shard.index()], tuple)
+    }
+
+    /// Pauses routing for `shard` (start of a reassignment). Subsequent
+    /// tuples of the shard are buffered. Errors if already paused.
+    pub fn pause(&mut self, shard: ShardId) -> Result<()> {
+        if shard.index() >= self.shard_to_task.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        if self.paused.contains_key(&shard) {
+            return Err(Error::ReassignmentInProgress(shard));
+        }
+        self.paused.insert(shard, Vec::new());
+        Ok(())
+    }
+
+    /// Whether `shard` is currently paused.
+    pub fn is_paused(&self, shard: ShardId) -> bool {
+        self.paused.contains_key(&shard)
+    }
+
+    /// Completes a reassignment: points `shard` at `new_task`, resumes
+    /// routing, and returns the tuples buffered while paused (in arrival
+    /// order) so the caller can deliver them to `new_task`.
+    pub fn finish_reassignment(&mut self, shard: ShardId, new_task: TaskId) -> Result<Vec<T>> {
+        if shard.index() >= self.shard_to_task.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        let buffered = self
+            .paused
+            .remove(&shard)
+            .ok_or(Error::UnknownShard(shard))?;
+        self.shard_to_task[shard.index()] = new_task;
+        self.version += 1;
+        Ok(buffered)
+    }
+
+    /// Aborts a reassignment: resumes routing to the *old* task and returns
+    /// the buffered tuples for delivery there. Used for failure recovery.
+    pub fn abort_reassignment(&mut self, shard: ShardId) -> Result<Vec<T>> {
+        let buffered = self
+            .paused
+            .remove(&shard)
+            .ok_or(Error::UnknownShard(shard))?;
+        self.version += 1;
+        Ok(buffered)
+    }
+
+    /// Directly updates the mapping without pause/buffer (used for initial
+    /// placement and bulk rebalances while an executor is quiesced).
+    pub fn set_task(&mut self, shard: ShardId, task: TaskId) -> Result<()> {
+        if self.is_paused(shard) {
+            return Err(Error::ReassignmentInProgress(shard));
+        }
+        let slot = self
+            .shard_to_task
+            .get_mut(shard.index())
+            .ok_or(Error::UnknownShard(shard))?;
+        *slot = task;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Shards currently mapped to `task` (paused shards included; a paused
+    /// shard still belongs to its source task until the reassignment
+    /// finishes).
+    pub fn shards_of(&self, task: TaskId) -> Vec<ShardId> {
+        self.shard_to_task
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == task)
+            .map(|(s, _)| ShardId::from_index(s))
+            .collect()
+    }
+
+    /// The full shard→task assignment.
+    pub fn assignment(&self) -> &[TaskId] {
+        &self.shard_to_task
+    }
+
+    /// Distinct tasks present in the assignment, ascending.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> = self.shard_to_task.to_vec();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks
+    }
+
+    /// Mapping version (bumped on every change).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of shards currently paused.
+    pub fn paused_count(&self) -> usize {
+        self.paused.len()
+    }
+
+    /// Total tuples sitting in pause buffers.
+    pub fn buffered_tuples(&self) -> usize {
+        self.paused.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RoutingTable<u64> {
+        RoutingTable::from_assignment(vec![TaskId(0), TaskId(0), TaskId(1), TaskId(1)])
+    }
+
+    #[test]
+    fn routes_by_two_tiers() {
+        let mut rt = table();
+        let key = Key(7);
+        let shard = rt.shard_for(key);
+        let expect = rt.task_of(shard).unwrap();
+        assert_eq!(rt.route(key, 1), RouteDecision::Deliver(expect, 1));
+    }
+
+    #[test]
+    fn pause_buffers_then_flushes_in_order() {
+        let mut rt = table();
+        // Find a key landing on shard 2.
+        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(2)).unwrap();
+        rt.pause(ShardId(2)).unwrap();
+        assert!(rt.is_paused(ShardId(2)));
+        assert_eq!(rt.route(key, 10), RouteDecision::Buffered(ShardId(2)));
+        assert_eq!(rt.route(key, 11), RouteDecision::Buffered(ShardId(2)));
+        assert_eq!(rt.buffered_tuples(), 2);
+        let buf = rt.finish_reassignment(ShardId(2), TaskId(0)).unwrap();
+        assert_eq!(buf, vec![10, 11]);
+        assert_eq!(rt.task_of(ShardId(2)).unwrap(), TaskId(0));
+        assert!(!rt.is_paused(ShardId(2)));
+        // Routing resumes to the new task.
+        assert_eq!(rt.route(key, 12), RouteDecision::Deliver(TaskId(0), 12));
+    }
+
+    #[test]
+    fn unpaused_shards_unaffected_by_pause() {
+        let mut rt = table();
+        rt.pause(ShardId(2)).unwrap();
+        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(0)).unwrap();
+        assert_eq!(rt.route(key, 5), RouteDecision::Deliver(TaskId(0), 5));
+    }
+
+    #[test]
+    fn double_pause_rejected() {
+        let mut rt = table();
+        rt.pause(ShardId(1)).unwrap();
+        assert_eq!(
+            rt.pause(ShardId(1)),
+            Err(Error::ReassignmentInProgress(ShardId(1)))
+        );
+    }
+
+    #[test]
+    fn abort_restores_old_task() {
+        let mut rt = table();
+        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(3)).unwrap();
+        rt.pause(ShardId(3)).unwrap();
+        rt.route(key, 99);
+        let buf = rt.abort_reassignment(ShardId(3)).unwrap();
+        assert_eq!(buf, vec![99]);
+        assert_eq!(rt.task_of(ShardId(3)).unwrap(), TaskId(1), "mapping unchanged");
+    }
+
+    #[test]
+    fn finish_without_pause_is_error() {
+        let mut rt = table();
+        assert!(rt.finish_reassignment(ShardId(0), TaskId(1)).is_err());
+    }
+
+    #[test]
+    fn set_task_blocked_while_paused() {
+        let mut rt = table();
+        rt.pause(ShardId(0)).unwrap();
+        assert_eq!(
+            rt.set_task(ShardId(0), TaskId(1)),
+            Err(Error::ReassignmentInProgress(ShardId(0)))
+        );
+    }
+
+    #[test]
+    fn version_bumps_on_changes() {
+        let mut rt = table();
+        let v0 = rt.version();
+        rt.set_task(ShardId(0), TaskId(1)).unwrap();
+        assert!(rt.version() > v0);
+        rt.pause(ShardId(1)).unwrap();
+        let v1 = rt.version();
+        rt.finish_reassignment(ShardId(1), TaskId(0)).unwrap();
+        assert!(rt.version() > v1);
+    }
+
+    #[test]
+    fn shards_of_and_tasks() {
+        let rt = table();
+        assert_eq!(rt.shards_of(TaskId(0)), vec![ShardId(0), ShardId(1)]);
+        assert_eq!(rt.shards_of(TaskId(1)), vec![ShardId(2), ShardId(3)]);
+        assert_eq!(rt.tasks(), vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn out_of_range_shard_errors() {
+        let mut rt = table();
+        assert!(rt.task_of(ShardId(99)).is_err());
+        assert!(rt.pause(ShardId(99)).is_err());
+        assert!(rt.set_task(ShardId(99), TaskId(0)).is_err());
+    }
+
+    #[test]
+    fn uniform_table_constructor() {
+        let rt: RoutingTable<()> = RoutingTable::new(256, TaskId(0));
+        assert_eq!(rt.num_shards(), 256);
+        assert_eq!(rt.tasks(), vec![TaskId(0)]);
+    }
+}

@@ -1,0 +1,486 @@
+//! The topology model: a directed acyclic graph of operators.
+//!
+//! A user application is a DAG whose vertices are operators with
+//! user-defined logic and whose edges carry streams of tuples (paper §2.1).
+//! Each operator declares a parallelism (`y` executors) and a shard count
+//! (`z` shards per executor). Sources (the paper's *spouts*) have no
+//! inbound edges; transforms (the paper's *bolts*) have at least one.
+
+use std::collections::VecDeque;
+
+use crate::error::{Error, Result};
+use crate::ids::OperatorId;
+
+/// How tuples on an edge are distributed across downstream executors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Grouping {
+    /// Hash by key: all tuples of a key go to the executor owning its key
+    /// subspace. This is the grouping stateful operators require.
+    Key,
+    /// Round-robin over downstream executors; only valid into stateless
+    /// operators (no key affinity).
+    Shuffle,
+}
+
+/// The role of an operator in the dataflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// Emits tuples into the topology; no inbound edges.
+    Source,
+    /// Consumes and produces tuples; at least one inbound edge.
+    Transform,
+}
+
+/// Static description of one operator.
+#[derive(Clone, Debug)]
+pub struct OperatorSpec {
+    /// Identifier, assigned densely by the builder in insertion order.
+    pub id: OperatorId,
+    /// Human-readable name (unique within the topology).
+    pub name: String,
+    /// Role in the dataflow.
+    pub kind: OperatorKind,
+    /// `y` — number of executors.
+    pub parallelism: u32,
+    /// `z` — shards per executor.
+    pub shards_per_executor: u32,
+    /// Average output selectivity: expected number of tuples emitted per
+    /// input tuple processed (e.g. 1.0 for a map, 11.0 for the SSE
+    /// transactor fanning out to 11 analytics operators). Used by the
+    /// performance model to propagate rates through the Jackson network.
+    pub selectivity: f64,
+}
+
+/// A directed edge between two operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing operator.
+    pub from: OperatorId,
+    /// Consuming operator.
+    pub to: OperatorId,
+    /// Distribution of tuples across the consumer's executors.
+    pub grouping: Grouping,
+}
+
+/// A validated operator DAG.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    operators: Vec<OperatorSpec>,
+    edges: Vec<Edge>,
+    /// Outbound adjacency: `downstream[op] = consumers of op`.
+    downstream: Vec<Vec<OperatorId>>,
+    /// Inbound adjacency: `upstream[op] = producers into op`.
+    upstream: Vec<Vec<OperatorId>>,
+    /// Operators in a topological order (sources first).
+    topo_order: Vec<OperatorId>,
+}
+
+impl Topology {
+    /// All operators, indexed by `OperatorId`.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Looks up an operator spec.
+    pub fn operator(&self, id: OperatorId) -> Result<&OperatorSpec> {
+        self.operators
+            .get(id.index())
+            .ok_or(Error::UnknownOperator(id))
+    }
+
+    /// Finds an operator by name.
+    pub fn operator_by_name(&self, name: &str) -> Option<&OperatorSpec> {
+        self.operators.iter().find(|o| o.name == name)
+    }
+
+    /// Consumers of `id`'s output stream.
+    pub fn downstream(&self, id: OperatorId) -> &[OperatorId] {
+        &self.downstream[id.index()]
+    }
+
+    /// Producers into `id`.
+    pub fn upstream(&self, id: OperatorId) -> &[OperatorId] {
+        &self.upstream[id.index()]
+    }
+
+    /// Number of *upstream executors* feeding operator `id`: the sum of the
+    /// parallelism of its producers. This is the set the resource-centric
+    /// baseline must synchronize with during key repartitioning, the `x`
+    /// axis of Figure 9(a).
+    pub fn upstream_executor_count(&self, id: OperatorId) -> u32 {
+        self.upstream[id.index()]
+            .iter()
+            .map(|&u| self.operators[u.index()].parallelism)
+            .sum()
+    }
+
+    /// Operators with no inbound edges.
+    pub fn sources(&self) -> impl Iterator<Item = &OperatorSpec> {
+        self.operators
+            .iter()
+            .filter(|o| o.kind == OperatorKind::Source)
+    }
+
+    /// Operators in topological order (every producer precedes its
+    /// consumers).
+    pub fn topo_order(&self) -> &[OperatorId] {
+        &self.topo_order
+    }
+
+    /// Total executor count across all operators.
+    pub fn total_executors(&self) -> u32 {
+        self.operators.iter().map(|o| o.parallelism).sum()
+    }
+
+    /// The grouping on the edge `from → to`, if such an edge exists.
+    pub fn grouping(&self, from: OperatorId, to: OperatorId) -> Option<Grouping> {
+        self.edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.grouping)
+    }
+}
+
+/// Builder for [`Topology`]. Collects operators and edges, then validates
+/// the graph (non-empty, unique names, positive parallelism, edges between
+/// known operators, sources have no inbound edges, acyclic, every transform
+/// reachable from a source).
+#[derive(Default)]
+pub struct TopologyBuilder {
+    operators: Vec<OperatorSpec>,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source operator and returns its id.
+    pub fn source(&mut self, name: impl Into<String>, parallelism: u32) -> OperatorId {
+        self.push(name.into(), OperatorKind::Source, parallelism, 1, 1.0)
+    }
+
+    /// Adds a transform operator and returns its id.
+    pub fn transform(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        shards_per_executor: u32,
+    ) -> OperatorId {
+        self.push(
+            name.into(),
+            OperatorKind::Transform,
+            parallelism,
+            shards_per_executor,
+            1.0,
+        )
+    }
+
+    /// Sets the selectivity of the most recently added operator.
+    pub fn with_selectivity(&mut self, op: OperatorId, selectivity: f64) -> &mut Self {
+        if let Some(spec) = self.operators.get_mut(op.index()) {
+            spec.selectivity = selectivity;
+        }
+        self
+    }
+
+    fn push(
+        &mut self,
+        name: String,
+        kind: OperatorKind,
+        parallelism: u32,
+        shards_per_executor: u32,
+        selectivity: f64,
+    ) -> OperatorId {
+        let id = OperatorId::from_index(self.operators.len());
+        self.operators.push(OperatorSpec {
+            id,
+            name,
+            kind,
+            parallelism,
+            shards_per_executor,
+            selectivity,
+        });
+        id
+    }
+
+    /// Adds a key-grouped edge `from → to`.
+    pub fn key_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push(Edge {
+            from,
+            to,
+            grouping: Grouping::Key,
+        });
+        self
+    }
+
+    /// Adds a shuffle-grouped edge `from → to`.
+    pub fn shuffle_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push(Edge {
+            from,
+            to,
+            grouping: Grouping::Shuffle,
+        });
+        self
+    }
+
+    /// Validates and finalizes the topology.
+    pub fn build(self) -> Result<Topology> {
+        let n = self.operators.len();
+        if n == 0 {
+            return Err(Error::InvalidTopology("no operators".into()));
+        }
+        for (i, a) in self.operators.iter().enumerate() {
+            if a.parallelism == 0 {
+                return Err(Error::InvalidTopology(format!(
+                    "operator '{}' has zero parallelism",
+                    a.name
+                )));
+            }
+            if a.shards_per_executor == 0 {
+                return Err(Error::InvalidTopology(format!(
+                    "operator '{}' has zero shards per executor",
+                    a.name
+                )));
+            }
+            if !(a.selectivity >= 0.0) {
+                return Err(Error::InvalidTopology(format!(
+                    "operator '{}' has negative or NaN selectivity",
+                    a.name
+                )));
+            }
+            for b in &self.operators[i + 1..] {
+                if a.name == b.name {
+                    return Err(Error::InvalidTopology(format!(
+                        "duplicate operator name '{}'",
+                        a.name
+                    )));
+                }
+            }
+        }
+
+        let mut downstream = vec![Vec::new(); n];
+        let mut upstream = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.from.index() >= n {
+                return Err(Error::UnknownOperator(e.from));
+            }
+            if e.to.index() >= n {
+                return Err(Error::UnknownOperator(e.to));
+            }
+            if e.from == e.to {
+                return Err(Error::InvalidTopology(format!(
+                    "self-loop on operator '{}'",
+                    self.operators[e.from.index()].name
+                )));
+            }
+            downstream[e.from.index()].push(e.to);
+            upstream[e.to.index()].push(e.from);
+        }
+
+        for o in &self.operators {
+            match o.kind {
+                OperatorKind::Source => {
+                    if !upstream[o.id.index()].is_empty() {
+                        return Err(Error::InvalidTopology(format!(
+                            "source '{}' has inbound edges",
+                            o.name
+                        )));
+                    }
+                }
+                OperatorKind::Transform => {
+                    if upstream[o.id.index()].is_empty() {
+                        return Err(Error::InvalidTopology(format!(
+                            "transform '{}' has no inbound edges",
+                            o.name
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Kahn's algorithm: detects cycles and yields a topological order.
+        let mut indegree: Vec<usize> = upstream.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<OperatorId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| OperatorId::from_index(i))
+            .collect();
+        let mut topo_order = Vec::with_capacity(n);
+        while let Some(op) = queue.pop_front() {
+            topo_order.push(op);
+            for &next in &downstream[op.index()] {
+                indegree[next.index()] -= 1;
+                if indegree[next.index()] == 0 {
+                    queue.push_back(next);
+                }
+            }
+        }
+        if topo_order.len() != n {
+            return Err(Error::InvalidTopology("cycle detected".into()));
+        }
+
+        Ok(Topology {
+            operators: self.operators,
+            edges: self.edges,
+            downstream,
+            upstream,
+            topo_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro() -> Topology {
+        // The paper's Figure 5 micro-benchmark: generator → calculator.
+        let mut b = TopologyBuilder::new();
+        let gen = b.source("generator", 8);
+        let calc = b.transform("calculator", 32, 256);
+        b.key_edge(gen, calc);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn micro_topology_shape() {
+        let t = micro();
+        assert_eq!(t.operators().len(), 2);
+        let calc = t.operator_by_name("calculator").unwrap();
+        assert_eq!(calc.parallelism, 32);
+        assert_eq!(t.upstream_executor_count(calc.id), 8);
+        assert_eq!(t.downstream(OperatorId(0)), &[OperatorId(1)]);
+        assert_eq!(t.upstream(OperatorId(1)), &[OperatorId(0)]);
+        assert_eq!(t.total_executors(), 40);
+        assert_eq!(t.grouping(OperatorId(0), OperatorId(1)), Some(Grouping::Key));
+        assert_eq!(t.grouping(OperatorId(1), OperatorId(0)), None);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 2, 4);
+        let c = b.transform("c", 2, 4);
+        let d = b.transform("d", 2, 4);
+        b.key_edge(s, a);
+        b.key_edge(a, c);
+        b.key_edge(a, d);
+        b.key_edge(c, d);
+        let t = b.build().unwrap();
+        let order = t.topo_order();
+        let pos = |op: OperatorId| order.iter().position(|&x| x == op).unwrap();
+        assert!(pos(s) < pos(a));
+        assert!(pos(a) < pos(c));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 1, 1);
+        let c = b.transform("c", 1, 1);
+        b.key_edge(s, a);
+        b.key_edge(a, c);
+        b.key_edge(c, a);
+        assert!(matches!(b.build(), Err(Error::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 1, 1);
+        b.key_edge(s, a);
+        b.key_edge(a, a);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_parallelism() {
+        let mut b = TopologyBuilder::new();
+        b.source("s", 0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = TopologyBuilder::new();
+        b.source("s", 1);
+        b.source("s", 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_orphan_transform() {
+        let mut b = TopologyBuilder::new();
+        b.source("s", 1);
+        b.transform("lonely", 1, 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_source_with_input() {
+        let mut b = TopologyBuilder::new();
+        let s1 = b.source("s1", 1);
+        let s2 = b.source("s2", 1);
+        b.key_edge(s1, s2);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(TopologyBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_edge_endpoint() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        b.key_edge(s, OperatorId(9));
+        assert!(matches!(b.build(), Err(Error::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn selectivity_builder() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 1, 1);
+        b.key_edge(s, a);
+        b.with_selectivity(a, 11.0);
+        let t = b.build().unwrap();
+        assert!((t.operator(a).unwrap().selectivity - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sse_like_fanout_counts_upstream_executors() {
+        // transactor (32 executors) feeding 11 analytics operators: each
+        // analytics operator sees 32 upstream executors.
+        let mut b = TopologyBuilder::new();
+        let src = b.source("orders", 8);
+        let tx = b.transform("transactor", 32, 256);
+        b.key_edge(src, tx);
+        let mut analytics = Vec::new();
+        for i in 0..11 {
+            let a = b.transform(format!("analytics{i}"), 32, 256);
+            b.key_edge(tx, a);
+            analytics.push(a);
+        }
+        let t = b.build().unwrap();
+        for a in analytics {
+            assert_eq!(t.upstream_executor_count(a), 32);
+        }
+        assert_eq!(t.upstream_executor_count(tx), 8);
+        assert_eq!(t.sources().count(), 1);
+    }
+}

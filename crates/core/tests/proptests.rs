@@ -1,0 +1,148 @@
+//! Property-based tests for core invariants.
+
+use elasticutor_core::balance::{LoadBalancer, TaskLoads};
+use elasticutor_core::hash;
+use elasticutor_core::ids::{ExecutorId, Key, ShardId, TaskId};
+use elasticutor_core::partition::DynamicPartition;
+use elasticutor_core::routing::{RouteDecision, RoutingTable};
+use proptest::prelude::*;
+
+fn task_vec(n: u32) -> Vec<TaskId> {
+    (0..n).map(TaskId).collect()
+}
+
+proptest! {
+    /// Tier hashes always land in range and are deterministic.
+    #[test]
+    fn hash_in_range(key in any::<u64>(), y in 1u32..512, z in 1u32..4096) {
+        let e = hash::key_to_executor(key, y);
+        prop_assert!(e < y);
+        let s = hash::key_to_shard(key, z);
+        prop_assert!(s < z);
+        prop_assert_eq!(e, hash::key_to_executor(key, y));
+        prop_assert_eq!(s, hash::key_to_shard(key, z));
+    }
+
+    /// A balancing plan never increases the imbalance factor, moves only
+    /// shards that exist, and each move's `from` matches the evolving
+    /// assignment.
+    #[test]
+    fn balancer_plan_sound(
+        loads in prop::collection::vec(0.0f64..100.0, 1..64),
+        ntasks in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        let tasks = task_vec(ntasks);
+        // Random-ish initial assignment derived from the seed.
+        let mut assignment: Vec<TaskId> = (0..loads.len())
+            .map(|i| TaskId(hash::hash_with_seed(i as u64, seed) as u32 % ntasks))
+            .collect();
+        let lb = LoadBalancer::default();
+        let out = lb.plan(&loads, &assignment, &tasks);
+        prop_assert!(out.delta_after <= out.delta_before + 1e-9);
+        prop_assert!(out.moves.len() <= lb.max_moves);
+        for m in &out.moves {
+            prop_assert!(m.shard.index() < loads.len());
+            prop_assert_eq!(assignment[m.shard.index()], m.from);
+            prop_assert!(tasks.contains(&m.to));
+            prop_assert_ne!(m.from, m.to);
+            assignment[m.shard.index()] = m.to;
+        }
+        // Reported delta_after matches the applied assignment.
+        let after = TaskLoads::from_assignment(&loads, &assignment, &tasks);
+        prop_assert!((after.imbalance() - out.delta_after).abs() < 1e-9);
+    }
+
+    /// FFD fresh assignment: all shards assigned to valid tasks and the
+    /// result is within 4/3 of the lower bound on the makespan (FFD's
+    /// classical guarantee is 4/3 OPT + 1 item for makespan scheduling).
+    #[test]
+    fn ffd_assignment_quality(
+        loads in prop::collection::vec(0.01f64..10.0, 1..64),
+        ntasks in 1u32..9,
+    ) {
+        let tasks = task_vec(ntasks);
+        let lb = LoadBalancer::default();
+        let assignment = lb.assign_fresh(&loads, &tasks);
+        prop_assert_eq!(assignment.len(), loads.len());
+        for &t in &assignment {
+            prop_assert!(tasks.contains(&t));
+        }
+        let tl = TaskLoads::from_assignment(&loads, &assignment, &tasks);
+        let total: f64 = loads.iter().sum();
+        let maxload = loads.iter().cloned().fold(0.0f64, f64::max);
+        let lower = (total / ntasks as f64).max(maxload);
+        let makespan = tasks.iter().map(|&t| tl.load(t)).fold(0.0f64, f64::max);
+        prop_assert!(makespan <= 4.0 / 3.0 * lower + maxload + 1e-9,
+            "makespan {makespan} vs lower bound {lower}");
+    }
+
+    /// Pausing and finishing a reassignment preserves every buffered tuple
+    /// exactly once, in order.
+    #[test]
+    fn routing_buffer_preserves_tuples(
+        z in 1u32..64,
+        keys in prop::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let mut rt: RoutingTable<(u64, usize)> = RoutingTable::new(z, TaskId(0));
+        let target = rt.shard_for(Key(keys[0]));
+        rt.pause(target).unwrap();
+        let mut expected = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let decision = rt.route(Key(k), (k, i));
+            if rt.shard_for(Key(k)) == target {
+                prop_assert_eq!(decision, RouteDecision::Buffered(target));
+                expected.push((k, i));
+            } else {
+                prop_assert!(matches!(decision, RouteDecision::Deliver(_, _)));
+            }
+        }
+        let buffered = rt.finish_reassignment(target, TaskId(1)).unwrap();
+        prop_assert_eq!(buffered, expected);
+        prop_assert_eq!(rt.task_of(target).unwrap(), TaskId(1));
+    }
+
+    /// Dynamic (RC) repartitioning reports exactly the set of changed
+    /// shards and key routing follows the new owner.
+    #[test]
+    fn dynamic_partition_moves_consistent(
+        shards in 1u32..128,
+        execs in 1u32..17,
+        seed in any::<u64>(),
+    ) {
+        let mut p = DynamicPartition::new(shards, execs);
+        let old = p.assignment().to_vec();
+        let new: Vec<ExecutorId> = (0..shards)
+            .map(|s| ExecutorId(hash::hash_with_seed(u64::from(s), seed) as u32 % execs))
+            .collect();
+        let moves = p.repartition(&new);
+        for (i, (&o, &n)) in old.iter().zip(&new).enumerate() {
+            let moved = moves.iter().any(|&(s, _, _)| s == ShardId::from_index(i));
+            prop_assert_eq!(moved, o != n);
+        }
+        for s in 0..shards {
+            prop_assert_eq!(p.executor_of(ShardId(s)), new[s as usize]);
+        }
+    }
+
+    /// Task-removal plans drain the removed task completely and only touch
+    /// its shards.
+    #[test]
+    fn removal_plan_complete(
+        loads in prop::collection::vec(0.0f64..10.0, 2..64),
+        ntasks in 2u32..8,
+    ) {
+        let tasks = task_vec(ntasks);
+        let lb = LoadBalancer::default();
+        let mut assignment = lb.assign_fresh(&loads, &tasks);
+        let removed = TaskId(ntasks - 1);
+        let surviving: Vec<TaskId> = tasks.iter().copied().filter(|&t| t != removed).collect();
+        let moves = lb.plan_task_removal(&loads, &assignment, removed, &surviving);
+        for m in &moves {
+            prop_assert_eq!(m.from, removed);
+            prop_assert!(surviving.contains(&m.to));
+            assignment[m.shard.index()] = m.to;
+        }
+        prop_assert!(assignment.iter().all(|&t| t != removed));
+    }
+}

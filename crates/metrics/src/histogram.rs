@@ -1,0 +1,279 @@
+//! Log-bucketed latency histogram.
+//!
+//! Latencies in the evaluation span six orders of magnitude (sub-ms to
+//! tens of seconds when the RC baseline stalls), so buckets grow
+//! geometrically: each bucket covers a fixed ratio (default ~5% — 144
+//! buckets per decade... no: `GROWTH = 1.05` gives ~47 buckets per
+//! decade), bounding quantile error to the bucket width while keeping the
+//! histogram a few KB.
+
+/// Geometric bucket growth factor (each bucket's upper bound is 5% above
+/// the previous). Quantile estimates are accurate to within 5%.
+const GROWTH: f64 = 1.05;
+
+/// Smallest resolvable latency in nanoseconds; everything below lands in
+/// bucket 0.
+const MIN_NS: f64 = 1_000.0; // 1 µs
+
+/// Number of buckets: covers 1 µs · 1.05^N; N = 900 reaches ~1.6e22 ns,
+/// far beyond any plausible latency.
+const BUCKETS: usize = 900;
+
+/// A latency histogram with logarithmic buckets.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: f64,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0.0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if (ns as f64) <= MIN_NS {
+            return 0;
+        }
+        let idx = ((ns as f64) / MIN_NS).ln() / GROWTH.ln();
+        (idx.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (ns) of bucket `i`.
+    fn bucket_upper(i: usize) -> f64 {
+        MIN_NS * GROWTH.powi(i as i32)
+    }
+
+    /// Records one latency observation in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as f64;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.total as f64
+        }
+    }
+
+    /// Maximum recorded latency (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Minimum recorded latency (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) in nanoseconds, estimated at bucket
+    /// resolution (within 5%). Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket estimate into the observed range so
+                // p100 never exceeds the true max.
+                return Self::bucket_upper(i).min(self.max_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+
+    /// Median (p50) in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th percentile in nanoseconds — the tail metric of Figure 11.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum_ns = 0.0;
+        self.max_ns = 0;
+        self.min_ns = u64::MAX;
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("mean_ms", &(self.mean_ns() / 1e6))
+            .field("p50_ms", &(self.p50_ns() / 1e6))
+            .field("p99_ms", &(self.p99_ns() / 1e6))
+            .field("max_ms", &(self.max_ns() as f64 / 1e6))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.p99_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1_000_000u64, 2_000_000, 3_000_000] {
+            h.record(ns);
+        }
+        assert!((h.mean_ns() - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), 3_000_000);
+        assert_eq!(h.min_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 ms uniformly.
+        for i in 1..=1000u64 {
+            h.record(i * 1_000_000);
+        }
+        let p50 = h.p50_ns() / 1e6;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.06, "p50 = {p50} ms");
+        let p99 = h.p99_ns() / 1e6;
+        assert!((p99 - 990.0).abs() / 990.0 < 0.06, "p99 = {p99} ms");
+    }
+
+    #[test]
+    fn p100_never_exceeds_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456_789);
+        assert!(h.quantile_ns(1.0) <= 123_456_789.0 + 1.0);
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.record(999);
+        assert_eq!(h.count(), 2);
+        assert!(h.p50_ns() <= 1_000.0);
+    }
+
+    #[test]
+    fn huge_latency_saturates_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.p99_ns() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_000_000);
+        b.record(9_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_ns() - 5_000_000.0).abs() < 1.0);
+        assert_eq!(a.max_ns(), 9_000_000);
+        assert_eq!(a.min_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(5_000_000);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().quantile_ns(1.5);
+    }
+
+    #[test]
+    fn orders_of_magnitude_resolved() {
+        // The histogram must distinguish 1 ms from 100 ms from 10 s —
+        // the spread between Elasticutor and RC in Figure 6b.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1_000_000); // 1 ms
+        }
+        for _ in 0..100 {
+            h.record(10_000_000_000); // 10 s
+        }
+        let p25 = h.quantile_ns(0.25) / 1e6;
+        let p75 = h.quantile_ns(0.75) / 1e6;
+        assert!(p25 < 1.1, "p25 = {p25} ms");
+        assert!(p75 > 9_000.0, "p75 = {p75} ms");
+    }
+}

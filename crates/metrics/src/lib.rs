@@ -1,0 +1,28 @@
+//! # elasticutor-metrics
+//!
+//! Measurement primitives shared by the simulated engines and the live
+//! runtime, matching the metrics the paper reports:
+//!
+//! * [`histogram::LatencyHistogram`] — log-bucketed latency histogram
+//!   with average, p50, p99 (Figures 6b, 11, 16b).
+//! * [`window::SlidingWindowCounter`] — instantaneous throughput measured
+//!   in a sliding time window of 1 second (Figures 7, 16a).
+//! * [`series::TimeSeries`] — timestamped samples for plotting timelines.
+//! * [`rate::ByteRateCounter`] — byte-volume counters windowed into MB/s
+//!   rates (Table 2's state-migration and remote-data-transfer rates).
+//!
+//! Everything is driven by explicit nanosecond timestamps rather than
+//! wall-clock reads, so the same code serves the discrete-event simulator
+//! (simulated time) and the live runtime (monotonic clock time).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod rate;
+pub mod series;
+pub mod window;
+
+pub use histogram::LatencyHistogram;
+pub use rate::ByteRateCounter;
+pub use series::TimeSeries;
+pub use window::SlidingWindowCounter;

@@ -1,0 +1,133 @@
+//! Byte-volume counters for migration and transfer rates.
+//!
+//! Table 2 of the paper compares naive-EC and Elasticutor by their
+//! **state migration rate** (MB/s of state crossing the network) and
+//! **remote data transfer rate** (MB/s between executors' main processes
+//! and their remote tasks). [`ByteRateCounter`] accumulates byte volumes
+//! with timestamps and reports windowed and lifetime rates.
+
+/// Accumulates byte volumes over explicit timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct ByteRateCounter {
+    total_bytes: u64,
+    first_ts: Option<u64>,
+    last_ts: u64,
+    /// Recent (ts, bytes) events for windowed rates. Pruned lazily.
+    recent: std::collections::VecDeque<(u64, u64)>,
+    window_ns: u64,
+}
+
+impl ByteRateCounter {
+    /// Creates a counter with a 10-second window for `recent_rate`.
+    pub fn new() -> Self {
+        Self::with_window(10_000_000_000)
+    }
+
+    /// Creates a counter with a custom window.
+    pub fn with_window(window_ns: u64) -> Self {
+        assert!(window_ns > 0);
+        Self {
+            window_ns,
+            ..Self::default()
+        }
+    }
+
+    /// Records `bytes` transferred at `ts_ns`.
+    pub fn record_at(&mut self, ts_ns: u64, bytes: u64) {
+        if self.first_ts.is_none() {
+            self.first_ts = Some(ts_ns);
+        }
+        self.last_ts = self.last_ts.max(ts_ns);
+        self.total_bytes += bytes;
+        self.recent.push_back((ts_ns, bytes));
+        self.prune(ts_ns);
+    }
+
+    fn prune(&mut self, now_ns: u64) {
+        let horizon = now_ns.saturating_sub(self.window_ns);
+        while let Some(&(t, _)) = self.recent.front() {
+            if t < horizon {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Total bytes ever recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Lifetime average rate in bytes/s over `[first_event, until_ns]`.
+    /// Returns 0 before any event or for a zero-length interval.
+    pub fn lifetime_rate(&self, until_ns: u64) -> f64 {
+        match self.first_ts {
+            None => 0.0,
+            Some(first) if until_ns <= first => 0.0,
+            Some(first) => self.total_bytes as f64 * 1e9 / (until_ns - first) as f64,
+        }
+    }
+
+    /// Lifetime average rate in MB/s (the unit of Table 2).
+    pub fn lifetime_rate_mb_s(&self, until_ns: u64) -> f64 {
+        self.lifetime_rate(until_ns) / (1024.0 * 1024.0)
+    }
+
+    /// Windowed rate in bytes/s ending at `now_ns`.
+    pub fn recent_rate(&mut self, now_ns: u64) -> f64 {
+        self.prune(now_ns);
+        let bytes: u64 = self.recent.iter().map(|&(_, b)| b).sum();
+        bytes as f64 * 1e9 / self.window_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn lifetime_rate_spans_first_to_query() {
+        let mut c = ByteRateCounter::new();
+        c.record_at(0, 1024);
+        c.record_at(SEC, 1024);
+        // 2048 bytes over 2 seconds = 1024 B/s.
+        assert!((c.lifetime_rate(2 * SEC) - 1024.0).abs() < 1e-9);
+        assert_eq!(c.total_bytes(), 2048);
+    }
+
+    #[test]
+    fn empty_counter_rates_are_zero() {
+        let c = ByteRateCounter::new();
+        assert_eq!(c.lifetime_rate(SEC), 0.0);
+        assert_eq!(c.total_bytes(), 0);
+    }
+
+    #[test]
+    fn mb_per_s_conversion() {
+        let mut c = ByteRateCounter::new();
+        c.record_at(0, 10 * 1024 * 1024);
+        assert!((c.lifetime_rate_mb_s(SEC) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_rate_expires_old_traffic() {
+        let mut c = ByteRateCounter::with_window(SEC);
+        c.record_at(0, 1000);
+        assert!((c.recent_rate(0) - 1000.0).abs() < 1e-9);
+        // After the window passes, recent rate returns to zero but the
+        // lifetime total remains.
+        assert_eq!(c.recent_rate(3 * SEC), 0.0);
+        assert_eq!(c.total_bytes(), 1000);
+    }
+
+    #[test]
+    fn query_before_first_event() {
+        let mut c = ByteRateCounter::new();
+        c.record_at(5 * SEC, 100);
+        assert_eq!(c.lifetime_rate(5 * SEC), 0.0);
+        assert!(c.lifetime_rate(6 * SEC) > 0.0);
+    }
+}

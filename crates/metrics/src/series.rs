@@ -1,0 +1,181 @@
+//! Timestamped sample series for experiment timelines.
+
+/// A named series of `(t_ns, value)` samples, e.g. instantaneous
+/// throughput over an experiment run (Figures 7, 15, 16).
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Timestamps should be non-decreasing.
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|&(t, _)| t_ns >= t),
+            "timestamps must be non-decreasing"
+        );
+        self.samples.push((t_ns, value));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the sampled values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum sampled value (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Maximum sampled value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// Samples with `value < threshold`, as contiguous `[start_ns,
+    /// end_ns]` dips — used to measure how long transient throughput
+    /// degradations last (Figure 7's 1–3 s vs 10–20 s claim).
+    pub fn dips_below(&self, threshold: f64) -> Vec<(u64, u64)> {
+        let mut dips = Vec::new();
+        let mut current: Option<(u64, u64)> = None;
+        for &(t, v) in &self.samples {
+            if v < threshold {
+                current = Some(match current {
+                    None => (t, t),
+                    Some((s, _)) => (s, t),
+                });
+            } else if let Some(done) = current.take() {
+                dips.push(done);
+            }
+        }
+        if let Some(done) = current {
+            dips.push(done);
+        }
+        dips
+    }
+
+    /// Writes the series as CSV lines (`t_seconds,value`) to `out`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.samples.len() * 24);
+        s.push_str("t_seconds,");
+        s.push_str(&self.name);
+        s.push('\n');
+        for &(t, v) in &self.samples {
+            s.push_str(&format!("{:.3},{v:.6}\n", t as f64 / 1e9));
+        }
+        s
+    }
+}
+
+/// Clamp non-finite fold results (empty series) to 0.
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = TimeSeries::new("tput");
+        s.push(0, 10.0);
+        s.push(1_000_000_000, 20.0);
+        s.push(2_000_000_000, 30.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(), "tput");
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 30.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.dips_below(1.0).is_empty());
+    }
+
+    #[test]
+    fn dips_found_and_bounded() {
+        let mut s = TimeSeries::new("tput");
+        let vals = [10.0, 10.0, 2.0, 1.0, 9.0, 10.0, 3.0, 10.0];
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(i as u64 * 1_000_000_000, v);
+        }
+        let dips = s.dips_below(5.0);
+        assert_eq!(dips, vec![(2_000_000_000, 3_000_000_000), (6_000_000_000, 6_000_000_000)]);
+    }
+
+    #[test]
+    fn trailing_dip_is_closed() {
+        let mut s = TimeSeries::new("tput");
+        s.push(0, 10.0);
+        s.push(1, 1.0);
+        let dips = s.dips_below(5.0);
+        assert_eq!(dips, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut s = TimeSeries::new("v");
+        s.push(500_000_000, 1.5);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("t_seconds,v\n"));
+        assert!(csv.contains("0.500,1.500000"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Sliding-window event counting for instantaneous throughput.
+//!
+//! The paper plots "instantaneous throughput, measured in a sliding time
+//! window of 1 second" (Figure 7). [`SlidingWindowCounter`] counts events
+//! into fixed sub-buckets of the window (default 64) and reports the
+//! windowed rate at any queried timestamp, expiring stale buckets lazily.
+
+/// A sliding-window event counter over explicit nanosecond timestamps.
+///
+/// Timestamps must be fed non-decreasing (both the simulator's clock and
+/// a monotonic runtime clock satisfy this).
+#[derive(Clone, Debug)]
+pub struct SlidingWindowCounter {
+    window_ns: u64,
+    bucket_ns: u64,
+    /// Circular buffer of per-bucket counts.
+    buckets: Vec<u64>,
+    /// Bucket epoch of the newest bucket (`now / bucket_ns`).
+    head_epoch: u64,
+    /// Sum over live buckets.
+    live: u64,
+    /// Total events ever recorded.
+    lifetime: u64,
+    last_ts: u64,
+}
+
+impl SlidingWindowCounter {
+    /// Creates a counter with the given window length, split into
+    /// `buckets` sub-buckets (resolution = window / buckets).
+    pub fn new(window_ns: u64, buckets: usize) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        let bucket_ns = (window_ns / buckets as u64).max(1);
+        Self {
+            window_ns,
+            bucket_ns,
+            buckets: vec![0; buckets],
+            head_epoch: 0,
+            live: 0,
+            lifetime: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// A 1-second window with 64 sub-buckets — the paper's measurement
+    /// granularity.
+    pub fn one_second() -> Self {
+        Self::new(1_000_000_000, 64)
+    }
+
+    fn advance_to(&mut self, ts_ns: u64) {
+        let epoch = ts_ns / self.bucket_ns;
+        if epoch <= self.head_epoch {
+            return;
+        }
+        let steps = (epoch - self.head_epoch).min(self.buckets.len() as u64);
+        for i in 0..steps {
+            let slot = ((self.head_epoch + 1 + i) % self.buckets.len() as u64) as usize;
+            self.live -= self.buckets[slot];
+            self.buckets[slot] = 0;
+        }
+        if epoch - self.head_epoch > self.buckets.len() as u64 {
+            // Jumped past the whole window: everything expired.
+            debug_assert_eq!(self.live, 0);
+        }
+        self.head_epoch = epoch;
+    }
+
+    /// Records `n` events at `ts_ns`.
+    pub fn record_at(&mut self, ts_ns: u64, n: u64) {
+        debug_assert!(ts_ns >= self.last_ts, "timestamps must be non-decreasing");
+        self.last_ts = ts_ns;
+        self.advance_to(ts_ns);
+        let slot = (self.head_epoch % self.buckets.len() as u64) as usize;
+        self.buckets[slot] += n;
+        self.live += n;
+        self.lifetime += n;
+    }
+
+    /// Events inside the window ending at `ts_ns`.
+    pub fn count_at(&mut self, ts_ns: u64) -> u64 {
+        self.advance_to(ts_ns);
+        self.live
+    }
+
+    /// Windowed rate (events per second) at `ts_ns`.
+    pub fn rate_at(&mut self, ts_ns: u64) -> f64 {
+        self.count_at(ts_ns) as f64 * 1e9 / self.window_ns as f64
+    }
+
+    /// Total events ever recorded.
+    pub fn lifetime_count(&self) -> u64 {
+        self.lifetime
+    }
+
+    /// Window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn counts_within_window() {
+        let mut w = SlidingWindowCounter::one_second();
+        for i in 0..10 {
+            w.record_at(i * SEC / 10, 1);
+        }
+        // At t = 0.95 s, all 10 events are live.
+        assert_eq!(w.count_at(SEC * 95 / 100), 10);
+    }
+
+    #[test]
+    fn events_expire() {
+        let mut w = SlidingWindowCounter::one_second();
+        w.record_at(0, 100);
+        assert_eq!(w.count_at(SEC / 2), 100);
+        assert_eq!(w.count_at(2 * SEC), 0, "all expired after 2 s");
+        assert_eq!(w.lifetime_count(), 100);
+    }
+
+    #[test]
+    fn rate_matches_count() {
+        let mut w = SlidingWindowCounter::one_second();
+        for i in 0..1000u64 {
+            w.record_at(i * SEC / 1000, 1);
+        }
+        let rate = w.rate_at(SEC - 1);
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn partial_expiry_slides() {
+        let mut w = SlidingWindowCounter::new(SEC, 10);
+        // 10 events at t = 0, 10 more at t = 0.5 s.
+        w.record_at(0, 10);
+        w.record_at(SEC / 2, 10);
+        // At t = 1.05 s the first batch has expired, the second has not.
+        assert_eq!(w.count_at(SEC + SEC / 20), 10);
+    }
+
+    #[test]
+    fn burst_counting() {
+        let mut w = SlidingWindowCounter::one_second();
+        w.record_at(100, 5);
+        w.record_at(100, 3);
+        assert_eq!(w.count_at(100), 8);
+    }
+
+    #[test]
+    fn long_idle_then_resume() {
+        let mut w = SlidingWindowCounter::one_second();
+        w.record_at(0, 7);
+        // Jump far beyond the window (tests the wrap-around expiry).
+        assert_eq!(w.count_at(1000 * SEC), 0);
+        w.record_at(1000 * SEC, 3);
+        assert_eq!(w.count_at(1000 * SEC), 3);
+    }
+
+    #[test]
+    fn sub_bucket_resolution() {
+        let mut w = SlidingWindowCounter::new(SEC, 100);
+        assert_eq!(w.count_at(0), 0);
+        w.record_at(0, 1);
+        w.record_at(SEC / 100 * 99, 1);
+        assert_eq!(w.count_at(SEC / 100 * 99), 2);
+        // First event expires one bucket later.
+        assert_eq!(w.count_at(SEC + SEC / 100), 1);
+    }
+}

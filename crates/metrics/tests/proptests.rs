@@ -1,0 +1,119 @@
+//! Property-based tests for the metrics substrate: the histograms and
+//! counters every experiment's numbers flow through.
+
+use elasticutor_metrics::{LatencyHistogram, SlidingWindowCounter, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles are monotone in q, bounded by [min, max], and the
+    /// log-bucketed estimate stays within the documented 5% of an exact
+    /// rank statistic.
+    #[test]
+    fn histogram_quantiles_sound(
+        mut samples in prop::collection::vec(1u64..10_000_000_000, 1..300),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let exact = |q: f64| {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            samples[rank - 1] as f64
+        };
+        let mut last = 0.0;
+        for &q in &[0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile_ns(q);
+            prop_assert!(est >= last, "quantiles must be monotone in q");
+            prop_assert!(est >= h.min_ns() as f64 * 0.95);
+            prop_assert!(est <= h.max_ns() as f64 + 1.0);
+            // Log-bucket resolution: the estimate must not be below the
+            // exact rank statistic's bucket floor.
+            prop_assert!(
+                est >= exact(q) / 1.10,
+                "q={q}: estimate {est} far below exact {}",
+                exact(q)
+            );
+            last = est;
+        }
+        // Mean is exact (tracked outside the buckets).
+        let true_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean_ns() - true_mean).abs() < 1e-6 * true_mean.max(1.0));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max_ns(), *samples.last().expect("nonempty"));
+        prop_assert_eq!(h.min_ns(), samples[0]);
+    }
+
+    /// Merging two histograms equals recording both sample sets into one.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(1u64..1_000_000_000, 0..100),
+        b in prop::collection::vec(1u64..1_000_000_000, 0..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert!((ha.mean_ns() - hu.mean_ns()).abs() <= 1e-6 * hu.mean_ns().max(1.0));
+        prop_assert_eq!(ha.max_ns(), hu.max_ns());
+        for &q in &[0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile_ns(q), hu.quantile_ns(q));
+        }
+    }
+
+    /// A sliding window counts exactly the events inside its horizon,
+    /// regardless of how event times are distributed.
+    #[test]
+    fn sliding_window_counts_recent_events(
+        events in prop::collection::vec(0u64..5_000_000_000, 1..200),
+    ) {
+        let window_ns = 1_000_000_000;
+        let mut w = SlidingWindowCounter::new(window_ns, 20);
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        for &t in &sorted {
+            w.record_at(t, 1);
+        }
+        let now = *sorted.last().expect("nonempty");
+        let got = w.count_at(now);
+        // Exact bucketed semantic: an event is live while its bucket
+        // epoch is within `buckets` of the head epoch.
+        let bucket = window_ns / 20;
+        let expected = sorted
+            .iter()
+            .filter(|&&t| now / bucket - t / bucket < 20)
+            .count() as u64;
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(w.lifetime_count(), sorted.len() as u64);
+    }
+
+    /// Time-series summary statistics agree with direct computation, and
+    /// CSV round-trips the sample count.
+    #[test]
+    fn time_series_summaries(
+        values in prop::collection::vec(0.0f64..1e9, 1..100),
+    ) {
+        let mut ts = TimeSeries::new("s");
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(i as u64 * 1_000, v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((ts.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert_eq!(ts.max(), max);
+        prop_assert_eq!(ts.min(), min);
+        prop_assert_eq!(ts.len(), values.len());
+        let csv = ts.to_csv();
+        prop_assert_eq!(csv.lines().count(), values.len() + 1, "header + one line per sample");
+    }
+}

@@ -1,0 +1,294 @@
+//! Greedy model-based core allocation (paper §4.1).
+//!
+//! Given the Jackson model, a latency target `T_max`, and a core budget,
+//! find an allocation `k` such that `E[T](k) ≤ T_max` while minimizing
+//! `Σ k_j`:
+//!
+//! 1. initialize every `k_j = ⌊λ_j/μ_j⌋ + 1` (the minimum for stability);
+//! 2. repeatedly grant one more core to the executor whose increment
+//!    decreases `E[T]` the most;
+//! 3. stop when `E[T] ≤ T_max` or the budget is exhausted.
+//!
+//! Because each station's `E[T_j](k_j)` is convex and decreasing in `k_j`,
+//! this greedy procedure is optimal (Fu et al., *DRS: Dynamic Resource
+//! Scheduling for Real-Time Analytics over Fast Streams*, ICDCS 2015 —
+//! reference [15] of the paper).
+
+use crate::jackson::JacksonNetwork;
+
+/// Inputs to the allocator.
+#[derive(Clone, Debug)]
+pub struct AllocationRequest<'a> {
+    /// The performance model built from current measurements.
+    pub network: &'a JacksonNetwork,
+    /// Latency target `T_max` in seconds.
+    pub latency_target: f64,
+    /// Total cores available in the cluster.
+    pub available_cores: u32,
+}
+
+/// Result of an allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocationOutcome {
+    /// Cores granted to each executor (same order as the network's loads).
+    pub cores: Vec<u32>,
+    /// Modeled `E[T]` under `cores`, in seconds.
+    pub expected_latency: f64,
+    /// Whether `expected_latency ≤ latency_target`.
+    pub meets_target: bool,
+    /// Whether even stability (`k_j ≥ ⌊λ_j/μ_j⌋+1` for all j) could not be
+    /// afforded within the budget. When true, `cores` holds a best-effort
+    /// proportional allocation and `expected_latency` is infinite.
+    pub saturated: bool,
+}
+
+impl AllocationOutcome {
+    /// Total cores granted.
+    pub fn total_cores(&self) -> u32 {
+        self.cores.iter().sum()
+    }
+}
+
+/// Runs the greedy allocation.
+pub fn allocate(req: &AllocationRequest<'_>) -> AllocationOutcome {
+    let net = req.network;
+    let m = net.len();
+    assert!(req.available_cores as usize >= m || m == 0 || req.available_cores > 0,
+        "need at least one core");
+    assert!(
+        req.latency_target > 0.0,
+        "latency target must be positive"
+    );
+
+    // Step 1: stability minimum.
+    let mut cores: Vec<u32> = net.loads().iter().map(|l| l.min_cores()).collect();
+    let mut total: u64 = cores.iter().map(|&c| u64::from(c)).sum();
+
+    if total > u64::from(req.available_cores) {
+        // The workload exceeds cluster capacity: no stable allocation
+        // exists. Distribute the budget proportionally to demand as a
+        // best effort (every executor still gets ≥ 1 core).
+        let budget = req.available_cores.max(m as u32);
+        let cores = proportional_fallback(net, budget);
+        return AllocationOutcome {
+            expected_latency: f64::INFINITY,
+            meets_target: false,
+            saturated: true,
+            cores,
+        };
+    }
+
+    // Step 2: greedy refinement.
+    let mut latency = net.expected_latency(&cores);
+    while latency > req.latency_target && total < u64::from(req.available_cores) {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..m {
+            let gain = net.marginal_gain(&cores, j);
+            match best {
+                None => best = Some((j, gain)),
+                Some((_, g)) if gain > g => best = Some((j, gain)),
+                _ => {}
+            }
+        }
+        let Some((j, gain)) = best else { break };
+        if gain <= 0.0 {
+            break; // no core placement helps (latency floor reached)
+        }
+        cores[j] += 1;
+        total += 1;
+        latency = net.expected_latency(&cores);
+    }
+
+    AllocationOutcome {
+        meets_target: latency <= req.latency_target,
+        expected_latency: latency,
+        saturated: false,
+        cores,
+    }
+}
+
+/// Proportional best-effort split used when stability is unaffordable:
+/// every executor gets one core, and the remainder goes to executors in
+/// proportion to their offered load `λ_j/μ_j` (largest remainders first).
+fn proportional_fallback(net: &JacksonNetwork, budget: u32) -> Vec<u32> {
+    let m = net.len();
+    let mut cores = vec![1u32; m];
+    let mut remaining = budget.saturating_sub(m as u32);
+    if remaining == 0 {
+        return cores;
+    }
+    let demand: Vec<f64> = net.loads().iter().map(|l| l.lambda / l.mu).collect();
+    let total_demand: f64 = demand.iter().sum();
+    if total_demand <= 0.0 {
+        return cores;
+    }
+    // Integer shares by largest remainder.
+    let shares: Vec<f64> = demand
+        .iter()
+        .map(|d| d / total_demand * f64::from(remaining))
+        .collect();
+    let mut order: Vec<usize> = (0..m).collect();
+    for (j, share) in shares.iter().enumerate() {
+        let whole = share.floor() as u32;
+        let grant = whole.min(remaining);
+        cores[j] += grant;
+        remaining -= grant;
+    }
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.partial_cmp(&fa).unwrap()
+    });
+    let mut idx = 0;
+    while remaining > 0 {
+        cores[order[idx % m]] += 1;
+        remaining -= 1;
+        idx += 1;
+    }
+    cores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jackson::ExecutorLoad;
+
+    fn net(loads: &[(f64, f64)], lambda0: f64) -> JacksonNetwork {
+        JacksonNetwork::new(
+            lambda0,
+            loads.iter().map(|&(l, m)| ExecutorLoad::new(l, m)).collect(),
+        )
+    }
+
+    #[test]
+    fn grants_stability_minimum_first() {
+        let n = net(&[(10.0, 3.0), (1.0, 3.0)], 10.0);
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 1e9, // trivially met
+            available_cores: 64,
+        });
+        assert_eq!(out.cores, vec![4, 1]);
+        assert!(out.meets_target);
+        assert!(!out.saturated);
+    }
+
+    #[test]
+    fn adds_cores_until_target() {
+        let n = net(&[(95.0, 100.0)], 95.0);
+        // One core: M/M/1 at ρ=0.95 → E[T] = 1/(100-95) = 0.2 s. Target
+        // 15 ms needs more cores.
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 0.015,
+            available_cores: 16,
+        });
+        assert!(out.meets_target, "latency {}", out.expected_latency);
+        assert!(out.cores[0] >= 2);
+        assert!(out.expected_latency <= 0.015);
+        // Minimality: one fewer core must violate the target.
+        let mut fewer = out.cores.clone();
+        fewer[0] -= 1;
+        if fewer[0] >= 1 {
+            assert!(n.expected_latency(&fewer) > 0.015);
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_small() {
+        // Two stations, small budget: compare against brute force.
+        let n = net(&[(9.0, 2.0), (4.0, 2.0)], 9.0);
+        let budget = 12u32;
+        let target = 0.9;
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: target,
+            available_cores: budget,
+        });
+        // Brute force: the minimum total cores achieving E[T] <= target.
+        let mut best_total = u32::MAX;
+        for k1 in 1..=budget {
+            for k2 in 1..=budget.saturating_sub(k1) {
+                if n.expected_latency(&[k1, k2]) <= target {
+                    best_total = best_total.min(k1 + k2);
+                }
+            }
+        }
+        assert!(out.meets_target);
+        assert_eq!(out.total_cores(), best_total, "greedy must be optimal");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_miss() {
+        let n = net(&[(99.0, 100.0)], 99.0);
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 1e-6, // unreachable
+            available_cores: 4,
+        });
+        assert!(!out.meets_target);
+        assert_eq!(out.total_cores(), 4);
+        assert!(out.expected_latency.is_finite());
+    }
+
+    #[test]
+    fn saturation_fallback_is_proportional() {
+        // Demands 10 and 30 cores; only 8 available.
+        let n = net(&[(10.0, 1.0), (30.0, 1.0)], 10.0);
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 1.0,
+            available_cores: 8,
+        });
+        assert!(out.saturated);
+        assert!(!out.meets_target);
+        assert_eq!(out.total_cores(), 8);
+        assert!(out.cores[1] > out.cores[0], "bigger demand gets more cores");
+        assert!(out.cores.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn latency_floor_stops_early() {
+        // Target below the service-time floor 1/μ: the allocator must stop
+        // once marginal gains vanish, not burn the whole budget.
+        let n = net(&[(1.0, 10.0)], 1.0);
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 0.01, // < 1/μ = 0.1
+            available_cores: 1000,
+        });
+        assert!(!out.meets_target);
+        assert!(
+            out.total_cores() < 100,
+            "should stop near the floor, used {}",
+            out.total_cores()
+        );
+    }
+
+    #[test]
+    fn idle_executors_get_one_core() {
+        let n = net(&[(0.0, 10.0), (5.0, 10.0)], 5.0);
+        let out = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 1.0,
+            available_cores: 8,
+        });
+        assert_eq!(out.cores[0], 1);
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let n = net(&[(50.0, 10.0), (20.0, 10.0)], 50.0);
+        let tight = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 0.11,
+            available_cores: 9,
+        });
+        let loose = allocate(&AllocationRequest {
+            network: &n,
+            latency_target: 0.11,
+            available_cores: 32,
+        });
+        assert!(loose.expected_latency <= tight.expected_latency + 1e-12);
+    }
+}

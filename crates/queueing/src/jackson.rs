@@ -1,0 +1,261 @@
+//! The Jackson-network latency model (paper Equation 1).
+//!
+//! Each elastic executor `j` is an M/M/k_j station. Given measured
+//! per-executor arrival rates `λ_j`, per-core service rates `μ_j`, and the
+//! external input rate `λ0`, the expected end-to-end latency under a core
+//! allocation `k` is
+//!
+//! ```text
+//! E[T](k) = (1/λ0) Σ_j λ_j E[T_j](k_j).
+//! ```
+//!
+//! The weights `λ_j/λ0` are the expected number of visits a logical input
+//! makes to station `j` (visit ratios), so the sum is the expected total
+//! time an input spends across stations — Jackson's theorem makes each
+//! station's sojourn computable in isolation.
+
+use elasticutor_core::topology::Topology;
+
+use crate::mmk;
+
+/// Measured load of one executor, the model's per-station input.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutorLoad {
+    /// Arrival rate into this executor, tuples per second.
+    pub lambda: f64,
+    /// Per-core service rate, tuples per second (1 / mean CPU cost).
+    pub mu: f64,
+}
+
+impl ExecutorLoad {
+    /// Creates a load observation.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        assert!(mu > 0.0, "mu must be positive");
+        Self { lambda, mu }
+    }
+
+    /// Minimum cores for stability at this load.
+    pub fn min_cores(&self) -> u32 {
+        mmk::min_stable_servers(self.lambda, self.mu)
+    }
+}
+
+/// The Jackson network over a set of executors.
+#[derive(Clone, Debug)]
+pub struct JacksonNetwork {
+    /// External arrival rate λ0 (tuples/s into the topology's sources).
+    lambda0: f64,
+    /// Per-executor measured loads.
+    loads: Vec<ExecutorLoad>,
+}
+
+impl JacksonNetwork {
+    /// Builds the model from the external input rate and per-executor
+    /// measurements.
+    pub fn new(lambda0: f64, loads: Vec<ExecutorLoad>) -> Self {
+        assert!(lambda0 > 0.0, "lambda0 must be positive");
+        assert!(!loads.is_empty(), "need at least one executor");
+        Self { lambda0, loads }
+    }
+
+    /// Number of stations (executors).
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether the network has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Per-executor loads.
+    pub fn loads(&self) -> &[ExecutorLoad] {
+        &self.loads
+    }
+
+    /// External arrival rate λ0.
+    pub fn lambda0(&self) -> f64 {
+        self.lambda0
+    }
+
+    /// The expected end-to-end latency `E[T](k)` in seconds, or infinity
+    /// if any station is unstable under `k`.
+    ///
+    /// Panics if `k.len() != self.len()` or any `k_j == 0`.
+    pub fn expected_latency(&self, k: &[u32]) -> f64 {
+        assert_eq!(k.len(), self.loads.len(), "one core count per executor");
+        let mut total = 0.0;
+        for (load, &kj) in self.loads.iter().zip(k) {
+            if load.lambda == 0.0 {
+                continue; // an idle station contributes nothing
+            }
+            let tj = mmk::expected_sojourn(load.lambda, load.mu, kj);
+            if tj.is_infinite() {
+                return f64::INFINITY;
+            }
+            total += load.lambda * tj;
+        }
+        total / self.lambda0
+    }
+
+    /// The marginal latency improvement of adding one core to station `j`:
+    /// `E[T](k) − E[T](k + e_j)` (non-negative for stable inputs).
+    pub fn marginal_gain(&self, k: &[u32], j: usize) -> f64 {
+        let load = &self.loads[j];
+        if load.lambda == 0.0 {
+            return 0.0;
+        }
+        let before = mmk::expected_sojourn(load.lambda, load.mu, k[j]);
+        let after = mmk::expected_sojourn(load.lambda, load.mu, k[j] + 1);
+        if before.is_infinite() {
+            return f64::INFINITY;
+        }
+        load.lambda * (before - after) / self.lambda0
+    }
+
+    /// Minimum total cores for stability: `Σ_j (⌊λ_j/μ_j⌋ + 1)`.
+    pub fn min_total_cores(&self) -> u64 {
+        self.loads.iter().map(|l| u64::from(l.min_cores())).sum()
+    }
+}
+
+/// Propagates source rates through a topology to per-operator arrival
+/// rates using operator selectivities: `rate(op) = Σ_upstream rate(u) ·
+/// selectivity(u)`, sources seeded from `source_rates` (tuples/s).
+///
+/// Returns one rate per operator, indexed by `OperatorId`. This is how
+/// engines seed the model before per-executor measurements exist, and how
+/// tests validate measured rates.
+pub fn propagate_rates(topology: &Topology, source_rates: &[(usize, f64)]) -> Vec<f64> {
+    let n = topology.operators().len();
+    let mut rates = vec![0.0; n];
+    for &(op, rate) in source_rates {
+        assert!(op < n, "unknown source operator index {op}");
+        rates[op] = rate;
+    }
+    for &op in topology.topo_order() {
+        let out = rates[op.index()] * topology.operator(op).unwrap().selectivity;
+        for &down in topology.downstream(op) {
+            rates[down.index()] += out;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticutor_core::topology::TopologyBuilder;
+
+    #[test]
+    fn single_station_reduces_to_mmk() {
+        let net = JacksonNetwork::new(10.0, vec![ExecutorLoad::new(10.0, 4.0)]);
+        let t = net.expected_latency(&[4]);
+        let expect = mmk::expected_sojourn(10.0, 4.0, 4);
+        assert!((t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn visit_ratios_weight_stations() {
+        // λ0 = 10; station A sees all tuples, station B sees double
+        // (selectivity 2 upstream) → B's sojourn counts twice per input.
+        let a = ExecutorLoad::new(10.0, 100.0);
+        let b = ExecutorLoad::new(20.0, 100.0);
+        let net = JacksonNetwork::new(10.0, vec![a, b]);
+        let t = net.expected_latency(&[1, 1]);
+        let ta = mmk::expected_sojourn(10.0, 100.0, 1);
+        let tb = mmk::expected_sojourn(20.0, 100.0, 1);
+        assert!((t - (ta + 2.0 * tb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_station_dominates() {
+        let net = JacksonNetwork::new(
+            10.0,
+            vec![ExecutorLoad::new(10.0, 100.0), ExecutorLoad::new(10.0, 1.0)],
+        );
+        assert!(net.expected_latency(&[1, 1]).is_infinite());
+        assert!(net.expected_latency(&[1, 11]).is_finite());
+    }
+
+    #[test]
+    fn idle_station_contributes_nothing() {
+        let net = JacksonNetwork::new(
+            5.0,
+            vec![ExecutorLoad::new(5.0, 10.0), ExecutorLoad::new(0.0, 10.0)],
+        );
+        let with_idle = net.expected_latency(&[1, 1]);
+        let solo = JacksonNetwork::new(5.0, vec![ExecutorLoad::new(5.0, 10.0)])
+            .expected_latency(&[1]);
+        assert!((with_idle - solo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_gain_positive_and_diminishing() {
+        let net = JacksonNetwork::new(10.0, vec![ExecutorLoad::new(10.0, 3.0)]);
+        let k0 = net.loads()[0].min_cores();
+        let g1 = net.marginal_gain(&[k0], 0);
+        let g2 = net.marginal_gain(&[k0 + 1], 0);
+        assert!(g1 > 0.0);
+        assert!(g2 > 0.0);
+        assert!(g2 < g1, "marginal gains must diminish: {g1} then {g2}");
+    }
+
+    #[test]
+    fn marginal_gain_of_unstable_is_infinite() {
+        let net = JacksonNetwork::new(10.0, vec![ExecutorLoad::new(10.0, 1.0)]);
+        assert!(net.marginal_gain(&[1], 0).is_infinite());
+    }
+
+    #[test]
+    fn min_total_cores_sums_stations() {
+        let net = JacksonNetwork::new(
+            10.0,
+            vec![ExecutorLoad::new(10.0, 3.0), ExecutorLoad::new(2.0, 3.0)],
+        );
+        assert_eq!(net.min_total_cores(), 4 + 1);
+    }
+
+    #[test]
+    fn rate_propagation_through_fanout() {
+        let mut b = TopologyBuilder::new();
+        let src = b.source("src", 1);
+        let tx = b.transform("tx", 4, 8);
+        b.key_edge(src, tx);
+        b.with_selectivity(tx, 11.0);
+        let s1 = b.transform("s1", 2, 8);
+        let s2 = b.transform("s2", 2, 8);
+        b.key_edge(tx, s1);
+        b.key_edge(tx, s2);
+        let t = b.build().unwrap();
+        let rates = propagate_rates(&t, &[(src.index(), 1000.0)]);
+        assert!((rates[src.index()] - 1000.0).abs() < 1e-9);
+        assert!((rates[tx.index()] - 1000.0).abs() < 1e-9);
+        assert!((rates[s1.index()] - 11_000.0).abs() < 1e-9);
+        assert!((rates[s2.index()] - 11_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_propagation_diamond_sums() {
+        let mut b = TopologyBuilder::new();
+        let src = b.source("src", 1);
+        let l = b.transform("l", 1, 1);
+        let r = b.transform("r", 1, 1);
+        let sink = b.transform("sink", 1, 1);
+        b.key_edge(src, l);
+        b.key_edge(src, r);
+        b.key_edge(l, sink);
+        b.key_edge(r, sink);
+        let t = b.build().unwrap();
+        let rates = propagate_rates(&t, &[(src.index(), 100.0)]);
+        assert!((rates[sink.index()] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one core count per executor")]
+    fn mismatched_allocation_panics() {
+        let net = JacksonNetwork::new(1.0, vec![ExecutorLoad::new(1.0, 2.0)]);
+        net.expected_latency(&[1, 1]);
+    }
+}

@@ -1,0 +1,479 @@
+//! The live elastic executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use elasticutor_core::balance::LoadBalancer;
+use elasticutor_core::error::{Error, Result};
+use elasticutor_core::ids::{ShardId, TaskId};
+use elasticutor_core::routing::{RouteDecision, RoutingTable};
+use elasticutor_metrics::LatencyHistogram;
+use elasticutor_state::StateStore;
+use parking_lot::Mutex;
+
+use crate::record::{monotonic_ns, Operator, Record};
+
+/// Configuration of a live elastic executor.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// `z` — number of shards (paper default 256).
+    pub num_shards: u32,
+    /// Task threads to start with (cores initially granted).
+    pub initial_tasks: u32,
+    /// `θ` — imbalance threshold for [`ElasticExecutor::rebalance`].
+    pub imbalance_threshold: f64,
+    /// Upper bound on shard moves per rebalance pass.
+    pub max_moves_per_rebalance: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 256,
+            initial_tasks: 1,
+            imbalance_threshold: 1.2,
+            max_moves_per_rebalance: 64,
+        }
+    }
+}
+
+/// Work delivered to task threads.
+enum TaskMsg {
+    Record(Record, ShardId),
+    /// The labeling tuple of the §3.3 protocol: when the source task
+    /// dequeues it, every pending record of the shard has been processed
+    /// and the reassignment can complete.
+    Label(u64),
+    Stop,
+}
+
+/// An in-flight shard reassignment.
+struct Pending {
+    shard: ShardId,
+    to: TaskId,
+    started_ns: u64,
+}
+
+/// Control state shared by the public handle and the task threads.
+struct Inner<O: Operator> {
+    /// Two-tier routing (shard → task) with pause buffers, plus the task
+    /// channel registry — one lock because every update touches both.
+    routing: Mutex<RoutingState>,
+    /// In-flight reassignments by label id.
+    pending: Mutex<std::collections::HashMap<u64, Pending>>,
+    next_label: AtomicU64,
+    state: Arc<StateStore>,
+    operator: O,
+    outputs: Sender<Record>,
+    /// Per-shard record counters for the balancer (reset on rebalance).
+    shard_counts: Vec<AtomicU64>,
+    processed: AtomicU64,
+    /// Records whose `Operator::process` panicked (counted under
+    /// `processed` as well — they were consumed).
+    operator_panics: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+    /// Completed reassignments: (sync_ns, total_ns).
+    reassignment_log: Mutex<Vec<(u64, u64)>>,
+}
+
+struct RoutingState {
+    table: RoutingTable<Record>,
+    senders: std::collections::BTreeMap<TaskId, Sender<TaskMsg>>,
+    next_task: u32,
+}
+
+/// Runtime statistics snapshot.
+#[derive(Clone, Debug)]
+pub struct ExecutorStats {
+    /// Records fully processed.
+    pub processed: u64,
+    /// Records whose operator invocation panicked. The record is dropped
+    /// but the task thread, routing state, and shard state all survive —
+    /// a poison record cannot take the executor down.
+    pub operator_panics: u64,
+    /// Live task count.
+    pub tasks: usize,
+    /// Latency distribution (submit → processed).
+    pub latency: LatencyHistogram,
+    /// Completed reassignments as (sync_ns, total_ns) pairs.
+    pub reassignments: Vec<(u64, u64)>,
+    /// Total state bytes currently held.
+    pub state_bytes: u64,
+}
+
+/// A live elastic executor: a pool of task threads behind a two-tier
+/// routing table, sharing one in-process state store.
+pub struct ElasticExecutor<O: Operator> {
+    inner: Arc<Inner<O>>,
+    threads: Mutex<Vec<(TaskId, JoinHandle<()>)>>,
+    output_rx: Receiver<Record>,
+    config: ExecutorConfig,
+}
+
+impl<O: Operator> ElasticExecutor<O> {
+    /// Starts the executor with `config.initial_tasks` task threads.
+    pub fn start(config: ExecutorConfig, operator: O) -> Self {
+        assert!(config.num_shards > 0, "need at least one shard");
+        assert!(config.initial_tasks > 0, "need at least one task");
+        let (out_tx, out_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            routing: Mutex::new(RoutingState {
+                table: RoutingTable::new(config.num_shards, TaskId(0)),
+                senders: std::collections::BTreeMap::new(),
+                next_task: 0,
+            }),
+            pending: Mutex::new(std::collections::HashMap::new()),
+            next_label: AtomicU64::new(0),
+            state: Arc::new(StateStore::with_shards(config.num_shards)),
+            operator,
+            outputs: out_tx,
+            shard_counts: (0..config.num_shards).map(|_| AtomicU64::new(0)).collect(),
+            processed: AtomicU64::new(0),
+            operator_panics: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+            reassignment_log: Mutex::new(Vec::new()),
+        });
+        let executor = Self {
+            inner,
+            threads: Mutex::new(Vec::new()),
+            output_rx: out_rx,
+            config,
+        };
+        for _ in 0..executor.config.initial_tasks {
+            executor.add_task().expect("initial task");
+        }
+        // Spread shards across the initial tasks.
+        {
+            let mut rs = executor.inner.routing.lock();
+            let tasks: Vec<TaskId> = rs.senders.keys().copied().collect();
+            for s in 0..executor.config.num_shards {
+                let t = tasks[s as usize % tasks.len()];
+                rs.table.set_task(ShardId(s), t).expect("fresh shard");
+            }
+        }
+        executor
+    }
+
+    /// Submits a record for processing. Routing is synchronous (the
+    /// caller acts as the receiver daemon); processing is asynchronous on
+    /// whichever task owns the record's shard.
+    pub fn submit(&self, record: Record) {
+        let mut rs = self.inner.routing.lock();
+        let shard = rs.table.shard_for(record.key);
+        self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
+        match rs.table.route_shard(shard, record) {
+            RouteDecision::Buffered(_) => {} // parked until the move completes
+            RouteDecision::Deliver(task, record) => {
+                rs.senders[&task]
+                    .send(TaskMsg::Record(record, shard))
+                    .expect("task channel open");
+            }
+        }
+    }
+
+    /// Adds a task thread (a core was granted). Returns its id.
+    pub fn add_task(&self) -> Result<TaskId> {
+        let (tx, rx) = unbounded();
+        let id = {
+            let mut rs = self.inner.routing.lock();
+            let id = TaskId(rs.next_task);
+            rs.next_task += 1;
+            rs.senders.insert(id, tx);
+            id
+        };
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("elastic-task-{}", id.0))
+            .spawn(move || task_loop(inner, id, rx))
+            .expect("spawn task thread");
+        self.threads.lock().push((id, handle));
+        Ok(id)
+    }
+
+    /// Removes a task thread (its core was revoked): drains its shards to
+    /// the survivors via the reassignment protocol, then stops it.
+    pub fn remove_task(&self, task: TaskId) -> Result<()> {
+        let (loads, assignment, survivors, owned) = {
+            let rs = self.inner.routing.lock();
+            if !rs.senders.contains_key(&task) {
+                return Err(Error::UnknownTask(task));
+            }
+            if rs.senders.len() <= 1 {
+                return Err(Error::LastTask(task));
+            }
+            let loads: Vec<f64> = self
+                .inner
+                .shard_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed) as f64)
+                .collect();
+            let assignment = rs.table.assignment().to_vec();
+            let survivors: Vec<TaskId> = rs
+                .senders
+                .keys()
+                .copied()
+                .filter(|&t| t != task)
+                .collect();
+            let owned = rs.table.shards_of(task);
+            (loads, assignment, survivors, owned)
+        };
+        let balancer = LoadBalancer {
+            imbalance_threshold: self.config.imbalance_threshold,
+            max_moves: usize::MAX,
+        };
+        let moves = balancer.plan_task_removal(&loads, &assignment, task, &survivors);
+        for m in &moves {
+            let _ = self.reassign_shard(m.shard, m.to);
+        }
+        // Drain until the task owns nothing and no in-flight reassignment
+        // still targets it. The planned moves above are not enough on
+        // their own: a reassignment that was already in flight when we
+        // snapshotted the assignment can land a *new* shard on this task
+        // afterwards, and paused shards reject new moves until their own
+        // protocol completes — so keep re-planning stragglers each pass.
+        let mut spread = 0usize;
+        loop {
+            let owned = {
+                let rs = self.inner.routing.lock();
+                rs.table.shards_of(task)
+            };
+            let pending_to_task = self.inner.pending.lock().values().any(|p| p.to == task);
+            if owned.is_empty() && !pending_to_task {
+                break;
+            }
+            for shard in owned {
+                let to = survivors[spread % survivors.len()];
+                spread = spread.wrapping_add(1);
+                // Failures (shard paused mid-protocol, concurrent owner
+                // change) resolve themselves; retry next pass.
+                let _ = self.reassign_shard(shard, to);
+            }
+            std::thread::yield_now();
+        }
+        let _ = owned;
+        // Stop the thread and unregister it.
+        let sender = {
+            let mut rs = self.inner.routing.lock();
+            rs.senders.remove(&task).expect("checked present")
+        };
+        sender.send(TaskMsg::Stop).expect("task channel open");
+        let mut threads = self.threads.lock();
+        if let Some(pos) = threads.iter().position(|(id, _)| *id == task) {
+            let (_, handle) = threads.remove(pos);
+            drop(threads);
+            handle.join().expect("task thread exits cleanly");
+        }
+        Ok(())
+    }
+
+    /// Starts the §3.3 consistent reassignment of `shard` to task `to`.
+    /// Returns once the protocol is *initiated*; completion is
+    /// asynchronous (when the labeling tuple drains). Errors if the shard
+    /// is already in flight, the move is a no-op, or `to` is unknown.
+    pub fn reassign_shard(&self, shard: ShardId, to: TaskId) -> Result<()> {
+        let mut rs = self.inner.routing.lock();
+        if !rs.senders.contains_key(&to) {
+            return Err(Error::UnknownTask(to));
+        }
+        let from = rs.table.task_of(shard)?;
+        if from == to {
+            return Err(Error::ReassignmentNoop(shard, to));
+        }
+        rs.table.pause(shard)?;
+        let label = self.inner.next_label.fetch_add(1, Ordering::Relaxed);
+        self.inner.pending.lock().insert(
+            label,
+            Pending {
+                shard,
+                to,
+                started_ns: monotonic_ns(),
+            },
+        );
+        rs.senders[&from]
+            .send(TaskMsg::Label(label))
+            .expect("task channel open");
+        Ok(())
+    }
+
+    /// Plans and executes one intra-executor rebalancing pass (paper
+    /// §3.1), returning the number of shard moves initiated.
+    pub fn rebalance(&self) -> usize {
+        let (loads, assignment, tasks) = {
+            let rs = self.inner.routing.lock();
+            let loads: Vec<f64> = self
+                .inner
+                .shard_counts
+                .iter()
+                .map(|c| c.swap(0, Ordering::Relaxed) as f64)
+                .collect();
+            (
+                loads,
+                rs.table.assignment().to_vec(),
+                rs.senders.keys().copied().collect::<Vec<TaskId>>(),
+            )
+        };
+        let balancer = LoadBalancer {
+            imbalance_threshold: self.config.imbalance_threshold,
+            max_moves: self.config.max_moves_per_rebalance,
+        };
+        let plan = balancer.plan(&loads, &assignment, &tasks);
+        let mut initiated = 0;
+        for m in plan.moves {
+            if self.reassign_shard(m.shard, m.to).is_ok() {
+                initiated += 1;
+            }
+        }
+        initiated
+    }
+
+    /// The output stream of records emitted by the operator.
+    pub fn outputs(&self) -> &Receiver<Record> {
+        &self.output_rx
+    }
+
+    /// Blocks until at least `n` records have been fully processed.
+    pub fn wait_for_processed(&self, n: u64) {
+        while self.inner.processed.load(Ordering::Acquire) < n {
+            std::thread::yield_now();
+        }
+    }
+
+    /// A snapshot of runtime statistics.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            processed: self.inner.processed.load(Ordering::Acquire),
+            operator_panics: self.inner.operator_panics.load(Ordering::Relaxed),
+            tasks: self.inner.routing.lock().senders.len(),
+            latency: self.inner.latency.lock().clone(),
+            reassignments: self.inner.reassignment_log.lock().clone(),
+            state_bytes: self.inner.state.total_bytes(),
+        }
+    }
+
+    /// Current shard→task assignment (snapshot).
+    pub fn assignment(&self) -> Vec<TaskId> {
+        self.inner.routing.lock().table.assignment().to_vec()
+    }
+
+    /// Live task ids (snapshot).
+    pub fn tasks(&self) -> Vec<TaskId> {
+        self.inner.routing.lock().senders.keys().copied().collect()
+    }
+
+    /// Direct read access to the shared state store.
+    pub fn state(&self) -> &Arc<StateStore> {
+        &self.inner.state
+    }
+
+    /// Stops all task threads and returns final statistics. Buffered or
+    /// queued records that were not yet processed are dropped.
+    pub fn shutdown(self) -> ExecutorStats {
+        {
+            let rs = self.inner.routing.lock();
+            for sender in rs.senders.values() {
+                let _ = sender.send(TaskMsg::Stop);
+            }
+        }
+        let mut threads = self.threads.lock();
+        for (_, handle) in threads.drain(..) {
+            let _ = handle.join();
+        }
+        drop(threads);
+        ExecutorStats {
+            processed: self.inner.processed.load(Ordering::Acquire),
+            operator_panics: self.inner.operator_panics.load(Ordering::Relaxed),
+            tasks: 0,
+            latency: self.inner.latency.lock().clone(),
+            reassignments: self.inner.reassignment_log.lock().clone(),
+            state_bytes: self.inner.state.total_bytes(),
+        }
+    }
+}
+
+/// The body of one task thread.
+fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, rx: Receiver<TaskMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            TaskMsg::Stop => return,
+            TaskMsg::Record(record, shard) => {
+                let handle = inner.state.handle(shard);
+                // Failure isolation: a panicking operator must not take
+                // the task thread (and with it every shard it owns) down.
+                // The record is dropped, the panic counted; state holds
+                // whatever the operator committed before unwinding.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.operator.process(&record, &handle)
+                })) {
+                    Ok(outputs) => {
+                        for out in outputs {
+                            // Emitter: forward to the output stream.
+                            // (Receiver may have hung up if the executor
+                            // handle dropped.)
+                            if inner.outputs.send(out).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        inner.operator_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let latency = monotonic_ns().saturating_sub(record.created_ns);
+                inner.latency.lock().record(latency);
+                inner.processed.fetch_add(1, Ordering::AcqRel);
+            }
+            TaskMsg::Label(label) => {
+                // All pending records of the shard are done: complete the
+                // reassignment. Intra-process state sharing means no
+                // state movement — the new task reads the same store.
+                let pending = inner
+                    .pending
+                    .lock()
+                    .remove(&label)
+                    .expect("label has a pending entry");
+                let now = monotonic_ns();
+                let sync_ns = now.saturating_sub(pending.started_ns);
+                let mut rs = inner.routing.lock();
+                if rs.senders.contains_key(&pending.to) {
+                    let buffered = rs
+                        .table
+                        .finish_reassignment(pending.shard, pending.to)
+                        .expect("shard was paused");
+                    for record in buffered {
+                        rs.senders[&pending.to]
+                            .send(TaskMsg::Record(record, pending.shard))
+                            .expect("task channel open");
+                    }
+                    drop(rs);
+                    let total_ns = monotonic_ns().saturating_sub(pending.started_ns);
+                    inner.reassignment_log.lock().push((sync_ns, total_ns));
+                } else {
+                    // Destination was removed while the label was in
+                    // flight: abort — routing resumes to the old owner,
+                    // and buffered records go there.
+                    let from = rs.table.task_of(pending.shard).expect("shard exists");
+                    let buffered = rs
+                        .table
+                        .abort_reassignment(pending.shard)
+                        .expect("shard was paused");
+                    for record in buffered {
+                        rs.senders[&from]
+                            .send(TaskMsg::Record(record, pending.shard))
+                            .expect("task channel open");
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<O: Operator> std::fmt::Debug for ElasticExecutor<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticExecutor")
+            .field("tasks", &self.tasks())
+            .field("num_shards", &self.config.num_shards)
+            .finish()
+    }
+}

@@ -1,0 +1,52 @@
+//! # elasticutor-runtime
+//!
+//! A live, multithreaded elastic executor — the paper's §3 mechanisms on
+//! real OS threads rather than the simulated substrate:
+//!
+//! * task threads (one per granted core) pulling from private FIFO
+//!   queues;
+//! * a two-tier routing table in front of them (key → shard hash, shard →
+//!   task map);
+//! * a process-wide shared [`elasticutor_state::StateStore`] giving every
+//!   task per-key state access — so intra-process shard reassignment
+//!   moves **no state at all**;
+//! * the §3.3 consistent-reassignment protocol: pause → labeling tuple
+//!   through the source task's queue → (optional state hand-off) → map
+//!   update → buffered-tuple flush;
+//! * online scaling: add or remove task threads while tuples flow;
+//! * an intra-executor rebalancer driven by per-shard load counters.
+//!
+//! Scope: one executor process. The cluster-wide layer (multi-node
+//! scheduling, remote tasks, the RC baseline) lives in
+//! `elasticutor-cluster`, where hardware is simulated; this crate is the
+//! proof that the executor-level mechanisms work for real, with real
+//! races, and is what the examples and property tests drive.
+//!
+//! ```
+//! use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
+//! use elasticutor_state::StateHandle;
+//! use bytes::Bytes;
+//!
+//! struct Count;
+//! impl Operator for Count {
+//!     fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record> {
+//!         state.update(record.key, |old| {
+//!             let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+//!             Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+//!         });
+//!         Vec::new()
+//!     }
+//! }
+//!
+//! let exec = ElasticExecutor::start(ExecutorConfig::default(), Count);
+//! exec.submit(Record::new(7u64.into(), Bytes::new()));
+//! exec.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod record;
+
+pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+pub use record::{Operator, Record};

@@ -1,0 +1,97 @@
+//! Records and the operator trait of the live runtime.
+
+use bytes::Bytes;
+use elasticutor_core::ids::Key;
+use elasticutor_state::StateHandle;
+
+/// A data record flowing through a live executor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Partitioning key.
+    pub key: Key,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Creation timestamp (nanoseconds from an arbitrary monotonic
+    /// origin) — the latency measurement origin.
+    pub created_ns: u64,
+    /// Per-key sequence number (0 when unused); tests use it to verify
+    /// the in-order processing requirement of paper §2.1.
+    pub seq: u64,
+}
+
+impl Record {
+    /// Creates a record stamped with the current monotonic time.
+    pub fn new(key: Key, payload: Bytes) -> Self {
+        Self {
+            key,
+            payload,
+            created_ns: monotonic_ns(),
+            seq: 0,
+        }
+    }
+
+    /// Sets the per-key sequence number (builder style).
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+}
+
+/// Nanoseconds from the process-wide monotonic origin.
+pub(crate) fn monotonic_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// User-defined operator logic — the analog of the paper's `ElasticBolt`.
+///
+/// `process` is invoked by whichever task thread currently owns the
+/// record's shard; all state access goes through the shard-scoped
+/// [`StateHandle`], which is how the framework can hand the shard to a
+/// different task without the operator noticing.
+///
+/// Implementations must be `Send + Sync`: one instance is shared by all
+/// task threads. Per-key mutable state belongs in the state store, not in
+/// `self`.
+pub trait Operator: Send + Sync + 'static {
+    /// Processes one record, returning any records to emit downstream.
+    fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record>;
+}
+
+impl<F> Operator for F
+where
+    F: Fn(&Record, &StateHandle) -> Vec<Record> + Send + Sync + 'static,
+{
+    fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record> {
+        self(record, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builder() {
+        let r = Record::new(Key(5), Bytes::from_static(b"x")).with_seq(9);
+        assert_eq!(r.key, Key(5));
+        assert_eq!(r.seq, 9);
+        assert_eq!(r.payload, Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn closures_are_operators() {
+        fn assert_op<T: Operator>(_t: &T) {}
+        let op = |_r: &Record, _s: &StateHandle| Vec::new();
+        assert_op(&op);
+    }
+}

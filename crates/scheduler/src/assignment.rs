@@ -1,0 +1,293 @@
+//! The CPU-to-executor assignment matrix `X`.
+//!
+//! `X` is an `m × n` matrix (executors × nodes): `x_ij` counts the cores
+//! of node `i` assigned to executor `j`. Constraints (paper Equation 2):
+//!
+//! * (a) capacity: `Σ_j x_ij ≤ c_i` for every node `i`;
+//! * (b) allocation: `X_j = Σ_i x_ij ≥ k_j` for every executor `j`;
+//! * (c) locality: data-intensive executors only hold cores on their
+//!   local node.
+
+use elasticutor_core::ids::NodeId;
+
+/// Static description of the cluster's compute resources.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// `c_i` — cores per node.
+    cores_per_node: Vec<u32>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` machines with `cores` CPU cores each (the
+    /// paper's testbed is 32 × 8).
+    pub fn uniform(nodes: u32, cores: u32) -> Self {
+        assert!(nodes > 0 && cores > 0, "cluster must be non-empty");
+        Self {
+            cores_per_node: vec![cores; nodes as usize],
+        }
+    }
+
+    /// A heterogeneous cluster.
+    pub fn new(cores_per_node: Vec<u32>) -> Self {
+        assert!(!cores_per_node.is_empty(), "cluster must be non-empty");
+        assert!(
+            cores_per_node.iter().all(|&c| c > 0),
+            "every node needs at least one core"
+        );
+        Self { cores_per_node }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cores_per_node.len()
+    }
+
+    /// Cores on node `i`.
+    pub fn cores_of(&self, node: NodeId) -> u32 {
+        self.cores_per_node[node.index()]
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_node.iter().sum()
+    }
+}
+
+/// One entry of an assignment diff: executor `executor` gains (`delta >
+/// 0`) or loses (`delta < 0`) `|delta|` cores on node `node`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreDelta {
+    /// Affected executor (dense index, same order as the measurement
+    /// vector handed to the scheduler).
+    pub executor: usize,
+    /// Node on which cores are gained or lost.
+    pub node: NodeId,
+    /// Signed core-count change.
+    pub delta: i64,
+}
+
+/// The assignment matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// `x[j][i]` — cores of node `i` held by executor `j`.
+    x: Vec<Vec<u32>>,
+    /// Cached per-node usage `Σ_j x_ij`.
+    node_used: Vec<u32>,
+}
+
+impl Assignment {
+    /// An empty assignment for `executors` executors over `nodes` nodes.
+    pub fn empty(executors: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            x: vec![vec![0; nodes]; executors],
+            node_used: vec![0; nodes],
+        }
+    }
+
+    /// Builds an assignment from an explicit matrix (`x[j][i]`).
+    pub fn from_matrix(x: Vec<Vec<u32>>) -> Self {
+        assert!(!x.is_empty(), "need at least one executor");
+        let nodes = x[0].len();
+        assert!(x.iter().all(|row| row.len() == nodes), "ragged matrix");
+        let mut node_used = vec![0u32; nodes];
+        for row in &x {
+            for (i, &c) in row.iter().enumerate() {
+                node_used[i] += c;
+            }
+        }
+        Self { x, node_used }
+    }
+
+    /// Number of executors (`m`).
+    pub fn num_executors(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of nodes (`n`).
+    pub fn num_nodes(&self) -> usize {
+        self.node_used.len()
+    }
+
+    /// `x_ij` — cores of node `i` held by executor `j`.
+    #[inline]
+    pub fn on_node(&self, executor: usize, node: NodeId) -> u32 {
+        self.x[executor][node.index()]
+    }
+
+    /// `X_j` — total cores held by executor `j`.
+    #[inline]
+    pub fn total_of(&self, executor: usize) -> u32 {
+        self.x[executor].iter().sum()
+    }
+
+    /// Cores of node `i` currently in use across all executors.
+    pub fn used_on_node(&self, node: NodeId) -> u32 {
+        self.node_used[node.index()]
+    }
+
+    /// Free cores on node `i` given the cluster spec.
+    pub fn free_on_node(&self, node: NodeId, cluster: &ClusterSpec) -> u32 {
+        cluster.cores_of(node).saturating_sub(self.used_on_node(node))
+    }
+
+    /// Grants one core of `node` to `executor`. Panics if the node has no
+    /// free core under `cluster`.
+    pub fn grant(&mut self, executor: usize, node: NodeId, cluster: &ClusterSpec) {
+        assert!(
+            self.free_on_node(node, cluster) > 0,
+            "no free core on {node}"
+        );
+        self.x[executor][node.index()] += 1;
+        self.node_used[node.index()] += 1;
+    }
+
+    /// Revokes one core of `node` from `executor`. Panics if it holds none
+    /// there.
+    pub fn revoke(&mut self, executor: usize, node: NodeId) {
+        assert!(
+            self.x[executor][node.index()] > 0,
+            "executor {executor} holds no core on {node}"
+        );
+        self.x[executor][node.index()] -= 1;
+        self.node_used[node.index()] -= 1;
+    }
+
+    /// Validates capacity constraints against `cluster`.
+    pub fn respects_capacity(&self, cluster: &ClusterSpec) -> bool {
+        self.node_used.len() == cluster.num_nodes()
+            && self
+                .node_used
+                .iter()
+                .enumerate()
+                .all(|(i, &used)| used <= cluster.cores_of(NodeId::from_index(i)))
+    }
+
+    /// The per-executor totals `X_j`.
+    pub fn totals(&self) -> Vec<u32> {
+        (0..self.num_executors()).map(|j| self.total_of(j)).collect()
+    }
+
+    /// The nodes on which `executor` holds at least one core.
+    pub fn nodes_of(&self, executor: usize) -> Vec<NodeId> {
+        self.x[executor]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Computes the per-(executor, node) deltas needed to go from `self`
+    /// to `target`. Deltas are ordered: revocations first, then grants, so
+    /// applying them in order never exceeds node capacity.
+    pub fn diff(&self, target: &Assignment) -> Vec<CoreDelta> {
+        assert_eq!(self.num_executors(), target.num_executors());
+        assert_eq!(self.num_nodes(), target.num_nodes());
+        let mut revokes = Vec::new();
+        let mut grants = Vec::new();
+        for j in 0..self.num_executors() {
+            for i in 0..self.num_nodes() {
+                let node = NodeId::from_index(i);
+                let before = i64::from(self.x[j][i]);
+                let after = i64::from(target.x[j][i]);
+                match after - before {
+                    0 => {}
+                    d if d < 0 => revokes.push(CoreDelta {
+                        executor: j,
+                        node,
+                        delta: d,
+                    }),
+                    d => grants.push(CoreDelta {
+                        executor: j,
+                        node,
+                        delta: d,
+                    }),
+                }
+            }
+        }
+        revokes.extend(grants);
+        revokes
+    }
+
+    /// The underlying matrix (`[executor][node]`).
+    pub fn matrix(&self) -> &[Vec<u32>] {
+        &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cluster() {
+        let c = ClusterSpec::uniform(32, 8);
+        assert_eq!(c.num_nodes(), 32);
+        assert_eq!(c.total_cores(), 256);
+        assert_eq!(c.cores_of(NodeId(5)), 8);
+    }
+
+    #[test]
+    fn grant_revoke_tracks_usage() {
+        let cluster = ClusterSpec::uniform(2, 2);
+        let mut a = Assignment::empty(2, 2);
+        a.grant(0, NodeId(0), &cluster);
+        a.grant(0, NodeId(0), &cluster);
+        a.grant(1, NodeId(1), &cluster);
+        assert_eq!(a.total_of(0), 2);
+        assert_eq!(a.total_of(1), 1);
+        assert_eq!(a.used_on_node(NodeId(0)), 2);
+        assert_eq!(a.free_on_node(NodeId(0), &cluster), 0);
+        assert!(a.respects_capacity(&cluster));
+        a.revoke(0, NodeId(0));
+        assert_eq!(a.free_on_node(NodeId(0), &cluster), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free core")]
+    fn grant_over_capacity_panics() {
+        let cluster = ClusterSpec::uniform(1, 1);
+        let mut a = Assignment::empty(1, 1);
+        a.grant(0, NodeId(0), &cluster);
+        a.grant(0, NodeId(0), &cluster);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no core")]
+    fn revoke_absent_panics() {
+        let mut a = Assignment::empty(1, 1);
+        a.revoke(0, NodeId(0));
+    }
+
+    #[test]
+    fn from_matrix_and_accessors() {
+        let a = Assignment::from_matrix(vec![vec![2, 0], vec![1, 3]]);
+        assert_eq!(a.total_of(0), 2);
+        assert_eq!(a.total_of(1), 4);
+        assert_eq!(a.on_node(1, NodeId(1)), 3);
+        assert_eq!(a.used_on_node(NodeId(0)), 3);
+        assert_eq!(a.nodes_of(0), vec![NodeId(0)]);
+        assert_eq!(a.nodes_of(1), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(a.totals(), vec![2, 4]);
+    }
+
+    #[test]
+    fn diff_orders_revocations_first() {
+        let before = Assignment::from_matrix(vec![vec![2, 0], vec![0, 2]]);
+        let after = Assignment::from_matrix(vec![vec![1, 1], vec![1, 1]]);
+        let deltas = before.diff(&after);
+        // Two revokes then two grants.
+        assert_eq!(deltas.len(), 4);
+        assert!(deltas[0].delta < 0 && deltas[1].delta < 0);
+        assert!(deltas[2].delta > 0 && deltas[3].delta > 0);
+        let net: i64 = deltas.iter().map(|d| d.delta).sum();
+        assert_eq!(net, 0);
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty() {
+        let a = Assignment::from_matrix(vec![vec![1, 2]]);
+        assert!(a.diff(&a.clone()).is_empty());
+    }
+}

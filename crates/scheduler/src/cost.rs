@@ -1,0 +1,188 @@
+//! The state-migration cost model (paper §4.2).
+//!
+//! The overhead of a core reassignment is dominated by state migration,
+//! proportional to the bytes moved across the network. Assuming an
+//! executor's shards spread evenly over its cores, each core of executor
+//! `j` carries `s_j / X_j` bytes of state, giving the transition cost
+//!
+//! ```text
+//! C(X | X̃) = Σ_j Σ_i max(0, s_j·x̃_ij/X̃_j − s_j·x_ij/X_j)
+//! ```
+//!
+//! (each term is the state executor `j` must move *out of* node `i`), and
+//! the per-core marginal costs used by Algorithm 1:
+//!
+//! ```text
+//! C⁺_ij(X) = s_j (X_j − x_ij) / (X_j (X_j + 1))   — allocate on node i
+//! C⁻_ij(X) = s_j (X_j − x_ij) / (X_j (X_j − 1))   — deallocate on node i
+//! ```
+//!
+//! Intuition for `C⁺`: after adding a core on node `i`, that core must own
+//! `s_j/(X_j+1)` state, of which the fraction already on node `i` is free;
+//! the rest arrives over the network. `C⁻` mirrors this for removal: the
+//! departing core's state must go to the other nodes' cores.
+
+use crate::assignment::Assignment;
+use elasticutor_core::ids::NodeId;
+
+/// Per-executor inputs to the cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StateSize {
+    /// `s_j` — aggregate state bytes of the executor.
+    pub bytes: f64,
+}
+
+/// `C⁺_ij(X)` — the state-migration cost of granting executor `j` one
+/// core on node `i`, given current assignment `X`.
+///
+/// When `X_j = 0` (fresh executor) the cost is zero: there is no state
+/// spread yet, wherever the first core lands is "local".
+pub fn allocation_cost(x: &Assignment, executor: usize, node: NodeId, state_bytes: f64) -> f64 {
+    let total = f64::from(x.total_of(executor));
+    if total == 0.0 {
+        return 0.0;
+    }
+    let on_node = f64::from(x.on_node(executor, node));
+    state_bytes * (total - on_node) / (total * (total + 1.0))
+}
+
+/// `C⁻_ij(X)` — the state-migration cost of revoking one core of node `i`
+/// from executor `j`.
+///
+/// Undefined (returns `f64::INFINITY`) when `X_j ≤ 1`: an executor can
+/// never drop to zero cores, so such a deallocation must never be chosen.
+pub fn deallocation_cost(x: &Assignment, executor: usize, node: NodeId, state_bytes: f64) -> f64 {
+    let total = f64::from(x.total_of(executor));
+    if total <= 1.0 {
+        return f64::INFINITY;
+    }
+    let on_node = f64::from(x.on_node(executor, node));
+    state_bytes * (total - on_node) / (total * (total - 1.0))
+}
+
+/// Full transition cost `C(X | X̃)` in state bytes crossing the network.
+///
+/// Panics if the two assignments have different shapes or if
+/// `state_bytes.len()` does not match the executor count.
+pub fn transition_cost(before: &Assignment, after: &Assignment, state_bytes: &[f64]) -> f64 {
+    assert_eq!(before.num_executors(), after.num_executors());
+    assert_eq!(before.num_nodes(), after.num_nodes());
+    assert_eq!(before.num_executors(), state_bytes.len());
+    let mut cost = 0.0;
+    for j in 0..before.num_executors() {
+        let xj_before = f64::from(before.total_of(j));
+        let xj_after = f64::from(after.total_of(j));
+        if xj_before == 0.0 || xj_after == 0.0 {
+            continue; // an executor with no cores holds no placed state
+        }
+        for i in 0..before.num_nodes() {
+            let node = NodeId::from_index(i);
+            let share_before =
+                state_bytes[j] * f64::from(before.on_node(j, node)) / xj_before;
+            let share_after = state_bytes[j] * f64::from(after.on_node(j, node)) / xj_after;
+            cost += (share_before - share_after).max(0.0);
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: f64 = 1024.0; // 1 KiB of state
+
+    #[test]
+    fn allocation_on_sole_node_is_free() {
+        // Executor entirely on node 0; adding another node-0 core moves
+        // nothing (intra-process state sharing).
+        let x = Assignment::from_matrix(vec![vec![4, 0]]);
+        assert_eq!(allocation_cost(&x, 0, NodeId(0), S), 0.0);
+    }
+
+    #[test]
+    fn allocation_remote_costs_a_share() {
+        // 4 cores on node 0; adding a core on node 1 must pull 1/5 of the
+        // state across: s·(X_j − x_ij)/(X_j(X_j+1)) = s·4/(4·5) = s/5.
+        let x = Assignment::from_matrix(vec![vec![4, 0]]);
+        let c = allocation_cost(&x, 0, NodeId(1), S);
+        assert!((c - S / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_core_is_free() {
+        let x = Assignment::from_matrix(vec![vec![0, 0]]);
+        assert_eq!(allocation_cost(&x, 0, NodeId(1), S), 0.0);
+    }
+
+    #[test]
+    fn deallocation_local_vs_remote() {
+        // 3 cores on node 0, 1 on node 1 (X_j = 4).
+        let x = Assignment::from_matrix(vec![vec![3, 1]]);
+        // Removing the node-1 core sends its s/4 state to node 0:
+        // C⁻ = s(4−1)/(4·3) = s/4.
+        let remote = deallocation_cost(&x, 0, NodeId(1), S);
+        assert!((remote - S / 4.0).abs() < 1e-9);
+        // Removing a node-0 core spreads its state over the 3 survivors,
+        // 1/3 of which sit on node 1: C⁻ = s(4−3)/(4·3) = s/12.
+        let local = deallocation_cost(&x, 0, NodeId(0), S);
+        assert!((local - S / 12.0).abs() < 1e-9);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn deallocating_last_core_is_forbidden() {
+        let x = Assignment::from_matrix(vec![vec![1, 0]]);
+        assert!(deallocation_cost(&x, 0, NodeId(0), S).is_infinite());
+    }
+
+    #[test]
+    fn transition_cost_zero_for_identity() {
+        let x = Assignment::from_matrix(vec![vec![2, 2], vec![0, 4]]);
+        assert_eq!(transition_cost(&x, &x, &[S, S]), 0.0);
+    }
+
+    #[test]
+    fn transition_cost_counts_outbound_only() {
+        // Executor 0 moves from all-node-0 to half-and-half: half the
+        // state leaves node 0.
+        let before = Assignment::from_matrix(vec![vec![4, 0]]);
+        let after = Assignment::from_matrix(vec![vec![2, 2]]);
+        let c = transition_cost(&before, &after, &[S]);
+        assert!((c - S / 2.0).abs() < 1e-9);
+        // The reverse move costs the same (symmetric here).
+        let back = transition_cost(&after, &before, &[S]);
+        assert!((back - S / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_cost_scale_out_keeps_share() {
+        // Doubling cores on the same node moves nothing.
+        let before = Assignment::from_matrix(vec![vec![2, 0]]);
+        let after = Assignment::from_matrix(vec![vec![4, 0]]);
+        assert_eq!(transition_cost(&before, &after, &[S]), 0.0);
+    }
+
+    #[test]
+    fn transition_cost_multiple_executors_sum() {
+        let before = Assignment::from_matrix(vec![vec![2, 0], vec![0, 2]]);
+        let after = Assignment::from_matrix(vec![vec![0, 2], vec![0, 2]]);
+        // Executor 0 moves everything off node 0 (cost S); executor 1
+        // unchanged.
+        let c = transition_cost(&before, &after, &[S, S]);
+        assert!((c - S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_costs_compose_into_transition() {
+        // Applying a grant then checking C(X'|X) equals... the marginal
+        // C⁺ approximates the exact transition cost of the single grant.
+        let before = Assignment::from_matrix(vec![vec![4, 0]]);
+        let mut after = before.clone();
+        let cluster = crate::assignment::ClusterSpec::uniform(2, 8);
+        after.grant(0, NodeId(1), &cluster);
+        let marginal = allocation_cost(&before, 0, NodeId(1), S);
+        let exact = transition_cost(&before, &after, &[S]);
+        assert!((marginal - exact).abs() < 1e-9, "{marginal} vs {exact}");
+    }
+}

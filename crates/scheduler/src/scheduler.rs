@@ -1,0 +1,496 @@
+//! The full dynamic-scheduler control loop (paper §4).
+//!
+//! Every scheduling interval the engine hands the scheduler fresh
+//! per-executor measurements; the scheduler:
+//!
+//! 1. builds the Jackson model and runs the greedy **allocation** (how
+//!    many cores each executor should have — `elasticutor-queueing`);
+//! 2. derives per-core **data intensities** (`total data rate / k_j`) and
+//!    the data-intensive set `E(φ)`;
+//! 3. runs **Algorithm 1** to produce the new CPU-to-executor assignment,
+//!    doubling `φ` and retrying on infeasibility (§4.2: "we run the
+//!    algorithm using a low default value φ̃; if no feasible solution is
+//!    found, we double φ and re-run");
+//! 4. emits the ordered list of per-node core deltas for the engine to
+//!    apply (revocations before grants so capacity is never exceeded).
+//!
+//! The [`SchedulerPolicy::Naive`] variant reproduces the paper's
+//! *naive-EC* baseline (§5.4): identical queueing model, but core
+//! placement ignores both migration cost and computation locality.
+
+use elasticutor_core::ids::NodeId;
+use elasticutor_queueing::jackson::{ExecutorLoad, JacksonNetwork};
+use elasticutor_queueing::{allocate, AllocationRequest};
+
+use crate::algorithm::{assign_cores, AssignError, AssignmentPlan, ExecutorProfile};
+use crate::assignment::{Assignment, ClusterSpec, CoreDelta};
+
+/// A fresh measurement of one executor, taken over the metrics window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutorMeasurement {
+    /// Arrival rate λ_j, tuples/s.
+    pub lambda: f64,
+    /// Per-core service rate μ_j, tuples/s.
+    pub mu: f64,
+    /// Aggregate state size s_j, bytes.
+    pub state_bytes: f64,
+    /// Total input + output data rate, bytes/s (numerator of the
+    /// data-intensity measure).
+    pub data_rate: f64,
+    /// The node hosting the executor's main process, `I(j)`.
+    pub local_node: NodeId,
+}
+
+/// Core-placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// The paper's full scheduler: migration-cost-minimizing Algorithm 1
+    /// with locality constraints.
+    Optimized,
+    /// The *naive-EC* ablation: same allocation, but first-fit placement
+    /// that ignores migration cost and locality.
+    Naive,
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Latency target `T_max` in seconds.
+    pub latency_target: f64,
+    /// Base data-intensity threshold φ̃ in bytes/s (paper: 512 KB/s).
+    pub phi_base: f64,
+    /// Maximum number of φ doublings before giving up (safety bound; 64
+    /// doublings exceed any finite data rate).
+    pub max_phi_doublings: u32,
+    /// Placement policy.
+    pub policy: SchedulerPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            latency_target: 0.05,
+            phi_base: 512.0 * 1024.0,
+            max_phi_doublings: 64,
+            policy: SchedulerPolicy::Optimized,
+        }
+    }
+}
+
+/// The scheduler's output for one round.
+#[derive(Clone, Debug)]
+pub struct SchedulerDecision {
+    /// Target cores per executor (`k`).
+    pub targets: Vec<u32>,
+    /// The new assignment and its migration cost.
+    pub plan: AssignmentPlan,
+    /// Ordered core deltas (revocations first) to transition from the
+    /// previous assignment.
+    pub deltas: Vec<CoreDelta>,
+    /// The φ value that produced a feasible assignment.
+    pub phi_used: f64,
+    /// Modeled `E[T]` under `targets`, seconds.
+    pub expected_latency: f64,
+    /// Whether the latency target is met by the model.
+    pub meets_target: bool,
+    /// Whether the cluster could not even afford stability (overload).
+    pub saturated: bool,
+}
+
+/// The dynamic scheduler. Stateless between rounds except for its
+/// configuration; the engine owns the current assignment.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicScheduler {
+    /// Configuration (target latency, φ̃, policy).
+    pub config: SchedulerConfig,
+}
+
+impl DynamicScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs one scheduling round. `lambda0` is the external arrival rate
+    /// (tuples/s); `current` is the live assignment.
+    ///
+    /// Returns an error only if Algorithm 1 stays infeasible after all φ
+    /// doublings (which implies a capacity problem that allocation-side
+    /// saturation handling should normally have absorbed).
+    pub fn schedule(
+        &self,
+        cluster: &ClusterSpec,
+        current: &Assignment,
+        measurements: &[ExecutorMeasurement],
+        lambda0: f64,
+    ) -> Result<SchedulerDecision, AssignError> {
+        assert_eq!(
+            current.num_executors(),
+            measurements.len(),
+            "one measurement per executor"
+        );
+
+        // Step 1: how many cores each executor needs.
+        let network = JacksonNetwork::new(
+            lambda0.max(f64::MIN_POSITIVE),
+            measurements
+                .iter()
+                .map(|m| ExecutorLoad::new(m.lambda, m.mu))
+                .collect(),
+        );
+        let allocation = allocate(&AllocationRequest {
+            network: &network,
+            latency_target: self.config.latency_target,
+            available_cores: cluster.total_cores(),
+        });
+
+        // Step 1b: damp single-core claims. Measured λ fluctuates a few
+        // per-cent between windows, so raw targets oscillate by ±1 core;
+        // honouring those claims steals a core (draining its shards) one
+        // round and hands it back the next. A +1 claim is ignored *as
+        // long as the current allocation is still stable* (k ≥ ⌊λ/μ⌋+1);
+        // an unstable executor's claim always fires, however small.
+        let mut targets = allocation.cores.clone();
+        for (j, t) in targets.iter_mut().enumerate() {
+            let cur = current.total_of(j);
+            let stable =
+                cur >= elasticutor_queueing::mmk::min_stable_servers(
+                    measurements[j].lambda,
+                    measurements[j].mu,
+                );
+            if *t == cur + 1 && stable {
+                *t = cur;
+            }
+        }
+
+        // Step 2: per-core data intensity under the *new* allocation.
+        let profiles: Vec<ExecutorProfile> = measurements
+            .iter()
+            .zip(&targets)
+            .map(|(m, &k)| ExecutorProfile {
+                local_node: m.local_node,
+                state_bytes: m.state_bytes,
+                data_intensity: m.data_rate / f64::from(k.max(1)),
+            })
+            .collect();
+
+        // Step 3: placement.
+        let plan = match self.config.policy {
+            SchedulerPolicy::Optimized => {
+                self.assign_with_phi_doubling(cluster, current, &targets, &profiles)?
+            }
+            SchedulerPolicy::Naive => {
+                naive_assign(cluster, current, &targets, &profiles)?
+            }
+        };
+
+        let deltas = current.diff(&plan.assignment);
+        Ok(SchedulerDecision {
+            targets,
+            phi_used: match self.config.policy {
+                SchedulerPolicy::Optimized => self.config.phi_base,
+                SchedulerPolicy::Naive => f64::INFINITY,
+            },
+            expected_latency: allocation.expected_latency,
+            meets_target: allocation.meets_target,
+            saturated: allocation.saturated,
+            plan,
+            deltas,
+        })
+    }
+
+    fn assign_with_phi_doubling(
+        &self,
+        cluster: &ClusterSpec,
+        current: &Assignment,
+        targets: &[u32],
+        profiles: &[ExecutorProfile],
+    ) -> Result<AssignmentPlan, AssignError> {
+        let mut phi = self.config.phi_base;
+        let mut last_err = None;
+        for _ in 0..=self.config.max_phi_doublings {
+            match assign_cores(cluster, current, targets, profiles, phi) {
+                Ok(plan) => return Ok(plan),
+                Err(e @ AssignError::CapacityExceeded { .. }) => return Err(e),
+                Err(e @ AssignError::Infeasible { .. }) => {
+                    last_err = Some(e);
+                    phi *= 2.0;
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+}
+
+/// First-fit placement ignoring migration cost and locality: the paper's
+/// naive-EC. Under-provisioned executors are served in index order, taking
+/// free cores from the lowest-numbered node first, then stealing from
+/// over-provisioned executors in index order. Over-provisioned executors
+/// are trimmed to their targets first so the naive scheduler churns cores
+/// eagerly (no "keep the extras" hysteresis).
+fn naive_assign(
+    cluster: &ClusterSpec,
+    current: &Assignment,
+    targets: &[u32],
+    profiles: &[ExecutorProfile],
+) -> Result<AssignmentPlan, AssignError> {
+    let m = targets.len();
+    let requested: u64 = targets.iter().map(|&k| u64::from(k)).sum();
+    if requested > u64::from(cluster.total_cores()) {
+        return Err(AssignError::CapacityExceeded {
+            requested,
+            available: u64::from(cluster.total_cores()),
+        });
+    }
+
+    let mut x = current.clone();
+    let mut migration_cost = 0.0;
+    let mut reassignments = 0usize;
+
+    // Trim everyone to target, releasing cores from the highest node index
+    // downward (arbitrary, cost-blind).
+    for j in 0..m {
+        while x.total_of(j) > targets[j].max(1) {
+            let node = *x.nodes_of(j).last().expect("has cores");
+            migration_cost += crate::cost::deallocation_cost(&x, j, node, profiles[j].state_bytes);
+            x.revoke(j, node);
+            reassignments += 1;
+        }
+    }
+
+    // First-fit grants.
+    for j in 0..m {
+        'need: while x.total_of(j) < targets[j] {
+            for i in 0..cluster.num_nodes() {
+                let node = NodeId::from_index(i);
+                if x.free_on_node(node, cluster) > 0 {
+                    migration_cost +=
+                        crate::cost::allocation_cost(&x, j, node, profiles[j].state_bytes);
+                    x.grant(j, node, cluster);
+                    reassignments += 1;
+                    continue 'need;
+                }
+            }
+            // No free core anywhere: steal from any over-provisioned
+            // executor (index order, node order).
+            for v in 0..m {
+                if v == j || x.total_of(v) <= targets[v] || x.total_of(v) <= 1 {
+                    continue;
+                }
+                let node = x.nodes_of(v)[0];
+                migration_cost +=
+                    crate::cost::deallocation_cost(&x, v, node, profiles[v].state_bytes);
+                x.revoke(v, node);
+                migration_cost +=
+                    crate::cost::allocation_cost(&x, j, node, profiles[j].state_bytes);
+                x.grant(j, node, cluster);
+                reassignments += 1;
+                continue 'need;
+            }
+            return Err(AssignError::Infeasible {
+                phi: f64::INFINITY,
+                executor: j,
+            });
+        }
+    }
+
+    Ok(AssignmentPlan {
+        assignment: x,
+        migration_cost,
+        reassignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    fn measurements(specs: &[(f64, f64, u32)]) -> Vec<ExecutorMeasurement> {
+        specs
+            .iter()
+            .map(|&(lambda, mu, node)| ExecutorMeasurement {
+                lambda,
+                mu,
+                state_bytes: 8.0 * MB,
+                data_rate: 100.0 * 1024.0,
+                local_node: NodeId(node),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_round_provisions_hot_executor() {
+        let cluster = ClusterSpec::uniform(4, 8);
+        // Two executors each holding 1 core; executor 0 is hot (needs ~8
+        // cores at μ = 100/s, λ = 750/s).
+        let current = Assignment::from_matrix(vec![
+            vec![1, 0, 0, 0],
+            vec![0, 1, 0, 0],
+        ]);
+        let sched = DynamicScheduler::default();
+        let dec = sched
+            .schedule(
+                &cluster,
+                &current,
+                &measurements(&[(750.0, 100.0, 0), (10.0, 100.0, 1)]),
+                760.0,
+            )
+            .unwrap();
+        assert!(dec.targets[0] >= 8, "hot executor needs ≥ λ/μ cores");
+        assert_eq!(dec.plan.assignment.total_of(0) as u32, {
+            // plan satisfies the target
+            assert!(dec.plan.assignment.total_of(0) >= dec.targets[0]);
+            dec.plan.assignment.total_of(0)
+        });
+        assert!(dec.meets_target);
+        assert!(!dec.saturated);
+        // Deltas replay the transition: revokes sum + grants sum match.
+        let net: i64 = dec.deltas.iter().map(|d| d.delta).sum();
+        let before: i64 = current.totals().iter().map(|&c| i64::from(c)).sum();
+        let after: i64 = dec
+            .plan
+            .assignment
+            .totals()
+            .iter()
+            .map(|&c| i64::from(c))
+            .sum();
+        assert_eq!(net, after - before);
+    }
+
+    #[test]
+    fn optimized_prefers_local_expansion() {
+        let cluster = ClusterSpec::uniform(2, 8);
+        let current = Assignment::from_matrix(vec![vec![1, 0], vec![0, 1]]);
+        let sched = DynamicScheduler::default();
+        let dec = sched
+            .schedule(
+                &cluster,
+                &current,
+                &measurements(&[(500.0, 100.0, 0), (10.0, 100.0, 1)]),
+                510.0,
+            )
+            .unwrap();
+        // Executor 0 should grow on its own node 0 (free cores, zero
+        // migration) before spilling to node 1.
+        assert!(dec.plan.assignment.on_node(0, NodeId(0)) >= 6);
+        assert!(dec.plan.migration_cost < 1e-9);
+    }
+
+    #[test]
+    fn naive_policy_is_cost_blind() {
+        let cluster = ClusterSpec::uniform(2, 8);
+        // Executor 0 lives on node 1 with all its state; naive will grab
+        // node-0 cores first anyway.
+        let current = Assignment::from_matrix(vec![vec![0, 1], vec![1, 0]]);
+        let cfg = SchedulerConfig {
+            policy: SchedulerPolicy::Naive,
+            ..Default::default()
+        };
+        let sched = DynamicScheduler::new(cfg);
+        let dec = sched
+            .schedule(
+                &cluster,
+                &current,
+                &measurements(&[(500.0, 100.0, 1), (10.0, 100.0, 0)]),
+                510.0,
+            )
+            .unwrap();
+        assert!(dec.plan.assignment.total_of(0) >= 6);
+        // It scattered cores on the remote node 0 even though node 1 had
+        // room: nonzero modeled migration cost.
+        assert!(dec.plan.assignment.on_node(0, NodeId(0)) > 0);
+        assert!(dec.plan.migration_cost > 0.0);
+    }
+
+    #[test]
+    fn optimized_beats_naive_on_migration_cost() {
+        let cluster = ClusterSpec::uniform(4, 8);
+        let current = Assignment::from_matrix(vec![
+            vec![4, 0, 0, 0],
+            vec![0, 4, 0, 0],
+            vec![0, 0, 4, 0],
+        ]);
+        let meas = measurements(&[(700.0, 100.0, 0), (100.0, 100.0, 1), (100.0, 100.0, 2)]);
+        let opt = DynamicScheduler::default()
+            .schedule(&cluster, &current, &meas, 900.0)
+            .unwrap();
+        let naive = DynamicScheduler::new(SchedulerConfig {
+            policy: SchedulerPolicy::Naive,
+            ..Default::default()
+        })
+        .schedule(&cluster, &current, &meas, 900.0)
+        .unwrap();
+        assert!(
+            opt.plan.migration_cost <= naive.plan.migration_cost,
+            "optimized {} vs naive {}",
+            opt.plan.migration_cost,
+            naive.plan.migration_cost
+        );
+    }
+
+    #[test]
+    fn phi_doubles_until_feasible() {
+        // Tiny cluster where locality is impossible: every executor is
+        // data-intensive at φ̃ but must accept remote cores.
+        let cluster = ClusterSpec::uniform(2, 2);
+        let current = Assignment::from_matrix(vec![vec![1, 0], vec![1, 0], vec![0, 1]]);
+        let mut meas = measurements(&[(150.0, 100.0, 0), (150.0, 100.0, 0), (10.0, 100.0, 0)]);
+        for m in &mut meas {
+            m.data_rate = 100.0 * MB; // far above φ̃ per core
+        }
+        let sched = DynamicScheduler::default();
+        let dec = sched.schedule(&cluster, &current, &meas, 310.0).unwrap();
+        // Feasible despite the locality pressure: φ was doubled away.
+        for (j, &k) in dec.targets.iter().enumerate() {
+            assert!(dec.plan.assignment.total_of(j) >= k);
+        }
+    }
+
+    #[test]
+    fn saturated_cluster_still_produces_assignment() {
+        let cluster = ClusterSpec::uniform(1, 4);
+        let current = Assignment::from_matrix(vec![vec![1], vec![1]]);
+        // Demand far beyond 4 cores.
+        let dec = DynamicScheduler::default()
+            .schedule(
+                &cluster,
+                &current,
+                &measurements(&[(1000.0, 100.0, 0), (1000.0, 100.0, 0)]),
+                2000.0,
+            )
+            .unwrap();
+        assert!(dec.saturated);
+        assert!(!dec.meets_target);
+        let total: u32 = dec.plan.assignment.totals().iter().sum();
+        assert!(total <= 4);
+        assert!(dec.plan.assignment.totals().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn deltas_apply_cleanly() {
+        let cluster = ClusterSpec::uniform(2, 4);
+        let current = Assignment::from_matrix(vec![vec![3, 0], vec![1, 2]]);
+        let dec = DynamicScheduler::default()
+            .schedule(
+                &cluster,
+                &current,
+                &measurements(&[(50.0, 100.0, 0), (350.0, 100.0, 1)]),
+                400.0,
+            )
+            .unwrap();
+        // Replaying deltas onto `current` reproduces the plan.
+        let mut replay = current.clone();
+        for d in &dec.deltas {
+            for _ in 0..d.delta.abs() {
+                if d.delta < 0 {
+                    replay.revoke(d.executor, d.node);
+                } else {
+                    replay.grant(d.executor, d.node, &cluster);
+                }
+            }
+        }
+        assert_eq!(replay, dec.plan.assignment);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the scheduler.
+
+use elasticutor_core::ids::NodeId;
+use elasticutor_scheduler::algorithm::{assign_cores, ExecutorProfile};
+use elasticutor_scheduler::assignment::{Assignment, ClusterSpec};
+use elasticutor_scheduler::cost::transition_cost;
+use proptest::prelude::*;
+
+/// Generates a random valid assignment over the cluster.
+fn random_assignment(
+    executors: usize,
+    nodes: usize,
+    cores_per_node: u32,
+    seed: u64,
+) -> Assignment {
+    let cluster = ClusterSpec::uniform(nodes as u32, cores_per_node);
+    let mut x = Assignment::empty(executors, nodes);
+    let mut s = seed;
+    // Give every executor one core somewhere (if room), then sprinkle.
+    for j in 0..executors {
+        s = elasticutor_core::hash::splitmix64(s);
+        for off in 0..nodes {
+            let node = NodeId::from_index(((s as usize) + off) % nodes);
+            if x.free_on_node(node, &cluster) > 0 {
+                x.grant(j, node, &cluster);
+                break;
+            }
+        }
+    }
+    x
+}
+
+proptest! {
+    /// Whenever Algorithm 1 succeeds, the result satisfies every
+    /// constraint of the optimization problem (Equation 2): capacity,
+    /// allocation, and locality for data-intensive executors.
+    #[test]
+    fn successful_assignment_satisfies_constraints(
+        executors in 1usize..10,
+        nodes in 1usize..6,
+        cores in 2u32..6,
+        seed in any::<u64>(),
+        targets_raw in prop::collection::vec(0u32..5, 1..10),
+        intensity_mask in any::<u16>(),
+    ) {
+        let cluster = ClusterSpec::uniform(nodes as u32, cores);
+        let current = random_assignment(executors, nodes, cores, seed);
+        let mut targets: Vec<u32> = (0..executors)
+            .map(|j| targets_raw[j % targets_raw.len()].max(1))
+            .collect();
+        // Shrink the request toward capacity. Targets floor at 1, so when
+        // there are more executors than cores the request stays over
+        // capacity — assign_cores then returns CapacityExceeded, which the
+        // `if let Ok` below treats as a (legitimate) non-case.
+        let cap = cluster.total_cores();
+        let mut sum: u32 = targets.iter().sum();
+        while sum > cap {
+            match targets.iter_mut().find(|t| **t > 1) {
+                Some(t) => {
+                    *t -= 1;
+                    sum -= 1;
+                }
+                None => break,
+            }
+        }
+        let phi = 1000.0;
+        let profiles: Vec<ExecutorProfile> = (0..executors)
+            .map(|j| ExecutorProfile {
+                local_node: NodeId::from_index(j % nodes),
+                state_bytes: 1024.0 * (j as f64 + 1.0),
+                data_intensity: if intensity_mask & (1 << (j % 16)) != 0 {
+                    2000.0
+                } else {
+                    10.0
+                },
+            })
+            .collect();
+
+        if let Ok(plan) = assign_cores(&cluster, &current, &targets, &profiles, phi) {
+            let x = &plan.assignment;
+            // (a) capacity
+            prop_assert!(x.respects_capacity(&cluster));
+            // (b) allocation
+            for j in 0..executors {
+                prop_assert!(x.total_of(j) >= targets[j],
+                    "executor {j}: {} < {}", x.total_of(j), targets[j]);
+            }
+            // (c) locality for intensive executors that were *changed*:
+            // any core the algorithm GRANTED to an intensive executor is
+            // local. (Pre-existing remote cores are not repatriated by
+            // Algorithm 1.)
+            for j in 0..executors {
+                if profiles[j].data_intensity > phi {
+                    for i in 0..nodes {
+                        let node = NodeId::from_index(i);
+                        if node != profiles[j].local_node {
+                            prop_assert!(
+                                x.on_node(j, node) <= current.on_node(j, node),
+                                "intensive executor {j} gained a remote core"
+                            );
+                        }
+                    }
+                }
+            }
+            // Migration-cost estimate is non-negative and finite.
+            prop_assert!(plan.migration_cost.is_finite() && plan.migration_cost >= -1e-9);
+            // Nobody stranded at zero cores (if they had one before).
+            for j in 0..executors {
+                if current.total_of(j) > 0 {
+                    prop_assert!(x.total_of(j) > 0, "executor {j} stranded");
+                }
+            }
+        }
+    }
+
+    /// The transition cost is zero iff nothing moved, and symmetric
+    /// under swapping arguments for pure permutations of equal state.
+    #[test]
+    fn transition_cost_properties(
+        seed in any::<u64>(),
+        executors in 1usize..6,
+        nodes in 1usize..5,
+    ) {
+        let a = random_assignment(executors, nodes, 4, seed);
+        let state: Vec<f64> = (0..executors).map(|j| 1000.0 * (j as f64 + 1.0)).collect();
+        prop_assert_eq!(transition_cost(&a, &a, &state), 0.0);
+        let b = random_assignment(executors, nodes, 4, seed.wrapping_add(1));
+        let c_ab = transition_cost(&a, &b, &state);
+        prop_assert!(c_ab >= 0.0);
+    }
+}

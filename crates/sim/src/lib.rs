@@ -1,0 +1,37 @@
+//! # elasticutor-sim
+//!
+//! A small, deterministic discrete-event simulation kernel.
+//!
+//! The paper evaluates Elasticutor on a 32-node × 8-core EC2 cluster. We
+//! reproduce those experiments on a single machine by running the *same
+//! algorithm code* (routing tables, load balancer, scheduler, the
+//! reassignment protocols) against simulated CPU cores and network links.
+//! This crate provides the substrate: a time-ordered event queue with
+//! stable FIFO tie-breaking, lazy event cancellation, and a seeded RNG —
+//! everything needed for runs that are exactly reproducible bit-for-bit
+//! across machines.
+//!
+//! * [`queue::Simulation`] — the event loop: `schedule_after`, `pop`,
+//!   `cancel`, simulated `now()`.
+//! * [`rng::SimRng`] — SplitMix64-based deterministic RNG with
+//!   exponential/uniform helpers (service times, arrival processes).
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::{EventToken, Simulation};
+pub use rng::SimRng;
+
+/// Simulated time in nanoseconds since the start of the run.
+pub type SimTime = u64;
+
+/// One second of simulated time.
+pub const SECOND: SimTime = 1_000_000_000;
+
+/// One millisecond of simulated time.
+pub const MILLIS: SimTime = 1_000_000;
+
+/// One microsecond of simulated time.
+pub const MICROS: SimTime = 1_000;

@@ -1,0 +1,323 @@
+//! The deterministic event queue and simulation clock.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// Heap entry: ordered by time, then by insertion sequence (FIFO for
+/// simultaneous events — the property that makes runs deterministic).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event simulation: an event queue plus the simulated clock.
+///
+/// `E` is the engine-defined event type. The driver loop is owned by the
+/// engine:
+///
+/// ```
+/// # use elasticutor_sim::Simulation;
+/// #[derive(Debug)]
+/// enum Ev { Tick }
+/// let mut sim = Simulation::new();
+/// sim.schedule_after(5, Ev::Tick);
+/// while let Some(ev) = sim.pop() {
+///     match ev { Ev::Tick => assert_eq!(sim.now(), 5) }
+/// }
+/// ```
+pub struct Simulation<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` at absolute time `at` (≥ `now`). Returns a token
+    /// for cancellation.
+    ///
+    /// Panics if `at < now()` — scheduling into the past is always an
+    /// engine bug.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+        EventToken(seq)
+    }
+
+    /// Schedules `event` `delay` nanoseconds from now.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) -> EventToken {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Cancels a scheduled event. Cheap (lazy): the entry is skipped when
+    /// it surfaces. Returns `true` if this call newly marked the token.
+    /// Cancelling a token whose event already fired is harmless (the mark
+    /// refers to a sequence number that is never reused) but callers
+    /// should treat tokens as single-use.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 < self.next_seq {
+            self.cancelled.insert(token.0)
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next non-cancelled event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<E> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.processed += 1;
+            return Some(entry.event);
+        }
+        None
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`;
+    /// otherwise leaves it queued and returns `None` (the clock does not
+    /// advance). Used to run a simulation "until time T".
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<E> {
+        loop {
+            let next_time = self.heap.peek().map(|Reverse(e)| (e.time, e.seq))?;
+            if next_time.0 > deadline {
+                return None;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            self.processed += 1;
+            return Some(entry.event);
+        }
+    }
+
+    /// Advances the clock to `at` without processing events. Panics if an
+    /// uncancelled event earlier than `at` is pending (that would skip
+    /// it) or if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.time > at {
+                break;
+            }
+            if self.cancelled.contains(&e.seq) {
+                let Reverse(e) = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&e.seq);
+            } else {
+                panic!("advance_to({at}) would skip a pending event at {}", e.time);
+            }
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(30, Ev::C);
+        sim.schedule_at(10, Ev::A);
+        sim.schedule_at(20, Ev::B);
+        assert_eq!(sim.pop(), Some(Ev::A));
+        assert_eq!(sim.now(), 10);
+        assert_eq!(sim.pop(), Some(Ev::B));
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.pop(), Some(Ev::C));
+        assert_eq!(sim.now(), 30);
+        assert_eq!(sim.pop(), None);
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(5, Ev::A);
+        sim.schedule_at(5, Ev::B);
+        sim.schedule_at(5, Ev::C);
+        assert_eq!(sim.pop(), Some(Ev::A));
+        assert_eq!(sim.pop(), Some(Ev::B));
+        assert_eq!(sim.pop(), Some(Ev::C));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(100, Ev::A);
+        sim.pop();
+        sim.schedule_after(50, Ev::B);
+        assert_eq!(sim.pop(), Some(Ev::B));
+        assert_eq!(sim.now(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(100, Ev::A);
+        sim.pop();
+        sim.schedule_at(50, Ev::B);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut sim = Simulation::new();
+        let t = sim.schedule_at(10, Ev::A);
+        sim.schedule_at(20, Ev::B);
+        assert!(sim.cancel(t));
+        // Cancelling twice before the event surfaces is a no-op.
+        assert!(!sim.cancel(t));
+        assert_eq!(sim.pop(), Some(Ev::B));
+        assert_eq!(sim.now(), 20);
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_noop() {
+        let mut sim: Simulation<Ev> = Simulation::new();
+        assert!(!sim.cancel(EventToken(999)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(10, Ev::A);
+        sim.schedule_at(100, Ev::B);
+        assert_eq!(sim.pop_until(50), Some(Ev::A));
+        assert_eq!(sim.pop_until(50), None);
+        assert_eq!(sim.now(), 10, "clock stays at last processed event");
+        assert_eq!(sim.pop_until(100), Some(Ev::B));
+    }
+
+    #[test]
+    fn pop_until_skips_cancelled() {
+        let mut sim = Simulation::new();
+        let t = sim.schedule_at(10, Ev::A);
+        sim.schedule_at(20, Ev::B);
+        sim.cancel(t);
+        assert_eq!(sim.pop_until(100), Some(Ev::B));
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut sim: Simulation<Ev> = Simulation::new();
+        sim.advance_to(500);
+        assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(10, Ev::A);
+        sim.advance_to(20);
+    }
+
+    #[test]
+    fn advance_over_cancelled_event_ok() {
+        let mut sim = Simulation::new();
+        let t = sim.schedule_at(10, Ev::A);
+        sim.cancel(t);
+        sim.advance_to(20);
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.pop(), None);
+    }
+
+    #[test]
+    fn determinism_same_schedule_same_order() {
+        let run = || {
+            let mut sim = Simulation::new();
+            for i in 0..100u64 {
+                sim.schedule_at((i * 7) % 13, i);
+            }
+            let mut order = Vec::new();
+            while let Some(e) = sim.pop() {
+                order.push((sim.now(), e));
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,29 @@
+//! # elasticutor-state
+//!
+//! The in-memory, shard-grouped key-value state store of an elastic
+//! executor process (paper §3.2, "intra-process state sharing").
+//!
+//! Each worker process of an elastic executor hosts one [`StateStore`].
+//! All task threads in the process share it (via `Arc`), reading and
+//! updating state **per key** through [`StateHandle`]s. Because the store
+//! is process-wide rather than task-private, reassigning a shard between
+//! two tasks of the *same* process requires no state movement at all —
+//! the destination task simply starts accessing the same shard through
+//! the shared interface. Only cross-process (remote) reassignments
+//! serialize the shard into a [`ShardSnapshot`] and ship it.
+//!
+//! Design notes:
+//! * One `RwLock` per shard: tasks touching different shards never
+//!   contend, and the common case (the single task owning the shard) takes
+//!   an uncontended lock.
+//! * Byte accounting is maintained per shard so engines can (a) model
+//!   migration cost `s_j` and (b) report the paper's state-migration-rate
+//!   metric without walking the data.
+
+#![warn(missing_docs)]
+
+pub mod snapshot;
+pub mod store;
+
+pub use snapshot::ShardSnapshot;
+pub use store::{StateHandle, StateStore};

@@ -1,0 +1,439 @@
+//! The process-wide shard-grouped state store.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use elasticutor_core::ids::{Key, ShardId};
+use parking_lot::RwLock;
+
+/// One shard's data plus its byte accounting.
+#[derive(Default)]
+struct ShardCell {
+    /// Key→value map. BTreeMap gives deterministic iteration for
+    /// snapshots (and the per-shard key counts are small: state is split
+    /// across `z = 256` shards per executor).
+    entries: BTreeMap<Key, Bytes>,
+    /// Sum of value lengths, maintained incrementally.
+    bytes: u64,
+}
+
+/// The process-wide state store shared by all task threads of an elastic
+/// executor's worker process.
+///
+/// Thread safety: the shard registry uses a `RwLock` (shards are
+/// added/removed only on migration — rare), and each shard has its own
+/// `RwLock` so tasks working different shards never contend.
+#[derive(Default)]
+pub struct StateStore {
+    shards: RwLock<BTreeMap<ShardId, Arc<RwLock<ShardCell>>>>,
+    /// Total value bytes across shards (kept eventually-exact via atomic
+    /// deltas; used for cheap `s_j` reads by the scheduler).
+    total_bytes: AtomicU64,
+}
+
+impl StateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store pre-registered with shards `0..num_shards` (the
+    /// local main process of a fresh executor owns all its shards).
+    pub fn with_shards(num_shards: u32) -> Self {
+        let store = Self::new();
+        {
+            let mut reg = store.shards.write();
+            for s in 0..num_shards {
+                reg.insert(ShardId(s), Arc::new(RwLock::new(ShardCell::default())));
+            }
+        }
+        store
+    }
+
+    fn cell(&self, shard: ShardId) -> Option<Arc<RwLock<ShardCell>>> {
+        self.shards.read().get(&shard).cloned()
+    }
+
+    fn cell_or_create(&self, shard: ShardId) -> Arc<RwLock<ShardCell>> {
+        if let Some(c) = self.cell(shard) {
+            return c;
+        }
+        self.shards
+            .write()
+            .entry(shard)
+            .or_insert_with(|| Arc::new(RwLock::new(ShardCell::default())))
+            .clone()
+    }
+
+    /// Whether the store currently hosts `shard`.
+    pub fn hosts(&self, shard: ShardId) -> bool {
+        self.shards.read().contains_key(&shard)
+    }
+
+    /// Shards currently hosted, ascending.
+    pub fn shards(&self) -> Vec<ShardId> {
+        self.shards.read().keys().copied().collect()
+    }
+
+    /// Reads the value of `key` in `shard`. `None` if absent (or the
+    /// shard is not hosted here).
+    pub fn get(&self, shard: ShardId, key: Key) -> Option<Bytes> {
+        let cell = self.cell(shard)?;
+        let guard = cell.read();
+        guard.entries.get(&key).cloned()
+    }
+
+    /// Writes `value` for `key` in `shard`, creating the shard if absent.
+    /// Returns the previous value, if any.
+    pub fn put(&self, shard: ShardId, key: Key, value: Bytes) -> Option<Bytes> {
+        let cell = self.cell_or_create(shard);
+        let mut guard = cell.write();
+        let new_len = value.len() as u64;
+        let old = guard.entries.insert(key, value);
+        let old_len = old.as_ref().map_or(0, |v| v.len() as u64);
+        guard.bytes = guard.bytes + new_len - old_len;
+        drop(guard);
+        if new_len >= old_len {
+            self.total_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+        } else {
+            self.total_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// Removes `key` from `shard`, returning the previous value.
+    pub fn remove(&self, shard: ShardId, key: Key) -> Option<Bytes> {
+        let cell = self.cell(shard)?;
+        let mut guard = cell.write();
+        let old = guard.entries.remove(&key);
+        if let Some(v) = &old {
+            guard.bytes -= v.len() as u64;
+            self.total_bytes.fetch_sub(v.len() as u64, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// Atomically read-modify-writes the value of `key` in `shard`. The
+    /// closure receives the current value and returns the replacement
+    /// (`None` deletes). Holds the shard's write lock for the duration —
+    /// this is the per-key update primitive operators use, so tuples of
+    /// the same key serialize here even across (transiently) concurrent
+    /// tasks.
+    pub fn update<F>(&self, shard: ShardId, key: Key, f: F) -> Option<Bytes>
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        let cell = self.cell_or_create(shard);
+        let mut guard = cell.write();
+        let old_len = guard.entries.get(&key).map_or(0, |v| v.len() as u64);
+        let next = f(guard.entries.get(&key));
+        let result = next.clone();
+        match next {
+            Some(v) => {
+                let new_len = v.len() as u64;
+                guard.entries.insert(key, v);
+                guard.bytes = guard.bytes + new_len - old_len;
+                drop(guard);
+                if new_len >= old_len {
+                    self.total_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+                } else {
+                    self.total_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+                }
+            }
+            None => {
+                if guard.entries.remove(&key).is_some() {
+                    guard.bytes -= old_len;
+                    drop(guard);
+                    self.total_bytes.fetch_sub(old_len, Ordering::Relaxed);
+                }
+            }
+        }
+        result
+    }
+
+    /// Value bytes currently held for `shard` (0 if not hosted).
+    pub fn shard_bytes(&self, shard: ShardId) -> u64 {
+        self.cell(shard).map_or(0, |c| c.read().bytes)
+    }
+
+    /// Number of keys in `shard`.
+    pub fn shard_keys(&self, shard: ShardId) -> usize {
+        self.cell(shard).map_or(0, |c| c.read().entries.len())
+    }
+
+    /// Total value bytes across all shards.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Extracts `shard` for migration: removes it from this store and
+    /// returns its snapshot. Returns `None` if the shard is not hosted.
+    pub fn extract_shard(&self, shard: ShardId) -> Option<crate::ShardSnapshot> {
+        let cell = self.shards.write().remove(&shard)?;
+        let guard = cell.read();
+        self.total_bytes.fetch_sub(guard.bytes, Ordering::Relaxed);
+        Some(crate::ShardSnapshot {
+            shard,
+            entries: guard.entries.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        })
+    }
+
+    /// Copies `shard` without removing it (for replication/tests).
+    pub fn snapshot_shard(&self, shard: ShardId) -> Option<crate::ShardSnapshot> {
+        let cell = self.cell(shard)?;
+        let guard = cell.read();
+        Some(crate::ShardSnapshot {
+            shard,
+            entries: guard.entries.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        })
+    }
+
+    /// Installs a migrated shard. Panics if the shard is already hosted
+    /// (two processes must never both own a shard — the reassignment
+    /// protocol guarantees extract-before-install).
+    pub fn install_shard(&self, snapshot: crate::ShardSnapshot) {
+        let mut reg = self.shards.write();
+        assert!(
+            !reg.contains_key(&snapshot.shard),
+            "shard {} already hosted — double install",
+            snapshot.shard
+        );
+        let bytes: u64 = snapshot.entries.iter().map(|(_, v)| v.len() as u64).sum();
+        let cell = ShardCell {
+            entries: snapshot.entries.into_iter().collect(),
+            bytes,
+        };
+        reg.insert(snapshot.shard, Arc::new(RwLock::new(cell)));
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A [`StateHandle`] scoped to one shard, the interface handed to
+    /// operator code.
+    pub fn handle(self: &Arc<Self>, shard: ShardId) -> StateHandle {
+        StateHandle {
+            store: Arc::clone(self),
+            shard,
+        }
+    }
+}
+
+/// A shard-scoped view of the process state store, passed to operator
+/// `process()` callbacks so user logic can only touch the state of the
+/// shard its current tuple belongs to (preserving shard isolation, which
+/// is what makes shards migratable units).
+#[derive(Clone)]
+pub struct StateHandle {
+    store: Arc<StateStore>,
+    shard: ShardId,
+}
+
+impl StateHandle {
+    /// The shard this handle is scoped to.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Reads `key`.
+    pub fn get(&self, key: Key) -> Option<Bytes> {
+        self.store.get(self.shard, key)
+    }
+
+    /// Writes `key`.
+    pub fn put(&self, key: Key, value: Bytes) -> Option<Bytes> {
+        self.store.put(self.shard, key, value)
+    }
+
+    /// Removes `key`.
+    pub fn remove(&self, key: Key) -> Option<Bytes> {
+        self.store.remove(self.shard, key)
+    }
+
+    /// Read-modify-writes `key`.
+    pub fn update<F>(&self, key: Key, f: F) -> Option<Bytes>
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        self.store.update(self.shard, key, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let store = StateStore::new();
+        assert_eq!(store.put(ShardId(1), Key(10), b("alpha")), None);
+        assert_eq!(store.get(ShardId(1), Key(10)), Some(b("alpha")));
+        assert_eq!(store.put(ShardId(1), Key(10), b("beta")), Some(b("alpha")));
+        assert_eq!(store.remove(ShardId(1), Key(10)), Some(b("beta")));
+        assert_eq!(store.get(ShardId(1), Key(10)), None);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_mutations() {
+        let store = StateStore::new();
+        store.put(ShardId(0), Key(1), b("12345"));
+        store.put(ShardId(0), Key(2), b("123"));
+        store.put(ShardId(1), Key(1), b("1"));
+        assert_eq!(store.shard_bytes(ShardId(0)), 8);
+        assert_eq!(store.shard_bytes(ShardId(1)), 1);
+        assert_eq!(store.total_bytes(), 9);
+        store.put(ShardId(0), Key(1), b("1")); // shrink 5 → 1
+        assert_eq!(store.shard_bytes(ShardId(0)), 4);
+        store.remove(ShardId(0), Key(2));
+        assert_eq!(store.shard_bytes(ShardId(0)), 1);
+        assert_eq!(store.total_bytes(), 2);
+    }
+
+    #[test]
+    fn keys_in_different_shards_are_isolated() {
+        let store = StateStore::new();
+        store.put(ShardId(0), Key(7), b("zero"));
+        store.put(ShardId(1), Key(7), b("one"));
+        assert_eq!(store.get(ShardId(0), Key(7)), Some(b("zero")));
+        assert_eq!(store.get(ShardId(1), Key(7)), Some(b("one")));
+    }
+
+    #[test]
+    fn update_counter_semantics() {
+        let store = StateStore::new();
+        for _ in 0..5 {
+            store.update(ShardId(0), Key(1), |old| {
+                let n = old.map_or(0u64, |v| {
+                    u64::from_le_bytes(v.as_ref().try_into().unwrap())
+                });
+                Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+            });
+        }
+        let v = store.get(ShardId(0), Key(1)).unwrap();
+        assert_eq!(u64::from_le_bytes(v.as_ref().try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn update_returning_none_deletes() {
+        let store = StateStore::new();
+        store.put(ShardId(0), Key(1), b("x"));
+        store.update(ShardId(0), Key(1), |_| None);
+        assert_eq!(store.get(ShardId(0), Key(1)), None);
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn extract_then_install_conserves_state() {
+        let src = StateStore::new();
+        src.put(ShardId(3), Key(1), b("a"));
+        src.put(ShardId(3), Key(2), b("bb"));
+        src.put(ShardId(4), Key(1), b("stay"));
+        let snap = src.extract_shard(ShardId(3)).unwrap();
+        assert!(!src.hosts(ShardId(3)));
+        assert_eq!(src.total_bytes(), 4);
+        assert_eq!(snap.len(), 2);
+
+        let dst = StateStore::new();
+        dst.install_shard(snap);
+        assert_eq!(dst.get(ShardId(3), Key(1)), Some(b("a")));
+        assert_eq!(dst.get(ShardId(3), Key(2)), Some(b("bb")));
+        assert_eq!(dst.total_bytes(), 3);
+        assert_eq!(dst.shard_bytes(ShardId(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "double install")]
+    fn double_install_panics() {
+        let store = StateStore::with_shards(4);
+        store.install_shard(crate::ShardSnapshot::empty(ShardId(0)));
+    }
+
+    #[test]
+    fn extract_missing_shard_is_none() {
+        let store = StateStore::new();
+        assert!(store.extract_shard(ShardId(9)).is_none());
+    }
+
+    #[test]
+    fn with_shards_pre_registers() {
+        let store = StateStore::with_shards(8);
+        assert_eq!(store.shards().len(), 8);
+        assert!(store.hosts(ShardId(7)));
+        assert!(!store.hosts(ShardId(8)));
+    }
+
+    #[test]
+    fn handle_scopes_to_shard() {
+        let store = Arc::new(StateStore::new());
+        let h = store.handle(ShardId(2));
+        h.put(Key(1), b("via-handle"));
+        assert_eq!(h.shard(), ShardId(2));
+        assert_eq!(store.get(ShardId(2), Key(1)), Some(b("via-handle")));
+        assert_eq!(h.get(Key(1)), Some(b("via-handle")));
+        h.update(Key(1), |v| {
+            assert!(v.is_some());
+            None
+        });
+        assert_eq!(h.remove(Key(1)), None);
+    }
+
+    #[test]
+    fn concurrent_updates_are_linearized() {
+        let store = Arc::new(StateStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    store.update(ShardId(0), Key(1), |old| {
+                        let n = old.map_or(0u64, |v| {
+                            u64::from_le_bytes(v.as_ref().try_into().unwrap())
+                        });
+                        Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = store.get(ShardId(0), Key(1)).unwrap();
+        assert_eq!(u64::from_le_bytes(v.as_ref().try_into().unwrap()), 8000);
+    }
+
+    #[test]
+    fn concurrent_shards_do_not_interfere() {
+        let store = Arc::new(StateStore::new());
+        let mut handles = Vec::new();
+        for shard in 0..4u32 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..500u64 {
+                    store.put(ShardId(shard), Key(k), Bytes::from(vec![shard as u8; 16]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for shard in 0..4u32 {
+            assert_eq!(store.shard_keys(ShardId(shard)), 500);
+            assert_eq!(store.shard_bytes(ShardId(shard)), 500 * 16);
+        }
+        assert_eq!(store.total_bytes(), 4 * 500 * 16);
+    }
+
+    #[test]
+    fn snapshot_without_removal() {
+        let store = StateStore::new();
+        store.put(ShardId(0), Key(1), b("keep"));
+        let snap = store.snapshot_shard(ShardId(0)).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert!(store.hosts(ShardId(0)), "snapshot must not remove");
+        assert_eq!(store.get(ShardId(0), Key(1)), Some(b("keep")));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the shard-grouped state store: the
+//! invariants the reassignment protocol leans on.
+
+use bytes::Bytes;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_state::StateStore;
+use proptest::prelude::*;
+
+/// An abstract operation against one shard.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Remove(u64),
+    Update(u64, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..50, prop::collection::vec(any::<u8>(), 0..32)).prop_map(|(k, v)| Op::Put(k, v)),
+        (0u64..50).prop_map(Op::Remove),
+        (0u64..50, any::<u8>()).prop_map(|(k, b)| Op::Update(k, b)),
+    ]
+}
+
+/// Applies an op to both the store and a model HashMap.
+fn apply(
+    store: &StateStore,
+    shard: ShardId,
+    model: &mut std::collections::HashMap<u64, Vec<u8>>,
+    op: &Op,
+) {
+    match op {
+        Op::Put(k, v) => {
+            let prev = store.put(shard, Key(*k), Bytes::from(v.clone()));
+            assert_eq!(
+                prev.map(|b| b.to_vec()),
+                model.insert(*k, v.clone()),
+                "put must return the previous value"
+            );
+        }
+        Op::Remove(k) => {
+            let prev = store.remove(shard, Key(*k));
+            assert_eq!(prev.map(|b| b.to_vec()), model.remove(k));
+        }
+        Op::Update(k, byte) => {
+            // Append a byte to the existing value (or create one).
+            store.update(shard, Key(*k), |old| {
+                let mut v = old.map_or_else(Vec::new, |b| b.to_vec());
+                v.push(*byte);
+                Some(Bytes::from(v))
+            });
+            model.entry(*k).or_default().push(*byte);
+        }
+    }
+}
+
+proptest! {
+    /// The store behaves like a per-shard map, and its byte accounting
+    /// always equals the sum of live value sizes.
+    #[test]
+    fn store_matches_model_and_accounts_bytes(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let store = StateStore::with_shards(4);
+        let shard = ShardId(2);
+        let mut model = std::collections::HashMap::new();
+        for op in &ops {
+            apply(&store, shard, &mut model, op);
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(
+                store.get(shard, Key(*k)).map(|b| b.to_vec()),
+                Some(v.clone())
+            );
+        }
+        let expected_bytes: u64 = model.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(store.shard_bytes(shard), expected_bytes);
+        prop_assert_eq!(store.shard_keys(shard), model.len());
+        prop_assert_eq!(store.total_bytes(), expected_bytes);
+    }
+
+    /// Extract → install round-trips a shard exactly (the migration
+    /// path): no key lost, no byte miscounted, and the source store no
+    /// longer holds the shard.
+    #[test]
+    fn extract_install_conserves_state(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let source = StateStore::with_shards(2);
+        let shard = ShardId(1);
+        let mut model = std::collections::HashMap::new();
+        for op in &ops {
+            apply(&source, shard, &mut model, op);
+        }
+        let before_bytes = source.shard_bytes(shard);
+
+        let snapshot = source.extract_shard(shard).expect("shard exists");
+        prop_assert_eq!(snapshot.len(), model.len());
+        prop_assert_eq!(snapshot.value_bytes(), before_bytes);
+        prop_assert!(!source.hosts(shard), "extraction removes the shard");
+        prop_assert_eq!(source.shard_bytes(shard), 0);
+
+        let dest = StateStore::new();
+        dest.install_shard(snapshot);
+        prop_assert!(dest.hosts(shard));
+        for (k, v) in &model {
+            prop_assert_eq!(
+                dest.get(shard, Key(*k)).map(|b| b.to_vec()),
+                Some(v.clone())
+            );
+        }
+        prop_assert_eq!(dest.shard_bytes(shard), before_bytes);
+    }
+
+    /// Snapshots (non-destructive) leave the source intact and agree
+    /// with a later destructive extraction.
+    #[test]
+    fn snapshot_is_nondestructive(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let store = StateStore::with_shards(1);
+        let shard = ShardId(0);
+        let mut model = std::collections::HashMap::new();
+        for op in &ops {
+            apply(&store, shard, &mut model, op);
+        }
+        let snap = store.snapshot_shard(shard).expect("hosted");
+        prop_assert!(store.hosts(shard), "snapshot must not remove");
+        prop_assert_eq!(store.shard_keys(shard), model.len());
+        let extracted = store.extract_shard(shard).expect("still hosted");
+        prop_assert_eq!(snap.len(), extracted.len());
+        prop_assert_eq!(snap.value_bytes(), extracted.value_bytes());
+    }
+
+    /// Operations on different shards never interfere.
+    #[test]
+    fn shards_are_isolated(
+        ops_a in prop::collection::vec(op_strategy(), 1..60),
+        ops_b in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let store = StateStore::with_shards(8);
+        let (sa, sb) = (ShardId(3), ShardId(5));
+        let mut model_a = std::collections::HashMap::new();
+        let mut model_b = std::collections::HashMap::new();
+        // Interleave the two shards' operations.
+        let mut ia = ops_a.iter();
+        let mut ib = ops_b.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    if let Some(op) = a {
+                        apply(&store, sa, &mut model_a, op);
+                    }
+                    if let Some(op) = b {
+                        apply(&store, sb, &mut model_b, op);
+                    }
+                }
+            }
+        }
+        let bytes_a: u64 = model_a.values().map(|v| v.len() as u64).sum();
+        let bytes_b: u64 = model_b.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(store.shard_bytes(sa), bytes_a);
+        prop_assert_eq!(store.shard_bytes(sb), bytes_b);
+        prop_assert_eq!(store.total_bytes(), bytes_a + bytes_b);
+    }
+}

@@ -1,0 +1,82 @@
+//! Arrival processes: the gaps between consecutive source tuples.
+
+use elasticutor_sim::SimRng;
+
+/// How inter-arrival gaps are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` tuples/s (exponential gaps) — matches
+    /// the M/M/k modeling assumption.
+    Poisson {
+        /// Arrival rate in tuples per second.
+        rate: f64,
+    },
+    /// Deterministic arrivals at `rate` tuples/s (constant gap).
+    Deterministic {
+        /// Arrival rate in tuples per second.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run rate in tuples/s.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Deterministic { rate } => rate,
+        }
+    }
+
+    /// Draws the next inter-arrival gap in nanoseconds (at least 1 ns so
+    /// simulated time always advances).
+    pub fn next_gap_ns(&self, rng: &mut SimRng) -> u64 {
+        let gap_s = match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "rate must be positive");
+                rng.next_exp(rate)
+            }
+            ArrivalProcess::Deterministic { rate } => {
+                assert!(rate > 0.0, "rate must be positive");
+                1.0 / rate
+            }
+        };
+        ((gap_s * 1e9) as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_gap_is_constant() {
+        let p = ArrivalProcess::Deterministic { rate: 1000.0 };
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(p.next_gap_ns(&mut rng), 1_000_000);
+        }
+        assert_eq!(p.rate(), 1000.0);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 5000.0 };
+        let mut rng = SimRng::new(2);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ns(&mut rng)).sum();
+        let mean_ns = total as f64 / n as f64;
+        let expect = 1e9 / 5000.0;
+        assert!(
+            (mean_ns - expect).abs() / expect < 0.02,
+            "mean gap {mean_ns} ns, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn gaps_are_positive() {
+        let p = ArrivalProcess::Poisson { rate: 1e9 }; // pathologically fast
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            assert!(p.next_gap_ns(&mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # elasticutor-workload
+//!
+//! Workload generators reproducing the paper's evaluation inputs (§5).
+//!
+//! * [`zipf::ZipfSampler`] — keys drawn from a Zipf distribution (the
+//!   micro-benchmark uses 10 K distinct keys with skew 0.5).
+//! * [`shuffle::ShuffledKeySpace`] — "to emulate workload dynamics, we
+//!   shuffle the frequencies of tuple keys by applying a random
+//!   permutation ω times per minute": a Zipf rank→key permutation that is
+//!   re-drawn on a fixed period.
+//! * [`arrivals::ArrivalProcess`] — Poisson or deterministic inter-arrival
+//!   gaps.
+//! * [`micro::MicroWorkload`] — the Figure 5 generator→calculator
+//!   topology with configurable tuple size, CPU cost, rate, and ω.
+//! * [`sse::SseWorkload`] — a synthetic stand-in for the proprietary
+//!   Shanghai Stock Exchange order trace: the Figure 14 topology
+//!   (transactor → 6 statistics + 5 event operators) fed by a
+//!   regime-switching order stream whose per-stock rates fluctuate like
+//!   Figure 15.
+//!
+//! All generators draw from the deterministic [`elasticutor_sim::SimRng`]
+//! so experiment runs are exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod micro;
+pub mod profile;
+pub mod shuffle;
+pub mod sse;
+pub mod zipf;
+
+pub use arrivals::ArrivalProcess;
+pub use micro::{MicroConfig, MicroWorkload};
+pub use profile::{CostModel, OperatorProfile};
+pub use shuffle::ShuffledKeySpace;
+pub use sse::{SseConfig, SseWorkload};
+pub use zipf::ZipfSampler;
+
+use elasticutor_core::tuple::Tuple;
+
+/// A pull-based tuple source driven by the engine's clock.
+///
+/// `next_tuple(now)` returns the gap to the next tuple's arrival and the
+/// tuple itself; generators advance their internal dynamics (key
+/// shuffles, rate regimes) based on `now`.
+pub trait TupleSource {
+    /// Draws the next tuple. `now_ns` is the emission time of the
+    /// *previous* tuple (or 0); the returned gap is relative to it.
+    fn next_tuple(&mut self, now_ns: u64) -> (u64, Tuple);
+
+    /// The long-run average external arrival rate in tuples/s (λ0 of the
+    /// performance model), if known.
+    fn nominal_rate(&self) -> f64;
+}

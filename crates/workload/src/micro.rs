@@ -1,0 +1,282 @@
+//! The micro-benchmark workload (paper §5.1, Figure 5).
+//!
+//! Topology: `generator → calculator`, key-grouped. "Each tuple consists
+//! of an integer key and a 128-byte payload, and takes an average CPU
+//! cost of 1 ms for processing. The key space contains 10 K distinct
+//! values, whose frequencies follow a zipf distribution with a skew
+//! factor of 0.5. The shard state is 32 KB in size."
+
+use elasticutor_core::topology::{Topology, TopologyBuilder};
+use elasticutor_core::tuple::Tuple;
+use elasticutor_sim::SimRng;
+
+use crate::arrivals::ArrivalProcess;
+use crate::shuffle::ShuffledKeySpace;
+use crate::TupleSource;
+
+/// Configuration of the micro-benchmark. Defaults reproduce §5.1.
+#[derive(Clone, Debug)]
+pub struct MicroConfig {
+    /// External arrival rate (tuples/s).
+    pub rate: f64,
+    /// Whether arrivals are Poisson (default) or deterministic.
+    pub poisson: bool,
+    /// Tuple payload size `s` in bytes (default 128; the data-intensive
+    /// workload uses 8192).
+    pub tuple_bytes: u32,
+    /// Mean per-tuple CPU cost in nanoseconds (default 1 ms; Figure 10
+    /// sweeps 0.01–10 ms).
+    pub cpu_cost_ns: u64,
+    /// Whether CPU costs are exponentially distributed around the mean
+    /// (matching M/M/k) or deterministic.
+    pub exponential_cost: bool,
+    /// Number of distinct keys (default 10 000).
+    pub num_keys: usize,
+    /// Zipf skew (default 0.5).
+    pub skew: f64,
+    /// `ω` — key-frequency shuffles per minute (default 0).
+    pub omega: f64,
+    /// Number of generator (source) executors.
+    pub generator_parallelism: u32,
+    /// `y` — calculator executors (default 32).
+    pub calculator_executors: u32,
+    /// `z` — shards per calculator executor (default 256).
+    pub shards_per_executor: u32,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        Self {
+            rate: 10_000.0,
+            poisson: true,
+            tuple_bytes: 128,
+            cpu_cost_ns: 1_000_000,
+            exponential_cost: true,
+            num_keys: 10_000,
+            skew: 0.5,
+            omega: 0.0,
+            generator_parallelism: 8,
+            calculator_executors: 32,
+            shards_per_executor: 256,
+        }
+    }
+}
+
+impl MicroConfig {
+    /// Builds the Figure 5 topology for this configuration.
+    pub fn topology(&self) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let gen = b.source("generator", self.generator_parallelism);
+        let calc = b.transform(
+            "calculator",
+            self.calculator_executors,
+            self.shards_per_executor,
+        );
+        b.key_edge(gen, calc);
+        b.build().expect("micro topology is statically valid")
+    }
+}
+
+/// The running tuple generator for the micro-benchmark.
+pub struct MicroWorkload {
+    config: MicroConfig,
+    keys: ShuffledKeySpace,
+    arrivals: ArrivalProcess,
+    rng: SimRng,
+    /// Per-key sequence numbers for the ordering invariant. Only tracked
+    /// when `track_sequences` is set (costs one u32 slot per key).
+    seqs: Option<Vec<u64>>,
+}
+
+impl MicroWorkload {
+    /// Creates the workload from a config and a seed.
+    pub fn new(config: MicroConfig, seed: u64) -> Self {
+        let mut root = SimRng::new(seed);
+        let keys = ShuffledKeySpace::new(config.num_keys, config.skew, config.omega, root.fork());
+        let arrivals = if config.poisson {
+            ArrivalProcess::Poisson { rate: config.rate }
+        } else {
+            ArrivalProcess::Deterministic { rate: config.rate }
+        };
+        Self {
+            keys,
+            arrivals,
+            rng: root.fork(),
+            config,
+            seqs: None,
+        }
+    }
+
+    /// Enables per-key sequence numbering (used by ordering tests).
+    pub fn track_sequences(&mut self) {
+        self.seqs = Some(vec![0; self.config.num_keys]);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MicroConfig {
+        &self.config
+    }
+
+    /// Number of key shuffles applied so far.
+    pub fn shuffles_applied(&self) -> u64 {
+        self.keys.shuffles_applied()
+    }
+
+    fn draw_cost(&mut self) -> u64 {
+        if self.config.exponential_cost {
+            let mean = self.config.cpu_cost_ns as f64;
+            (self.rng.next_exp(1.0 / mean) as u64).max(1)
+        } else {
+            self.config.cpu_cost_ns
+        }
+    }
+}
+
+impl TupleSource for MicroWorkload {
+    fn next_tuple(&mut self, now_ns: u64) -> (u64, Tuple) {
+        let gap = self.arrivals.next_gap_ns(&mut self.rng);
+        let at = now_ns + gap;
+        let key = self.keys.sample(at);
+        let cost = self.draw_cost();
+        let mut tuple = Tuple::new(key, self.config.tuple_bytes, cost, at);
+        if let Some(seqs) = &mut self.seqs {
+            let slot = &mut seqs[key.value() as usize];
+            *slot += 1;
+            tuple = tuple.with_seq(*slot);
+        }
+        (gap, tuple)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.config.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = MicroConfig::default();
+        assert_eq!(c.tuple_bytes, 128);
+        assert_eq!(c.cpu_cost_ns, 1_000_000);
+        assert_eq!(c.num_keys, 10_000);
+        assert!((c.skew - 0.5).abs() < 1e-12);
+        assert_eq!(c.calculator_executors, 32);
+        assert_eq!(c.shards_per_executor, 256);
+        let t = c.topology();
+        assert_eq!(t.operators().len(), 2);
+        assert_eq!(
+            t.operator_by_name("calculator").unwrap().parallelism,
+            32
+        );
+    }
+
+    #[test]
+    fn generates_plausible_stream() {
+        let mut w = MicroWorkload::new(
+            MicroConfig {
+                rate: 1000.0,
+                ..Default::default()
+            },
+            42,
+        );
+        let mut now = 0u64;
+        let mut count = 0u64;
+        while now < 10_000_000_000 {
+            let (gap, t) = w.next_tuple(now);
+            now += gap;
+            count += 1;
+            assert!(t.key.value() < 10_000);
+            assert_eq!(t.payload_bytes, 128);
+            assert!(t.cpu_cost_ns >= 1);
+            assert_eq!(t.created_at_ns, now);
+        }
+        // ≈ 10 000 tuples over 10 s at 1 000/s (±10%).
+        assert!(
+            (count as f64 - 10_000.0).abs() < 1_000.0,
+            "generated {count}"
+        );
+    }
+
+    #[test]
+    fn deterministic_costs_when_configured() {
+        let mut w = MicroWorkload::new(
+            MicroConfig {
+                exponential_cost: false,
+                cpu_cost_ns: 500_000,
+                ..Default::default()
+            },
+            1,
+        );
+        for _ in 0..100 {
+            let (_, t) = w.next_tuple(0);
+            assert_eq!(t.cpu_cost_ns, 500_000);
+        }
+    }
+
+    #[test]
+    fn exponential_costs_average_to_mean() {
+        let mut w = MicroWorkload::new(MicroConfig::default(), 7);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| w.next_tuple(0).1.cpu_cost_ns).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 1_000_000.0).abs() / 1_000_000.0 < 0.03,
+            "mean cost {mean}"
+        );
+    }
+
+    #[test]
+    fn sequences_increase_per_key() {
+        let mut w = MicroWorkload::new(MicroConfig::default(), 3);
+        w.track_sequences();
+        let mut last_seq = std::collections::HashMap::new();
+        let mut now = 0;
+        for _ in 0..10_000 {
+            let (gap, t) = w.next_tuple(now);
+            now += gap;
+            let prev = last_seq.insert(t.key, t.seq);
+            if let Some(p) = prev {
+                assert!(t.seq > p, "per-key seq must increase");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_shuffles_fire() {
+        let mut w = MicroWorkload::new(
+            MicroConfig {
+                omega: 16.0,
+                rate: 10_000.0,
+                ..Default::default()
+            },
+            9,
+        );
+        let mut now = 0;
+        while now < 60_000_000_000 {
+            let (gap, _) = w.next_tuple(now);
+            now += gap;
+        }
+        // ω = 16/min over one minute.
+        assert!(w.shuffles_applied() >= 15 && w.shuffles_applied() <= 17);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let stream = |seed| {
+            let mut w = MicroWorkload::new(MicroConfig::default(), seed);
+            let mut now = 0;
+            let mut v = Vec::new();
+            for _ in 0..200 {
+                let (gap, t) = w.next_tuple(now);
+                now += gap;
+                v.push((gap, t.key, t.cpu_cost_ns));
+            }
+            v
+        };
+        assert_eq!(stream(5), stream(5));
+        assert_ne!(stream(5), stream(6));
+    }
+}

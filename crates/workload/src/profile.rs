@@ -1,0 +1,116 @@
+//! Per-operator execution profiles.
+//!
+//! A topology describes *structure*; an [`OperatorProfile`] describes
+//! *cost*: how long an operator's tuples take on a core and how large its
+//! output tuples are. Engines look profiles up by `OperatorId` when
+//! simulating service times and constructing emitted tuples.
+
+use elasticutor_core::tuple::Tuple;
+use elasticutor_sim::SimRng;
+
+/// How an operator's per-tuple CPU cost is determined.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostModel {
+    /// Use the cost carried by the tuple itself (the micro-benchmark
+    /// encodes its swept cost in the source tuples).
+    FromTuple,
+    /// Exponentially distributed with the given mean (matches the M/M/k
+    /// modeling assumption).
+    Exponential {
+        /// Mean service demand in nanoseconds.
+        mean_ns: u64,
+    },
+    /// Constant cost.
+    Deterministic {
+        /// Service demand in nanoseconds.
+        ns: u64,
+    },
+}
+
+impl CostModel {
+    /// Draws a service demand for `tuple` in nanoseconds (≥ 1).
+    pub fn draw(&self, tuple: &Tuple, rng: &mut SimRng) -> u64 {
+        match *self {
+            CostModel::FromTuple => tuple.cpu_cost_ns.max(1),
+            CostModel::Exponential { mean_ns } => {
+                (rng.next_exp(1.0 / mean_ns as f64) as u64).max(1)
+            }
+            CostModel::Deterministic { ns } => ns.max(1),
+        }
+    }
+
+    /// The mean service demand in nanoseconds (for the performance
+    /// model's μ). `None` for [`CostModel::FromTuple`], where the mean is
+    /// workload-defined.
+    pub fn mean_ns(&self) -> Option<u64> {
+        match *self {
+            CostModel::FromTuple => None,
+            CostModel::Exponential { mean_ns } => Some(mean_ns),
+            CostModel::Deterministic { ns } => Some(ns),
+        }
+    }
+}
+
+/// Execution profile of one operator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperatorProfile {
+    /// Per-tuple CPU cost model.
+    pub cost: CostModel,
+    /// Payload size of tuples this operator emits downstream.
+    pub output_bytes: u32,
+    /// Mean bytes of state written per processed tuple (state growth
+    /// model; engines cap shard state at the workload's configured shard
+    /// state size).
+    pub state_write_bytes: u32,
+}
+
+impl OperatorProfile {
+    /// A profile that processes according to the tuple's own cost and
+    /// forwards same-sized tuples.
+    pub fn passthrough() -> Self {
+        Self {
+            cost: CostModel::FromTuple,
+            output_bytes: 0,
+            state_write_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticutor_core::ids::Key;
+
+    fn t(cost: u64) -> Tuple {
+        Tuple::new(Key(1), 128, cost, 0)
+    }
+
+    #[test]
+    fn from_tuple_uses_tuple_cost() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(CostModel::FromTuple.draw(&t(777), &mut rng), 777);
+        assert_eq!(CostModel::FromTuple.draw(&t(0), &mut rng), 1, "min 1 ns");
+        assert_eq!(CostModel::FromTuple.mean_ns(), None);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut rng = SimRng::new(2);
+        let m = CostModel::Deterministic { ns: 1000 };
+        for _ in 0..10 {
+            assert_eq!(m.draw(&t(5), &mut rng), 1000);
+        }
+        assert_eq!(m.mean_ns(), Some(1000));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(3);
+        let m = CostModel::Exponential { mean_ns: 100_000 };
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| m.draw(&t(5), &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100_000.0).abs() / 100_000.0 < 0.02, "mean {mean}");
+        assert_eq!(m.mean_ns(), Some(100_000));
+    }
+}

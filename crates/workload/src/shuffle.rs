@@ -1,0 +1,167 @@
+//! The ω-shuffled key space.
+//!
+//! Paper §5.1: "To emulate workload dynamics, we shuffle the frequencies
+//! of tuple keys by applying a random permutation ω times per minute."
+//!
+//! [`ShuffledKeySpace`] draws a Zipf *rank* and maps it through a
+//! permutation to a *key*; every `60/ω` seconds the permutation is
+//! redrawn, instantly handing the hot ranks to different keys (and thus
+//! different shards and executors) — the workload dynamic that elasticity
+//! mechanisms must chase.
+
+use elasticutor_core::ids::Key;
+use elasticutor_sim::SimRng;
+
+use crate::zipf::ZipfSampler;
+
+/// Zipf sampling through a periodically reshuffled rank→key permutation.
+#[derive(Clone, Debug)]
+pub struct ShuffledKeySpace {
+    zipf: ZipfSampler,
+    /// `perm[rank] = key index`.
+    perm: Vec<u32>,
+    /// Shuffle period in nanoseconds; `None` disables shuffling (ω = 0).
+    period_ns: Option<u64>,
+    next_shuffle_ns: u64,
+    shuffles_applied: u64,
+    rng: SimRng,
+}
+
+impl ShuffledKeySpace {
+    /// Creates a key space of `num_keys` keys with Zipf skew `skew`,
+    /// shuffled `omega` times per minute (ω = 0 disables shuffling).
+    pub fn new(num_keys: usize, skew: f64, omega: f64, rng: SimRng) -> Self {
+        assert!(omega >= 0.0 && omega.is_finite(), "omega must be >= 0");
+        let period_ns = if omega > 0.0 {
+            Some((60.0e9 / omega) as u64)
+        } else {
+            None
+        };
+        Self {
+            zipf: ZipfSampler::new(num_keys, skew),
+            perm: (0..num_keys as u32).collect(),
+            period_ns,
+            next_shuffle_ns: period_ns.unwrap_or(u64::MAX),
+            shuffles_applied: 0,
+            rng,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// How many shuffles have been applied so far.
+    pub fn shuffles_applied(&self) -> u64 {
+        self.shuffles_applied
+    }
+
+    /// Advances shuffle state to `now_ns`, applying any permutations due.
+    pub fn advance(&mut self, now_ns: u64) {
+        let Some(period) = self.period_ns else { return };
+        while now_ns >= self.next_shuffle_ns {
+            self.rng.shuffle(&mut self.perm);
+            self.shuffles_applied += 1;
+            self.next_shuffle_ns += period;
+        }
+    }
+
+    /// Draws a key at time `now_ns` (applies due shuffles first).
+    pub fn sample(&mut self, now_ns: u64) -> Key {
+        self.advance(now_ns);
+        let rank = self.zipf.sample(&mut self.rng);
+        Key(u64::from(self.perm[rank]))
+    }
+
+    /// The key currently occupying `rank` (0 = hottest).
+    pub fn key_at_rank(&self, rank: usize) -> Key {
+        Key(u64::from(self.perm[rank]))
+    }
+
+    /// The probability mass of `rank`.
+    pub fn rank_pmf(&self, rank: usize) -> f64 {
+        self.zipf.pmf(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_shuffle_when_omega_zero() {
+        let mut ks = ShuffledKeySpace::new(100, 0.5, 0.0, SimRng::new(1));
+        ks.advance(u64::MAX - 1);
+        assert_eq!(ks.shuffles_applied(), 0);
+        assert_eq!(ks.key_at_rank(0), Key(0));
+    }
+
+    #[test]
+    fn shuffles_fire_on_schedule() {
+        // ω = 2/min → every 30 s.
+        let mut ks = ShuffledKeySpace::new(100, 0.5, 2.0, SimRng::new(2));
+        ks.advance(29_999_999_999);
+        assert_eq!(ks.shuffles_applied(), 0);
+        ks.advance(30_000_000_000);
+        assert_eq!(ks.shuffles_applied(), 1);
+        ks.advance(95_000_000_000);
+        assert_eq!(ks.shuffles_applied(), 3);
+    }
+
+    #[test]
+    fn shuffle_changes_hot_key() {
+        let mut ks = ShuffledKeySpace::new(1000, 0.5, 1.0, SimRng::new(3));
+        let before = ks.key_at_rank(0);
+        ks.advance(60_000_000_000);
+        let after = ks.key_at_rank(0);
+        // With 1000 keys the chance the hot key is unchanged is 0.1%.
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn samples_stay_in_key_range() {
+        let mut ks = ShuffledKeySpace::new(50, 1.0, 4.0, SimRng::new(4));
+        for i in 0..10_000u64 {
+            let k = ks.sample(i * 1_000_000);
+            assert!(k.value() < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut ks = ShuffledKeySpace::new(100, 0.5, 10.0, SimRng::new(seed));
+            (0..1000u64)
+                .map(|i| ks.sample(i * 10_000_000).value())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn hot_rank_mass_survives_shuffles() {
+        // The distribution over *ranks* is invariant; only the key
+        // identities move. Check the hottest key after many shuffles
+        // still attracts ≈ pmf(0) of traffic.
+        let mut ks = ShuffledKeySpace::new(100, 1.0, 60.0, SimRng::new(5));
+        ks.advance(10 * 60_000_000_000); // 600 shuffles
+        let hot = ks.key_at_rank(0);
+        let now = 10 * 60_000_000_000u64;
+        let mut hits = 0;
+        let n = 20_000;
+        for i in 0..n {
+            // Stay within the current shuffle period (1 s window).
+            if ks.sample(now + i % 900_000_000) == hot {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / n as f64;
+        let theory = ks.rank_pmf(0);
+        assert!(
+            (emp - theory).abs() / theory < 0.15,
+            "hot key: empirical {emp}, theory {theory}"
+        );
+    }
+}

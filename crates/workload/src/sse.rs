@@ -1,0 +1,444 @@
+//! The Shanghai-Stock-Exchange application workload (paper §5.4).
+//!
+//! The paper's dataset — three months of anonymized SSE limit orders at
+//! ~8 million records per trading hour — is proprietary. This module is
+//! the substitution documented in DESIGN.md: a synthetic order stream
+//! whose *statistical shape* matches what the paper reports:
+//!
+//! * orders are 96-byte tuples keyed by stock id; executed transactions
+//!   produce 160-byte records fanned out to 11 analytics operators
+//!   (Figure 14's topology: 6 statistics + 5 event operators);
+//! * per-stock arrival rates fluctuate strongly and *cross over* — the
+//!   hottest stock changes over time (Figure 15) — produced here by a
+//!   Zipf popularity base modulated by rotating "hot stock" boosts and a
+//!   global intensity regime.
+//!
+//! The dynamics knobs (`hot_rotation_period`, `regime_period`, boost
+//! range) control how hard the elasticity mechanisms must work, playing
+//! the role of ω in the micro-benchmark.
+
+use elasticutor_core::ids::Key;
+use elasticutor_core::topology::{Topology, TopologyBuilder};
+use elasticutor_core::tuple::Tuple;
+use elasticutor_sim::SimRng;
+
+use crate::profile::{CostModel, OperatorProfile};
+use crate::zipf::ZipfSampler;
+use crate::TupleSource;
+
+/// Names of the 6 statistics operators (Figure 14).
+pub const STATISTICS_OPS: [&str; 6] = [
+    "moving_average",
+    "composite_index",
+    "volume_stats",
+    "price_stats",
+    "turnover_stats",
+    "volatility_stats",
+];
+
+/// Names of the 5 event operators (Figure 14).
+pub const EVENT_OPS: [&str; 5] = [
+    "price_alarm",
+    "fraud_detection",
+    "large_trade_alert",
+    "circuit_breaker",
+    "order_imbalance",
+];
+
+/// Configuration for the SSE workload.
+#[derive(Clone, Debug)]
+pub struct SseConfig {
+    /// Number of distinct stocks (keys).
+    pub num_stocks: usize,
+    /// Zipf skew of base stock popularity.
+    pub popularity_skew: f64,
+    /// Long-run average order rate, orders/s. The paper's trace averages
+    /// ~8 M records per trading hour ≈ 2 222 orders/s.
+    pub base_rate: f64,
+    /// Order tuple payload bytes (paper: 96).
+    pub order_bytes: u32,
+    /// Transaction record payload bytes (paper: 160).
+    pub record_bytes: u32,
+    /// Mean CPU cost of the transactor per order, ns.
+    pub transactor_cost_ns: u64,
+    /// Mean CPU cost of each analytics operator per record, ns.
+    pub analytics_cost_ns: u64,
+    /// Parallelism of the order source.
+    pub source_parallelism: u32,
+    /// `y` — executors per analytic/transactor operator.
+    pub executors_per_operator: u32,
+    /// `z` — shards per executor.
+    pub shards_per_executor: u32,
+    /// How often the set of boosted ("hot") stocks rotates, ns.
+    pub hot_rotation_period_ns: u64,
+    /// Number of simultaneously boosted stocks.
+    pub num_hot_stocks: usize,
+    /// Hot-stock rate multiplier range `[lo, hi)`.
+    pub hot_boost: (f64, f64),
+    /// How often the global intensity regime resamples, ns.
+    pub regime_period_ns: u64,
+    /// Global intensity multiplier range `[lo, hi)`.
+    pub regime_range: (f64, f64),
+}
+
+impl Default for SseConfig {
+    fn default() -> Self {
+        Self {
+            num_stocks: 3000,
+            popularity_skew: 0.8,
+            base_rate: 2222.0,
+            order_bytes: 96,
+            record_bytes: 160,
+            transactor_cost_ns: 500_000,
+            analytics_cost_ns: 100_000,
+            source_parallelism: 8,
+            executors_per_operator: 32,
+            shards_per_executor: 256,
+            hot_rotation_period_ns: 120 * 1_000_000_000,
+            num_hot_stocks: 20,
+            hot_boost: (2.0, 10.0),
+            regime_period_ns: 300 * 1_000_000_000,
+            regime_range: (0.5, 2.0),
+        }
+    }
+}
+
+impl SseConfig {
+    /// Builds the Figure 14 topology: orders → transactor → 6 statistics
+    /// + 5 event operators, all key-grouped by stock id.
+    pub fn topology(&self) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let src = b.source("orders", self.source_parallelism);
+        let tx = b.transform(
+            "transactor",
+            self.executors_per_operator,
+            self.shards_per_executor,
+        );
+        b.key_edge(src, tx);
+        for name in STATISTICS_OPS.iter().chain(EVENT_OPS.iter()) {
+            let op = b.transform(
+                *name,
+                self.executors_per_operator,
+                self.shards_per_executor,
+            );
+            b.key_edge(tx, op);
+        }
+        b.build().expect("SSE topology is statically valid")
+    }
+
+    /// Execution profiles for every operator of [`Self::topology`], in
+    /// `OperatorId` order: source (no cost), transactor, 11 analytics.
+    pub fn profiles(&self) -> Vec<OperatorProfile> {
+        let mut v = Vec::with_capacity(13);
+        // Source: emits orders; cost irrelevant (generation is free).
+        v.push(OperatorProfile {
+            cost: CostModel::Deterministic { ns: 1 },
+            output_bytes: self.order_bytes,
+            state_write_bytes: 0,
+        });
+        // Transactor: matches orders against the book, emits records.
+        v.push(OperatorProfile {
+            cost: CostModel::Exponential {
+                mean_ns: self.transactor_cost_ns,
+            },
+            output_bytes: self.record_bytes,
+            state_write_bytes: 64,
+        });
+        // Analytics: consume records, keep per-stock aggregates.
+        for _ in 0..11 {
+            v.push(OperatorProfile {
+                cost: CostModel::Exponential {
+                    mean_ns: self.analytics_cost_ns,
+                },
+                output_bytes: 0,
+                state_write_bytes: 16,
+            });
+        }
+        v
+    }
+}
+
+/// The SSE order stream generator.
+pub struct SseWorkload {
+    config: SseConfig,
+    /// Base popularity weight per stock (Zipf pmf by rank, permuted so
+    /// stock id ≠ rank).
+    base_weight: Vec<f64>,
+    /// Current boost multiplier per stock (1.0 = unboosted).
+    boost: Vec<f64>,
+    /// Cumulative weights for sampling; rebuilt when boosts change.
+    cdf: Vec<f64>,
+    total_weight: f64,
+    /// Current global intensity multiplier.
+    regime: f64,
+    next_rotation_ns: u64,
+    next_regime_ns: u64,
+    rng: SimRng,
+    rotations: u64,
+}
+
+impl SseWorkload {
+    /// Creates the workload from a config and seed.
+    pub fn new(config: SseConfig, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let zipf = ZipfSampler::new(config.num_stocks, config.popularity_skew);
+        // Permute ranks over stock ids so "stock 0" is not always hottest.
+        let mut ids: Vec<u32> = (0..config.num_stocks as u32).collect();
+        rng.shuffle(&mut ids);
+        let mut base_weight = vec![0.0; config.num_stocks];
+        for (rank, &stock) in ids.iter().enumerate() {
+            base_weight[stock as usize] = zipf.pmf(rank);
+        }
+        let boost = vec![1.0; config.num_stocks];
+        let mut w = Self {
+            next_rotation_ns: config.hot_rotation_period_ns,
+            next_regime_ns: config.regime_period_ns,
+            cdf: Vec::new(),
+            total_weight: 0.0,
+            regime: 1.0,
+            rotations: 0,
+            config,
+            base_weight,
+            boost,
+            rng,
+        };
+        w.rotate_hot_stocks(); // initial boosted set
+        w.rotations = 0;
+        w.rebuild_cdf();
+        w
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SseConfig {
+        &self.config
+    }
+
+    fn rebuild_cdf(&mut self) {
+        self.cdf.clear();
+        self.cdf.reserve(self.base_weight.len());
+        let mut acc = 0.0;
+        for (w, b) in self.base_weight.iter().zip(&self.boost) {
+            acc += w * b;
+            self.cdf.push(acc);
+        }
+        self.total_weight = acc;
+    }
+
+    fn rotate_hot_stocks(&mut self) {
+        self.boost.iter_mut().for_each(|b| *b = 1.0);
+        let (lo, hi) = self.config.hot_boost;
+        // Hot stocks are drawn popularity-weighted: bursts of activity
+        // concentrate in already-liquid names, so a boosted runner-up
+        // regularly overtakes the base-rank leader — Figure 15's
+        // crossovers.
+        let total: f64 = self.base_weight.iter().sum();
+        for _ in 0..self.config.num_hot_stocks {
+            let mut u = self.rng.next_f64() * total;
+            let mut stock = 0;
+            for (i, &w) in self.base_weight.iter().enumerate() {
+                if u < w {
+                    stock = i;
+                    break;
+                }
+                u -= w;
+            }
+            self.boost[stock] = lo + self.rng.next_f64() * (hi - lo);
+        }
+        self.rotations += 1;
+    }
+
+    fn resample_regime(&mut self) {
+        let (lo, hi) = self.config.regime_range;
+        self.regime = lo + self.rng.next_f64() * (hi - lo);
+    }
+
+    /// Advances the dynamics to `now_ns`.
+    pub fn advance(&mut self, now_ns: u64) {
+        let mut dirty = false;
+        while now_ns >= self.next_rotation_ns {
+            self.rotate_hot_stocks();
+            self.next_rotation_ns += self.config.hot_rotation_period_ns;
+            dirty = true;
+        }
+        while now_ns >= self.next_regime_ns {
+            self.resample_regime();
+            self.next_regime_ns += self.config.regime_period_ns;
+        }
+        if dirty {
+            self.rebuild_cdf();
+        }
+    }
+
+    /// The instantaneous aggregate order rate at the current regime.
+    pub fn current_rate(&self) -> f64 {
+        self.config.base_rate * self.regime
+    }
+
+    /// The instantaneous arrival rate of one stock, orders/s — the
+    /// quantity plotted in Figure 15.
+    pub fn stock_rate(&self, stock: usize) -> f64 {
+        self.current_rate() * self.base_weight[stock] * self.boost[stock] / self.total_weight
+    }
+
+    /// The `n` currently hottest stocks (by instantaneous rate),
+    /// descending.
+    pub fn top_stocks(&self, n: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.base_weight.len()).collect();
+        ids.sort_by(|&a, &b| {
+            (self.base_weight[b] * self.boost[b])
+                .partial_cmp(&(self.base_weight[a] * self.boost[a]))
+                .unwrap()
+        });
+        ids.truncate(n);
+        ids
+    }
+
+    /// Number of hot-set rotations applied.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    fn sample_stock(&mut self) -> usize {
+        let u = self.rng.next_f64() * self.total_weight;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl TupleSource for SseWorkload {
+    fn next_tuple(&mut self, now_ns: u64) -> (u64, Tuple) {
+        self.advance(now_ns);
+        let rate = self.current_rate();
+        let gap_s = self.rng.next_exp(rate);
+        let gap = ((gap_s * 1e9) as u64).max(1);
+        let at = now_ns + gap;
+        let stock = self.sample_stock();
+        let tuple = Tuple::new(
+            Key(stock as u64),
+            self.config.order_bytes,
+            self.config.transactor_cost_ns,
+            at,
+        );
+        (gap, tuple)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        let (lo, hi) = self.config.regime_range;
+        self.config.base_rate * (lo + hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_figure_14() {
+        let c = SseConfig::default();
+        let t = c.topology();
+        // orders + transactor + 6 statistics + 5 events = 13 operators.
+        assert_eq!(t.operators().len(), 13);
+        let tx = t.operator_by_name("transactor").unwrap();
+        assert_eq!(t.downstream(tx.id).len(), 11);
+        assert_eq!(t.upstream_executor_count(tx.id), 8);
+        for name in STATISTICS_OPS.iter().chain(EVENT_OPS.iter()) {
+            let op = t.operator_by_name(name).unwrap();
+            assert_eq!(t.upstream(op.id), &[tx.id]);
+            assert_eq!(t.upstream_executor_count(op.id), 32);
+        }
+        // Profiles align with operators.
+        assert_eq!(c.profiles().len(), 13);
+    }
+
+    #[test]
+    fn order_stream_has_paper_sizes() {
+        let mut w = SseWorkload::new(SseConfig::default(), 1);
+        let (_, t) = w.next_tuple(0);
+        assert_eq!(t.payload_bytes, 96);
+        assert!(t.key.value() < 3000);
+    }
+
+    #[test]
+    fn rate_approximates_base_rate() {
+        let mut w = SseWorkload::new(SseConfig::default(), 2);
+        let mut now = 0u64;
+        let mut count = 0u64;
+        let horizon = 30_000_000_000; // 30 s, inside the first regime
+        while now < horizon {
+            let (gap, _) = w.next_tuple(now);
+            now += gap;
+            count += 1;
+        }
+        let rate = count as f64 / 30.0;
+        // regime = 1.0 initially → base_rate.
+        assert!(
+            (rate - 2222.0).abs() / 2222.0 < 0.1,
+            "measured rate {rate}"
+        );
+    }
+
+    #[test]
+    fn hot_rotation_changes_top_stocks() {
+        let mut w = SseWorkload::new(SseConfig::default(), 3);
+        let before = w.top_stocks(5);
+        w.advance(10 * 120_000_000_000); // 10 rotations
+        assert!(w.rotations() >= 10);
+        let after = w.top_stocks(5);
+        assert_ne!(before, after, "hot set must rotate");
+    }
+
+    #[test]
+    fn stock_rates_sum_to_total() {
+        let w = SseWorkload::new(SseConfig::default(), 4);
+        let sum: f64 = (0..3000).map(|s| w.stock_rate(s)).sum();
+        assert!((sum - w.current_rate()).abs() / w.current_rate() < 1e-9);
+    }
+
+    #[test]
+    fn regime_switches() {
+        let mut w = SseWorkload::new(SseConfig::default(), 5);
+        let r0 = w.current_rate();
+        w.advance(301 * 1_000_000_000);
+        let r1 = w.current_rate();
+        assert_ne!(r0, r1, "regime must resample");
+        let (lo, hi) = w.config().regime_range;
+        assert!(r1 >= w.config().base_rate * lo && r1 <= w.config().base_rate * hi);
+    }
+
+    #[test]
+    fn determinism() {
+        let draw = |seed| {
+            let mut w = SseWorkload::new(SseConfig::default(), seed);
+            let mut now = 0;
+            let mut v = Vec::new();
+            for _ in 0..500 {
+                let (gap, t) = w.next_tuple(now);
+                now += gap;
+                v.push((gap, t.key));
+            }
+            v
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn empirical_stock_distribution_tracks_weights() {
+        let mut w = SseWorkload::new(SseConfig::default(), 6);
+        let hot = w.top_stocks(1)[0];
+        let expected_share = w.stock_rate(hot) / w.current_rate();
+        let mut hits = 0u64;
+        let n = 100_000u64;
+        for _ in 0..n {
+            // Sample without advancing time (stays in the initial epoch).
+            let (_, t) = w.next_tuple(0);
+            if t.key.value() as usize == hot {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / n as f64;
+        assert!(
+            (emp - expected_share).abs() / expected_share < 0.15,
+            "hot stock share: empirical {emp}, expected {expected_share}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Zipf-distributed key sampling.
+//!
+//! Rank `r` (1-based) of `n` items receives probability `r^(-s) / H(n,s)`
+//! where `H(n,s)` is the generalized harmonic number. Sampling is by
+//! binary search over the precomputed CDF — O(log n) per draw, exact, and
+//! deterministic given the RNG stream.
+
+use elasticutor_sim::SimRng;
+
+/// A sampler over ranks `0..n` following Zipf(s).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `s ≥ 0` (s = 0 is
+    /// uniform; the paper's micro-benchmark uses s = 0.5).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// The probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_skew_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(1000, 0.5);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_monotone_in_probability() {
+        let z = ZipfSampler::new(100, 1.0);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = ZipfSampler::new(10_000, 0.5);
+        let mut rng = SimRng::new(42);
+        let mut counts = vec![0u64; 10_000];
+        let n = 200_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!(r < 10_000);
+            counts[r] += 1;
+        }
+        // Empirical frequency of rank 0 ≈ pmf(0) within 10%.
+        let emp = counts[0] as f64 / n as f64;
+        let theory = z.pmf(0);
+        assert!(
+            (emp - theory).abs() / theory < 0.1,
+            "rank-0: empirical {emp}, theory {theory}"
+        );
+        // Head heavier than tail.
+        assert!(counts[0] > counts[9999]);
+    }
+
+    #[test]
+    fn singleton_always_zero() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates() {
+        let z = ZipfSampler::new(100, 2.0);
+        assert!(z.pmf(0) > 0.6, "skew 2 concentrates most mass at rank 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

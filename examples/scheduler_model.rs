@@ -1,0 +1,70 @@
+//! The dynamic scheduler's performance model, stand-alone (§4.1).
+//!
+//! Models a 3-operator pipeline as a Jackson network of M/M/k stations
+//! and walks through the paper's greedy core allocation: start every
+//! executor at its stability minimum ⌊λ/μ⌋ + 1, then repeatedly grant the
+//! core with the largest marginal latency gain until the latency target
+//! is met. Prints each step so you can watch E[T] converge.
+//!
+//! Run with: `cargo run --release --example scheduler_model`
+
+use elasticutor::queueing::jackson::{ExecutorLoad, JacksonNetwork};
+use elasticutor::queueing::{allocate, AllocationRequest};
+
+fn main() {
+    // A parse → join → aggregate pipeline. Rates in tuples/s; the join is
+    // the heavy station (μ = 400/s against λ = 900/s).
+    let lambda0 = 1_000.0;
+    let stations = [("parse", ExecutorLoad::new(1_000.0, 2_000.0)),
+        ("join", ExecutorLoad::new(900.0, 400.0)),
+        ("aggregate", ExecutorLoad::new(900.0, 1_500.0))];
+    let network = JacksonNetwork::new(
+        lambda0,
+        stations.iter().map(|(_, l)| *l).collect(),
+    );
+
+    // Stability floor: kj = ⌊λj/μj⌋ + 1.
+    let mut k: Vec<u32> = network.loads().iter().map(ExecutorLoad::min_cores).collect();
+    println!("station         lambda      mu   k_min");
+    for ((name, load), &kj) in stations.iter().zip(&k) {
+        println!("{name:<12} {:>9.0} {:>7.0} {kj:>7}", load.lambda, load.mu);
+    }
+    println!(
+        "\nE[T] at the stability floor: {:.2} ms",
+        network.expected_latency(&k) * 1e3
+    );
+
+    // Greedy refinement toward a 5 ms end-to-end target.
+    let target_s = 0.005;
+    println!("\ngreedy allocation toward E[T] <= {:.0} ms:", target_s * 1e3);
+    while network.expected_latency(&k) > target_s {
+        let (best, gain) = (0..k.len())
+            .map(|j| (j, network.marginal_gain(&k, j)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
+            .expect("nonempty");
+        if gain <= 0.0 {
+            break;
+        }
+        k[best] += 1;
+        println!(
+            "  +1 core to {:<12} -> k = {:?}, E[T] = {:.3} ms",
+            stations[best].0,
+            k,
+            network.expected_latency(&k) * 1e3
+        );
+    }
+
+    // The same decision through the packaged allocator.
+    let outcome = allocate(&AllocationRequest {
+        network: &network,
+        latency_target: target_s,
+        available_cores: 64,
+    });
+    println!(
+        "\nallocate(): cores = {:?}, E[T] = {:.3} ms, meets target = {}",
+        outcome.cores,
+        outcome.expected_latency * 1e3,
+        outcome.meets_target
+    );
+    assert_eq!(outcome.cores, k, "manual walk matches the allocator");
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the Elasticutor workspace.
+pub use elasticutor_cluster as cluster;
+pub use elasticutor_core as core;
+pub use elasticutor_metrics as metrics;
+pub use elasticutor_queueing as queueing;
+pub use elasticutor_runtime as runtime;
+pub use elasticutor_scheduler as scheduler;
+pub use elasticutor_sim as sim;
+pub use elasticutor_state as state;
+pub use elasticutor_workload as workload;

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the micro-benchmark (§5.1) end-to-end on the
+//! simulated cluster, all four execution paradigms.
+
+use elasticutor::cluster::config::{ClusterConfig, EngineMode, ExperimentConfig};
+use elasticutor::cluster::{ClusterEngine, RunReport};
+use elasticutor::workload::MicroConfig;
+
+const SEC: u64 = 1_000_000_000;
+
+fn run(mode: EngineMode, omega: f64, rate: f64) -> RunReport {
+    run_keys(mode, omega, rate, 10_000, 0.5)
+}
+
+fn run_keys(mode: EngineMode, omega: f64, rate: f64, num_keys: usize, skew: f64) -> RunReport {
+    let micro = MicroConfig {
+        rate,
+        omega,
+        num_keys,
+        skew,
+        calculator_executors: 8,
+        shards_per_executor: 64,
+        ..MicroConfig::default()
+    };
+    let mut cfg = ExperimentConfig::micro(mode, micro);
+    cfg.cluster = ClusterConfig::small(4, 4);
+    cfg.duration_ns = 20 * SEC;
+    cfg.warmup_ns = 8 * SEC;
+    ClusterEngine::new(cfg).run()
+}
+
+#[test]
+fn all_modes_process_tuples() {
+    for mode in [
+        EngineMode::Static,
+        EngineMode::ResourceCentric,
+        EngineMode::Elastic,
+        EngineMode::NaiveElastic,
+    ] {
+        let r = run(mode, 2.0, 8_000.0);
+        assert!(
+            r.sink_completions > 1_000,
+            "{}: completed only {}",
+            r.mode,
+            r.sink_completions
+        );
+        assert!(r.throughput > 0.0, "{}: zero throughput", r.mode);
+        assert!(r.latency.count() > 0, "{}: no latency samples", r.mode);
+        assert!(
+            r.latency.mean_ns() > 0.0 && r.latency.p99_ns() >= r.latency.mean_ns() * 0.5,
+            "{}: implausible latency stats",
+            r.mode
+        );
+        assert!(r.events_processed > r.sink_completions, "{}: event accounting", r.mode);
+    }
+}
+
+#[test]
+fn elastic_beats_static_under_skewed_dynamic_load() {
+    // 1 000 keys at Zipf(0.8): the hottest key draws ~5% of the stream,
+    // so the static hash bucket holding it needs ~1.3 cores — a
+    // single-core static executor saturates (and global backpressure
+    // drags the whole pipeline down), while the elastic executor spreads
+    // its shards over extra cores. The hottest key alone still fits in
+    // one core, so per-key ordering does not cap either system.
+    let stat = run_keys(EngineMode::Static, 4.0, 13_000.0, 1_000, 0.8);
+    let elastic = run_keys(EngineMode::Elastic, 4.0, 13_000.0, 1_000, 0.8);
+    assert!(
+        elastic.throughput > stat.throughput * 1.05,
+        "elastic {} vs static {}",
+        elastic.throughput,
+        stat.throughput
+    );
+    assert!(
+        elastic.latency.mean_ns() < stat.latency.mean_ns(),
+        "elastic latency {} vs static {}",
+        elastic.latency.mean_ns(),
+        stat.latency.mean_ns()
+    );
+}
+
+#[test]
+fn elastic_sync_is_orders_faster_than_rc() {
+    // Figure 8's headline: RC's per-shard synchronization includes a
+    // global pause + drain; Elasticutor's is a labeling tuple through one
+    // queue.
+    let rc = run(EngineMode::ResourceCentric, 8.0, 8_000.0);
+    let ec = run(EngineMode::Elastic, 8.0, 8_000.0);
+    let rc_sync = rc.reassignment_breakdown(None).mean_sync_ms;
+    let ec_sync = ec.reassignment_breakdown(None).mean_sync_ms;
+    assert!(rc_sync > 0.0, "RC performed no repartitions");
+    assert!(ec_sync > 0.0, "Elasticutor performed no reassignments");
+    assert!(
+        rc_sync > ec_sync * 10.0,
+        "RC sync {rc_sync} ms should dwarf Elasticutor's {ec_sync} ms"
+    );
+}
+
+#[test]
+fn static_mode_never_migrates_state() {
+    let r = run(EngineMode::Static, 8.0, 8_000.0);
+    assert_eq!(r.reassignments.len(), 0);
+    assert_eq!(r.state_migration_bytes, 0);
+    assert_eq!(r.scheduler_rounds, 0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run(EngineMode::Elastic, 2.0, 8_000.0);
+    let b = run(EngineMode::Elastic, 2.0, 8_000.0);
+    assert_eq!(a.sink_completions, b.sink_completions);
+    assert_eq!(a.source_emissions, b.source_emissions);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.state_migration_bytes, b.state_migration_bytes);
+}
+
+#[test]
+fn backpressure_bounds_admission_when_overloaded() {
+    // Offered 3x ideal capacity: sources must throttle so the in-system
+    // tuple count stays bounded; the sink keeps running at capacity.
+    // (Latency is measured from *external arrival*, so under sustained
+    // overload it legitimately grows with the source-side backlog — the
+    // paper's Figures 6/16 latency gaps rely on exactly this.)
+    let r = run(EngineMode::Elastic, 0.0, 50_000.0);
+    let measured_s = 12.0;
+    assert!(
+        (r.source_emissions as f64) < 20_000.0 * measured_s,
+        "admitted {} over {measured_s}s exceeds capacity — sources were not throttled",
+        r.source_emissions
+    );
+    // Everything admitted is completed (no unbounded internal queues).
+    assert!(
+        r.sink_completions + 20_000 > r.source_emissions,
+        "admitted {} vs completed {}: internal queues grew unboundedly",
+        r.source_emissions,
+        r.sink_completions
+    );
+    // Throughput pinned at (near) capacity.
+    assert!(
+        r.throughput > 12_000.0,
+        "throughput {} below capacity under overload",
+        r.throughput
+    );
+    // And the arrival-time latency indeed reflects the growing backlog.
+    assert!(
+        r.latency.p99_ns() > 1e9,
+        "p99 {} ns should include source-side waiting under overload",
+        r.latency.p99_ns()
+    );
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the §4.2 hybrid split/merge planner driven
+//! by measurements shaped like the cluster engine's executor loads.
+
+use elasticutor::cluster::{HybridAction, HybridConfig, HybridPlanner, LoadSample};
+use elasticutor::workload::{SseConfig, SseWorkload};
+
+/// Builds one window of per-executor demand samples for an operator with
+/// `y` executors, given per-stock rates from the SSE generator: executor
+/// j's demand is the summed rate of the stocks hashing to it times the
+/// per-order cost.
+fn window(w: &SseWorkload, y: u32, cost_s: f64) -> Vec<LoadSample> {
+    let stocks = w.config().num_stocks;
+    let mut demand = vec![0.0f64; y as usize];
+    for stock in 0..stocks {
+        let exec = elasticutor::core::hash::key_to_shard(stock as u64, y) as usize;
+        demand[exec] += w.stock_rate(stock) * cost_s;
+    }
+    demand
+        .into_iter()
+        .enumerate()
+        .map(|(j, d)| LoadSample {
+            operator: 0,
+            executor: j as u32,
+            demand_cores: d,
+        })
+        .collect()
+}
+
+#[test]
+fn skewed_sse_load_eventually_requests_a_split() {
+    // Few executors + heavy per-order cost: the executor bucket holding
+    // the hottest stocks carries far more than `split_cores` of demand.
+    let sse = SseConfig {
+        base_rate: 400_000.0,
+        ..SseConfig::default()
+    };
+    let workload = SseWorkload::new(sse, 11);
+    let mut planner = HybridPlanner::new(HybridConfig {
+        split_cores: 16.0,
+        sustain_windows: 5,
+        ..HybridConfig::default()
+    });
+    let samples = window(&workload, 4, 0.5e-3);
+    assert!(
+        samples.iter().any(|s| s.demand_cores > 16.0),
+        "premise: some executor is persistently overloaded"
+    );
+    let mut actions = Vec::new();
+    for _ in 0..5 {
+        actions = planner.observe(&samples);
+    }
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, HybridAction::Split { .. })),
+        "sustained overload must request a split, got {actions:?}"
+    );
+}
+
+#[test]
+fn balanced_load_requests_nothing() {
+    let sse = SseConfig::default(); // 2 222 orders/s: everything is cold
+    let workload = SseWorkload::new(sse, 12);
+    let mut planner = HybridPlanner::new(HybridConfig {
+        split_cores: 16.0,
+        merge_cores: 0.0, // disable merges: only testing split quiescence
+        sustain_windows: 3,
+        ..HybridConfig::default()
+    });
+    let samples = window(&workload, 32, 0.5e-3);
+    for _ in 0..20 {
+        assert!(
+            planner.observe(&samples).is_empty(),
+            "no sustained overload, no action"
+        );
+    }
+}
+
+#[test]
+fn idle_executors_are_merged_but_parallelism_floor_holds() {
+    let sse = SseConfig {
+        base_rate: 100.0, // trickle: every executor is nearly idle
+        ..SseConfig::default()
+    };
+    let workload = SseWorkload::new(sse, 13);
+    let mut planner = HybridPlanner::new(HybridConfig {
+        merge_cores: 0.5,
+        sustain_windows: 2,
+        min_executors_per_operator: 2,
+        ..HybridConfig::default()
+    });
+    let samples = window(&workload, 8, 0.5e-3);
+    let mut merges = Vec::new();
+    for _ in 0..4 {
+        merges.extend(planner.observe(&samples));
+    }
+    assert!(
+        merges
+            .iter()
+            .any(|a| matches!(a, HybridAction::Merge { .. })),
+        "idle executors should merge"
+    );
+
+    // With only two executors left, the floor blocks further merging.
+    let two = window(&workload, 2, 0.5e-3);
+    let mut floor_planner = HybridPlanner::new(HybridConfig {
+        merge_cores: 0.5,
+        sustain_windows: 1,
+        min_executors_per_operator: 2,
+        ..HybridConfig::default()
+    });
+    for _ in 0..5 {
+        assert!(floor_planner.observe(&two).is_empty());
+    }
+}

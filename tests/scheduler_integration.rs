@@ -1,0 +1,135 @@
+//! Cross-crate integration: queueing model → scheduler → assignment on
+//! cluster specs, without the simulation in the loop.
+
+use elasticutor::core::ids::NodeId;
+use elasticutor::queueing::jackson::{ExecutorLoad, JacksonNetwork};
+use elasticutor::queueing::{allocate, AllocationRequest};
+use elasticutor::scheduler::assignment::{Assignment, ClusterSpec};
+use elasticutor::scheduler::scheduler::{
+    DynamicScheduler, ExecutorMeasurement, SchedulerConfig,
+};
+use elasticutor::scheduler::SchedulerPolicy;
+
+fn measurements(lambdas: &[f64]) -> Vec<ExecutorMeasurement> {
+    lambdas
+        .iter()
+        .enumerate()
+        .map(|(j, &lambda)| ExecutorMeasurement {
+            lambda,
+            mu: 1_000.0,
+            state_bytes: 1.0e6,
+            data_rate: 1_000.0,
+            local_node: NodeId((j % 4) as u32),
+        })
+        .collect()
+}
+
+#[test]
+fn scheduler_respects_node_capacities() {
+    let spec = ClusterSpec::uniform(4, 4);
+    let mut assignment = Assignment::empty(3, 4);
+    for j in 0..3 {
+        assignment.grant(j, NodeId(j as u32), &spec);
+    }
+    let sched = DynamicScheduler::new(SchedulerConfig {
+        latency_target: 0.01,
+        policy: SchedulerPolicy::Optimized,
+        ..SchedulerConfig::default()
+    });
+    let meas = measurements(&[3_000.0, 2_000.0, 500.0]);
+    let decision = sched
+        .schedule(&spec, &assignment, &meas, 5_500.0)
+        .expect("feasible");
+    let x = &decision.plan.assignment;
+    for node in 0..4u32 {
+        assert!(
+            x.used_on_node(NodeId(node)) <= 4,
+            "node {node} over capacity"
+        );
+    }
+    // The hottest executor gets the most cores.
+    let totals: Vec<u32> = (0..3).map(|j| x.total_of(j)).collect();
+    assert!(totals[0] >= totals[1] && totals[1] >= totals[2], "{totals:?}");
+    // Stability: every executor can keep up with its arrival rate.
+    for (j, m) in meas.iter().enumerate() {
+        assert!(
+            f64::from(totals[j]) * m.mu > m.lambda,
+            "executor {j} under-provisioned: {} cores for lambda {}",
+            totals[j],
+            m.lambda
+        );
+    }
+}
+
+#[test]
+fn optimized_policy_migrates_less_than_naive() {
+    let spec = ClusterSpec::uniform(4, 8);
+    // Existing assignment concentrates executor 0 on node 0.
+    let mut existing = Assignment::empty(2, 4);
+    for _ in 0..4 {
+        existing.grant(0, NodeId(0), &spec);
+    }
+    existing.grant(1, NodeId(1), &spec);
+
+    let meas = measurements(&[6_000.0, 2_000.0]);
+    let run = |policy: SchedulerPolicy| {
+        let sched = DynamicScheduler::new(SchedulerConfig {
+            latency_target: 0.005,
+            policy,
+            ..SchedulerConfig::default()
+        });
+        sched
+            .schedule(&spec, &existing, &meas, 8_000.0)
+            .expect("feasible")
+    };
+    let optimized = run(SchedulerPolicy::Optimized);
+    let naive = run(SchedulerPolicy::Naive);
+    assert!(
+        optimized.plan.migration_cost <= naive.plan.migration_cost,
+        "optimized cost {} > naive cost {}",
+        optimized.plan.migration_cost,
+        naive.plan.migration_cost
+    );
+}
+
+#[test]
+fn greedy_allocation_is_monotone_in_target() {
+    // Tightening the latency target can only add cores.
+    let network = JacksonNetwork::new(
+        2_000.0,
+        vec![
+            ExecutorLoad::new(2_000.0, 900.0),
+            ExecutorLoad::new(1_500.0, 1_200.0),
+        ],
+    );
+    let mut last_total = 0;
+    for &target in &[0.1, 0.05, 0.01, 0.005, 0.002] {
+        let outcome = allocate(&AllocationRequest {
+            network: &network,
+            latency_target: target,
+            available_cores: 128,
+        });
+        let total = outcome.total_cores();
+        assert!(
+            total >= last_total,
+            "target {target}: {total} cores < previous {last_total}"
+        );
+        assert!(outcome.expected_latency.is_finite());
+        last_total = total;
+    }
+}
+
+#[test]
+fn infeasible_targets_fall_back_to_budget() {
+    let network = JacksonNetwork::new(
+        100_000.0,
+        vec![ExecutorLoad::new(100_000.0, 1_000.0)], // needs >100 cores
+    );
+    let outcome = allocate(&AllocationRequest {
+        network: &network,
+        latency_target: 0.001,
+        available_cores: 16,
+    });
+    assert!(outcome.saturated);
+    assert_eq!(outcome.total_cores(), 16, "uses the whole budget");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the SSE application (§5.4) end-to-end on the
+//! simulated cluster.
+
+use elasticutor::cluster::config::{ClusterConfig, EngineMode, ExperimentConfig};
+use elasticutor::cluster::{ClusterEngine, RunReport};
+use elasticutor::workload::SseConfig;
+
+const SEC: u64 = 1_000_000_000;
+
+fn run(mode: EngineMode) -> RunReport {
+    let sse = SseConfig {
+        base_rate: 4_000.0,
+        transactor_cost_ns: 800_000,
+        analytics_cost_ns: 120_000,
+        // 12 transform operators on a 32-core cluster: one pinned core
+        // each at start, 20 cores of elastic headroom.
+        executors_per_operator: 1,
+        shards_per_executor: 64,
+        hot_rotation_period_ns: 5 * SEC,
+        regime_period_ns: 10 * SEC,
+        ..SseConfig::default()
+    };
+    let mut cfg = ExperimentConfig::sse(mode, sse);
+    cfg.cluster = ClusterConfig::small(4, 8);
+    cfg.duration_ns = 25 * SEC;
+    cfg.warmup_ns = 10 * SEC;
+    ClusterEngine::new(cfg).run()
+}
+
+#[test]
+fn sse_topology_processes_through_all_operators() {
+    let r = run(EngineMode::Elastic);
+    // Each order fans out to 11 analytics sinks, so sink completions
+    // should far exceed the per-second order rate.
+    assert!(
+        r.sink_completions > 50_000,
+        "only {} sink completions",
+        r.sink_completions
+    );
+    assert!(r.latency.count() > 0);
+    assert!(r.scheduler_rounds > 0, "scheduler never ran");
+}
+
+#[test]
+fn executor_centric_beats_static_on_sse() {
+    let stat = run(EngineMode::Static);
+    let ec = run(EngineMode::Elastic);
+    assert!(
+        ec.throughput > stat.throughput,
+        "elastic {} <= static {}",
+        ec.throughput,
+        stat.throughput
+    );
+    assert!(
+        ec.latency.mean_ns() < stat.latency.mean_ns(),
+        "elastic latency {} >= static {}",
+        ec.latency.mean_ns(),
+        stat.latency.mean_ns()
+    );
+}
+
+#[test]
+fn optimized_scheduler_transfers_less_than_naive() {
+    // Table 2's effect: cost/locality awareness reduces state migration
+    // and remote-task traffic. This needs local headroom for the
+    // optimization to exploit, so it runs on a wider cluster than the
+    // other tests (8 nodes, 2 executors per operator). Overheads are
+    // normalized per processed tuple: the two runs admit different
+    // amounts of traffic.
+    let run_wide = |mode: EngineMode| {
+        let sse = SseConfig {
+            base_rate: 19_000.0,
+            transactor_cost_ns: 1_000_000,
+            analytics_cost_ns: 150_000,
+            executors_per_operator: 2,
+            shards_per_executor: 64,
+            hot_rotation_period_ns: 8 * SEC,
+            regime_period_ns: 15 * SEC,
+            ..SseConfig::default()
+        };
+        let mut cfg = ExperimentConfig::sse(mode, sse);
+        cfg.cluster = ClusterConfig::small(8, 8);
+        cfg.duration_ns = 25 * SEC;
+        cfg.warmup_ns = 10 * SEC;
+        ClusterEngine::new(cfg).run()
+    };
+    let naive = run_wide(EngineMode::NaiveElastic);
+    let opt = run_wide(EngineMode::Elastic);
+    let per_tuple = |r: &RunReport| {
+        (r.state_migration_bytes + r.remote_task_bytes) as f64 / r.sink_completions as f64
+    };
+    assert!(
+        per_tuple(&opt) < per_tuple(&naive),
+        "optimized overhead {:.1} B/tuple >= naive {:.1} B/tuple",
+        per_tuple(&opt),
+        per_tuple(&naive)
+    );
+    // The gap is carried by remote-task transfer (the dominant term by
+    // an order of magnitude); the migration sub-metric alone is noise at
+    // this reduced scale — see Table 2 (`table2_naive_ec`) for the
+    // full-scale rates, where remote transfer splits 146 vs 20 MB/s.
+}
+
+#[test]
+fn scheduling_wall_time_is_milliseconds() {
+    // Table 3's claim: the scheduler itself runs in single-digit
+    // milliseconds even with 13 operators × 8 executors.
+    let r = run(EngineMode::Elastic);
+    assert!(r.scheduler_rounds >= 10);
+    assert!(
+        r.mean_scheduling_ms() < 50.0,
+        "scheduling took {} ms on average",
+        r.mean_scheduling_ms()
+    );
+}

@@ -27,9 +27,7 @@ fn bench_load_balancer(c: &mut Criterion) {
     for &(shards, tasks) in &[(256usize, 8usize), (1024, 32), (8192, 64)] {
         let mut rng = StdRng::seed_from_u64(1);
         let loads: Vec<f64> = (0..shards).map(|_| rng.gen_range(0.0..100.0)).collect();
-        let assignment: Vec<TaskId> = (0..shards)
-            .map(|s| TaskId((s % tasks) as u32))
-            .collect();
+        let assignment: Vec<TaskId> = (0..shards).map(|s| TaskId((s % tasks) as u32)).collect();
         let task_ids: Vec<TaskId> = (0..tasks as u32).map(TaskId).collect();
         let balancer = LoadBalancer::default();
         group.bench_with_input(
@@ -51,7 +49,13 @@ fn bench_load_balancer(c: &mut Criterion) {
 
 fn bench_erlang_c(c: &mut Criterion) {
     c.bench_function("erlang_c_k64", |b| {
-        b.iter(|| black_box(mmk::erlang_c(black_box(50.0), black_box(1.0), black_box(64))))
+        b.iter(|| {
+            black_box(mmk::erlang_c(
+                black_box(50.0),
+                black_box(1.0),
+                black_box(64),
+            ))
+        })
     });
     let network = JacksonNetwork::new(
         10_000.0,

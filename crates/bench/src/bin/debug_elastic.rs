@@ -18,5 +18,9 @@ fn main() {
     cfg.duration_ns = 20 * sec;
     cfg.warmup_ns = 5 * sec;
     let r = ClusterEngine::new(cfg).run_debug();
-    println!("tput={:.0} lat={:.1}ms", r.throughput, r.latency.mean_ns()/1e6);
+    println!(
+        "tput={:.0} lat={:.1}ms",
+        r.throughput,
+        r.latency.mean_ns() / 1e6
+    );
 }

@@ -15,5 +15,10 @@ fn main() {
     cfg.backpressure_high = 32_768;
     cfg.backpressure_low = 16_384;
     let r = ClusterEngine::new(cfg).run_debug();
-    println!("tput={:.0} lat={:.1}ms reassigns={}", r.throughput, r.latency.mean_ns()/1e6, r.reassignments.len());
+    println!(
+        "tput={:.0} lat={:.1}ms reassigns={}",
+        r.throughput,
+        r.latency.mean_ns() / 1e6,
+        r.reassignments.len()
+    );
 }

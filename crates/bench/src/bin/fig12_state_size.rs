@@ -46,15 +46,12 @@ fn main() {
     let sizes: Vec<u64> = if quick {
         vec![32 * 1024, 32 * 1024 * 1024]
     } else {
-        vec![
-            32 * 1024,
-            1024 * 1024,
-            8 * 1024 * 1024,
-            32 * 1024 * 1024,
-        ]
+        vec![32 * 1024, 1024 * 1024, 8 * 1024 * 1024, 32 * 1024 * 1024]
     };
 
     run_panel(2.0, &cores, &sizes, quick);
     run_panel(16.0, &cores, &sizes, quick);
-    println!("paper: every state size scales but 32 MB; at omega = 16 the 32 MB curve degrades further");
+    println!(
+        "paper: every state size scales but 32 MB; at omega = 16 the 32 MB curve degrades further"
+    );
 }

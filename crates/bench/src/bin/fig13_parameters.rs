@@ -52,7 +52,11 @@ fn run(mode: EngineMode, w: &Workload, y: u32, z: u32, quick: bool) -> f64 {
 
 fn main() {
     let quick = quick_mode();
-    let ys: Vec<u32> = if quick { vec![1, 32] } else { vec![1, 8, 32, 256] };
+    let ys: Vec<u32> = if quick {
+        vec![1, 32]
+    } else {
+        vec![1, 8, 32, 256]
+    };
     let zs: Vec<u32> = if quick {
         vec![4, 256]
     } else {

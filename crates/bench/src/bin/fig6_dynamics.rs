@@ -34,7 +34,10 @@ fn main() {
     let (duration, warmup) = if quick { (30, 15) } else { (90, 45) };
 
     println!("Figure 6: performance under varying workload dynamics");
-    println!("cluster: 32 nodes x 8 cores; offered rate {} tuples/s\n", rate);
+    println!(
+        "cluster: 32 nodes x 8 cores; offered rate {} tuples/s\n",
+        rate
+    );
 
     let mut table = Table::new(&[
         "mode",

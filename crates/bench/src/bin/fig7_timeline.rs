@@ -36,7 +36,11 @@ fn main() {
         cfg.duration_ns = duration * SEC;
         cfg.warmup_ns = warmup * SEC;
         let report = ClusterEngine::new(cfg).run();
-        series.push((report.mode.to_string(), report.throughput_series, report.throughput));
+        series.push((
+            report.mode.to_string(),
+            report.throughput_series,
+            report.throughput,
+        ));
     }
 
     // Timeline (post-warmup seconds).

@@ -76,8 +76,6 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "\npaper (Fig. 8): RC sync 260.4 / 297.3 ms vs Elasticutor sync 2.62 / 2.83 ms;"
-    );
+    println!("\npaper (Fig. 8): RC sync 260.4 / 297.3 ms vs Elasticutor sync 2.62 / 2.83 ms;");
     println!("migration: ~0 intra-node (state sharing), a few ms inter-node for both.");
 }

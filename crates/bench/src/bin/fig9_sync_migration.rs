@@ -50,7 +50,11 @@ fn run(
 /// Panel (b)'s elastic runs need executors that outgrow their node so
 /// inter-node migrations occur: 2 executors at ~3.5 cores of demand on
 /// 2-core nodes.
-fn run_remote_heavy(mode: EngineMode, shard_state: u64, quick: bool) -> elasticutor_cluster::RunReport {
+fn run_remote_heavy(
+    mode: EngineMode,
+    shard_state: u64,
+    quick: bool,
+) -> elasticutor_cluster::RunReport {
     let micro = MicroConfig {
         rate: 5_200.0,
         omega: 8.0,
@@ -123,19 +127,27 @@ fn main() {
             elasticutor_bench::fmt_bytes(size),
             format!(
                 "{:.2}",
-                ec_single.reassignment_breakdown(Some(true)).mean_migration_ms
+                ec_single
+                    .reassignment_breakdown(Some(true))
+                    .mean_migration_ms
             ),
             format!(
                 "{:.2}",
-                ec_multi.reassignment_breakdown(Some(false)).mean_migration_ms
+                ec_multi
+                    .reassignment_breakdown(Some(false))
+                    .mean_migration_ms
             ),
             format!(
                 "{:.2}",
-                rc_single.reassignment_breakdown(Some(true)).mean_migration_ms
+                rc_single
+                    .reassignment_breakdown(Some(true))
+                    .mean_migration_ms
             ),
             format!(
                 "{:.2}",
-                rc_multi.reassignment_breakdown(Some(false)).mean_migration_ms
+                rc_multi
+                    .reassignment_breakdown(Some(false))
+                    .mean_migration_ms
             ),
         ]);
     }

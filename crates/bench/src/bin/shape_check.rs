@@ -7,7 +7,11 @@ fn main() {
     // 8 nodes x 4 cores = 32 cores; ideal capacity at 1 ms/tuple = 32k/s.
     // Offered 27k/s (84%): EC sustains, static saturates its hottest
     // executor, RC sustains until repartition stalls eat its capacity.
-    for mode in [EngineMode::Static, EngineMode::ResourceCentric, EngineMode::Elastic] {
+    for mode in [
+        EngineMode::Static,
+        EngineMode::ResourceCentric,
+        EngineMode::Elastic,
+    ] {
         for omega in [0.0, 2.0, 16.0] {
             let micro = MicroConfig {
                 rate: 24_000.0,

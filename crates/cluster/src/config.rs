@@ -37,9 +37,9 @@ impl Default for ClusterConfig {
             nodes: 32,
             cores_per_node: 8,
             link_bandwidth: 125.0e6,
-            link_latency_ns: 100_000,  // 100 µs one-way
-            local_latency_ns: 5_000,   // 5 µs intra-node hop
-            control_latency_ns: 500_000, // 0.5 ms master↔worker
+            link_latency_ns: 100_000,          // 100 µs one-way
+            local_latency_ns: 5_000,           // 5 µs intra-node hop
+            control_latency_ns: 500_000,       // 0.5 ms master↔worker
             master_per_executor_ns: 4_000_000, // 4 ms per upstream executor
             state_serde_ns_per_byte: 2.0,
         }

@@ -10,7 +10,7 @@ use elasticutor_scheduler::scheduler::ExecutorMeasurement;
 use elasticutor_sim::MILLIS;
 
 use crate::config::EngineMode;
-use crate::engine::{ClusterEngine, Ev, OpPartition, RepartPhase, RepartRt, ReassignRt, Work};
+use crate::engine::{ClusterEngine, Ev, OpPartition, ReassignMeta, RepartPhase, RepartRt, Work};
 use crate::net::TrafficClass;
 use crate::report::ReassignmentRecord;
 
@@ -282,21 +282,21 @@ impl ClusterEngine {
             .routing
             .pause(shard)
             .expect("checked not paused");
-        let rid = self.reassigns.len();
-        self.reassigns.push(ReassignRt {
-            exec,
+        let rid = self.reassigns.begin(
             shard,
             from,
             to,
-            started_ns: now,
-            label_reached_ns: None,
-            intra_node,
-            state_bytes: if intra_node {
-                0
-            } else {
-                self.cfg.shard_state_bytes
+            now,
+            ReassignMeta {
+                exec,
+                intra_node,
+                state_bytes: if intra_node {
+                    0
+                } else {
+                    self.cfg.shard_state_bytes
+                },
             },
-        });
+        );
         // The labeling tuple rides the same channel as data — directly
         // into a local task's queue, or over the main-process → remote
         // wire (same egress ⇒ FIFO behind in-flight tuples). When the
@@ -329,7 +329,7 @@ impl ClusterEngine {
     }
 
     /// A labeling tuple reached a remote source task's process.
-    pub(crate) fn on_label_arrive(&mut self, exec: usize, task: TaskId, rid: usize) {
+    pub(crate) fn on_label_arrive(&mut self, exec: usize, task: TaskId, rid: u64) {
         if self.execs[exec].tasks.contains_key(&task) {
             self.enqueue_task(exec, task, Work::Label(rid));
         } else {
@@ -341,13 +341,13 @@ impl ClusterEngine {
     }
 
     /// The labeling tuple surfaced at the source task.
-    pub(crate) fn on_label_reached(&mut self, rid: usize) {
+    pub(crate) fn on_label_reached(&mut self, rid: u64) {
         let now = self.sim.now();
-        self.reassigns[rid].label_reached_ns = Some(now);
-        let (exec, from, to) = {
-            let r = &self.reassigns[rid];
-            (r.exec, r.from, r.to)
-        };
+        let inflight = self
+            .reassigns
+            .mark_label_reached(rid, now)
+            .expect("label consumed exactly once");
+        let (exec, from, to) = (inflight.meta.exec, inflight.from, inflight.to);
         let (from_node, to_ok) = {
             let e = &self.execs[exec];
             (
@@ -369,8 +369,7 @@ impl ClusterEngine {
             self.finish_reassignment(rid);
         } else {
             let bytes = self.cfg.shard_state_bytes;
-            let serde_ns =
-                (bytes as f64 * self.cfg.cluster.state_serde_ns_per_byte) as u64;
+            let serde_ns = (bytes as f64 * self.cfg.cluster.state_serde_ns_per_byte) as u64;
             let arrival = self.net.send(
                 now + serde_ns,
                 from_node,
@@ -383,10 +382,10 @@ impl ClusterEngine {
         }
     }
 
-    pub(crate) fn on_state_arrived(&mut self, rid: usize) {
+    pub(crate) fn on_state_arrived(&mut self, rid: u64) {
         let to_alive = {
-            let r = &self.reassigns[rid];
-            self.execs[r.exec].tasks.contains_key(&r.to)
+            let r = self.reassigns.get(rid).expect("state arrival has a move");
+            self.execs[r.meta.exec].tasks.contains_key(&r.to)
         };
         if to_alive {
             self.finish_reassignment(rid);
@@ -395,50 +394,40 @@ impl ClusterEngine {
         }
     }
 
-    fn finish_reassignment(&mut self, rid: usize) {
+    fn finish_reassignment(&mut self, rid: u64) {
         let now = self.sim.now();
-        let (exec, shard, from, to, started, label_ns, intra, bytes) = {
-            let r = &self.reassigns[rid];
-            (
-                r.exec,
-                r.shard,
-                r.from,
-                r.to,
-                r.started_ns,
-                r.label_reached_ns.expect("label precedes finish"),
-                r.intra_node,
-                r.state_bytes,
-            )
-        };
+        let completion = self
+            .reassigns
+            .complete(rid, now)
+            .expect("completes exactly once");
+        let exec = completion.meta.exec;
         let buffered = self.execs[exec]
             .routing
-            .finish_reassignment(shard, to)
+            .finish_reassignment(completion.shard, completion.to)
             .expect("shard was paused");
         // Warm-up reassignments (the startup provisioning storm) are not
         // representative; report steady-state records only.
-        if started >= self.warmup_ns {
+        if completion.started_ns >= self.warmup_ns {
             self.records.push(ReassignmentRecord {
-                started_ns: started,
-                sync_ns: label_ns - started,
-                migration_ns: now - label_ns,
-                intra_node: intra,
-                state_bytes: bytes,
+                started_ns: completion.started_ns,
+                sync_ns: completion.sync_ns,
+                migration_ns: completion.total_ns - completion.sync_ns,
+                intra_node: completion.meta.intra_node,
+                state_bytes: completion.meta.state_bytes,
             });
         }
-        self.deliver_buffered(exec, to, buffered);
-        self.maybe_remove_retired_task(exec, from);
+        self.deliver_buffered(exec, completion.to, buffered);
+        self.maybe_remove_retired_task(exec, completion.from);
     }
 
-    fn abort_reassignment(&mut self, rid: usize) {
-        let (exec, shard, from) = {
-            let r = &self.reassigns[rid];
-            (r.exec, r.shard, r.from)
-        };
+    fn abort_reassignment(&mut self, rid: u64) {
+        let inflight = self.reassigns.abort(rid).expect("aborts exactly once");
+        let exec = inflight.meta.exec;
         let buffered = self.execs[exec]
             .routing
-            .abort_reassignment(shard)
+            .abort_reassignment(inflight.shard)
             .expect("shard was paused");
-        self.deliver_buffered(exec, from, buffered);
+        self.deliver_buffered(exec, inflight.from, buffered);
     }
 
     /// Delivers tuples buffered during a pause to their (new) task,
@@ -487,7 +476,12 @@ impl ClusterEngine {
         let window_s = self.window_seconds();
         // Per-operator measurements (stations of the Jackson network).
         let transform_ops: Vec<usize> = (0..self.topology.operators().len())
-            .filter(|&op| !self.topology.upstream(elasticutor_core::ids::OperatorId(op as u32)).is_empty())
+            .filter(|&op| {
+                !self
+                    .topology
+                    .upstream(elasticutor_core::ids::OperatorId(op as u32))
+                    .is_empty()
+            })
             .collect();
         let mut loads = Vec::with_capacity(transform_ops.len());
         for &op in &transform_ops {
@@ -661,11 +655,8 @@ impl ClusterEngine {
         final_positions.dedup();
 
         // Current assignment in TaskId space (position indices).
-        let current_assignment: Vec<TaskId> = partition
-            .assignment()
-            .iter()
-            .map(|e| TaskId(e.0))
-            .collect();
+        let current_assignment: Vec<TaskId> =
+            partition.assignment().iter().map(|e| TaskId(e.0)).collect();
 
         if final_positions.is_empty() {
             return;
@@ -677,11 +668,8 @@ impl ClusterEngine {
             // `final_positions`) and re-spreading onto the new set.
             // Resizes are rare, heavyweight events; they move shards in
             // bulk under a single pause.
-            self.balancer.rebalance_unbounded(
-                &shard_loads,
-                &current_assignment,
-                &final_positions,
-            )
+            self.balancer
+                .rebalance_unbounded(&shard_loads, &current_assignment, &final_positions)
         } else {
             // Pure load balancing. Only act outside the hysteresis band:
             // executor-level δ must exceed the trigger.
@@ -775,18 +763,12 @@ impl ClusterEngine {
             let execs = &self.op_execs[u.index()];
             if execs.is_empty() {
                 // Source operator: its parallelism is fixed.
-                upstream += u64::from(
-                    self.topology.operator(u).expect("known op").parallelism,
-                );
+                upstream += u64::from(self.topology.operator(u).expect("known op").parallelism);
             } else {
-                upstream += execs
-                    .iter()
-                    .filter(|&&j| !self.execs[j].rc_retired)
-                    .count() as u64;
+                upstream += execs.iter().filter(|&&j| !self.execs[j].rc_retired).count() as u64;
             }
         }
-        2 * self.cfg.cluster.control_latency_ns
-            + upstream * self.cfg.cluster.master_per_executor_ns
+        2 * self.cfg.cluster.control_latency_ns + upstream * self.cfg.cluster.master_per_executor_ns
     }
 
     fn spawn_rc_executor(&mut self, op: usize, _pos: u32, node: NodeId) -> usize {
@@ -928,11 +910,9 @@ impl ClusterEngine {
             .map(|(pos, &j)| (j, pos as u32))
             .collect();
         if let OpPartition::Dynamic(p) = &mut self.op_partition[op] {
-            let mut assignment: Vec<elasticutor_core::ids::ExecutorId> =
-                p.assignment().to_vec();
+            let mut assignment: Vec<elasticutor_core::ids::ExecutorId> = p.assignment().to_vec();
             for &(shard, _from, to) in moves {
-                assignment[shard as usize] =
-                    elasticutor_core::ids::ExecutorId(position_of[&to]);
+                assignment[shard as usize] = elasticutor_core::ids::ExecutorId(position_of[&to]);
             }
             p.repartition(&assignment);
         }

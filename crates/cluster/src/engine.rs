@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, VecDeque};
 use elasticutor_core::balance::LoadBalancer;
 use elasticutor_core::ids::{Key, NodeId, OperatorId, ShardId, TaskId};
 use elasticutor_core::partition::{DynamicPartition, StaticHashPartition};
+use elasticutor_core::reassign::ReassignmentTracker;
 use elasticutor_core::routing::{RouteDecision, RoutingTable};
 use elasticutor_core::topology::Topology;
 use elasticutor_metrics::{LatencyHistogram, SlidingWindowCounter, TimeSeries};
@@ -66,8 +67,9 @@ impl SimTuple {
 pub(crate) enum Work {
     Tuple(SimTuple),
     /// The labeling tuple of the consistent-reassignment protocol
-    /// (§3.3); carries the in-flight reassignment's slab index.
-    Label(usize),
+    /// (§3.3); carries the in-flight move's label minted by the shared
+    /// [`ReassignmentTracker`].
+    Label(u64),
 }
 
 /// One data-processing task (thread bound to a simulated core).
@@ -143,16 +145,16 @@ impl ExecRt {
     }
 }
 
-/// An in-flight elastic shard reassignment.
-#[derive(Debug)]
-pub(crate) struct ReassignRt {
+/// Substrate-specific metadata riding on each in-flight reassignment in
+/// the shared [`ReassignmentTracker`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReassignMeta {
+    /// Global executor index the move belongs to.
     pub exec: usize,
-    pub shard: ShardId,
-    pub from: TaskId,
-    pub to: TaskId,
-    pub started_ns: u64,
-    pub label_reached_ns: Option<u64>,
+    /// Whether source and destination tasks share a node (free state
+    /// hand-off via intra-process sharing).
     pub intra_node: bool,
+    /// Bytes of shard state crossing the wire (0 intra-node).
     pub state_bytes: u64,
 }
 
@@ -208,7 +210,7 @@ pub(crate) enum Ev {
     LabelArrive {
         exec: usize,
         task: TaskId,
-        reassign: usize,
+        reassign: u64,
     },
     /// A task finishes its current tuple.
     TaskDone { exec: usize, task: TaskId },
@@ -216,7 +218,7 @@ pub(crate) enum Ev {
     /// emitter and continues downstream.
     EmitterForward { exec: usize, tuple: SimTuple },
     /// Migrated shard state arrives at the destination process.
-    StateArrived { reassign: usize },
+    StateArrived { reassign: u64 },
     /// Periodic scheduler / rebalancer invocation.
     SchedTick,
     /// Periodic metrics sample.
@@ -278,7 +280,8 @@ pub struct ClusterEngine {
     pub(crate) balancer: LoadBalancer,
     /// Per-node cores used (RC + static bookkeeping).
     pub(crate) node_used: Vec<u32>,
-    pub(crate) reassigns: Vec<ReassignRt>,
+    /// In-flight shard moves, tracked by the shared §3.3 state machine.
+    pub(crate) reassigns: ReassignmentTracker<ReassignMeta>,
     pub(crate) reparts: Vec<RepartRt>,
     // --- Backpressure ---
     pub(crate) queued_total: usize,
@@ -374,7 +377,12 @@ impl ClusterEngine {
                 let gen_par = mc.generator_parallelism;
                 let mean = mc.cpu_cost_ns;
                 let w = MicroWorkload::new(mc, rng.next_u64());
-                (topo, profiles, SourceImpl::Micro(w), (gen_par, vec![1u64, mean]))
+                (
+                    topo,
+                    profiles,
+                    SourceImpl::Micro(w),
+                    (gen_par, vec![1u64, mean]),
+                )
             }
             WorkloadKind::Sse(sc) => {
                 let mut sc = sc.clone();
@@ -447,7 +455,7 @@ impl ClusterEngine {
                 ..LoadBalancer::default()
             },
             node_used: vec![0; cfg.cluster.nodes as usize],
-            reassigns: Vec::new(),
+            reassigns: ReassignmentTracker::new(),
             reparts: Vec::new(),
             queued_total: 0,
             sources_paused: false,
@@ -511,9 +519,8 @@ impl ClusterEngine {
                     for i in 0..initial {
                         let node = NodeId(next_node % nodes);
                         next_node += 1;
-                        let owned: Vec<u32> = (0..global_shards)
-                            .filter(|s| s % initial == i)
-                            .collect();
+                        let owned: Vec<u32> =
+                            (0..global_shards).filter(|s| s % initial == i).collect();
                         let _ = i;
                         self.spawn_executor(spec.id, node, owned.len() as u32, owned);
                     }
@@ -665,11 +672,7 @@ impl ClusterEngine {
                 next_dump += 1_000_000_000;
                 let tasks: Vec<usize> = self.execs.iter().map(|e| e.tasks.len()).collect();
                 let queues: Vec<usize> = self.execs.iter().map(|e| e.total_queued()).collect();
-                let live = self
-                    .execs
-                    .iter()
-                    .filter(|e| !e.rc_retired)
-                    .count();
+                let live = self.execs.iter().filter(|e| !e.rc_retired).count();
                 let reparts_live = self.op_repart.iter().filter(|r| r.is_some()).count();
                 eprintln!(
                     "t={:3}s queued={:6} paused={} emissions={:6} execs={} reparts={} tasks={:?} queues={:?}",
@@ -840,9 +843,13 @@ impl ClusterEngine {
         // in-flight batch before the first one lands in a queue.
         self.queued_total += 1;
         self.pause_sources_if_needed();
-        let arrival = self
-            .net
-            .send(now, from_node, dst, tuple.wire_bytes(), TrafficClass::InterOperator);
+        let arrival = self.net.send(
+            now,
+            from_node,
+            dst,
+            tuple.wire_bytes(),
+            TrafficClass::InterOperator,
+        );
         self.sim.schedule_at(arrival, Ev::Ingest { exec, tuple });
     }
 
@@ -978,7 +985,8 @@ impl ClusterEngine {
                     let t = self.execs[exec].tasks.get_mut(&task).expect("live");
                     t.busy = true;
                     t.current = Some((tuple, service));
-                    self.sim.schedule_after(service, Ev::TaskDone { exec, task });
+                    self.sim
+                        .schedule_after(service, Ev::TaskDone { exec, task });
                     return;
                 }
                 Some(Work::Label(rid)) => {
@@ -1028,8 +1036,7 @@ impl ClusterEngine {
             let local_node = self.execs[exec].local_node;
             let mut out = tuple;
             out.payload = out_bytes;
-            self.execs[exec].bytes_out +=
-                out.wire_bytes() * downstream.len() as u64;
+            self.execs[exec].bytes_out += out.wire_bytes() * downstream.len() as u64;
             if task_node == local_node {
                 for &d in &downstream {
                     let mut t = out;
@@ -1099,7 +1106,8 @@ impl ClusterEngine {
         let mean_ms = self.window_hist.mean_ns() / 1e6;
         self.latency_series.push(now, mean_ms);
         self.window_hist.clear();
-        self.sim.schedule_after(self.cfg.sample_period_ns, Ev::Sample);
+        self.sim
+            .schedule_after(self.cfg.sample_period_ns, Ev::Sample);
     }
 
     fn build_report(self) -> RunReport {

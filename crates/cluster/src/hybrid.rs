@@ -267,11 +267,7 @@ mod tests {
     #[test]
     fn merge_pairs_two_coldest() {
         let mut p = planner(2);
-        let window = [
-            sample(1, 10, 0.1),
-            sample(1, 11, 0.2),
-            sample(1, 12, 8.0),
-        ];
+        let window = [sample(1, 10, 0.1), sample(1, 11, 0.2), sample(1, 12, 8.0)];
         assert!(p.observe(&window).is_empty());
         let actions = p.observe(&window);
         assert_eq!(
@@ -302,11 +298,7 @@ mod tests {
     #[test]
     fn busy_operators_are_left_alone() {
         let mut p = planner(1);
-        let window = [
-            sample(0, 1, 4.0),
-            sample(0, 2, 5.0),
-            sample(0, 3, 6.0),
-        ];
+        let window = [sample(0, 1, 4.0), sample(0, 2, 5.0), sample(0, 3, 6.0)];
         for _ in 0..10 {
             assert!(p.observe(&window).is_empty());
         }

@@ -139,7 +139,13 @@ mod tests {
     #[test]
     fn local_messages_are_cheap_and_uncounted() {
         let mut n = net();
-        let t = n.send(100, NodeId(0), NodeId(0), 1_000_000, TrafficClass::InterOperator);
+        let t = n.send(
+            100,
+            NodeId(0),
+            NodeId(0),
+            1_000_000,
+            TrafficClass::InterOperator,
+        );
         assert_eq!(t, 100 + 1_000);
         assert_eq!(n.bytes_inter_operator(), 0);
     }
@@ -169,7 +175,13 @@ mod tests {
     #[test]
     fn idle_egress_starts_at_now() {
         let mut n = net();
-        let t = n.send(5_000_000_000, NodeId(1), NodeId(2), 10, TrafficClass::RemoteTask);
+        let t = n.send(
+            5_000_000_000,
+            NodeId(1),
+            NodeId(2),
+            10,
+            TrafficClass::RemoteTask,
+        );
         assert_eq!(t, 5_000_000_000 + 10_000_000 + 1_000_000);
         assert_eq!(n.bytes_remote_task(), 10);
     }

@@ -40,7 +40,10 @@ pub struct ReassignmentBreakdown {
 }
 
 /// Summarizes reassignment records, optionally filtering by locality.
-pub fn breakdown(records: &[ReassignmentRecord], intra_node: Option<bool>) -> ReassignmentBreakdown {
+pub fn breakdown(
+    records: &[ReassignmentRecord],
+    intra_node: Option<bool>,
+) -> ReassignmentBreakdown {
     let filtered: Vec<&ReassignmentRecord> = records
         .iter()
         .filter(|r| intra_node.is_none_or(|want| r.intra_node == want))

@@ -85,8 +85,7 @@ fn elastic_engine_sustains_and_balances() {
 
 #[test]
 fn rc_engine_repartitions_with_global_sync() {
-    let report =
-        ClusterEngine::new(quick_micro(EngineMode::ResourceCentric, 2_000.0, 4.0)).run();
+    let report = ClusterEngine::new(quick_micro(EngineMode::ResourceCentric, 2_000.0, 4.0)).run();
     assert!(report.sink_completions > 0, "RC must make progress");
     assert!(report.scheduler_rounds > 0);
     if let Some(first) = report.reassignments.first() {

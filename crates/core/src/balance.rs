@@ -47,11 +47,7 @@ impl TaskLoads {
     /// (`assignment[shard] = task`). Tasks listed in `tasks` but owning no
     /// shards contribute zero entries, which matters for δ: an idle task
     /// drags the mean down and must be counted.
-    pub fn from_assignment(
-        shard_loads: &[f64],
-        assignment: &[TaskId],
-        tasks: &[TaskId],
-    ) -> Self {
+    pub fn from_assignment(shard_loads: &[f64], assignment: &[TaskId], tasks: &[TaskId]) -> Self {
         assert_eq!(
             shard_loads.len(),
             assignment.len(),
@@ -415,18 +411,13 @@ mod tests {
     #[test]
     fn imbalance_counts_idle_tasks() {
         // One task has all the load; with 2 tasks δ = max/mean = 2.
-        let loads = TaskLoads::from_assignment(
-            &[1.0, 1.0],
-            &[TaskId(0), TaskId(0)],
-            &tasks(2),
-        );
+        let loads = TaskLoads::from_assignment(&[1.0, 1.0], &[TaskId(0), TaskId(0)], &tasks(2));
         assert!((loads.imbalance() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_load_is_balanced() {
-        let loads =
-            TaskLoads::from_assignment(&[0.0, 0.0], &[TaskId(0), TaskId(1)], &tasks(2));
+        let loads = TaskLoads::from_assignment(&[0.0, 0.0], &[TaskId(0), TaskId(1)], &tasks(2));
         assert!((loads.imbalance() - 1.0).abs() < 1e-12);
     }
 
@@ -555,12 +546,14 @@ mod tests {
         // unbounded rebalance must spread to all 8 without any move cap.
         let lb = LoadBalancer::default();
         let shard_loads = vec![1.0; 64];
-        let mut assignment: Vec<TaskId> = (0..64)
-            .map(|i| TaskId(u32::from(i % 2 == 0)))
-            .collect();
+        let mut assignment: Vec<TaskId> = (0..64).map(|i| TaskId(u32::from(i % 2 == 0))).collect();
         let all = tasks(8);
         let moves = lb.rebalance_unbounded(&shard_loads, &assignment, &all);
-        assert!(moves.len() >= 40, "must move ~48 shards, got {}", moves.len());
+        assert!(
+            moves.len() >= 40,
+            "must move ~48 shards, got {}",
+            moves.len()
+        );
         apply(&mut assignment, &moves);
         let loads = TaskLoads::from_assignment(&shard_loads, &assignment, &all);
         assert!(
@@ -598,7 +591,10 @@ mod tests {
         let shard_loads = vec![1.0; 8];
         let assignment: Vec<TaskId> = (0..8).map(|i| TaskId(i % 4)).collect();
         let moves = lb.rebalance_unbounded(&shard_loads, &assignment, &tasks(4));
-        assert!(moves.is_empty(), "balanced layout must not churn: {moves:?}");
+        assert!(
+            moves.is_empty(),
+            "balanced layout must not churn: {moves:?}"
+        );
     }
 
     #[test]
@@ -613,13 +609,16 @@ mod tests {
             TaskId(1),
             TaskId(1),
         ];
-        let moves =
-            lb.plan_task_removal(&shard_loads, &assignment, TaskId(2), &[TaskId(0), TaskId(1)]);
+        let moves = lb.plan_task_removal(
+            &shard_loads,
+            &assignment,
+            TaskId(2),
+            &[TaskId(0), TaskId(1)],
+        );
         assert_eq!(moves.len(), 2);
         apply(&mut assignment, &moves);
         assert!(assignment.iter().all(|&t| t != TaskId(2)));
-        let loads =
-            TaskLoads::from_assignment(&shard_loads, &assignment, &[TaskId(0), TaskId(1)]);
+        let loads = TaskLoads::from_assignment(&shard_loads, &assignment, &[TaskId(0), TaskId(1)]);
         assert!(loads.imbalance() < 1.4, "δ = {}", loads.imbalance());
     }
 
@@ -632,11 +631,7 @@ mod tests {
 
     #[test]
     fn most_and_least_loaded_tie_break_deterministically() {
-        let loads = TaskLoads::from_assignment(
-            &[1.0, 1.0],
-            &[TaskId(0), TaskId(1)],
-            &tasks(2),
-        );
+        let loads = TaskLoads::from_assignment(&[1.0, 1.0], &[TaskId(0), TaskId(1)], &tasks(2));
         assert_eq!(loads.most_loaded(), Some(TaskId(0)));
         assert_eq!(loads.least_loaded(), Some(TaskId(0)));
     }

@@ -47,9 +47,9 @@ impl Default for ElasticutorConfig {
             shards_per_executor: 256,
             imbalance_threshold: 1.2,
             data_intensity_threshold: 512.0 * 1024.0,
-            latency_target_ns: 50_000_000, // 50 ms
+            latency_target_ns: 50_000_000,       // 50 ms
             scheduling_interval_ns: 100_000_000, // 100 ms
-            metrics_window_ns: 1_000_000_000, // 1 s
+            metrics_window_ns: 1_000_000_000,    // 1 s
             pending_queue_capacity: 1024,
             max_moves_per_rebalance: 64,
         }
@@ -70,13 +70,13 @@ impl ElasticutorConfig {
                 "shards_per_executor must be >= 1".into(),
             ));
         }
-        if !(self.imbalance_threshold >= 1.0) {
+        if self.imbalance_threshold < 1.0 || self.imbalance_threshold.is_nan() {
             return Err(Error::InvalidConfig(format!(
                 "imbalance_threshold must be >= 1.0, got {}",
                 self.imbalance_threshold
             )));
         }
-        if !(self.data_intensity_threshold > 0.0) {
+        if self.data_intensity_threshold <= 0.0 || self.data_intensity_threshold.is_nan() {
             return Err(Error::InvalidConfig(
                 "data_intensity_threshold must be positive".into(),
             ));
@@ -118,35 +118,49 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = ElasticutorConfig::default();
-        c.imbalance_threshold = 0.9;
+        let c = ElasticutorConfig {
+            imbalance_threshold: 0.9,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ElasticutorConfig::default();
-        c.executors_per_operator = 0;
+        let c = ElasticutorConfig {
+            executors_per_operator: 0,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ElasticutorConfig::default();
-        c.shards_per_executor = 0;
+        let c = ElasticutorConfig {
+            shards_per_executor: 0,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ElasticutorConfig::default();
-        c.pending_queue_capacity = 0;
+        let c = ElasticutorConfig {
+            pending_queue_capacity: 0,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ElasticutorConfig::default();
-        c.data_intensity_threshold = 0.0;
+        let c = ElasticutorConfig {
+            data_intensity_threshold: 0.0,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ElasticutorConfig::default();
-        c.max_moves_per_rebalance = 0;
+        let c = ElasticutorConfig {
+            max_moves_per_rebalance: 0,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn nan_threshold_rejected() {
-        let mut c = ElasticutorConfig::default();
-        c.imbalance_threshold = f64::NAN;
+        let c = ElasticutorConfig {
+            imbalance_threshold: f64::NAN,
+            ..ElasticutorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

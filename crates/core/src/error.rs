@@ -26,6 +26,9 @@ pub enum Error {
     ReassignmentInProgress(ShardId),
     /// A shard reassignment targeted the task that already owns the shard.
     ReassignmentNoop(ShardId, TaskId),
+    /// A reassignment label was consumed twice (or never minted): the
+    /// exactly-once completion invariant of the §3.3 protocol tripped.
+    UnknownLabel(u64),
     /// The scheduler could not find a feasible CPU-to-executor assignment
     /// (Algorithm 1 returned FAIL at the maximum locality threshold).
     Infeasible(String),
@@ -55,6 +58,9 @@ impl fmt::Display for Error {
             }
             Error::ReassignmentNoop(s, t) => {
                 write!(f, "shard {s} is already assigned to task {t}")
+            }
+            Error::UnknownLabel(l) => {
+                write!(f, "reassignment label {l} is unknown or already consumed")
             }
             Error::Infeasible(msg) => write!(f, "no feasible assignment: {msg}"),
             Error::CapacityExceeded {

@@ -24,6 +24,10 @@
 //! * [`routing`] — the two-tier routing table of an elastic executor:
 //!   a static key→shard hash tier and a dynamic shard→task map with
 //!   pause/buffer semantics used by the consistent-reassignment protocol.
+//! * [`reassign`] — the labeling-tuple reassignment state machine of the
+//!   §3.3 consistent-reassignment protocol: in-flight move tracking with
+//!   exactly-once completion, shared by the live executor and the
+//!   simulated cluster engine.
 //! * [`balance`] — intra-executor load balancing (paper §3.1): the
 //!   First-Fit-Decreasing-style algorithm that moves shards between tasks
 //!   until the imbalance factor δ drops below θ, minimizing moved shards.
@@ -38,6 +42,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod partition;
+pub mod reassign;
 pub mod routing;
 pub mod topology;
 pub mod tuple;
@@ -47,6 +52,7 @@ pub use config::ElasticutorConfig;
 pub use error::{Error, Result};
 pub use ids::{CoreId, ExecutorId, Key, NodeId, OperatorId, ProcessId, ShardId, TaskId};
 pub use partition::{DynamicPartition, StaticHashPartition};
+pub use reassign::{Completion, InFlight, ReassignmentTracker};
 pub use routing::{RouteDecision, RoutingTable};
 pub use topology::{Grouping, OperatorKind, OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::Tuple;

@@ -158,10 +158,7 @@ impl DynamicPartition {
     pub fn resize_executors(&mut self, num_executors: u32) {
         assert!(num_executors > 0, "num_executors must be positive");
         if num_executors < self.num_executors {
-            let orphaned = self
-                .assignment
-                .iter()
-                .any(|e| e.0 >= num_executors);
+            let orphaned = self.assignment.iter().any(|e| e.0 >= num_executors);
             assert!(
                 !orphaned,
                 "cannot shrink: shards still assigned to removed executors"

@@ -1,0 +1,328 @@
+//! The labeling-tuple reassignment state machine (paper §3.3).
+//!
+//! Both live substrates of the framework execute the same consistent
+//! shard-reassignment protocol: pause routing for the shard, send a
+//! **labeling tuple** down the source task's FIFO queue, wait for it to
+//! surface (at which point every tuple of the shard that preceded it has
+//! been processed), optionally migrate state, update the shard→task map,
+//! and flush the tuples buffered while paused. The [`RoutingTable`]
+//! handles pause/buffer/flush; this module owns the other half — the
+//! bookkeeping of **in-flight moves keyed by label** — which was
+//! previously duplicated between the live executor
+//! (`elasticutor-runtime`) and the simulated cluster engine
+//! (`elasticutor-cluster`).
+//!
+//! [`ReassignmentTracker`] guarantees the protocol's core invariant:
+//! each move **completes (or aborts) exactly once**, no matter how label
+//! delivery, task retirement, and state arrival interleave. A label is
+//! minted by [`ReassignmentTracker::begin`], consumed by exactly one of
+//! [`ReassignmentTracker::complete`] / [`ReassignmentTracker::abort`],
+//! and any second consumption reports [`Error::UnknownLabel`] instead of
+//! silently re-running map surgery.
+//!
+//! The tracker is substrate-agnostic: it never touches channels, clocks,
+//! or the network. Callers feed it monotonic timestamps and attach a
+//! `meta` payload (e.g. the simulated engine's executor index and state
+//! size) that is handed back on completion.
+//!
+//! [`RoutingTable`]: crate::routing::RoutingTable
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::ids::{ShardId, TaskId};
+
+/// One in-flight shard move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlight<M> {
+    /// The shard being moved.
+    pub shard: ShardId,
+    /// The task that owned the shard when the move started.
+    pub from: TaskId,
+    /// The destination task.
+    pub to: TaskId,
+    /// When the move started (protocol initiation).
+    pub started_ns: u64,
+    /// When the labeling tuple surfaced at the source task (`None` while
+    /// it is still queued).
+    pub label_reached_ns: Option<u64>,
+    /// Caller-owned metadata returned on completion/abort.
+    pub meta: M,
+}
+
+/// A completed move: timing decomposition plus the caller's metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion<M> {
+    /// The shard that moved.
+    pub shard: ShardId,
+    /// The task that owned the shard when the move started.
+    pub from: TaskId,
+    /// The destination task.
+    pub to: TaskId,
+    /// When the move started.
+    pub started_ns: u64,
+    /// Synchronization time: protocol start → label surfacing (the
+    /// paper's "sync" phase; Figure 8).
+    pub sync_ns: u64,
+    /// Total time: protocol start → completion (includes any state
+    /// migration after the label surfaced).
+    pub total_ns: u64,
+    /// Caller-owned metadata attached at [`ReassignmentTracker::begin`].
+    pub meta: M,
+}
+
+/// Tracks every in-flight shard reassignment of one executor (live
+/// runtime) or one whole cluster (simulated engine), keyed by label.
+#[derive(Debug, Clone)]
+pub struct ReassignmentTracker<M> {
+    pending: BTreeMap<u64, InFlight<M>>,
+    next_label: u64,
+    completed: u64,
+    aborted: u64,
+}
+
+impl<M> Default for ReassignmentTracker<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ReassignmentTracker<M> {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self {
+            pending: BTreeMap::new(),
+            next_label: 0,
+            completed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// Registers a new move and mints its label. The caller is expected
+    /// to have paused the shard in its routing table and to send the
+    /// label down the `from` task's queue.
+    pub fn begin(&mut self, shard: ShardId, from: TaskId, to: TaskId, now_ns: u64, meta: M) -> u64 {
+        let label = self.next_label;
+        self.next_label += 1;
+        self.pending.insert(
+            label,
+            InFlight {
+                shard,
+                from,
+                to,
+                started_ns: now_ns,
+                label_reached_ns: None,
+                meta,
+            },
+        );
+        label
+    }
+
+    /// The in-flight move behind `label`, if still pending.
+    pub fn get(&self, label: u64) -> Option<&InFlight<M>> {
+        self.pending.get(&label)
+    }
+
+    /// Records that the labeling tuple surfaced at the source task.
+    /// Idempotent on the timestamp (first arrival wins); errors if the
+    /// label is unknown (already completed or aborted).
+    pub fn mark_label_reached(&mut self, label: u64, now_ns: u64) -> Result<&InFlight<M>> {
+        let inflight = self
+            .pending
+            .get_mut(&label)
+            .ok_or(Error::UnknownLabel(label))?;
+        inflight.label_reached_ns.get_or_insert(now_ns);
+        Ok(inflight)
+    }
+
+    /// Consumes the label, completing the move **exactly once**. Errors
+    /// with [`Error::UnknownLabel`] if the label was never minted or was
+    /// already consumed — callers treat that as a protocol bug.
+    ///
+    /// `sync_ns` falls back to `now_ns - started_ns` when the caller
+    /// completed without a prior [`Self::mark_label_reached`] (the
+    /// intra-process fast path where label surfacing and completion are
+    /// the same event).
+    pub fn complete(&mut self, label: u64, now_ns: u64) -> Result<Completion<M>> {
+        let inflight = self
+            .pending
+            .remove(&label)
+            .ok_or(Error::UnknownLabel(label))?;
+        self.completed += 1;
+        let sync_end = inflight.label_reached_ns.unwrap_or(now_ns);
+        Ok(Completion {
+            shard: inflight.shard,
+            from: inflight.from,
+            to: inflight.to,
+            started_ns: inflight.started_ns,
+            sync_ns: sync_end.saturating_sub(inflight.started_ns),
+            total_ns: now_ns.saturating_sub(inflight.started_ns),
+            meta: inflight.meta,
+        })
+    }
+
+    /// Consumes the label, aborting the move (destination vanished,
+    /// source retired mid-flight, ...). Errors with
+    /// [`Error::UnknownLabel`] on double consumption, exactly like
+    /// [`Self::complete`].
+    pub fn abort(&mut self, label: u64) -> Result<InFlight<M>> {
+        let inflight = self
+            .pending
+            .remove(&label)
+            .ok_or(Error::UnknownLabel(label))?;
+        self.aborted += 1;
+        Ok(inflight)
+    }
+
+    /// Whether any in-flight move targets `task` (used when draining a
+    /// task: it must not retire while a move could still land a shard on
+    /// it).
+    pub fn targets_task(&self, task: TaskId) -> bool {
+        self.pending.values().any(|p| p.to == task)
+    }
+
+    /// Whether any in-flight move originates from `task`.
+    pub fn originates_from(&self, task: TaskId) -> bool {
+        self.pending.values().any(|p| p.from == task)
+    }
+
+    /// Labels of moves currently in flight, ascending.
+    pub fn pending_labels(&self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Number of moves currently in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no move is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Moves completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Moves aborted so far.
+    pub fn aborted_count(&self) -> u64 {
+        self.aborted
+    }
+}
+
+/// Round-robin drain planning: pairs each of `shards` with a destination
+/// from `targets`, cycling. Used when force-draining a retiring task
+/// whose balancer plan left stragglers (e.g. shards that were paused
+/// when the plan was computed). `offset` rotates the starting target so
+/// repeated passes spread load differently.
+pub fn spread_round_robin(
+    shards: &[ShardId],
+    targets: &[TaskId],
+    offset: usize,
+) -> Vec<(ShardId, TaskId)> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    shards
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, targets[(offset + i) % targets.len()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_lifecycle_completes_exactly_once() {
+        let mut t: ReassignmentTracker<()> = ReassignmentTracker::new();
+        let label = t.begin(ShardId(3), TaskId(0), TaskId(1), 100, ());
+        assert_eq!(t.len(), 1);
+        t.mark_label_reached(label, 150).unwrap();
+        let c = t.complete(label, 180).unwrap();
+        assert_eq!(c.shard, ShardId(3));
+        assert_eq!(c.sync_ns, 50);
+        assert_eq!(c.total_ns, 80);
+        assert!(t.is_empty());
+        assert_eq!(t.completed_count(), 1);
+        // Second completion of the same label must fail, not re-run.
+        assert_eq!(t.complete(label, 200), Err(Error::UnknownLabel(label)));
+        assert_eq!(t.completed_count(), 1);
+    }
+
+    #[test]
+    fn abort_consumes_the_label_too() {
+        let mut t: ReassignmentTracker<u32> = ReassignmentTracker::new();
+        let label = t.begin(ShardId(1), TaskId(0), TaskId(2), 10, 42);
+        let inflight = t.abort(label).unwrap();
+        assert_eq!(inflight.meta, 42);
+        assert_eq!(t.abort(label), Err(Error::UnknownLabel(label)));
+        assert_eq!(t.complete(label, 11), Err(Error::UnknownLabel(label)));
+        assert_eq!(t.aborted_count(), 1);
+        assert_eq!(t.completed_count(), 0);
+    }
+
+    #[test]
+    fn sync_falls_back_to_completion_time() {
+        let mut t: ReassignmentTracker<()> = ReassignmentTracker::new();
+        let label = t.begin(ShardId(0), TaskId(0), TaskId(1), 100, ());
+        // Intra-process fast path: complete without marking the label.
+        let c = t.complete(label, 130).unwrap();
+        assert_eq!(c.sync_ns, 30);
+        assert_eq!(c.total_ns, 30);
+    }
+
+    #[test]
+    fn mark_label_is_first_arrival_wins() {
+        let mut t: ReassignmentTracker<()> = ReassignmentTracker::new();
+        let label = t.begin(ShardId(0), TaskId(0), TaskId(1), 0, ());
+        t.mark_label_reached(label, 5).unwrap();
+        t.mark_label_reached(label, 9).unwrap();
+        let c = t.complete(label, 20).unwrap();
+        assert_eq!(c.sync_ns, 5, "first label arrival wins");
+        assert!(t.mark_label_reached(label, 30).is_err());
+    }
+
+    #[test]
+    fn labels_are_unique_across_concurrent_moves() {
+        let mut t: ReassignmentTracker<()> = ReassignmentTracker::new();
+        let a = t.begin(ShardId(0), TaskId(0), TaskId(1), 0, ());
+        let b = t.begin(ShardId(1), TaskId(1), TaskId(2), 0, ());
+        let c = t.begin(ShardId(2), TaskId(2), TaskId(0), 0, ());
+        assert_eq!(t.pending_labels().len(), 3);
+        assert!(a != b && b != c && a != c);
+        t.complete(b, 10).unwrap();
+        assert_eq!(t.pending_labels(), vec![a, c]);
+    }
+
+    #[test]
+    fn task_targeting_queries() {
+        let mut t: ReassignmentTracker<()> = ReassignmentTracker::new();
+        let l = t.begin(ShardId(0), TaskId(0), TaskId(1), 0, ());
+        assert!(t.targets_task(TaskId(1)));
+        assert!(!t.targets_task(TaskId(0)));
+        assert!(t.originates_from(TaskId(0)));
+        assert!(!t.originates_from(TaskId(1)));
+        t.complete(l, 1).unwrap();
+        assert!(!t.targets_task(TaskId(1)));
+    }
+
+    #[test]
+    fn spread_round_robin_cycles_targets() {
+        let shards = [ShardId(0), ShardId(1), ShardId(2)];
+        let targets = [TaskId(7), TaskId(9)];
+        let plan = spread_round_robin(&shards, &targets, 1);
+        assert_eq!(
+            plan,
+            vec![
+                (ShardId(0), TaskId(9)),
+                (ShardId(1), TaskId(7)),
+                (ShardId(2), TaskId(9)),
+            ]
+        );
+        assert!(spread_round_robin(&shards, &[], 0).is_empty());
+    }
+}

@@ -219,7 +219,10 @@ mod tests {
     fn pause_buffers_then_flushes_in_order() {
         let mut rt = table();
         // Find a key landing on shard 2.
-        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(2)).unwrap();
+        let key = (0..)
+            .map(Key)
+            .find(|&k| rt.shard_for(k) == ShardId(2))
+            .unwrap();
         rt.pause(ShardId(2)).unwrap();
         assert!(rt.is_paused(ShardId(2)));
         assert_eq!(rt.route(key, 10), RouteDecision::Buffered(ShardId(2)));
@@ -237,7 +240,10 @@ mod tests {
     fn unpaused_shards_unaffected_by_pause() {
         let mut rt = table();
         rt.pause(ShardId(2)).unwrap();
-        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(0)).unwrap();
+        let key = (0..)
+            .map(Key)
+            .find(|&k| rt.shard_for(k) == ShardId(0))
+            .unwrap();
         assert_eq!(rt.route(key, 5), RouteDecision::Deliver(TaskId(0), 5));
     }
 
@@ -254,12 +260,19 @@ mod tests {
     #[test]
     fn abort_restores_old_task() {
         let mut rt = table();
-        let key = (0..).map(Key).find(|&k| rt.shard_for(k) == ShardId(3)).unwrap();
+        let key = (0..)
+            .map(Key)
+            .find(|&k| rt.shard_for(k) == ShardId(3))
+            .unwrap();
         rt.pause(ShardId(3)).unwrap();
         rt.route(key, 99);
         let buf = rt.abort_reassignment(ShardId(3)).unwrap();
         assert_eq!(buf, vec![99]);
-        assert_eq!(rt.task_of(ShardId(3)).unwrap(), TaskId(1), "mapping unchanged");
+        assert_eq!(
+            rt.task_of(ShardId(3)).unwrap(),
+            TaskId(1),
+            "mapping unchanged"
+        );
     }
 
     #[test]

@@ -250,7 +250,7 @@ impl TopologyBuilder {
                     a.name
                 )));
             }
-            if !(a.selectivity >= 0.0) {
+            if a.selectivity < 0.0 || a.selectivity.is_nan() {
                 return Err(Error::InvalidTopology(format!(
                     "operator '{}' has negative or NaN selectivity",
                     a.name
@@ -361,7 +361,10 @@ mod tests {
         assert_eq!(t.downstream(OperatorId(0)), &[OperatorId(1)]);
         assert_eq!(t.upstream(OperatorId(1)), &[OperatorId(0)]);
         assert_eq!(t.total_executors(), 40);
-        assert_eq!(t.grouping(OperatorId(0), OperatorId(1)), Some(Grouping::Key));
+        assert_eq!(
+            t.grouping(OperatorId(0), OperatorId(1)),
+            Some(Grouping::Key)
+        );
         assert_eq!(t.grouping(OperatorId(1), OperatorId(0)), None);
     }
 

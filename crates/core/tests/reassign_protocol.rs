@@ -1,0 +1,232 @@
+//! Protocol-level tests of the extracted §3.3 machinery: the two-tier
+//! [`RoutingTable`] and the [`ReassignmentTracker`] driven together, the
+//! way both the live executor and the simulated engine drive them.
+//!
+//! A miniature single-threaded substrate delivers tuples to per-task
+//! FIFO queues and surfaces labels in queue order, so every interleaving
+//! is explicit and the two invariants the engines rely on can be checked
+//! directly:
+//!
+//! 1. label delivery completes a move **exactly once**;
+//! 2. **no tuple is processed by two tasks**, and per-shard order holds
+//!    across the move.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use elasticutor_core::ids::{Key, ShardId, TaskId};
+use elasticutor_core::reassign::ReassignmentTracker;
+use elasticutor_core::routing::{RouteDecision, RoutingTable};
+
+/// A tuple tagged with a unique id so double-processing is detectable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct T {
+    id: u64,
+    key: Key,
+}
+
+/// Queue entries: data tuples or the §3.3 labeling tuple.
+enum Work {
+    Tuple(T),
+    Label(u64),
+}
+
+/// A miniature single-process substrate: per-task FIFO queues in front
+/// of a shared routing table and tracker.
+struct MiniExec {
+    routing: RoutingTable<T>,
+    tracker: ReassignmentTracker<()>,
+    queues: BTreeMap<TaskId, VecDeque<Work>>,
+    /// Every processed tuple: (tuple id, processing task).
+    processed: Vec<(u64, TaskId)>,
+    clock: u64,
+}
+
+impl MiniExec {
+    fn new(num_shards: u32, tasks: &[TaskId]) -> Self {
+        let mut routing = RoutingTable::new(num_shards, tasks[0]);
+        for s in 0..num_shards {
+            routing
+                .set_task(ShardId(s), tasks[(s as usize) % tasks.len()])
+                .expect("fresh shard");
+        }
+        Self {
+            routing,
+            tracker: ReassignmentTracker::new(),
+            queues: tasks.iter().map(|&t| (t, VecDeque::new())).collect(),
+            processed: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    fn submit(&mut self, tuple: T) {
+        match self.routing.route(tuple.key, tuple) {
+            RouteDecision::Buffered(_) => {}
+            RouteDecision::Deliver(task, tuple) => {
+                self.queues
+                    .get_mut(&task)
+                    .expect("routed to live task")
+                    .push_back(Work::Tuple(tuple));
+            }
+        }
+    }
+
+    fn begin_move(&mut self, shard: ShardId, to: TaskId) -> u64 {
+        let from = self.routing.task_of(shard).expect("shard exists");
+        assert_ne!(from, to, "test should move to a different task");
+        self.routing.pause(shard).expect("not already paused");
+        self.clock += 1;
+        let label = self.tracker.begin(shard, from, to, self.clock, ());
+        self.queues
+            .get_mut(&from)
+            .expect("source task exists")
+            .push_back(Work::Label(label));
+        label
+    }
+
+    /// Processes one queue item of `task`; true if anything was done.
+    fn step(&mut self, task: TaskId) -> bool {
+        let Some(work) = self.queues.get_mut(&task).and_then(VecDeque::pop_front) else {
+            return false;
+        };
+        self.clock += 1;
+        match work {
+            Work::Tuple(t) => {
+                self.processed.push((t.id, task));
+            }
+            Work::Label(label) => {
+                self.tracker
+                    .mark_label_reached(label, self.clock)
+                    .expect("label pending");
+                let completion = self
+                    .tracker
+                    .complete(label, self.clock)
+                    .expect("completes exactly once");
+                let buffered = self
+                    .routing
+                    .finish_reassignment(completion.shard, completion.to)
+                    .expect("shard was paused");
+                for t in buffered {
+                    self.queues
+                        .get_mut(&completion.to)
+                        .expect("destination exists")
+                        .push_back(Work::Tuple(t));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs tasks round-robin until every queue is empty.
+    fn drain(&mut self) {
+        loop {
+            let tasks: Vec<TaskId> = self.queues.keys().copied().collect();
+            let mut progressed = false;
+            for t in tasks {
+                progressed |= self.step(t);
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+/// A key that tier-1 hashes onto `shard`.
+fn key_on_shard(table: &RoutingTable<T>, shard: ShardId) -> Key {
+    (0u64..)
+        .map(Key)
+        .find(|&k| table.shard_for(k) == shard)
+        .expect("some key lands on every shard")
+}
+
+#[test]
+fn label_completes_move_exactly_once_end_to_end() {
+    let tasks = [TaskId(0), TaskId(1)];
+    let mut exec = MiniExec::new(4, &tasks);
+    let shard = ShardId(0);
+    let from = exec.routing.task_of(shard).unwrap();
+    let to = tasks[usize::from(from == TaskId(0))];
+
+    let label = exec.begin_move(shard, to);
+    exec.drain();
+
+    assert_eq!(exec.routing.task_of(shard).unwrap(), to);
+    assert!(!exec.routing.is_paused(shard));
+    assert_eq!(exec.tracker.completed_count(), 1);
+    // The label is spent: any replayed delivery must fail loudly rather
+    // than re-running map surgery.
+    assert!(exec.tracker.complete(label, 999).is_err());
+    assert!(exec.tracker.abort(label).is_err());
+}
+
+#[test]
+fn no_tuple_processed_by_two_tasks_during_move() {
+    let tasks = [TaskId(0), TaskId(1)];
+    let mut exec = MiniExec::new(2, &tasks);
+    let shard = ShardId(0);
+    let from = exec.routing.task_of(shard).unwrap();
+    let to = tasks[usize::from(from == TaskId(0))];
+    let key = key_on_shard(&exec.routing, shard);
+
+    // Tuples 0..5 land in the source task's queue.
+    for id in 0..5 {
+        exec.submit(T { id, key });
+    }
+    // Start the move: the label queues *behind* tuples 0..5.
+    exec.begin_move(shard, to);
+    // Tuples 5..10 arrive while paused: buffered at the receiver.
+    for id in 5..10 {
+        exec.submit(T { id, key });
+    }
+    assert_eq!(exec.routing.buffered_tuples(), 5);
+    exec.drain();
+    // Tuples 10..15 arrive after the move: routed straight to `to`.
+    for id in 10..15 {
+        exec.submit(T { id, key });
+    }
+    exec.drain();
+
+    // Every tuple processed exactly once...
+    let mut ids: Vec<u64> = exec.processed.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..15).collect::<Vec<u64>>());
+    // ...pre-label tuples by the source, post-label by the destination,
+    // never interleaved across tasks...
+    for &(id, task) in &exec.processed {
+        let expect = if id < 5 { from } else { to };
+        assert_eq!(task, expect, "tuple {id} ran on the wrong task");
+    }
+    // ...and shard order is preserved end to end.
+    let order: Vec<u64> = exec.processed.iter().map(|&(id, _)| id).collect();
+    assert_eq!(order, (0..15).collect::<Vec<u64>>(), "shard FIFO violated");
+}
+
+#[test]
+fn concurrent_moves_of_distinct_shards_are_independent() {
+    let tasks = [TaskId(0), TaskId(1), TaskId(2)];
+    let mut exec = MiniExec::new(6, &tasks);
+
+    // Move one shard off each of task 0 and task 1, in flight together.
+    let s0 = ShardId(0); // owned by task 0
+    let s1 = ShardId(1); // owned by task 1
+    let k0 = key_on_shard(&exec.routing, s0);
+    let k1 = key_on_shard(&exec.routing, s1);
+    exec.submit(T { id: 0, key: k0 });
+    exec.submit(T { id: 1, key: k1 });
+    let l0 = exec.begin_move(s0, TaskId(2));
+    let l1 = exec.begin_move(s1, TaskId(2));
+    assert_ne!(l0, l1, "labels are unique across concurrent moves");
+    assert_eq!(exec.tracker.len(), 2);
+    exec.submit(T { id: 2, key: k0 }); // buffered
+    exec.submit(T { id: 3, key: k1 }); // buffered
+    exec.drain();
+
+    assert_eq!(exec.routing.task_of(s0).unwrap(), TaskId(2));
+    assert_eq!(exec.routing.task_of(s1).unwrap(), TaskId(2));
+    assert_eq!(exec.tracker.completed_count(), 2);
+    assert!(exec.tracker.is_empty());
+    let mut ids: Vec<u64> = exec.processed.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+}

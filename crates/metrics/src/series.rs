@@ -158,7 +158,13 @@ mod tests {
             s.push(i as u64 * 1_000_000_000, v);
         }
         let dips = s.dips_below(5.0);
-        assert_eq!(dips, vec![(2_000_000_000, 3_000_000_000), (6_000_000_000, 6_000_000_000)]);
+        assert_eq!(
+            dips,
+            vec![
+                (2_000_000_000, 3_000_000_000),
+                (6_000_000_000, 6_000_000_000)
+            ]
+        );
     }
 
     #[test]

@@ -53,12 +53,11 @@ impl AllocationOutcome {
 pub fn allocate(req: &AllocationRequest<'_>) -> AllocationOutcome {
     let net = req.network;
     let m = net.len();
-    assert!(req.available_cores as usize >= m || m == 0 || req.available_cores > 0,
-        "need at least one core");
     assert!(
-        req.latency_target > 0.0,
-        "latency target must be positive"
+        req.available_cores as usize >= m || m == 0 || req.available_cores > 0,
+        "need at least one core"
     );
+    assert!(req.latency_target > 0.0, "latency target must be positive");
 
     // Step 1: stability minimum.
     let mut cores: Vec<u32> = net.loads().iter().map(|l| l.min_cores()).collect();
@@ -156,7 +155,10 @@ mod tests {
     fn net(loads: &[(f64, f64)], lambda0: f64) -> JacksonNetwork {
         JacksonNetwork::new(
             lambda0,
-            loads.iter().map(|&(l, m)| ExecutorLoad::new(l, m)).collect(),
+            loads
+                .iter()
+                .map(|&(l, m)| ExecutorLoad::new(l, m))
+                .collect(),
         )
     }
 

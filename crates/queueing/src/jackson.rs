@@ -186,8 +186,8 @@ mod tests {
             vec![ExecutorLoad::new(5.0, 10.0), ExecutorLoad::new(0.0, 10.0)],
         );
         let with_idle = net.expected_latency(&[1, 1]);
-        let solo = JacksonNetwork::new(5.0, vec![ExecutorLoad::new(5.0, 10.0)])
-            .expected_latency(&[1]);
+        let solo =
+            JacksonNetwork::new(5.0, vec![ExecutorLoad::new(5.0, 10.0)]).expected_latency(&[1]);
         assert!((with_idle - solo).abs() < 1e-12);
     }
 

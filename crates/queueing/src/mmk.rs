@@ -129,7 +129,12 @@ mod tests {
 
     #[test]
     fn erlang_c_bounds() {
-        for &(l, m, k) in &[(0.5, 1.0, 1u32), (3.0, 1.0, 4), (10.0, 2.0, 6), (0.1, 5.0, 2)] {
+        for &(l, m, k) in &[
+            (0.5, 1.0, 1u32),
+            (3.0, 1.0, 4),
+            (10.0, 2.0, 6),
+            (0.1, 5.0, 2),
+        ] {
             let c = erlang_c(l, m, k);
             assert!((0.0..=1.0).contains(&c), "C({l},{m},{k}) = {c}");
         }

@@ -1,7 +1,9 @@
 //! Property-based tests for the queueing model.
 
 use elasticutor_queueing::jackson::{ExecutorLoad, JacksonNetwork};
-use elasticutor_queueing::{allocate, erlang_c, expected_sojourn, expected_wait, min_stable_servers, AllocationRequest};
+use elasticutor_queueing::{
+    allocate, erlang_c, expected_sojourn, expected_wait, min_stable_servers, AllocationRequest,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,332 @@
+//! The live controller: coarse-grained CPU scheduling over a running
+//! [`Pipeline`](crate::pipeline::Pipeline).
+//!
+//! A background thread samples each stage's cumulative load counters
+//! ([`ElasticExecutor::load_sample`]) every `interval`, differences them
+//! into the paper's per-executor measurements (λ from arrivals +
+//! standing backlog, μ from processed records over busy nanoseconds),
+//! and feeds them to the model-based [`DynamicScheduler`] (§4) against a
+//! single-node [`ClusterSpec`] whose core count is the pipeline's task
+//! budget. The decision's core deltas are applied **live**: grants call
+//! [`ElasticExecutor::add_task`], revocations call
+//! [`ElasticExecutor::remove_task`] (which drains the victim's shards
+//! through the §3.3 reassignment protocol while records keep flowing).
+//! After reallocation each stage gets an intra-executor rebalance pass
+//! (§3.1).
+//!
+//! This is the live counterpart of the simulated engine's `SchedTick`
+//! handler — same scheduler crate, same measurement definitions, real
+//! threads instead of simulated cores.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use elasticutor_core::ids::NodeId;
+use elasticutor_scheduler::assignment::{Assignment, ClusterSpec};
+use elasticutor_scheduler::scheduler::{
+    DynamicScheduler, ExecutorMeasurement, SchedulerConfig, SchedulerPolicy,
+};
+use parking_lot::Mutex;
+
+use crate::executor::{ElasticExecutor, LoadSample};
+use crate::pipeline::BoxedOperator;
+
+/// Configuration of the [`LiveController`].
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    /// Scheduling interval (the measurement window).
+    pub interval: Duration,
+    /// Total task threads the pipeline may use across all stages (the
+    /// single simulated node's core count).
+    pub total_cores: u32,
+    /// Latency target `T_max` handed to the queueing model, seconds.
+    pub latency_target: f64,
+    /// Fallback per-core service rate (records/s) used until a stage has
+    /// processed enough records for a measured μ.
+    pub default_mu: f64,
+    /// Minimum records processed in a window for μ to be trusted.
+    pub min_mu_samples: u64,
+    /// Core-placement policy (the paper's optimized Algorithm 1 or the
+    /// naive-EC ablation; placement is trivial on one node, but the
+    /// policy also controls allocation hysteresis).
+    pub policy: SchedulerPolicy,
+    /// Trim surplus task threads back to the free pool when a stage has
+    /// held more cores than its target for [`Self::reclaim_patience`]
+    /// consecutive ticks. Algorithm 1 itself only revokes a core when
+    /// another executor claims it (constraint `X_j ≥ k_j`) — correct for
+    /// cluster core *ownership*, but live task threads on one box cost
+    /// OS-scheduler overhead even when idle, so the live controller
+    /// returns them. One thread per stage per tick, never below one.
+    pub reclaim_surplus: bool,
+    /// Consecutive over-target ticks before surplus reclamation starts.
+    pub reclaim_patience: u32,
+    /// Log each decision to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            total_cores: 8,
+            latency_target: 0.05,
+            default_mu: 10_000.0,
+            min_mu_samples: 50,
+            policy: SchedulerPolicy::Optimized,
+            reclaim_surplus: true,
+            reclaim_patience: 3,
+            verbose: false,
+        }
+    }
+}
+
+/// One controller decision, recorded for inspection.
+#[derive(Clone, Debug)]
+pub struct ControllerEvent {
+    /// Milliseconds since the controller started.
+    pub at_ms: u64,
+    /// Measured arrival rate per stage (records/s, backlog-inflated).
+    pub lambda: Vec<f64>,
+    /// Measured (or fallback) per-core service rate per stage.
+    pub mu: Vec<f64>,
+    /// Core targets the scheduler requested per stage.
+    pub targets: Vec<u32>,
+    /// Live task counts per stage after applying the decision.
+    pub cores: Vec<u32>,
+    /// Shard moves initiated by the post-decision rebalance passes.
+    pub rebalance_moves: usize,
+    /// Whether the queueing model declared the cluster saturated.
+    pub saturated: bool,
+}
+
+/// Join handle + shared state of a running controller.
+pub struct ControllerHandle {
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<ControllerEvent>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Snapshot of the decisions taken so far.
+    pub fn log(&self) -> Vec<ControllerEvent> {
+        self.log.lock().clone()
+    }
+
+    /// Stops the controller thread and waits for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("controller exits cleanly");
+        }
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The live scheduling loop. Constructed by
+/// [`PipelineBuilder::controller`](crate::pipeline::PipelineBuilder::controller).
+pub struct LiveController {
+    config: ControllerConfig,
+    stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    names: Vec<String>,
+    scheduler: DynamicScheduler,
+    cluster: ClusterSpec,
+    prev: Vec<LoadSample>,
+    mu_estimate: Vec<f64>,
+    /// Consecutive ticks each stage has sat above its target.
+    surplus_ticks: Vec<u32>,
+    started: Instant,
+    log: Arc<Mutex<Vec<ControllerEvent>>>,
+}
+
+impl LiveController {
+    /// Spawns the controller thread over the pipeline's stages.
+    pub(crate) fn spawn(
+        config: ControllerConfig,
+        stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+        names: Vec<String>,
+    ) -> ControllerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let initial_tasks: u32 = stages.iter().map(|s| s.tasks().len() as u32).sum();
+        assert!(
+            initial_tasks <= config.total_cores,
+            "pipeline starts {initial_tasks} task threads but the controller budget is {} cores",
+            config.total_cores
+        );
+        let mut controller = LiveController {
+            scheduler: DynamicScheduler::new(SchedulerConfig {
+                latency_target: config.latency_target,
+                policy: config.policy,
+                ..SchedulerConfig::default()
+            }),
+            cluster: ClusterSpec::uniform(1, config.total_cores),
+            prev: stages.iter().map(|s| s.load_sample()).collect(),
+            mu_estimate: vec![config.default_mu; stages.len()],
+            surplus_ticks: vec![0; stages.len()],
+            started: Instant::now(),
+            log: Arc::clone(&log),
+            config,
+            stages,
+            names,
+        };
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("live-controller".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(controller.config.interval);
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    controller.tick();
+                }
+            })
+            .expect("spawn controller thread");
+        ControllerHandle {
+            stop,
+            log,
+            thread: Some(thread),
+        }
+    }
+
+    /// One scheduling round: measure → model → reallocate → rebalance.
+    fn tick(&mut self) {
+        let window_s = self.config.interval.as_secs_f64();
+        let samples: Vec<LoadSample> = self.stages.iter().map(|s| s.load_sample()).collect();
+
+        let mut lambda = Vec::with_capacity(samples.len());
+        let mut mu = Vec::with_capacity(samples.len());
+        for (j, (cur, prev)) in samples.iter().zip(&self.prev).enumerate() {
+            let d_arrivals = cur.arrivals.saturating_sub(prev.arrivals) as f64;
+            let d_processed = cur.processed.saturating_sub(prev.processed);
+            let d_busy_s = cur.busy_ns.saturating_sub(prev.busy_ns) as f64 / 1e9;
+            // Demand = admitted arrivals + standing backlog (a censored,
+            // backlog-blind rate would freeze a saturated stage at its
+            // current size — same reasoning as the simulated engine).
+            let backlog = cur.arrivals.saturating_sub(cur.processed) as f64;
+            lambda.push(d_arrivals / window_s + backlog / window_s);
+            if d_processed >= self.config.min_mu_samples && d_busy_s > 0.0 {
+                self.mu_estimate[j] = d_processed as f64 / d_busy_s;
+            }
+            mu.push(self.mu_estimate[j].max(1.0));
+        }
+        // Consume the window now, whatever happens below: an infeasible
+        // round must not leave `prev` stale, or the next tick would
+        // difference two windows of counters over one window of time and
+        // overstate λ roughly 2×.
+        self.prev = samples.clone();
+
+        // The scheduler sees the *actual* task layout (self-healing: if
+        // a previous revocation was skipped to keep a stage alive, the
+        // assignment reflects reality, not the plan).
+        let current = Assignment::from_matrix(
+            self.stages
+                .iter()
+                .map(|s| vec![s.tasks().len() as u32])
+                .collect(),
+        );
+        let measurements: Vec<ExecutorMeasurement> = samples
+            .iter()
+            .zip(lambda.iter().zip(&mu))
+            .map(|(sample, (&l, &m))| ExecutorMeasurement {
+                lambda: l,
+                mu: m,
+                state_bytes: sample.state_bytes as f64,
+                // One node: data intensity cannot force remote placement.
+                data_rate: 0.0,
+                local_node: NodeId(0),
+            })
+            .collect();
+        let lambda0 = lambda.first().copied().unwrap_or(0.0).max(1.0);
+
+        let decision =
+            match self
+                .scheduler
+                .schedule(&self.cluster, &current, &measurements, lambda0)
+            {
+                Ok(decision) => decision,
+                Err(_) => return, // infeasible round: keep the current layout
+            };
+
+        // Apply: grants first so revoked shards can drain onto the new
+        // threads directly; never drop a stage below one task.
+        for delta in decision.deltas.iter().filter(|d| d.delta > 0) {
+            for _ in 0..delta.delta {
+                let _ = self.stages[delta.executor].add_task();
+            }
+        }
+        for delta in decision.deltas.iter().filter(|d| d.delta < 0) {
+            for _ in 0..(-delta.delta) {
+                let stage = &self.stages[delta.executor];
+                let tasks = stage.tasks();
+                if tasks.len() <= 1 {
+                    break;
+                }
+                // Retire the newest thread (cheapest shard drain: it has
+                // had the least time to accumulate ownership).
+                let victim = *tasks.last().expect("nonempty");
+                let _ = stage.remove_task(victim);
+            }
+        }
+
+        // Surplus reclamation (live-runtime extension; see
+        // `ControllerConfig::reclaim_surplus`).
+        if self.config.reclaim_surplus {
+            for (j, stage) in self.stages.iter().enumerate() {
+                let target = decision.targets[j].max(1);
+                if (stage.tasks().len() as u32) > target {
+                    self.surplus_ticks[j] += 1;
+                    if self.surplus_ticks[j] >= self.config.reclaim_patience {
+                        let tasks = stage.tasks();
+                        if tasks.len() > 1 {
+                            let victim = *tasks.last().expect("nonempty");
+                            let _ = stage.remove_task(victim);
+                        }
+                    }
+                } else {
+                    self.surplus_ticks[j] = 0;
+                }
+            }
+        }
+
+        // Intra-executor balancing pass per stage (§3.1).
+        let rebalance_moves: usize = self.stages.iter().map(|s| s.rebalance()).sum();
+
+        let cores: Vec<u32> = self.stages.iter().map(|s| s.tasks().len() as u32).collect();
+        let event = ControllerEvent {
+            at_ms: self.started.elapsed().as_millis() as u64,
+            lambda,
+            mu,
+            targets: decision.targets.clone(),
+            cores,
+            rebalance_moves,
+            saturated: decision.saturated,
+        };
+        if self.config.verbose {
+            eprintln!(
+                "[controller t={:>6}ms] cores={:?} targets={:?} lambda={:?} saturated={}",
+                event.at_ms,
+                event
+                    .cores
+                    .iter()
+                    .zip(&self.names)
+                    .map(|(c, n)| format!("{n}:{c}"))
+                    .collect::<Vec<_>>(),
+                event.targets,
+                event.lambda.iter().map(|l| *l as u64).collect::<Vec<_>>(),
+                event.saturated,
+            );
+        }
+        self.log.lock().push(event);
+    }
+}

@@ -4,10 +4,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use elasticutor_core::balance::LoadBalancer;
 use elasticutor_core::error::{Error, Result};
 use elasticutor_core::ids::{ShardId, TaskId};
+use elasticutor_core::reassign::ReassignmentTracker;
 use elasticutor_core::routing::{RouteDecision, RoutingTable};
 use elasticutor_metrics::LatencyHistogram;
 use elasticutor_state::StateStore;
@@ -26,6 +27,12 @@ pub struct ExecutorConfig {
     pub imbalance_threshold: f64,
     /// Upper bound on shard moves per rebalance pass.
     pub max_moves_per_rebalance: usize,
+    /// Capacity of the output channel. `None` (default) is unbounded —
+    /// right for a standalone executor whose consumer drains at its own
+    /// pace. A pipeline bounds intermediate stages so that a stalled
+    /// consumer blocks the emitting task threads, propagating
+    /// backpressure upstream hop by hop.
+    pub output_capacity: Option<usize>,
 }
 
 impl Default for ExecutorConfig {
@@ -35,6 +42,7 @@ impl Default for ExecutorConfig {
             initial_tasks: 1,
             imbalance_threshold: 1.2,
             max_moves_per_rebalance: 64,
+            output_capacity: None,
         }
     }
 }
@@ -49,27 +57,29 @@ enum TaskMsg {
     Stop,
 }
 
-/// An in-flight shard reassignment.
-struct Pending {
-    shard: ShardId,
-    to: TaskId,
-    started_ns: u64,
-}
-
 /// Control state shared by the public handle and the task threads.
 struct Inner<O: Operator> {
     /// Two-tier routing (shard → task) with pause buffers, plus the task
     /// channel registry — one lock because every update touches both.
     routing: Mutex<RoutingState>,
-    /// In-flight reassignments by label id.
-    pending: Mutex<std::collections::HashMap<u64, Pending>>,
-    next_label: AtomicU64,
+    /// The §3.3 state machine: in-flight reassignments by label, with
+    /// exactly-once completion (shared with the simulated engine via
+    /// `elasticutor_core::reassign`).
+    reassigns: Mutex<ReassignmentTracker<()>>,
     state: Arc<StateStore>,
     operator: O,
     outputs: Sender<Record>,
     /// Per-shard record counters for the balancer (reset on rebalance).
     shard_counts: Vec<AtomicU64>,
+    /// Records accepted by `submit` (λ numerator for live controllers).
+    arrivals: AtomicU64,
     processed: AtomicU64,
+    /// Records emitted downstream (lets a pipeline detect quiescence of
+    /// the inter-stage channel with monotonic counters alone).
+    emitted: AtomicU64,
+    /// Nanoseconds task threads spent inside `Operator::process` (μ
+    /// denominator for live controllers).
+    busy_ns: AtomicU64,
     /// Records whose `Operator::process` panicked (counted under
     /// `processed` as well — they were consumed).
     operator_panics: AtomicU64,
@@ -81,7 +91,25 @@ struct Inner<O: Operator> {
 struct RoutingState {
     table: RoutingTable<Record>,
     senders: std::collections::BTreeMap<TaskId, Sender<TaskMsg>>,
+    /// Tasks currently being drained by `remove_task`: they reject new
+    /// inbound shard moves, closing the race where a move begun after
+    /// the drain check lands a shard on a task about to stop.
+    draining: std::collections::BTreeSet<TaskId>,
     next_task: u32,
+}
+
+/// Cumulative load counters sampled by live controllers (see
+/// [`ElasticExecutor::load_sample`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadSample {
+    /// Records accepted by `submit` since start.
+    pub arrivals: u64,
+    /// Records fully processed since start.
+    pub processed: u64,
+    /// Nanoseconds task threads spent inside the operator since start.
+    pub busy_ns: u64,
+    /// Bytes of state currently held.
+    pub state_bytes: u64,
 }
 
 /// Runtime statistics snapshot.
@@ -117,20 +145,26 @@ impl<O: Operator> ElasticExecutor<O> {
     pub fn start(config: ExecutorConfig, operator: O) -> Self {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.initial_tasks > 0, "need at least one task");
-        let (out_tx, out_rx) = unbounded();
+        let (out_tx, out_rx) = match config.output_capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
         let inner = Arc::new(Inner {
             routing: Mutex::new(RoutingState {
                 table: RoutingTable::new(config.num_shards, TaskId(0)),
                 senders: std::collections::BTreeMap::new(),
+                draining: std::collections::BTreeSet::new(),
                 next_task: 0,
             }),
-            pending: Mutex::new(std::collections::HashMap::new()),
-            next_label: AtomicU64::new(0),
+            reassigns: Mutex::new(ReassignmentTracker::new()),
             state: Arc::new(StateStore::with_shards(config.num_shards)),
             operator,
             outputs: out_tx,
             shard_counts: (0..config.num_shards).map(|_| AtomicU64::new(0)).collect(),
+            arrivals: AtomicU64::new(0),
             processed: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
             operator_panics: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
             reassignment_log: Mutex::new(Vec::new()),
@@ -160,15 +194,21 @@ impl<O: Operator> ElasticExecutor<O> {
     /// caller acts as the receiver daemon); processing is asynchronous on
     /// whichever task owns the record's shard.
     pub fn submit(&self, record: Record) {
+        self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
         let mut rs = self.inner.routing.lock();
         let shard = rs.table.shard_for(record.key);
         self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
         match rs.table.route_shard(shard, record) {
             RouteDecision::Buffered(_) => {} // parked until the move completes
             RouteDecision::Deliver(task, record) => {
-                rs.senders[&task]
-                    .send(TaskMsg::Record(record, shard))
-                    .expect("task channel open");
+                // A missing sender means the executor was halted in
+                // place (`halt_shared`); drop the record rather than
+                // panic the submitter.
+                if let Some(sender) = rs.senders.get(&task) {
+                    sender
+                        .send(TaskMsg::Record(record, shard))
+                        .expect("task channel open");
+                }
             }
         }
     }
@@ -195,14 +235,21 @@ impl<O: Operator> ElasticExecutor<O> {
     /// Removes a task thread (its core was revoked): drains its shards to
     /// the survivors via the reassignment protocol, then stops it.
     pub fn remove_task(&self, task: TaskId) -> Result<()> {
-        let (loads, assignment, survivors, owned) = {
-            let rs = self.inner.routing.lock();
+        let (loads, assignment, survivors) = {
+            let mut rs = self.inner.routing.lock();
             if !rs.senders.contains_key(&task) {
                 return Err(Error::UnknownTask(task));
             }
-            if rs.senders.len() <= 1 {
+            if rs.senders.len().saturating_sub(rs.draining.len()) <= 1
+                || rs.draining.contains(&task)
+            {
                 return Err(Error::LastTask(task));
             }
+            // From here on no new reassignment may target this task
+            // (`reassign_shard` checks the flag under the same lock), so
+            // once the drain loop below observes "owns nothing, nothing
+            // in flight toward it", that stays true.
+            rs.draining.insert(task);
             let loads: Vec<f64> = self
                 .inner
                 .shard_counts
@@ -214,10 +261,9 @@ impl<O: Operator> ElasticExecutor<O> {
                 .senders
                 .keys()
                 .copied()
-                .filter(|&t| t != task)
+                .filter(|t| *t != task && !rs.draining.contains(t))
                 .collect();
-            let owned = rs.table.shards_of(task);
-            (loads, assignment, survivors, owned)
+            (loads, assignment, survivors)
         };
         let balancer = LoadBalancer {
             imbalance_threshold: self.config.imbalance_threshold,
@@ -235,27 +281,35 @@ impl<O: Operator> ElasticExecutor<O> {
         // protocol completes — so keep re-planning stragglers each pass.
         let mut spread = 0usize;
         loop {
-            let owned = {
+            // Read ownership and in-flight state under BOTH locks
+            // (routing before reassigns, the global order): the label
+            // handler takes the same two locks to complete a move, so a
+            // pre-drain move targeting this task cannot land a shard
+            // here between the two reads. Once both reads are clean
+            // while the `draining` flag blocks new inbound moves, the
+            // task stays empty.
+            let (owned, pending_to_task) = {
                 let rs = self.inner.routing.lock();
-                rs.table.shards_of(task)
+                let tracker = self.inner.reassigns.lock();
+                (rs.table.shards_of(task), tracker.targets_task(task))
             };
-            let pending_to_task = self.inner.pending.lock().values().any(|p| p.to == task);
             if owned.is_empty() && !pending_to_task {
                 break;
             }
-            for shard in owned {
-                let to = survivors[spread % survivors.len()];
-                spread = spread.wrapping_add(1);
+            for (shard, to) in
+                elasticutor_core::reassign::spread_round_robin(&owned, &survivors, spread)
+            {
                 // Failures (shard paused mid-protocol, concurrent owner
                 // change) resolve themselves; retry next pass.
                 let _ = self.reassign_shard(shard, to);
             }
+            spread = spread.wrapping_add(owned.len());
             std::thread::yield_now();
         }
-        let _ = owned;
         // Stop the thread and unregister it.
         let sender = {
             let mut rs = self.inner.routing.lock();
+            rs.draining.remove(&task);
             rs.senders.remove(&task).expect("checked present")
         };
         sender.send(TaskMsg::Stop).expect("task channel open");
@@ -274,7 +328,7 @@ impl<O: Operator> ElasticExecutor<O> {
     /// is already in flight, the move is a no-op, or `to` is unknown.
     pub fn reassign_shard(&self, shard: ShardId, to: TaskId) -> Result<()> {
         let mut rs = self.inner.routing.lock();
-        if !rs.senders.contains_key(&to) {
+        if !rs.senders.contains_key(&to) || rs.draining.contains(&to) {
             return Err(Error::UnknownTask(to));
         }
         let from = rs.table.task_of(shard)?;
@@ -282,15 +336,11 @@ impl<O: Operator> ElasticExecutor<O> {
             return Err(Error::ReassignmentNoop(shard, to));
         }
         rs.table.pause(shard)?;
-        let label = self.inner.next_label.fetch_add(1, Ordering::Relaxed);
-        self.inner.pending.lock().insert(
-            label,
-            Pending {
-                shard,
-                to,
-                started_ns: monotonic_ns(),
-            },
-        );
+        let label = self
+            .inner
+            .reassigns
+            .lock()
+            .begin(shard, from, to, monotonic_ns(), ());
         rs.senders[&from]
             .send(TaskMsg::Label(label))
             .expect("task channel open");
@@ -311,7 +361,11 @@ impl<O: Operator> ElasticExecutor<O> {
             (
                 loads,
                 rs.table.assignment().to_vec(),
-                rs.senders.keys().copied().collect::<Vec<TaskId>>(),
+                rs.senders
+                    .keys()
+                    .copied()
+                    .filter(|t| !rs.draining.contains(t))
+                    .collect::<Vec<TaskId>>(),
             )
         };
         let balancer = LoadBalancer {
@@ -337,6 +391,30 @@ impl<O: Operator> ElasticExecutor<O> {
     pub fn wait_for_processed(&self, n: u64) {
         while self.inner.processed.load(Ordering::Acquire) < n {
             std::thread::yield_now();
+        }
+    }
+
+    /// Records fully processed so far (cheap atomic read; `stats` clones
+    /// histograms and takes locks, this does not).
+    pub fn processed_count(&self) -> u64 {
+        self.inner.processed.load(Ordering::Acquire)
+    }
+
+    /// Records emitted downstream so far (cheap atomic read).
+    pub fn emitted_count(&self) -> u64 {
+        self.inner.emitted.load(Ordering::Acquire)
+    }
+
+    /// A cheap cumulative load sample for live controllers: consecutive
+    /// samples differenced over a wall-clock window give λ (arrival
+    /// rate), μ (per-core service rate = processed / busy seconds), and
+    /// the standing backlog (arrivals − processed).
+    pub fn load_sample(&self) -> LoadSample {
+        LoadSample {
+            arrivals: self.inner.arrivals.load(Ordering::Relaxed),
+            processed: self.inner.processed.load(Ordering::Acquire),
+            busy_ns: self.inner.busy_ns.load(Ordering::Relaxed),
+            state_bytes: self.inner.state.total_bytes(),
         }
     }
 
@@ -368,27 +446,69 @@ impl<O: Operator> ElasticExecutor<O> {
     }
 
     /// Stops all task threads and returns final statistics. Buffered or
-    /// queued records that were not yet processed are dropped.
+    /// queued records that were not yet processed are dropped, as are
+    /// unread outputs.
     pub fn shutdown(self) -> ExecutorStats {
-        {
-            let rs = self.inner.routing.lock();
-            for sender in rs.senders.values() {
-                let _ = sender.send(TaskMsg::Stop);
-            }
+        let Self {
+            inner,
+            threads,
+            output_rx,
+            config: _,
+        } = self;
+        // Drop this handle's output receiver *before* joining: with a
+        // bounded output channel and no external consumer, a task thread
+        // can be blocked mid-send, and the `Stop` behind it would never
+        // be dequeued. Disconnecting the only receiver turns that send
+        // into an error the task loop handles (the record is dropped,
+        // matching the documented semantics). Pipelines hold their own
+        // receiver clones, so their channels stay open here.
+        drop(output_rx);
+        halt(&inner, &threads)
+    }
+}
+
+/// Stops every task thread of the executor behind `inner` and returns
+/// final statistics. Idempotent: a second call finds no live senders or
+/// join handles and just rebuilds the stats.
+fn halt<O: Operator>(
+    inner: &Arc<Inner<O>>,
+    threads: &Mutex<Vec<(TaskId, JoinHandle<()>)>>,
+) -> ExecutorStats {
+    {
+        let rs = inner.routing.lock();
+        for sender in rs.senders.values() {
+            let _ = sender.send(TaskMsg::Stop);
         }
-        let mut threads = self.threads.lock();
-        for (_, handle) in threads.drain(..) {
-            let _ = handle.join();
-        }
-        drop(threads);
-        ExecutorStats {
-            processed: self.inner.processed.load(Ordering::Acquire),
-            operator_panics: self.inner.operator_panics.load(Ordering::Relaxed),
-            tasks: 0,
-            latency: self.inner.latency.lock().clone(),
-            reassignments: self.inner.reassignment_log.lock().clone(),
-            state_bytes: self.inner.state.total_bytes(),
-        }
+    }
+    let mut threads = threads.lock();
+    for (_, handle) in threads.drain(..) {
+        let _ = handle.join();
+    }
+    drop(threads);
+    // Unregister the stopped tasks so the executor reports itself as
+    // halted (`tasks()` empty) and late `submit`s drop records instead
+    // of feeding channels nobody drains.
+    inner.routing.lock().senders.clear();
+    ExecutorStats {
+        processed: inner.processed.load(Ordering::Acquire),
+        operator_panics: inner.operator_panics.load(Ordering::Relaxed),
+        tasks: 0,
+        latency: inner.latency.lock().clone(),
+        reassignments: inner.reassignment_log.lock().clone(),
+        state_bytes: inner.state.total_bytes(),
+    }
+}
+
+impl<O: Operator> ElasticExecutor<O> {
+    /// Stops all task threads without consuming the executor — the
+    /// fallback a [`Pipeline`](crate::pipeline::Pipeline) uses at
+    /// shutdown when the caller still holds a clone of the stage handle
+    /// and the consuming [`Self::shutdown`] is unavailable. The output
+    /// channel stays connected (the retained handle keeps it alive), so
+    /// callers must ensure no task thread is blocked on a full bounded
+    /// output channel before halting.
+    pub(crate) fn halt_shared(&self) -> ExecutorStats {
+        halt(&self.inner, &self.threads)
     }
 }
 
@@ -399,15 +519,26 @@ fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, rx: Receiver<TaskMs
             TaskMsg::Stop => return,
             TaskMsg::Record(record, shard) => {
                 let handle = inner.state.handle(shard);
+                let service_start = monotonic_ns();
                 // Failure isolation: a panicking operator must not take
                 // the task thread (and with it every shard it owns) down.
                 // The record is dropped, the panic counted; state holds
                 // whatever the operator committed before unwinding.
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     inner.operator.process(&record, &handle)
-                })) {
+                }));
+                inner.busy_ns.fetch_add(
+                    monotonic_ns().saturating_sub(service_start),
+                    Ordering::Relaxed,
+                );
+                match outcome {
                     Ok(outputs) => {
                         for out in outputs {
+                            // Count *before* sending: quiescence checks
+                            // compare `emitted` against the downstream
+                            // consumer's counter, so a record must never
+                            // be in the channel while uncounted.
+                            inner.emitted.fetch_add(1, Ordering::AcqRel);
                             // Emitter: forward to the output stream.
                             // (Receiver may have hung up if the executor
                             // handle dropped.)
@@ -426,41 +557,53 @@ fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, rx: Receiver<TaskMs
             }
             TaskMsg::Label(label) => {
                 // All pending records of the shard are done: complete the
-                // reassignment. Intra-process state sharing means no
-                // state movement — the new task reads the same store.
-                let pending = inner
-                    .pending
-                    .lock()
-                    .remove(&label)
-                    .expect("label has a pending entry");
+                // reassignment via the shared §3.3 state machine.
+                // Intra-process state sharing means no state movement —
+                // the new task reads the same store.
                 let now = monotonic_ns();
-                let sync_ns = now.saturating_sub(pending.started_ns);
+                // Lock order: routing before reassigns, matching
+                // `reassign_shard` (which begins moves while holding the
+                // routing lock).
                 let mut rs = inner.routing.lock();
-                if rs.senders.contains_key(&pending.to) {
+                let mut tracker = inner.reassigns.lock();
+                tracker
+                    .mark_label_reached(label, now)
+                    .expect("label has a pending entry");
+                let to = tracker.get(label).expect("just marked").to;
+                if rs.senders.contains_key(&to) {
+                    let completion = tracker
+                        .complete(label, monotonic_ns())
+                        .expect("completes exactly once");
+                    drop(tracker);
                     let buffered = rs
                         .table
-                        .finish_reassignment(pending.shard, pending.to)
+                        .finish_reassignment(completion.shard, completion.to)
                         .expect("shard was paused");
                     for record in buffered {
-                        rs.senders[&pending.to]
-                            .send(TaskMsg::Record(record, pending.shard))
+                        rs.senders[&completion.to]
+                            .send(TaskMsg::Record(record, completion.shard))
                             .expect("task channel open");
                     }
                     drop(rs);
-                    let total_ns = monotonic_ns().saturating_sub(pending.started_ns);
-                    inner.reassignment_log.lock().push((sync_ns, total_ns));
+                    let total_ns = monotonic_ns().saturating_sub(completion.started_ns);
+                    inner
+                        .reassignment_log
+                        .lock()
+                        .push((completion.sync_ns, total_ns));
                 } else {
                     // Destination was removed while the label was in
                     // flight: abort — routing resumes to the old owner,
                     // and buffered records go there.
-                    let from = rs.table.task_of(pending.shard).expect("shard exists");
+                    let aborted = tracker.abort(label).expect("aborts exactly once");
+                    drop(tracker);
+                    let from = rs.table.task_of(aborted.shard).expect("shard exists");
                     let buffered = rs
                         .table
-                        .abort_reassignment(pending.shard)
+                        .abort_reassignment(aborted.shard)
                         .expect("shard was paused");
                     for record in buffered {
                         rs.senders[&from]
-                            .send(TaskMsg::Record(record, pending.shard))
+                            .send(TaskMsg::Record(record, aborted.shard))
                             .expect("task channel open");
                     }
                 }

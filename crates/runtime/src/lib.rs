@@ -16,11 +16,20 @@
 //! * online scaling: add or remove task threads while tuples flow;
 //! * an intra-executor rebalancer driven by per-shard load counters.
 //!
-//! Scope: one executor process. The cluster-wide layer (multi-node
-//! scheduling, remote tasks, the RC baseline) lives in
-//! `elasticutor-cluster`, where hardware is simulated; this crate is the
-//! proof that the executor-level mechanisms work for real, with real
-//! races, and is what the examples and property tests drive.
+//! Beyond the single executor, the crate hosts the live multi-operator
+//! layer:
+//!
+//! * [`pipeline::Pipeline`] — N elastic executors wired into a chain
+//!   over channels with bounded-queue backpressure;
+//! * [`controller::LiveController`] — a scheduling thread that samples
+//!   per-stage load and reallocates task threads across stages through
+//!   the model-based `elasticutor-scheduler` (§4), live.
+//!
+//! The multi-*node* layer (remote tasks, the RC baseline, the network
+//! model) lives in `elasticutor-cluster`, where hardware is simulated;
+//! this crate is the proof that the executor- and operator-level
+//! mechanisms work for real, with real races, and is what the examples
+//! and property tests drive.
 //!
 //! ```
 //! use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
@@ -45,8 +54,14 @@
 
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod executor;
+pub mod order;
+pub mod pipeline;
 pub mod record;
 
-pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+pub use controller::{ControllerConfig, ControllerEvent, LiveController};
+pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample};
+pub use order::FifoChecker;
+pub use pipeline::{BoxedOperator, Pipeline, PipelineBuilder, StageStats};
 pub use record::{Operator, Record};

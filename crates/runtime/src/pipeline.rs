@@ -1,0 +1,611 @@
+//! A live multi-operator elastic pipeline.
+//!
+//! Wires N [`ElasticExecutor`]s into a chain (source → operators → sink)
+//! over crossbeam channels, with **bounded-queue backpressure** between
+//! stages: each stage admits at most `stage_capacity` in-flight records
+//! (submitted but not yet processed); the forwarder feeding it blocks
+//! until the stage drains, and the stall propagates upstream hop by hop
+//! until [`Pipeline::submit`] itself blocks — the live analog of the
+//! simulated engine's high/low-watermark source pausing.
+//!
+//! Topology scope: a linear chain. Operators can still fan records out
+//! in *volume* (one input → many outputs) — what is fixed is the
+//! stage-to-stage wiring, which is exactly the shape of the paper's
+//! micro-benchmark (generator → calculator) and SSE (transactor →
+//! analytics) topologies. The stage graph is static; **capacity is
+//! not**: every stage is an elastic executor whose task threads can be
+//! grown, shrunk, and rebalanced while records flow, either explicitly
+//! through [`Pipeline::executor`] handles or automatically by the
+//! [`LiveController`](crate::controller::LiveController).
+//!
+//! Per-key FIFO order holds end to end: within a stage the two-tier
+//! routing table serializes a key's records through one task at a time
+//! (the §3.3 protocol preserves order across shard moves), task threads
+//! emit outputs in processing order, and a single forwarder thread per
+//! hop preserves channel order between stages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
+use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+use crate::record::{Operator, Record};
+
+/// A type-erased operator, letting one pipeline mix operator types.
+pub type BoxedOperator = Box<dyn Operator>;
+
+/// One stage awaiting construction.
+struct StageSpec {
+    name: String,
+    config: ExecutorConfig,
+    operator: BoxedOperator,
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    stages: Vec<StageSpec>,
+    stage_capacity: usize,
+    controller: Option<ControllerConfig>,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineBuilder {
+    /// Starts an empty builder with the default per-stage capacity.
+    pub fn new() -> Self {
+        Self {
+            stages: Vec::new(),
+            stage_capacity: 4096,
+            controller: None,
+        }
+    }
+
+    /// Appends a stage (order of calls = order in the chain).
+    pub fn stage(
+        mut self,
+        name: impl Into<String>,
+        config: ExecutorConfig,
+        operator: impl Operator,
+    ) -> Self {
+        self.stages.push(StageSpec {
+            name: name.into(),
+            config,
+            operator: Box::new(operator),
+        });
+        self
+    }
+
+    /// Sets the bounded in-flight budget per stage (backpressure depth).
+    pub fn stage_capacity(mut self, capacity: usize) -> Self {
+        self.stage_capacity = capacity.max(1);
+        self
+    }
+
+    /// Attaches a [`LiveController`] that reallocates task threads
+    /// across stages while the pipeline runs.
+    pub fn controller(mut self, config: ControllerConfig) -> Self {
+        self.controller = Some(config);
+        self
+    }
+
+    /// Starts every stage, the forwarder threads, and (if configured)
+    /// the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stage was added.
+    pub fn build(self) -> Pipeline {
+        assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
+        let mut stages = Vec::with_capacity(self.stages.len());
+        let mut names = Vec::with_capacity(self.stages.len());
+        let last = self.stages.len() - 1;
+        for (i, mut spec) in self.stages.into_iter().enumerate() {
+            // Bound intermediate output channels so a stalled downstream
+            // pump blocks the emitting task threads — that is what makes
+            // backpressure propagate upstream hop by hop. The last
+            // stage's outputs go to the user and stay as configured
+            // (unbounded by default).
+            if i < last && spec.config.output_capacity.is_none() {
+                spec.config.output_capacity = Some(self.stage_capacity);
+            }
+            names.push(spec.name);
+            stages.push(Arc::new(ElasticExecutor::start(spec.config, spec.operator)));
+        }
+        let submitted: Vec<Arc<AtomicU64>> = (0..stages.len())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+
+        // Ingress: a bounded channel so `submit` itself backpressures
+        // once the first stage and the channel are both full.
+        let (ingress_tx, ingress_rx) = bounded::<Record>(self.stage_capacity);
+
+        // One forwarder ("pump") per stage: pump i moves records from
+        // the previous hop (ingress channel or stage i-1's outputs) into
+        // stage i, blocking while stage i is at capacity.
+        let mut pumps = Vec::with_capacity(stages.len());
+        for (i, stage) in stages.iter().enumerate() {
+            let source = if i == 0 {
+                ingress_rx.clone()
+            } else {
+                stages[i - 1].outputs().clone()
+            };
+            let stage = Arc::clone(stage);
+            let counter = Arc::clone(&submitted[i]);
+            let capacity = self.stage_capacity as u64;
+            let handle = std::thread::Builder::new()
+                .name(format!("pipeline-pump-{i}"))
+                .spawn(move || pump_loop(source, stage, counter, capacity))
+                .expect("spawn pump thread");
+            pumps.push(handle);
+        }
+
+        let sink_rx = stages.last().expect("nonempty").outputs().clone();
+        let controller = self
+            .controller
+            .map(|config| LiveController::spawn(config, stages.clone(), names.clone()));
+
+        Pipeline {
+            stages,
+            names,
+            submitted,
+            ingress_tx: Some(ingress_tx),
+            sink_rx,
+            pumps,
+            controller,
+            ingress_accepted: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The body of one forwarder thread: previous hop → stage `i`.
+fn pump_loop(
+    source: Receiver<Record>,
+    stage: Arc<ElasticExecutor<BoxedOperator>>,
+    submitted: Arc<AtomicU64>,
+    capacity: u64,
+) {
+    while let Ok(record) = source.recv() {
+        // Count the record as in flight *before* waiting: quiescence
+        // checks must see it somewhere at all times.
+        let count = submitted.fetch_add(1, Ordering::AcqRel) + 1;
+        // Bounded-queue backpressure: hold the record (and stop reading
+        // the upstream channel, which then fills and blocks the previous
+        // stage) until this stage has room.
+        while count.saturating_sub(stage.processed_count()) > capacity {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        stage.submit(record);
+    }
+    // Upstream hung up (pipeline shutting down): exit after having
+    // forwarded everything that was in the channel.
+}
+
+/// Per-stage snapshot returned by [`Pipeline::stage_stats`].
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage name (from the builder).
+    pub name: String,
+    /// Records handed to the stage by its pump.
+    pub submitted: u64,
+    /// Executor statistics.
+    pub stats: ExecutorStats,
+}
+
+/// A running multi-operator elastic pipeline. See the module docs.
+pub struct Pipeline {
+    stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    names: Vec<String>,
+    /// Records handed to each stage by its pump (monotonic).
+    submitted: Vec<Arc<AtomicU64>>,
+    /// `None` once `shutdown` begins.
+    ingress_tx: Option<Sender<Record>>,
+    sink_rx: Receiver<Record>,
+    pumps: Vec<JoinHandle<()>>,
+    controller: Option<ControllerHandle>,
+    ingress_accepted: AtomicU64,
+}
+
+impl Pipeline {
+    /// Starts building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::new()
+    }
+
+    /// Feeds a record into the first stage. Blocks when the pipeline is
+    /// backpressured (first stage at capacity and ingress channel full).
+    pub fn submit(&self, record: Record) {
+        self.ingress_accepted.fetch_add(1, Ordering::AcqRel);
+        self.ingress_tx
+            .as_ref()
+            .expect("pipeline is running")
+            .send(record)
+            .expect("ingress pump alive");
+    }
+
+    /// The output stream of the last stage.
+    pub fn outputs(&self) -> &Receiver<Record> {
+        &self.sink_rx
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage names, in chain order.
+    pub fn stage_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Direct handle to stage `i`'s executor (manual elasticity:
+    /// `add_task`, `remove_task`, `rebalance`, `reassign_shard`).
+    ///
+    /// Cloning the `Arc` is fine for driving elasticity from other
+    /// threads, but a clone still alive when [`Self::shutdown`] runs
+    /// degrades that stage's teardown: its tasks are halted in place
+    /// and its forwarder thread is detached rather than joined (it
+    /// exits when the last clone drops).
+    pub fn executor(&self, i: usize) -> &Arc<ElasticExecutor<BoxedOperator>> {
+        &self.stages[i]
+    }
+
+    /// Live task-thread count per stage (the "core" allocation).
+    pub fn cores_per_stage(&self) -> Vec<usize> {
+        self.stages.iter().map(|s| s.tasks().len()).collect()
+    }
+
+    /// Per-stage statistics snapshots.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.stages
+            .iter()
+            .zip(&self.names)
+            .zip(&self.submitted)
+            .map(|((stage, name), submitted)| StageStats {
+                name: name.clone(),
+                submitted: submitted.load(Ordering::Acquire),
+                stats: stage.stats(),
+            })
+            .collect()
+    }
+
+    /// Events logged by the attached controller (empty when none).
+    pub fn controller_log(&self) -> Vec<ControllerEvent> {
+        self.controller
+            .as_ref()
+            .map_or_else(Vec::new, ControllerHandle::log)
+    }
+
+    /// Whether every submitted record has been processed through every
+    /// stage and no record sits in any inter-stage channel.
+    ///
+    /// Uses monotonic counters only, so a `true` from a single call is
+    /// trustworthy provided no concurrent `submit` is racing it:
+    /// ingress-accepted = stage-0 submitted = stage-0 processed, and for
+    /// each hop, stage i's emitted = stage i+1's submitted = processed.
+    pub fn is_quiescent(&self) -> bool {
+        if self.ingress_accepted.load(Ordering::Acquire)
+            != self.submitted[0].load(Ordering::Acquire)
+        {
+            return false;
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            if self.submitted[i].load(Ordering::Acquire) != stage.processed_count() {
+                return false;
+            }
+            if i + 1 < self.stages.len()
+                && stage.emitted_count() != self.submitted[i + 1].load(Ordering::Acquire)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Blocks until the pipeline is quiescent (all submitted records
+    /// fully processed end to end).
+    pub fn drain(&self) {
+        while !self.is_quiescent() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stops the controller, drains every stage in order, shuts the
+    /// executors down, and returns final per-stage statistics.
+    pub fn shutdown(mut self) -> Vec<StageStats> {
+        // 1. Controller first: it holds executor handles and must not
+        //    fight the teardown with grants/revocations.
+        if let Some(controller) = self.controller.take() {
+            controller.stop();
+        }
+        // 2. Close ingress; pump 0 forwards what is buffered, then exits.
+        drop(self.ingress_tx.take());
+        let mut pumps = std::mem::take(&mut self.pumps).into_iter();
+        let pump0 = pumps.next().expect("one pump per stage");
+        pump0.join().expect("pump 0 exits cleanly");
+        // 3. Walk the chain: once stage i has processed everything its
+        //    (already joined) pump submitted, shut it down — dropping its
+        //    output sender, which lets pump i+1 finish forwarding and
+        //    exit — then repeat downstream. No record is lost: a stage's
+        //    task queues are FIFO and `Stop` is enqueued last.
+        let mut all_stats = Vec::with_capacity(self.stages.len());
+        let stages = std::mem::take(&mut self.stages);
+        let num_stages = self.submitted.len();
+        for (i, stage) in stages.into_iter().enumerate() {
+            let submitted = &self.submitted[i];
+            while stage.processed_count() < submitted.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Normally we hold the last reference and can consume the
+            // stage. If the caller kept a clone of the `executor(i)`
+            // handle, degrade gracefully instead of panicking: halt the
+            // tasks in place, wait for the downstream pump to catch up
+            // (the retained handle keeps the output channel connected,
+            // so the pump cannot observe a disconnect), and detach that
+            // pump — it exits once the last foreign handle drops.
+            let (stats, detach_next_pump) = match Arc::try_unwrap(stage) {
+                Ok(stage) => (stage.shutdown(), false),
+                Err(shared) => {
+                    let stats = shared.halt_shared();
+                    if i + 1 < num_stages {
+                        // emitted ≥ submitted[i+1] always (the pump only
+                        // picks up what was emitted); equality means the
+                        // channel is empty and nothing is in the pump's
+                        // hand.
+                        while shared.emitted_count() > self.submitted[i + 1].load(Ordering::Acquire)
+                        {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    (stats, true)
+                }
+            };
+            all_stats.push(StageStats {
+                name: self.names[i].clone(),
+                submitted: submitted.load(Ordering::Acquire),
+                stats,
+            });
+            if let Some(pump) = pumps.next() {
+                if detach_next_pump {
+                    // Blocked on a channel the foreign handle keeps
+                    // alive; it exits when that handle drops.
+                    drop(pump);
+                } else {
+                    pump.join().expect("pump exits cleanly");
+                }
+            }
+        }
+        all_stats
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.names)
+            .field("cores", &self.cores_per_stage())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use elasticutor_core::ids::Key;
+    use elasticutor_state::StateHandle;
+
+    fn passthrough() -> impl Operator {
+        |r: &Record, _s: &StateHandle| vec![r.clone()]
+    }
+
+    #[test]
+    fn records_flow_through_three_stages() {
+        let pipe = Pipeline::builder()
+            .stage("a", ExecutorConfig::default(), passthrough())
+            .stage("b", ExecutorConfig::default(), passthrough())
+            .stage(
+                "sink",
+                ExecutorConfig::default(),
+                |r: &Record, _s: &StateHandle| vec![r.clone()],
+            )
+            .build();
+        for i in 0..1_000u64 {
+            pipe.submit(Record::new(Key(i % 17), Bytes::new()).with_seq(i));
+        }
+        pipe.drain();
+        let out: Vec<Record> = pipe.outputs().try_iter().collect();
+        assert_eq!(out.len(), 1_000);
+        let stats = pipe.shutdown();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.stats.processed == 1_000));
+    }
+
+    #[test]
+    fn operators_can_fan_volume_and_filter() {
+        // Stage a duplicates; stage b drops odd keys.
+        let pipe = Pipeline::builder()
+            .stage(
+                "dup",
+                ExecutorConfig::default(),
+                |r: &Record, _s: &StateHandle| vec![r.clone(), r.clone()],
+            )
+            .stage(
+                "filter",
+                ExecutorConfig::default(),
+                |r: &Record, _s: &StateHandle| {
+                    if r.key.value().is_multiple_of(2) {
+                        vec![r.clone()]
+                    } else {
+                        Vec::new()
+                    }
+                },
+            )
+            .build();
+        for i in 0..100u64 {
+            pipe.submit(Record::new(Key(i), Bytes::new()));
+        }
+        pipe.drain();
+        assert_eq!(pipe.outputs().try_iter().count(), 100); // 50 even keys × 2
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn backpressure_bounds_in_flight_records() {
+        // A deliberately slow sink with a tiny capacity: the submitter
+        // must never get more than capacity + channel ahead.
+        let pipe = Pipeline::builder()
+            .stage(
+                "slow",
+                ExecutorConfig {
+                    num_shards: 4,
+                    initial_tasks: 1,
+                    ..ExecutorConfig::default()
+                },
+                |r: &Record, _s: &StateHandle| {
+                    std::thread::sleep(Duration::from_micros(300));
+                    vec![r.clone()]
+                },
+            )
+            .stage_capacity(8)
+            .build();
+        for i in 0..200u64 {
+            pipe.submit(Record::new(Key(i), Bytes::new()));
+            let in_flight = i + 1 - pipe.executor(0).processed_count().min(i + 1);
+            // capacity (8) + ingress channel (8) + the pump's hand (1).
+            assert!(in_flight <= 17, "in-flight {in_flight} exceeds the bound");
+        }
+        pipe.drain();
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn backpressure_propagates_upstream_across_stages() {
+        // Fast stage feeding a slow sink: the stall must reach the
+        // submitter through BOTH hops — the fast stage's bounded output
+        // channel blocks its task threads once the slow stage's pump
+        // stops reading, so records pile up nowhere unbounded.
+        let cap = 8u64;
+        let pipe = Pipeline::builder()
+            .stage(
+                "fast",
+                ExecutorConfig {
+                    num_shards: 4,
+                    initial_tasks: 1,
+                    ..ExecutorConfig::default()
+                },
+                passthrough(),
+            )
+            .stage(
+                "slow",
+                ExecutorConfig {
+                    num_shards: 4,
+                    initial_tasks: 1,
+                    ..ExecutorConfig::default()
+                },
+                |r: &Record, _s: &StateHandle| {
+                    std::thread::sleep(Duration::from_micros(400));
+                    vec![r.clone()]
+                },
+            )
+            .stage_capacity(cap as usize)
+            .build();
+        // Per hop a record can sit in: a channel (cap), a pump's hand
+        // (1), or a stage's in-flight budget (cap). Two stages.
+        let bound = 4 * cap + 2;
+        for i in 0..400u64 {
+            pipe.submit(Record::new(Key(i), Bytes::new()));
+            let done = pipe.executor(1).processed_count();
+            let in_flight = (i + 1).saturating_sub(done);
+            assert!(
+                in_flight <= bound,
+                "accepted-but-unprocessed {in_flight} exceeds the two-hop bound {bound}: \
+                 backpressure did not propagate"
+            );
+        }
+        pipe.drain();
+        assert_eq!(pipe.outputs().try_iter().count(), 400);
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_with_bounded_outputs_and_no_consumer() {
+        // A standalone executor with a bounded output channel nobody
+        // reads: shutdown must drop the unread outputs, not deadlock on
+        // a task blocked mid-send.
+        let exec = crate::executor::ElasticExecutor::start(
+            ExecutorConfig {
+                num_shards: 4,
+                initial_tasks: 1,
+                output_capacity: Some(2),
+                ..ExecutorConfig::default()
+            },
+            |r: &Record, _s: &StateHandle| vec![r.clone()],
+        );
+        for i in 0..50u64 {
+            exec.submit(Record::new(Key(i), Bytes::new()));
+        }
+        let stats = exec.shutdown();
+        // Everything processed up to the moment the channel filled was
+        // at most 2 + in-flight; the rest was dropped — but shutdown
+        // returned, which is the property under test.
+        assert!(stats.processed <= 50);
+    }
+
+    #[test]
+    fn shutdown_survives_retained_executor_handle() {
+        let pipe = Pipeline::builder()
+            .stage("a", ExecutorConfig::default(), passthrough())
+            .stage("b", ExecutorConfig::default(), passthrough())
+            .build();
+        for i in 0..500u64 {
+            pipe.submit(Record::new(Key(i % 7), Bytes::new()));
+        }
+        pipe.drain();
+        // A clone of stage 0's handle outlives the pipeline — shutdown
+        // must degrade gracefully, not panic.
+        let retained = Arc::clone(pipe.executor(0));
+        let stats = pipe.shutdown();
+        assert_eq!(stats[0].stats.processed, 500);
+        assert_eq!(stats[1].stats.processed, 500);
+        assert_eq!(retained.tasks().len(), 0, "tasks were halted in place");
+        drop(retained); // lets the detached pump exit
+    }
+
+    #[test]
+    fn manual_scaling_mid_stream_keeps_all_records() {
+        let pipe = Pipeline::builder()
+            .stage(
+                "grow",
+                ExecutorConfig {
+                    num_shards: 32,
+                    initial_tasks: 1,
+                    ..ExecutorConfig::default()
+                },
+                passthrough(),
+            )
+            .build();
+        for i in 0..20_000u64 {
+            pipe.submit(Record::new(Key(i % 100), Bytes::new()));
+            if i == 5_000 {
+                pipe.executor(0).add_task().expect("grow");
+                pipe.executor(0).rebalance();
+            }
+            if i == 10_000 {
+                let victim = pipe.executor(0).tasks()[0];
+                pipe.executor(0).remove_task(victim).expect("shrink");
+            }
+        }
+        pipe.drain();
+        assert_eq!(pipe.outputs().try_iter().count(), 20_000);
+        let stats = pipe.shutdown();
+        assert_eq!(stats[0].stats.processed, 20_000);
+    }
+}

@@ -69,6 +69,12 @@ where
     }
 }
 
+impl Operator for Box<dyn Operator> {
+    fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record> {
+        (**self).process(record, state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

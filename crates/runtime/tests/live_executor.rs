@@ -57,9 +57,7 @@ fn processes_and_counts() {
     let state = Arc::clone(exec.state());
     let mut total = 0u64;
     for k in 0..10u64 {
-        let shard = exec
-            .assignment()
-            .len() as u32;
+        let shard = exec.assignment().len() as u32;
         let _ = shard;
         // Find the shard via the same hash the router used.
         let sid = ShardId(elasticutor_core::hash::key_to_shard(k, 16));
@@ -108,9 +106,7 @@ fn per_key_order_survives_concurrent_reassignments() {
             for i in 0..50_000u64 {
                 let key = (i * 31) % 64;
                 seqs[key as usize] += 1;
-                exec.submit(
-                    Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
-                );
+                exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
             }
         })
     };

@@ -128,7 +128,9 @@ impl Assignment {
 
     /// Free cores on node `i` given the cluster spec.
     pub fn free_on_node(&self, node: NodeId, cluster: &ClusterSpec) -> u32 {
-        cluster.cores_of(node).saturating_sub(self.used_on_node(node))
+        cluster
+            .cores_of(node)
+            .saturating_sub(self.used_on_node(node))
     }
 
     /// Grants one core of `node` to `executor`. Panics if the node has no
@@ -165,7 +167,9 @@ impl Assignment {
 
     /// The per-executor totals `X_j`.
     pub fn totals(&self) -> Vec<u32> {
-        (0..self.num_executors()).map(|j| self.total_of(j)).collect()
+        (0..self.num_executors())
+            .map(|j| self.total_of(j))
+            .collect()
     }
 
     /// The nodes on which `executor` holds at least one core.

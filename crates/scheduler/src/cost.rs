@@ -69,7 +69,7 @@ pub fn transition_cost(before: &Assignment, after: &Assignment, state_bytes: &[f
     assert_eq!(before.num_nodes(), after.num_nodes());
     assert_eq!(before.num_executors(), state_bytes.len());
     let mut cost = 0.0;
-    for j in 0..before.num_executors() {
+    for (j, &bytes) in state_bytes.iter().enumerate() {
         let xj_before = f64::from(before.total_of(j));
         let xj_after = f64::from(after.total_of(j));
         if xj_before == 0.0 || xj_after == 0.0 {
@@ -77,9 +77,8 @@ pub fn transition_cost(before: &Assignment, after: &Assignment, state_bytes: &[f
         }
         for i in 0..before.num_nodes() {
             let node = NodeId::from_index(i);
-            let share_before =
-                state_bytes[j] * f64::from(before.on_node(j, node)) / xj_before;
-            let share_after = state_bytes[j] * f64::from(after.on_node(j, node)) / xj_after;
+            let share_before = bytes * f64::from(before.on_node(j, node)) / xj_before;
+            let share_after = bytes * f64::from(after.on_node(j, node)) / xj_after;
             cost += (share_before - share_after).max(0.0);
         }
     }

@@ -37,6 +37,4 @@ pub mod scheduler;
 pub use algorithm::{assign_cores, AssignError, AssignmentPlan};
 pub use assignment::{Assignment, ClusterSpec, CoreDelta};
 pub use cost::{allocation_cost, deallocation_cost, transition_cost};
-pub use scheduler::{
-    DynamicScheduler, ExecutorMeasurement, SchedulerDecision, SchedulerPolicy,
-};
+pub use scheduler::{DynamicScheduler, ExecutorMeasurement, SchedulerDecision, SchedulerPolicy};

@@ -153,8 +153,8 @@ impl DynamicScheduler {
         let mut targets = allocation.cores.clone();
         for (j, t) in targets.iter_mut().enumerate() {
             let cur = current.total_of(j);
-            let stable =
-                cur >= elasticutor_queueing::mmk::min_stable_servers(
+            let stable = cur
+                >= elasticutor_queueing::mmk::min_stable_servers(
                     measurements[j].lambda,
                     measurements[j].mu,
                 );
@@ -179,9 +179,7 @@ impl DynamicScheduler {
             SchedulerPolicy::Optimized => {
                 self.assign_with_phi_doubling(cluster, current, &targets, &profiles)?
             }
-            SchedulerPolicy::Naive => {
-                naive_assign(cluster, current, &targets, &profiles)?
-            }
+            SchedulerPolicy::Naive => naive_assign(cluster, current, &targets, &profiles)?,
         };
 
         let deltas = current.diff(&plan.assignment);
@@ -325,10 +323,7 @@ mod tests {
         let cluster = ClusterSpec::uniform(4, 8);
         // Two executors each holding 1 core; executor 0 is hot (needs ~8
         // cores at μ = 100/s, λ = 750/s).
-        let current = Assignment::from_matrix(vec![
-            vec![1, 0, 0, 0],
-            vec![0, 1, 0, 0],
-        ]);
+        let current = Assignment::from_matrix(vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]);
         let sched = DynamicScheduler::default();
         let dec = sched
             .schedule(
@@ -407,11 +402,8 @@ mod tests {
     #[test]
     fn optimized_beats_naive_on_migration_cost() {
         let cluster = ClusterSpec::uniform(4, 8);
-        let current = Assignment::from_matrix(vec![
-            vec![4, 0, 0, 0],
-            vec![0, 4, 0, 0],
-            vec![0, 0, 4, 0],
-        ]);
+        let current =
+            Assignment::from_matrix(vec![vec![4, 0, 0, 0], vec![0, 4, 0, 0], vec![0, 0, 4, 0]]);
         let meas = measurements(&[(700.0, 100.0, 0), (100.0, 100.0, 1), (100.0, 100.0, 2)]);
         let opt = DynamicScheduler::default()
             .schedule(&cluster, &current, &meas, 900.0)

@@ -7,12 +7,7 @@ use elasticutor_scheduler::cost::transition_cost;
 use proptest::prelude::*;
 
 /// Generates a random valid assignment over the cluster.
-fn random_assignment(
-    executors: usize,
-    nodes: usize,
-    cores_per_node: u32,
-    seed: u64,
-) -> Assignment {
+fn random_assignment(executors: usize, nodes: usize, cores_per_node: u32, seed: u64) -> Assignment {
     let cluster = ClusterSpec::uniform(nodes as u32, cores_per_node);
     let mut x = Assignment::empty(executors, nodes);
     let mut s = seed;
@@ -81,19 +76,23 @@ proptest! {
             // (a) capacity
             prop_assert!(x.respects_capacity(&cluster));
             // (b) allocation
-            for j in 0..executors {
-                prop_assert!(x.total_of(j) >= targets[j],
-                    "executor {j}: {} < {}", x.total_of(j), targets[j]);
+            for (j, &target) in targets.iter().enumerate() {
+                prop_assert!(
+                    x.total_of(j) >= target,
+                    "executor {j}: {} < {}",
+                    x.total_of(j),
+                    target
+                );
             }
             // (c) locality for intensive executors that were *changed*:
             // any core the algorithm GRANTED to an intensive executor is
             // local. (Pre-existing remote cores are not repatriated by
             // Algorithm 1.)
-            for j in 0..executors {
-                if profiles[j].data_intensity > phi {
+            for (j, profile) in profiles.iter().enumerate() {
+                if profile.data_intensity > phi {
                     for i in 0..nodes {
                         let node = NodeId::from_index(i);
-                        if node != profiles[j].local_node {
+                        if node != profile.local_node {
                             prop_assert!(
                                 x.on_node(j, node) <= current.on_node(j, node),
                                 "intensive executor {j} gained a remote core"

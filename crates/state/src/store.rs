@@ -96,9 +96,11 @@ impl StateStore {
         guard.bytes = guard.bytes + new_len - old_len;
         drop(guard);
         if new_len >= old_len {
-            self.total_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+            self.total_bytes
+                .fetch_add(new_len - old_len, Ordering::Relaxed);
         } else {
-            self.total_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+            self.total_bytes
+                .fetch_sub(old_len - new_len, Ordering::Relaxed);
         }
         old
     }
@@ -110,7 +112,8 @@ impl StateStore {
         let old = guard.entries.remove(&key);
         if let Some(v) = &old {
             guard.bytes -= v.len() as u64;
-            self.total_bytes.fetch_sub(v.len() as u64, Ordering::Relaxed);
+            self.total_bytes
+                .fetch_sub(v.len() as u64, Ordering::Relaxed);
         }
         old
     }
@@ -137,9 +140,11 @@ impl StateStore {
                 guard.bytes = guard.bytes + new_len - old_len;
                 drop(guard);
                 if new_len >= old_len {
-                    self.total_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+                    self.total_bytes
+                        .fetch_add(new_len - old_len, Ordering::Relaxed);
                 } else {
-                    self.total_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+                    self.total_bytes
+                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
                 }
             }
             None => {
@@ -307,9 +312,7 @@ mod tests {
         let store = StateStore::new();
         for _ in 0..5 {
             store.update(ShardId(0), Key(1), |old| {
-                let n = old.map_or(0u64, |v| {
-                    u64::from_le_bytes(v.as_ref().try_into().unwrap())
-                });
+                let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
                 Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
             });
         }
@@ -390,9 +393,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..1000 {
                     store.update(ShardId(0), Key(1), |old| {
-                        let n = old.map_or(0u64, |v| {
-                            u64::from_le_bytes(v.as_ref().try_into().unwrap())
-                        });
+                        let n = old
+                            .map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
                         Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
                     });
                 }

@@ -167,10 +167,7 @@ mod tests {
         assert_eq!(c.shards_per_executor, 256);
         let t = c.topology();
         assert_eq!(t.operators().len(), 2);
-        assert_eq!(
-            t.operator_by_name("calculator").unwrap().parallelism,
-            32
-        );
+        assert_eq!(t.operator_by_name("calculator").unwrap().parallelism, 32);
     }
 
     #[test]

@@ -116,11 +116,7 @@ impl SseConfig {
         );
         b.key_edge(src, tx);
         for name in STATISTICS_OPS.iter().chain(EVENT_OPS.iter()) {
-            let op = b.transform(
-                *name,
-                self.executors_per_operator,
-                self.shards_per_executor,
-            );
+            let op = b.transform(*name, self.executors_per_operator, self.shards_per_executor);
             b.key_edge(tx, op);
         }
         b.build().expect("SSE topology is statically valid")
@@ -370,10 +366,7 @@ mod tests {
         }
         let rate = count as f64 / 30.0;
         // regime = 1.0 initially → base_rate.
-        assert!(
-            (rate - 2222.0).abs() / 2222.0 < 0.1,
-            "measured rate {rate}"
-        );
+        assert!((rate - 2222.0).abs() / 2222.0 < 0.1, "measured rate {rate}");
     }
 
     #[test]

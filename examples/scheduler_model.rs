@@ -15,16 +15,19 @@ fn main() {
     // A parse → join → aggregate pipeline. Rates in tuples/s; the join is
     // the heavy station (μ = 400/s against λ = 900/s).
     let lambda0 = 1_000.0;
-    let stations = [("parse", ExecutorLoad::new(1_000.0, 2_000.0)),
+    let stations = [
+        ("parse", ExecutorLoad::new(1_000.0, 2_000.0)),
         ("join", ExecutorLoad::new(900.0, 400.0)),
-        ("aggregate", ExecutorLoad::new(900.0, 1_500.0))];
-    let network = JacksonNetwork::new(
-        lambda0,
-        stations.iter().map(|(_, l)| *l).collect(),
-    );
+        ("aggregate", ExecutorLoad::new(900.0, 1_500.0)),
+    ];
+    let network = JacksonNetwork::new(lambda0, stations.iter().map(|(_, l)| *l).collect());
 
     // Stability floor: kj = ⌊λj/μj⌋ + 1.
-    let mut k: Vec<u32> = network.loads().iter().map(ExecutorLoad::min_cores).collect();
+    let mut k: Vec<u32> = network
+        .loads()
+        .iter()
+        .map(ExecutorLoad::min_cores)
+        .collect();
     println!("station         lambda      mu   k_min");
     for ((name, load), &kj) in stations.iter().zip(&k) {
         println!("{name:<12} {:>9.0} {:>7.0} {kj:>7}", load.lambda, load.mu);
@@ -36,7 +39,10 @@ fn main() {
 
     // Greedy refinement toward a 5 ms end-to-end target.
     let target_s = 0.005;
-    println!("\ngreedy allocation toward E[T] <= {:.0} ms:", target_s * 1e3);
+    println!(
+        "\ngreedy allocation toward E[T] <= {:.0} ms:",
+        target_s * 1e3
+    );
     while network.expected_latency(&k) > target_s {
         let (best, gain) = (0..k.len())
             .map(|j| (j, network.marginal_gain(&k, j)))

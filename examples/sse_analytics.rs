@@ -40,8 +40,7 @@ impl Operator for Vwap {
         let mut alert = None;
         state.update(record.key, |old| {
             let (mut value, mut vol) = old.map_or((0u64, 0u64), |v| decode_pair(v));
-            if vol > 0 {
-                let vwap = value / vol;
+            if let Some(vwap) = value.checked_div(vol) {
                 if price > vwap + vwap / 20 {
                     // Trade printed >5% above VWAP: emit a price alarm.
                     alert = Some(Record::new(record.key, encode_order(price, vwap)));
@@ -70,7 +69,10 @@ fn main() {
     let mut sse = SseWorkload::new(SseConfig::default(), 42);
     let mut now_ns = 0u64;
     let total = 200_000u64;
-    println!("streaming {total} orders over {} stocks...", sse.config().num_stocks);
+    println!(
+        "streaming {total} orders over {} stocks...",
+        sse.config().num_stocks
+    );
 
     for i in 0..total {
         let (gap, tuple) = sse.next_tuple(now_ns);

@@ -1,0 +1,112 @@
+//! Minimal in-workspace stand-in for `rand`.
+//!
+//! Provides a deterministic SplitMix64-backed `StdRng` with the small
+//! `Rng`/`SeedableRng` surface the benchmarks use. Not cryptographic and
+//! not distribution-perfect — gap-free uniform ranges are enough for
+//! generating benchmark inputs.
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    /// Draws a value in `[low, high)` from 64 raw random bits.
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                low.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range");
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+        f64::sample_from_bits(bits, low as f64, high as f64) as f32
+    }
+}
+
+/// The random-number-generator trait surface used by this project.
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `[range.start, range.end)`.
+    fn gen_range<T>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        T: SampleUniform + Copy,
+    {
+        T::sample_from_bits(self.next_u64(), range.start, range.end)
+    }
+
+    /// A random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_range(0.0f64..1.0) < p
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNGs.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(5u64..50);
+            assert_eq!(x, b.gen_range(5u64..50));
+            assert!((5..50).contains(&x));
+            let f = a.gen_range(0.25f64..0.75);
+            b.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+}

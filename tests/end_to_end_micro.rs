@@ -50,7 +50,11 @@ fn all_modes_process_tuples() {
             "{}: implausible latency stats",
             r.mode
         );
-        assert!(r.events_processed > r.sink_completions, "{}: event accounting", r.mode);
+        assert!(
+            r.events_processed > r.sink_completions,
+            "{}: event accounting",
+            r.mode
+        );
     }
 }
 

@@ -6,50 +6,18 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor::core::ids::Key;
-use elasticutor::runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
+use elasticutor::runtime::{ElasticExecutor, ExecutorConfig, FifoChecker, Operator, Record};
 use elasticutor::state::StateHandle;
 use elasticutor::workload::{MicroConfig, MicroWorkload, TupleSource};
-use parking_lot_like_mutex::OrderLog;
-
-/// Minimal per-key order log used to assert the §2.1 FIFO requirement.
-mod parking_lot_like_mutex {
-    use std::collections::HashMap;
-    use std::sync::Mutex;
-
-    #[derive(Default)]
-    pub struct OrderLog {
-        last_seq: Mutex<HashMap<u64, u64>>,
-        violations: Mutex<Vec<(u64, u64, u64)>>,
-    }
-
-    impl OrderLog {
-        pub fn observe(&self, key: u64, seq: u64) {
-            let mut last = self.last_seq.lock().expect("no poisoning");
-            if let Some(&prev) = last.get(&key) {
-                if seq <= prev {
-                    self.violations
-                        .lock()
-                        .expect("no poisoning")
-                        .push((key, prev, seq));
-                }
-            }
-            last.insert(key, seq);
-        }
-
-        pub fn violations(&self) -> Vec<(u64, u64, u64)> {
-            self.violations.lock().expect("no poisoning").clone()
-        }
-    }
-}
 
 struct OrderChecker {
-    log: Arc<OrderLog>,
+    log: Arc<FifoChecker>,
     processed_value: Arc<AtomicU64>,
 }
 
 impl Operator for OrderChecker {
     fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record> {
-        self.log.observe(record.key.value(), record.seq);
+        self.log.observe(record.key, record.seq);
         // Also keep per-key counts in shared state so we can check
         // conservation across reassignments.
         state.update(record.key, |old| {
@@ -65,7 +33,7 @@ impl Operator for OrderChecker {
 
 #[test]
 fn per_key_order_survives_concurrent_scaling_and_rebalancing() {
-    let log = Arc::new(OrderLog::default());
+    let log = Arc::new(FifoChecker::new());
     let processed = Arc::new(AtomicU64::new(0));
     let exec = ElasticExecutor::start(
         ExecutorConfig {

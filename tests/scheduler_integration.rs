@@ -5,9 +5,7 @@ use elasticutor::core::ids::NodeId;
 use elasticutor::queueing::jackson::{ExecutorLoad, JacksonNetwork};
 use elasticutor::queueing::{allocate, AllocationRequest};
 use elasticutor::scheduler::assignment::{Assignment, ClusterSpec};
-use elasticutor::scheduler::scheduler::{
-    DynamicScheduler, ExecutorMeasurement, SchedulerConfig,
-};
+use elasticutor::scheduler::scheduler::{DynamicScheduler, ExecutorMeasurement, SchedulerConfig};
 use elasticutor::scheduler::SchedulerPolicy;
 
 fn measurements(lambdas: &[f64]) -> Vec<ExecutorMeasurement> {
@@ -49,7 +47,10 @@ fn scheduler_respects_node_capacities() {
     }
     // The hottest executor gets the most cores.
     let totals: Vec<u32> = (0..3).map(|j| x.total_of(j)).collect();
-    assert!(totals[0] >= totals[1] && totals[1] >= totals[2], "{totals:?}");
+    assert!(
+        totals[0] >= totals[1] && totals[1] >= totals[2],
+        "{totals:?}"
+    );
     // Stability: every executor can keep up with its arrival rate.
     for (j, m) in meas.iter().enumerate() {
         assert!(

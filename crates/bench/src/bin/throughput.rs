@@ -1,0 +1,346 @@
+//! Data-plane throughput harness: the lock-free fast path vs the
+//! mutex baseline, reproducibly.
+//!
+//! Two measurements, each in two modes:
+//!
+//! * **submit-path** — N records pushed through one `ElasticExecutor`
+//!   (drop operator) by 1, 2, and 4 concurrent submitters; throughput is
+//!   records/second from first submit until the last record is
+//!   processed. `baseline` routes every record through the global
+//!   routing mutex and a global latency-histogram lock (the
+//!   pre-optimization data plane, via
+//!   `ExecutorConfig::baseline_locked_routing`); `optimized` uses the
+//!   wait-free atomic shard table with 64-record submit batches.
+//! * **pipeline** — a two-stage pipeline (passthrough → drop sink) fed
+//!   end to end, measuring sustained records/second through both hops
+//!   including pump batching and backpressure.
+//!
+//! Output: an aligned table on stdout plus `BENCH_throughput.json`
+//! (override with `--out PATH`); `--baseline` / `--optimized` restrict
+//! the modes; `ELASTICUTOR_QUICK=1` shrinks record counts ~10× for CI
+//! smoke runs.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use elasticutor_bench::{quick_mode, Table};
+use elasticutor_core::ids::Key;
+use elasticutor_runtime::{monotonic_ns, ElasticExecutor, ExecutorConfig, Pipeline, Record};
+use elasticutor_state::StateHandle;
+
+/// Records per submit batch in optimized mode (matches the pipeline's
+/// default pump batch).
+const SUBMIT_BATCH: usize = 64;
+/// Submitter thread counts swept in the submit-path measurement.
+const SUBMITTER_SWEEP: [usize; 3] = [1, 2, 4];
+
+#[derive(Clone, Copy)]
+struct RunResult {
+    mode: &'static str,
+    submitters: usize,
+    records: u64,
+    elapsed_ns: u64,
+}
+
+impl RunResult {
+    fn records_per_sec(&self) -> f64 {
+        self.records as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+fn executor_config(baseline: bool) -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: 256,
+        initial_tasks: 2,
+        baseline_locked_routing: baseline,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// Submit-path throughput: `submitters` threads push `total` records
+/// into one executor with a drop operator; elapsed covers submit +
+/// drain so the number is routed *and processed* throughput.
+fn run_submit_path(baseline: bool, submitters: usize, total: u64) -> RunResult {
+    let exec = Arc::new(ElasticExecutor::start(
+        executor_config(baseline),
+        |_r: &Record, _s: &StateHandle| Vec::new(),
+    ));
+    let per_thread = total / submitters as u64;
+    let effective = per_thread * submitters as u64;
+    let start = Instant::now();
+    let threads: Vec<_> = (0..submitters as u64)
+        .map(|t| {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || {
+                if baseline {
+                    for i in 0..per_thread {
+                        let key = Key(i * submitters_stride(t) + t);
+                        exec.submit(Record::new(key, Bytes::new()));
+                    }
+                } else {
+                    let mut batch = Vec::with_capacity(SUBMIT_BATCH);
+                    for i in (0..per_thread).step_by(SUBMIT_BATCH) {
+                        // One clock read stamps the whole batch.
+                        let now = monotonic_ns();
+                        let end = (i + SUBMIT_BATCH as u64).min(per_thread);
+                        for j in i..end {
+                            let key = Key(j * submitters_stride(t) + t);
+                            batch.push(Record::new_at(key, Bytes::new(), now));
+                        }
+                        exec.submit_batch(batch.drain(..));
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("submitter exits");
+    }
+    exec.wait_for_processed(effective);
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let stats = Arc::try_unwrap(exec)
+        .unwrap_or_else(|_| panic!("sole owner"))
+        .shutdown();
+    assert_eq!(stats.processed, effective, "records lost in flight");
+    RunResult {
+        mode: if baseline { "baseline" } else { "optimized" },
+        submitters,
+        records: effective,
+        elapsed_ns,
+    }
+}
+
+/// Key stride per submitter: spreads each thread's keys across all
+/// shards with a different step per thread. Threads may collide on
+/// individual keys — irrelevant here, where only throughput is
+/// measured; do not reuse where key disjointness matters.
+fn submitters_stride(t: u64) -> u64 {
+    7 + t % 3
+}
+
+/// End-to-end pipeline throughput: passthrough → drop sink, one driver.
+fn run_pipeline(baseline: bool, total: u64) -> RunResult {
+    let pipe = Pipeline::builder()
+        .stage(
+            "pass",
+            executor_config(baseline),
+            |r: &Record, _s: &StateHandle| vec![r.clone()],
+        )
+        .stage(
+            "sink",
+            executor_config(baseline),
+            |_r: &Record, _s: &StateHandle| Vec::new(),
+        )
+        .stage_capacity(16_384)
+        .max_batch(SUBMIT_BATCH)
+        .build();
+    let start = Instant::now();
+    if baseline {
+        for i in 0..total {
+            pipe.submit(Record::new(Key(i % 4096), Bytes::new()));
+        }
+    } else {
+        let mut i = 0u64;
+        while i < total {
+            let now = monotonic_ns();
+            let end = (i + 4 * SUBMIT_BATCH as u64).min(total);
+            let batch: Vec<Record> = (i..end)
+                .map(|k| Record::new_at(Key(k % 4096), Bytes::new(), now))
+                .collect();
+            pipe.submit_batch(batch);
+            i = end;
+        }
+    }
+    pipe.drain();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let stats = pipe.shutdown();
+    assert!(
+        stats.iter().all(|s| s.stats.processed == total),
+        "pipeline lost records"
+    );
+    RunResult {
+        mode: if baseline { "baseline" } else { "optimized" },
+        submitters: 1,
+        records: total,
+        elapsed_ns,
+    }
+}
+
+fn json_run(out: &mut String, r: &RunResult, with_submitters: bool) {
+    out.push_str("    {");
+    let _ = write!(out, "\"mode\": \"{}\", ", r.mode);
+    if with_submitters {
+        let _ = write!(out, "\"submitters\": {}, ", r.submitters);
+    }
+    let _ = write!(
+        out,
+        "\"records\": {}, \"elapsed_ns\": {}, \"records_per_sec\": {:.0}",
+        r.records,
+        r.elapsed_ns,
+        r.records_per_sec()
+    );
+    out.push('}');
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only_baseline = args.iter().any(|a| a == "--baseline");
+    let only_optimized = args.iter().any(|a| a == "--optimized");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let modes: Vec<bool> = match (only_baseline, only_optimized) {
+        (true, false) => vec![true],
+        (false, true) => vec![false],
+        _ => vec![true, false],
+    };
+
+    let quick = quick_mode();
+    let submit_total: u64 = if quick { 40_000 } else { 400_000 };
+    let pipeline_total: u64 = if quick { 20_000 } else { 200_000 };
+
+    println!(
+        "data-plane throughput harness ({} records submit-path, {} pipeline{})",
+        submit_total,
+        pipeline_total,
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let mut submit_runs: Vec<RunResult> = Vec::new();
+    let mut pipeline_runs: Vec<RunResult> = Vec::new();
+    for &baseline in &modes {
+        for &submitters in &SUBMITTER_SWEEP {
+            let r = run_submit_path(baseline, submitters, submit_total);
+            println!(
+                "  submit-path {:>9} x{}: {:>12.0} records/s",
+                r.mode,
+                r.submitters,
+                r.records_per_sec()
+            );
+            submit_runs.push(r);
+        }
+        let r = run_pipeline(baseline, pipeline_total);
+        println!(
+            "  pipeline    {:>9}   : {:>12.0} records/s",
+            r.mode,
+            r.records_per_sec()
+        );
+        pipeline_runs.push(r);
+    }
+
+    let mut table = Table::new(&["measurement", "mode", "submitters", "records/s"]);
+    for r in &submit_runs {
+        table.row(vec![
+            "submit-path".into(),
+            r.mode.into(),
+            r.submitters.to_string(),
+            format!("{:.0}", r.records_per_sec()),
+        ]);
+    }
+    for r in &pipeline_runs {
+        table.row(vec![
+            "pipeline".into(),
+            r.mode.into(),
+            "1".into(),
+            format!("{:.0}", r.records_per_sec()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Summary ratios (only when both modes ran).
+    let rps = |runs: &[RunResult], mode: &str, submitters: usize| {
+        runs.iter()
+            .find(|r| r.mode == mode && r.submitters == submitters)
+            .map(RunResult::records_per_sec)
+    };
+    let single_speedup = match (
+        rps(&submit_runs, "optimized", 1),
+        rps(&submit_runs, "baseline", 1),
+    ) {
+        (Some(o), Some(b)) => Some(o / b),
+        _ => None,
+    };
+    let scaling = |mode: &str| match (rps(&submit_runs, mode, 4), rps(&submit_runs, mode, 1)) {
+        (Some(four), Some(one)) => Some(four / one),
+        _ => None,
+    };
+    let pipeline_speedup = match (
+        pipeline_runs
+            .iter()
+            .find(|r| r.mode == "optimized")
+            .map(RunResult::records_per_sec),
+        pipeline_runs
+            .iter()
+            .find(|r| r.mode == "baseline")
+            .map(RunResult::records_per_sec),
+    ) {
+        (Some(o), Some(b)) => Some(o / b),
+        _ => None,
+    };
+    if let Some(s) = single_speedup {
+        println!("single-submitter routed-throughput speedup: {s:.2}x");
+    }
+    if let (Some(b), Some(o)) = (scaling("baseline"), scaling("optimized")) {
+        println!("4-submitter scaling: baseline {b:.2}x, optimized {o:.2}x");
+    }
+    if let Some(s) = pipeline_speedup {
+        println!("end-to-end pipeline speedup: {s:.2}x");
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    json.push_str("  \"submit_path\": [\n");
+    for (i, r) in submit_runs.iter().enumerate() {
+        json_run(&mut json, r, true);
+        json.push_str(if i + 1 < submit_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"pipeline\": [\n");
+    for (i, r) in pipeline_runs.iter().enumerate() {
+        json_run(&mut json, r, false);
+        json.push_str(if i + 1 < pipeline_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"summary\": {\n");
+    let fmt_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
+    let _ = writeln!(
+        json,
+        "    \"submit_single_speedup\": {},",
+        fmt_opt(single_speedup)
+    );
+    let _ = writeln!(
+        json,
+        "    \"submit_scaling_baseline\": {},",
+        fmt_opt(scaling("baseline"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"submit_scaling_optimized\": {},",
+        fmt_opt(scaling("optimized"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"pipeline_speedup\": {}",
+        fmt_opt(pipeline_speedup)
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -14,6 +14,7 @@
 //! live engines reuse identical semantics.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Error, Result};
 use crate::hash;
@@ -195,6 +196,330 @@ impl<T> RoutingTable<T> {
     /// Total tuples sitting in pause buffers.
     pub fn buffered_tuples(&self) -> usize {
         self.paused.values().map(Vec::len).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wait-free tier-2: the atomic shard table.
+// ---------------------------------------------------------------------------
+
+/// Bits `0..20` of a shard word: routes currently in flight through the
+/// fast path (`begin_route` guards not yet dropped). A carry out of
+/// these bits would corrupt the paused bit, so the width is a real
+/// protocol bound: callers must never hold more than ~1M guards on one
+/// shard at once. Guards are held only across a single non-blocking
+/// enqueue (batched submitters route in bounded chunks), so reaching
+/// the bound would take over a million threads parked mid-enqueue.
+const INFLIGHT_MASK: u64 = 0xF_FFFF;
+/// Bit 20: the shard is paused for reassignment; fast-path routing must
+/// divert to the slow path.
+const PAUSED_BIT: u64 = 1 << 20;
+/// Bits `21..32`: reassignment epoch (wrapping; observability and ABA
+/// diagnostics — correctness rests on the paused/in-flight handshake).
+const EPOCH_SHIFT: u32 = 21;
+const EPOCH_MASK: u64 = 0x7FF;
+/// Bits `32..64`: the destination slot index.
+const SLOT_SHIFT: u32 = 32;
+
+/// Outcome of a wait-free routing attempt on an [`AtomicShardTable`].
+pub enum FastRoute<'a> {
+    /// The shard is live: deliver to the slot named by the guard. The
+    /// guard **must be held across the delivery** (the enqueue into the
+    /// destination's queue) and dropped immediately after — a pending
+    /// pause of this shard waits for it.
+    Deliver(RouteGuard<'a>),
+    /// The shard is paused for reassignment; take the slow path (the
+    /// lock-protected [`RoutingTable`]) so the tuple is buffered.
+    Paused,
+}
+
+/// RAII in-flight marker returned by [`AtomicShardTable::begin_route`].
+///
+/// While alive it blocks completion of a concurrent
+/// [`AtomicShardTable::pause`] of the same shard, which is what makes
+/// the read-then-deliver window safe: the labeling tuple of the §3.3
+/// protocol is only enqueued once every guard-protected delivery that
+/// read the pre-pause owner has finished, so those tuples sit in the old
+/// owner's queue *ahead of* the label. Holders must not block (beyond
+/// the non-blocking enqueue itself) and must never acquire the lock that
+/// serializes pauses — that would deadlock the pausing thread's drain.
+pub struct RouteGuard<'a> {
+    word: &'a AtomicU64,
+    slot: u32,
+}
+
+impl RouteGuard<'_> {
+    /// The destination slot read atomically with the paused check.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+impl Drop for RouteGuard<'_> {
+    fn drop(&mut self) {
+        self.word.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The wait-free tier-2 map of the data plane: one `AtomicU64` per shard
+/// packing `slot | epoch | paused | in-flight count`, read by `submit`
+/// paths with a single `fetch_add` and no lock.
+///
+/// This table is the *fast mirror* of a lock-protected [`RoutingTable`]:
+/// the control plane (pause / finish / abort / set, all rare) updates
+/// both under its own lock, while the data plane reads only the words.
+/// "Slot" is deliberately not [`TaskId`]: callers map tasks to dense
+/// reusable slot indices (a task registry), and the protocol below
+/// guarantees a slot read under a guard stays valid for the guard's
+/// lifetime.
+///
+/// Protocol (per shard word):
+///
+/// 1. **Route** (`begin_route`): `fetch_add(1)` on the word. If the
+///    returned snapshot has the paused bit, undo and divert to the slow
+///    path; otherwise the snapshot's slot is the owner, and the
+///    incremented in-flight count pins it until the guard drops.
+/// 2. **Pause** (`pause`): set the paused bit, then spin until the
+///    in-flight count is zero. RMWs on one word are totally ordered, so
+///    every route either saw the bit (diverted) or holds a count the
+///    pause waits out — after `pause` returns, no fast-path delivery
+///    based on the old owner is in flight, and the caller can enqueue
+///    the labeling tuple *behind* all of them.
+/// 3. **Finish/abort** (`finish`, `abort`): clear the bit (updating the
+///    slot on finish), bump the epoch, preserve the in-flight bits (a
+///    diverted route may not have undone its increment yet).
+pub struct AtomicShardTable {
+    words: Box<[AtomicU64]>,
+}
+
+impl AtomicShardTable {
+    /// Creates a table of `num_shards` shards, all owned by
+    /// `initial_slot`.
+    pub fn new(num_shards: u32, initial_slot: u32) -> Self {
+        let word = (u64::from(initial_slot)) << SLOT_SHIFT;
+        Self {
+            words: (0..num_shards).map(|_| AtomicU64::new(word)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Wait-free route of one tuple of `shard`: one atomic RMW, no lock,
+    /// no retry loop.
+    pub fn begin_route(&self, shard: ShardId) -> FastRoute<'_> {
+        let word = &self.words[shard.index()];
+        let prev = word.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(
+            prev & INFLIGHT_MASK < INFLIGHT_MASK,
+            "in-flight counter saturated: >1M concurrent route guards on one shard"
+        );
+        if prev & PAUSED_BIT != 0 {
+            word.fetch_sub(1, Ordering::SeqCst);
+            return FastRoute::Paused;
+        }
+        FastRoute::Deliver(RouteGuard {
+            word,
+            slot: (prev >> SLOT_SHIFT) as u32,
+        })
+    }
+
+    /// Marks `shard` paused and waits until every in-flight fast-path
+    /// route has completed. On return, all deliveries that read the
+    /// pre-pause owner are enqueued, and new routes divert to the slow
+    /// path until [`Self::finish`] or [`Self::abort`].
+    ///
+    /// Call with the control-plane lock held (pauses of one shard must
+    /// not race each other); the wait is bounded by the longest
+    /// guard-held window, which is one non-blocking enqueue.
+    pub fn pause(&self, shard: ShardId) {
+        let word = &self.words[shard.index()];
+        let prev = word.fetch_or(PAUSED_BIT, Ordering::SeqCst);
+        debug_assert!(prev & PAUSED_BIT == 0, "double pause of {shard}");
+        let mut spins = 0u32;
+        while word.load(Ordering::SeqCst) & INFLIGHT_MASK != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Completes a reassignment: points `shard` at `new_slot`, bumps the
+    /// epoch, and resumes fast-path routing.
+    pub fn finish(&self, shard: ShardId, new_slot: u32) {
+        self.transition(shard, Some(new_slot));
+    }
+
+    /// Aborts a reassignment: resumes fast-path routing to the old slot.
+    pub fn abort(&self, shard: ShardId) {
+        self.transition(shard, None);
+    }
+
+    fn transition(&self, shard: ShardId, new_slot: Option<u32>) {
+        let word = &self.words[shard.index()];
+        word.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| {
+            debug_assert!(w & PAUSED_BIT != 0, "resume of unpaused {shard}");
+            let slot = new_slot.map_or(w >> SLOT_SHIFT, u64::from);
+            let epoch = ((w >> EPOCH_SHIFT) + 1) & EPOCH_MASK;
+            // Preserve in-flight bits: a diverted route may still owe
+            // its decrement.
+            Some((slot << SLOT_SHIFT) | (epoch << EPOCH_SHIFT) | (w & INFLIGHT_MASK))
+        })
+        .expect("fetch_update closure always returns Some");
+    }
+
+    /// Directly retargets an unpaused shard (initial placement / bulk
+    /// moves while quiesced). Mirrors [`RoutingTable::set_task`]; the
+    /// caller must hold the control-plane lock.
+    pub fn set_slot(&self, shard: ShardId, slot: u32) {
+        let word = &self.words[shard.index()];
+        word.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| {
+            debug_assert!(w & PAUSED_BIT == 0, "set_slot on paused {shard}");
+            let epoch = ((w >> EPOCH_SHIFT) + 1) & EPOCH_MASK;
+            Some((u64::from(slot) << SLOT_SHIFT) | (epoch << EPOCH_SHIFT) | (w & INFLIGHT_MASK))
+        })
+        .expect("fetch_update closure always returns Some");
+    }
+
+    /// Current owner slot of `shard` (racy snapshot; diagnostics only).
+    pub fn slot_of(&self, shard: ShardId) -> u32 {
+        (self.words[shard.index()].load(Ordering::SeqCst) >> SLOT_SHIFT) as u32
+    }
+
+    /// Whether `shard` is currently paused (racy snapshot).
+    pub fn is_paused(&self, shard: ShardId) -> bool {
+        self.words[shard.index()].load(Ordering::SeqCst) & PAUSED_BIT != 0
+    }
+
+    /// Reassignment epoch of `shard` (wraps at 2^11; racy snapshot).
+    pub fn epoch_of(&self, shard: ShardId) -> u64 {
+        (self.words[shard.index()].load(Ordering::SeqCst) >> EPOCH_SHIFT) & EPOCH_MASK
+    }
+}
+
+impl std::fmt::Debug for AtomicShardTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicShardTable")
+            .field("num_shards", &self.num_shards())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_to_initial_slot() {
+        let t = AtomicShardTable::new(4, 7);
+        match t.begin_route(ShardId(2)) {
+            FastRoute::Deliver(g) => assert_eq!(g.slot(), 7),
+            FastRoute::Paused => panic!("not paused"),
+        }
+        assert_eq!(t.slot_of(ShardId(2)), 7);
+    }
+
+    #[test]
+    fn paused_shard_diverts() {
+        let t = AtomicShardTable::new(4, 0);
+        t.pause(ShardId(1));
+        assert!(t.is_paused(ShardId(1)));
+        assert!(matches!(t.begin_route(ShardId(1)), FastRoute::Paused));
+        // Other shards unaffected.
+        assert!(matches!(t.begin_route(ShardId(0)), FastRoute::Deliver(_)));
+        t.finish(ShardId(1), 3);
+        assert!(!t.is_paused(ShardId(1)));
+        match t.begin_route(ShardId(1)) {
+            FastRoute::Deliver(g) => assert_eq!(g.slot(), 3),
+            FastRoute::Paused => panic!("resumed"),
+        };
+    }
+
+    #[test]
+    fn abort_keeps_old_slot_and_bumps_epoch() {
+        let t = AtomicShardTable::new(2, 5);
+        let e0 = t.epoch_of(ShardId(0));
+        t.pause(ShardId(0));
+        t.abort(ShardId(0));
+        assert_eq!(t.slot_of(ShardId(0)), 5);
+        assert_eq!(t.epoch_of(ShardId(0)), e0 + 1);
+    }
+
+    #[test]
+    fn pause_waits_for_inflight_guard() {
+        let t = Arc::new(AtomicShardTable::new(1, 0));
+        let paused = Arc::new(AtomicBool::new(false));
+        let guard = match t.begin_route(ShardId(0)) {
+            FastRoute::Deliver(g) => g,
+            FastRoute::Paused => panic!("live"),
+        };
+        let pauser = {
+            let t = Arc::clone(&t);
+            let paused = Arc::clone(&paused);
+            std::thread::spawn(move || {
+                t.pause(ShardId(0));
+                paused.store(true, Ordering::SeqCst);
+            })
+        };
+        // The pause must not complete while the guard is alive.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !paused.load(Ordering::SeqCst),
+            "pause completed despite an in-flight route"
+        );
+        drop(guard);
+        pauser.join().unwrap();
+        assert!(paused.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn set_slot_retargets_directly() {
+        let t = AtomicShardTable::new(3, 0);
+        t.set_slot(ShardId(2), 9);
+        assert_eq!(t.slot_of(ShardId(2)), 9);
+    }
+
+    #[test]
+    fn concurrent_routes_and_pauses_converge() {
+        // Hammer one shard with routers while another thread cycles
+        // pause→finish; every route must either divert or deliver to a
+        // slot that was current at its atomic read.
+        let t = Arc::new(AtomicShardTable::new(1, 0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let routers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut delivered = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let FastRoute::Deliver(g) = t.begin_route(ShardId(0)) {
+                            std::hint::black_box(g.slot());
+                            delivered += 1;
+                        }
+                    }
+                    delivered
+                })
+            })
+            .collect();
+        for slot in 1..200u32 {
+            t.pause(ShardId(0));
+            t.finish(ShardId(0), slot);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = routers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "routers made progress");
+        assert_eq!(t.slot_of(ShardId(0)), 199);
+        // All guards dropped: in-flight bits are zero again.
+        t.pause(ShardId(0));
+        t.finish(ShardId(0), 0);
     }
 }
 

@@ -2,10 +2,9 @@
 //!
 //! Latencies in the evaluation span six orders of magnitude (sub-ms to
 //! tens of seconds when the RC baseline stalls), so buckets grow
-//! geometrically: each bucket covers a fixed ratio (default ~5% — 144
-//! buckets per decade... no: `GROWTH = 1.05` gives ~47 buckets per
-//! decade), bounding quantile error to the bucket width while keeping the
-//! histogram a few KB.
+//! geometrically: each bucket covers a fixed 5% ratio (`GROWTH = 1.05`,
+//! i.e. `ln 10 / ln 1.05 ≈ 47` buckets per decade), bounding quantile
+//! error to the bucket width while keeping the histogram a few KB.
 
 /// Geometric bucket growth factor (each bucket's upper bound is 5% above
 /// the previous). Quantile estimates are accurate to within 5%.

@@ -5,6 +5,9 @@
 //!
 //! * [`histogram::LatencyHistogram`] — log-bucketed latency histogram
 //!   with average, p50, p99 (Figures 6b, 11, 16b).
+//! * [`sharded::ShardedHistogram`] — per-writer cache-line-padded
+//!   histogram cells for lock-contention-free hot-path recording,
+//!   merged on read.
 //! * [`window::SlidingWindowCounter`] — instantaneous throughput measured
 //!   in a sliding time window of 1 second (Figures 7, 16a).
 //! * [`series::TimeSeries`] — timestamped samples for plotting timelines.
@@ -20,9 +23,11 @@
 pub mod histogram;
 pub mod rate;
 pub mod series;
+pub mod sharded;
 pub mod window;
 
 pub use histogram::LatencyHistogram;
 pub use rate::ByteRateCounter;
 pub use series::TimeSeries;
+pub use sharded::ShardedHistogram;
 pub use window::SlidingWindowCounter;

@@ -1,0 +1,138 @@
+//! Contention-free latency recording for multi-threaded data planes.
+//!
+//! A single shared [`LatencyHistogram`] behind one mutex serializes
+//! every recorder — on a hot path that lock, not the work, becomes the
+//! throughput ceiling. [`ShardedHistogram`] gives each recording thread
+//! its own cache-line-padded cell (histogram + mutex) so steady-state
+//! recording only ever touches an uncontended lock on a private cache
+//! line; readers pay the merge cost instead, which is the right trade
+//! for metrics read a few times per second.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::histogram::LatencyHistogram;
+
+/// A fixed set of cache-line-padded [`LatencyHistogram`] cells, one per
+/// writer (task thread / task slot).
+///
+/// Writers lock only their own cell — uncontended by construction, so
+/// the "lock" is a private compare-and-swap. Readers merge every cell
+/// into one snapshot via [`Self::merged`]. Cell indices are assigned by
+/// the caller (e.g. a task-slot registry); when a writer retires, the
+/// caller drains its cell with [`Self::take_cell`] and may hand the
+/// index to a new writer.
+pub struct ShardedHistogram {
+    cells: Box<[CachePadded<Mutex<LatencyHistogram>>]>,
+}
+
+impl ShardedHistogram {
+    /// Creates `num_cells` empty cells.
+    pub fn new(num_cells: usize) -> Self {
+        Self {
+            cells: (0..num_cells)
+                .map(|_| CachePadded::new(Mutex::new(LatencyHistogram::new())))
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Locks cell `i` for a burst of recordings (one lock per batch, not
+    /// per observation).
+    pub fn cell(&self, i: usize) -> MutexGuard<'_, LatencyHistogram> {
+        self.cells[i].lock()
+    }
+
+    /// Records a single observation into cell `i`.
+    pub fn record(&self, i: usize, ns: u64) {
+        self.cells[i].lock().record(ns);
+    }
+
+    /// Merges every cell into one histogram (cells keep their contents).
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for cell in &self.cells {
+            out.merge(&cell.lock());
+        }
+        out
+    }
+
+    /// Empties cell `i`, returning its contents — used when the writer
+    /// owning the cell retires and its history must move to a durable
+    /// aggregate before the cell is reassigned.
+    pub fn take_cell(&self, i: usize) -> LatencyHistogram {
+        std::mem::take(&mut *self.cells[i].lock())
+    }
+}
+
+impl std::fmt::Debug for ShardedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHistogram")
+            .field("num_cells", &self.num_cells())
+            .field("merged", &self.merged())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_combines_all_cells() {
+        let h = ShardedHistogram::new(4);
+        h.record(0, 1_000_000);
+        h.record(1, 2_000_000);
+        h.record(3, 3_000_000);
+        let merged = h.merged();
+        assert_eq!(merged.count(), 3);
+        assert!((merged.mean_ns() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn take_cell_drains_only_that_cell() {
+        let h = ShardedHistogram::new(2);
+        h.record(0, 5_000_000);
+        h.record(1, 7_000_000);
+        let taken = h.take_cell(0);
+        assert_eq!(taken.count(), 1);
+        assert_eq!(h.merged().count(), 1);
+        assert_eq!(h.merged().max_ns(), 7_000_000);
+    }
+
+    #[test]
+    fn batch_recording_via_cell_guard() {
+        let h = ShardedHistogram::new(1);
+        {
+            let mut cell = h.cell(0);
+            for ns in [1_000_000u64, 2_000_000, 4_000_000] {
+                cell.record(ns);
+            }
+        }
+        assert_eq!(h.merged().count(), 3);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_counts() {
+        use std::sync::Arc;
+        let h = Arc::new(ShardedHistogram::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for k in 0..10_000u64 {
+                        h.record(i, (k + 1) * 1_000);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.merged().count(), 80_000);
+    }
+}

@@ -64,4 +64,4 @@ pub use controller::{ControllerConfig, ControllerEvent, LiveController};
 pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample};
 pub use order::FifoChecker;
 pub use pipeline::{BoxedOperator, Pipeline, PipelineBuilder, StageStats};
-pub use record::{Operator, Record};
+pub use record::{monotonic_ns, Operator, Record, RecordBatch};

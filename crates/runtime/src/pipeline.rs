@@ -23,6 +23,14 @@
 //! (the §3.3 protocol preserves order across shard moves), task threads
 //! emit outputs in processing order, and a single forwarder thread per
 //! hop preserves channel order between stages.
+//!
+//! Channels carry [`RecordBatch`]es, not single records: task threads
+//! emit each processed batch's outputs as one send, and every pump
+//! drains up to [`PipelineBuilder::max_batch`] records per wakeup before
+//! handing them to the next stage through one amortized
+//! `submit_batch`. Batching never reorders — batches preserve arrival
+//! order and per-key order is per-shard order, which batch grouping
+//! respects.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,7 +41,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
-use crate::record::{Operator, Record};
+use crate::record::{Operator, Record, RecordBatch};
 
 /// A type-erased operator, letting one pipeline mix operator types.
 pub type BoxedOperator = Box<dyn Operator>;
@@ -49,6 +57,7 @@ struct StageSpec {
 pub struct PipelineBuilder {
     stages: Vec<StageSpec>,
     stage_capacity: usize,
+    max_batch: usize,
     controller: Option<ControllerConfig>,
 }
 
@@ -64,6 +73,7 @@ impl PipelineBuilder {
         Self {
             stages: Vec::new(),
             stage_capacity: 4096,
+            max_batch: 64,
             controller: None,
         }
     }
@@ -83,9 +93,32 @@ impl PipelineBuilder {
         self
     }
 
-    /// Sets the bounded in-flight budget per stage (backpressure depth).
+    /// Sets the bounded in-flight budget per stage: each stage admits at
+    /// most this many submitted-but-unprocessed **records** (enforced by
+    /// its pump). The ingress and inter-stage channels are bounded to
+    /// the same number of **batch slots**; ingress slots and pump
+    /// submissions hold at most [`Self::max_batch`] records each, and a
+    /// task emits one output batch per input batch, so the records
+    /// buffered per hop are bounded by `stage_capacity × max_batch ×
+    /// fanout` (fanout = the operator's output amplification, 1 for
+    /// filters/maps) and the stall still propagates to
+    /// [`Pipeline::submit`].
     pub fn stage_capacity(mut self, capacity: usize) -> Self {
         self.stage_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the batch amortization window: the record count at which a
+    /// pump stops coalescing inbound batches per wakeup, and the cap on
+    /// each ingress slot and per-pump stage submission. Since
+    /// coalescing stops only after crossing the threshold, a pump's
+    /// hand can transiently hold up to `max_batch − 1` records plus one
+    /// inbound batch (itself up to `max_batch × fanout` records when
+    /// the upstream operator amplifies volume). Larger windows amortize
+    /// channel and clock costs further but let a pump hold more in hand
+    /// while backpressured; 1 disables pump-side batching.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
         self
     }
 
@@ -125,7 +158,7 @@ impl PipelineBuilder {
 
         // Ingress: a bounded channel so `submit` itself backpressures
         // once the first stage and the channel are both full.
-        let (ingress_tx, ingress_rx) = bounded::<Record>(self.stage_capacity);
+        let (ingress_tx, ingress_rx) = bounded::<RecordBatch>(self.stage_capacity);
 
         // One forwarder ("pump") per stage: pump i moves records from
         // the previous hop (ingress channel or stage i-1's outputs) into
@@ -140,9 +173,10 @@ impl PipelineBuilder {
             let stage = Arc::clone(stage);
             let counter = Arc::clone(&submitted[i]);
             let capacity = self.stage_capacity as u64;
+            let max_batch = self.max_batch;
             let handle = std::thread::Builder::new()
                 .name(format!("pipeline-pump-{i}"))
-                .spawn(move || pump_loop(source, stage, counter, capacity))
+                .spawn(move || pump_loop(source, stage, counter, capacity, max_batch))
                 .expect("spawn pump thread");
             pumps.push(handle);
         }
@@ -161,28 +195,52 @@ impl PipelineBuilder {
             pumps,
             controller,
             ingress_accepted: AtomicU64::new(0),
+            max_batch: self.max_batch,
         }
     }
 }
 
 /// The body of one forwarder thread: previous hop → stage `i`.
 fn pump_loop(
-    source: Receiver<Record>,
+    source: Receiver<RecordBatch>,
     stage: Arc<ElasticExecutor<BoxedOperator>>,
     submitted: Arc<AtomicU64>,
     capacity: u64,
+    max_batch: usize,
 ) {
-    while let Ok(record) = source.recv() {
-        // Count the record as in flight *before* waiting: quiescence
-        // checks must see it somewhere at all times.
-        let count = submitted.fetch_add(1, Ordering::AcqRel) + 1;
-        // Bounded-queue backpressure: hold the record (and stop reading
-        // the upstream channel, which then fills and blocks the previous
-        // stage) until this stage has room.
-        while count.saturating_sub(stage.processed_count()) > capacity {
-            std::thread::sleep(Duration::from_micros(50));
+    // Records this pump has handed to the stage; `pushed − processed`
+    // is the stage's in-flight count (this pump is its only feeder).
+    let mut pushed = 0u64;
+    while let Ok(batch) = source.recv() {
+        let mut pending = batch;
+        // Drain-up-to-N: opportunistically coalesce whatever else is
+        // already queued, amortizing the downstream submit.
+        while pending.len() < max_batch {
+            match source.try_recv() {
+                Ok(more) => pending.extend(more),
+                Err(_) => break,
+            }
         }
-        stage.submit(record);
+        // Count the records as in flight *before* waiting: quiescence
+        // checks must see them somewhere at all times.
+        submitted.fetch_add(pending.len() as u64, Ordering::AcqRel);
+        // Bounded-queue backpressure: feed the stage only as capacity
+        // frees up, holding the rest in hand (and not reading the
+        // upstream channel, which then fills and blocks the previous
+        // stage).
+        let mut pending = std::collections::VecDeque::from(pending);
+        while !pending.is_empty() {
+            let room = capacity.saturating_sub(pushed.saturating_sub(stage.processed_count()));
+            if room == 0 {
+                std::thread::sleep(Duration::from_micros(50));
+                continue;
+            }
+            // Cap each stage submission at max_batch so task-level
+            // batches (and thus emitted batches) stay bounded by it.
+            let take = (room as usize).min(max_batch).min(pending.len());
+            stage.submit_batch(pending.drain(..take));
+            pushed += take as u64;
+        }
     }
     // Upstream hung up (pipeline shutting down): exit after having
     // forwarded everything that was in the channel.
@@ -206,11 +264,14 @@ pub struct Pipeline {
     /// Records handed to each stage by its pump (monotonic).
     submitted: Vec<Arc<AtomicU64>>,
     /// `None` once `shutdown` begins.
-    ingress_tx: Option<Sender<Record>>,
-    sink_rx: Receiver<Record>,
+    ingress_tx: Option<Sender<RecordBatch>>,
+    sink_rx: Receiver<RecordBatch>,
     pumps: Vec<JoinHandle<()>>,
     controller: Option<ControllerHandle>,
     ingress_accepted: AtomicU64,
+    /// Batch-size ceiling per ingress channel slot (see
+    /// [`PipelineBuilder::max_batch`]).
+    max_batch: usize,
 }
 
 impl Pipeline {
@@ -221,17 +282,55 @@ impl Pipeline {
 
     /// Feeds a record into the first stage. Blocks when the pipeline is
     /// backpressured (first stage at capacity and ingress channel full).
+    ///
+    /// Each call sends a one-record batch (one small allocation); a
+    /// high-rate source should accumulate and use [`Self::submit_batch`]
+    /// instead, which amortizes both the allocation and the channel
+    /// synchronization.
     pub fn submit(&self, record: Record) {
         self.ingress_accepted.fetch_add(1, Ordering::AcqRel);
         self.ingress_tx
             .as_ref()
             .expect("pipeline is running")
-            .send(record)
+            .send(vec![record])
             .expect("ingress pump alive");
     }
 
-    /// The output stream of the last stage.
-    pub fn outputs(&self) -> &Receiver<Record> {
+    /// Feeds a batch into the first stage through amortized channel
+    /// sends — the ingress for high-rate sources. Batches larger than
+    /// the builder's [`max_batch`](PipelineBuilder::max_batch) are split
+    /// so one ingress channel slot never holds more than `max_batch`
+    /// records (keeping the buffering bound of
+    /// [`stage_capacity`](PipelineBuilder::stage_capacity) honest).
+    /// Blocks like [`Self::submit`] when backpressured; empty batches
+    /// are ignored.
+    pub fn submit_batch(&self, batch: RecordBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.ingress_accepted
+            .fetch_add(batch.len() as u64, Ordering::AcqRel);
+        let tx = self.ingress_tx.as_ref().expect("pipeline is running");
+        if batch.len() <= self.max_batch {
+            tx.send(batch).expect("ingress pump alive");
+            return;
+        }
+        let mut chunk = Vec::with_capacity(self.max_batch);
+        for record in batch {
+            chunk.push(record);
+            if chunk.len() == self.max_batch {
+                let full = std::mem::replace(&mut chunk, Vec::with_capacity(self.max_batch));
+                tx.send(full).expect("ingress pump alive");
+            }
+        }
+        if !chunk.is_empty() {
+            tx.send(chunk).expect("ingress pump alive");
+        }
+    }
+
+    /// The output stream of the last stage, in batches (flatten for a
+    /// per-record view; batch order is processing order).
+    pub fn outputs(&self) -> &Receiver<RecordBatch> {
         &self.sink_rx
     }
 
@@ -421,7 +520,7 @@ mod tests {
             pipe.submit(Record::new(Key(i % 17), Bytes::new()).with_seq(i));
         }
         pipe.drain();
-        let out: Vec<Record> = pipe.outputs().try_iter().collect();
+        let out: Vec<Record> = pipe.outputs().try_iter().flatten().collect();
         assert_eq!(out.len(), 1_000);
         let stats = pipe.shutdown();
         assert_eq!(stats.len(), 3);
@@ -453,7 +552,7 @@ mod tests {
             pipe.submit(Record::new(Key(i), Bytes::new()));
         }
         pipe.drain();
-        assert_eq!(pipe.outputs().try_iter().count(), 100); // 50 even keys × 2
+        assert_eq!(pipe.outputs().try_iter().flatten().count(), 100); // 50 even keys × 2
         pipe.shutdown();
     }
 
@@ -475,12 +574,14 @@ mod tests {
                 },
             )
             .stage_capacity(8)
+            .max_batch(8)
             .build();
         for i in 0..200u64 {
             pipe.submit(Record::new(Key(i), Bytes::new()));
             let in_flight = i + 1 - pipe.executor(0).processed_count().min(i + 1);
-            // capacity (8) + ingress channel (8) + the pump's hand (1).
-            assert!(in_flight <= 17, "in-flight {in_flight} exceeds the bound");
+            // capacity (8) + ingress channel (8 one-record batches) +
+            // the pump's hand (up to max_batch = 8 drained records).
+            assert!(in_flight <= 24, "in-flight {in_flight} exceeds the bound");
         }
         pipe.drain();
         pipe.shutdown();
@@ -516,10 +617,15 @@ mod tests {
                 },
             )
             .stage_capacity(cap as usize)
+            .max_batch(8)
             .build();
-        // Per hop a record can sit in: a channel (cap), a pump's hand
-        // (1), or a stage's in-flight budget (cap). Two stages.
-        let bound = 4 * cap + 2;
+        // Per hop a record can sit in: the ingress channel (cap
+        // one-record batches), a pump's hand (< max_batch + an emitted
+        // batch), a stage's in-flight budget (cap), or the inter-stage
+        // channel (cap batches × up to max_batch records each, since
+        // tasks emit per processed batch). Two stages, max_batch = 8.
+        let b = 8u64;
+        let bound = cap + 2 * (2 * b) + 2 * cap + cap * b;
         for i in 0..400u64 {
             pipe.submit(Record::new(Key(i), Bytes::new()));
             let done = pipe.executor(1).processed_count();
@@ -531,7 +637,7 @@ mod tests {
             );
         }
         pipe.drain();
-        assert_eq!(pipe.outputs().try_iter().count(), 400);
+        assert_eq!(pipe.outputs().try_iter().flatten().count(), 400);
         pipe.shutdown();
     }
 
@@ -604,7 +710,7 @@ mod tests {
             }
         }
         pipe.drain();
-        assert_eq!(pipe.outputs().try_iter().count(), 20_000);
+        assert_eq!(pipe.outputs().try_iter().flatten().count(), 20_000);
         let stats = pipe.shutdown();
         assert_eq!(stats[0].stats.processed, 20_000);
     }

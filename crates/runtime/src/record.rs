@@ -22,10 +22,17 @@ pub struct Record {
 impl Record {
     /// Creates a record stamped with the current monotonic time.
     pub fn new(key: Key, payload: Bytes) -> Self {
+        Self::new_at(key, payload, monotonic_ns())
+    }
+
+    /// Creates a record with an explicit creation timestamp — lets a
+    /// batching source read [`monotonic_ns`] once and stamp the whole
+    /// batch instead of paying one clock call per record.
+    pub fn new_at(key: Key, payload: Bytes, created_ns: u64) -> Self {
         Self {
             key,
             payload,
-            created_ns: monotonic_ns(),
+            created_ns,
             seq: 0,
         }
     }
@@ -37,8 +44,14 @@ impl Record {
     }
 }
 
-/// Nanoseconds from the process-wide monotonic origin.
-pub(crate) fn monotonic_ns() -> u64 {
+/// A batch of records traveling one channel hop together. Order within
+/// the batch is arrival/processing order; flattening a stream of batches
+/// yields the same per-key FIFO sequence the unbatched channels carried.
+pub type RecordBatch = Vec<Record>;
+
+/// Nanoseconds from the process-wide monotonic origin — the timestamp
+/// domain of [`Record::created_ns`] and all latency accounting.
+pub fn monotonic_ns() -> u64 {
     use std::sync::OnceLock;
     use std::time::Instant;
     static ORIGIN: OnceLock<Instant> = OnceLock::new();

@@ -80,8 +80,8 @@ fn operator_outputs_are_emitted() {
     }
     exec.wait_for_processed(100);
     let mut outs = 0;
-    while exec.outputs().try_recv().is_ok() {
-        outs += 1;
+    while let Ok(batch) = exec.outputs().try_recv() {
+        outs += batch.len();
     }
     assert_eq!(outs, 100);
     exec.shutdown();

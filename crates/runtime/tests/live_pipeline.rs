@@ -94,7 +94,7 @@ fn controller_grows_hot_stage_under_load() {
     );
 
     // No record lost, no order violated — despite live regrowth.
-    assert_eq!(pipe.outputs().try_iter().count() as u64, total);
+    assert_eq!(pipe.outputs().try_iter().flatten().count() as u64, total);
     assert!(
         order.is_clean(),
         "per-key FIFO violated: {:?}",

@@ -17,105 +17,160 @@ struct ShardCell {
     entries: BTreeMap<Key, Bytes>,
     /// Sum of value lengths, maintained incrementally.
     bytes: u64,
+    /// Whether this store currently hosts the shard. Dense cells are
+    /// permanent allocations whose *contents* come and go with
+    /// migration; this flag is what "removed" means for them.
+    hosted: bool,
+}
+
+impl ShardCell {
+    fn hosted() -> Self {
+        Self {
+            hosted: true,
+            ..Self::default()
+        }
+    }
 }
 
 /// The process-wide state store shared by all task threads of an elastic
 /// executor's worker process.
 ///
-/// Thread safety: the shard registry uses a `RwLock` (shards are
-/// added/removed only on migration — rare), and each shard has its own
-/// `RwLock` so tasks working different shards never contend.
+/// Thread safety and the hot path: shards `0..z` declared at
+/// construction ([`Self::with_shards`]) live in a **dense slab** indexed
+/// directly by shard id — a per-record state access touches only that
+/// shard's own `RwLock`, with no registry lock and no `Arc` clone in
+/// between. Shards outside the dense range (installed dynamically by
+/// migration) fall back to a `RwLock`-protected registry map, which is
+/// fine because they are touched through the same rare control paths
+/// that created them. Tasks working different shards never contend
+/// either way.
 #[derive(Default)]
 pub struct StateStore {
-    shards: RwLock<BTreeMap<ShardId, Arc<RwLock<ShardCell>>>>,
+    /// Shards `0..dense.len()`: direct-indexed, allocation-free lookup.
+    dense: Box<[RwLock<ShardCell>]>,
+    /// Shards at or beyond the dense range, keyed sparsely.
+    dynamic: RwLock<BTreeMap<ShardId, Arc<RwLock<ShardCell>>>>,
     /// Total value bytes across shards (kept eventually-exact via atomic
     /// deltas; used for cheap `s_j` reads by the scheduler).
     total_bytes: AtomicU64,
 }
 
 impl StateStore {
-    /// Creates an empty store.
+    /// Creates an empty store (no dense range; every shard is dynamic).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates a store pre-registered with shards `0..num_shards` (the
-    /// local main process of a fresh executor owns all its shards).
+    /// local main process of a fresh executor owns all its shards),
+    /// placing them on the dense fast path.
     pub fn with_shards(num_shards: u32) -> Self {
-        let store = Self::new();
-        {
-            let mut reg = store.shards.write();
-            for s in 0..num_shards {
-                reg.insert(ShardId(s), Arc::new(RwLock::new(ShardCell::default())));
+        Self {
+            dense: (0..num_shards)
+                .map(|_| RwLock::new(ShardCell::hosted()))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Runs `f` under `shard`'s read lock; `None` if the shard is not
+    /// hosted here.
+    fn with_cell_read<R>(&self, shard: ShardId, f: impl FnOnce(&ShardCell) -> R) -> Option<R> {
+        if let Some(cell) = self.dense.get(shard.index()) {
+            let guard = cell.read();
+            return guard.hosted.then(|| f(&guard));
+        }
+        let cell = self.dynamic.read().get(&shard).cloned()?;
+        let guard = cell.read();
+        guard.hosted.then(|| f(&guard))
+    }
+
+    /// Runs `f` under `shard`'s write lock. With `create`, an unhosted
+    /// shard is (re)created empty first; otherwise `None`.
+    fn with_cell_write<R>(
+        &self,
+        shard: ShardId,
+        create: bool,
+        f: impl FnOnce(&mut ShardCell) -> R,
+    ) -> Option<R> {
+        if let Some(cell) = self.dense.get(shard.index()) {
+            let mut guard = cell.write();
+            if !guard.hosted {
+                if !create {
+                    return None;
+                }
+                guard.hosted = true;
             }
+            return Some(f(&mut guard));
         }
-        store
-    }
-
-    fn cell(&self, shard: ShardId) -> Option<Arc<RwLock<ShardCell>>> {
-        self.shards.read().get(&shard).cloned()
-    }
-
-    fn cell_or_create(&self, shard: ShardId) -> Arc<RwLock<ShardCell>> {
-        if let Some(c) = self.cell(shard) {
-            return c;
-        }
-        self.shards
-            .write()
-            .entry(shard)
-            .or_insert_with(|| Arc::new(RwLock::new(ShardCell::default())))
-            .clone()
+        let cell = if create {
+            self.dynamic
+                .write()
+                .entry(shard)
+                .or_insert_with(|| Arc::new(RwLock::new(ShardCell::hosted())))
+                .clone()
+        } else {
+            self.dynamic.read().get(&shard).cloned()?
+        };
+        let mut guard = cell.write();
+        Some(f(&mut guard))
     }
 
     /// Whether the store currently hosts `shard`.
     pub fn hosts(&self, shard: ShardId) -> bool {
-        self.shards.read().contains_key(&shard)
+        if let Some(cell) = self.dense.get(shard.index()) {
+            return cell.read().hosted;
+        }
+        self.dynamic.read().contains_key(&shard)
     }
 
     /// Shards currently hosted, ascending.
     pub fn shards(&self) -> Vec<ShardId> {
-        self.shards.read().keys().copied().collect()
+        let mut out: Vec<ShardId> = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.read().hosted)
+            .map(|(i, _)| ShardId::from_index(i))
+            .collect();
+        out.extend(self.dynamic.read().keys().copied());
+        out.sort_unstable();
+        out
     }
 
     /// Reads the value of `key` in `shard`. `None` if absent (or the
     /// shard is not hosted here).
     pub fn get(&self, shard: ShardId, key: Key) -> Option<Bytes> {
-        let cell = self.cell(shard)?;
-        let guard = cell.read();
-        guard.entries.get(&key).cloned()
+        self.with_cell_read(shard, |cell| cell.entries.get(&key).cloned())
+            .flatten()
     }
 
     /// Writes `value` for `key` in `shard`, creating the shard if absent.
     /// Returns the previous value, if any.
     pub fn put(&self, shard: ShardId, key: Key, value: Bytes) -> Option<Bytes> {
-        let cell = self.cell_or_create(shard);
-        let mut guard = cell.write();
-        let new_len = value.len() as u64;
-        let old = guard.entries.insert(key, value);
-        let old_len = old.as_ref().map_or(0, |v| v.len() as u64);
-        guard.bytes = guard.bytes + new_len - old_len;
-        drop(guard);
-        if new_len >= old_len {
-            self.total_bytes
-                .fetch_add(new_len - old_len, Ordering::Relaxed);
-        } else {
-            self.total_bytes
-                .fetch_sub(old_len - new_len, Ordering::Relaxed);
-        }
-        old
+        self.with_cell_write(shard, true, |cell| {
+            let new_len = value.len() as u64;
+            let old = cell.entries.insert(key, value);
+            let old_len = old.as_ref().map_or(0, |v| v.len() as u64);
+            cell.bytes = cell.bytes + new_len - old_len;
+            self.adjust_total(old_len, new_len);
+            old
+        })
+        .expect("create-mode write always finds a cell")
     }
 
     /// Removes `key` from `shard`, returning the previous value.
     pub fn remove(&self, shard: ShardId, key: Key) -> Option<Bytes> {
-        let cell = self.cell(shard)?;
-        let mut guard = cell.write();
-        let old = guard.entries.remove(&key);
-        if let Some(v) = &old {
-            guard.bytes -= v.len() as u64;
-            self.total_bytes
-                .fetch_sub(v.len() as u64, Ordering::Relaxed);
-        }
-        old
+        self.with_cell_write(shard, false, |cell| {
+            let old = cell.entries.remove(&key);
+            if let Some(v) = &old {
+                cell.bytes -= v.len() as u64;
+                self.total_bytes
+                    .fetch_sub(v.len() as u64, Ordering::Relaxed);
+            }
+            old
+        })
+        .flatten()
     }
 
     /// Atomically read-modify-writes the value of `key` in `shard`. The
@@ -128,44 +183,48 @@ impl StateStore {
     where
         F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
     {
-        let cell = self.cell_or_create(shard);
-        let mut guard = cell.write();
-        let old_len = guard.entries.get(&key).map_or(0, |v| v.len() as u64);
-        let next = f(guard.entries.get(&key));
-        let result = next.clone();
-        match next {
-            Some(v) => {
-                let new_len = v.len() as u64;
-                guard.entries.insert(key, v);
-                guard.bytes = guard.bytes + new_len - old_len;
-                drop(guard);
-                if new_len >= old_len {
-                    self.total_bytes
-                        .fetch_add(new_len - old_len, Ordering::Relaxed);
-                } else {
-                    self.total_bytes
-                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
+        self.with_cell_write(shard, true, |cell| {
+            let old_len = cell.entries.get(&key).map_or(0, |v| v.len() as u64);
+            let next = f(cell.entries.get(&key));
+            let result = next.clone();
+            match next {
+                Some(v) => {
+                    let new_len = v.len() as u64;
+                    cell.entries.insert(key, v);
+                    cell.bytes = cell.bytes + new_len - old_len;
+                    self.adjust_total(old_len, new_len);
+                }
+                None => {
+                    if cell.entries.remove(&key).is_some() {
+                        cell.bytes -= old_len;
+                        self.total_bytes.fetch_sub(old_len, Ordering::Relaxed);
+                    }
                 }
             }
-            None => {
-                if guard.entries.remove(&key).is_some() {
-                    guard.bytes -= old_len;
-                    drop(guard);
-                    self.total_bytes.fetch_sub(old_len, Ordering::Relaxed);
-                }
-            }
+            result
+        })
+        .expect("create-mode write always finds a cell")
+    }
+
+    fn adjust_total(&self, old_len: u64, new_len: u64) {
+        if new_len >= old_len {
+            self.total_bytes
+                .fetch_add(new_len - old_len, Ordering::Relaxed);
+        } else {
+            self.total_bytes
+                .fetch_sub(old_len - new_len, Ordering::Relaxed);
         }
-        result
     }
 
     /// Value bytes currently held for `shard` (0 if not hosted).
     pub fn shard_bytes(&self, shard: ShardId) -> u64 {
-        self.cell(shard).map_or(0, |c| c.read().bytes)
+        self.with_cell_read(shard, |cell| cell.bytes).unwrap_or(0)
     }
 
     /// Number of keys in `shard`.
     pub fn shard_keys(&self, shard: ShardId) -> usize {
-        self.cell(shard).map_or(0, |c| c.read().entries.len())
+        self.with_cell_read(shard, |cell| cell.entries.len())
+            .unwrap_or(0)
     }
 
     /// Total value bytes across all shards.
@@ -176,7 +235,21 @@ impl StateStore {
     /// Extracts `shard` for migration: removes it from this store and
     /// returns its snapshot. Returns `None` if the shard is not hosted.
     pub fn extract_shard(&self, shard: ShardId) -> Option<crate::ShardSnapshot> {
-        let cell = self.shards.write().remove(&shard)?;
+        if let Some(cell) = self.dense.get(shard.index()) {
+            let mut guard = cell.write();
+            if !guard.hosted {
+                return None;
+            }
+            self.total_bytes.fetch_sub(guard.bytes, Ordering::Relaxed);
+            let entries = std::mem::take(&mut guard.entries);
+            guard.bytes = 0;
+            guard.hosted = false;
+            return Some(crate::ShardSnapshot {
+                shard,
+                entries: entries.into_iter().collect(),
+            });
+        }
+        let cell = self.dynamic.write().remove(&shard)?;
         let guard = cell.read();
         self.total_bytes.fetch_sub(guard.bytes, Ordering::Relaxed);
         Some(crate::ShardSnapshot {
@@ -187,11 +260,9 @@ impl StateStore {
 
     /// Copies `shard` without removing it (for replication/tests).
     pub fn snapshot_shard(&self, shard: ShardId) -> Option<crate::ShardSnapshot> {
-        let cell = self.cell(shard)?;
-        let guard = cell.read();
-        Some(crate::ShardSnapshot {
+        self.with_cell_read(shard, |cell| crate::ShardSnapshot {
             shard,
-            entries: guard.entries.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            entries: cell.entries.iter().map(|(k, v)| (*k, v.clone())).collect(),
         })
     }
 
@@ -199,16 +270,30 @@ impl StateStore {
     /// (two processes must never both own a shard — the reassignment
     /// protocol guarantees extract-before-install).
     pub fn install_shard(&self, snapshot: crate::ShardSnapshot) {
-        let mut reg = self.shards.write();
+        let bytes: u64 = snapshot.entries.iter().map(|(_, v)| v.len() as u64).sum();
+        if let Some(cell) = self.dense.get(snapshot.shard.index()) {
+            let mut guard = cell.write();
+            assert!(
+                !guard.hosted,
+                "shard {} already hosted — double install",
+                snapshot.shard
+            );
+            guard.entries = snapshot.entries.into_iter().collect();
+            guard.bytes = bytes;
+            guard.hosted = true;
+            self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+            return;
+        }
+        let mut reg = self.dynamic.write();
         assert!(
             !reg.contains_key(&snapshot.shard),
             "shard {} already hosted — double install",
             snapshot.shard
         );
-        let bytes: u64 = snapshot.entries.iter().map(|(_, v)| v.len() as u64).sum();
         let cell = ShardCell {
             entries: snapshot.entries.into_iter().collect(),
             bytes,
+            hosted: true,
         };
         reg.insert(snapshot.shard, Arc::new(RwLock::new(cell)));
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);

@@ -98,10 +98,10 @@ fn main() {
     }
     exec.wait_for_processed(total);
 
-    // Drain the alert stream.
+    // Drain the alert stream (batched: count records, not batches).
     let mut alerts = 0u64;
-    while exec.outputs().try_recv().is_ok() {
-        alerts += 1;
+    while let Ok(batch) = exec.outputs().try_recv() {
+        alerts += batch.len() as u64;
     }
 
     let stats = exec.shutdown();

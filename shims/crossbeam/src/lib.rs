@@ -1,11 +1,85 @@
 //! Minimal in-workspace stand-in for `crossbeam`.
 //!
-//! Only the `channel` module is provided: a Mutex+Condvar MPMC channel
-//! with crossbeam's semantics for the operations this project uses —
-//! unbounded and bounded channels, clonable senders *and* receivers,
-//! blocking `send`/`recv`, `try_recv`, `recv_timeout`, and disconnection
-//! (receive fails only once the buffer is empty and every sender is
-//! gone; send fails once every receiver is gone).
+//! Two modules are provided with crossbeam's semantics for the
+//! operations this project uses:
+//!
+//! * `channel` — a Mutex+Condvar MPMC channel: unbounded and bounded
+//!   channels, clonable senders *and* receivers, blocking
+//!   `send`/`recv`, `try_recv`, `recv_timeout`, and disconnection
+//!   (receive fails only once the buffer is empty and every sender is
+//!   gone; send fails once every receiver is gone).
+//! * `utils` — [`utils::CachePadded`], the false-sharing guard used to
+//!   keep per-task hot counters on distinct cache lines.
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) one cache line, so adjacent
+    /// array elements written by different threads never share a line.
+    ///
+    /// API-compatible subset of `crossbeam_utils::CachePadded`; 128-byte
+    /// alignment matches crossbeam's choice for x86-64 (two prefetched
+    /// 64-byte lines) and is safely over-aligned elsewhere.
+    #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Consumes the wrapper, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_values_are_line_separated() {
+            assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+            assert!(std::mem::size_of::<CachePadded<u64>>() >= 64);
+            let cells: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+            let a = &*cells[0] as *const u64 as usize;
+            let b = &*cells[1] as *const u64 as usize;
+            assert!(b - a >= 64, "adjacent cells share a cache line");
+        }
+
+        #[test]
+        fn deref_and_into_inner() {
+            let mut c = CachePadded::new(5u32);
+            *c += 1;
+            assert_eq!(*c, 6);
+            assert_eq!(c.into_inner(), 6);
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;

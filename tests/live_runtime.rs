@@ -144,8 +144,8 @@ fn outputs_flow_downstream() {
     }
     exec.wait_for_processed(n);
     let mut outputs = Vec::new();
-    while let Ok(r) = exec.outputs().try_recv() {
-        outputs.push(r);
+    while let Ok(batch) = exec.outputs().try_recv() {
+        outputs.extend(batch);
     }
     assert_eq!(outputs.len() as u64, n);
     assert!(outputs.iter().all(|r| r.key.value() % 2 == 0));

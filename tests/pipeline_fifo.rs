@@ -133,7 +133,7 @@ fn per_key_fifo_holds_across_two_operators_under_concurrent_elasticity() {
     //    order an external consumer observes).
     let channel_order = FifoChecker::new();
     let mut outputs = 0u64;
-    for r in pipe.outputs().try_iter() {
+    for r in pipe.outputs().try_iter().flatten() {
         channel_order.observe(r.key, r.seq);
         outputs += 1;
     }

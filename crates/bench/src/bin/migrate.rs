@@ -1,0 +1,532 @@
+//! Two-process shard migration demo and benchmark — the live analogue
+//! of the paper's Figure 9b (migration latency scales with state size
+//! over link bandwidth, because only the displaced shards move).
+//!
+//! The parent process spawns this same binary as a child (`--child
+//! ADDR`), connects one duplex migration link, and the two processes
+//! run a correctness phase followed by a timed phase:
+//!
+//! 1. **Correctness under live load.** Shard ownership starts split
+//!    (parent `0..32`, child `32..64` of `z = 64`). Both sides submit
+//!    per-key-sequenced records — some to shards they own, some to
+//!    shards the peer owns (forwarded as `DATA` frames). Mid-load the
+//!    parent migrates two of its live-traffic shards to the child and
+//!    the child migrates two of its own back, concurrently. Afterwards
+//!    both sides assert: zero per-key FIFO violations, and every
+//!    submitted key's count equals the submission count in **exactly
+//!    one** process (exact state conservation), verified across the
+//!    boundary by comparing state digests.
+//! 2. **Migration latency vs state size.** Quiet shards are preloaded
+//!    at three state sizes and migrated parent→child, timed; results —
+//!    latency, drain time, bytes on the wire — go to
+//!    `BENCH_migration.json` and a table on stdout.
+//!
+//! `ELASTICUTOR_QUICK=1` shrinks the load and the state sizes for CI
+//! smoke runs. Any assertion failure in the child exits non-zero and
+//! fails the parent.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_bench::{fmt_bytes, fmt_latency_ns, quick_mode, Table};
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, ByteReader, Checksum};
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, MigrationEndpoint, Operator, Record,
+};
+use elasticutor_state::{ShardSnapshot, StateHandle};
+
+/// Shards per executor; ownership starts split down the middle.
+const Z: u32 = 64;
+/// Distinct keys submitted per traffic shard.
+const KEYS_PER_SHARD: usize = 4;
+
+/// Shards the parent submits records for (first half locally owned —
+/// including the two it migrates away mid-load — second half owned by
+/// the child, so they exercise forwarding from the first record on).
+const PARENT_TRAFFIC: [u32; 8] = [0, 1, 2, 3, 36, 37, 38, 39];
+/// The child's traffic shards, disjoint from the parent's so every key
+/// has exactly one origin process (the FIFO contract's precondition).
+const CHILD_TRAFFIC: [u32; 8] = [32, 33, 34, 35, 4, 5, 6, 7];
+/// Shards the parent migrates to the child mid-load.
+const PARENT_MIGRATES: [u32; 2] = [0, 1];
+/// Shards the child migrates to the parent mid-load.
+const CHILD_MIGRATES: [u32; 2] = [32, 33];
+
+fn rounds() -> u64 {
+    if quick_mode() {
+        300
+    } else {
+        2_000
+    }
+}
+
+/// Phase-2 state sizes: (quiet shard, entries of 4 KiB each).
+fn bench_sizes() -> Vec<(u32, usize)> {
+    if quick_mode() {
+        vec![(20, 16), (21, 64), (22, 256)] // 64 KiB, 256 KiB, 1 MiB
+    } else {
+        vec![(20, 256), (21, 2_048), (22, 16_384)] // 1 MiB, 8 MiB, 64 MiB
+    }
+}
+
+const BENCH_VALUE_LEN: usize = 4096;
+
+/// Deterministic keys hashing to `shard` — identical in both processes.
+fn keys_for_shard(shard: u32) -> Vec<Key> {
+    (0u64..)
+        .filter(|k| elasticutor_core::hash::key_to_shard(*k, Z) == shard)
+        .take(KEYS_PER_SHARD)
+        .map(Key)
+        .collect()
+}
+
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn executor(fifo: Arc<FifoChecker>) -> Arc<ElasticExecutor<impl Operator>> {
+    Arc::new(ElasticExecutor::start(
+        ExecutorConfig {
+            num_shards: Z,
+            initial_tasks: 2,
+            ..ExecutorConfig::default()
+        },
+        counting_op(fifo),
+    ))
+}
+
+/// Submits `rounds()` sequenced records for every key of `shards`,
+/// bumping `progress` once per round so the main thread can trigger
+/// migrations mid-load.
+fn run_load<O: Operator>(exec: &ElasticExecutor<O>, shards: &[u32], progress: &AtomicU64) {
+    let keys: Vec<Key> = shards.iter().flat_map(|&s| keys_for_shard(s)).collect();
+    for round in 1..=rounds() {
+        for &key in &keys {
+            exec.submit(Record::new(key, Bytes::new()).with_seq(round));
+        }
+        progress.store(round, Ordering::Release);
+        // Pace the source a little so migrations overlap live traffic.
+        if round.is_multiple_of(16) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cond()
+}
+
+/// The expected final state of a traffic shard: every key counted
+/// `rounds()` times.
+fn expected_snapshot(shard: u32) -> ShardSnapshot {
+    let mut entries: Vec<(Key, Bytes)> = keys_for_shard(shard)
+        .into_iter()
+        .map(|k| (k, Bytes::copy_from_slice(&rounds().to_le_bytes())))
+        .collect();
+    entries.sort_by_key(|(k, _)| *k);
+    ShardSnapshot {
+        shard: ShardId(shard),
+        entries,
+    }
+}
+
+fn digest_of(snap: &ShardSnapshot) -> u64 {
+    let mut c = Checksum::new();
+    snap.fold_checksum(&mut c);
+    c.finish()
+}
+
+/// Waits until every shard in `shards` holds exactly its expected
+/// final state in `exec`'s store.
+fn settle<O: Operator>(exec: &ElasticExecutor<O>, shards: &[u32], side: &str) {
+    let ok = wait_until(Duration::from_secs(60), || {
+        shards.iter().all(|&s| {
+            exec.state()
+                .snapshot_shard(ShardId(s))
+                .is_some_and(|snap| digest_of(&snap) == digest_of(&expected_snapshot(s)))
+        })
+    });
+    assert!(
+        ok,
+        "{side}: traffic shards did not settle to their expected final state"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The cross-process report (APP payload): everything the parent needs
+// to assert conservation on the child's half of the key space.
+// ---------------------------------------------------------------------------
+
+struct Report {
+    fifo_violations: u64,
+    processed: u64,
+    /// (shard, keys, value bytes, state digest) per non-empty shard.
+    shards: Vec<(u32, u64, u64, u64)>,
+}
+
+fn encode_report<O: Operator>(exec: &ElasticExecutor<O>, fifo: &FifoChecker) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::put_u64(&mut out, fifo.violation_count() as u64);
+    wire::put_u64(&mut out, exec.processed_count());
+    let shards: Vec<ShardSnapshot> = exec
+        .state()
+        .shards()
+        .into_iter()
+        .filter_map(|s| exec.state().snapshot_shard(s))
+        .filter(|snap| !snap.is_empty())
+        .collect();
+    wire::put_u32(&mut out, shards.len() as u32);
+    for snap in &shards {
+        wire::put_u32(&mut out, snap.shard.0);
+        wire::put_u64(&mut out, snap.len() as u64);
+        wire::put_u64(&mut out, snap.value_bytes());
+        wire::put_u64(&mut out, digest_of(snap));
+    }
+    out
+}
+
+fn decode_report(payload: &[u8]) -> Report {
+    let mut r = ByteReader::new(payload);
+    let fifo_violations = r.u64().expect("report");
+    let processed = r.u64().expect("report");
+    let n = r.u32().expect("report");
+    let shards = (0..n)
+        .map(|_| {
+            (
+                r.u32().expect("report"),
+                r.u64().expect("report"),
+                r.u64().expect("report"),
+                r.u64().expect("report"),
+            )
+        })
+        .collect();
+    Report {
+        fifo_violations,
+        processed,
+        shards,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child process.
+// ---------------------------------------------------------------------------
+
+fn child_main(addr: &str) {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = executor(fifo.clone());
+    let endpoint =
+        MigrationEndpoint::connect(Arc::clone(&exec), addr).expect("child connects to parent");
+    endpoint
+        .delegate_shards(&(0..Z / 2).map(ShardId).collect::<Vec<_>>())
+        .expect("child delegates the parent's half");
+
+    let progress = Arc::new(AtomicU64::new(0));
+    let source = {
+        let exec = Arc::clone(&exec);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || run_load(&exec, &CHILD_TRAFFIC, &progress))
+    };
+    // Mid-load, hand two live-traffic shards to the parent.
+    while progress.load(Ordering::Acquire) < rounds() / 3 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for shard in CHILD_MIGRATES {
+        let report = endpoint
+            .migrate_out(ShardId(shard))
+            .expect("child→parent migration");
+        eprintln!(
+            "child: migrated sh{shard} out ({} entries, {} wire bytes, {})",
+            report.entries,
+            report.wire_bytes,
+            fmt_latency_ns(report.elapsed_ns as f64)
+        );
+    }
+    source.join().expect("child source");
+
+    // Settle on the shards this side finally owns (that carry traffic):
+    // its own non-migrated ones, the peer-origin forwarded ones, and
+    // the two adopted from the parent.
+    settle(&exec, &[34, 35, 36, 37, 38, 39, 0, 1], "child");
+    assert!(
+        fifo.is_clean(),
+        "child FIFO violations: {:?}",
+        fifo.violations()
+    );
+
+    // Serve the parent's report requests until told to exit; phase 2
+    // (timed inbound migrations) happens passively in the endpoint's
+    // reader thread meanwhile.
+    loop {
+        let msg = endpoint
+            .app_messages()
+            .recv_timeout(Duration::from_secs(120))
+            .expect("parent command");
+        match msg.as_slice() {
+            b"report" => endpoint
+                .send_app(encode_report(&exec, &fifo))
+                .expect("send report"),
+            b"bye" => break,
+            other => panic!("unknown command {other:?}"),
+        }
+    }
+    endpoint.close();
+}
+
+// ---------------------------------------------------------------------------
+// Parent process.
+// ---------------------------------------------------------------------------
+
+fn request_report<O: Operator>(endpoint: &MigrationEndpoint<O>) -> Report {
+    endpoint
+        .send_app(b"report".to_vec())
+        .expect("request report");
+    let payload = endpoint
+        .app_messages()
+        .recv_timeout(Duration::from_secs(120))
+        .expect("child report");
+    decode_report(&payload)
+}
+
+fn parent_main() {
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_migration.json".to_string());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(addr.to_string())
+        .spawn()
+        .expect("spawn child process");
+
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = executor(fifo.clone());
+    let endpoint = MigrationEndpoint::accept(Arc::clone(&exec), &listener).expect("accept child");
+    endpoint
+        .delegate_shards(&(Z / 2..Z).map(ShardId).collect::<Vec<_>>())
+        .expect("parent delegates the child's half");
+
+    println!(
+        "two-process migration demo: z={Z}, {} rounds × {} keys/side{}",
+        rounds(),
+        PARENT_TRAFFIC.len() * KEYS_PER_SHARD,
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
+
+    // --- Phase 1: correctness under live load --------------------------
+    let progress = Arc::new(AtomicU64::new(0));
+    let source = {
+        let exec = Arc::clone(&exec);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || run_load(&exec, &PARENT_TRAFFIC, &progress))
+    };
+    while progress.load(Ordering::Acquire) < rounds() / 3 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut trade_reports = Vec::new();
+    for shard in PARENT_MIGRATES {
+        let report = endpoint
+            .migrate_out(ShardId(shard))
+            .expect("parent→child migration");
+        println!(
+            "parent: migrated sh{shard} out ({} entries, {} wire bytes, {})",
+            report.entries,
+            report.wire_bytes,
+            fmt_latency_ns(report.elapsed_ns as f64)
+        );
+        trade_reports.push(report);
+    }
+    source.join().expect("parent source");
+
+    settle(&exec, &[2, 3, 4, 5, 6, 7, 32, 33], "parent");
+    assert!(
+        fifo.is_clean(),
+        "parent FIFO violations: {:?}",
+        fifo.violations()
+    );
+
+    // Cross-boundary verification: the child's digests for its final
+    // half of the traffic must match what this side computes from the
+    // submission plan alone.
+    let report = request_report(&endpoint);
+    assert_eq!(report.fifo_violations, 0, "child saw FIFO violations");
+    let child_final: Vec<u32> = vec![34, 35, 36, 37, 38, 39, 0, 1];
+    for &shard in &child_final {
+        let expected = expected_snapshot(shard);
+        let got = report
+            .shards
+            .iter()
+            .find(|(s, ..)| *s == shard)
+            .unwrap_or_else(|| panic!("child does not host traffic shard sh{shard}"));
+        assert_eq!(got.1, expected.len() as u64, "key count of sh{shard}");
+        assert_eq!(got.2, expected.value_bytes(), "byte count of sh{shard}");
+        assert_eq!(got.3, digest_of(&expected), "state digest of sh{shard}");
+        // Exactly one owner: this side must NOT hold the shard.
+        assert!(
+            !exec.state().hosts(ShardId(shard)),
+            "sh{shard} hosted on both sides"
+        );
+    }
+    // And nothing this side owns leaked to the child.
+    for &shard in &[2u32, 3, 4, 5, 6, 7, 32, 33] {
+        assert!(
+            !report.shards.iter().any(|(s, ..)| *s == shard),
+            "sh{shard} hosted on both sides"
+        );
+    }
+    let total_records =
+        rounds() * (PARENT_TRAFFIC.len() + CHILD_TRAFFIC.len()) as u64 * KEYS_PER_SHARD as u64;
+    assert_eq!(
+        exec.processed_count() + report.processed,
+        total_records,
+        "every record processed exactly once across the two processes"
+    );
+    println!(
+        "correctness: {} records, {} traded shards, 0 FIFO violations, state conserved",
+        total_records,
+        PARENT_MIGRATES.len() + CHILD_MIGRATES.len()
+    );
+
+    // --- Phase 2: migration latency vs state size ----------------------
+    let mut bench_reports = Vec::new();
+    for (shard, entries) in bench_sizes() {
+        for k in 0..entries as u64 {
+            exec.state().put(
+                ShardId(shard),
+                Key(k),
+                Bytes::from(vec![0x5A; BENCH_VALUE_LEN]),
+            );
+        }
+        let report = endpoint
+            .migrate_out(ShardId(shard))
+            .expect("timed migration");
+        bench_reports.push(report);
+    }
+    // Verify the timed shards actually arrived intact.
+    let report = request_report(&endpoint);
+    for (r, (shard, entries)) in bench_reports.iter().zip(bench_sizes()) {
+        let got = report
+            .shards
+            .iter()
+            .find(|(s, ..)| *s == shard)
+            .unwrap_or_else(|| panic!("child does not host bench shard sh{shard}"));
+        assert_eq!(got.1, entries as u64);
+        assert_eq!(got.2, (entries * BENCH_VALUE_LEN) as u64);
+        assert_eq!(r.value_bytes, got.2);
+    }
+
+    let mut table = Table::new(&[
+        "state size",
+        "entries",
+        "wire bytes",
+        "drain",
+        "latency",
+        "MiB/s",
+    ]);
+    for r in &bench_reports {
+        table.row(vec![
+            fmt_bytes(r.value_bytes),
+            r.entries.to_string(),
+            fmt_bytes(r.wire_bytes),
+            fmt_latency_ns(r.drain_ns as f64),
+            fmt_latency_ns(r.elapsed_ns as f64),
+            format!(
+                "{:.1}",
+                r.value_bytes as f64 / (1 << 20) as f64 / (r.elapsed_ns as f64 / 1e9)
+            ),
+        ]);
+    }
+    println!("\nmigration latency vs state size (parent→child over localhost TCP)");
+    table.print();
+
+    endpoint.send_app(b"bye".to_vec()).expect("dismiss child");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "child process failed: {status}");
+    endpoint.close();
+
+    // --- JSON artifact --------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    json.push_str("  \"correctness\": {\n");
+    let _ = writeln!(json, "    \"records\": {total_records},");
+    let _ = writeln!(json, "    \"fifo_violations\": 0,");
+    let _ = writeln!(
+        json,
+        "    \"parent_to_child_shards\": {:?},",
+        PARENT_MIGRATES.to_vec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"child_to_parent_shards\": {:?},",
+        CHILD_MIGRATES.to_vec()
+    );
+    json.push_str("    \"live_trade_migrations\": [\n");
+    for (i, r) in trade_reports.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"shard\": {}, \"entries\": {}, \"state_bytes\": {}, \"wire_bytes\": {}, \"elapsed_ns\": {}}}",
+            r.shard.0, r.entries, r.value_bytes, r.wire_bytes, r.elapsed_ns
+        );
+        json.push_str(if i + 1 < trade_reports.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n  \"migrations\": [\n");
+    for (i, r) in bench_reports.iter().enumerate() {
+        // The leading "shard" field doubles as the bench_diff row label,
+        // which stays stable across quick/full modes (state sizes do
+        // not), so CI's delta table aligns rows run-over-run.
+        let _ = write!(
+            json,
+            "    {{\"shard\": {}, \"state_bytes\": {}, \"entries\": {}, \"wire_bytes\": {}, \"drain_ns\": {}, \"elapsed_ns\": {}, \"mib_per_s\": {:.2}}}",
+            r.shard.0,
+            r.value_bytes,
+            r.entries,
+            r.wire_bytes,
+            r.drain_ns,
+            r.elapsed_ns,
+            r.value_bytes as f64 / (1 << 20) as f64 / (r.elapsed_ns as f64 / 1e9)
+        );
+        json.push_str(if i + 1 < bench_reports.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--child") {
+        Some(i) => child_main(args.get(i + 1).expect("--child needs the parent address")),
+        None => parent_main(),
+    }
+}

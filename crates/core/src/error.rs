@@ -41,6 +41,15 @@ pub enum Error {
     },
     /// An executor cannot drop below one task.
     LastTask(TaskId),
+    /// The shard is not hosted by this process (it was migrated to, or
+    /// has always lived on, a remote peer), so a local operation that
+    /// needs its state or routing ownership cannot proceed.
+    ShardNotLocal(ShardId),
+    /// The shard already has live state here, so an operation that
+    /// would discard or overwrite it (adopting a migrated copy, marking
+    /// it remote) is refused — two processes must never both own a
+    /// shard's state.
+    ShardStateConflict(ShardId),
     /// Configuration value out of range.
     InvalidConfig(String),
 }
@@ -71,6 +80,12 @@ impl fmt::Display for Error {
                 "allocation requests {requested} cores but only {available} are available"
             ),
             Error::LastTask(t) => write!(f, "cannot remove {t}: executors need at least one task"),
+            Error::ShardNotLocal(s) => {
+                write!(f, "shard {s} is not hosted by this process")
+            }
+            Error::ShardStateConflict(s) => {
+                write!(f, "shard {s} has live local state; refusing to discard it")
+            }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

@@ -31,6 +31,9 @@
 //! * [`balance`] — intra-executor load balancing (paper §3.1): the
 //!   First-Fit-Decreasing-style algorithm that moves shards between tasks
 //!   until the imbalance factor δ drops below θ, minimizing moved shards.
+//! * [`wire`] — the versioned, length-prefixed frame format and
+//!   primitive encoding helpers shared by every cross-process protocol
+//!   (state migration's control frames and shard-snapshot payloads).
 //! * [`config`] — framework configuration with the paper's defaults.
 //! * [`error`] — shared error type.
 
@@ -46,6 +49,7 @@ pub mod reassign;
 pub mod routing;
 pub mod topology;
 pub mod tuple;
+pub mod wire;
 
 pub use balance::{BalanceOutcome, LoadBalancer, ShardMove, TaskLoads};
 pub use config::ElasticutorConfig;
@@ -56,3 +60,4 @@ pub use reassign::{Completion, InFlight, ReassignmentTracker};
 pub use routing::{RouteDecision, RoutingTable};
 pub use topology::{Grouping, OperatorKind, OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::Tuple;
+pub use wire::WireError;

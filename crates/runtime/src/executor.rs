@@ -47,7 +47,7 @@ use elasticutor_core::ids::{ShardId, TaskId};
 use elasticutor_core::reassign::ReassignmentTracker;
 use elasticutor_core::routing::{AtomicShardTable, FastRoute, RouteDecision, RoutingTable};
 use elasticutor_metrics::{LatencyHistogram, ShardedHistogram};
-use elasticutor_state::StateStore;
+use elasticutor_state::{ShardSnapshot, StateStore};
 use parking_lot::{Mutex, RwLock};
 
 use crate::record::{monotonic_ns, Operator, Record, RecordBatch};
@@ -77,6 +77,12 @@ pub struct ExecutorConfig {
     /// Benchmark-only: route every record through the global routing
     /// mutex and a global latency-histogram lock, reproducing the
     /// pre-optimization data plane for `--baseline` comparisons.
+    ///
+    /// Defaults to `false`, unless the environment variable
+    /// `ELASTICUTOR_BASELINE=1` is set — the switch CI uses to run the
+    /// whole workspace test suite against the retained mutex plane, so
+    /// the baseline path cannot silently rot. Explicit assignments of
+    /// the field always win over the environment.
     pub baseline_locked_routing: bool,
 }
 
@@ -89,7 +95,7 @@ impl Default for ExecutorConfig {
             max_moves_per_rebalance: 64,
             output_capacity: None,
             max_task_slots: 64,
-            baseline_locked_routing: false,
+            baseline_locked_routing: std::env::var("ELASTICUTOR_BASELINE").is_ok_and(|v| v == "1"),
         }
     }
 }
@@ -105,8 +111,22 @@ enum TaskMsg {
     /// dequeues it, every pending record of the shard has been processed
     /// and the reassignment can complete.
     Label(u64),
+    /// The cross-process analogue of `Label`: when the source task
+    /// dequeues it, every record enqueued before the pause has been
+    /// processed and its state committed — the migration driver blocked
+    /// on the channel may now extract the shard. Carries no label
+    /// because the §3.3 bookkeeping for a cross-process move lives in
+    /// the migration transport, not the local reassignment tracker.
+    Flush(Sender<()>),
     Stop,
 }
+
+/// Forwards records of a shard that now lives in another process. Called
+/// under the routing lock, so implementations must never block (the
+/// migration transport enqueues an encoded frame on an unbounded
+/// channel). A forwarder outliving its link may drop records, matching
+/// the executor's shutdown semantics.
+pub type RemoteForwarder = Arc<dyn Fn(ShardId, Record) + Send + Sync>;
 
 /// One entry of the slot table: the channel of the task thread currently
 /// occupying the slot. Padded so submitters routing to different tasks
@@ -166,6 +186,10 @@ struct Inner<O: Operator> {
 
 struct RoutingState {
     table: RoutingTable<Record>,
+    /// Shards hosted by a remote process: records route to the peer's
+    /// forwarder instead of a local task. A remote shard's atomic word
+    /// stays paused permanently, so every fast-path submit diverts here.
+    remote: std::collections::BTreeMap<ShardId, RemoteForwarder>,
     senders: std::collections::BTreeMap<TaskId, Sender<TaskMsg>>,
     /// Task → occupied slot index.
     task_slots: std::collections::BTreeMap<TaskId, usize>,
@@ -238,6 +262,7 @@ impl<O: Operator> ElasticExecutor<O> {
         let inner = Arc::new(Inner {
             routing: Mutex::new(RoutingState {
                 table: RoutingTable::new(config.num_shards, TaskId(0)),
+                remote: std::collections::BTreeMap::new(),
                 senders: std::collections::BTreeMap::new(),
                 task_slots: std::collections::BTreeMap::new(),
                 free_slots: (0..max_slots).rev().collect(),
@@ -436,6 +461,13 @@ impl<O: Operator> ElasticExecutor<O> {
     }
 
     fn route_locked(rs: &mut RoutingState, shard: ShardId, record: Record) {
+        // Remote shards forward to their peer before the local table is
+        // consulted (the stale local mapping is kept only so the table's
+        // shard arithmetic stays dense).
+        if let Some(forward) = rs.remote.get(&shard) {
+            forward(shard, record);
+            return;
+        }
         match rs.table.route_shard(shard, record) {
             RouteDecision::Buffered(_) => {} // parked until the move completes
             RouteDecision::Deliver(task, record) => {
@@ -535,7 +567,15 @@ impl<O: Operator> ElasticExecutor<O> {
             let (owned, pending_to_task) = {
                 let rs = self.inner.routing.lock();
                 let tracker = self.inner.reassigns.lock();
-                (rs.table.shards_of(task), tracker.targets_task(task))
+                // Remote shards keep a stale local mapping; they are not
+                // owned by anyone here and must not block the drain.
+                let owned: Vec<ShardId> = rs
+                    .table
+                    .shards_of(task)
+                    .into_iter()
+                    .filter(|s| !rs.remote.contains_key(s))
+                    .collect();
+                (owned, tracker.targets_task(task))
             };
             if owned.is_empty() && !pending_to_task {
                 break;
@@ -587,6 +627,9 @@ impl<O: Operator> ElasticExecutor<O> {
         let mut rs = self.inner.routing.lock();
         if !rs.senders.contains_key(&to) || rs.draining.contains(&to) {
             return Err(Error::UnknownTask(to));
+        }
+        if rs.remote.contains_key(&shard) {
+            return Err(Error::ShardNotLocal(shard));
         }
         let from = rs.table.task_of(shard)?;
         if from == to {
@@ -780,7 +823,313 @@ fn halt<O: Operator>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process migration hooks.
+//
+// These methods are the executor half of the migration transport in
+// `crate::migrate`: the §3.3 pause handshake stretched across a process
+// boundary. The transport sequences them; each method is individually
+// atomic under the routing lock, and every failure path restores a
+// consistent local state (the shard is either fully here or fully
+// remote — never silently dropped).
+// ---------------------------------------------------------------------------
 impl<O: Operator> ElasticExecutor<O> {
+    /// Starts migrating `shard` out of this process: pauses both routing
+    /// tiers, waits for every in-flight fast-path route *and* every
+    /// already-enqueued record of the shard to finish processing (the
+    /// flush marker plays the labeling tuple's role through the owner's
+    /// FIFO queue), then extracts the shard's state.
+    ///
+    /// On success the shard is **detached**: new records buffer in the
+    /// pause buffer until the caller either ships the snapshot and calls
+    /// [`Self::complete_migration`], or gives up and calls
+    /// [`Self::abort_migration`] with the returned snapshot. Blocks for
+    /// the drain; must not be called from a task thread.
+    pub fn begin_migration(&self, shard: ShardId) -> Result<ShardSnapshot> {
+        let (flushed, from) = self.pause_and_flush(shard)?;
+        if flushed.recv().is_err() {
+            // The owner task stopped (executor halting) before it
+            // reached the marker: unwind the pause, surface a typed
+            // error instead of wedging the transport.
+            self.unwind_pause(shard);
+            return Err(Error::UnknownTask(from));
+        }
+        Ok(self
+            .inner
+            .state
+            .extract_shard(shard)
+            .unwrap_or_else(|| ShardSnapshot::empty(shard)))
+    }
+
+    /// Pauses both routing tiers of `shard` and enqueues a flush marker
+    /// at its owner task. On success the returned channel fires once
+    /// every record enqueued before the pause has been processed; the
+    /// owner task id rides along for error reporting.
+    fn pause_and_flush(&self, shard: ShardId) -> Result<(Receiver<()>, TaskId)> {
+        let mut rs = self.inner.routing.lock();
+        if rs.remote.contains_key(&shard) {
+            return Err(Error::ShardNotLocal(shard));
+        }
+        let from = rs.table.task_of(shard)?;
+        // A halted executor keeps its table but has no senders.
+        let sender = rs
+            .senders
+            .get(&from)
+            .cloned()
+            .ok_or(Error::UnknownTask(from))?;
+        rs.table.pause(shard)?;
+        // Same wait-free handshake as `reassign_shard`: after this,
+        // every delivery that read the pre-pause owner is enqueued
+        // at `from`, and later submits divert to the pause buffer.
+        self.inner.shard_table.pause(shard);
+        let (tx, rx) = bounded(1);
+        if sender.send(TaskMsg::Flush(tx)).is_err() {
+            // The task channel closed under us (halt in progress):
+            // unwind both pauses under this same lock hold.
+            let _ = rs.table.abort_reassignment(shard);
+            self.inner.shard_table.abort(shard);
+            return Err(Error::UnknownTask(from));
+        }
+        Ok((rx, from))
+    }
+
+    /// Reverts a [`Self::pause_and_flush`] whose drain could not
+    /// complete: releases the pause buffer back to the owner (dropped
+    /// if the executor halted) and resumes the fast path.
+    fn unwind_pause(&self, shard: ShardId) {
+        let mut rs = self.inner.routing.lock();
+        if let Ok(buffered) = rs.table.abort_reassignment(shard) {
+            if !buffered.is_empty() {
+                if let Some(sender) = rs
+                    .table
+                    .task_of(shard)
+                    .ok()
+                    .and_then(|t| rs.senders.get(&t))
+                {
+                    let batch: Vec<(ShardId, Record)> =
+                        buffered.into_iter().map(|r| (shard, r)).collect();
+                    let _ = sender.send(TaskMsg::Batch(batch));
+                }
+            }
+            self.inner.shard_table.abort(shard);
+        }
+    }
+
+    /// Completes an outbound migration after the peer acknowledged the
+    /// installed state: replays the pause buffer through `forward` (in
+    /// arrival order), invokes `flush_mark` (the transport enqueues its
+    /// DONE marker here, behind the replayed records and ahead of every
+    /// future forward), and flips the shard to remote routing — all
+    /// atomically under the routing lock, so no record can slip between
+    /// the replay and the flip. The shard's atomic word stays paused
+    /// permanently: fast-path submits divert to the slow path, which
+    /// forwards.
+    pub fn complete_migration(
+        &self,
+        shard: ShardId,
+        forward: RemoteForwarder,
+        flush_mark: impl FnOnce(),
+    ) -> Result<()> {
+        let mut rs = self.inner.routing.lock();
+        let buffered = rs.table.abort_reassignment(shard)?;
+        for record in buffered {
+            forward(shard, record);
+        }
+        flush_mark();
+        rs.remote.insert(shard, forward);
+        Ok(())
+    }
+
+    /// Aborts an outbound migration (peer rejected, aborted, or
+    /// disconnected): reinstalls the snapshot, releases the pause buffer
+    /// back to the local owner, and resumes both routing tiers. After
+    /// this the shard is exactly as local as it was before
+    /// [`Self::begin_migration`] — no record and no state entry is lost.
+    pub fn abort_migration(&self, snapshot: ShardSnapshot) -> Result<()> {
+        let shard = snapshot.shard;
+        // Reinstall before resuming routing: the first record delivered
+        // after the resume must see the state again. No task touches the
+        // store for a paused shard, so the install cannot race.
+        self.inner.state.install_shard(snapshot);
+        let mut rs = self.inner.routing.lock();
+        let buffered = rs.table.abort_reassignment(shard)?;
+        let from = rs.table.task_of(shard)?;
+        if !buffered.is_empty() {
+            // A missing sender means the executor was halted mid-abort;
+            // dropping the buffer matches shutdown semantics.
+            if let Some(sender) = rs.senders.get(&from) {
+                let batch: Vec<(ShardId, Record)> =
+                    buffered.into_iter().map(|r| (shard, r)).collect();
+                let _ = sender.send(TaskMsg::Batch(batch));
+            }
+        }
+        self.inner.shard_table.abort(shard);
+        Ok(())
+    }
+
+    /// Marks `shard` as hosted by a remote peer without a migration —
+    /// initial ownership partitioning before any record flows. Discards
+    /// the local (empty) copy of the shard's state, pauses the fast
+    /// path permanently, and routes future records through `forward`.
+    /// Errors if the shard has local state, is mid-reassignment, or is
+    /// already remote.
+    pub fn mark_remote(&self, shard: ShardId, forward: RemoteForwarder) -> Result<()> {
+        let mut rs = self.inner.routing.lock();
+        if rs.remote.contains_key(&shard) {
+            return Err(Error::ShardNotLocal(shard));
+        }
+        if rs.table.is_paused(shard) {
+            return Err(Error::ReassignmentInProgress(shard));
+        }
+        rs.table.task_of(shard)?; // validates the shard id
+        if self.inner.state.shard_keys(shard) > 0 {
+            return Err(Error::ShardStateConflict(shard));
+        }
+        self.inner.state.extract_shard(shard); // discard the empty copy
+        self.inner.shard_table.pause(shard);
+        rs.remote.insert(shard, forward);
+        Ok(())
+    }
+
+    /// Checks whether an inbound migration offer for `shard` can be
+    /// honored: the shard must not be mid-reassignment or -migration
+    /// here, and must not have live local state (two processes must
+    /// never both own a shard).
+    pub fn can_adopt(&self, shard: ShardId) -> Result<()> {
+        let rs = self.inner.routing.lock();
+        rs.table.task_of(shard)?;
+        if rs.table.is_paused(shard) {
+            return Err(Error::ReassignmentInProgress(shard));
+        }
+        if !rs.remote.contains_key(&shard) && self.inner.state.shard_keys(shard) > 0 {
+            return Err(Error::ShardStateConflict(shard));
+        }
+        Ok(())
+    }
+
+    /// Installs an inbound migrated shard (transport `COMMIT`): evicts
+    /// the local empty copy if one exists, installs the snapshot, maps
+    /// the shard to a local task, and holds routing **closed** — the
+    /// atomic word paused and the table buffering — so local submits
+    /// queue up behind the peer's replayed records until
+    /// [`Self::adopt_finish`]. Replayed records arriving between the
+    /// two calls are delivered with [`Self::deliver_to_owner`].
+    pub fn adopt_install(&self, snapshot: ShardSnapshot) -> Result<()> {
+        let shard = snapshot.shard;
+        // Phase 1: close the shard's routing. A remote shard's fast
+        // path is already paused and nothing local can touch its state.
+        // A shard that is still local (an empty copy) needs the full
+        // pause + flush drain first — otherwise a record already queued
+        // at its owner task could create state between the emptiness
+        // check and the install, and `install_shard` would panic.
+        let was_remote = {
+            let rs = self.inner.routing.lock();
+            if rs.table.is_paused(shard) {
+                return Err(Error::ReassignmentInProgress(shard));
+            }
+            rs.table.task_of(shard)?;
+            rs.remote.contains_key(&shard)
+        };
+        if !was_remote {
+            let (flushed, from) = self.pause_and_flush(shard)?;
+            if flushed.recv().is_err() {
+                self.unwind_pause(shard);
+                return Err(Error::UnknownTask(from));
+            }
+        }
+        // Phase 2: install and map. The shard is paused on both tiers
+        // either way, so no task thread can race the store mutation and
+        // every control-plane operation refuses it until adopt_finish.
+        let mut rs = self.inner.routing.lock();
+        let state = &self.inner.state;
+        if state.hosts(shard) && state.shard_keys(shard) > 0 {
+            // Drained records created state after `can_adopt`'s check:
+            // a genuine conflict — restore routing and refuse.
+            drop(rs);
+            if !was_remote {
+                self.unwind_pause(shard);
+            }
+            return Err(Error::ShardStateConflict(shard));
+        }
+        if was_remote {
+            // Map the shard before touching state so a failure leaves
+            // nothing half-done. A local shard keeps its current owner
+            // (any task works — state is process-shared); a rebalance
+            // can move it later.
+            let task = rs
+                .senders
+                .keys()
+                .copied()
+                .find(|t| !rs.draining.contains(t))
+                .ok_or_else(|| Error::Infeasible(format!("no live task to adopt {shard}")))?;
+            rs.table.set_task(shard, task)?;
+            rs.table.pause(shard)?; // buffer local submits until adopt_finish
+            rs.remote.remove(&shard);
+        }
+        if state.hosts(shard) {
+            state.extract_shard(shard); // evict the empty local copy
+        }
+        state.install_shard(snapshot);
+        Ok(())
+    }
+
+    /// Finishes an inbound migration (transport `DONE`): flushes local
+    /// records buffered during adoption to the shard's new owner task —
+    /// behind every replayed record — and reopens the fast path.
+    pub fn adopt_finish(&self, shard: ShardId) -> Result<()> {
+        let mut rs = self.inner.routing.lock();
+        let task = rs.table.task_of(shard)?;
+        let buffered = rs.table.finish_reassignment(shard, task)?;
+        if !buffered.is_empty() {
+            // A missing sender means the executor halted mid-adoption;
+            // dropping the buffer matches shutdown semantics.
+            if let Some(sender) = rs.senders.get(&task) {
+                let batch: Vec<(ShardId, Record)> =
+                    buffered.into_iter().map(|r| (shard, r)).collect();
+                let _ = sender.send(TaskMsg::Batch(batch));
+            }
+        }
+        match rs.task_slots.get(&task) {
+            Some(&slot) => self.inner.shard_table.finish(shard, slot as u32),
+            // Halted: no slot to point at. Resume the word to its stale
+            // slot — all sender cells are empty, so fast-path submits
+            // fall through to the slow path and drop, matching halted
+            // semantics.
+            None => self.inner.shard_table.abort(shard),
+        }
+        Ok(())
+    }
+
+    /// Delivers a record straight to the task currently mapped to
+    /// `shard`, bypassing pause buffering — the transport uses this for
+    /// the peer's replayed records during the `COMMIT`→`DONE` window,
+    /// which must land *ahead of* the locally buffered ones.
+    pub fn deliver_to_owner(&self, shard: ShardId, record: Record) -> Result<()> {
+        self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
+        self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
+        let rs = self.inner.routing.lock();
+        let task = rs.table.task_of(shard)?;
+        let sender = rs.senders.get(&task).ok_or(Error::UnknownTask(task))?;
+        let _ = sender.send(TaskMsg::One(shard, record));
+        Ok(())
+    }
+
+    /// Accepts a record arriving from a remote peer (transport `DATA`):
+    /// routed like a local submit — delivered to the owning task,
+    /// buffered if the shard is paused, or forwarded onward if the
+    /// shard has since moved again.
+    pub fn receive_remote(&self, shard: ShardId, record: Record) {
+        self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
+        self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
+        let mut rs = self.inner.routing.lock();
+        Self::route_locked(&mut rs, shard, record);
+    }
+
+    /// Shards currently routed to a remote peer, ascending.
+    pub fn remote_shards(&self) -> Vec<ShardId> {
+        self.inner.routing.lock().remote.keys().copied().collect()
+    }
+
     /// Stops all task threads without consuming the executor — the
     /// fallback a [`Pipeline`](crate::pipeline::Pipeline) uses at
     /// shutdown when the caller still holds a clone of the stage handle
@@ -865,6 +1214,13 @@ fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, slot: usize, rx: Re
             }
             TaskMsg::Batch(items) => {
                 process_items(&inner, slot, &items);
+            }
+            TaskMsg::Flush(done) => {
+                // Cross-process migration drain: everything enqueued
+                // before this marker has been processed and its state
+                // committed (messages are handled serially). A closed
+                // receiver means the migration was given up; ignore.
+                let _ = done.send(());
             }
             TaskMsg::Label(label) => {
                 // All pending records of the shard are done: complete the

@@ -56,12 +56,14 @@
 
 pub mod controller;
 pub mod executor;
+pub mod migrate;
 pub mod order;
 pub mod pipeline;
 pub mod record;
 
 pub use controller::{ControllerConfig, ControllerEvent, LiveController};
-pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample};
+pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, RemoteForwarder};
+pub use migrate::{MigrateError, MigrationEndpoint, MigrationReport};
 pub use order::FifoChecker;
 pub use pipeline::{BoxedOperator, Pipeline, PipelineBuilder, StageStats};
 pub use record::{monotonic_ns, Operator, Record, RecordBatch};

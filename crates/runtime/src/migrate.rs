@@ -1,0 +1,848 @@
+//! Cross-process shard migration over TCP.
+//!
+//! This module is the live realization of the paper's headline claim
+//! (§3.2, Figure 9b): executor-centric elasticity moves **only the
+//! displaced shards' state**, so migration latency is state size over
+//! link bandwidth. Two `elasticutor-runtime` processes connect one
+//! duplex TCP link and trade shards while records keep flowing.
+//!
+//! # Protocol
+//!
+//! All messages travel as [`elasticutor_core::wire`] frames on a single
+//! connection, written by one writer thread per side (so each direction
+//! is totally ordered) and consumed by one reader thread per side. A
+//! migration of shard *s* from **B** (sender) to **A** (receiver):
+//!
+//! ```text
+//! B: pause s (wait-free handshake) → flush marker through the owner
+//!    task's queue → extract ShardSnapshot            [§3.3, in-process]
+//! B→A  OFFER  (shard, entries, bytes)
+//! A→B  ACCEPT (or REJECT reason)      A keeps routing records to B;
+//!                                     they buffer behind B's pause.
+//! B→A  STATE × n                      chunked snapshot frames
+//! B→A  COMMIT (totals + checksum)
+//! A:   verify, install state, map s to a local task, hold routing
+//!      closed (local submits buffer)
+//! A→B  COMMIT_ACK
+//! B:   atomically: replay pause buffer as DATA frames, append DONE,
+//!      flip s to remote routing        [the labeling-tuple flip]
+//! B→A  DATA × m, DONE
+//! A:   deliver replayed records ahead of its own buffered ones,
+//!      reopen the fast path
+//! ```
+//!
+//! Per-key FIFO holds across the boundary because of three orderings:
+//! (1) B's pause handshake puts every pre-pause record ahead of the
+//! flush marker in the old owner's queue; (2) the single duplex link
+//! means everything A forwarded to B before its `COMMIT_ACK` is read by
+//! B before the ack, and therefore sits in B's pause buffer when B
+//! replays it; (3) A delivers B's replayed records ahead of the records
+//! A buffered locally during adoption, and reopens its fast path only
+//! after both.
+//!
+//! # Failure semantics
+//!
+//! Every failure before `COMMIT_ACK` (peer rejection, protocol abort,
+//! disconnect, timeout) surfaces as a typed [`MigrateError`] and
+//! **restores the shard locally**: the snapshot is reinstalled, the
+//! pause buffer drains back to the original owner task, and routing
+//! resumes — no record and no state entry is silently dropped. The
+//! window between sending `COMMIT` and receiving the ack is the classic
+//! two-phase-commit uncertainty: on a link failure there, the sender
+//! restores locally and the receiver (if it already installed) keeps
+//! the copy — a real deployment closes this with a recovery log, which
+//! is out of scope here and called out in the README.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, ByteReader, Checksum, WireError};
+use elasticutor_core::Error;
+use elasticutor_state::ShardSnapshot;
+use parking_lot::Mutex;
+
+use crate::executor::{ElasticExecutor, RemoteForwarder};
+use crate::record::{monotonic_ns, Operator, Record};
+
+/// `OFFER`: sender proposes migrating a shard (shard, entries, bytes).
+pub const MSG_OFFER: u8 = 1;
+/// `ACCEPT`: receiver agrees to adopt the offered shard.
+pub const MSG_ACCEPT: u8 = 2;
+/// `REJECT`: receiver declines the offer (reason attached).
+pub const MSG_REJECT: u8 = 3;
+/// `STATE`: one chunk of the shard snapshot (snapshot wire format).
+pub const MSG_STATE: u8 = 4;
+/// `COMMIT`: end of state; totals and end-to-end checksum for verify.
+pub const MSG_COMMIT: u8 = 5;
+/// `COMMIT_ACK`: receiver installed the state and closed its routing.
+pub const MSG_COMMIT_ACK: u8 = 6;
+/// `DONE`: sender replayed its pause buffer; receiver may open routing.
+pub const MSG_DONE: u8 = 7;
+/// `ABORT`: either side gives up on the in-flight migration (reason).
+pub const MSG_ABORT: u8 = 8;
+/// `DATA`: one forwarded record for a remotely-hosted shard.
+pub const MSG_DATA: u8 = 9;
+/// `APP`: opaque application payload (demo coordination traffic).
+pub const MSG_APP: u8 = 10;
+
+/// Internal writer-thread shutdown sentinel — never put on the wire.
+/// (`LinkShared` itself holds an `out_tx` clone, so the writer cannot
+/// rely on channel disconnection to exit.)
+const MSG_CLOSE_INTERNAL: u8 = 0;
+
+/// Value bytes per `STATE` chunk (big shards stream as many frames).
+const STATE_CHUNK_BYTES: u64 = 256 * 1024;
+/// How long the sender waits for `ACCEPT`.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(20);
+/// How long the sender waits for `COMMIT_ACK` (covers install time).
+const COMMIT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Errors surfaced by the migration transport. Every variant that can
+/// occur after [`MigrationEndpoint::migrate_out`] paused the shard
+/// implies the shard was restored locally (see the module docs for the
+/// post-`COMMIT` uncertainty window).
+#[derive(Debug)]
+pub enum MigrateError {
+    /// A local executor precondition failed (shard not local, shard
+    /// mid-reassignment, …).
+    Local(Error),
+    /// The peer rejected the offer.
+    Rejected(String),
+    /// The peer aborted the migration mid-protocol.
+    Aborted(String),
+    /// The connection failed mid-protocol.
+    PeerDisconnected,
+    /// The peer did not answer within the protocol timeout.
+    Timeout,
+    /// Another outbound migration is already running on this link.
+    MigrationInFlight,
+    /// Malformed wire data from the peer.
+    Wire(WireError),
+    /// A socket-level error while establishing or closing the link.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::Local(e) => write!(f, "local executor error: {e}"),
+            MigrateError::Rejected(r) => write!(f, "peer rejected the migration: {r}"),
+            MigrateError::Aborted(r) => write!(f, "peer aborted the migration: {r}"),
+            MigrateError::PeerDisconnected => write!(f, "peer disconnected mid-migration"),
+            MigrateError::Timeout => write!(f, "peer did not answer within the timeout"),
+            MigrateError::MigrationInFlight => {
+                write!(f, "an outbound migration is already in flight on this link")
+            }
+            MigrateError::Wire(e) => write!(f, "wire error: {e}"),
+            MigrateError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl From<Error> for MigrateError {
+    fn from(e: Error) -> Self {
+        MigrateError::Local(e)
+    }
+}
+
+impl From<WireError> for MigrateError {
+    fn from(e: WireError) -> Self {
+        MigrateError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for MigrateError {
+    fn from(e: std::io::Error) -> Self {
+        MigrateError::Io(e)
+    }
+}
+
+/// Timings and traffic of one completed outbound migration — the live
+/// analogue of the paper's Figure 9b data points.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationReport {
+    /// The migrated shard.
+    pub shard: ShardId,
+    /// State entries shipped.
+    pub entries: usize,
+    /// Value bytes shipped (the paper's state size `s_j`).
+    pub value_bytes: u64,
+    /// Bytes put on the wire for the migration itself (control frames +
+    /// encoded state, headers included; replayed live records excluded).
+    pub wire_bytes: u64,
+    /// Nanoseconds from initiating the pause until the shard's pending
+    /// records were drained and its state extracted.
+    pub drain_ns: u64,
+    /// Total nanoseconds from initiating the pause until the shard was
+    /// remote and the pause buffer replayed (submit-visible stall).
+    pub elapsed_ns: u64,
+}
+
+/// What the reader thread tells a waiting [`MigrationEndpoint::migrate_out`].
+enum PeerEvent {
+    Accepted,
+    Rejected(String),
+    Committed,
+    Aborted(String),
+    Disconnected,
+}
+
+/// The sender-side registry of the (single) in-flight outbound
+/// migration on a link.
+struct PendingOut {
+    shard: ShardId,
+    events: Sender<PeerEvent>,
+}
+
+/// State shared between the endpoint handle, the reader, the writer,
+/// and every remote forwarder installed in the executor.
+struct LinkShared {
+    /// Frames awaiting the writer thread: `(msg type, payload)`.
+    out_tx: Sender<(u8, Vec<u8>)>,
+    pending: Mutex<Option<PendingOut>>,
+    dead: AtomicBool,
+    /// Bytes written to the socket so far (headers included).
+    written: AtomicU64,
+    /// Used to unblock the reader on close.
+    stream: TcpStream,
+}
+
+impl LinkShared {
+    fn fail(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        if let Some(p) = self.pending.lock().take() {
+            let _ = p.events.send(PeerEvent::Disconnected);
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        // Wake the writer so it can observe the death and exit.
+        let _ = self.out_tx.send((MSG_CLOSE_INTERNAL, Vec::new()));
+    }
+}
+
+/// The receiver-side assembly of one inbound migration.
+struct Incoming {
+    shard: ShardId,
+    expect_entries: u64,
+    expect_bytes: u64,
+    entries: Vec<(Key, Bytes)>,
+    value_bytes: u64,
+    checksum: Checksum,
+    /// Set once `COMMIT` installed the state; between install and
+    /// `DONE`, replayed `DATA` records bypass the adoption buffer.
+    installed: bool,
+}
+
+/// Reader-side inbound migration state.
+#[derive(Default)]
+struct Inbound {
+    /// The migration currently being assembled (at most one).
+    current: Option<Incoming>,
+    /// A migration this side aborted mid-stream: the sender's remaining
+    /// `STATE`/`COMMIT` frames are already in flight and must drain
+    /// harmlessly instead of reading as protocol violations.
+    discarding: Option<ShardId>,
+}
+
+/// One side of a migration link: pairs an [`ElasticExecutor`] with a
+/// duplex TCP connection to a peer process, forwards records of
+/// remotely-hosted shards, and drives/answers shard migrations.
+pub struct MigrationEndpoint<O: Operator> {
+    executor: Arc<ElasticExecutor<O>>,
+    shared: Arc<LinkShared>,
+    app_rx: Receiver<Vec<u8>>,
+    peer: SocketAddr,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl<O: Operator> MigrationEndpoint<O> {
+    /// Accepts one peer connection from `listener` and starts the link.
+    pub fn accept(
+        executor: Arc<ElasticExecutor<O>>,
+        listener: &TcpListener,
+    ) -> Result<Self, MigrateError> {
+        let (stream, peer) = listener.accept()?;
+        Self::start(executor, stream, peer)
+    }
+
+    /// Connects to a listening peer and starts the link.
+    pub fn connect(
+        executor: Arc<ElasticExecutor<O>>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, MigrateError> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        Self::start(executor, stream, peer)
+    }
+
+    fn start(
+        executor: Arc<ElasticExecutor<O>>,
+        stream: TcpStream,
+        peer: SocketAddr,
+    ) -> Result<Self, MigrateError> {
+        stream.set_nodelay(true)?;
+        let (out_tx, out_rx) = unbounded::<(u8, Vec<u8>)>();
+        let (app_tx, app_rx) = unbounded::<Vec<u8>>();
+        let shared = Arc::new(LinkShared {
+            out_tx,
+            pending: Mutex::new(None),
+            dead: AtomicBool::new(false),
+            written: AtomicU64::new(0),
+            stream: stream.try_clone()?,
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let stream = stream.try_clone()?;
+            std::thread::Builder::new()
+                .name("migrate-writer".into())
+                .spawn(move || writer_loop(stream, out_rx, shared))
+                .expect("spawn writer thread")
+        };
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            std::thread::Builder::new()
+                .name("migrate-reader".into())
+                .spawn(move || reader_loop(stream, executor, shared, app_tx))
+                .expect("spawn reader thread")
+        };
+        Ok(Self {
+            executor,
+            shared,
+            app_rx,
+            peer,
+            reader: Some(reader),
+            writer: Some(writer),
+        })
+    }
+
+    /// The peer's socket address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Whether the link is still usable.
+    pub fn is_alive(&self) -> bool {
+        !self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Bytes written to the socket so far (all traffic, headers
+    /// included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.written.load(Ordering::Relaxed)
+    }
+
+    /// A forwarder routing records of a shard to this link's peer as
+    /// `DATA` frames. Non-blocking (unbounded queue to the writer);
+    /// records enqueued after the link died are dropped, matching the
+    /// executor's shutdown semantics.
+    pub fn forwarder(&self) -> RemoteForwarder {
+        let out_tx = self.shared.out_tx.clone();
+        Arc::new(move |shard: ShardId, record: Record| {
+            let _ = out_tx.send((MSG_DATA, encode_data(shard, &record)));
+        })
+    }
+
+    /// Declares `shards` as hosted by the peer (initial ownership
+    /// partitioning, before records flow): each is marked remote in the
+    /// executor with this link's forwarder.
+    pub fn delegate_shards(&self, shards: &[ShardId]) -> Result<(), MigrateError> {
+        for &shard in shards {
+            self.executor.mark_remote(shard, self.forwarder())?;
+        }
+        Ok(())
+    }
+
+    /// Sends an opaque application payload to the peer (demo
+    /// coordination traffic rides the same ordered link).
+    pub fn send_app(&self, payload: Vec<u8>) -> Result<(), MigrateError> {
+        self.send(MSG_APP, payload).map(|_| ())
+    }
+
+    /// Application payloads received from the peer, in arrival order.
+    pub fn app_messages(&self) -> &Receiver<Vec<u8>> {
+        &self.app_rx
+    }
+
+    fn send(&self, msg_type: u8, payload: Vec<u8>) -> Result<u64, MigrateError> {
+        if !self.is_alive() {
+            return Err(MigrateError::PeerDisconnected);
+        }
+        let bytes = wire::frame_wire_bytes(payload.len());
+        self.shared
+            .out_tx
+            .send((msg_type, payload))
+            .map_err(|_| MigrateError::PeerDisconnected)?;
+        Ok(bytes)
+    }
+
+    /// Migrates `shard` to the peer: the full pause → drain → stream →
+    /// commit → replay sequence described in the module docs. Blocks
+    /// until the shard is remote (success) or restored locally (any
+    /// error). One outbound migration per link at a time.
+    pub fn migrate_out(&self, shard: ShardId) -> Result<MigrationReport, MigrateError> {
+        if !self.is_alive() {
+            return Err(MigrateError::PeerDisconnected);
+        }
+        let (ev_tx, ev_rx) = unbounded();
+        {
+            let mut pending = self.shared.pending.lock();
+            if pending.is_some() {
+                return Err(MigrateError::MigrationInFlight);
+            }
+            *pending = Some(PendingOut {
+                shard,
+                events: ev_tx,
+            });
+        }
+        let started = monotonic_ns();
+        let snapshot = match self.executor.begin_migration(shard) {
+            Ok(s) => s,
+            Err(e) => {
+                *self.shared.pending.lock() = None;
+                return Err(MigrateError::Local(e));
+            }
+        };
+        let drain_ns = monotonic_ns().saturating_sub(started);
+        let result = self.stream_and_commit(shard, &snapshot, &ev_rx, started, drain_ns);
+        *self.shared.pending.lock() = None;
+        if let Err(e) = &result {
+            // The shard must come back: reinstall the snapshot, release
+            // the pause buffer to the original owner, resume routing.
+            // Tell the peer too (best effort) so it can drop a
+            // half-assembled copy.
+            let mut reason = Vec::new();
+            wire::put_u32(&mut reason, shard.0);
+            wire::put_bytes(&mut reason, e.to_string().as_bytes());
+            let _ = self.send(MSG_ABORT, reason);
+            self.executor
+                .abort_migration(snapshot)
+                .expect("paused shard restores");
+        }
+        result
+    }
+
+    fn stream_and_commit(
+        &self,
+        shard: ShardId,
+        snapshot: &ShardSnapshot,
+        ev_rx: &Receiver<PeerEvent>,
+        started: u64,
+        drain_ns: u64,
+    ) -> Result<MigrationReport, MigrateError> {
+        let mut wire_bytes = 0u64;
+        let mut offer = Vec::new();
+        wire::put_u32(&mut offer, shard.0);
+        wire::put_u64(&mut offer, snapshot.len() as u64);
+        wire::put_u64(&mut offer, snapshot.value_bytes());
+        wire_bytes += self.send(MSG_OFFER, offer)?;
+        match recv_event(ev_rx, ACCEPT_TIMEOUT)? {
+            PeerEvent::Accepted => {}
+            PeerEvent::Rejected(r) => return Err(MigrateError::Rejected(r)),
+            PeerEvent::Aborted(r) => return Err(MigrateError::Aborted(r)),
+            PeerEvent::Disconnected => return Err(MigrateError::PeerDisconnected),
+            PeerEvent::Committed => {
+                return Err(MigrateError::Wire(WireError::Corrupt(
+                    "peer acknowledged a commit before one was sent",
+                )))
+            }
+        }
+        let mut end_to_end = Checksum::new();
+        for chunk in snapshot.chunks(STATE_CHUNK_BYTES) {
+            let encoded = chunk.encode();
+            // A single entry can exceed the chunk budget (entries are
+            // indivisible); refuse it here rather than letting the
+            // writer thread hit the frame cap and kill the whole link.
+            if encoded.len() as u64 > u64::from(wire::MAX_FRAME_LEN) {
+                return Err(MigrateError::Wire(WireError::Oversized(
+                    encoded.len() as u64
+                )));
+            }
+            chunk.fold_checksum(&mut end_to_end);
+            wire_bytes += self.send(MSG_STATE, encoded)?;
+        }
+        let mut commit = Vec::new();
+        wire::put_u32(&mut commit, shard.0);
+        wire::put_u64(&mut commit, snapshot.len() as u64);
+        wire::put_u64(&mut commit, snapshot.value_bytes());
+        wire::put_u64(&mut commit, end_to_end.finish());
+        wire_bytes += self.send(MSG_COMMIT, commit)?;
+        match recv_event(ev_rx, COMMIT_TIMEOUT) {
+            Ok(PeerEvent::Committed) => {}
+            Ok(PeerEvent::Aborted(r)) => return Err(MigrateError::Aborted(r)),
+            Ok(PeerEvent::Rejected(r)) => return Err(MigrateError::Rejected(r)),
+            Ok(PeerEvent::Disconnected) | Err(MigrateError::PeerDisconnected) => {
+                return Err(MigrateError::PeerDisconnected)
+            }
+            Ok(PeerEvent::Accepted) => {
+                return Err(MigrateError::Wire(WireError::Corrupt(
+                    "duplicate accept from peer",
+                )))
+            }
+            Err(e) => {
+                // Post-COMMIT uncertainty: the peer may or may not have
+                // installed. Kill the link so no later protocol step
+                // can half-run, then restore locally (module docs).
+                self.shared.fail();
+                return Err(e);
+            }
+        }
+        // Atomically: replay the pause buffer as DATA frames, append
+        // DONE, flip the shard to remote routing.
+        let forward = self.forwarder();
+        let out_tx = self.shared.out_tx.clone();
+        let mut done = Vec::new();
+        wire::put_u32(&mut done, shard.0);
+        wire_bytes += wire::frame_wire_bytes(done.len());
+        self.executor.complete_migration(shard, forward, move || {
+            let _ = out_tx.send((MSG_DONE, done));
+        })?;
+        Ok(MigrationReport {
+            shard,
+            entries: snapshot.len(),
+            value_bytes: snapshot.value_bytes(),
+            wire_bytes,
+            drain_ns,
+            elapsed_ns: monotonic_ns().saturating_sub(started),
+        })
+    }
+
+    /// Shuts the link down: closes the socket, stops both threads, and
+    /// returns once they exited. Records later submitted for remote
+    /// shards are dropped (their forwarders outlive the link).
+    pub fn close(mut self) {
+        self.shutdown_threads();
+    }
+
+    fn shutdown_threads(&mut self) {
+        self.shared.fail();
+        if let Some(writer) = self.writer.take() {
+            // The writer exits when every out_tx clone is gone or a
+            // write fails; failing the link makes its writes fail fast.
+            let _ = writer.join();
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl<O: Operator> Drop for MigrationEndpoint<O> {
+    fn drop(&mut self) {
+        self.shutdown_threads();
+    }
+}
+
+impl<O: Operator> std::fmt::Debug for MigrationEndpoint<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigrationEndpoint")
+            .field("peer", &self.peer)
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+fn recv_event(ev_rx: &Receiver<PeerEvent>, timeout: Duration) -> Result<PeerEvent, MigrateError> {
+    match ev_rx.recv_timeout(timeout) {
+        Ok(ev) => Ok(ev),
+        Err(RecvTimeoutError::Timeout) => Err(MigrateError::Timeout),
+        Err(RecvTimeoutError::Disconnected) => Err(MigrateError::PeerDisconnected),
+    }
+}
+
+/// Encodes a `DATA` frame payload: shard, key, seq, payload bytes. The
+/// creation timestamp deliberately does not travel — monotonic origins
+/// differ across processes, so the receiver restamps on decode.
+pub fn encode_data(shard: ShardId, record: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + record.payload.len());
+    wire::put_u32(&mut out, shard.0);
+    wire::put_u64(&mut out, record.key.value());
+    wire::put_u64(&mut out, record.seq);
+    wire::put_bytes(&mut out, &record.payload);
+    out
+}
+
+/// Decodes a `DATA` frame payload, restamping the record's creation
+/// time with the local monotonic clock.
+pub fn decode_data(payload: &[u8]) -> Result<(ShardId, Record), WireError> {
+    let mut r = ByteReader::new(payload);
+    let shard = ShardId(r.u32()?);
+    let key = Key(r.u64()?);
+    let seq = r.u64()?;
+    let body = Bytes::copy_from_slice(r.bytes()?);
+    if !r.is_empty() {
+        return Err(WireError::Corrupt("trailing bytes in data frame"));
+    }
+    Ok((
+        shard,
+        Record::new_at(key, body, monotonic_ns()).with_seq(seq),
+    ))
+}
+
+fn writer_loop(stream: TcpStream, out_rx: Receiver<(u8, Vec<u8>)>, shared: Arc<LinkShared>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok((msg_type, payload)) = out_rx.recv() {
+        if msg_type == MSG_CLOSE_INTERNAL {
+            let _ = w.flush();
+            return;
+        }
+        let bytes = wire::frame_wire_bytes(payload.len());
+        if wire::write_frame(&mut w, msg_type, &payload).is_err() {
+            shared.fail();
+            return;
+        }
+        shared.written.fetch_add(bytes, Ordering::Relaxed);
+        // Flush once the queue runs dry, amortizing bursts.
+        if out_rx.is_empty() && w.flush().is_err() {
+            shared.fail();
+            return;
+        }
+    }
+}
+
+fn reader_loop<O: Operator>(
+    stream: TcpStream,
+    executor: Arc<ElasticExecutor<O>>,
+    shared: Arc<LinkShared>,
+    app_tx: Sender<Vec<u8>>,
+) {
+    let mut r = BufReader::new(stream);
+    let mut inbound = Inbound::default();
+    while let Ok((msg_type, payload)) = wire::read_frame(&mut r) {
+        if handle_frame(
+            &executor,
+            &shared,
+            &app_tx,
+            &mut inbound,
+            msg_type,
+            &payload,
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    // EOF, socket error, or protocol violation: fail the link. If an
+    // inbound migration already installed its state, finish the
+    // adoption so the shard is servable (the sender's replay is lost
+    // with the link — the README documents the uncertainty window).
+    shared.fail();
+    if let Some(inc) = inbound.current.take() {
+        if inc.installed {
+            let _ = executor.adopt_finish(inc.shard);
+        }
+    }
+}
+
+/// Processes one inbound frame. `Err` kills the link (protocol
+/// violation); per-migration failures answer the peer instead.
+fn handle_frame<O: Operator>(
+    executor: &Arc<ElasticExecutor<O>>,
+    shared: &Arc<LinkShared>,
+    app_tx: &Sender<Vec<u8>>,
+    inbound: &mut Inbound,
+    msg_type: u8,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    match msg_type {
+        MSG_OFFER => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let expect_entries = p.u64()?;
+            let expect_bytes = p.u64()?;
+            // A fresh offer means the sender moved past any stream this
+            // side was discarding.
+            inbound.discarding = None;
+            let refusal = if inbound.current.is_some() {
+                Some("an inbound migration is already in progress".to_string())
+            } else {
+                executor.can_adopt(shard).err().map(|e| e.to_string())
+            };
+            let mut reply = Vec::new();
+            wire::put_u32(&mut reply, shard.0);
+            match refusal {
+                Some(reason) => {
+                    wire::put_bytes(&mut reply, reason.as_bytes());
+                    let _ = shared.out_tx.send((MSG_REJECT, reply));
+                }
+                None => {
+                    inbound.current = Some(Incoming {
+                        shard,
+                        expect_entries,
+                        expect_bytes,
+                        entries: Vec::new(),
+                        value_bytes: 0,
+                        checksum: Checksum::new(),
+                        installed: false,
+                    });
+                    let _ = shared.out_tx.send((MSG_ACCEPT, reply));
+                }
+            }
+        }
+        MSG_STATE => {
+            let chunk = ShardSnapshot::decode(payload)?;
+            if inbound.discarding == Some(chunk.shard) {
+                // Tail of a stream this side already aborted.
+                return Ok(());
+            }
+            let inc = inbound
+                .current
+                .as_mut()
+                .ok_or(WireError::Corrupt("state chunk without an offer"))?;
+            if chunk.shard != inc.shard || inc.installed {
+                return Err(WireError::Corrupt("state chunk out of sequence"));
+            }
+            chunk.fold_checksum(&mut inc.checksum);
+            inc.value_bytes += chunk.value_bytes();
+            inc.entries.extend(chunk.entries);
+            // Enforce the OFFER-announced totals as they stream, not
+            // only at COMMIT: a runaway sender must not be able to grow
+            // the receiver's assembly buffer without bound.
+            if inc.entries.len() as u64 > inc.expect_entries || inc.value_bytes > inc.expect_bytes {
+                let shard = inc.shard;
+                inbound.current = None;
+                inbound.discarding = Some(shard);
+                let mut reply = Vec::new();
+                wire::put_u32(&mut reply, shard.0);
+                wire::put_bytes(&mut reply, b"state stream exceeds the offered totals");
+                let _ = shared.out_tx.send((MSG_ABORT, reply));
+            }
+        }
+        MSG_COMMIT => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let entries = p.u64()?;
+            let value_bytes = p.u64()?;
+            let checksum = p.u64()?;
+            if inbound.discarding == Some(shard) {
+                // End of a discarded stream; the sender is now waiting
+                // for an ack and will see the ABORT already sent.
+                inbound.discarding = None;
+                return Ok(());
+            }
+            let inc = inbound
+                .current
+                .as_mut()
+                .ok_or(WireError::Corrupt("commit without an offer"))?;
+            let mut failure: Option<String> = None;
+            if shard != inc.shard || inc.installed {
+                return Err(WireError::Corrupt("commit out of sequence"));
+            }
+            if entries != inc.entries.len() as u64
+                || entries != inc.expect_entries
+                || value_bytes != inc.value_bytes
+                || value_bytes != inc.expect_bytes
+                || checksum != inc.checksum.finish()
+            {
+                failure = Some("state totals or checksum mismatch".to_string());
+            } else {
+                let snapshot = ShardSnapshot {
+                    shard: inc.shard,
+                    entries: std::mem::take(&mut inc.entries),
+                };
+                if let Err(e) = executor.adopt_install(snapshot) {
+                    failure = Some(e.to_string());
+                }
+            }
+            let mut reply = Vec::new();
+            wire::put_u32(&mut reply, shard.0);
+            match failure {
+                Some(reason) => {
+                    inbound.current = None;
+                    wire::put_bytes(&mut reply, reason.as_bytes());
+                    let _ = shared.out_tx.send((MSG_ABORT, reply));
+                }
+                None => {
+                    inc.installed = true;
+                    let _ = shared.out_tx.send((MSG_COMMIT_ACK, reply));
+                }
+            }
+        }
+        MSG_DONE => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            match inbound.current.take() {
+                Some(inc) if inc.shard == shard && inc.installed => {
+                    // Reopen routing: local records buffered during
+                    // adoption drain behind the replayed ones.
+                    let _ = executor.adopt_finish(shard);
+                }
+                _ => return Err(WireError::Corrupt("done out of sequence")),
+            }
+        }
+        MSG_DATA => {
+            let (shard, record) = decode_data(payload)?;
+            match inbound.current.as_ref() {
+                // Replay window of an inbound migration: bypass the
+                // adoption buffer so replayed records run first.
+                Some(inc) if inc.shard == shard && inc.installed => {
+                    let _ = executor.deliver_to_owner(shard, record);
+                }
+                _ => executor.receive_remote(shard, record),
+            }
+        }
+        MSG_ACCEPT | MSG_COMMIT_ACK => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let pending = shared.pending.lock();
+            match pending.as_ref() {
+                Some(p) if p.shard == shard => {
+                    let ev = if msg_type == MSG_ACCEPT {
+                        PeerEvent::Accepted
+                    } else {
+                        PeerEvent::Committed
+                    };
+                    let _ = p.events.send(ev);
+                }
+                // Stale answer to a migration we already gave up on.
+                _ => {}
+            }
+        }
+        MSG_REJECT | MSG_ABORT => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let reason = String::from_utf8_lossy(p.bytes().unwrap_or(b"")).into_owned();
+            let delivered = {
+                let pending = shared.pending.lock();
+                match pending.as_ref() {
+                    Some(p) if p.shard == shard => {
+                        let ev = if msg_type == MSG_REJECT {
+                            PeerEvent::Rejected(reason.clone())
+                        } else {
+                            PeerEvent::Aborted(reason.clone())
+                        };
+                        let _ = p.events.send(ev);
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if !delivered {
+                // The peer abandoned the migration it was sending us.
+                if let Some(inc) = inbound.current.take() {
+                    if inc.shard != shard {
+                        inbound.current = Some(inc);
+                    } else if inc.installed {
+                        // Already installed and acked: keep the shard
+                        // servable; the abort crossed our ack.
+                        let _ = executor.adopt_finish(inc.shard);
+                    }
+                }
+            }
+        }
+        MSG_APP => {
+            let _ = app_tx.send(payload.to_vec());
+        }
+        _ => return Err(WireError::Corrupt("unknown message type")),
+    }
+    Ok(())
+}

@@ -1,0 +1,311 @@
+//! Cross-endpoint shard migration over real TCP, in one process.
+//!
+//! Two [`ElasticExecutor`]s connected by a [`MigrationEndpoint`] link
+//! over localhost trade shards under live load. Running both sides in
+//! one process lets the tests assert state conservation and per-key
+//! FIFO directly against both stores; the two-process version of the
+//! same protocol is the `migrate` demo in `elasticutor-bench`.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire;
+use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_OFFER, MSG_STATE};
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationEndpoint, Operator, Record,
+};
+use elasticutor_state::StateHandle;
+
+const NUM_SHARDS: u32 = 8;
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: NUM_SHARDS,
+        initial_tasks: 2,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// A counting operator: per-key occurrence count in state, every
+/// record checked against the shared FIFO watchdog.
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn read_count(exec: &ElasticExecutor<impl Operator>, shard: ShardId, key: Key) -> Option<u64> {
+    exec.state()
+        .get(shard, key)
+        .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+}
+
+/// Connects two executors with a migration link over localhost.
+fn link<A: Operator, B: Operator>(
+    a: &Arc<ElasticExecutor<A>>,
+    b: &Arc<ElasticExecutor<B>>,
+) -> (MigrationEndpoint<A>, MigrationEndpoint<B>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let a = Arc::clone(a);
+    let accept =
+        std::thread::spawn(move || MigrationEndpoint::accept(a, &listener).expect("accept"));
+    let ep_b = MigrationEndpoint::connect(Arc::clone(b), addr).expect("connect");
+    let ep_a = accept.join().expect("accept thread");
+    (ep_a, ep_b)
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    cond()
+}
+
+/// A full both-direction trade under live load: shard 3 moves A→B while
+/// records of its keys keep arriving at A (forwarded after the flip),
+/// then moves back B→A. Per-key FIFO and exact per-key counts must hold
+/// across both hops.
+#[test]
+fn trade_shards_between_endpoints_under_live_load() {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let (ep_a, ep_b) = link(&exec_a, &exec_b);
+    // A owns every shard initially; B forwards everything to A.
+    ep_b.delegate_shards(&(0..NUM_SHARDS).map(ShardId).collect::<Vec<_>>())
+        .expect("delegate");
+
+    // Load: one source thread submitting to A, every key, seq per key.
+    let keys: Vec<Key> = (0..200u64).map(Key).collect();
+    let rounds = 300u64;
+    let source = {
+        let exec_a = Arc::clone(&exec_a);
+        let keys = keys.clone();
+        std::thread::spawn(move || {
+            for round in 1..=rounds {
+                for &key in &keys {
+                    exec_a.submit(Record::new(key, Bytes::new()).with_seq(round));
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        })
+    };
+
+    // Trade shard 3 away and back while the source runs.
+    std::thread::sleep(Duration::from_millis(5));
+    let report = ep_a.migrate_out(ShardId(3)).expect("A→B migration");
+    assert_eq!(report.shard, ShardId(3));
+    assert!(
+        exec_a.remote_shards().contains(&ShardId(3)),
+        "A routes shard 3 remotely after migrating it out"
+    );
+    assert!(!exec_a.state().hosts(ShardId(3)), "state left A");
+    std::thread::sleep(Duration::from_millis(10));
+    let back = ep_b.migrate_out(ShardId(3)).expect("B→A migration");
+    assert!(back.elapsed_ns > 0);
+    assert!(
+        exec_b.remote_shards().contains(&ShardId(3)),
+        "B routes shard 3 remotely after returning it"
+    );
+
+    source.join().expect("source exits");
+
+    // Every record lands exactly once, wherever its shard ended up.
+    let total = rounds * keys.len() as u64;
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            exec_a.processed_count() + exec_b.processed_count() >= total
+        }),
+        "all records processed somewhere (a={}, b={}, want {total})",
+        exec_a.processed_count(),
+        exec_b.processed_count()
+    );
+    assert!(
+        fifo.is_clean(),
+        "per-key FIFO held across both migrations: {:?}",
+        fifo.violations()
+    );
+    // Exact conservation: each key's count is `rounds`, in exactly one
+    // store.
+    for &key in &keys {
+        let shard = ShardId(elasticutor_core::hash::key_to_shard(
+            key.value(),
+            NUM_SHARDS,
+        ));
+        let in_a = read_count(&exec_a, shard, key);
+        let in_b = read_count(&exec_b, shard, key);
+        match (in_a, in_b) {
+            (Some(n), None) | (None, Some(n)) => {
+                assert_eq!(n, rounds, "key {key:?} lost or duplicated records")
+            }
+            other => panic!("key {key:?} state must live in exactly one store, got {other:?}"),
+        }
+    }
+    // Shard 3 ended up back at A.
+    for &key in keys
+        .iter()
+        .filter(|k| elasticutor_core::hash::key_to_shard(k.value(), NUM_SHARDS) == 3)
+    {
+        assert!(read_count(&exec_a, ShardId(3), key).is_some());
+    }
+    ep_a.close();
+    ep_b.close();
+}
+
+/// The bugfix regression: a peer dying mid-`STATE` must surface a typed
+/// error, restore the shard (state and routing) locally, and keep the
+/// executor processing — never silently drop the shard.
+#[test]
+fn peer_disconnect_mid_state_aborts_and_restores() {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+
+    // Preload shard 2 with enough state for several STATE chunks.
+    let shard = ShardId(2);
+    let keys: Vec<Key> = (0..10_000u64)
+        .map(Key)
+        .filter(|k| elasticutor_core::hash::key_to_shard(k.value(), NUM_SHARDS) == shard.0)
+        .take(400)
+        .collect();
+    for &key in &keys {
+        exec.state().put(shard, key, Bytes::from(vec![7u8; 4096]));
+    }
+    let bytes_before = exec.state().shard_bytes(shard);
+    assert!(bytes_before > 1024 * 1024, "state spans multiple chunks");
+
+    // A fake peer that plays the protocol up to the first STATE frame,
+    // then vanishes.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_peer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let (msg, payload) = wire::read_frame(&mut stream).expect("offer");
+        assert_eq!(msg, MSG_OFFER);
+        let mut reply = Vec::new();
+        reply.extend_from_slice(&payload[..4]); // echo the shard id
+        wire::write_frame(&mut stream, MSG_ACCEPT, &reply).expect("accept reply");
+        let (msg, _) = wire::read_frame(&mut stream).expect("first state chunk");
+        assert_eq!(msg, MSG_STATE);
+        // Drop the stream: disconnect mid-STATE.
+    });
+    let ep = MigrationEndpoint::connect(Arc::clone(&exec), addr).expect("connect");
+
+    let err = ep.migrate_out(shard).expect_err("peer died mid-protocol");
+    assert!(
+        matches!(err, MigrateError::PeerDisconnected | MigrateError::Timeout),
+        "typed transport error, got: {err}"
+    );
+    fake_peer.join().expect("fake peer");
+
+    // The shard is fully restored: hosted, byte-exact, and routable.
+    assert!(exec.state().hosts(shard), "shard restored locally");
+    assert_eq!(exec.state().shard_bytes(shard), bytes_before);
+    assert!(exec.remote_shards().is_empty());
+    let processed_before = exec.processed_count();
+    for (i, &key) in keys.iter().take(10).enumerate() {
+        exec.submit(Record::new(key, Bytes::new()).with_seq(i as u64 + 1));
+    }
+    exec.wait_for_processed(processed_before + 10);
+    assert!(fifo.is_clean());
+    // And a later migration to a healthy peer still works.
+    let fifo_b = Arc::new(FifoChecker::new());
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo_b)));
+    let (ep_a2, ep_b2) = link(&exec, &exec_b);
+    let report = ep_a2.migrate_out(shard).expect("healthy migration");
+    assert_eq!(report.value_bytes, exec_b.state().shard_bytes(shard));
+    assert!(report.wire_bytes > report.value_bytes);
+    ep_a2.close();
+    ep_b2.close();
+}
+
+/// A receiver refuses an offer for a shard it has live state for — the
+/// two-owners-never invariant — and the sender restores cleanly.
+#[test]
+fn offer_rejected_when_receiver_has_local_state() {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let shard = ShardId(5);
+    exec_a
+        .state()
+        .put(shard, Key(1), Bytes::from_static(b"ours"));
+    exec_b
+        .state()
+        .put(shard, Key(2), Bytes::from_static(b"theirs"));
+    let (ep_a, ep_b) = link(&exec_a, &exec_b);
+
+    let err = ep_a.migrate_out(shard).expect_err("conflicting state");
+    assert!(
+        matches!(&err, MigrateError::Rejected(reason) if reason.contains("live local state")),
+        "got: {err}"
+    );
+    // Both copies intact, sender's routing restored.
+    assert_eq!(
+        exec_a.state().get(shard, Key(1)),
+        Some(Bytes::from_static(b"ours"))
+    );
+    assert_eq!(
+        exec_b.state().get(shard, Key(2)),
+        Some(Bytes::from_static(b"theirs"))
+    );
+    assert!(exec_a.remote_shards().is_empty());
+    ep_a.close();
+    ep_b.close();
+}
+
+/// Concurrent opposite-direction migrations on one link (each side both
+/// sends and receives) complete without deadlock and conserve state.
+#[test]
+fn simultaneous_bidirectional_migrations() {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let (ep_a, ep_b) = link(&exec_a, &exec_b);
+    // Split ownership: A keeps 0..4, B gets 4..8.
+    let b_shards: Vec<ShardId> = (4..NUM_SHARDS).map(ShardId).collect();
+    let a_shards: Vec<ShardId> = (0..4).map(ShardId).collect();
+    ep_a.delegate_shards(&b_shards).expect("delegate at A");
+    ep_b.delegate_shards(&a_shards).expect("delegate at B");
+    exec_a
+        .state()
+        .put(ShardId(1), Key(100), Bytes::from(vec![1u8; 64]));
+    exec_b
+        .state()
+        .put(ShardId(6), Key(200), Bytes::from(vec![2u8; 64]));
+
+    let ep_a = Arc::new(ep_a);
+    let ep_b = Arc::new(ep_b);
+    let t_a = {
+        let ep_a = Arc::clone(&ep_a);
+        std::thread::spawn(move || ep_a.migrate_out(ShardId(1)).expect("A→B"))
+    };
+    let t_b = {
+        let ep_b = Arc::clone(&ep_b);
+        std::thread::spawn(move || ep_b.migrate_out(ShardId(6)).expect("B→A"))
+    };
+    t_a.join().expect("A thread");
+    t_b.join().expect("B thread");
+    assert_eq!(
+        exec_b.state().get(ShardId(1), Key(100)),
+        Some(Bytes::from(vec![1u8; 64]))
+    );
+    assert_eq!(
+        exec_a.state().get(ShardId(6), Key(200)),
+        Some(Bytes::from(vec![2u8; 64]))
+    );
+    assert!(!exec_a.state().hosts(ShardId(1)));
+    assert!(!exec_b.state().hosts(ShardId(6)));
+}

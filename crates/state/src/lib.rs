@@ -25,5 +25,5 @@
 pub mod snapshot;
 pub mod store;
 
-pub use snapshot::ShardSnapshot;
+pub use snapshot::{ShardSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use store::{StateHandle, StateStore};

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId};
-use elasticutor_state::StateStore;
+use elasticutor_state::{ShardSnapshot, StateStore};
 use proptest::prelude::*;
 
 /// An abstract operation against one shard.
@@ -163,5 +163,101 @@ proptest! {
         prop_assert_eq!(store.shard_bytes(sa), bytes_a);
         prop_assert_eq!(store.shard_bytes(sb), bytes_b);
         prop_assert_eq!(store.total_bytes(), bytes_a + bytes_b);
+    }
+}
+
+/// Strategy for a snapshot with arbitrary keys and value bytes. Sizes
+/// are weighted toward small shards, but one arm produces values past
+/// 64 KiB so the wire format's length-prefix handling of large entries
+/// is exercised every run.
+fn snapshot_strategy() -> impl Strategy<Value = ShardSnapshot> {
+    let value = prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64),
+        // >64 KiB values: generate a seed and tile it, so the case is
+        // cheap to produce but the decoder still sees real size.
+        (
+            prop::collection::vec(any::<u8>(), 1..8),
+            65_537usize..90_000
+        )
+            .prop_map(|(seed, len)| seed.iter().copied().cycle().take(len).collect()),
+    ];
+    (
+        0u32..1024,
+        prop::collection::vec((any::<u64>(), value), 0..12),
+    )
+        .prop_map(|(shard, mut raw)| {
+            // The format requires strictly ascending keys; sort and
+            // dedup like the BTreeMap-backed store does naturally.
+            raw.sort_by_key(|(k, _)| *k);
+            raw.dedup_by_key(|(k, _)| *k);
+            ShardSnapshot {
+                shard: ShardId(shard),
+                entries: raw
+                    .into_iter()
+                    .map(|(k, v)| (Key(k), Bytes::from(v)))
+                    .collect(),
+            }
+        })
+}
+
+proptest! {
+    /// Encode → decode is the identity for every well-formed snapshot,
+    /// including empty shards and >64 KiB values.
+    #[test]
+    fn wire_roundtrip_is_identity(snap in snapshot_strategy()) {
+        let encoded = snap.encode();
+        let decoded = ShardSnapshot::decode(&encoded).expect("well-formed input decodes");
+        prop_assert_eq!(decoded, snap);
+    }
+
+    /// Every strict prefix of a valid encoding errors — never panics,
+    /// never yields a snapshot.
+    #[test]
+    fn truncated_encodings_error(
+        snap in snapshot_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let encoded = snap.encode();
+        let cut = ((encoded.len() as f64) * frac) as usize;
+        // cut < len always (frac < 1.0), so this is a strict prefix.
+        prop_assert!(ShardSnapshot::decode(&encoded[..cut]).is_err());
+    }
+
+    /// An unknown version byte is rejected up front.
+    #[test]
+    fn bad_version_errors(
+        snap in snapshot_strategy(),
+        version in (0u8..254).prop_map(|v| v + 2),
+    ) {
+        let mut encoded = snap.encode();
+        encoded[0] = version;
+        prop_assert_eq!(
+            ShardSnapshot::decode(&encoded),
+            Err(elasticutor_core::wire::WireError::BadVersion(version))
+        );
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Random input overwhelmingly fails one of the checks; the
+        // property is only that decode returns (no panic, no abort).
+        let _ = ShardSnapshot::decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a non-empty encoding is detected
+    /// (checksum or structural validation), except when the flip lands
+    /// in a value byte AND collides the checksum — which FNV-1a makes
+    /// impossible for single-byte flips (the mix is bijective per byte).
+    #[test]
+    fn single_byte_corruption_is_detected(
+        snap in snapshot_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in (0u8..255).prop_map(|v| v + 1),
+    ) {
+        let mut encoded = snap.encode();
+        let pos = ((encoded.len() as f64) * pos_frac) as usize % encoded.len();
+        encoded[pos] ^= flip;
+        prop_assert!(ShardSnapshot::decode(&encoded).is_err());
     }
 }

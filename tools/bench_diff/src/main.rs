@@ -1,0 +1,315 @@
+//! `bench_diff COMMITTED.json FRESH.json` — the cross-run comparison CI
+//! used to ask humans to do by hand: flattens both bench artifacts to
+//! their numeric leaves and prints a delta table.
+//!
+//! **Warn-only by design.** CI machines are too noisy for perf gates, so
+//! deltas never fail the job; the exit code is non-zero only when an
+//! input cannot be read or parsed (a harness bug, not a regression).
+//!
+//! The parser handles exactly the JSON this repo's harnesses emit
+//! (objects, arrays, numbers, strings, booleans, null) — no external
+//! dependencies, matching the registry-free workspace.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// A parsed JSON value (only what the flattener needs to walk).
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error("bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The harnesses never emit escapes beyond these.
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("bad escape"))?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Flattens numeric leaves to `path → value`. Array elements carrying a
+/// distinguishing label (`mode`, `submitters`, `shard`, `state_bytes`)
+/// use it in the path so rows still align if the artifact reorders.
+fn flatten(prefix: &str, value: &Json, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Bool(b) => out.push((prefix.to_string(), f64::from(u8::from(*b)))),
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(item).unwrap_or_else(|| i.to_string());
+                flatten(&format!("{prefix}[{label}]"), item, out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+/// A stable identity for an array element, if its object carries one.
+/// Label tiers are exclusive — `shard` alone identifies a migration row
+/// (its `state_bytes` differ between quick and full runs, so folding
+/// them into the label would misalign CI's quick rows against the
+/// committed full-mode artifact).
+fn element_label(value: &Json) -> Option<String> {
+    let Json::Obj(fields) = value else {
+        return None;
+    };
+    let field = |want: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == want)
+            .map(|(_, v)| match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(n) => format!("{want}={n}"),
+                _ => String::new(),
+            })
+    };
+    let mut parts: Vec<String> = ["mode", "submitters"]
+        .iter()
+        .filter_map(|w| field(w))
+        .collect();
+    if parts.is_empty() {
+        parts.extend(field("shard"));
+    }
+    if parts.is_empty() {
+        parts.extend(field("state_bytes"));
+    }
+    parts.retain(|p| !p.is_empty());
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut parser = Parser::new(&text);
+    let value = parser
+        .value()
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut out = Vec::new();
+    flatten("", &value, &mut out);
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (committed_path, fresh_path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(b)) => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: bench_diff COMMITTED.json FRESH.json");
+            return ExitCode::from(2);
+        }
+    };
+    let (committed, fresh) = match (load(&committed_path), load(&fresh_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("bench_diff (warn-only): {committed_path} → {fresh_path}");
+    let width = fresh
+        .iter()
+        .chain(&committed)
+        .map(|(p, _)| p.len())
+        .max()
+        .unwrap_or(6);
+    println!(
+        "{:width$}  {:>14}  {:>14}  {:>8}",
+        "metric", "committed", "fresh", "delta"
+    );
+    let fmt = |v: f64| {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    for (path, new) in &fresh {
+        let old = committed.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        let mut line = String::new();
+        let _ = write!(line, "{path:width$}  ");
+        match old {
+            Some(old) => {
+                let delta = if old == 0.0 {
+                    "n/a".to_string()
+                } else {
+                    format!("{:+.1}%", (new - old) / old * 100.0)
+                };
+                let _ = write!(line, "{:>14}  {:>14}  {delta:>8}", fmt(old), fmt(*new));
+            }
+            None => {
+                let _ = write!(line, "{:>14}  {:>14}  {:>8}", "-", fmt(*new), "new");
+            }
+        }
+        println!("{line}");
+    }
+    for (path, _) in &committed {
+        if !fresh.iter().any(|(p, _)| p == path) {
+            println!("{path:width$}  (present in committed only)");
+        }
+    }
+    println!("\n(warn-only: deltas never fail the job; compare across runs for trends)");
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@
 //!
 //! * [`ids`] — strongly-typed identifiers for keys, shards, tasks,
 //!   executors, operators, nodes, and worker processes.
-//! * [`tuple`] — the data-plane tuple metadata (key, payload size, CPU
+//! * [`mod@tuple`] — the data-plane tuple metadata (key, payload size, CPU
 //!   cost, timestamps).
 //! * [`hash`] — stable 64-bit hashing used by both tiers of the routing
 //!   scheme, so that key→shard mappings are reproducible everywhere.
@@ -58,6 +58,6 @@ pub use ids::{CoreId, ExecutorId, Key, NodeId, OperatorId, ProcessId, ShardId, T
 pub use partition::{DynamicPartition, StaticHashPartition};
 pub use reassign::{Completion, InFlight, ReassignmentTracker};
 pub use routing::{RouteDecision, RoutingTable};
-pub use topology::{Grouping, OperatorKind, OperatorSpec, Topology, TopologyBuilder};
+pub use topology::{Edge, EdgeId, Grouping, OperatorKind, OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::Tuple;
 pub use wire::WireError;

@@ -11,16 +11,34 @@ use std::collections::VecDeque;
 use crate::error::{Error, Result};
 use crate::ids::OperatorId;
 
-/// How tuples on an edge are distributed across downstream executors.
+/// How tuples on an edge are distributed across the consumer's shard
+/// space (and, through it, the consumer's executors and tasks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Grouping {
-    /// Hash by key: all tuples of a key go to the executor owning its key
-    /// subspace. This is the grouping stateful operators require.
+    /// Hash by key: all tuples of a key go to the shard (and hence
+    /// executor) owning its key subspace. This is the grouping stateful
+    /// operators require — it is what keeps one key's state in one
+    /// place.
     Key,
-    /// Round-robin over downstream executors; only valid into stateless
-    /// operators (no key affinity).
+    /// Round-robin over the consumer's shards, ignoring keys; only valid
+    /// into stateless operators (no key affinity). A topology may not
+    /// mix `Shuffle` with [`Grouping::Key`] into the same operator: the
+    /// keyed edge implies keyed state, which the shuffled records would
+    /// scatter across shards.
     Shuffle,
+    /// Every tuple is replicated to *every* shard of the consumer — the
+    /// classic broadcast/"all" grouping used for control records,
+    /// configuration updates, and small dimension tables that each key
+    /// partition must see. Volume multiplies by the consumer's shard
+    /// count, so broadcast edges are for low-rate streams.
+    Broadcast,
 }
+
+/// Identifies an edge by its position in [`Topology::edges`]. Edge ids
+/// are dense and stable for the lifetime of the topology; the live
+/// runtime keys its per-edge channels, budgets, and quiescence counters
+/// by them.
+pub type EdgeId = usize;
 
 /// The role of an operator in the dataflow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +81,36 @@ pub struct Edge {
 }
 
 /// A validated operator DAG.
+///
+/// Built by [`TopologyBuilder`]; construction validates the graph
+/// (acyclic, edges between known operators, no duplicate edges, legal
+/// grouping combinations) so every consumer — the simulated cluster and
+/// the live runtime alike — can rely on a well-formed graph.
+///
+/// ```
+/// use elasticutor_core::topology::{Grouping, TopologyBuilder};
+///
+/// // A diamond: source → {enrich, count} → merge.
+/// let mut b = TopologyBuilder::new();
+/// let source = b.source("source", 1);
+/// let enrich = b.transform("enrich", 1, 64);
+/// let count = b.transform("count", 1, 64);
+/// let merge = b.transform("merge", 1, 32);
+/// b.key_edge(source, enrich)
+///     .key_edge(source, count)
+///     .key_edge(enrich, merge)
+///     .key_edge(count, merge);
+/// let topology = b.build().unwrap();
+///
+/// assert_eq!(topology.downstream(source), &[enrich, count]);
+/// assert_eq!(topology.upstream(merge), &[enrich, count]);
+/// assert_eq!(topology.grouping(source, enrich), Some(Grouping::Key));
+/// assert_eq!(topology.edges_into(merge).count(), 2);
+/// // Topological order puts every producer before its consumers.
+/// let order = topology.topo_order();
+/// assert_eq!(order.first(), Some(&source));
+/// assert_eq!(order.last(), Some(&merge));
+/// ```
 #[derive(Clone, Debug)]
 pub struct Topology {
     operators: Vec<OperatorSpec>,
@@ -144,12 +192,67 @@ impl Topology {
             .find(|e| e.from == from && e.to == to)
             .map(|e| e.grouping)
     }
+
+    /// The id of the edge `from → to`, if such an edge exists. At most
+    /// one edge connects any ordered operator pair (validated by
+    /// [`TopologyBuilder::build`]).
+    pub fn edge_id(&self, from: OperatorId, to: OperatorId) -> Option<EdgeId> {
+        self.edges.iter().position(|e| e.from == from && e.to == to)
+    }
+
+    /// The inbound edges of `id` as `(edge id, edge)` pairs, in edge-id
+    /// order — the fan-in set a consumer's pump merges.
+    pub fn edges_into(&self, id: OperatorId) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.to == id)
+    }
+
+    /// The outbound edges of `id` as `(edge id, edge)` pairs, in edge-id
+    /// order — the fan-out set a producer's forwarder replicates into.
+    pub fn edges_from(&self, id: OperatorId) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.from == id)
+    }
 }
 
 /// Builder for [`Topology`]. Collects operators and edges, then validates
 /// the graph (non-empty, unique names, positive parallelism, edges between
-/// known operators, sources have no inbound edges, acyclic, every transform
-/// reachable from a source).
+/// known operators, no duplicate edges, sources have no inbound edges,
+/// acyclic, every transform reachable from a source, no Key/Shuffle
+/// grouping mix into one operator).
+///
+/// ```
+/// use elasticutor_core::topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let quotes = b.source("quotes", 8);
+/// let transactor = b.transform("transactor", 32, 256);
+/// let audit = b.transform("audit", 4, 64);
+/// b.key_edge(quotes, transactor);
+/// b.broadcast_edge(quotes, audit); // every audit shard sees every quote
+/// b.with_selectivity(transactor, 11.0);
+/// let topology = b.build().unwrap();
+/// assert_eq!(topology.total_executors(), 44);
+/// ```
+///
+/// Invalid graphs are rejected with a descriptive
+/// [`Error::InvalidTopology`]:
+///
+/// ```
+/// use elasticutor_core::error::Error;
+/// use elasticutor_core::topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let s = b.source("s", 1);
+/// let a = b.transform("a", 1, 16);
+/// let c = b.transform("c", 1, 16);
+/// b.key_edge(s, a).key_edge(a, c).key_edge(c, a); // a → c → a
+/// assert!(matches!(b.build(), Err(Error::InvalidTopology(msg)) if msg.contains("cycle")));
+/// ```
 #[derive(Default)]
 pub struct TopologyBuilder {
     operators: Vec<OperatorSpec>,
@@ -165,6 +268,25 @@ impl TopologyBuilder {
     /// Adds a source operator and returns its id.
     pub fn source(&mut self, name: impl Into<String>, parallelism: u32) -> OperatorId {
         self.push(name.into(), OperatorKind::Source, parallelism, 1, 1.0)
+    }
+
+    /// Adds a source operator with an explicit shard count and returns
+    /// its id. Live sources are full elastic executors (they run user
+    /// logic on the ingress stream), so their shard space matters; plain
+    /// [`Self::source`] defaults it to 1.
+    pub fn source_sharded(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        shards_per_executor: u32,
+    ) -> OperatorId {
+        self.push(
+            name.into(),
+            OperatorKind::Source,
+            parallelism,
+            shards_per_executor,
+            1.0,
+        )
     }
 
     /// Adds a transform operator and returns its id.
@@ -231,6 +353,17 @@ impl TopologyBuilder {
         self
     }
 
+    /// Adds a broadcast edge `from → to`: every tuple is replicated to
+    /// every shard of `to`.
+    pub fn broadcast_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push(Edge {
+            from,
+            to,
+            grouping: Grouping::Broadcast,
+        });
+        self
+    }
+
     /// Validates and finalizes the topology.
     pub fn build(self) -> Result<Topology> {
         let n = self.operators.len();
@@ -268,7 +401,7 @@ impl TopologyBuilder {
 
         let mut downstream = vec![Vec::new(); n];
         let mut upstream = vec![Vec::new(); n];
-        for e in &self.edges {
+        for (i, e) in self.edges.iter().enumerate() {
             if e.from.index() >= n {
                 return Err(Error::UnknownOperator(e.from));
             }
@@ -281,8 +414,37 @@ impl TopologyBuilder {
                     self.operators[e.from.index()].name
                 )));
             }
+            if self.edges[..i]
+                .iter()
+                .any(|prev| prev.from == e.from && prev.to == e.to)
+            {
+                return Err(Error::InvalidTopology(format!(
+                    "duplicate edge '{}' → '{}'",
+                    self.operators[e.from.index()].name,
+                    self.operators[e.to.index()].name
+                )));
+            }
             downstream[e.from.index()].push(e.to);
             upstream[e.to.index()].push(e.from);
+        }
+
+        // Grouping/shard-space compatibility: a Key edge into an operator
+        // declares that operator's state keyed — every record of a key
+        // lands on the key's shard. A Shuffle edge into the same operator
+        // would scatter those very keys across the whole shard space,
+        // splitting their state, so the mix is rejected. (Broadcast
+        // coexists with Key: replicas reach *every* shard, including the
+        // key-owning one.)
+        for o in &self.operators {
+            let inbound = |g: Grouping| self.edges.iter().any(|e| e.to == o.id && e.grouping == g);
+            if inbound(Grouping::Key) && inbound(Grouping::Shuffle) {
+                return Err(Error::InvalidTopology(format!(
+                    "operator '{}' mixes Key and Shuffle inbound groupings: \
+                     shuffled records of a keyed stream would scatter the \
+                     key's state across shards",
+                    o.name
+                )));
+            }
         }
 
         for o in &self.operators {
@@ -452,6 +614,67 @@ mod tests {
         let s = b.source("s", 1);
         b.key_edge(s, OperatorId(9));
         assert!(matches!(b.build(), Err(Error::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 1, 1);
+        b.key_edge(s, a);
+        b.key_edge(s, a);
+        assert!(matches!(
+            b.build(),
+            Err(Error::InvalidTopology(msg)) if msg.contains("duplicate edge")
+        ));
+    }
+
+    #[test]
+    fn rejects_key_shuffle_mix_into_one_operator() {
+        let mut b = TopologyBuilder::new();
+        let s1 = b.source("s1", 1);
+        let s2 = b.source("s2", 1);
+        let a = b.transform("a", 1, 16);
+        b.key_edge(s1, a);
+        b.shuffle_edge(s2, a);
+        assert!(matches!(
+            b.build(),
+            Err(Error::InvalidTopology(msg)) if msg.contains("mixes Key and Shuffle")
+        ));
+    }
+
+    #[test]
+    fn broadcast_coexists_with_key() {
+        let mut b = TopologyBuilder::new();
+        let s1 = b.source("s1", 1);
+        let s2 = b.source("s2", 1);
+        let a = b.transform("a", 1, 16);
+        b.key_edge(s1, a);
+        b.broadcast_edge(s2, a);
+        let t = b.build().unwrap();
+        assert_eq!(t.grouping(s2, a), Some(Grouping::Broadcast));
+    }
+
+    #[test]
+    fn edge_accessors_cover_fan_in_and_fan_out() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("s", 1);
+        let a = b.transform("a", 1, 4);
+        let c = b.transform("c", 1, 4);
+        let d = b.transform("d", 1, 4);
+        b.key_edge(s, a); // edge 0
+        b.key_edge(s, c); // edge 1
+        b.key_edge(a, d); // edge 2
+        b.key_edge(c, d); // edge 3
+        let t = b.build().unwrap();
+        let out: Vec<EdgeId> = t.edges_from(s).map(|(id, _)| id).collect();
+        assert_eq!(out, vec![0, 1]);
+        let into: Vec<EdgeId> = t.edges_into(d).map(|(id, _)| id).collect();
+        assert_eq!(into, vec![2, 3]);
+        assert_eq!(t.edge_id(a, d), Some(2));
+        assert_eq!(t.edge_id(d, a), None);
+        assert!(t.edges_into(s).next().is_none());
+        assert!(t.edges_from(d).next().is_none());
     }
 
     #[test]

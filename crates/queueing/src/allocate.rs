@@ -12,7 +12,7 @@
 //! Because each station's `E[T_j](k_j)` is convex and decreasing in `k_j`,
 //! this greedy procedure is optimal (Fu et al., *DRS: Dynamic Resource
 //! Scheduling for Real-Time Analytics over Fast Streams*, ICDCS 2015 —
-//! reference [15] of the paper).
+//! reference \[15\] of the paper).
 
 use crate::jackson::JacksonNetwork;
 

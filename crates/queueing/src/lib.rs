@@ -21,7 +21,7 @@
 //!   times.
 //! * [`jackson`] — the network model: per-executor measurements, rate
 //!   propagation through a topology, and `E[T](k)` evaluation.
-//! * [`allocate`] — the greedy core-allocation algorithm (minimize Σk_j
+//! * [`mod@allocate`] — the greedy core-allocation algorithm (minimize Σk_j
 //!   subject to `E[T] ≤ T_max`), shown optimal in the DRS work the paper
 //!   builds on.
 

@@ -1,18 +1,23 @@
-//! The live controller: coarse-grained CPU scheduling over a running
-//! [`Pipeline`](crate::pipeline::Pipeline).
+//! The live controller: coarse-grained CPU scheduling over the
+//! operators of a running [`LiveDag`](crate::dag::LiveDag) (and
+//! therefore over the stages of a [`Pipeline`](crate::pipeline::Pipeline),
+//! which is a chain-shaped DAG).
 //!
-//! A background thread samples each stage's cumulative load counters
+//! A background thread samples each operator's cumulative load counters
 //! ([`ElasticExecutor::load_sample`]) every `interval`, differences them
 //! into the paper's per-executor measurements (λ from arrivals +
 //! standing backlog, μ from processed records over busy nanoseconds),
 //! and feeds them to the model-based [`DynamicScheduler`] (§4) against a
-//! single-node [`ClusterSpec`] whose core count is the pipeline's task
+//! single-node [`ClusterSpec`] whose core count is the graph's task
 //! budget. The decision's core deltas are applied **live**: grants call
 //! [`ElasticExecutor::add_task`], revocations call
 //! [`ElasticExecutor::remove_task`] (which drains the victim's shards
 //! through the §3.3 reassignment protocol while records keep flowing).
-//! After reallocation each stage gets an intra-executor rebalance pass
-//! (§3.1).
+//! After reallocation each operator gets an intra-executor rebalance
+//! pass (§3.1). The graph's shape never enters the decision — the
+//! scheduler sees one λ/μ pair per executor — so a load spike on one
+//! branch of a diamond pulls cores from the idle branch exactly as it
+//! would from an upstream stage in a chain.
 //!
 //! This is the live counterpart of the simulated engine's `SchedTick`
 //! handler — same scheduler crate, same measurement definitions, real

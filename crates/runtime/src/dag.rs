@@ -1,0 +1,1208 @@
+//! The live DAG: elastic executors wired into an arbitrary acyclic
+//! operator graph.
+//!
+//! [`LiveDag`] generalizes the chain-shaped
+//! [`Pipeline`](crate::pipeline::Pipeline) to the full dataflow graphs
+//! that [`elasticutor_core::topology`] describes: every operator of a
+//! validated [`Topology`] gets its own [`ElasticExecutor`], every
+//! [`Edge`] gets its own bounded channel with a per-edge backpressure
+//! budget, fan-out edges replicate records by their [`Grouping`], and
+//! fan-in operators merge multiple upstream edges through an
+//! order-preserving pump. The [`Pipeline`](crate::pipeline::Pipeline)
+//! API survives as a thin wrapper that builds a chain-shaped topology.
+//!
+//! # Wiring
+//!
+//! Three thread roles move records between executors:
+//!
+//! * **Ingress pumps** feed each *source* operator from its bounded
+//!   ingress channel ([`LiveDag::submit`] blocks when it fills — the
+//!   DAG-wide backpressure root).
+//! * **Fan-out forwarders** exist only for operators with **two or
+//!   more** outbound edges: one thread drains the operator's output
+//!   channel and replicates each batch into every outbound edge's own
+//!   bounded channel, applying the edge's grouping (key-hash into the
+//!   consumer's shard space, round-robin shuffle, or per-shard
+//!   broadcast). An operator with exactly **one** outbound edge skips
+//!   the forwarder entirely: its output channel *is* the edge channel,
+//!   and the consumer's pump applies the grouping — a chain therefore
+//!   has exactly the same thread and buffering structure as the
+//!   original `Pipeline`.
+//! * **Fan-in pumps**, one per consuming operator, round-robin over the
+//!   operator's inbound edges and feed its executor, holding records
+//!   back while the executor is at its in-flight capacity.
+//!
+//! # Backpressure
+//!
+//! Every hop is bounded: the ingress channels, every edge channel, and
+//! every non-sink operator's output channel hold at most their budget of
+//! batches, and each pump admits at most `capacity` in-flight records
+//! into its executor. A slow operator therefore stalls its pump, which
+//! stops reading its edge channels, which fills them and blocks the
+//! upstream forwarder (or the upstream executor's task threads
+//! directly), hop by hop back to [`LiveDag::submit`]. On a fan-out, a
+//! stalled *branch* stalls the forwarder and with it — deliberately —
+//! every sibling branch: records are never dropped to keep a fast
+//! branch fed, so conservation holds and the stall reaches the source.
+//!
+//! # Ordering
+//!
+//! Per-key FIFO holds **within every edge**: an executor's outputs are
+//! emitted in processing order, the single forwarder thread replicates
+//! batches in channel order, each edge channel is FIFO, and the single
+//! pump thread of the consumer preserves the order it took records in —
+//! per edge — while the executor's routing serializes each shard through
+//! one task at a time. Across *different* inbound edges of a fan-in
+//! operator no relative order is promised (the two upstreams are
+//! concurrent streams); a fan-in operator observes an arbitrary but
+//! per-edge-FIFO interleaving, exactly the guarantee the paper's
+//! multi-input bolts get from Storm-style shuffling layers.
+//!
+//! # Elasticity
+//!
+//! Every operator is a live [`ElasticExecutor`]: its task threads can be
+//! grown, shrunk, and rebalanced while records flow, manually through
+//! [`LiveDag::executor`] or automatically by attaching a
+//! [`LiveController`] — which samples
+//! λ/μ *per operator* and runs the paper's §4 scheduler over the whole
+//! graph, so a load spike on one branch of a diamond pulls cores from
+//! the idle branch.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use elasticutor_core::error::{Error, Result};
+use elasticutor_core::hash::key_to_shard;
+use elasticutor_core::ids::{OperatorId, ShardId};
+use elasticutor_core::topology::{Edge, EdgeId, Grouping, OperatorKind, Topology, TopologyBuilder};
+
+use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
+use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+use crate::pipeline::BoxedOperator;
+use crate::record::{Operator, Record, RecordBatch};
+
+/// A batch whose records already carry their destination shard — what
+/// fan-out forwarders put on edge channels (the grouping is applied at
+/// the producer, so the consumer's pump just delivers).
+type RoutedBatch = Vec<(ShardId, Record)>;
+
+/// One operator awaiting construction.
+struct OpSpec {
+    name: String,
+    kind: OperatorKind,
+    config: ExecutorConfig,
+    operator: BoxedOperator,
+}
+
+/// Builder for [`LiveDag`]. Collects operators and grouped edges (the
+/// same shape [`TopologyBuilder`] validates), then starts the graph.
+///
+/// Unlike the chain-only `PipelineBuilder`, operators are referred to by
+/// the [`OperatorId`] returned when they are added, so edges can express
+/// any acyclic shape:
+///
+/// ```
+/// use elasticutor_runtime::dag::LiveDag;
+/// use elasticutor_runtime::{ExecutorConfig, Record};
+/// use elasticutor_state::StateHandle;
+/// use bytes::Bytes;
+///
+/// let pass = |r: &Record, _s: &StateHandle| vec![r.clone()];
+/// let mut b = LiveDag::builder();
+/// let source = b.source("source", ExecutorConfig::default(), pass);
+/// let left = b.operator("left", ExecutorConfig::default(), pass);
+/// let right = b.operator("right", ExecutorConfig::default(), pass);
+/// let merge = b.operator("merge", ExecutorConfig::default(), pass);
+/// b.key_edge(source, left)
+///     .key_edge(source, right)
+///     .key_edge(left, merge)
+///     .key_edge(right, merge);
+/// let dag = b.build().expect("a diamond is acyclic");
+///
+/// for i in 0..10u64 {
+///     dag.submit(source, Record::new(i.into(), Bytes::new()));
+/// }
+/// dag.drain();
+/// // Each record went down both branches into the merge.
+/// let merged: usize = dag.outputs(merge).unwrap().try_iter().flatten().count();
+/// assert_eq!(merged, 20);
+/// dag.shutdown();
+/// ```
+pub struct LiveDagBuilder {
+    specs: Vec<OpSpec>,
+    edges: Vec<(OperatorId, OperatorId, Grouping)>,
+    /// `(from, to)` → batch-slot budget override for that edge's
+    /// channel.
+    edge_caps: Vec<(OperatorId, OperatorId, usize)>,
+    capacity: usize,
+    max_batch: usize,
+    controller: Option<ControllerConfig>,
+}
+
+impl Default for LiveDagBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveDagBuilder {
+    /// Starts an empty builder with the default per-edge budget.
+    pub fn new() -> Self {
+        Self {
+            specs: Vec::new(),
+            edges: Vec::new(),
+            edge_caps: Vec::new(),
+            capacity: 4096,
+            max_batch: 64,
+            controller: None,
+        }
+    }
+
+    /// Adds a source operator — an entry point records are
+    /// [`LiveDag::submit`]ted to. Sources run their operator logic on
+    /// the ingress stream like any other executor; they just have no
+    /// inbound edges. Returns the id used to wire edges.
+    pub fn source(
+        &mut self,
+        name: impl Into<String>,
+        config: ExecutorConfig,
+        operator: impl Operator,
+    ) -> OperatorId {
+        self.push(
+            name.into(),
+            OperatorKind::Source,
+            config,
+            Box::new(operator),
+        )
+    }
+
+    /// Adds a transform operator (at least one inbound edge required by
+    /// validation). Returns the id used to wire edges.
+    pub fn operator(
+        &mut self,
+        name: impl Into<String>,
+        config: ExecutorConfig,
+        operator: impl Operator,
+    ) -> OperatorId {
+        self.push(
+            name.into(),
+            OperatorKind::Transform,
+            config,
+            Box::new(operator),
+        )
+    }
+
+    fn push(
+        &mut self,
+        name: String,
+        kind: OperatorKind,
+        config: ExecutorConfig,
+        operator: BoxedOperator,
+    ) -> OperatorId {
+        let id = OperatorId::from_index(self.specs.len());
+        self.specs.push(OpSpec {
+            name,
+            kind,
+            config,
+            operator,
+        });
+        id
+    }
+
+    /// Adds a key-grouped edge: every record of a key goes to the key's
+    /// shard of `to` (the grouping stateful consumers need; preserves
+    /// per-key FIFO across the hop).
+    pub fn key_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push((from, to, Grouping::Key));
+        self
+    }
+
+    /// Adds a shuffle-grouped edge: records are spread round-robin over
+    /// `to`'s shards, ignoring keys. Only meaningful into stateless
+    /// consumers — and rejected by validation when mixed with a key
+    /// edge into the same operator.
+    pub fn shuffle_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push((from, to, Grouping::Shuffle));
+        self
+    }
+
+    /// Adds a broadcast edge: every record is replicated to **every**
+    /// shard of `to` (volume multiplies by `to`'s shard count — use for
+    /// low-rate control or dimension streams).
+    pub fn broadcast_edge(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.edges.push((from, to, Grouping::Broadcast));
+        self
+    }
+
+    /// Sets the default backpressure budget, in records: every operator
+    /// admits at most this many submitted-but-unprocessed records, and
+    /// every bounded channel (ingress, edge, non-sink outputs) holds at
+    /// most this many batch slots. See `PipelineBuilder::stage_capacity`
+    /// for the exact per-hop buffering arithmetic — it is unchanged.
+    pub fn capacity(&mut self, records: usize) -> &mut Self {
+        self.capacity = records.max(1);
+        self
+    }
+
+    /// Overrides the budget of the single edge `from → to`, leaving
+    /// every other edge at the default. Like [`Self::capacity`], the
+    /// number counts **batch slots** in the edge's channel (each slot
+    /// holding up to [`Self::max_batch`] records — or more when the
+    /// producer amplifies volume), so the records buffered on the edge
+    /// are bounded by `slots × max_batch × fanout`. Takes effect at
+    /// [`Self::build`]; unknown edges are reported there as
+    /// [`Error::InvalidTopology`].
+    pub fn edge_capacity(&mut self, from: OperatorId, to: OperatorId, slots: usize) -> &mut Self {
+        self.edge_caps.push((from, to, slots.max(1)));
+        self
+    }
+
+    /// Sets the batch amortization window (the per-wakeup coalescing cap
+    /// of every pump and the chunk size of ingress and broadcast
+    /// replication); 1 disables pump-side batching.
+    pub fn max_batch(&mut self, max_batch: usize) -> &mut Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Attaches a [`LiveController`] that samples λ/μ per operator and
+    /// reallocates task threads across the whole graph while it runs.
+    pub fn controller(&mut self, config: ControllerConfig) -> &mut Self {
+        self.controller = Some(config);
+        self
+    }
+
+    /// Validates the topology (acyclic, legal groupings, no duplicate
+    /// edges, …) and starts every executor, forwarder, and pump thread.
+    pub fn build(self) -> Result<LiveDag> {
+        // 1. The core topology is the single source of truth for shape:
+        //    one (parallelism-1) operator per executor, shard spaces
+        //    taken from the executor configs so groupings and routing
+        //    tables agree by construction.
+        let mut tb = TopologyBuilder::new();
+        for spec in &self.specs {
+            match spec.kind {
+                OperatorKind::Source => {
+                    tb.source_sharded(spec.name.clone(), 1, spec.config.num_shards)
+                }
+                OperatorKind::Transform => {
+                    tb.transform(spec.name.clone(), 1, spec.config.num_shards)
+                }
+            };
+        }
+        for &(from, to, grouping) in &self.edges {
+            match grouping {
+                Grouping::Key => tb.key_edge(from, to),
+                Grouping::Shuffle => tb.shuffle_edge(from, to),
+                Grouping::Broadcast => tb.broadcast_edge(from, to),
+            };
+        }
+        let topology = tb.build()?;
+        let n = topology.operators().len();
+        let num_edges = topology.edges().len();
+
+        let edge_budget = |edge: &Edge| -> usize {
+            self.edge_caps
+                .iter()
+                .rev()
+                .find(|(f, t, _)| *f == edge.from && *t == edge.to)
+                .map_or(self.capacity, |&(_, _, cap)| cap)
+        };
+        for &(from, to, _) in &self.edge_caps {
+            if topology.edge_id(from, to).is_none() {
+                return Err(Error::InvalidTopology(format!(
+                    "edge_capacity set for nonexistent edge {from} → {to}"
+                )));
+            }
+        }
+
+        // 2. Start the executors. Non-sink operators get a bounded
+        //    output channel (unless the config explicitly chose one) so
+        //    a stalled consumer blocks the emitting task threads: with a
+        //    single outbound edge the output channel *is* that edge's
+        //    channel and takes its budget; a fan-out's output channel
+        //    uses the default budget and the per-edge budgets apply to
+        //    the forwarder's edge channels instead.
+        let mut executors = Vec::with_capacity(n);
+        for (i, spec) in self.specs.into_iter().enumerate() {
+            let id = OperatorId::from_index(i);
+            let mut config = spec.config;
+            if config.output_capacity.is_none() {
+                let outbound: Vec<&Edge> = topology.edges_from(id).map(|(_, e)| e).collect();
+                match outbound.len() {
+                    0 => {} // sink: the user drains at their own pace
+                    1 => config.output_capacity = Some(edge_budget(outbound[0])),
+                    _ => config.output_capacity = Some(self.capacity),
+                }
+            }
+            executors.push(Arc::new(ElasticExecutor::start(config, spec.operator)));
+        }
+
+        let counters = Arc::new(DagCounters {
+            ingress_accepted: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            pumped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fanned: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            edge_in: (0..num_edges).map(|_| AtomicU64::new(0)).collect(),
+            edge_out: (0..num_edges).map(|_| AtomicU64::new(0)).collect(),
+        });
+
+        // 3. Edge channels + forwarders for fan-out operators.
+        let mut edge_rx: Vec<Option<Receiver<RoutedBatch>>> =
+            (0..num_edges).map(|_| None).collect();
+        let mut forwarders: Vec<Option<JoinHandle<()>>> = (0..n).map(|_| None).collect();
+        for op in topology.operators() {
+            let outbound: Vec<(EdgeId, &Edge)> = topology.edges_from(op.id).collect();
+            if outbound.len() < 2 {
+                continue;
+            }
+            let mut forward_edges = Vec::with_capacity(outbound.len());
+            for (edge_id, edge) in outbound {
+                let (tx, rx) = bounded::<RoutedBatch>(edge_budget(edge));
+                edge_rx[edge_id] = Some(rx);
+                forward_edges.push(ForwardEdge {
+                    tx,
+                    grouping: edge.grouping,
+                    edge: edge_id,
+                    num_shards: topology.operator(edge.to)?.shards_per_executor,
+                    cursor: 0,
+                });
+            }
+            let rx = executors[op.id.index()].outputs().clone();
+            let counters = Arc::clone(&counters);
+            let op_index = op.id.index();
+            let max_batch = self.max_batch;
+            let handle = std::thread::Builder::new()
+                .name(format!("dag-fanout-{}", op.name))
+                .spawn(move || forwarder_loop(rx, forward_edges, counters, op_index, max_batch))
+                .expect("spawn forwarder thread");
+            forwarders[op.id.index()] = Some(handle);
+        }
+
+        // 4. Ingress channels for sources; one pump per operator.
+        let mut ingress: Vec<Option<Sender<RecordBatch>>> = (0..n).map(|_| None).collect();
+        let mut pumps: Vec<Option<JoinHandle<()>>> = (0..n).map(|_| None).collect();
+        for op in topology.operators() {
+            let mut feeds: Vec<FeedState> = Vec::new();
+            if op.kind == OperatorKind::Source {
+                let (tx, rx) = bounded::<RecordBatch>(self.capacity);
+                ingress[op.id.index()] = Some(tx);
+                feeds.push(FeedState::new(Feed::Ingress(rx)));
+            }
+            for (edge_id, edge) in topology.edges_into(op.id) {
+                let feed = match edge_rx[edge_id].take() {
+                    // Replicated by the upstream forwarder, shards
+                    // pre-assigned.
+                    Some(rx) => Feed::Routed { rx, edge: edge_id },
+                    // Chain fast path: the upstream's output channel is
+                    // the edge channel; this pump applies the grouping.
+                    None => Feed::Direct {
+                        rx: executors[edge.from.index()].outputs().clone(),
+                        grouping: edge.grouping,
+                        edge: edge_id,
+                    },
+                };
+                feeds.push(FeedState::new(feed));
+            }
+            let pump = Pump {
+                executor: Arc::clone(&executors[op.id.index()]),
+                counters: Arc::clone(&counters),
+                op: op.id.index(),
+                num_shards: op.shards_per_executor,
+                capacity: self.capacity as u64,
+                max_batch: self.max_batch,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("dag-pump-{}", op.name))
+                .spawn(move || pump.run(feeds))
+                .expect("spawn pump thread");
+            pumps[op.id.index()] = Some(handle);
+        }
+
+        // 5. Sinks keep a receiver clone for the user; the controller
+        //    (if any) watches every operator in id order.
+        let sink_rx: Vec<Option<Receiver<RecordBatch>>> = topology
+            .operators()
+            .iter()
+            .map(|op| {
+                (topology.downstream(op.id).is_empty())
+                    .then(|| executors[op.id.index()].outputs().clone())
+            })
+            .collect();
+        let controller = self.controller.map(|config| {
+            let names = topology
+                .operators()
+                .iter()
+                .map(|o| o.name.clone())
+                .collect();
+            LiveController::spawn(config, executors.clone(), names)
+        });
+
+        Ok(LiveDag {
+            topology,
+            executors,
+            counters,
+            ingress,
+            sink_rx,
+            pumps,
+            forwarders,
+            controller,
+            max_batch: self.max_batch,
+        })
+    }
+}
+
+/// Monotonic per-operator and per-edge counters. Together with each
+/// executor's `processed`/`emitted` counts they let [`LiveDag`] decide
+/// quiescence without locks: every counter is incremented *when the
+/// record passes that point* (consumption counters at receipt, before
+/// any waiting; production counters before the channel send), so a
+/// record is visible in at least one pairwise comparison at all times.
+struct DagCounters {
+    /// Records accepted by [`LiveDag::submit`] per (source) operator.
+    ingress_accepted: Vec<AtomicU64>,
+    /// Records handed to each operator's executor by its pump, counted
+    /// at receipt (post-replication for broadcast edges — the unit the
+    /// executor's `processed` counter will use).
+    pumped: Vec<AtomicU64>,
+    /// Records a fan-out operator's forwarder has consumed from its
+    /// output channel (original records, pre-replication).
+    fanned: Vec<AtomicU64>,
+    /// Records put into each edge's channel by the fan-out forwarder
+    /// (post-replication units; unused for single-outbound operators,
+    /// whose output channel is consumed directly).
+    edge_in: Vec<AtomicU64>,
+    /// Records the consumer's pump took off each edge. For forwarder
+    /// edges this counts the same post-replication units as `edge_in`;
+    /// for direct edges it counts the original records taken from the
+    /// upstream output channel (matching the upstream `emitted` count).
+    edge_out: Vec<AtomicU64>,
+}
+
+/// One inbound feed of an operator's pump.
+enum Feed {
+    /// The bounded ingress channel of a source operator; records route
+    /// by their key.
+    Ingress(Receiver<RecordBatch>),
+    /// The upstream executor's output channel, reused as the edge
+    /// channel (upstream has exactly one outbound edge): this pump
+    /// applies the edge's grouping.
+    Direct {
+        rx: Receiver<RecordBatch>,
+        grouping: Grouping,
+        edge: EdgeId,
+    },
+    /// A fan-out forwarder's edge channel: shards were assigned by the
+    /// producer's forwarder.
+    Routed {
+        rx: Receiver<RoutedBatch>,
+        edge: EdgeId,
+    },
+}
+
+/// A [`Feed`] plus its pump-side state.
+struct FeedState {
+    feed: Feed,
+    /// Cleared when the channel disconnects (upstream fully drained).
+    open: bool,
+    /// Round-robin cursor for shuffle-grouped direct edges.
+    shuffle_cursor: u64,
+}
+
+impl FeedState {
+    fn new(feed: Feed) -> Self {
+        Self {
+            feed,
+            open: true,
+            shuffle_cursor: 0,
+        }
+    }
+}
+
+/// The per-operator pump: merges all inbound feeds into the executor.
+struct Pump {
+    executor: Arc<ElasticExecutor<BoxedOperator>>,
+    counters: Arc<DagCounters>,
+    op: usize,
+    num_shards: u32,
+    /// In-flight records the executor may hold (pushed − processed).
+    capacity: u64,
+    max_batch: usize,
+}
+
+/// Receives one value from a feed channel, either non-blocking
+/// (`timeout: None` → `try_recv`) or with a bounded wait. Collapses the
+/// two crossbeam error types into one shape so [`Pump::poll`] can serve
+/// both modes with a single ingest dispatch.
+fn recv_feed<T>(rx: &Receiver<T>, timeout: Option<Duration>) -> std::result::Result<T, Disconnect> {
+    use crossbeam::channel::RecvTimeoutError;
+    match timeout {
+        None => rx.try_recv().map_err(|e| Disconnect {
+            disconnected: matches!(e, TryRecvError::Disconnected),
+        }),
+        Some(timeout) => rx.recv_timeout(timeout).map_err(|e| Disconnect {
+            disconnected: matches!(e, RecvTimeoutError::Disconnected),
+        }),
+    }
+}
+
+/// Whether a failed receive means the channel is gone (vs merely empty
+/// or timed out).
+struct Disconnect {
+    disconnected: bool,
+}
+
+impl Pump {
+    // Counter-ordering invariant shared by every `ingest_*`: `pumped`
+    // (this operator's consumption-side counter) is incremented FIRST.
+    // From that instant `pumped > processed`, so `is_quiescent` fails
+    // until the records are actually fed and processed; only then is
+    // the per-edge `edge_out` bumped, closing the upstream pairing
+    // (`emitted`/`edge_in` vs `edge_out`) with no window in which every
+    // equality holds while a record sits uncounted in this thread's
+    // hands. (The forwarder orders its pair the mirrored way:
+    // `edge_in` before `fanned`.)
+
+    /// Ingests one received batch from a direct edge: counts it (at
+    /// receipt — quiescence checks must see the records somewhere at
+    /// all times), applies the grouping, and appends the routed records
+    /// to `pending`. Returns the number of routed units added.
+    fn ingest_direct(
+        &self,
+        grouping: Grouping,
+        edge: EdgeId,
+        cursor: &mut u64,
+        batch: RecordBatch,
+        pending: &mut VecDeque<(ShardId, Record)>,
+    ) -> usize {
+        let originals = batch.len() as u64;
+        let added = match grouping {
+            Grouping::Key => {
+                self.counters.pumped[self.op].fetch_add(originals, Ordering::AcqRel);
+                for record in batch {
+                    let shard = ShardId(key_to_shard(record.key.value(), self.num_shards));
+                    pending.push_back((shard, record));
+                }
+                originals
+            }
+            Grouping::Shuffle => {
+                self.counters.pumped[self.op].fetch_add(originals, Ordering::AcqRel);
+                for record in batch {
+                    let shard = ShardId((*cursor % u64::from(self.num_shards)) as u32);
+                    *cursor = cursor.wrapping_add(1);
+                    pending.push_back((shard, record));
+                }
+                originals
+            }
+            Grouping::Broadcast => {
+                let copies = originals * u64::from(self.num_shards);
+                self.counters.pumped[self.op].fetch_add(copies, Ordering::AcqRel);
+                for record in batch {
+                    for shard in 0..self.num_shards {
+                        pending.push_back((ShardId(shard), record.clone()));
+                    }
+                }
+                copies
+            }
+        };
+        self.counters.edge_out[edge].fetch_add(originals, Ordering::AcqRel);
+        added as usize
+    }
+
+    /// Ingests one ingress batch (key routing, no edge counter).
+    fn ingest_ingress(
+        &self,
+        batch: RecordBatch,
+        pending: &mut VecDeque<(ShardId, Record)>,
+    ) -> usize {
+        let n = batch.len();
+        self.counters.pumped[self.op].fetch_add(n as u64, Ordering::AcqRel);
+        for record in batch {
+            let shard = ShardId(key_to_shard(record.key.value(), self.num_shards));
+            pending.push_back((shard, record));
+        }
+        n
+    }
+
+    /// Ingests one routed batch from a forwarder edge.
+    fn ingest_routed(
+        &self,
+        edge: EdgeId,
+        batch: RoutedBatch,
+        pending: &mut VecDeque<(ShardId, Record)>,
+    ) -> usize {
+        let n = batch.len();
+        self.counters.pumped[self.op].fetch_add(n as u64, Ordering::AcqRel);
+        pending.extend(batch);
+        self.counters.edge_out[edge].fetch_add(n as u64, Ordering::AcqRel);
+        n
+    }
+
+    /// Polls one feed, ingesting at most one batch: non-blocking with
+    /// `timeout: None`, otherwise waiting up to the timeout (the idle
+    /// path — a condvar sleep instead of a spin). Returns the routed
+    /// units added, or `None` if nothing arrived (marking the feed
+    /// closed on disconnect).
+    fn poll(
+        &self,
+        state: &mut FeedState,
+        timeout: Option<Duration>,
+        pending: &mut VecDeque<(ShardId, Record)>,
+    ) -> Option<usize> {
+        let result = match &state.feed {
+            Feed::Ingress(rx) => {
+                recv_feed(rx, timeout).map(|batch| self.ingest_ingress(batch, pending))
+            }
+            Feed::Direct { rx, grouping, edge } => {
+                let (grouping, edge) = (*grouping, *edge);
+                recv_feed(rx, timeout).map(|batch| {
+                    self.ingest_direct(grouping, edge, &mut state.shuffle_cursor, batch, pending)
+                })
+            }
+            Feed::Routed { rx, edge } => {
+                let edge = *edge;
+                recv_feed(rx, timeout).map(|batch| self.ingest_routed(edge, batch, pending))
+            }
+        };
+        match result {
+            Ok(added) => Some(added),
+            Err(gone) => {
+                if gone.disconnected {
+                    state.open = false;
+                }
+                None
+            }
+        }
+    }
+
+    /// The pump thread body. Exits once every feed has disconnected and
+    /// its remaining records were fed to the executor.
+    fn run(self, mut feeds: Vec<FeedState>) {
+        // Records handed to the executor; `pushed − processed` is the
+        // executor's in-flight count (this pump is its only feeder).
+        let mut pushed = 0u64;
+        let mut pending: VecDeque<(ShardId, Record)> = VecDeque::new();
+        // Fairness cursor: which feed gets polled first this wave.
+        let mut first = 0usize;
+        loop {
+            // ---- Collect one wave of up to max_batch routed units,
+            //      round-robin over the feeds (order within each feed is
+            //      preserved; interleaving across feeds is arbitrary,
+            //      matching the documented fan-in guarantee). ----
+            let mut collected = 0usize;
+            let num_feeds = feeds.len();
+            'outer: for k in 0..num_feeds {
+                let idx = (first + k) % num_feeds;
+                if !feeds[idx].open {
+                    continue;
+                }
+                while collected < self.max_batch {
+                    match self.poll(&mut feeds[idx], None, &mut pending) {
+                        Some(added) => collected += added,
+                        None => continue 'outer,
+                    }
+                }
+                break;
+            }
+            first = (first + 1) % num_feeds.max(1);
+            if collected == 0 {
+                if feeds.iter().all(|f| !f.open) {
+                    // Every upstream hung up and was drained: exit after
+                    // flushing anything still in hand (none by
+                    // construction — the feed loop below empties
+                    // `pending` before the next wave).
+                    break;
+                }
+                // Idle: block briefly on the first open feed so waiting
+                // costs a condvar sleep, not a spin.
+                if let Some(state) = feeds.iter_mut().find(|f| f.open) {
+                    self.poll(state, Some(Duration::from_millis(1)), &mut pending);
+                }
+                if pending.is_empty() {
+                    continue;
+                }
+            }
+            // ---- Feed the executor, respecting its in-flight budget:
+            //      hold records in hand while it is full (and stop
+            //      reading the feeds, which then fill and block the
+            //      upstream — that is the backpressure propagation). ----
+            while !pending.is_empty() {
+                let room = self
+                    .capacity
+                    .saturating_sub(pushed.saturating_sub(self.executor.processed_count()));
+                if room == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                    continue;
+                }
+                let take = (room as usize).min(self.max_batch).min(pending.len());
+                self.executor.submit_batch_routed(pending.drain(..take));
+                pushed += take as u64;
+            }
+        }
+    }
+}
+
+/// One outbound edge of a fan-out forwarder.
+struct ForwardEdge {
+    tx: Sender<RoutedBatch>,
+    grouping: Grouping,
+    edge: EdgeId,
+    /// The consumer's shard-space size (targets of key hash, shuffle,
+    /// and broadcast replication).
+    num_shards: u32,
+    /// Round-robin cursor for shuffle edges.
+    cursor: u64,
+}
+
+/// The fan-out forwarder body: drains the operator's output channel and
+/// replicates every batch into each outbound edge's channel, applying
+/// the edge's grouping. A full edge channel blocks the forwarder — and
+/// with it every sibling edge — which is what propagates a slow
+/// branch's backpressure to the producer instead of dropping records.
+fn forwarder_loop(
+    rx: Receiver<RecordBatch>,
+    mut edges: Vec<ForwardEdge>,
+    counters: Arc<DagCounters>,
+    op: usize,
+    max_batch: usize,
+) {
+    while let Ok(batch) = rx.recv() {
+        let originals = batch.len() as u64;
+        // Count every copy into its edge *before* any send — a blocked
+        // send must not hide the copies still in hand — and before
+        // `fanned`: from the first `edge_in` bump, `edge_in > edge_out`
+        // fails the quiescence check, and `fanned` (which would satisfy
+        // the `emitted == fanned` pairing) only catches up afterwards,
+        // so no window exists in which every equality holds while this
+        // thread still holds the batch.
+        for e in &edges {
+            let copies = match e.grouping {
+                Grouping::Broadcast => originals * u64::from(e.num_shards),
+                Grouping::Key | Grouping::Shuffle => originals,
+            };
+            counters.edge_in[e.edge].fetch_add(copies, Ordering::AcqRel);
+        }
+        counters.fanned[op].fetch_add(originals, Ordering::AcqRel);
+        for e in &mut edges {
+            // A send error means the consumer side is gone (teardown
+            // with a retained handle); the copies are dropped, matching
+            // executor shutdown semantics.
+            match e.grouping {
+                Grouping::Key => {
+                    let routed: RoutedBatch = batch
+                        .iter()
+                        .map(|r| {
+                            (
+                                ShardId(key_to_shard(r.key.value(), e.num_shards)),
+                                r.clone(),
+                            )
+                        })
+                        .collect();
+                    let _ = e.tx.send(routed);
+                }
+                Grouping::Shuffle => {
+                    let routed: RoutedBatch = batch
+                        .iter()
+                        .map(|r| {
+                            let shard = ShardId((e.cursor % u64::from(e.num_shards)) as u32);
+                            e.cursor = e.cursor.wrapping_add(1);
+                            (shard, r.clone())
+                        })
+                        .collect();
+                    let _ = e.tx.send(routed);
+                }
+                Grouping::Broadcast => {
+                    // Replication multiplies volume by the consumer's
+                    // shard count; chunk the copies so no channel slot
+                    // holds more than max_batch records.
+                    let mut chunk: RoutedBatch = Vec::with_capacity(max_batch);
+                    for record in &batch {
+                        for shard in 0..e.num_shards {
+                            chunk.push((ShardId(shard), record.clone()));
+                            if chunk.len() == max_batch {
+                                let full =
+                                    std::mem::replace(&mut chunk, Vec::with_capacity(max_batch));
+                                let _ = e.tx.send(full);
+                            }
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        let _ = e.tx.send(chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-operator snapshot returned by [`LiveDag::operator_stats`] and
+/// [`LiveDag::shutdown`].
+#[derive(Clone, Debug)]
+pub struct OperatorStats {
+    /// Operator name (from the builder).
+    pub name: String,
+    /// Records handed to the operator's executor by its pump.
+    pub submitted: u64,
+    /// Executor statistics.
+    pub stats: ExecutorStats,
+}
+
+/// A running elastic dataflow graph. See the module docs for the wiring,
+/// backpressure, and ordering model; build one with [`LiveDagBuilder`].
+pub struct LiveDag {
+    topology: Topology,
+    executors: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    counters: Arc<DagCounters>,
+    /// Ingress senders, indexed by operator (sources only); `None`d at
+    /// shutdown.
+    ingress: Vec<Option<Sender<RecordBatch>>>,
+    /// Output receivers of sink operators, indexed by operator.
+    sink_rx: Vec<Option<Receiver<RecordBatch>>>,
+    pumps: Vec<Option<JoinHandle<()>>>,
+    forwarders: Vec<Option<JoinHandle<()>>>,
+    controller: Option<ControllerHandle>,
+    max_batch: usize,
+}
+
+impl LiveDag {
+    /// Starts building a DAG.
+    pub fn builder() -> LiveDagBuilder {
+        LiveDagBuilder::new()
+    }
+
+    /// The validated topology driving this graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Feeds a record into a source operator. Blocks when the graph is
+    /// backpressured (the source at capacity and its ingress channel
+    /// full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a source operator of this topology.
+    pub fn submit(&self, source: OperatorId, record: Record) {
+        self.counters.ingress_accepted[source.index()].fetch_add(1, Ordering::AcqRel);
+        self.ingress[source.index()]
+            .as_ref()
+            .expect("operator is a running source")
+            .send(vec![record])
+            .expect("ingress pump alive");
+    }
+
+    /// Feeds a batch into a source operator through amortized channel
+    /// sends, splitting so no ingress slot holds more than the builder's
+    /// `max_batch` records. Blocks like [`Self::submit`] when
+    /// backpressured; empty batches are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a source operator of this topology.
+    pub fn submit_batch(&self, source: OperatorId, batch: RecordBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.counters.ingress_accepted[source.index()]
+            .fetch_add(batch.len() as u64, Ordering::AcqRel);
+        let tx = self.ingress[source.index()]
+            .as_ref()
+            .expect("operator is a running source");
+        if batch.len() <= self.max_batch {
+            tx.send(batch).expect("ingress pump alive");
+            return;
+        }
+        let mut chunk = Vec::with_capacity(self.max_batch);
+        for record in batch {
+            chunk.push(record);
+            if chunk.len() == self.max_batch {
+                let full = std::mem::replace(&mut chunk, Vec::with_capacity(self.max_batch));
+                tx.send(full).expect("ingress pump alive");
+            }
+        }
+        if !chunk.is_empty() {
+            tx.send(chunk).expect("ingress pump alive");
+        }
+    }
+
+    /// The output stream of a sink operator (one with no outbound
+    /// edges), in batches; `None` for non-sinks, whose outputs feed
+    /// their downstream edges.
+    pub fn outputs(&self, op: OperatorId) -> Option<&Receiver<RecordBatch>> {
+        self.sink_rx[op.index()].as_ref()
+    }
+
+    /// Direct handle to an operator's executor (manual elasticity:
+    /// `add_task`, `remove_task`, `rebalance`, `reassign_shard`).
+    ///
+    /// As with the chain pipeline, a clone of this `Arc` still alive
+    /// when [`Self::shutdown`] runs degrades that operator's teardown:
+    /// its tasks are halted in place and the downstream threads are
+    /// detached rather than joined (they exit when the last clone
+    /// drops).
+    pub fn executor(&self, op: OperatorId) -> &Arc<ElasticExecutor<BoxedOperator>> {
+        &self.executors[op.index()]
+    }
+
+    /// Live task-thread count per operator (the "core" allocation), in
+    /// operator-id order.
+    pub fn cores_per_operator(&self) -> Vec<usize> {
+        self.executors.iter().map(|e| e.tasks().len()).collect()
+    }
+
+    /// Per-operator statistics snapshots, in operator-id order.
+    pub fn operator_stats(&self) -> Vec<OperatorStats> {
+        self.topology
+            .operators()
+            .iter()
+            .map(|op| OperatorStats {
+                name: op.name.clone(),
+                submitted: self.counters.pumped[op.id.index()].load(Ordering::Acquire),
+                stats: self.executors[op.id.index()].stats(),
+            })
+            .collect()
+    }
+
+    /// Events logged by the attached controller (empty when none).
+    pub fn controller_log(&self) -> Vec<ControllerEvent> {
+        self.controller
+            .as_ref()
+            .map_or_else(Vec::new, ControllerHandle::log)
+    }
+
+    /// Whether every submitted record has been processed through every
+    /// operator it routes to and no record sits in any ingress, edge, or
+    /// output channel (sink output channels excepted — those hold
+    /// results for the user).
+    ///
+    /// Uses monotonic counters only; a `true` from a single call is
+    /// trustworthy provided no concurrent `submit` is racing it. Each
+    /// counter is incremented as the record passes its point
+    /// (consumption at receipt, production before the send), so a
+    /// record in flight always fails at least one of the equalities.
+    pub fn is_quiescent(&self) -> bool {
+        let c = &self.counters;
+        for op in self.topology.operators() {
+            let i = op.id.index();
+            if op.kind == OperatorKind::Source
+                && c.ingress_accepted[i].load(Ordering::Acquire)
+                    != c.pumped[i].load(Ordering::Acquire)
+            {
+                return false;
+            }
+            if c.pumped[i].load(Ordering::Acquire) != self.executors[i].processed_count() {
+                return false;
+            }
+            let outbound: Vec<EdgeId> = self.topology.edges_from(op.id).map(|(id, _)| id).collect();
+            match outbound.len() {
+                0 => {}
+                1 => {
+                    if self.executors[i].emitted_count()
+                        != c.edge_out[outbound[0]].load(Ordering::Acquire)
+                    {
+                        return false;
+                    }
+                }
+                _ => {
+                    if self.executors[i].emitted_count() != c.fanned[i].load(Ordering::Acquire) {
+                        return false;
+                    }
+                    for e in outbound {
+                        if c.edge_in[e].load(Ordering::Acquire)
+                            != c.edge_out[e].load(Ordering::Acquire)
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Blocks until the graph is quiescent (all submitted records fully
+    /// processed along every edge). Requires two consecutive clean
+    /// reads, hardening the check against a record caught mid-hop
+    /// between two counter updates.
+    pub fn drain(&self) {
+        let mut streak = 0;
+        while streak < 2 {
+            streak = if self.is_quiescent() { streak + 1 } else { 0 };
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stops the controller, drains every operator in topological order,
+    /// shuts the executors down, and returns final statistics in
+    /// operator-id order.
+    pub fn shutdown(mut self) -> Vec<OperatorStats> {
+        // 1. Controller first: it holds executor handles and must not
+        //    fight the teardown with grants/revocations.
+        if let Some(controller) = self.controller.take() {
+            controller.stop();
+        }
+        // 2. Close every ingress; source pumps forward what is buffered,
+        //    then exit.
+        for tx in &mut self.ingress {
+            tx.take();
+        }
+        let n = self.executors.len();
+        // Operators halted in place because a foreign handle kept their
+        // executor alive: their channels never disconnect, so dependent
+        // threads are detached instead of joined.
+        let mut degraded = vec![false; n];
+        // Final `emitted` count per operator, captured once its inputs
+        // are fully processed (emits happen before the `processed`
+        // increment, so the count is final at that point). The drain
+        // waits below compare downstream consumption against it.
+        let mut emitted_final = vec![0u64; n];
+        let mut all_stats: Vec<Option<OperatorStats>> = (0..n).map(|_| None).collect();
+        let executors = std::mem::take(&mut self.executors);
+        let mut executors: Vec<Option<Arc<ElasticExecutor<BoxedOperator>>>> =
+            executors.into_iter().map(Some).collect();
+
+        fn wait(mut check: impl FnMut() -> bool) {
+            while !check() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        /// Copies one upstream record fans into `edge` (the replication
+        /// factor of its grouping).
+        fn copies(edge: &Edge, topology: &Topology, originals: u64) -> u64 {
+            match edge.grouping {
+                Grouping::Broadcast => {
+                    originals
+                        * u64::from(
+                            topology
+                                .operator(edge.to)
+                                .expect("validated edge")
+                                .shards_per_executor,
+                        )
+                }
+                Grouping::Key | Grouping::Shuffle => originals,
+            }
+        }
+
+        // 3. Walk the graph in topological order: by the time we reach
+        //    an operator, every producer feeding it has been fully shut
+        //    down (its channels disconnected) or halted in place with
+        //    its outbound edges drained, so the operator's pump either
+        //    exits on its own or can be safely detached once its inbound
+        //    edges are empty.
+        for &v in self.topology.topo_order() {
+            let vi = v.index();
+            let upstream_degraded = self
+                .topology
+                .upstream(v)
+                .iter()
+                .any(|u| degraded[u.index()]);
+            let pump = self.pumps[vi].take();
+            if upstream_degraded {
+                // Some feed channel will never disconnect: wait for
+                // every inbound edge to drain into the pump, then for
+                // the pump's hand to reach the executor, and detach the
+                // pump thread (it exits when the last foreign handle
+                // drops).
+                for (edge_id, edge) in self.topology.edges_into(v) {
+                    let c = &self.counters;
+                    if self.topology.downstream(edge.from).len() >= 2 {
+                        // Forwarder edge: `edge_in` settled when the
+                        // producer was processed; the pump must take it
+                        // all.
+                        wait(|| {
+                            c.edge_in[edge_id].load(Ordering::Acquire)
+                                == c.edge_out[edge_id].load(Ordering::Acquire)
+                        });
+                    } else {
+                        // Direct edge: the pump consumes straight off
+                        // the producer's (final) emitted stream.
+                        let produced = emitted_final[edge.from.index()];
+                        wait(|| c.edge_out[edge_id].load(Ordering::Acquire) >= produced);
+                    }
+                }
+                let c = Arc::clone(&self.counters);
+                let exec = Arc::clone(executors[vi].as_ref().expect("not yet taken"));
+                wait(|| exec.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
+                drop(pump); // detached
+            } else if let Some(pump) = pump {
+                // All feeds disconnect once their producers are gone
+                // (which topological order guarantees happened already):
+                // the pump forwards everything and exits.
+                pump.join().expect("pump exits cleanly");
+            }
+            // Everything the pump handed over is in the executor; wait
+            // for it to finish processing, then record the final emit
+            // count for downstream drain waits.
+            {
+                let c = &self.counters;
+                let exec = executors[vi].as_ref().expect("not yet taken");
+                wait(|| exec.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
+                emitted_final[vi] = exec.emitted_count();
+            }
+            // Shut the executor down. Normally we hold the last
+            // reference (the pump that held a clone was just joined) and
+            // can consume it, which drops its output channel and lets
+            // downstream threads exit. A caller-retained handle degrades
+            // to halting in place.
+            let taken = executors[vi].take().expect("not yet taken");
+            let stats = match Arc::try_unwrap(taken) {
+                Ok(exec) => exec.shutdown(),
+                Err(shared) => {
+                    let stats = shared.halt_shared();
+                    degraded[vi] = true;
+                    stats
+                }
+            };
+            all_stats[vi] = Some(OperatorStats {
+                name: self.topology.operators()[vi].name.clone(),
+                submitted: self.counters.pumped[vi].load(Ordering::Acquire),
+                stats,
+            });
+            // The fan-out forwarder (if any) exits once the output
+            // channel disconnects; with a degraded executor that never
+            // happens, so wait until it has consumed and replicated
+            // every emitted record, then detach it.
+            if let Some(forwarder) = self.forwarders[vi].take() {
+                if degraded[vi] {
+                    let c = &self.counters;
+                    let produced = emitted_final[vi];
+                    wait(|| {
+                        c.fanned[vi].load(Ordering::Acquire) >= produced
+                            && self.topology.edges_from(v).all(|(e, edge)| {
+                                c.edge_in[e].load(Ordering::Acquire)
+                                    >= copies(edge, &self.topology, produced)
+                            })
+                    });
+                    drop(forwarder); // detached
+                } else {
+                    forwarder.join().expect("forwarder exits cleanly");
+                }
+            }
+        }
+        all_stats
+            .into_iter()
+            .map(|s| s.expect("every operator visited"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LiveDag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveDag")
+            .field(
+                "operators",
+                &self
+                    .topology
+                    .operators()
+                    .iter()
+                    .map(|o| o.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("edges", &self.topology.edges().len())
+            .field("cores", &self.cores_per_operator())
+            .finish()
+    }
+}

@@ -331,8 +331,24 @@ impl<O: Operator> ElasticExecutor<O> {
     /// sender-cell read. Processing is asynchronous on whichever task
     /// owns the record's shard.
     pub fn submit(&self, record: Record) {
-        self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(&record);
+        self.submit_routed(shard, record);
+    }
+
+    /// Submits a record to an explicitly chosen shard, bypassing the
+    /// key → shard hash — the delivery primitive behind shuffle and
+    /// broadcast edges of a [`LiveDag`](crate::dag::LiveDag), whose
+    /// shard is picked by the edge's grouping rather than the key. Same
+    /// wait-free routing and ordering guarantees as [`Self::submit`],
+    /// but per-*shard* FIFO instead of per-key (per-key FIFO follows
+    /// only when the caller routes each key consistently, as the key
+    /// hash does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is outside `0..num_shards`.
+    pub fn submit_routed(&self, shard: ShardId, record: Record) {
+        self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
         self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
         if self.inner.baseline {
             self.submit_slow(shard, record);
@@ -381,16 +397,30 @@ impl<O: Operator> ElasticExecutor<O> {
     /// number of guards alive per call stays far below the shard word's
     /// in-flight capacity.
     pub fn submit_batch(&self, records: impl IntoIterator<Item = Record>) {
+        self.submit_batch_routed(records.into_iter().map(|r| (self.shard_of(&r), r)));
+    }
+
+    /// Submits a batch of `(shard, record)` pairs with the shard chosen
+    /// by the caller — the batched form of [`Self::submit_routed`], with
+    /// the same wave-by-wave amortization and FIFO guarantees as
+    /// [`Self::submit_batch`] (order within the batch is preserved
+    /// per shard; a shard observed paused diverts for the rest of the
+    /// call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard is outside `0..num_shards`.
+    pub fn submit_batch_routed(&self, records: impl IntoIterator<Item = (ShardId, Record)>) {
         /// Records routed (and guards held) per wave.
         const ROUTE_WAVE: usize = 256;
         if self.inner.baseline {
-            for record in records {
-                self.submit(record);
+            for (shard, record) in records {
+                self.submit_routed(shard, record);
             }
             return;
         }
         let mut iter = records.into_iter();
-        let mut wave: Vec<Record> = Vec::new();
+        let mut wave: Vec<(ShardId, Record)> = Vec::new();
         // Shards observed paused during this call: every later record
         // of the same shard must divert too, or it could overtake the
         // diverted one through the fast path once the pause completes.
@@ -408,8 +438,7 @@ impl<O: Operator> ElasticExecutor<O> {
             // Per-slot groups plus the guards pinning every routed shard.
             let mut groups: Vec<(usize, Vec<(ShardId, Record)>)> = Vec::new();
             let mut guards = Vec::new();
-            for record in wave.drain(..) {
-                let shard = self.shard_of(&record);
+            for (shard, record) in wave.drain(..) {
                 self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
                 if !diverted.is_empty() && diverted.contains(&shard) {
                     slow.push((shard, record));

@@ -19,11 +19,15 @@
 //! Beyond the single executor, the crate hosts the live multi-operator
 //! layer:
 //!
-//! * [`pipeline::Pipeline`] — N elastic executors wired into a chain
-//!   over channels with bounded-queue backpressure;
+//! * [`dag::LiveDag`] — elastic executors wired into an arbitrary
+//!   acyclic operator graph (fan-out by grouping, order-preserving
+//!   fan-in, per-edge bounded channels with backpressure budgets),
+//!   driven directly by a validated `elasticutor_core` topology;
+//! * [`pipeline::Pipeline`] — the chain-shaped convenience API, now a
+//!   thin wrapper building a chain topology over [`dag::LiveDag`];
 //! * [`controller::LiveController`] — a scheduling thread that samples
-//!   per-stage load and reallocates task threads across stages through
-//!   the model-based `elasticutor-scheduler` (§4), live.
+//!   per-operator load and reallocates task threads across the graph
+//!   through the model-based `elasticutor-scheduler` (§4), live.
 //!
 //! The multi-*node* layer (remote tasks, the RC baseline, the network
 //! model) lives in `elasticutor-cluster`, where hardware is simulated;
@@ -55,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod dag;
 pub mod executor;
 pub mod migrate;
 pub mod order;
@@ -62,6 +67,7 @@ pub mod pipeline;
 pub mod record;
 
 pub use controller::{ControllerConfig, ControllerEvent, LiveController};
+pub use dag::{LiveDag, LiveDagBuilder, OperatorStats};
 pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, RemoteForwarder};
 pub use migrate::{MigrateError, MigrationEndpoint, MigrationReport};
 pub use order::FifoChecker;

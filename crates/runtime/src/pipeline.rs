@@ -1,28 +1,32 @@
-//! A live multi-operator elastic pipeline.
+//! A live multi-operator elastic pipeline — the chain-shaped
+//! convenience API.
 //!
-//! Wires N [`ElasticExecutor`]s into a chain (source → operators → sink)
-//! over crossbeam channels, with **bounded-queue backpressure** between
+//! [`Pipeline`] wires N [`ElasticExecutor`]s into a chain (source →
+//! operators → sink) with **bounded-queue backpressure** between
 //! stages: each stage admits at most `stage_capacity` in-flight records
-//! (submitted but not yet processed); the forwarder feeding it blocks
-//! until the stage drains, and the stall propagates upstream hop by hop
-//! until [`Pipeline::submit`] itself blocks — the live analog of the
+//! (submitted but not yet processed); the pump feeding it blocks until
+//! the stage drains, and the stall propagates upstream hop by hop until
+//! [`Pipeline::submit`] itself blocks — the live analog of the
 //! simulated engine's high/low-watermark source pausing.
 //!
-//! Topology scope: a linear chain. Operators can still fan records out
-//! in *volume* (one input → many outputs) — what is fixed is the
-//! stage-to-stage wiring, which is exactly the shape of the paper's
-//! micro-benchmark (generator → calculator) and SSE (transactor →
-//! analytics) topologies. The stage graph is static; **capacity is
-//! not**: every stage is an elastic executor whose task threads can be
-//! grown, shrunk, and rebalanced while records flow, either explicitly
-//! through [`Pipeline::executor`] handles or automatically by the
-//! [`LiveController`](crate::controller::LiveController).
+//! Since the DAG generalization, `Pipeline` is a thin wrapper over
+//! [`LiveDag`]: [`PipelineBuilder::build`]
+//! constructs a trivial chain-shaped
+//! [`Topology`](elasticutor_core::topology::Topology) (stage 0 a
+//! source, each later stage a transform fed by a key-grouped edge) and
+//! hands it to the DAG layer. A chain's wiring is *identical* to the
+//! original dedicated implementation — one pump per stage reading the
+//! previous stage's output channel directly, no forwarder threads — so
+//! the buffering bounds below are unchanged; the chain is simply the
+//! one-in/one-out special case of the DAG's pump layer. Need fan-out,
+//! fan-in, shuffle, or broadcast edges? Use
+//! [`LiveDag`] directly.
 //!
 //! Per-key FIFO order holds end to end: within a stage the two-tier
 //! routing table serializes a key's records through one task at a time
 //! (the §3.3 protocol preserves order across shard moves), task threads
-//! emit outputs in processing order, and a single forwarder thread per
-//! hop preserves channel order between stages.
+//! emit outputs in processing order, and a single pump thread per hop
+//! preserves channel order between stages.
 //!
 //! Channels carry [`RecordBatch`]es, not single records: task threads
 //! emit each processed batch's outputs as one send, and every pump
@@ -32,14 +36,14 @@
 //! order and per-key order is per-shard order, which batch grouping
 //! respects.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::Receiver;
+use elasticutor_core::ids::OperatorId;
 
-use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
+use crate::controller::{ControllerConfig, ControllerEvent};
+use crate::dag::{LiveDag, LiveDagBuilder};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::record::{Operator, Record, RecordBatch};
 
@@ -122,128 +126,60 @@ impl PipelineBuilder {
         self
     }
 
-    /// Attaches a [`LiveController`] that reallocates task threads
-    /// across stages while the pipeline runs.
+    /// Attaches a [`LiveController`](crate::controller::LiveController)
+    /// that reallocates task threads across stages while the pipeline
+    /// runs.
     pub fn controller(mut self, config: ControllerConfig) -> Self {
         self.controller = Some(config);
         self
     }
 
-    /// Starts every stage, the forwarder threads, and (if configured)
-    /// the controller.
+    /// Starts every stage, the pump threads, and (if configured) the
+    /// controller, by building the equivalent chain-shaped [`LiveDag`].
     ///
     /// # Panics
     ///
     /// Panics if no stage was added.
     pub fn build(self) -> Pipeline {
         assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
-        let mut stages = Vec::with_capacity(self.stages.len());
+        let mut dag = LiveDagBuilder::new();
+        dag.capacity(self.stage_capacity);
+        dag.max_batch(self.max_batch);
+        if let Some(config) = self.controller {
+            dag.controller(config);
+        }
+        // Topology names must be unique; the pipeline API never required
+        // that of stage names, so disambiguate quietly (stage_stats and
+        // stage_names still report the caller's names).
         let mut names = Vec::with_capacity(self.stages.len());
-        let last = self.stages.len() - 1;
-        for (i, mut spec) in self.stages.into_iter().enumerate() {
-            // Bound intermediate output channels so a stalled downstream
-            // pump blocks the emitting task threads — that is what makes
-            // backpressure propagate upstream hop by hop. The last
-            // stage's outputs go to the user and stay as configured
-            // (unbounded by default).
-            if i < last && spec.config.output_capacity.is_none() {
-                spec.config.output_capacity = Some(self.stage_capacity);
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        let mut prev: Option<OperatorId> = None;
+        for (i, spec) in self.stages.into_iter().enumerate() {
+            let mut dag_name = spec.name.clone();
+            while used.contains(&dag_name) {
+                dag_name = format!("{dag_name}#{i}");
             }
-            names.push(spec.name);
-            stages.push(Arc::new(ElasticExecutor::start(spec.config, spec.operator)));
-        }
-        let submitted: Vec<Arc<AtomicU64>> = (0..stages.len())
-            .map(|_| Arc::new(AtomicU64::new(0)))
-            .collect();
-
-        // Ingress: a bounded channel so `submit` itself backpressures
-        // once the first stage and the channel are both full.
-        let (ingress_tx, ingress_rx) = bounded::<RecordBatch>(self.stage_capacity);
-
-        // One forwarder ("pump") per stage: pump i moves records from
-        // the previous hop (ingress channel or stage i-1's outputs) into
-        // stage i, blocking while stage i is at capacity.
-        let mut pumps = Vec::with_capacity(stages.len());
-        for (i, stage) in stages.iter().enumerate() {
-            let source = if i == 0 {
-                ingress_rx.clone()
-            } else {
-                stages[i - 1].outputs().clone()
+            used.insert(dag_name.clone());
+            let id = match prev {
+                None => dag.source(dag_name, spec.config, spec.operator),
+                Some(prev) => {
+                    let id = dag.operator(dag_name, spec.config, spec.operator);
+                    dag.key_edge(prev, id);
+                    id
+                }
             };
-            let stage = Arc::clone(stage);
-            let counter = Arc::clone(&submitted[i]);
-            let capacity = self.stage_capacity as u64;
-            let max_batch = self.max_batch;
-            let handle = std::thread::Builder::new()
-                .name(format!("pipeline-pump-{i}"))
-                .spawn(move || pump_loop(source, stage, counter, capacity, max_batch))
-                .expect("spawn pump thread");
-            pumps.push(handle);
+            names.push(spec.name);
+            prev = Some(id);
         }
-
-        let sink_rx = stages.last().expect("nonempty").outputs().clone();
-        let controller = self
-            .controller
-            .map(|config| LiveController::spawn(config, stages.clone(), names.clone()));
-
+        let sink = prev.expect("at least one stage");
+        let dag = dag.build().expect("a chain topology is always valid");
         Pipeline {
-            stages,
+            dag,
             names,
-            submitted,
-            ingress_tx: Some(ingress_tx),
-            sink_rx,
-            pumps,
-            controller,
-            ingress_accepted: AtomicU64::new(0),
-            max_batch: self.max_batch,
+            source: OperatorId(0),
+            sink,
         }
     }
-}
-
-/// The body of one forwarder thread: previous hop → stage `i`.
-fn pump_loop(
-    source: Receiver<RecordBatch>,
-    stage: Arc<ElasticExecutor<BoxedOperator>>,
-    submitted: Arc<AtomicU64>,
-    capacity: u64,
-    max_batch: usize,
-) {
-    // Records this pump has handed to the stage; `pushed − processed`
-    // is the stage's in-flight count (this pump is its only feeder).
-    let mut pushed = 0u64;
-    while let Ok(batch) = source.recv() {
-        let mut pending = batch;
-        // Drain-up-to-N: opportunistically coalesce whatever else is
-        // already queued, amortizing the downstream submit.
-        while pending.len() < max_batch {
-            match source.try_recv() {
-                Ok(more) => pending.extend(more),
-                Err(_) => break,
-            }
-        }
-        // Count the records as in flight *before* waiting: quiescence
-        // checks must see them somewhere at all times.
-        submitted.fetch_add(pending.len() as u64, Ordering::AcqRel);
-        // Bounded-queue backpressure: feed the stage only as capacity
-        // frees up, holding the rest in hand (and not reading the
-        // upstream channel, which then fills and blocks the previous
-        // stage).
-        let mut pending = std::collections::VecDeque::from(pending);
-        while !pending.is_empty() {
-            let room = capacity.saturating_sub(pushed.saturating_sub(stage.processed_count()));
-            if room == 0 {
-                std::thread::sleep(Duration::from_micros(50));
-                continue;
-            }
-            // Cap each stage submission at max_batch so task-level
-            // batches (and thus emitted batches) stay bounded by it.
-            let take = (room as usize).min(max_batch).min(pending.len());
-            stage.submit_batch(pending.drain(..take));
-            pushed += take as u64;
-        }
-    }
-    // Upstream hung up (pipeline shutting down): exit after having
-    // forwarded everything that was in the channel.
 }
 
 /// Per-stage snapshot returned by [`Pipeline::stage_stats`].
@@ -259,19 +195,10 @@ pub struct StageStats {
 
 /// A running multi-operator elastic pipeline. See the module docs.
 pub struct Pipeline {
-    stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    dag: LiveDag,
     names: Vec<String>,
-    /// Records handed to each stage by its pump (monotonic).
-    submitted: Vec<Arc<AtomicU64>>,
-    /// `None` once `shutdown` begins.
-    ingress_tx: Option<Sender<RecordBatch>>,
-    sink_rx: Receiver<RecordBatch>,
-    pumps: Vec<JoinHandle<()>>,
-    controller: Option<ControllerHandle>,
-    ingress_accepted: AtomicU64,
-    /// Batch-size ceiling per ingress channel slot (see
-    /// [`PipelineBuilder::max_batch`]).
-    max_batch: usize,
+    source: OperatorId,
+    sink: OperatorId,
 }
 
 impl Pipeline {
@@ -288,12 +215,7 @@ impl Pipeline {
     /// instead, which amortizes both the allocation and the channel
     /// synchronization.
     pub fn submit(&self, record: Record) {
-        self.ingress_accepted.fetch_add(1, Ordering::AcqRel);
-        self.ingress_tx
-            .as_ref()
-            .expect("pipeline is running")
-            .send(vec![record])
-            .expect("ingress pump alive");
+        self.dag.submit(self.source, record);
     }
 
     /// Feeds a batch into the first stage through amortized channel
@@ -305,38 +227,18 @@ impl Pipeline {
     /// Blocks like [`Self::submit`] when backpressured; empty batches
     /// are ignored.
     pub fn submit_batch(&self, batch: RecordBatch) {
-        if batch.is_empty() {
-            return;
-        }
-        self.ingress_accepted
-            .fetch_add(batch.len() as u64, Ordering::AcqRel);
-        let tx = self.ingress_tx.as_ref().expect("pipeline is running");
-        if batch.len() <= self.max_batch {
-            tx.send(batch).expect("ingress pump alive");
-            return;
-        }
-        let mut chunk = Vec::with_capacity(self.max_batch);
-        for record in batch {
-            chunk.push(record);
-            if chunk.len() == self.max_batch {
-                let full = std::mem::replace(&mut chunk, Vec::with_capacity(self.max_batch));
-                tx.send(full).expect("ingress pump alive");
-            }
-        }
-        if !chunk.is_empty() {
-            tx.send(chunk).expect("ingress pump alive");
-        }
+        self.dag.submit_batch(self.source, batch);
     }
 
     /// The output stream of the last stage, in batches (flatten for a
     /// per-record view; batch order is processing order).
     pub fn outputs(&self) -> &Receiver<RecordBatch> {
-        &self.sink_rx
+        self.dag.outputs(self.sink).expect("last stage is the sink")
     }
 
     /// Number of stages.
     pub fn num_stages(&self) -> usize {
-        self.stages.len()
+        self.names.len()
     }
 
     /// Stage names, in chain order.
@@ -350,36 +252,34 @@ impl Pipeline {
     /// Cloning the `Arc` is fine for driving elasticity from other
     /// threads, but a clone still alive when [`Self::shutdown`] runs
     /// degrades that stage's teardown: its tasks are halted in place
-    /// and its forwarder thread is detached rather than joined (it
-    /// exits when the last clone drops).
+    /// and the dependent pump threads are detached rather than joined
+    /// (they exit when the last clone drops).
     pub fn executor(&self, i: usize) -> &Arc<ElasticExecutor<BoxedOperator>> {
-        &self.stages[i]
+        self.dag.executor(OperatorId::from_index(i))
     }
 
     /// Live task-thread count per stage (the "core" allocation).
     pub fn cores_per_stage(&self) -> Vec<usize> {
-        self.stages.iter().map(|s| s.tasks().len()).collect()
+        self.dag.cores_per_operator()
     }
 
     /// Per-stage statistics snapshots.
     pub fn stage_stats(&self) -> Vec<StageStats> {
-        self.stages
-            .iter()
+        self.dag
+            .operator_stats()
+            .into_iter()
             .zip(&self.names)
-            .zip(&self.submitted)
-            .map(|((stage, name), submitted)| StageStats {
+            .map(|(op, name)| StageStats {
                 name: name.clone(),
-                submitted: submitted.load(Ordering::Acquire),
-                stats: stage.stats(),
+                submitted: op.submitted,
+                stats: op.stats,
             })
             .collect()
     }
 
     /// Events logged by the attached controller (empty when none).
     pub fn controller_log(&self) -> Vec<ControllerEvent> {
-        self.controller
-            .as_ref()
-            .map_or_else(Vec::new, ControllerHandle::log)
+        self.dag.controller_log()
     }
 
     /// Whether every submitted record has been processed through every
@@ -390,98 +290,28 @@ impl Pipeline {
     /// ingress-accepted = stage-0 submitted = stage-0 processed, and for
     /// each hop, stage i's emitted = stage i+1's submitted = processed.
     pub fn is_quiescent(&self) -> bool {
-        if self.ingress_accepted.load(Ordering::Acquire)
-            != self.submitted[0].load(Ordering::Acquire)
-        {
-            return false;
-        }
-        for (i, stage) in self.stages.iter().enumerate() {
-            if self.submitted[i].load(Ordering::Acquire) != stage.processed_count() {
-                return false;
-            }
-            if i + 1 < self.stages.len()
-                && stage.emitted_count() != self.submitted[i + 1].load(Ordering::Acquire)
-            {
-                return false;
-            }
-        }
-        true
+        self.dag.is_quiescent()
     }
 
     /// Blocks until the pipeline is quiescent (all submitted records
     /// fully processed end to end).
     pub fn drain(&self) {
-        while !self.is_quiescent() {
-            std::thread::sleep(Duration::from_micros(200));
-        }
+        self.dag.drain();
     }
 
     /// Stops the controller, drains every stage in order, shuts the
     /// executors down, and returns final per-stage statistics.
-    pub fn shutdown(mut self) -> Vec<StageStats> {
-        // 1. Controller first: it holds executor handles and must not
-        //    fight the teardown with grants/revocations.
-        if let Some(controller) = self.controller.take() {
-            controller.stop();
-        }
-        // 2. Close ingress; pump 0 forwards what is buffered, then exits.
-        drop(self.ingress_tx.take());
-        let mut pumps = std::mem::take(&mut self.pumps).into_iter();
-        let pump0 = pumps.next().expect("one pump per stage");
-        pump0.join().expect("pump 0 exits cleanly");
-        // 3. Walk the chain: once stage i has processed everything its
-        //    (already joined) pump submitted, shut it down — dropping its
-        //    output sender, which lets pump i+1 finish forwarding and
-        //    exit — then repeat downstream. No record is lost: a stage's
-        //    task queues are FIFO and `Stop` is enqueued last.
-        let mut all_stats = Vec::with_capacity(self.stages.len());
-        let stages = std::mem::take(&mut self.stages);
-        let num_stages = self.submitted.len();
-        for (i, stage) in stages.into_iter().enumerate() {
-            let submitted = &self.submitted[i];
-            while stage.processed_count() < submitted.load(Ordering::Acquire) {
-                std::thread::sleep(Duration::from_micros(200));
-            }
-            // Normally we hold the last reference and can consume the
-            // stage. If the caller kept a clone of the `executor(i)`
-            // handle, degrade gracefully instead of panicking: halt the
-            // tasks in place, wait for the downstream pump to catch up
-            // (the retained handle keeps the output channel connected,
-            // so the pump cannot observe a disconnect), and detach that
-            // pump — it exits once the last foreign handle drops.
-            let (stats, detach_next_pump) = match Arc::try_unwrap(stage) {
-                Ok(stage) => (stage.shutdown(), false),
-                Err(shared) => {
-                    let stats = shared.halt_shared();
-                    if i + 1 < num_stages {
-                        // emitted ≥ submitted[i+1] always (the pump only
-                        // picks up what was emitted); equality means the
-                        // channel is empty and nothing is in the pump's
-                        // hand.
-                        while shared.emitted_count() > self.submitted[i + 1].load(Ordering::Acquire)
-                        {
-                            std::thread::sleep(Duration::from_micros(200));
-                        }
-                    }
-                    (stats, true)
-                }
-            };
-            all_stats.push(StageStats {
-                name: self.names[i].clone(),
-                submitted: submitted.load(Ordering::Acquire),
-                stats,
-            });
-            if let Some(pump) = pumps.next() {
-                if detach_next_pump {
-                    // Blocked on a channel the foreign handle keeps
-                    // alive; it exits when that handle drops.
-                    drop(pump);
-                } else {
-                    pump.join().expect("pump exits cleanly");
-                }
-            }
-        }
-        all_stats
+    pub fn shutdown(self) -> Vec<StageStats> {
+        self.dag
+            .shutdown()
+            .into_iter()
+            .zip(self.names)
+            .map(|(op, name)| StageStats {
+                name,
+                submitted: op.submitted,
+                stats: op.stats,
+            })
+            .collect()
     }
 }
 
@@ -500,6 +330,7 @@ mod tests {
     use bytes::Bytes;
     use elasticutor_core::ids::Key;
     use elasticutor_state::StateHandle;
+    use std::time::Duration;
 
     fn passthrough() -> impl Operator {
         |r: &Record, _s: &StateHandle| vec![r.clone()]
@@ -554,6 +385,24 @@ mod tests {
         pipe.drain();
         assert_eq!(pipe.outputs().try_iter().flatten().count(), 100); // 50 even keys × 2
         pipe.shutdown();
+    }
+
+    #[test]
+    fn duplicate_stage_names_are_tolerated() {
+        // The pipeline API never required unique names; the chain
+        // topology underneath does, so the wrapper disambiguates.
+        let pipe = Pipeline::builder()
+            .stage("same", ExecutorConfig::default(), passthrough())
+            .stage("same", ExecutorConfig::default(), passthrough())
+            .build();
+        for i in 0..50u64 {
+            pipe.submit(Record::new(Key(i), Bytes::new()));
+        }
+        pipe.drain();
+        let stats = pipe.shutdown();
+        assert_eq!(stats[0].name, "same");
+        assert_eq!(stats[1].name, "same");
+        assert_eq!(stats[1].stats.processed, 50);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Integration tests for the live DAG layer: fan-out conservation per
+//! grouping, per-upstream-edge FIFO through fan-in merges under
+//! concurrent branch load, topology rejection at build time, and
+//! quiescence + graceful teardown on a diamond.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use elasticutor_core::error::Error;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::dag::LiveDag;
+use elasticutor_runtime::{ExecutorConfig, FifoChecker, Operator, Record};
+use elasticutor_state::StateHandle;
+
+fn small(shards: u32) -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: shards,
+        initial_tasks: 1,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn passthrough() -> impl Operator {
+    |r: &Record, _s: &StateHandle| vec![r.clone()]
+}
+
+/// Counts every processed record and emits nothing (a terminal sink).
+struct Counting(Arc<AtomicU64>);
+
+impl Operator for Counting {
+    fn process(&self, _record: &Record, _state: &StateHandle) -> Vec<Record> {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+}
+
+#[test]
+fn fan_out_key_edges_deliver_one_copy_per_target() {
+    // source → {left, right}: every record must reach BOTH consumers
+    // exactly once (fan-out is replication across consumers; the key
+    // grouping routes each copy within its consumer).
+    let left_n = Arc::new(AtomicU64::new(0));
+    let right_n = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(16), passthrough());
+    let left = b.operator("left", small(32), Counting(Arc::clone(&left_n)));
+    let right = b.operator("right", small(8), Counting(Arc::clone(&right_n)));
+    b.key_edge(source, left).key_edge(source, right);
+    let dag = b.build().expect("valid fan-out topology");
+
+    const N: u64 = 2_000;
+    for i in 0..N {
+        dag.submit(source, Record::new(Key(i % 31), Bytes::new()).with_seq(i));
+    }
+    dag.drain();
+    assert_eq!(left_n.load(Ordering::Relaxed), N);
+    assert_eq!(right_n.load(Ordering::Relaxed), N);
+    let stats = dag.shutdown();
+    assert_eq!(stats[left.index()].stats.processed, N);
+    assert_eq!(stats[right.index()].stats.processed, N);
+    assert_eq!(stats[source.index()].stats.processed, N);
+}
+
+#[test]
+fn broadcast_edge_replicates_to_every_shard() {
+    // Every record must reach every one of the consumer's shards — the
+    // grouping's target set is the whole shard space.
+    const SHARDS: u32 = 8;
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(4), passthrough());
+    let all = b.operator("all", small(SHARDS), Counting(Arc::clone(&seen)));
+    b.broadcast_edge(source, all);
+    let dag = b.build().expect("valid broadcast topology");
+
+    const N: u64 = 500;
+    for i in 0..N {
+        // One fixed key: only the broadcast replication may spread it.
+        dag.submit(source, Record::new(Key(7), Bytes::new()).with_seq(i));
+    }
+    dag.drain();
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        N * u64::from(SHARDS),
+        "each record must be delivered once per consumer shard"
+    );
+    let stats = dag.shutdown();
+    assert_eq!(stats[all.index()].stats.processed, N * u64::from(SHARDS));
+}
+
+#[test]
+fn shuffle_edge_spreads_one_copy_across_shards() {
+    const SHARDS: u32 = 8;
+    let seen = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&seen);
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(4), passthrough());
+    // Writes state under the record's key: with a single key, the state
+    // entry lands in whichever shard the shuffle routed the record to —
+    // so distinct shards holding the key prove the spread.
+    let spread = b.operator(
+        "spread",
+        small(SHARDS),
+        move |r: &Record, s: &StateHandle| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            s.update(r.key, |_| Some(Bytes::from_static(b"x")));
+            Vec::new()
+        },
+    );
+    b.shuffle_edge(source, spread);
+    let dag = b.build().expect("valid shuffle topology");
+
+    const N: u64 = 800;
+    for i in 0..N {
+        dag.submit(source, Record::new(Key(1), Bytes::new()).with_seq(i));
+    }
+    dag.drain();
+    assert_eq!(seen.load(Ordering::Relaxed), N, "shuffle sends one copy");
+    let state = Arc::clone(dag.executor(spread).state());
+    let stats = dag.shutdown();
+    assert_eq!(stats[spread.index()].stats.processed, N);
+    let covered = (0..SHARDS)
+        .filter(|&s| state.shard_keys(ShardId(s)) > 0)
+        .count();
+    assert_eq!(
+        covered, SHARDS as usize,
+        "round-robin must cover every shard of the consumer"
+    );
+}
+
+/// A fan-in sink that checks per-(edge, key) FIFO: the upstream branch
+/// writes its marker into the payload, and the checker namespaces keys
+/// by marker so each inbound edge's stream is verified independently.
+struct MergeSink {
+    order: Arc<FifoChecker>,
+    delivered: Arc<AtomicU64>,
+}
+
+impl Operator for MergeSink {
+    fn process(&self, record: &Record, _state: &StateHandle) -> Vec<Record> {
+        let marker = u64::from(record.payload.as_ref().first().copied().unwrap_or(0));
+        self.order
+            .observe(Key(record.key.value() * 8 + marker), record.seq);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+}
+
+/// Tags records with a branch marker so the merge can attribute them.
+struct Tag(u8);
+
+impl Operator for Tag {
+    fn process(&self, record: &Record, _state: &StateHandle) -> Vec<Record> {
+        let mut tagged = record.clone();
+        tagged.payload = Bytes::copy_from_slice(&[self.0]);
+        vec![tagged]
+    }
+}
+
+#[test]
+fn fan_in_holds_per_edge_fifo_under_concurrent_branch_load() {
+    // Two independent sources race into one merge operator while the
+    // merge is scaled up, rebalanced, and scaled down mid-stream: the
+    // interleaving across edges is free, but within each edge per-key
+    // order must hold bit-for-bit.
+    let order = Arc::new(FifoChecker::new());
+    let delivered = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let s1 = b.source("s1", small(16), Tag(1));
+    let s2 = b.source("s2", small(16), Tag(2));
+    let merge = b.operator(
+        "merge",
+        ExecutorConfig {
+            num_shards: 64,
+            initial_tasks: 1,
+            ..ExecutorConfig::default()
+        },
+        MergeSink {
+            order: Arc::clone(&order),
+            delivered: Arc::clone(&delivered),
+        },
+    );
+    b.key_edge(s1, merge).key_edge(s2, merge);
+    let dag = Arc::new(b.build().expect("valid fan-in topology"));
+
+    const PER_SOURCE: u64 = 8_000;
+    const KEYS: u64 = 37;
+    let submitters: Vec<_> = [s1, s2]
+        .into_iter()
+        .map(|source| {
+            let dag = Arc::clone(&dag);
+            std::thread::spawn(move || {
+                let mut seqs = [0u64; KEYS as usize];
+                for i in 0..PER_SOURCE {
+                    let key = i % KEYS;
+                    seqs[key as usize] += 1;
+                    dag.submit(
+                        source,
+                        Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
+                    );
+                }
+            })
+        })
+        .collect();
+    // Stress the merge's routing while the branches race: grow, move
+    // shards, shrink — the §3.3 protocol must keep each edge's order.
+    let merge_exec = Arc::clone(dag.executor(merge));
+    let churn = std::thread::spawn(move || {
+        for _ in 0..6 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let added = merge_exec.add_task();
+            merge_exec.rebalance();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            if let Ok(task) = added {
+                let _ = merge_exec.remove_task(task);
+            }
+        }
+    });
+    for t in submitters {
+        t.join().expect("submitter finishes");
+    }
+    churn.join().expect("churn finishes");
+    dag.drain();
+    assert_eq!(delivered.load(Ordering::Relaxed), 2 * PER_SOURCE);
+    assert!(
+        order.is_clean(),
+        "per-edge per-key FIFO violated: {:?}",
+        order.violations()
+    );
+    let dag = Arc::try_unwrap(dag).expect("all clones dropped");
+    let stats = dag.shutdown();
+    assert_eq!(stats[merge.index()].stats.processed, 2 * PER_SOURCE);
+}
+
+#[test]
+fn diamond_reaches_quiescence_and_conserves_records() {
+    // source → {a, b} → merge: every source record arrives at the merge
+    // exactly twice (once per branch), per-edge FIFO intact.
+    let order = Arc::new(FifoChecker::new());
+    let delivered = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(16), passthrough());
+    let left = b.operator("a", small(32), Tag(1));
+    let right = b.operator("b", small(32), Tag(2));
+    let merge = b.operator(
+        "merge",
+        small(32),
+        MergeSink {
+            order: Arc::clone(&order),
+            delivered: Arc::clone(&delivered),
+        },
+    );
+    b.key_edge(source, left)
+        .key_edge(source, right)
+        .key_edge(left, merge)
+        .key_edge(right, merge);
+    let dag = b.build().expect("valid diamond");
+
+    const N: u64 = 5_000;
+    const KEYS: u64 = 23;
+    let mut seqs = [0u64; KEYS as usize];
+    for i in 0..N {
+        let key = i % KEYS;
+        seqs[key as usize] += 1;
+        dag.submit(
+            source,
+            Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
+        );
+    }
+    dag.drain();
+    assert!(dag.is_quiescent(), "drain must leave the DAG quiescent");
+    assert_eq!(delivered.load(Ordering::Relaxed), 2 * N);
+    assert!(
+        order.is_clean(),
+        "per-edge per-key FIFO violated on the diamond: {:?}",
+        order.violations()
+    );
+    let stats = dag.shutdown();
+    assert_eq!(stats[source.index()].stats.processed, N);
+    assert_eq!(stats[left.index()].stats.processed, N);
+    assert_eq!(stats[right.index()].stats.processed, N);
+    assert_eq!(stats[merge.index()].stats.processed, 2 * N);
+}
+
+#[test]
+fn diamond_shutdown_survives_retained_branch_handle() {
+    let merged = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(8), passthrough());
+    let left = b.operator("a", small(8), passthrough());
+    let right = b.operator("b", small(8), passthrough());
+    let merge = b.operator("merge", small(8), Counting(Arc::clone(&merged)));
+    b.key_edge(source, left)
+        .key_edge(source, right)
+        .key_edge(left, merge)
+        .key_edge(right, merge);
+    let dag = b.build().expect("valid diamond");
+    for i in 0..1_000u64 {
+        dag.submit(source, Record::new(Key(i % 13), Bytes::new()));
+    }
+    dag.drain();
+    // A clone of one branch's handle outlives the DAG: teardown must
+    // degrade (halt in place, detach dependents), not panic or hang.
+    let retained = Arc::clone(dag.executor(left));
+    let stats = dag.shutdown();
+    assert_eq!(merged.load(Ordering::Relaxed), 2_000);
+    assert_eq!(stats[merge.index()].stats.processed, 2_000);
+    assert_eq!(retained.tasks().len(), 0, "tasks were halted in place");
+    drop(retained);
+}
+
+#[test]
+fn outputs_are_exposed_for_sinks_only() {
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(4), passthrough());
+    let mid = b.operator("mid", small(4), passthrough());
+    let sink = b.operator("sink", small(4), passthrough());
+    b.key_edge(source, mid).key_edge(mid, sink);
+    let dag = b.build().expect("valid chain");
+    assert!(dag.outputs(source).is_none());
+    assert!(dag.outputs(mid).is_none());
+    let rx = dag.outputs(sink).expect("sink exposes outputs");
+    dag.submit(source, Record::new(Key(1), Bytes::new()));
+    dag.drain();
+    assert_eq!(rx.try_iter().flatten().count(), 1);
+    dag.shutdown();
+}
+
+#[test]
+fn build_rejects_invalid_topologies() {
+    // Cycle.
+    let mut b = LiveDag::builder();
+    let s = b.source("s", small(4), passthrough());
+    let x = b.operator("x", small(4), passthrough());
+    let y = b.operator("y", small(4), passthrough());
+    b.key_edge(s, x).key_edge(x, y).key_edge(y, x);
+    assert!(matches!(
+        b.build(),
+        Err(Error::InvalidTopology(msg)) if msg.contains("cycle")
+    ));
+
+    // Key + Shuffle mixed into one operator.
+    let mut b = LiveDag::builder();
+    let s1 = b.source("s1", small(4), passthrough());
+    let s2 = b.source("s2", small(4), passthrough());
+    let m = b.operator("m", small(4), passthrough());
+    b.key_edge(s1, m).shuffle_edge(s2, m);
+    assert!(matches!(
+        b.build(),
+        Err(Error::InvalidTopology(msg)) if msg.contains("mixes Key and Shuffle")
+    ));
+
+    // Duplicate edge.
+    let mut b = LiveDag::builder();
+    let s = b.source("s", small(4), passthrough());
+    let x = b.operator("x", small(4), passthrough());
+    b.key_edge(s, x).key_edge(s, x);
+    assert!(matches!(
+        b.build(),
+        Err(Error::InvalidTopology(msg)) if msg.contains("duplicate edge")
+    ));
+
+    // Budget override for an edge that does not exist.
+    let mut b = LiveDag::builder();
+    let s = b.source("s", small(4), passthrough());
+    let x = b.operator("x", small(4), passthrough());
+    b.key_edge(s, x).edge_capacity(x, s, 128);
+    assert!(matches!(
+        b.build(),
+        Err(Error::InvalidTopology(msg)) if msg.contains("nonexistent edge")
+    ));
+
+    // Orphan transform (unreachable from any source).
+    let mut b = LiveDag::builder();
+    b.source("s", small(4), passthrough());
+    b.operator("lonely", small(4), passthrough());
+    assert!(b.build().is_err());
+}
+
+#[test]
+fn per_edge_budget_overrides_apply() {
+    // A tiny budget on one branch must not deadlock the DAG or lose
+    // records — the forwarder just blocks more often on that edge.
+    let left_n = Arc::new(AtomicU64::new(0));
+    let right_n = Arc::new(AtomicU64::new(0));
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(8), passthrough());
+    let left = b.operator("left", small(8), Counting(Arc::clone(&left_n)));
+    let right = b.operator("right", small(8), Counting(Arc::clone(&right_n)));
+    b.key_edge(source, left)
+        .key_edge(source, right)
+        .edge_capacity(source, right, 2);
+    let dag = b.build().expect("valid topology with edge override");
+    for i in 0..3_000u64 {
+        dag.submit(source, Record::new(Key(i % 11), Bytes::new()));
+    }
+    dag.drain();
+    assert_eq!(left_n.load(Ordering::Relaxed), 3_000);
+    assert_eq!(right_n.load(Ordering::Relaxed), 3_000);
+    dag.shutdown();
+}

@@ -1,7 +1,7 @@
 //! Data-plane throughput harness: the lock-free fast path vs the
 //! mutex baseline, reproducibly.
 //!
-//! Two measurements, each in two modes:
+//! Three measurements:
 //!
 //! * **submit-path** — N records pushed through one `ElasticExecutor`
 //!   (drop operator) by 1, 2, and 4 concurrent submitters; throughput is
@@ -10,10 +10,17 @@
 //!   routing mutex and a global latency-histogram lock (the
 //!   pre-optimization data plane, via
 //!   `ExecutorConfig::baseline_locked_routing`); `optimized` uses the
-//!   wait-free atomic shard table with 64-record submit batches.
+//!   wait-free atomic shard table with 64-record submit batches; `spsc`
+//!   (single submitter only) additionally enables the per-task SPSC
+//!   rings — the pump→task edge every DAG pump runs on.
 //! * **pipeline** — a two-stage pipeline (passthrough → drop sink) fed
 //!   end to end, measuring sustained records/second through both hops
-//!   including pump batching and backpressure.
+//!   including pump batching, rings, and backpressure.
+//! * **fan-out** — a source fanning out to two consumers through the
+//!   Arc-shared forwarder, one scenario per grouping (key, shuffle,
+//!   broadcast), plus a large-payload broadcast arm: since replication
+//!   is pointer bumps, `broadcast-4k` should track `broadcast` despite
+//!   256× the payload bytes — the O(edges)-not-O(edges × bytes) check.
 //!
 //! Output: an aligned table on stdout plus `BENCH_throughput.json`
 //! (override with `--out PATH`); `--baseline` / `--optimized` restrict
@@ -27,6 +34,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use elasticutor_bench::{quick_mode, Table};
 use elasticutor_core::ids::Key;
+use elasticutor_runtime::dag::LiveDag;
 use elasticutor_runtime::{monotonic_ns, ElasticExecutor, ExecutorConfig, Pipeline, Record};
 use elasticutor_state::StateHandle;
 
@@ -50,6 +58,27 @@ impl RunResult {
     }
 }
 
+/// Submit-path mode: which data plane the executor runs.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Global routing mutex + global histogram lock (pre-PR 2).
+    Baseline,
+    /// Wait-free shard table, MPMC task channels (PR 2).
+    Optimized,
+    /// Wait-free shard table + per-task SPSC rings (single submitter).
+    Spsc,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Optimized => "optimized",
+            Mode::Spsc => "spsc",
+        }
+    }
+}
+
 fn executor_config(baseline: bool) -> ExecutorConfig {
     ExecutorConfig {
         num_shards: 256,
@@ -62,9 +91,20 @@ fn executor_config(baseline: bool) -> ExecutorConfig {
 /// Submit-path throughput: `submitters` threads push `total` records
 /// into one executor with a drop operator; elapsed covers submit +
 /// drain so the number is routed *and processed* throughput.
-fn run_submit_path(baseline: bool, submitters: usize, total: u64) -> RunResult {
+fn run_submit_path(mode: Mode, submitters: usize, total: u64) -> RunResult {
+    assert!(
+        mode != Mode::Spsc || submitters == 1,
+        "the ring plane is a single-producer measurement"
+    );
+    let mut config = executor_config(mode == Mode::Baseline);
+    config.single_producer = mode == Mode::Spsc;
+    if mode == Mode::Spsc {
+        // Mirror the DAG builder's sizing: large enough to amortize the
+        // full edge, small enough to stay cache-resident.
+        config.ring_capacity = Some(4096);
+    }
     let exec = Arc::new(ElasticExecutor::start(
-        executor_config(baseline),
+        config,
         |_r: &Record, _s: &StateHandle| Vec::new(),
     ));
     let per_thread = total / submitters as u64;
@@ -74,7 +114,7 @@ fn run_submit_path(baseline: bool, submitters: usize, total: u64) -> RunResult {
         .map(|t| {
             let exec = Arc::clone(&exec);
             std::thread::spawn(move || {
-                if baseline {
+                if mode == Mode::Baseline {
                     for i in 0..per_thread {
                         let key = Key(i * submitters_stride(t) + t);
                         exec.submit(Record::new(key, Bytes::new()));
@@ -105,7 +145,7 @@ fn run_submit_path(baseline: bool, submitters: usize, total: u64) -> RunResult {
         .shutdown();
     assert_eq!(stats.processed, effective, "records lost in flight");
     RunResult {
-        mode: if baseline { "baseline" } else { "optimized" },
+        mode: mode.label(),
         submitters,
         records: effective,
         elapsed_ns,
@@ -168,6 +208,93 @@ fn run_pipeline(baseline: bool, total: u64) -> RunResult {
     }
 }
 
+/// One fan-out scenario's outcome.
+struct FanoutResult {
+    /// Scenario label (doubles as the bench_diff row key).
+    mode: &'static str,
+    payload_bytes: usize,
+    edges: usize,
+    /// Records fed to the source.
+    records: u64,
+    /// Records processed across the fan-out consumers
+    /// (records × edges; broadcast additionally × consumer shards).
+    deliveries: u64,
+    elapsed_ns: u64,
+}
+
+impl FanoutResult {
+    fn records_per_sec(&self) -> f64 {
+        self.records as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+/// Fan-out throughput: source → two consumers through the Arc-shared
+/// forwarder, grouping per scenario. Broadcast consumers run 8 shards
+/// each, so one source record becomes 16 shard deliveries — all of
+/// them pointer bumps into the same payload allocation.
+fn run_fanout(
+    mode: &'static str,
+    grouping: elasticutor_core::topology::Grouping,
+    payload_bytes: usize,
+    total: u64,
+) -> FanoutResult {
+    use elasticutor_core::topology::Grouping;
+    let consumer_shards = 8;
+    let op_config = |shards: u32| ExecutorConfig {
+        num_shards: shards,
+        initial_tasks: 1,
+        ..ExecutorConfig::default()
+    };
+    let mut b = LiveDag::builder();
+    b.capacity(16_384).max_batch(SUBMIT_BATCH);
+    let source = b.source("source", op_config(8), |r: &Record, _s: &StateHandle| {
+        vec![r.clone()]
+    });
+    let drop_op = |_r: &Record, _s: &StateHandle| Vec::new();
+    let left = b.operator("left", op_config(consumer_shards), drop_op);
+    let right = b.operator("right", op_config(consumer_shards), drop_op);
+    for to in [left, right] {
+        match grouping {
+            Grouping::Key => b.key_edge(source, to),
+            Grouping::Shuffle => b.shuffle_edge(source, to),
+            Grouping::Broadcast => b.broadcast_edge(source, to),
+        };
+    }
+    let dag = b.build().expect("fan-out topology is valid");
+    let payload = Bytes::from(vec![0x5Au8; payload_bytes]);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while i < total {
+        let now = monotonic_ns();
+        let end = (i + 4 * SUBMIT_BATCH as u64).min(total);
+        let batch: Vec<Record> = (i..end)
+            .map(|k| Record::new_at(Key(k % 4096), payload.clone(), now))
+            .collect();
+        dag.submit_batch(source, batch);
+        i = end;
+    }
+    dag.drain();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let stats = dag.shutdown();
+    let deliveries: u64 = [left, right]
+        .iter()
+        .map(|op| stats[op.index()].stats.processed)
+        .sum();
+    let expected_per_edge = match grouping {
+        Grouping::Broadcast => total * u64::from(consumer_shards),
+        Grouping::Key | Grouping::Shuffle => total,
+    };
+    assert_eq!(deliveries, 2 * expected_per_edge, "fan-out lost records");
+    FanoutResult {
+        mode,
+        payload_bytes,
+        edges: 2,
+        records: total,
+        deliveries,
+        elapsed_ns,
+    }
+}
+
 fn json_run(out: &mut String, r: &RunResult, with_submitters: bool) {
     out.push_str("    {");
     let _ = write!(out, "\"mode\": \"{}\", ", r.mode);
@@ -203,11 +330,13 @@ fn main() {
     let quick = quick_mode();
     let submit_total: u64 = if quick { 40_000 } else { 400_000 };
     let pipeline_total: u64 = if quick { 20_000 } else { 200_000 };
+    let fanout_total: u64 = if quick { 10_000 } else { 100_000 };
 
     println!(
-        "data-plane throughput harness ({} records submit-path, {} pipeline{})",
+        "data-plane throughput harness ({} records submit-path, {} pipeline, {} fan-out{})",
         submit_total,
         pipeline_total,
+        fanout_total,
         if quick { ", quick mode" } else { "" }
     );
 
@@ -215,7 +344,24 @@ fn main() {
     let mut pipeline_runs: Vec<RunResult> = Vec::new();
     for &baseline in &modes {
         for &submitters in &SUBMITTER_SWEEP {
-            let r = run_submit_path(baseline, submitters, submit_total);
+            let mode = if baseline {
+                Mode::Baseline
+            } else {
+                Mode::Optimized
+            };
+            let r = run_submit_path(mode, submitters, submit_total);
+            println!(
+                "  submit-path {:>9} x{}: {:>12.0} records/s",
+                r.mode,
+                r.submitters,
+                r.records_per_sec()
+            );
+            submit_runs.push(r);
+        }
+        if !baseline {
+            // The ring plane is single-producer by contract; measure it
+            // on the 1-submitter arm next to the MPMC channel number.
+            let r = run_submit_path(Mode::Spsc, 1, submit_total);
             println!(
                 "  submit-path {:>9} x{}: {:>12.0} records/s",
                 r.mode,
@@ -233,6 +379,30 @@ fn main() {
         pipeline_runs.push(r);
     }
 
+    // Fan-out scenarios run on the current default plane (rings +
+    // Arc-shared forwarders; the ELASTICUTOR_BASELINE env still applies
+    // underneath, which is how CI exercises both).
+    use elasticutor_core::topology::Grouping;
+    let mut fanout_runs: Vec<FanoutResult> = Vec::new();
+    if !only_baseline {
+        for (mode, grouping, payload) in [
+            ("key", Grouping::Key, 16),
+            ("shuffle", Grouping::Shuffle, 16),
+            ("broadcast", Grouping::Broadcast, 16),
+            ("broadcast-4k", Grouping::Broadcast, 4096),
+        ] {
+            let r = run_fanout(mode, grouping, payload, fanout_total);
+            println!(
+                "  fan-out {:>13} ({:>4}B): {:>12.0} records/s ({} deliveries)",
+                r.mode,
+                r.payload_bytes,
+                r.records_per_sec(),
+                r.deliveries
+            );
+            fanout_runs.push(r);
+        }
+    }
+
     let mut table = Table::new(&["measurement", "mode", "submitters", "records/s"]);
     for r in &submit_runs {
         table.row(vec![
@@ -245,6 +415,14 @@ fn main() {
     for r in &pipeline_runs {
         table.row(vec![
             "pipeline".into(),
+            r.mode.into(),
+            "1".into(),
+            format!("{:.0}", r.records_per_sec()),
+        ]);
+    }
+    for r in &fanout_runs {
+        table.row(vec![
+            "fan-out".into(),
             r.mode.into(),
             "1".into(),
             format!("{:.0}", r.records_per_sec()),
@@ -282,14 +460,40 @@ fn main() {
         (Some(o), Some(b)) => Some(o / b),
         _ => None,
     };
+    let spsc_speedup = match (
+        rps(&submit_runs, "spsc", 1),
+        rps(&submit_runs, "optimized", 1),
+    ) {
+        (Some(s), Some(o)) => Some(s / o),
+        _ => None,
+    };
+    // Broadcast byte-insensitivity: Arc-shared replication should make
+    // the 4 KiB arm track the 16 B arm (~1.0); deep copies would sink
+    // this toward payload-bytes ratios.
+    let fanout_rps = |mode: &str| {
+        fanout_runs
+            .iter()
+            .find(|r| r.mode == mode)
+            .map(FanoutResult::records_per_sec)
+    };
+    let broadcast_byte_insensitivity = match (fanout_rps("broadcast-4k"), fanout_rps("broadcast")) {
+        (Some(big), Some(small)) => Some(big / small),
+        _ => None,
+    };
     if let Some(s) = single_speedup {
         println!("single-submitter routed-throughput speedup: {s:.2}x");
+    }
+    if let Some(s) = spsc_speedup {
+        println!("spsc ring vs mpmc channel (1 submitter): {s:.2}x");
     }
     if let (Some(b), Some(o)) = (scaling("baseline"), scaling("optimized")) {
         println!("4-submitter scaling: baseline {b:.2}x, optimized {o:.2}x");
     }
     if let Some(s) = pipeline_speedup {
         println!("end-to-end pipeline speedup: {s:.2}x");
+    }
+    if let Some(s) = broadcast_byte_insensitivity {
+        println!("broadcast 4KiB-vs-16B throughput ratio: {s:.2} (≈1.0 ⇒ O(edges) Arc bumps)");
     }
 
     // Hand-rolled JSON (no serde in the offline workspace).
@@ -318,12 +522,44 @@ fn main() {
             "\n"
         });
     }
+    json.push_str("  ],\n  \"fanout\": [\n");
+    for (i, r) in fanout_runs.iter().enumerate() {
+        json.push_str("    {");
+        let _ = write!(
+            json,
+            "\"mode\": \"{}\", \"payload_bytes\": {}, \"edges\": {}, \"records\": {}, \
+             \"deliveries\": {}, \"elapsed_ns\": {}, \"records_per_sec\": {:.0}",
+            r.mode,
+            r.payload_bytes,
+            r.edges,
+            r.records,
+            r.deliveries,
+            r.elapsed_ns,
+            r.records_per_sec()
+        );
+        json.push('}');
+        json.push_str(if i + 1 < fanout_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     json.push_str("  ],\n  \"summary\": {\n");
     let fmt_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
     let _ = writeln!(
         json,
         "    \"submit_single_speedup\": {},",
         fmt_opt(single_speedup)
+    );
+    let _ = writeln!(
+        json,
+        "    \"spsc_ring_speedup\": {},",
+        fmt_opt(spsc_speedup)
+    );
+    let _ = writeln!(
+        json,
+        "    \"broadcast_byte_insensitivity\": {},",
+        fmt_opt(broadcast_byte_insensitivity)
     );
     let _ = writeln!(
         json,

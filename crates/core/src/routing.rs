@@ -214,10 +214,15 @@ const INFLIGHT_MASK: u64 = 0xF_FFFF;
 /// Bit 20: the shard is paused for reassignment; fast-path routing must
 /// divert to the slow path.
 const PAUSED_BIT: u64 = 1 << 20;
-/// Bits `21..32`: reassignment epoch (wrapping; observability and ABA
+/// Bits `21..31`: reassignment epoch (wrapping; observability and ABA
 /// diagnostics — correctness rests on the paused/in-flight handshake).
 const EPOCH_SHIFT: u32 = 21;
-const EPOCH_MASK: u64 = 0x7FF;
+const EPOCH_MASK: u64 = 0x3FF;
+/// Bit 31: the shard is hosted by a remote process; fast-path routing
+/// resolves to the caller's remote egress instead of a local slot. The
+/// paused bit dominates: a remote shard mid-transition (adoption back)
+/// is paused first, and diverts like any paused shard.
+const REMOTE_BIT: u64 = 1 << 31;
 /// Bits `32..64`: the destination slot index.
 const SLOT_SHIFT: u32 = 32;
 
@@ -231,6 +236,12 @@ pub enum FastRoute<'a> {
     /// The shard is paused for reassignment; take the slow path (the
     /// lock-protected [`RoutingTable`]) so the tuple is buffered.
     Paused,
+    /// The shard is hosted by a remote peer: deliver to the caller's
+    /// remote egress. Like `Deliver`, the guard **must be held across
+    /// the (wait-free) egress enqueue** — a pause flipping the shard
+    /// back to local waits for it, which is what orders every pre-flip
+    /// forward ahead of the flip's acknowledgment.
+    Remote(RouteGuard<'a>),
 }
 
 /// RAII in-flight marker returned by [`AtomicShardTable::begin_route`].
@@ -285,9 +296,14 @@ impl Drop for RouteGuard<'_> {
 ///    pause waits out — after `pause` returns, no fast-path delivery
 ///    based on the old owner is in flight, and the caller can enqueue
 ///    the labeling tuple *behind* all of them.
-/// 3. **Finish/abort** (`finish`, `abort`): clear the bit (updating the
-///    slot on finish), bump the epoch, preserve the in-flight bits (a
-///    diverted route may not have undone its increment yet).
+/// 3. **Finish/abort** (`finish`, `abort`): clear the paused and remote
+///    bits (updating the slot on finish), bump the epoch, preserve the
+///    in-flight bits (a diverted route may not have undone its
+///    increment yet).
+/// 4. **Remote hand-off** (`set_remote`): from the paused state, flip
+///    the word to remote; fast-path routes then resolve to the caller's
+///    remote egress ([`FastRoute::Remote`]) under the same guard
+///    protocol, so taking the shard back is just another pause.
 pub struct AtomicShardTable {
     words: Box<[AtomicU64]>,
 }
@@ -320,10 +336,14 @@ impl AtomicShardTable {
             word.fetch_sub(1, Ordering::SeqCst);
             return FastRoute::Paused;
         }
-        FastRoute::Deliver(RouteGuard {
+        let guard = RouteGuard {
             word,
             slot: (prev >> SLOT_SHIFT) as u32,
-        })
+        };
+        if prev & REMOTE_BIT != 0 {
+            return FastRoute::Remote(guard);
+        }
+        FastRoute::Deliver(guard)
     }
 
     /// Marks `shard` paused and waits until every in-flight fast-path
@@ -356,8 +376,35 @@ impl AtomicShardTable {
     }
 
     /// Aborts a reassignment: resumes fast-path routing to the old slot.
+    /// Also clears a remote mark, returning the shard fully local.
     pub fn abort(&self, shard: ShardId) {
         self.transition(shard, None);
+    }
+
+    /// Completes a transition to remote hosting: clears the paused bit
+    /// (set by a preceding [`Self::pause`], whose in-flight drain has
+    /// already run), sets the remote bit, and bumps the epoch. From here
+    /// fast-path routes return [`FastRoute::Remote`] until a pause takes
+    /// the shard back ([`Self::finish`]/[`Self::abort`] then clear the
+    /// mark).
+    pub fn set_remote(&self, shard: ShardId) {
+        let word = &self.words[shard.index()];
+        word.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| {
+            debug_assert!(w & PAUSED_BIT != 0, "set_remote of unpaused {shard}");
+            let epoch = ((w >> EPOCH_SHIFT) + 1) & EPOCH_MASK;
+            Some(
+                (w >> SLOT_SHIFT << SLOT_SHIFT)
+                    | (epoch << EPOCH_SHIFT)
+                    | REMOTE_BIT
+                    | (w & INFLIGHT_MASK),
+            )
+        })
+        .expect("fetch_update closure always returns Some");
+    }
+
+    /// Whether `shard` is marked remote (racy snapshot).
+    pub fn is_remote(&self, shard: ShardId) -> bool {
+        self.words[shard.index()].load(Ordering::SeqCst) & REMOTE_BIT != 0
     }
 
     fn transition(&self, shard: ShardId, new_slot: Option<u32>) {
@@ -421,7 +468,7 @@ mod atomic_tests {
         let t = AtomicShardTable::new(4, 7);
         match t.begin_route(ShardId(2)) {
             FastRoute::Deliver(g) => assert_eq!(g.slot(), 7),
-            FastRoute::Paused => panic!("not paused"),
+            _ => panic!("expected a local route"),
         }
         assert_eq!(t.slot_of(ShardId(2)), 7);
     }
@@ -438,7 +485,7 @@ mod atomic_tests {
         assert!(!t.is_paused(ShardId(1)));
         match t.begin_route(ShardId(1)) {
             FastRoute::Deliver(g) => assert_eq!(g.slot(), 3),
-            FastRoute::Paused => panic!("resumed"),
+            _ => panic!("resumed"),
         };
     }
 
@@ -458,7 +505,7 @@ mod atomic_tests {
         let paused = Arc::new(AtomicBool::new(false));
         let guard = match t.begin_route(ShardId(0)) {
             FastRoute::Deliver(g) => g,
-            FastRoute::Paused => panic!("live"),
+            _ => panic!("live"),
         };
         let pauser = {
             let t = Arc::clone(&t);
@@ -487,22 +534,76 @@ mod atomic_tests {
     }
 
     #[test]
+    fn remote_roundtrip_through_pause() {
+        let t = AtomicShardTable::new(2, 4);
+        // Local → remote: pause first (drains in-flight), then flip.
+        t.pause(ShardId(0));
+        t.set_remote(ShardId(0));
+        assert!(t.is_remote(ShardId(0)));
+        assert!(!t.is_paused(ShardId(0)));
+        match t.begin_route(ShardId(0)) {
+            FastRoute::Remote(g) => assert_eq!(g.slot(), 4, "stale slot rides along"),
+            _ => panic!("expected a remote route"),
+        }
+        // Remote mid-adoption: paused dominates remote.
+        t.pause(ShardId(0));
+        assert!(matches!(t.begin_route(ShardId(0)), FastRoute::Paused));
+        // Finishing locally clears the remote mark.
+        t.finish(ShardId(0), 1);
+        assert!(!t.is_remote(ShardId(0)));
+        match t.begin_route(ShardId(0)) {
+            FastRoute::Deliver(g) => assert_eq!(g.slot(), 1),
+            _ => panic!("expected a local route"),
+        };
+    }
+
+    #[test]
+    fn pause_waits_for_inflight_remote_guard() {
+        let t = Arc::new(AtomicShardTable::new(1, 0));
+        t.pause(ShardId(0));
+        t.set_remote(ShardId(0));
+        let guard = match t.begin_route(ShardId(0)) {
+            FastRoute::Remote(g) => g,
+            _ => panic!("remote"),
+        };
+        let paused = Arc::new(AtomicBool::new(false));
+        let pauser = {
+            let t = Arc::clone(&t);
+            let paused = Arc::clone(&paused);
+            std::thread::spawn(move || {
+                t.pause(ShardId(0));
+                paused.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !paused.load(Ordering::SeqCst),
+            "pause completed despite an in-flight remote forward"
+        );
+        drop(guard);
+        pauser.join().unwrap();
+    }
+
+    #[test]
     fn concurrent_routes_and_pauses_converge() {
         // Hammer one shard with routers while another thread cycles
         // pause→finish; every route must either divert or deliver to a
         // slot that was current at its atomic read.
         let t = Arc::new(AtomicShardTable::new(1, 0));
         let stop = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let routers: Vec<_> = (0..4)
             .map(|_| {
                 let t = Arc::clone(&t);
                 let stop = Arc::clone(&stop);
+                let progress = Arc::clone(&progress);
                 std::thread::spawn(move || {
                     let mut delivered = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         if let FastRoute::Deliver(g) = t.begin_route(ShardId(0)) {
                             std::hint::black_box(g.slot());
                             delivered += 1;
+                            progress.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     delivered
@@ -512,6 +613,13 @@ mod atomic_tests {
         for slot in 1..200u32 {
             t.pause(ShardId(0));
             t.finish(ShardId(0), slot);
+        }
+        // On a loaded single-core box the storm above can finish before
+        // any router thread was ever scheduled; give them the CPU until
+        // at least one delivery lands so the progress assertion below
+        // tests the protocol, not the scheduler.
+        while progress.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
         let total: u64 = routers.into_iter().map(|r| r.join().unwrap()).sum();

@@ -20,14 +20,20 @@
 //!   DAG-wide backpressure root).
 //! * **Fan-out forwarders** exist only for operators with **two or
 //!   more** outbound edges: one thread drains the operator's output
-//!   channel and replicates each batch into every outbound edge's own
-//!   bounded channel, applying the edge's grouping (key-hash into the
+//!   channel, wraps each batch in an `Arc`, and sends one **pointer**
+//!   per edge — record bodies are never copied at the fan-out point.
+//!   The consumer's pump applies the edge's grouping (key-hash into the
 //!   consumer's shard space, round-robin shuffle, or per-shard
-//!   broadcast). An operator with exactly **one** outbound edge skips
-//!   the forwarder entirely: its output channel *is* the edge channel,
-//!   and the consumer's pump applies the grouping — a chain therefore
-//!   has exactly the same thread and buffering structure as the
-//!   original `Pipeline`.
+//!   broadcast) when it unwraps the shared batch, cloning records only
+//!   there — and a record's payload is itself `Arc`-shared
+//!   ([`bytes::Bytes`]), so even those clones are reference bumps:
+//!   broadcasting a batch to *n* shards over *e* edges costs `e`
+//!   channel sends and `n` Arc bumps per record, not `e × n × payload`
+//!   bytes. The last pump to drop a shared batch takes ownership and
+//!   skips the clone entirely. An operator with exactly **one**
+//!   outbound edge skips the forwarder: its output channel *is* the
+//!   edge channel — a chain therefore has exactly the same thread and
+//!   buffering structure as the original `Pipeline`.
 //! * **Fan-in pumps**, one per consuming operator, round-robin over the
 //!   operator's inbound edges and feed its executor, holding records
 //!   back while the executor is at its in-flight capacity.
@@ -85,10 +91,12 @@ use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::pipeline::BoxedOperator;
 use crate::record::{Operator, Record, RecordBatch};
 
-/// A batch whose records already carry their destination shard — what
-/// fan-out forwarders put on edge channels (the grouping is applied at
-/// the producer, so the consumer's pump just delivers).
-type RoutedBatch = Vec<(ShardId, Record)>;
+/// A batch shared across fan-out edges by reference: the forwarder
+/// sends one `Arc` clone per edge, and each consuming pump applies its
+/// edge's grouping while reading through the pointer (taking ownership
+/// if it is the last holder). Replication cost is O(edges) Arc bumps
+/// per batch, independent of payload bytes.
+type SharedBatch = Arc<RecordBatch>;
 
 /// One operator awaiting construction.
 struct OpSpec {
@@ -251,11 +259,12 @@ impl LiveDagBuilder {
     /// Overrides the budget of the single edge `from → to`, leaving
     /// every other edge at the default. Like [`Self::capacity`], the
     /// number counts **batch slots** in the edge's channel (each slot
-    /// holding up to [`Self::max_batch`] records — or more when the
-    /// producer amplifies volume), so the records buffered on the edge
-    /// are bounded by `slots × max_batch × fanout`. Takes effect at
-    /// [`Self::build`]; unknown edges are reported there as
-    /// [`Error::InvalidTopology`].
+    /// holding one emitted batch — up to [`Self::max_batch`] input
+    /// records times the producer's output amplification; broadcast
+    /// replication happens at the consumer and does not widen the
+    /// slots), so the records buffered on the edge are bounded by
+    /// `slots × max_batch × fanout`. Takes effect at [`Self::build`];
+    /// unknown edges are reported there as [`Error::InvalidTopology`].
     pub fn edge_capacity(&mut self, from: OperatorId, to: OperatorId, slots: usize) -> &mut Self {
         self.edge_caps.push((from, to, slots.max(1)));
         self
@@ -331,6 +340,24 @@ impl LiveDagBuilder {
         for (i, spec) in self.specs.into_iter().enumerate() {
             let id = OperatorId::from_index(i);
             let mut config = spec.config;
+            // Every operator is fed by exactly one pump thread, so the
+            // per-task SPSC ring plane is always safe here. Size each
+            // ring to the pump's in-flight budget, floored by the batch
+            // window and capped at 4096 entries: a ring the size of the
+            // budget never hits its full edge, but past ~4096 slots
+            // (≈192 KiB of records) the ring stops fitting in cache and
+            // every record round-trips memory — cheaper to take the
+            // (yield-priced) full edge than to lose cache residency.
+            config.single_producer = true;
+            if config.ring_capacity.is_none() {
+                config.ring_capacity = Some(
+                    self.capacity
+                        .min(4096)
+                        .max(self.max_batch * 16)
+                        .clamp(2, 1 << 24)
+                        .next_power_of_two(),
+                );
+            }
             if config.output_capacity.is_none() {
                 let outbound: Vec<&Edge> = topology.edges_from(id).map(|(_, e)| e).collect();
                 match outbound.len() {
@@ -350,8 +377,10 @@ impl LiveDagBuilder {
             edge_out: (0..num_edges).map(|_| AtomicU64::new(0)).collect(),
         });
 
-        // 3. Edge channels + forwarders for fan-out operators.
-        let mut edge_rx: Vec<Option<Receiver<RoutedBatch>>> =
+        // 3. Edge channels + forwarders for fan-out operators. The
+        //    forwarder replicates *pointers*: one Arc-shared batch per
+        //    edge, grouping deferred to the consumer's pump.
+        let mut edge_rx: Vec<Option<Receiver<SharedBatch>>> =
             (0..num_edges).map(|_| None).collect();
         let mut forwarders: Vec<Option<JoinHandle<()>>> = (0..n).map(|_| None).collect();
         for op in topology.operators() {
@@ -361,23 +390,16 @@ impl LiveDagBuilder {
             }
             let mut forward_edges = Vec::with_capacity(outbound.len());
             for (edge_id, edge) in outbound {
-                let (tx, rx) = bounded::<RoutedBatch>(edge_budget(edge));
+                let (tx, rx) = bounded::<SharedBatch>(edge_budget(edge));
                 edge_rx[edge_id] = Some(rx);
-                forward_edges.push(ForwardEdge {
-                    tx,
-                    grouping: edge.grouping,
-                    edge: edge_id,
-                    num_shards: topology.operator(edge.to)?.shards_per_executor,
-                    cursor: 0,
-                });
+                forward_edges.push(ForwardEdge { tx, edge: edge_id });
             }
             let rx = executors[op.id.index()].outputs().clone();
             let counters = Arc::clone(&counters);
             let op_index = op.id.index();
-            let max_batch = self.max_batch;
             let handle = std::thread::Builder::new()
                 .name(format!("dag-fanout-{}", op.name))
-                .spawn(move || forwarder_loop(rx, forward_edges, counters, op_index, max_batch))
+                .spawn(move || forwarder_loop(rx, forward_edges, counters, op_index))
                 .expect("spawn forwarder thread");
             forwarders[op.id.index()] = Some(handle);
         }
@@ -394,9 +416,13 @@ impl LiveDagBuilder {
             }
             for (edge_id, edge) in topology.edges_into(op.id) {
                 let feed = match edge_rx[edge_id].take() {
-                    // Replicated by the upstream forwarder, shards
-                    // pre-assigned.
-                    Some(rx) => Feed::Routed { rx, edge: edge_id },
+                    // Arc-replicated by the upstream forwarder; this
+                    // pump applies the grouping as it unwraps.
+                    Some(rx) => Feed::Shared {
+                        rx,
+                        grouping: edge.grouping,
+                        edge: edge_id,
+                    },
                     // Chain fast path: the upstream's output channel is
                     // the edge channel; this pump applies the grouping.
                     None => Feed::Direct {
@@ -472,13 +498,14 @@ struct DagCounters {
     /// output channel (original records, pre-replication).
     fanned: Vec<AtomicU64>,
     /// Records put into each edge's channel by the fan-out forwarder
-    /// (post-replication units; unused for single-outbound operators,
-    /// whose output channel is consumed directly).
+    /// (original records — the Arc-shared batches carry no per-edge
+    /// copies; unused for single-outbound operators, whose output
+    /// channel is consumed directly).
     edge_in: Vec<AtomicU64>,
-    /// Records the consumer's pump took off each edge. For forwarder
-    /// edges this counts the same post-replication units as `edge_in`;
-    /// for direct edges it counts the original records taken from the
-    /// upstream output channel (matching the upstream `emitted` count).
+    /// Original records the consumer's pump took off each edge
+    /// (matching `edge_in` for forwarder edges and the upstream
+    /// `emitted` count for direct edges); broadcast replication happens
+    /// after this point and shows up in `pumped` only.
     edge_out: Vec<AtomicU64>,
 }
 
@@ -495,10 +522,12 @@ enum Feed {
         grouping: Grouping,
         edge: EdgeId,
     },
-    /// A fan-out forwarder's edge channel: shards were assigned by the
-    /// producer's forwarder.
-    Routed {
-        rx: Receiver<RoutedBatch>,
+    /// A fan-out forwarder's edge channel carrying Arc-shared batches:
+    /// this pump applies the grouping while unwrapping (taking the
+    /// batch by value when it is the last holder).
+    Shared {
+        rx: Receiver<SharedBatch>,
+        grouping: Grouping,
         edge: EdgeId,
     },
 }
@@ -566,23 +595,24 @@ impl Pump {
     // hands. (The forwarder orders its pair the mirrored way:
     // `edge_in` before `fanned`.)
 
-    /// Ingests one received batch from a direct edge: counts it (at
-    /// receipt — quiescence checks must see the records somewhere at
-    /// all times), applies the grouping, and appends the routed records
-    /// to `pending`. Returns the number of routed units added.
-    fn ingest_direct(
+    /// Routes `originals` records into `pending` by `grouping`,
+    /// counting the `pumped` units first (at receipt — quiescence
+    /// checks must see the records somewhere at all times). Broadcast
+    /// replicates here, one Arc bump per copy (payloads are
+    /// `Bytes`-shared, never deep-copied). Returns the routed units
+    /// added.
+    fn route_into(
         &self,
         grouping: Grouping,
-        edge: EdgeId,
         cursor: &mut u64,
-        batch: RecordBatch,
+        originals: u64,
+        records: impl Iterator<Item = Record>,
         pending: &mut VecDeque<(ShardId, Record)>,
     ) -> usize {
-        let originals = batch.len() as u64;
         let added = match grouping {
             Grouping::Key => {
                 self.counters.pumped[self.op].fetch_add(originals, Ordering::AcqRel);
-                for record in batch {
+                for record in records {
                     let shard = ShardId(key_to_shard(record.key.value(), self.num_shards));
                     pending.push_back((shard, record));
                 }
@@ -590,7 +620,7 @@ impl Pump {
             }
             Grouping::Shuffle => {
                 self.counters.pumped[self.op].fetch_add(originals, Ordering::AcqRel);
-                for record in batch {
+                for record in records {
                     let shard = ShardId((*cursor % u64::from(self.num_shards)) as u32);
                     *cursor = cursor.wrapping_add(1);
                     pending.push_back((shard, record));
@@ -600,16 +630,32 @@ impl Pump {
             Grouping::Broadcast => {
                 let copies = originals * u64::from(self.num_shards);
                 self.counters.pumped[self.op].fetch_add(copies, Ordering::AcqRel);
-                for record in batch {
-                    for shard in 0..self.num_shards {
+                for record in records {
+                    for shard in 1..self.num_shards {
                         pending.push_back((ShardId(shard), record.clone()));
                     }
+                    pending.push_back((ShardId(0), record));
                 }
                 copies
             }
         };
-        self.counters.edge_out[edge].fetch_add(originals, Ordering::AcqRel);
         added as usize
+    }
+
+    /// Ingests one received batch from a direct edge: grouping applied
+    /// here, then the edge counter closes the upstream pairing.
+    fn ingest_direct(
+        &self,
+        grouping: Grouping,
+        edge: EdgeId,
+        cursor: &mut u64,
+        batch: RecordBatch,
+        pending: &mut VecDeque<(ShardId, Record)>,
+    ) -> usize {
+        let originals = batch.len() as u64;
+        let added = self.route_into(grouping, cursor, originals, batch.into_iter(), pending);
+        self.counters.edge_out[edge].fetch_add(originals, Ordering::AcqRel);
+        added
     }
 
     /// Ingests one ingress batch (key routing, no edge counter).
@@ -619,26 +665,36 @@ impl Pump {
         pending: &mut VecDeque<(ShardId, Record)>,
     ) -> usize {
         let n = batch.len();
-        self.counters.pumped[self.op].fetch_add(n as u64, Ordering::AcqRel);
-        for record in batch {
-            let shard = ShardId(key_to_shard(record.key.value(), self.num_shards));
-            pending.push_back((shard, record));
-        }
-        n
+        let mut cursor = 0;
+        self.route_into(
+            Grouping::Key,
+            &mut cursor,
+            n as u64,
+            batch.into_iter(),
+            pending,
+        )
     }
 
-    /// Ingests one routed batch from a forwarder edge.
-    fn ingest_routed(
+    /// Ingests one Arc-shared batch from a fan-out edge: the last
+    /// holder takes the records by value, earlier holders clone through
+    /// the pointer (per-record Arc bumps, no payload copies).
+    fn ingest_shared(
         &self,
+        grouping: Grouping,
         edge: EdgeId,
-        batch: RoutedBatch,
+        cursor: &mut u64,
+        batch: SharedBatch,
         pending: &mut VecDeque<(ShardId, Record)>,
     ) -> usize {
-        let n = batch.len();
-        self.counters.pumped[self.op].fetch_add(n as u64, Ordering::AcqRel);
-        pending.extend(batch);
-        self.counters.edge_out[edge].fetch_add(n as u64, Ordering::AcqRel);
-        n
+        let originals = batch.len() as u64;
+        let added = match Arc::try_unwrap(batch) {
+            Ok(owned) => self.route_into(grouping, cursor, originals, owned.into_iter(), pending),
+            Err(shared) => {
+                self.route_into(grouping, cursor, originals, shared.iter().cloned(), pending)
+            }
+        };
+        self.counters.edge_out[edge].fetch_add(originals, Ordering::AcqRel);
+        added
     }
 
     /// Polls one feed, ingesting at most one batch: non-blocking with
@@ -662,9 +718,11 @@ impl Pump {
                     self.ingest_direct(grouping, edge, &mut state.shuffle_cursor, batch, pending)
                 })
             }
-            Feed::Routed { rx, edge } => {
-                let edge = *edge;
-                recv_feed(rx, timeout).map(|batch| self.ingest_routed(edge, batch, pending))
+            Feed::Shared { rx, grouping, edge } => {
+                let (grouping, edge) = (*grouping, *edge);
+                recv_feed(rx, timeout).map(|batch| {
+                    self.ingest_shared(grouping, edge, &mut state.shuffle_cursor, batch, pending)
+                })
             }
         };
         match result {
@@ -745,95 +803,45 @@ impl Pump {
     }
 }
 
-/// One outbound edge of a fan-out forwarder.
+/// One outbound edge of a fan-out forwarder: just the channel — the
+/// grouping is applied by the consuming pump, so the forwarder carries
+/// no routing state at all.
 struct ForwardEdge {
-    tx: Sender<RoutedBatch>,
-    grouping: Grouping,
+    tx: Sender<SharedBatch>,
     edge: EdgeId,
-    /// The consumer's shard-space size (targets of key hash, shuffle,
-    /// and broadcast replication).
-    num_shards: u32,
-    /// Round-robin cursor for shuffle edges.
-    cursor: u64,
 }
 
-/// The fan-out forwarder body: drains the operator's output channel and
-/// replicates every batch into each outbound edge's channel, applying
-/// the edge's grouping. A full edge channel blocks the forwarder — and
-/// with it every sibling edge — which is what propagates a slow
-/// branch's backpressure to the producer instead of dropping records.
+/// The fan-out forwarder body: drains the operator's output channel,
+/// wraps each batch in an `Arc` once, and sends one pointer per edge —
+/// O(edges) Arc bumps per batch, zero record copies. A full edge
+/// channel blocks the forwarder — and with it every sibling edge —
+/// which is what propagates a slow branch's backpressure to the
+/// producer instead of dropping records.
 fn forwarder_loop(
     rx: Receiver<RecordBatch>,
-    mut edges: Vec<ForwardEdge>,
+    edges: Vec<ForwardEdge>,
     counters: Arc<DagCounters>,
     op: usize,
-    max_batch: usize,
 ) {
     while let Ok(batch) = rx.recv() {
         let originals = batch.len() as u64;
-        // Count every copy into its edge *before* any send — a blocked
-        // send must not hide the copies still in hand — and before
+        // Count the batch into every edge *before* any send — a blocked
+        // send must not hide the records still in hand — and before
         // `fanned`: from the first `edge_in` bump, `edge_in > edge_out`
         // fails the quiescence check, and `fanned` (which would satisfy
         // the `emitted == fanned` pairing) only catches up afterwards,
         // so no window exists in which every equality holds while this
         // thread still holds the batch.
         for e in &edges {
-            let copies = match e.grouping {
-                Grouping::Broadcast => originals * u64::from(e.num_shards),
-                Grouping::Key | Grouping::Shuffle => originals,
-            };
-            counters.edge_in[e.edge].fetch_add(copies, Ordering::AcqRel);
+            counters.edge_in[e.edge].fetch_add(originals, Ordering::AcqRel);
         }
         counters.fanned[op].fetch_add(originals, Ordering::AcqRel);
-        for e in &mut edges {
+        let shared: SharedBatch = Arc::new(batch);
+        for e in &edges {
             // A send error means the consumer side is gone (teardown
-            // with a retained handle); the copies are dropped, matching
-            // executor shutdown semantics.
-            match e.grouping {
-                Grouping::Key => {
-                    let routed: RoutedBatch = batch
-                        .iter()
-                        .map(|r| {
-                            (
-                                ShardId(key_to_shard(r.key.value(), e.num_shards)),
-                                r.clone(),
-                            )
-                        })
-                        .collect();
-                    let _ = e.tx.send(routed);
-                }
-                Grouping::Shuffle => {
-                    let routed: RoutedBatch = batch
-                        .iter()
-                        .map(|r| {
-                            let shard = ShardId((e.cursor % u64::from(e.num_shards)) as u32);
-                            e.cursor = e.cursor.wrapping_add(1);
-                            (shard, r.clone())
-                        })
-                        .collect();
-                    let _ = e.tx.send(routed);
-                }
-                Grouping::Broadcast => {
-                    // Replication multiplies volume by the consumer's
-                    // shard count; chunk the copies so no channel slot
-                    // holds more than max_batch records.
-                    let mut chunk: RoutedBatch = Vec::with_capacity(max_batch);
-                    for record in &batch {
-                        for shard in 0..e.num_shards {
-                            chunk.push((ShardId(shard), record.clone()));
-                            if chunk.len() == max_batch {
-                                let full =
-                                    std::mem::replace(&mut chunk, Vec::with_capacity(max_batch));
-                                let _ = e.tx.send(full);
-                            }
-                        }
-                    }
-                    if !chunk.is_empty() {
-                        let _ = e.tx.send(chunk);
-                    }
-                }
-            }
+            // with a retained handle); that edge's share is dropped,
+            // matching executor shutdown semantics.
+            let _ = e.tx.send(Arc::clone(&shared));
         }
     }
 }
@@ -1069,22 +1077,6 @@ impl LiveDag {
                 std::thread::sleep(Duration::from_micros(200));
             }
         }
-        /// Copies one upstream record fans into `edge` (the replication
-        /// factor of its grouping).
-        fn copies(edge: &Edge, topology: &Topology, originals: u64) -> u64 {
-            match edge.grouping {
-                Grouping::Broadcast => {
-                    originals
-                        * u64::from(
-                            topology
-                                .operator(edge.to)
-                                .expect("validated edge")
-                                .shards_per_executor,
-                        )
-                }
-                Grouping::Key | Grouping::Shuffle => originals,
-            }
-        }
 
         // 3. Walk the graph in topological order: by the time we reach
         //    an operator, every producer feeding it has been fully shut
@@ -1171,10 +1163,10 @@ impl LiveDag {
                     let produced = emitted_final[vi];
                     wait(|| {
                         c.fanned[vi].load(Ordering::Acquire) >= produced
-                            && self.topology.edges_from(v).all(|(e, edge)| {
-                                c.edge_in[e].load(Ordering::Acquire)
-                                    >= copies(edge, &self.topology, produced)
-                            })
+                            && self
+                                .topology
+                                .edges_from(v)
+                                .all(|(e, _)| c.edge_in[e].load(Ordering::Acquire) >= produced)
                     });
                     drop(forwarder); // detached
                 } else {

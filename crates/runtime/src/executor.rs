@@ -30,10 +30,43 @@
 //! latency measurement and the batch's busy accounting — down from four
 //! per record).
 //!
+//! # The SPSC ring plane
+//!
+//! With [`ExecutorConfig::single_producer`] set (the mode every
+//! [`LiveDag`](crate::dag::LiveDag) pump runs in), each task slot also
+//! owns a bounded [`crossbeam::spsc`] ring, and the fast path pushes
+//! `(shard, record)` items straight into the owner's ring — a slot
+//! write and one release store, no mutex, no condvar, no per-batch
+//! `Vec` — while the Mutex+Condvar channel survives as a *control lane*
+//! for the slow path and the §3.3 protocol (labels, flush markers,
+//! pause-buffer replays, stop).
+//!
+//! Ordering between the two lanes rides on **watermarks**: every
+//! control message carries the destination ring's push cursor read at
+//! send time, and the task thread processes its ring up to that mark
+//! before handling the message. Combined with the pause handshake this
+//! reproduces the single-queue order exactly: a label is sent only
+//! after the pause drained every in-flight ring push (so the mark
+//! covers all pre-pause records), and a pause-buffer replay is sent
+//! before the shard's word reopens (so every later ring push lands
+//! beyond the replay's mark).
+//!
 //! Setting [`ExecutorConfig::baseline_locked_routing`] restores the
 //! pre-optimization data plane — every record through the global routing
 //! mutex and a global latency-histogram lock — and exists solely as the
 //! `--baseline` arm of the throughput harness.
+//!
+//! # Remote egress
+//!
+//! A shard hosted by a peer process (see [`crate::migrate`]) is marked
+//! `remote` in the atomic shard word. The fast path resolves it without
+//! the routing lock: the word names the shard remote, a per-shard
+//! forwarder mirror supplies the egress closure, and the closure
+//! enqueues onto the migration link's lock-free MPSC queue — so
+//! steady-state forwarding to a remote shard is wait-free end to end.
+//! The route guard spans the enqueue, which lets a migration taking the
+//! shard back pause the word and know every in-flight forward already
+//! reached the link queue (and therefore precedes its `COMMIT_ACK`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,7 +117,30 @@ pub struct ExecutorConfig {
     /// the baseline path cannot silently rot. Explicit assignments of
     /// the field always win over the environment.
     pub baseline_locked_routing: bool,
+    /// Declares that a **single thread** performs all submissions
+    /// (`submit`/`submit_routed`/`submit_batch*`), enabling the per-task
+    /// SPSC ring fast path: records go straight into the owner task's
+    /// bounded ring instead of its Mutex+Condvar channel. The
+    /// [`LiveDag`](crate::dag::LiveDag) builder turns this on for every
+    /// operator it constructs (each executor is fed by exactly one pump
+    /// thread). Submitting from several threads anyway is safe — a
+    /// producer guard serializes them — but forfeits the point; leave
+    /// this `false` (the default) for multi-submitter ingress, which
+    /// keeps the MPMC channel. Ignored in baseline mode.
+    pub single_producer: bool,
+    /// Capacity, in records, of each task's SPSC ring (rounded up to a
+    /// power of two). `None` — the default — sizes the ring to
+    /// [`DEFAULT_RING_CAPACITY`]; the DAG/pipeline builders derive it
+    /// from their `max_batch` instead. Validated by
+    /// [`ElasticExecutor::start`]: a value below 2 or above 2²⁴ panics.
+    /// Meaningful only with [`Self::single_producer`]; a full ring makes
+    /// the submitter back off and retry, so this knob bounds the
+    /// records parked between the submitter and each task.
+    pub ring_capacity: Option<usize>,
 }
+
+/// Ring capacity used when [`ExecutorConfig::ring_capacity`] is `None`.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
@@ -96,8 +152,23 @@ impl Default for ExecutorConfig {
             output_capacity: None,
             max_task_slots: 64,
             baseline_locked_routing: std::env::var("ELASTICUTOR_BASELINE").is_ok_and(|v| v == "1"),
+            single_producer: false,
+            ring_capacity: None,
         }
     }
+}
+
+/// One item of a task's SPSC data ring: a routed record and its shard.
+type RingItem = (ShardId, Record);
+
+/// A control-lane message plus its ring watermark: the task thread
+/// processes its data ring up to `mark` items before handling `msg`,
+/// which serializes the two lanes into the single-queue order the §3.3
+/// protocol assumes. `mark` is zero (a no-op) for executors without
+/// rings and for messages that must not wait (stop).
+struct TaskEnvelope {
+    mark: u64,
+    msg: TaskMsg,
 }
 
 /// Work delivered to task threads.
@@ -128,13 +199,63 @@ enum TaskMsg {
 /// the executor's shutdown semantics.
 pub type RemoteForwarder = Arc<dyn Fn(ShardId, Record) + Send + Sync>;
 
-/// One entry of the slot table: the channel of the task thread currently
-/// occupying the slot. Padded so submitters routing to different tasks
-/// never share a cache line; the `RwLock` read on the hot path is a
-/// single uncontended atomic (writes happen only when a task starts or
-/// stops).
+/// One entry of the slot table: the delivery ends of the task thread
+/// currently occupying the slot. Padded so submitters routing to
+/// different tasks never share a cache line; the `RwLock` reads/writes
+/// on the hot path are single uncontended atomics (contended only when
+/// a task starts or stops — or when a caller violates the
+/// single-producer contract, which then degrades to serialization
+/// instead of unsoundness).
 struct TaskSlot {
-    sender: RwLock<Option<Sender<TaskMsg>>>,
+    /// The control-lane channel (and, without rings, the data lane).
+    sender: RwLock<Option<Sender<TaskEnvelope>>>,
+    /// The data ring's producer end (single-producer mode only). Pushes
+    /// need `&mut`, hence a write lock — uncontended, one CAS.
+    ring: RwLock<Option<crossbeam::spsc::Producer<RingItem>>>,
+}
+
+/// A task's delivery handles as the control plane sees them: the
+/// control-lane sender plus (in ring mode) the ring's watermark/wakeup
+/// handle.
+#[derive(Clone)]
+struct TaskLink {
+    tx: Sender<TaskEnvelope>,
+    ring: Option<crossbeam::spsc::RingHandle<RingItem>>,
+}
+
+impl TaskLink {
+    /// Sends a control message ordered after every ring item pushed so
+    /// far: the watermark read here tells the consumer how deep to
+    /// drain its ring first. Callers needing the §3.3 guarantees must
+    /// have completed the pause handshake before sending, so the
+    /// relevant pushes are already in the cursor.
+    fn send(
+        &self,
+        msg: TaskMsg,
+    ) -> std::result::Result<(), crossbeam::channel::SendError<TaskEnvelope>> {
+        let mark = self
+            .ring
+            .as_ref()
+            .map_or(0, crossbeam::spsc::RingHandle::tail);
+        let res = self.tx.send(TaskEnvelope { mark, msg });
+        if let Some(ring) = &self.ring {
+            ring.wake_consumer();
+        }
+        res
+    }
+
+    /// Sends a control message that jumps the data ring (watermark 0) —
+    /// only for `Stop`, whose semantics are "drop whatever is queued".
+    fn send_now(
+        &self,
+        msg: TaskMsg,
+    ) -> std::result::Result<(), crossbeam::channel::SendError<TaskEnvelope>> {
+        let res = self.tx.send(TaskEnvelope { mark: 0, msg });
+        if let Some(ring) = &self.ring {
+            ring.wake_consumer();
+        }
+        res
+    }
 }
 
 /// Control state shared by the public handle and the task threads.
@@ -182,6 +303,15 @@ struct Inner<O: Operator> {
     reassignment_log: Mutex<Vec<(u64, u64)>>,
     /// See [`ExecutorConfig::baseline_locked_routing`].
     baseline: bool,
+    /// Per-task SPSC rings are live (`single_producer` and not
+    /// baseline); the fast path pushes rings, the channel is control.
+    use_rings: bool,
+    /// Wait-free mirror of `RoutingState::remote`, indexed by shard:
+    /// the fast path reads it (one uncontended `RwLock` read) when the
+    /// shard word says remote, without touching the routing lock. Kept
+    /// coherent by the control plane: set *before* the word flips to
+    /// remote, cleared *after* the word is paused back.
+    remote_fast: Box<[RwLock<Option<RemoteForwarder>>]>,
 }
 
 struct RoutingState {
@@ -190,7 +320,7 @@ struct RoutingState {
     /// forwarder instead of a local task. A remote shard's atomic word
     /// stays paused permanently, so every fast-path submit diverts here.
     remote: std::collections::BTreeMap<ShardId, RemoteForwarder>,
-    senders: std::collections::BTreeMap<TaskId, Sender<TaskMsg>>,
+    senders: std::collections::BTreeMap<TaskId, TaskLink>,
     /// Task → occupied slot index.
     task_slots: std::collections::BTreeMap<TaskId, usize>,
     /// Slot indices available for new tasks.
@@ -247,6 +377,12 @@ pub struct ElasticExecutor<O: Operator> {
 
 impl<O: Operator> ElasticExecutor<O> {
     /// Starts the executor with `config.initial_tasks` task threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration: zero shards or tasks,
+    /// `initial_tasks > max_task_slots`, or a `ring_capacity` outside
+    /// `2..=2^24`.
     pub fn start(config: ExecutorConfig, operator: O) -> Self {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.initial_tasks > 0, "need at least one task");
@@ -254,6 +390,12 @@ impl<O: Operator> ElasticExecutor<O> {
             config.initial_tasks <= config.max_task_slots,
             "initial_tasks exceeds max_task_slots"
         );
+        if let Some(capacity) = config.ring_capacity {
+            assert!(
+                (2..=1 << 24).contains(&capacity),
+                "ring_capacity {capacity} outside the supported 2..=2^24 range"
+            );
+        }
         let (out_tx, out_rx) = match config.output_capacity {
             Some(cap) => bounded(cap),
             None => unbounded(),
@@ -274,6 +416,7 @@ impl<O: Operator> ElasticExecutor<O> {
                 .map(|_| {
                     CachePadded::new(TaskSlot {
                         sender: RwLock::new(None),
+                        ring: RwLock::new(None),
                     })
                 })
                 .collect(),
@@ -291,6 +434,8 @@ impl<O: Operator> ElasticExecutor<O> {
             operator_panics: AtomicU64::new(0),
             reassignment_log: Mutex::new(Vec::new()),
             baseline: config.baseline_locked_routing,
+            use_rings: config.single_producer && !config.baseline_locked_routing,
+            remote_fast: (0..config.num_shards).map(|_| RwLock::new(None)).collect(),
         });
         let executor = Self {
             inner,
@@ -354,30 +499,80 @@ impl<O: Operator> ElasticExecutor<O> {
             self.submit_slow(shard, record);
             return;
         }
-        match self.inner.shard_table.begin_route(shard) {
-            FastRoute::Deliver(guard) => {
-                let cell = self.inner.slots[guard.slot() as usize].sender.read();
-                match cell.as_ref() {
-                    // The in-flight guard is held across the send: a
-                    // concurrent pause of this shard enqueues its label
-                    // only after we finish, so the record lands ahead of
-                    // the label in the owner's FIFO queue. A send error
-                    // means the executor is halting; the record is
-                    // dropped, matching shutdown semantics.
-                    Some(sender) => {
-                        let _ = sender.send(TaskMsg::One(shard, record));
-                    }
-                    // Empty slot: the executor was halted in place
-                    // (`halt_shared`). Resolve under the lock (which
-                    // will drop the record — no senders remain).
-                    None => {
-                        drop(cell);
-                        drop(guard);
-                        self.submit_slow(shard, record);
+        let mut record = record;
+        loop {
+            match self.inner.shard_table.begin_route(shard) {
+                FastRoute::Deliver(guard) if self.inner.use_rings => {
+                    // Ring mode: push the item into the owner's SPSC
+                    // ring. The guard spans the push (a pending pause
+                    // waits for it), but never a *blocked* push: on a
+                    // full ring we drop the guard, back off, and
+                    // re-route — the shard may have been paused or
+                    // reassigned while the ring was full.
+                    let mut cell = self.inner.slots[guard.slot() as usize].ring.write();
+                    match cell.as_mut() {
+                        Some(producer) => match producer.try_push((shard, record)) {
+                            Ok(()) => return,
+                            Err((_, r)) => {
+                                record = r;
+                                drop(cell);
+                                drop(guard);
+                                ring_full_backoff();
+                            }
+                        },
+                        // Empty slot: the executor was halted in place.
+                        None => {
+                            drop(cell);
+                            drop(guard);
+                            return self.submit_slow(shard, record);
+                        }
                     }
                 }
+                FastRoute::Deliver(guard) => {
+                    let cell = self.inner.slots[guard.slot() as usize].sender.read();
+                    match cell.as_ref() {
+                        // The in-flight guard is held across the send: a
+                        // concurrent pause of this shard enqueues its label
+                        // only after we finish, so the record lands ahead of
+                        // the label in the owner's FIFO queue. A send error
+                        // means the executor is halting; the record is
+                        // dropped, matching shutdown semantics.
+                        Some(sender) => {
+                            let _ = sender.send(TaskEnvelope {
+                                mark: 0,
+                                msg: TaskMsg::One(shard, record),
+                            });
+                        }
+                        // Empty slot: the executor was halted in place
+                        // (`halt_shared`). Resolve under the lock (which
+                        // will drop the record — no senders remain).
+                        None => {
+                            drop(cell);
+                            drop(guard);
+                            self.submit_slow(shard, record);
+                        }
+                    }
+                    return;
+                }
+                FastRoute::Remote(guard) => {
+                    // Wait-free remote egress: the forwarder mirror is
+                    // read without the routing lock, and the enqueue it
+                    // performs is a lock-free MPSC push. The guard spans
+                    // the call so a migration taking the shard back can
+                    // drain in-flight forwards.
+                    let cell = self.inner.remote_fast[shard.index()].read();
+                    match cell.as_ref() {
+                        Some(forward) => forward(shard, record),
+                        None => {
+                            drop(cell);
+                            drop(guard);
+                            self.submit_slow(shard, record);
+                        }
+                    }
+                    return;
+                }
+                FastRoute::Paused => return self.submit_slow(shard, record),
             }
-            FastRoute::Paused => self.submit_slow(shard, record),
         }
     }
 
@@ -435,50 +630,111 @@ impl<O: Operator> ElasticExecutor<O> {
             self.inner
                 .arrivals
                 .fetch_add(wave.len() as u64, Ordering::Relaxed);
-            // Per-slot groups plus the guards pinning every routed shard.
-            let mut groups: Vec<(usize, Vec<(ShardId, Record)>)> = Vec::new();
-            let mut guards = Vec::new();
-            for (shard, record) in wave.drain(..) {
+            for (shard, _) in &wave {
                 self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
-                if !diverted.is_empty() && diverted.contains(&shard) {
-                    slow.push((shard, record));
-                    continue;
-                }
-                match self.inner.shard_table.begin_route(shard) {
-                    FastRoute::Deliver(guard) => {
-                        let slot = guard.slot() as usize;
-                        match groups.iter_mut().find(|(s, _)| *s == slot) {
-                            Some((_, group)) => group.push((shard, record)),
-                            None => groups.push((slot, vec![(shard, record)])),
-                        }
-                        guards.push(guard);
-                    }
-                    FastRoute::Paused => {
-                        diverted.push(shard);
-                        slow.push((shard, record));
-                    }
-                }
             }
-            for (slot, group) in groups {
-                let cell = self.inner.slots[slot].sender.read();
-                match cell.as_ref() {
-                    Some(sender) => {
-                        let _ = sender.send(TaskMsg::Batch(group));
-                    }
-                    None => {
-                        drop(cell);
-                        slow.extend(group);
-                    }
-                }
-            }
-            // Only now may pending pauses of this wave's shards complete.
-            drop(guards);
+            self.route_wave(&mut wave, &mut diverted, &mut slow);
         }
         if !slow.is_empty() {
             let mut rs = self.inner.routing.lock();
             for (shard, record) in slow {
                 Self::route_locked(&mut rs, shard, record);
             }
+        }
+    }
+
+    /// Routes one wave of pre-counted records, leaving `wave` empty:
+    /// guards pin every routed shard while per-slot groups are
+    /// delivered (ring pushes in ring mode, one channel batch per slot
+    /// otherwise). Records a full ring rejects are retried — with all
+    /// guards dropped in between, so a pending pause can complete and
+    /// the retry re-reads the (possibly changed) routing.
+    fn route_wave(
+        &self,
+        wave: &mut Vec<(ShardId, Record)>,
+        diverted: &mut Vec<ShardId>,
+        slow: &mut Vec<(ShardId, Record)>,
+    ) {
+        let mut retry: Vec<(ShardId, Record)> = Vec::new();
+        loop {
+            {
+                // Per-slot groups plus the guards pinning every routed
+                // shard.
+                let mut groups: Vec<(usize, Vec<(ShardId, Record)>)> = Vec::new();
+                let mut guards = Vec::new();
+                for (shard, record) in wave.drain(..) {
+                    if !diverted.is_empty() && diverted.contains(&shard) {
+                        slow.push((shard, record));
+                        continue;
+                    }
+                    match self.inner.shard_table.begin_route(shard) {
+                        FastRoute::Deliver(guard) => {
+                            let slot = guard.slot() as usize;
+                            match groups.iter_mut().find(|(s, _)| *s == slot) {
+                                Some((_, group)) => group.push((shard, record)),
+                                None => groups.push((slot, vec![(shard, record)])),
+                            }
+                            guards.push(guard);
+                        }
+                        FastRoute::Remote(guard) => {
+                            let cell = self.inner.remote_fast[shard.index()].read();
+                            match cell.as_ref() {
+                                Some(forward) => forward(shard, record),
+                                None => slow.push((shard, record)),
+                            }
+                            drop(cell);
+                            drop(guard);
+                        }
+                        FastRoute::Paused => {
+                            diverted.push(shard);
+                            slow.push((shard, record));
+                        }
+                    }
+                }
+                for (slot, group) in groups {
+                    if self.inner.use_rings {
+                        let mut cell = self.inner.slots[slot].ring.write();
+                        match cell.as_mut() {
+                            Some(producer) => {
+                                let mut queue: std::collections::VecDeque<(ShardId, Record)> =
+                                    group.into();
+                                producer.try_push_batch(&mut queue);
+                                // A full ring keeps the suffix; records
+                                // of one shard all share this group, so
+                                // retrying the suffix preserves their
+                                // order.
+                                retry.extend(queue);
+                            }
+                            None => {
+                                drop(cell);
+                                slow.extend(group);
+                            }
+                        }
+                    } else {
+                        let cell = self.inner.slots[slot].sender.read();
+                        match cell.as_ref() {
+                            Some(sender) => {
+                                let _ = sender.send(TaskEnvelope {
+                                    mark: 0,
+                                    msg: TaskMsg::Batch(group),
+                                });
+                            }
+                            None => {
+                                drop(cell);
+                                slow.extend(group);
+                            }
+                        }
+                    }
+                }
+                // Only now may pending pauses of this wave's shards
+                // complete.
+                drop(guards);
+            }
+            if retry.is_empty() {
+                return;
+            }
+            ring_full_backoff();
+            std::mem::swap(wave, &mut retry);
         }
     }
 
@@ -502,9 +758,12 @@ impl<O: Operator> ElasticExecutor<O> {
             RouteDecision::Deliver(task, record) => {
                 // A missing sender means the executor was halted in
                 // place (`halt_shared`); drop the record rather than
-                // panic the submitter.
-                if let Some(sender) = rs.senders.get(&task) {
-                    let _ = sender.send(TaskMsg::One(shard, record));
+                // panic the submitter. The watermarked send orders this
+                // record behind every ring item already pushed — in
+                // particular behind any earlier fast-path record of the
+                // same shard.
+                if let Some(link) = rs.senders.get(&task) {
+                    let _ = link.send(TaskMsg::One(shard, record));
                 }
             }
         }
@@ -515,6 +774,19 @@ impl<O: Operator> ElasticExecutor<O> {
     /// [`ExecutorConfig::max_task_slots`] threads are live.
     pub fn add_task(&self) -> Result<TaskId> {
         let (tx, rx) = unbounded();
+        let ring = self.inner.use_rings.then(|| {
+            crossbeam::spsc::ring::<RingItem>(
+                self.config.ring_capacity.unwrap_or(DEFAULT_RING_CAPACITY),
+            )
+        });
+        let (producer, consumer) = match ring {
+            Some((p, c)) => (Some(p), Some(c)),
+            None => (None, None),
+        };
+        let link = TaskLink {
+            tx: tx.clone(),
+            ring: producer.as_ref().map(crossbeam::spsc::Producer::handle),
+        };
         let (id, slot) = {
             let mut rs = self.inner.routing.lock();
             let slot = rs.free_slots.pop().ok_or(Error::CapacityExceeded {
@@ -523,15 +795,19 @@ impl<O: Operator> ElasticExecutor<O> {
             })?;
             let id = TaskId(rs.next_task);
             rs.next_task += 1;
-            rs.senders.insert(id, tx.clone());
+            rs.senders.insert(id, link);
             rs.task_slots.insert(id, slot);
             *self.inner.slots[slot].sender.write() = Some(tx);
+            *self.inner.slots[slot].ring.write() = producer;
             (id, slot)
         };
         let inner = Arc::clone(&self.inner);
         let handle = std::thread::Builder::new()
             .name(format!("elastic-task-{}", id.0))
-            .spawn(move || task_loop(inner, id, slot, rx))
+            .spawn(move || match consumer {
+                Some(ring) => task_loop_ring(inner, id, slot, rx, ring),
+                None => task_loop(inner, id, slot, rx),
+            })
             .expect("spawn task thread");
         self.threads.lock().push((id, handle));
         Ok(id)
@@ -622,15 +898,19 @@ impl<O: Operator> ElasticExecutor<O> {
         // Stop the thread and unregister it. The task owns no shards, so
         // no shard word references its slot and no fast-path submitter
         // can reach the sender cell we are about to clear.
-        let (sender, slot) = {
+        let (link, slot) = {
             let mut rs = self.inner.routing.lock();
             rs.draining.remove(&task);
-            let sender = rs.senders.remove(&task).expect("checked present");
+            let link = rs.senders.remove(&task).expect("checked present");
             let slot = rs.task_slots.remove(&task).expect("slot registered");
             *self.inner.slots[slot].sender.write() = None;
-            (sender, slot)
+            // Dropping the producer closes the ring; it is empty — the
+            // drain above moved every shard off this task, and each
+            // move's watermark forced the pre-move items through.
+            *self.inner.slots[slot].ring.write() = None;
+            (link, slot)
         };
-        sender.send(TaskMsg::Stop).expect("task channel open");
+        link.send_now(TaskMsg::Stop).expect("task channel open");
         let mut threads = self.threads.lock();
         if let Some(pos) = threads.iter().position(|(id, _)| *id == task) {
             let (_, handle) = threads.remove(pos);
@@ -816,8 +1096,8 @@ fn halt<O: Operator>(
 ) -> ExecutorStats {
     {
         let rs = inner.routing.lock();
-        for sender in rs.senders.values() {
-            let _ = sender.send(TaskMsg::Stop);
+        for link in rs.senders.values() {
+            let _ = link.send_now(TaskMsg::Stop);
         }
     }
     let mut threads = threads.lock();
@@ -837,6 +1117,7 @@ fn halt<O: Operator>(
         rs.task_slots.clear();
         for slot in slots {
             *inner.slots[slot].sender.write() = None;
+            *inner.slots[slot].ring.write() = None;
             let hist = inner.latency.take_cell(slot);
             inner.retired_latency.lock().merge(&hist);
             rs.free_slots.push(slot);
@@ -950,9 +1231,10 @@ impl<O: Operator> ElasticExecutor<O> {
     /// DONE marker here, behind the replayed records and ahead of every
     /// future forward), and flips the shard to remote routing — all
     /// atomically under the routing lock, so no record can slip between
-    /// the replay and the flip. The shard's atomic word stays paused
-    /// permanently: fast-path submits divert to the slow path, which
-    /// forwards.
+    /// the replay and the flip. The shard's atomic word flips to
+    /// `remote`: fast-path submits resolve the forwarder from a
+    /// per-shard mirror and enqueue on the link's lock-free egress
+    /// queue without ever taking this lock.
     pub fn complete_migration(
         &self,
         shard: ShardId,
@@ -965,7 +1247,13 @@ impl<O: Operator> ElasticExecutor<O> {
             forward(shard, record);
         }
         flush_mark();
+        *self.inner.remote_fast[shard.index()].write() = Some(Arc::clone(&forward));
         rs.remote.insert(shard, forward);
+        // Flip the word paused → remote: fast-path submits now enqueue
+        // on the egress wait-free instead of diverting to this lock.
+        // The replayed records above happen-before the flip, so every
+        // later fast-path forward lands behind them on the link queue.
+        self.inner.shard_table.set_remote(shard);
         Ok(())
     }
 
@@ -998,10 +1286,10 @@ impl<O: Operator> ElasticExecutor<O> {
 
     /// Marks `shard` as hosted by a remote peer without a migration —
     /// initial ownership partitioning before any record flows. Discards
-    /// the local (empty) copy of the shard's state, pauses the fast
-    /// path permanently, and routes future records through `forward`.
-    /// Errors if the shard has local state, is mid-reassignment, or is
-    /// already remote.
+    /// the local (empty) copy of the shard's state, flips the shard's
+    /// word to remote, and routes future records through `forward`
+    /// (wait-free on the fast path). Errors if the shard has local
+    /// state, is mid-reassignment, or is already remote.
     pub fn mark_remote(&self, shard: ShardId, forward: RemoteForwarder) -> Result<()> {
         let mut rs = self.inner.routing.lock();
         if rs.remote.contains_key(&shard) {
@@ -1015,8 +1303,12 @@ impl<O: Operator> ElasticExecutor<O> {
             return Err(Error::ShardStateConflict(shard));
         }
         self.inner.state.extract_shard(shard); // discard the empty copy
+                                               // Pause (draining in-flight local deliveries), publish the
+                                               // forwarder mirror, then flip the word to remote.
         self.inner.shard_table.pause(shard);
+        *self.inner.remote_fast[shard.index()].write() = Some(Arc::clone(&forward));
         rs.remote.insert(shard, forward);
+        self.inner.shard_table.set_remote(shard);
         Ok(())
     }
 
@@ -1094,6 +1386,14 @@ impl<O: Operator> ElasticExecutor<O> {
             rs.table.set_task(shard, task)?;
             rs.table.pause(shard)?; // buffer local submits until adopt_finish
             rs.remote.remove(&shard);
+            // Close the fast path: pause the word — draining in-flight
+            // wait-free forwards, so every pre-install forward is in
+            // the egress queue and therefore precedes the COMMIT_ACK
+            // sent after this returns — then retire the mirror. The
+            // word stays paused (adopt_finish's `finish` reopens it and
+            // clears the remote mark).
+            self.inner.shard_table.pause(shard);
+            *self.inner.remote_fast[shard.index()].write() = None;
         }
         if state.hosts(shard) {
             state.extract_shard(shard); // evict the empty local copy
@@ -1233,10 +1533,79 @@ fn process_items<O: Operator>(inner: &Inner<O>, slot: usize, items: &[(ShardId, 
         .fetch_add(items.len() as u64, Ordering::AcqRel);
 }
 
-/// The body of one task thread.
-fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, slot: usize, rx: Receiver<TaskMsg>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
+/// Completes (or aborts) the reassignment named by a labeling tuple —
+/// shared by both task-loop flavors.
+fn handle_label<O: Operator>(inner: &Inner<O>, label: u64) {
+    // All pending records of the shard are done: complete the
+    // reassignment via the shared §3.3 state machine. Intra-process
+    // state sharing means no state movement — the new task reads the
+    // same store.
+    let now = monotonic_ns();
+    // Lock order: routing before reassigns, matching `reassign_shard`
+    // (which begins moves while holding the routing lock).
+    let mut rs = inner.routing.lock();
+    let mut tracker = inner.reassigns.lock();
+    tracker
+        .mark_label_reached(label, now)
+        .expect("label has a pending entry");
+    let to = tracker.get(label).expect("just marked").to;
+    if rs.senders.contains_key(&to) {
+        let completion = tracker
+            .complete(label, monotonic_ns())
+            .expect("completes exactly once");
+        drop(tracker);
+        let shard = completion.shard;
+        let buffered = rs
+            .table
+            .finish_reassignment(shard, completion.to)
+            .expect("shard was paused");
+        // Flush the pause buffer to the new owner *before* resuming the
+        // fast path: once the word flips, new fast-path records reach
+        // the same task and must queue behind the buffered ones — the
+        // channel order directly, or (ring mode) via the flush's
+        // watermark, which every post-flip ring push lands beyond.
+        if !buffered.is_empty() {
+            let batch: Vec<(ShardId, Record)> = buffered.into_iter().map(|r| (shard, r)).collect();
+            let _ = rs.senders[&completion.to].send(TaskMsg::Batch(batch));
+        }
+        let new_slot = rs.task_slots[&completion.to] as u32;
+        inner.shard_table.finish(shard, new_slot);
+        drop(rs);
+        let total_ns = monotonic_ns().saturating_sub(completion.started_ns);
+        inner
+            .reassignment_log
+            .lock()
+            .push((completion.sync_ns, total_ns));
+    } else {
+        // Destination was removed while the label was in flight: abort
+        // — routing resumes to the old owner, and buffered records go
+        // there.
+        let aborted = tracker.abort(label).expect("aborts exactly once");
+        drop(tracker);
+        let shard = aborted.shard;
+        let from = rs.table.task_of(shard).expect("shard exists");
+        let buffered = rs
+            .table
+            .abort_reassignment(shard)
+            .expect("shard was paused");
+        if !buffered.is_empty() {
+            let batch: Vec<(ShardId, Record)> = buffered.into_iter().map(|r| (shard, r)).collect();
+            let _ = rs.senders[&from].send(TaskMsg::Batch(batch));
+        }
+        inner.shard_table.abort(shard);
+    }
+}
+
+/// The body of one task thread (channel mode: the MPMC channel carries
+/// data and control alike, watermarks are zero and ignored).
+fn task_loop<O: Operator>(
+    inner: Arc<Inner<O>>,
+    _id: TaskId,
+    slot: usize,
+    rx: Receiver<TaskEnvelope>,
+) {
+    while let Ok(env) = rx.recv() {
+        match env.msg {
             TaskMsg::Stop => return,
             TaskMsg::One(shard, record) => {
                 process_items(&inner, slot, &[(shard, record)]);
@@ -1251,68 +1620,140 @@ fn task_loop<O: Operator>(inner: Arc<Inner<O>>, _id: TaskId, slot: usize, rx: Re
                 // receiver means the migration was given up; ignore.
                 let _ = done.send(());
             }
-            TaskMsg::Label(label) => {
-                // All pending records of the shard are done: complete the
-                // reassignment via the shared §3.3 state machine.
-                // Intra-process state sharing means no state movement —
-                // the new task reads the same store.
-                let now = monotonic_ns();
-                // Lock order: routing before reassigns, matching
-                // `reassign_shard` (which begins moves while holding the
-                // routing lock).
-                let mut rs = inner.routing.lock();
-                let mut tracker = inner.reassigns.lock();
-                tracker
-                    .mark_label_reached(label, now)
-                    .expect("label has a pending entry");
-                let to = tracker.get(label).expect("just marked").to;
-                if rs.senders.contains_key(&to) {
-                    let completion = tracker
-                        .complete(label, monotonic_ns())
-                        .expect("completes exactly once");
-                    drop(tracker);
-                    let shard = completion.shard;
-                    let buffered = rs
-                        .table
-                        .finish_reassignment(shard, completion.to)
-                        .expect("shard was paused");
-                    // Flush the pause buffer to the new owner *before*
-                    // resuming the fast path: once the word flips, new
-                    // fast-path records reach the same channel and must
-                    // queue behind the buffered ones.
-                    if !buffered.is_empty() {
-                        let batch: Vec<(ShardId, Record)> =
-                            buffered.into_iter().map(|r| (shard, r)).collect();
-                        let _ = rs.senders[&completion.to].send(TaskMsg::Batch(batch));
+            TaskMsg::Label(label) => handle_label(&inner, label),
+        }
+    }
+}
+
+/// Items popped from the ring (and processed) per `process_items` call
+/// in the ring task loop.
+const RING_CHUNK: usize = 256;
+/// Fallback park interval of an idle ring task loop. Wakeups normally
+/// arrive through the ring's empty-edge notify or a control-lane kick;
+/// the timeout only bounds the damage if one is lost.
+const RING_IDLE_PARK: std::time::Duration = std::time::Duration::from_millis(10);
+/// A submitter that finds a task's ring full backs off by yielding:
+/// the consumer is saturated (this is backpressure), and on a loaded or
+/// single-core box a yield hands it the CPU immediately where a timed
+/// sleep would round-trip the scheduler's timer wheel.
+fn ring_full_backoff() {
+    std::thread::yield_now();
+}
+
+/// The ring consumer's in-hand chunk: items are popped straight into
+/// `items` (one move per record) and processed as slices; `done` marks
+/// the processed prefix, so a watermark drain can stop mid-chunk
+/// without shuffling records around.
+#[derive(Default)]
+struct RingChunk {
+    items: Vec<RingItem>,
+    done: usize,
+}
+
+impl RingChunk {
+    fn unprocessed(&self) -> usize {
+        self.items.len() - self.done
+    }
+
+    /// Refills from the ring if fully processed; returns items popped.
+    fn refill(&mut self, ring: &mut crossbeam::spsc::Consumer<RingItem>) -> usize {
+        if self.done == self.items.len() {
+            self.items.clear();
+            self.done = 0;
+            ring.pop_batch(&mut self.items, RING_CHUNK)
+        } else {
+            0
+        }
+    }
+
+    /// Processes up to `max` unprocessed items in place.
+    fn process<O: Operator>(&mut self, inner: &Inner<O>, slot: usize, max: usize) -> u64 {
+        let n = self.unprocessed().min(max);
+        if n > 0 {
+            process_items(inner, slot, &self.items[self.done..self.done + n]);
+            self.done += n;
+        }
+        n as u64
+    }
+}
+
+/// Processes ring items until `consumed` reaches `mark` — the prefix of
+/// the ring that a control message is ordered after. The items are
+/// guaranteed present: marks are read from the push cursor, after the
+/// pushes they cover completed.
+fn drain_ring_to<O: Operator>(
+    inner: &Inner<O>,
+    slot: usize,
+    ring: &mut crossbeam::spsc::Consumer<RingItem>,
+    chunk: &mut RingChunk,
+    consumed: &mut u64,
+    mark: u64,
+) {
+    while *consumed < mark {
+        if chunk.unprocessed() == 0 && chunk.refill(ring) == 0 {
+            // The push completed before the mark was read; the item is
+            // instants away from being visible.
+            std::hint::spin_loop();
+            continue;
+        }
+        *consumed += chunk.process(inner, slot, (mark - *consumed) as usize);
+    }
+}
+
+/// The body of one task thread in ring mode: data arrives on the SPSC
+/// ring, control (and slow-path deliveries) on the channel, serialized
+/// by watermarks.
+///
+/// Each iteration pops ring items **first** and checks the channel
+/// **second**: any control message ordered before a popped item (its
+/// watermark ≤ the item's position) was sent before the item was
+/// pushed, so popping first guarantees the message is already visible
+/// when the channel is checked — it is then handled, in order, before
+/// the item is processed.
+fn task_loop_ring<O: Operator>(
+    inner: Arc<Inner<O>>,
+    _id: TaskId,
+    slot: usize,
+    rx: Receiver<TaskEnvelope>,
+    mut ring: crossbeam::spsc::Consumer<RingItem>,
+) {
+    use crossbeam::channel::TryRecvError;
+    let mut chunk = RingChunk::default();
+    // Ring items fully processed (the watermark domain).
+    let mut consumed: u64 = 0;
+    loop {
+        // Phase 1: pop a chunk of data items.
+        let popped = chunk.refill(&mut ring);
+        // Phase 2: the control lane, each message behind its watermark.
+        loop {
+            match rx.try_recv() {
+                Ok(env) => {
+                    drain_ring_to(&inner, slot, &mut ring, &mut chunk, &mut consumed, env.mark);
+                    match env.msg {
+                        TaskMsg::Stop => return,
+                        TaskMsg::One(shard, record) => {
+                            process_items(&inner, slot, &[(shard, record)]);
+                        }
+                        TaskMsg::Batch(items) => process_items(&inner, slot, &items),
+                        TaskMsg::Flush(done) => {
+                            let _ = done.send(());
+                        }
+                        TaskMsg::Label(label) => handle_label(&inner, label),
                     }
-                    let new_slot = rs.task_slots[&completion.to] as u32;
-                    inner.shard_table.finish(shard, new_slot);
-                    drop(rs);
-                    let total_ns = monotonic_ns().saturating_sub(completion.started_ns);
-                    inner
-                        .reassignment_log
-                        .lock()
-                        .push((completion.sync_ns, total_ns));
-                } else {
-                    // Destination was removed while the label was in
-                    // flight: abort — routing resumes to the old owner,
-                    // and buffered records go there.
-                    let aborted = tracker.abort(label).expect("aborts exactly once");
-                    drop(tracker);
-                    let shard = aborted.shard;
-                    let from = rs.table.task_of(shard).expect("shard exists");
-                    let buffered = rs
-                        .table
-                        .abort_reassignment(shard)
-                        .expect("shard was paused");
-                    if !buffered.is_empty() {
-                        let batch: Vec<(ShardId, Record)> =
-                            buffered.into_iter().map(|r| (shard, r)).collect();
-                        let _ = rs.senders[&from].send(TaskMsg::Batch(batch));
-                    }
-                    inner.shard_table.abort(shard);
                 }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
             }
+        }
+        // Phase 3: process the data in hand.
+        while chunk.unprocessed() > 0 {
+            consumed += chunk.process(&inner, slot, RING_CHUNK);
+        }
+        // Phase 4: idle — park until a push, a control kick, or close.
+        // (A closed ring returns immediately; the executor sends Stop
+        // before closing, so the residual spin is bounded.)
+        if popped == 0 {
+            ring.wait(RING_IDLE_PARK);
         }
     }
 }

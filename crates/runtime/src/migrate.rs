@@ -62,6 +62,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::mpsc;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum, WireError};
 use elasticutor_core::Error;
@@ -206,8 +207,13 @@ struct PendingOut {
 /// State shared between the endpoint handle, the reader, the writer,
 /// and every remote forwarder installed in the executor.
 struct LinkShared {
-    /// Frames awaiting the writer thread: `(msg type, payload)`.
-    out_tx: Sender<(u8, Vec<u8>)>,
+    /// Frames awaiting the writer thread: `(msg type, payload)` on a
+    /// lock-free MPSC queue — the remote egress. A forwarder on the
+    /// executor's fast path enqueues here wait-free (two atomic
+    /// operations), so steady-state forwarding to a remote shard takes
+    /// no lock anywhere: not the routing mutex (the shard word names
+    /// the forwarder mirror) and not a channel mutex (this queue).
+    out_tx: mpsc::Producer<(u8, Vec<u8>)>,
     pending: Mutex<Option<PendingOut>>,
     dead: AtomicBool,
     /// Bytes written to the socket so far (headers included).
@@ -224,7 +230,7 @@ impl LinkShared {
         }
         let _ = self.stream.shutdown(Shutdown::Both);
         // Wake the writer so it can observe the death and exit.
-        let _ = self.out_tx.send((MSG_CLOSE_INTERNAL, Vec::new()));
+        self.out_tx.push((MSG_CLOSE_INTERNAL, Vec::new()));
     }
 }
 
@@ -290,7 +296,7 @@ impl<O: Operator> MigrationEndpoint<O> {
         peer: SocketAddr,
     ) -> Result<Self, MigrateError> {
         stream.set_nodelay(true)?;
-        let (out_tx, out_rx) = unbounded::<(u8, Vec<u8>)>();
+        let (out_tx, out_rx) = mpsc::queue::<(u8, Vec<u8>)>();
         let (app_tx, app_rx) = unbounded::<Vec<u8>>();
         let shared = Arc::new(LinkShared {
             out_tx,
@@ -342,13 +348,17 @@ impl<O: Operator> MigrationEndpoint<O> {
     }
 
     /// A forwarder routing records of a shard to this link's peer as
-    /// `DATA` frames. Non-blocking (unbounded queue to the writer);
-    /// records enqueued after the link died are dropped, matching the
-    /// executor's shutdown semantics.
+    /// `DATA` frames. Wait-free: the frame is encoded and pushed onto
+    /// the link's lock-free egress queue (two atomic operations) — safe
+    /// from the executor's fast path and from under its routing lock
+    /// alike. Records offered after the link died are dropped, matching
+    /// the executor's shutdown semantics.
     pub fn forwarder(&self) -> RemoteForwarder {
-        let out_tx = self.shared.out_tx.clone();
+        let shared = Arc::clone(&self.shared);
         Arc::new(move |shard: ShardId, record: Record| {
-            let _ = out_tx.send((MSG_DATA, encode_data(shard, &record)));
+            if !shared.dead.load(Ordering::Relaxed) {
+                shared.out_tx.push((MSG_DATA, encode_data(shard, &record)));
+            }
         })
     }
 
@@ -378,10 +388,7 @@ impl<O: Operator> MigrationEndpoint<O> {
             return Err(MigrateError::PeerDisconnected);
         }
         let bytes = wire::frame_wire_bytes(payload.len());
-        self.shared
-            .out_tx
-            .send((msg_type, payload))
-            .map_err(|_| MigrateError::PeerDisconnected)?;
+        self.shared.out_tx.push((msg_type, payload));
         Ok(bytes)
     }
 
@@ -504,7 +511,7 @@ impl<O: Operator> MigrationEndpoint<O> {
         wire::put_u32(&mut done, shard.0);
         wire_bytes += wire::frame_wire_bytes(done.len());
         self.executor.complete_migration(shard, forward, move || {
-            let _ = out_tx.send((MSG_DONE, done));
+            out_tx.push((MSG_DONE, done));
         })?;
         Ok(MigrationReport {
             shard,
@@ -588,9 +595,19 @@ pub fn decode_data(payload: &[u8]) -> Result<(ShardId, Record), WireError> {
     ))
 }
 
-fn writer_loop(stream: TcpStream, out_rx: Receiver<(u8, Vec<u8>)>, shared: Arc<LinkShared>) {
+fn writer_loop(
+    stream: TcpStream,
+    mut out_rx: mpsc::Consumer<(u8, Vec<u8>)>,
+    shared: Arc<LinkShared>,
+) {
     let mut w = BufWriter::new(stream);
-    while let Ok((msg_type, payload)) = out_rx.recv() {
+    loop {
+        // The park timeout is a safety net only: producers wake the
+        // consumer on the empty edge, and `fail()` always enqueues the
+        // close sentinel.
+        let Some((msg_type, payload)) = out_rx.pop_wait(Duration::from_millis(50)) else {
+            continue;
+        };
         if msg_type == MSG_CLOSE_INTERNAL {
             let _ = w.flush();
             return;
@@ -672,7 +689,7 @@ fn handle_frame<O: Operator>(
             match refusal {
                 Some(reason) => {
                     wire::put_bytes(&mut reply, reason.as_bytes());
-                    let _ = shared.out_tx.send((MSG_REJECT, reply));
+                    shared.out_tx.push((MSG_REJECT, reply));
                 }
                 None => {
                     inbound.current = Some(Incoming {
@@ -684,7 +701,7 @@ fn handle_frame<O: Operator>(
                         checksum: Checksum::new(),
                         installed: false,
                     });
-                    let _ = shared.out_tx.send((MSG_ACCEPT, reply));
+                    shared.out_tx.push((MSG_ACCEPT, reply));
                 }
             }
         }
@@ -714,7 +731,7 @@ fn handle_frame<O: Operator>(
                 let mut reply = Vec::new();
                 wire::put_u32(&mut reply, shard.0);
                 wire::put_bytes(&mut reply, b"state stream exceeds the offered totals");
-                let _ = shared.out_tx.send((MSG_ABORT, reply));
+                shared.out_tx.push((MSG_ABORT, reply));
             }
         }
         MSG_COMMIT => {
@@ -759,11 +776,11 @@ fn handle_frame<O: Operator>(
                 Some(reason) => {
                     inbound.current = None;
                     wire::put_bytes(&mut reply, reason.as_bytes());
-                    let _ = shared.out_tx.send((MSG_ABORT, reply));
+                    shared.out_tx.push((MSG_ABORT, reply));
                 }
                 None => {
                     inc.installed = true;
-                    let _ = shared.out_tx.send((MSG_COMMIT_ACK, reply));
+                    shared.out_tx.push((MSG_COMMIT_ACK, reply));
                 }
             }
         }

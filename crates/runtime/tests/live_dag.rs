@@ -400,3 +400,106 @@ fn per_edge_budget_overrides_apply() {
     assert_eq!(right_n.load(Ordering::Relaxed), 3_000);
     dag.shutdown();
 }
+
+/// Fan-out batches are Arc-shared across branches: a branch that
+/// "mutates" its records (emitting rewritten payloads) must never leak
+/// the mutation into the sibling branch — payload mutation is
+/// copy-on-write by construction (`Bytes` is immutable; a new payload
+/// is a new allocation), so the shared originals stay bit-identical.
+#[test]
+fn arc_shared_fanout_never_leaks_cross_branch_mutation() {
+    const N: u64 = 4_000;
+    const PAYLOAD: &[u8] = b"original payload bytes, shared by reference across branches";
+    let intact = Arc::new(AtomicU64::new(0));
+    let corrupted = Arc::new(AtomicU64::new(0));
+
+    // `mutator` rewrites every record's payload; `auditor` (the
+    // sibling branch) asserts it still observes the original bytes.
+    let mutator = |r: &Record, _s: &StateHandle| {
+        let mut rewritten = r.payload.to_vec();
+        for b in &mut rewritten {
+            *b ^= 0xFF;
+        }
+        vec![Record::new_at(r.key, Bytes::from(rewritten), r.created_ns).with_seq(r.seq)]
+    };
+    let audit = {
+        let intact = Arc::clone(&intact);
+        let corrupted = Arc::clone(&corrupted);
+        move |r: &Record, _s: &StateHandle| {
+            if r.payload.as_ref() == PAYLOAD {
+                intact.fetch_add(1, Ordering::Relaxed);
+            } else {
+                corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            Vec::<Record>::new()
+        }
+    };
+
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(8), passthrough());
+    let mutating = b.operator("mutating", small(8), mutator);
+    let auditing = b.operator("auditing", small(8), audit);
+    b.key_edge(source, mutating).key_edge(source, auditing);
+    let dag = b.build().expect("valid fan-out topology");
+    let mut batch = Vec::new();
+    for i in 0..N {
+        batch.push(Record::new(Key(i % 13), Bytes::from_static(PAYLOAD)).with_seq(i));
+        if batch.len() == 64 {
+            dag.submit_batch(source, std::mem::take(&mut batch));
+        }
+    }
+    dag.submit_batch(source, batch);
+    dag.drain();
+    assert_eq!(
+        corrupted.load(Ordering::Relaxed),
+        0,
+        "cross-branch mutation observed"
+    );
+    assert_eq!(intact.load(Ordering::Relaxed), N);
+    let stats = dag.shutdown();
+    assert_eq!(stats[mutating.index()].stats.processed, N);
+    assert_eq!(stats[auditing.index()].stats.processed, N);
+}
+
+/// Broadcast over an Arc-shared edge: every consumer shard sees every
+/// record with its payload intact, and conservation is exact
+/// (records × shards), even with a mutating sibling branch in the way.
+#[test]
+fn broadcast_shares_payloads_across_all_shards() {
+    const N: u64 = 1_000;
+    const SHARDS: u32 = 8;
+    const PAYLOAD: &[u8] = b"broadcast body";
+    let intact = Arc::new(AtomicU64::new(0));
+    let mutate_count = Arc::new(AtomicU64::new(0));
+
+    let audit = {
+        let intact = Arc::clone(&intact);
+        move |r: &Record, _s: &StateHandle| {
+            assert_eq!(r.payload.as_ref(), PAYLOAD, "broadcast copy corrupted");
+            intact.fetch_add(1, Ordering::Relaxed);
+            Vec::<Record>::new()
+        }
+    };
+    let mutator = {
+        let n = Arc::clone(&mutate_count);
+        move |r: &Record, _s: &StateHandle| {
+            n.fetch_add(1, Ordering::Relaxed);
+            vec![Record::new(r.key, Bytes::from(vec![0u8; 4]))]
+        }
+    };
+
+    let mut b = LiveDag::builder();
+    let source = b.source("source", small(4), passthrough());
+    let fanout = b.operator("fanout", small(SHARDS), audit);
+    let twist = b.operator("twist", small(4), mutator);
+    b.broadcast_edge(source, fanout).key_edge(source, twist);
+    let dag = b.build().expect("valid broadcast fan-out");
+    for i in 0..N {
+        dag.submit(source, Record::new(Key(i), Bytes::from_static(PAYLOAD)));
+    }
+    dag.drain();
+    assert_eq!(intact.load(Ordering::Relaxed), N * u64::from(SHARDS));
+    assert_eq!(mutate_count.load(Ordering::Relaxed), N);
+    let stats = dag.shutdown();
+    assert_eq!(stats[fanout.index()].stats.processed, N * u64::from(SHARDS));
+}

@@ -1,0 +1,209 @@
+//! Stress tests of the per-task SPSC ring plane: a single-producer
+//! executor under shrink/grow churn must preserve per-key FIFO and lose
+//! no record while task slots (and their rings) retire and get reused,
+//! and the `ring_capacity` knob must hold at pathological sizes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use elasticutor_core::ids::Key;
+use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, FifoChecker, Record};
+use elasticutor_state::StateHandle;
+
+fn ring_config(max_task_slots: u32, ring_capacity: Option<usize>) -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: 32,
+        initial_tasks: 1,
+        max_task_slots,
+        single_producer: true,
+        ring_capacity,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// One submitter thread pushes a per-key sequenced stream through the
+/// ring plane while the control plane storms add/remove/rebalance with
+/// `max_task_slots` small enough to force every slot (and its ring) to
+/// retire and be reused many times. FIFO per key, exact conservation.
+#[test]
+fn ring_plane_survives_slot_reuse_churn() {
+    const KEYS: u64 = 64;
+    const PER_KEY: u64 = 400;
+    let checker = Arc::new(FifoChecker::new());
+    let sink = Arc::clone(&checker);
+    // max_task_slots = 3 with up-to-3 live tasks: every grow after a
+    // shrink reuses a freed slot, re-creating the ring behind it.
+    let exec = Arc::new(ElasticExecutor::start(
+        ring_config(3, None),
+        move |r: &Record, _s: &StateHandle| {
+            sink.observe(r.key, r.seq);
+            Vec::new()
+        },
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let exec = Arc::clone(&exec);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut grown = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Grow to the slot cap, rebalance, then shrink back —
+                // each cycle retires slots mid-stream.
+                while exec.add_task().is_ok() {
+                    grown += 1;
+                }
+                exec.rebalance();
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                loop {
+                    let tasks = exec.tasks();
+                    if tasks.len() <= 1 {
+                        break;
+                    }
+                    let victim = tasks[grown as usize % tasks.len()];
+                    if exec.remove_task(victim).is_err() {
+                        break;
+                    }
+                }
+            }
+            grown
+        })
+    };
+
+    // The single producer: batched submits, sequenced per key.
+    let mut batch = Vec::with_capacity(128);
+    for seq in 0..PER_KEY {
+        for key in 0..KEYS {
+            batch.push(Record::new(Key(key), Bytes::new()).with_seq(seq));
+            if batch.len() == 128 {
+                exec.submit_batch(batch.drain(..));
+            }
+        }
+    }
+    exec.submit_batch(batch.drain(..));
+    exec.wait_for_processed(KEYS * PER_KEY);
+    stop.store(true, Ordering::Relaxed);
+    let cycles = churn.join().expect("churn thread exits");
+    assert!(cycles > 0, "the churn thread never grew a task");
+
+    let stats = Arc::try_unwrap(exec)
+        .unwrap_or_else(|_| panic!("sole owner"))
+        .shutdown();
+    assert_eq!(stats.processed, KEYS * PER_KEY, "records lost in flight");
+    assert_eq!(stats.operator_panics, 0);
+    assert!(
+        checker.is_clean(),
+        "per-key FIFO violated through the ring plane: {:?}",
+        checker.violations()
+    );
+    assert_eq!(checker.keys_seen() as u64, KEYS);
+}
+
+/// A deliberately tiny ring forces the full-edge backoff path on nearly
+/// every wave; ordering and conservation must still hold.
+#[test]
+fn tiny_ring_capacity_exercises_full_edge() {
+    const TOTAL: u64 = 20_000;
+    let checker = Arc::new(FifoChecker::new());
+    let sink = Arc::clone(&checker);
+    let exec = ElasticExecutor::start(
+        ring_config(4, Some(2)), // minimum legal capacity
+        move |r: &Record, _s: &StateHandle| {
+            sink.observe(r.key, r.seq);
+            Vec::new()
+        },
+    );
+    assert!(exec.add_task().is_ok());
+    for seq in 0..TOTAL {
+        exec.submit(Record::new(Key(seq % 16), Bytes::new()).with_seq(seq / 16));
+    }
+    exec.wait_for_processed(TOTAL);
+    let stats = exec.shutdown();
+    assert_eq!(stats.processed, TOTAL);
+    assert!(checker.is_clean(), "FIFO violated at ring capacity 2");
+}
+
+/// The knob accepts a legal custom capacity and reports work done.
+#[test]
+fn custom_ring_capacity_is_honored() {
+    let exec = ElasticExecutor::start(
+        ring_config(4, Some(4096)),
+        |_r: &Record, _s: &StateHandle| Vec::new(),
+    );
+    exec.submit_batch((0..1_000u64).map(|i| Record::new(Key(i), Bytes::new())));
+    exec.wait_for_processed(1_000);
+    assert_eq!(exec.shutdown().processed, 1_000);
+}
+
+/// Ring capacities outside `2..=2^24` are rejected at build time.
+#[test]
+#[should_panic(expected = "ring_capacity")]
+fn zero_ring_capacity_is_rejected() {
+    let _ = ElasticExecutor::start(ring_config(4, Some(0)), |_r: &Record, _s: &StateHandle| {
+        Vec::new()
+    });
+}
+
+/// Reassignments racing the ring plane: the watermarked label must
+/// land behind every pre-pause ring record (a shard's records never
+/// reorder across a move).
+#[test]
+fn reassignment_watermarks_preserve_order() {
+    const TOTAL: u64 = 50_000;
+    let checker = Arc::new(FifoChecker::new());
+    let sink = Arc::clone(&checker);
+    let exec = Arc::new(ElasticExecutor::start(
+        ring_config(4, Some(64)),
+        move |r: &Record, _s: &StateHandle| {
+            sink.observe(r.key, r.seq);
+            Vec::new()
+        },
+    ));
+    for _ in 0..2 {
+        exec.add_task().expect("grow");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mover = {
+        let exec = Arc::clone(&exec);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Cycle one hot shard (and a rebalance) as fast as moves
+            // complete: every cycle exercises pause → label watermark →
+            // buffered flush → reopen against the ring plane.
+            let mut moves = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let tasks = exec.tasks();
+                for (i, &t) in tasks.iter().enumerate() {
+                    let shard = elasticutor_core::ids::ShardId((i % 32) as u32);
+                    if exec.reassign_shard(shard, t).is_ok() {
+                        moves += 1;
+                    }
+                }
+                std::thread::yield_now();
+            }
+            moves
+        })
+    };
+    let mut batch = Vec::with_capacity(256);
+    for seq in 0..TOTAL {
+        batch.push(Record::new(Key(seq % 8), Bytes::new()).with_seq(seq / 8));
+        if batch.len() == 256 {
+            exec.submit_batch(batch.drain(..));
+        }
+    }
+    exec.submit_batch(batch.drain(..));
+    exec.wait_for_processed(TOTAL);
+    stop.store(true, Ordering::Relaxed);
+    let moves = mover.join().expect("mover exits");
+    let stats = Arc::try_unwrap(exec)
+        .unwrap_or_else(|_| panic!("sole owner"))
+        .shutdown();
+    assert_eq!(stats.processed, TOTAL);
+    assert!(
+        checker.is_clean(),
+        "FIFO violated across {moves} reassignments: {:?}",
+        checker.violations()
+    );
+    assert!(moves > 0, "the mover never initiated a reassignment");
+}

@@ -1,10 +1,20 @@
-//! `bench_diff COMMITTED.json FRESH.json` — the cross-run comparison CI
-//! used to ask humans to do by hand: flattens both bench artifacts to
-//! their numeric leaves and prints a delta table.
+//! `bench_diff COMMITTED.json FRESH.json [--fail-on PCT]` — the
+//! cross-run comparison CI used to ask humans to do by hand: flattens
+//! both bench artifacts to their numeric leaves and prints a delta
+//! table.
 //!
-//! **Warn-only by design.** CI machines are too noisy for perf gates, so
-//! deltas never fail the job; the exit code is non-zero only when an
-//! input cannot be read or parsed (a harness bug, not a regression).
+//! **Warn-only by default.** Without `--fail-on`, deltas never fail the
+//! job; the exit code is non-zero only when an input cannot be read or
+//! parsed (a harness bug, not a regression).
+//!
+//! **`--fail-on PCT`** turns the comparison into a gate: the exit code
+//! is 1 when any *throughput* metric (a leaf whose path contains
+//! `records_per_sec` or `mib_per_s`; counts and timings are shape-,
+//! not speed-, sensitive and stay warn-only, and `baseline` arms are
+//! exempt — they are the machine-class-sensitive foil, not the guarded
+//! plane) regressed by more than `PCT` percent against the committed
+//! artifact. Setting `ELASTICUTOR_BENCH_NOFAIL=1` downgrades the gate
+//! back to a warning — the opt-out for known-noisy runners.
 //!
 //! The parser handles exactly the JSON this repo's harnesses emit
 //! (objects, arrays, numbers, strings, booleans, null) — no external
@@ -251,12 +261,41 @@ fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Whether a flattened path names a throughput metric the `--fail-on`
+/// gate watches (rates compare across runs; raw counts and elapsed
+/// times depend on quick-vs-full mode and stay warn-only). The
+/// `baseline` arms are exempt: they exist as the contended-mutex
+/// reference, and their rates are the most sensitive to machine-class
+/// differences (a 1-core recording box vs a multi-core runner) — the
+/// gate guards the optimized plane, not the foil.
+fn is_throughput_metric(path: &str) -> bool {
+    (path.contains("records_per_sec") || path.contains("mib_per_s")) && !path.contains("baseline")
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let (committed_path, fresh_path) = match (args.get(1), args.get(2)) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fail_on: Option<f64> = match args.iter().position(|a| a == "--fail-on") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("bench_diff: --fail-on needs a percentage");
+                return ExitCode::from(2);
+            }
+            let pct = match args[i + 1].parse::<f64>() {
+                Ok(p) if p > 0.0 => p,
+                _ => {
+                    eprintln!("bench_diff: --fail-on wants a positive percentage");
+                    return ExitCode::from(2);
+                }
+            };
+            args.drain(i..=i + 1);
+            Some(pct)
+        }
+        None => None,
+    };
+    let (committed_path, fresh_path) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a.clone(), b.clone()),
         _ => {
-            eprintln!("usage: bench_diff COMMITTED.json FRESH.json");
+            eprintln!("usage: bench_diff COMMITTED.json FRESH.json [--fail-on PCT]");
             return ExitCode::from(2);
         }
     };
@@ -268,7 +307,11 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("bench_diff (warn-only): {committed_path} → {fresh_path}");
+    let gate_label = match fail_on {
+        Some(pct) => format!("fail on >{pct}% throughput regression"),
+        None => "warn-only".to_string(),
+    };
+    println!("bench_diff ({gate_label}): {committed_path} → {fresh_path}");
     let width = fresh
         .iter()
         .chain(&committed)
@@ -286,6 +329,7 @@ fn main() -> ExitCode {
             format!("{v:.3}")
         }
     };
+    let mut regressions: Vec<(String, f64)> = Vec::new();
     for (path, new) in &fresh {
         let old = committed.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
         let mut line = String::new();
@@ -297,6 +341,14 @@ fn main() -> ExitCode {
                 } else {
                     format!("{:+.1}%", (new - old) / old * 100.0)
                 };
+                if let Some(pct) = fail_on {
+                    if old > 0.0 && is_throughput_metric(path) {
+                        let drop_pct = (old - new) / old * 100.0;
+                        if drop_pct > pct {
+                            regressions.push((path.clone(), drop_pct));
+                        }
+                    }
+                }
                 let _ = write!(line, "{:>14}  {:>14}  {delta:>8}", fmt(old), fmt(*new));
             }
             None => {
@@ -310,6 +362,24 @@ fn main() -> ExitCode {
             println!("{path:width$}  (present in committed only)");
         }
     }
-    println!("\n(warn-only: deltas never fail the job; compare across runs for trends)");
+    match fail_on {
+        None => {
+            println!("\n(warn-only: deltas never fail the job; compare across runs for trends)");
+        }
+        Some(pct) if regressions.is_empty() => {
+            println!("\n(gate: no throughput metric regressed more than {pct}%)");
+        }
+        Some(pct) => {
+            println!("\nthroughput regressions beyond the {pct}% gate:");
+            for (path, drop_pct) in &regressions {
+                println!("  {path}: -{drop_pct:.1}%");
+            }
+            if std::env::var("ELASTICUTOR_BENCH_NOFAIL").is_ok_and(|v| v == "1") {
+                println!("ELASTICUTOR_BENCH_NOFAIL=1: downgraded to a warning (noisy runner)");
+            } else {
+                return ExitCode::from(1);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,239 @@
+//! Consistent-hash shard→instance assignment for executor groups.
+//!
+//! When an operator runs with parallelism y > 1, its shard space is split
+//! across y *executor instances*. The split must be a consistent hash:
+//! growing the group from n to n+1 instances (or retiring one) should move
+//! only ~1/(n+1) of the shards, because every moved shard costs a full
+//! §3.3 state-migration handshake.
+//!
+//! We use Highest-Random-Weight (rendezvous) hashing rather than ring or
+//! jump consistent hashing: every `(shard, instance)` pair gets a stable
+//! pseudo-random weight `hash_with_seed(shard_salt, instance_salt)` and
+//! each shard is owned by the live instance with the highest weight. HRW
+//! gives exactly the property we need for *both* directions of elasticity:
+//!
+//! * **add instance k**: the only shards that move are those whose maximum
+//!   weight is now achieved by k — in expectation `z / (n+1)` of them, and
+//!   every move is *into* k.
+//! * **remove instance k**: the only shards that move are those k owned,
+//!   and each lands on its second-highest-weight instance — no shuffling
+//!   among survivors. (Jump hashing can only remove the highest-numbered
+//!   bucket; HRW can retire any instance, which the live controller needs
+//!   when it picks the least-loaded instance as the scale-in victim.)
+//!
+//! The map is materialized as a dense `Vec<u32>` over the shard space so
+//! the data-plane lookup is a single indexed load; the HRW computation runs
+//! only at (re)build time, i.e. once per rescale.
+
+use crate::hash::hash_with_seed;
+
+/// Salt decorrelating the instance tier from the key→shard tier.
+const INSTANCE_TIER_SEED: u64 = 0xA076_1D64_78BD_642F;
+
+/// A dense, consistent shard→instance assignment for one operator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInstanceMap {
+    /// `assignment[shard] = instance id` (an index into the group's
+    /// append-only instance vector — retired ids never come back).
+    assignment: Vec<u32>,
+    /// Live instance ids, ascending. Retired ids are absent.
+    live: Vec<u32>,
+}
+
+/// One shard move produced by a resize: `shard` leaves `from` for `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMoveTo {
+    /// The shard being reassigned.
+    pub shard: u32,
+    /// Instance that owned the shard before the resize.
+    pub from: u32,
+    /// Instance that owns the shard after the resize.
+    pub to: u32,
+}
+
+/// HRW weight of `(shard, instance)` — stable across processes.
+#[inline]
+fn weight(shard: u32, instance: u32) -> u64 {
+    hash_with_seed(
+        u64::from(shard),
+        hash_with_seed(u64::from(instance), INSTANCE_TIER_SEED),
+    )
+}
+
+fn owner(shard: u32, live: &[u32]) -> u32 {
+    debug_assert!(!live.is_empty(), "instance set must be nonempty");
+    let mut best = live[0];
+    let mut best_w = weight(shard, best);
+    for &inst in &live[1..] {
+        let w = weight(shard, inst);
+        // Ties are impossible in practice (64-bit weights), but break them
+        // deterministically toward the lower id for reproducibility.
+        if w > best_w || (w == best_w && inst < best) {
+            best = inst;
+            best_w = w;
+        }
+    }
+    best
+}
+
+impl ShardInstanceMap {
+    /// Builds the map for `num_shards` shards over instance ids `0..n`.
+    pub fn new(num_shards: u32, instances: u32) -> Self {
+        assert!(instances > 0, "executor group needs at least one instance");
+        let live: Vec<u32> = (0..instances).collect();
+        let assignment = (0..num_shards).map(|s| owner(s, &live)).collect();
+        Self { assignment, live }
+    }
+
+    /// The instance owning `shard`.
+    #[inline]
+    pub fn instance_of(&self, shard: u32) -> u32 {
+        self.assignment[shard as usize]
+    }
+
+    /// Number of shards in the map.
+    pub fn num_shards(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// Live instance ids, ascending.
+    pub fn live_instances(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Shards currently owned by `instance`.
+    pub fn shards_of(&self, instance: u32) -> Vec<u32> {
+        (0..self.num_shards())
+            .filter(|&s| self.assignment[s as usize] == instance)
+            .collect()
+    }
+
+    /// Adds a new live instance and returns the moves it attracts.
+    ///
+    /// `instance` must not already be live. Every returned move has
+    /// `to == instance` (the HRW guarantee), and in expectation
+    /// `num_shards / live_count` shards move.
+    pub fn add_instance(&mut self, instance: u32) -> Vec<ShardMoveTo> {
+        assert!(
+            !self.live.contains(&instance),
+            "instance {instance} is already live"
+        );
+        let pos = self.live.partition_point(|&i| i < instance);
+        self.live.insert(pos, instance);
+        let mut moves = Vec::new();
+        for s in 0..self.num_shards() {
+            let from = self.assignment[s as usize];
+            // Only the newcomer can beat the incumbent: all other weights
+            // are unchanged, so recompute against `instance` alone.
+            let w_new = weight(s, instance);
+            let w_old = weight(s, from);
+            if w_new > w_old || (w_new == w_old && instance < from) {
+                self.assignment[s as usize] = instance;
+                moves.push(ShardMoveTo {
+                    shard: s,
+                    from,
+                    to: instance,
+                });
+            }
+        }
+        moves
+    }
+
+    /// Retires a live instance and returns the moves draining it.
+    ///
+    /// Every returned move has `from == instance`; each shard lands on its
+    /// next-best surviving instance. Panics when retiring the last one.
+    pub fn remove_instance(&mut self, instance: u32) -> Vec<ShardMoveTo> {
+        let pos = self
+            .live
+            .iter()
+            .position(|&i| i == instance)
+            .unwrap_or_else(|| panic!("instance {instance} is not live"));
+        assert!(self.live.len() > 1, "cannot retire the last instance");
+        self.live.remove(pos);
+        let mut moves = Vec::new();
+        for s in 0..self.num_shards() {
+            if self.assignment[s as usize] == instance {
+                let to = owner(s, &self.live);
+                self.assignment[s as usize] = to;
+                moves.push(ShardMoveTo {
+                    shard: s,
+                    from: instance,
+                    to,
+                });
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_instance_owns_everything() {
+        let m = ShardInstanceMap::new(64, 1);
+        for s in 0..64 {
+            assert_eq!(m.instance_of(s), 0);
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        assert_eq!(ShardInstanceMap::new(256, 4), ShardInstanceMap::new(256, 4));
+    }
+
+    #[test]
+    fn add_moves_only_into_newcomer_and_matches_fresh_build() {
+        let mut m = ShardInstanceMap::new(256, 3);
+        let before = m.clone();
+        let moves = m.add_instance(3);
+        for mv in &moves {
+            assert_eq!(mv.to, 3);
+            assert_eq!(before.instance_of(mv.shard), mv.from);
+        }
+        // Incremental update must agree with a from-scratch build.
+        assert_eq!(m, ShardInstanceMap::new(256, 4));
+    }
+
+    #[test]
+    fn remove_moves_only_out_of_victim() {
+        let mut m = ShardInstanceMap::new(256, 4);
+        let owned = m.shards_of(2);
+        let moves = m.remove_instance(2);
+        assert_eq!(moves.len(), owned.len());
+        for mv in &moves {
+            assert_eq!(mv.from, 2);
+            assert_ne!(mv.to, 2);
+        }
+        assert!(m.shards_of(2).is_empty());
+        assert_eq!(m.live_instances(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn add_then_remove_round_trips() {
+        let mut m = ShardInstanceMap::new(128, 2);
+        let orig = m.clone();
+        m.add_instance(2);
+        m.remove_instance(2);
+        assert_eq!(m.assignment, orig.assignment);
+    }
+
+    #[test]
+    fn spread_is_roughly_even() {
+        let m = ShardInstanceMap::new(4096, 4);
+        for inst in 0..4 {
+            let n = m.shards_of(inst).len();
+            // Expected 1024; allow generous slack for hash variance.
+            assert!((700..=1400).contains(&n), "instance {inst} owns {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last instance")]
+    fn cannot_remove_last() {
+        let mut m = ShardInstanceMap::new(8, 1);
+        m.remove_instance(0);
+    }
+}

@@ -18,6 +18,9 @@
 //!   scheme, so that key→shard mappings are reproducible everywhere.
 //! * [`topology`] — the user-facing computation graph: operators with
 //!   parallelism and shard counts, connected by grouped streams.
+//! * [`instances`] — consistent-hash (rendezvous) shard→instance
+//!   assignment for multi-executor operators, minimizing shard movement
+//!   when an executor group is resized live.
 //! * [`partition`] — operator-level key partitioning. Static hash
 //!   partitioning (the executor-centric and static paradigms) and dynamic
 //!   shard-granular partitioning (the resource-centric baseline).
@@ -44,6 +47,7 @@ pub mod config;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod instances;
 pub mod partition;
 pub mod reassign;
 pub mod routing;
@@ -55,6 +59,7 @@ pub use balance::{BalanceOutcome, LoadBalancer, ShardMove, TaskLoads};
 pub use config::ElasticutorConfig;
 pub use error::{Error, Result};
 pub use ids::{CoreId, ExecutorId, Key, NodeId, OperatorId, ProcessId, ShardId, TaskId};
+pub use instances::{ShardInstanceMap, ShardMoveTo};
 pub use partition::{DynamicPartition, StaticHashPartition};
 pub use reassign::{Completion, InFlight, ReassignmentTracker};
 pub use routing::{RouteDecision, RoutingTable};

@@ -146,3 +146,63 @@ proptest! {
         prop_assert!(assignment.iter().all(|&t| t != removed));
     }
 }
+
+proptest! {
+    /// HRW shard→instance map: growing a group from n to n+1 instances
+    /// moves only shards that land on the newcomer, and the moved fraction
+    /// is close to the consistent-hash ideal 1/(n+1).
+    #[test]
+    fn hrw_resize_moves_about_one_nth(
+        shards in 256u32..2048,
+        n in 1u32..8,
+    ) {
+        use elasticutor_core::instances::ShardInstanceMap;
+        let mut m = ShardInstanceMap::new(shards, n);
+        let before = m.clone();
+        let moves = m.add_instance(n);
+        // Every move is into the newcomer; `from` matches the old owner.
+        for mv in &moves {
+            prop_assert_eq!(mv.to, n);
+            prop_assert_eq!(before.instance_of(mv.shard), mv.from);
+        }
+        // Untouched shards keep their owner.
+        let moved: std::collections::HashSet<u32> =
+            moves.iter().map(|mv| mv.shard).collect();
+        for s in 0..shards {
+            if !moved.contains(&s) {
+                prop_assert_eq!(m.instance_of(s), before.instance_of(s));
+            }
+        }
+        // Moved fraction ≈ 1/(n+1) within 3.5 binomial std deviations.
+        let ideal = shards as f64 / (n as f64 + 1.0);
+        let sd = (ideal * (1.0 - 1.0 / (n as f64 + 1.0))).sqrt();
+        let diff = (moves.len() as f64 - ideal).abs();
+        prop_assert!(
+            diff <= 3.5 * sd + 1.0,
+            "moved {} of {} shards; ideal {:.1} ± {:.1}",
+            moves.len(), shards, ideal, sd
+        );
+    }
+
+    /// Retiring any instance moves exactly the shards it owned, each to a
+    /// surviving instance, and agrees with incremental bookkeeping.
+    #[test]
+    fn hrw_remove_drains_exactly_victim(
+        shards in 64u32..1024,
+        n in 2u32..8,
+        victim_ix in 0u32..8,
+    ) {
+        use elasticutor_core::instances::ShardInstanceMap;
+        let victim = victim_ix % n;
+        let mut m = ShardInstanceMap::new(shards, n);
+        let owned = m.shards_of(victim);
+        let moves = m.remove_instance(victim);
+        prop_assert_eq!(moves.len(), owned.len());
+        for mv in &moves {
+            prop_assert_eq!(mv.from, victim);
+            prop_assert_ne!(mv.to, victim);
+            prop_assert!(m.live_instances().contains(&mv.to));
+        }
+        prop_assert!(m.shards_of(victim).is_empty());
+    }
+}

@@ -4,20 +4,29 @@
 //! which is a chain-shaped DAG).
 //!
 //! A background thread samples each operator's cumulative load counters
-//! ([`ElasticExecutor::load_sample`]) every `interval`, differences them
-//! into the paper's per-executor measurements (λ from arrivals +
-//! standing backlog, μ from processed records over busy nanoseconds),
-//! and feeds them to the model-based [`DynamicScheduler`] (§4) against a
-//! single-node [`ClusterSpec`] whose core count is the graph's task
-//! budget. The decision's core deltas are applied **live**: grants call
-//! [`ElasticExecutor::add_task`], revocations call
-//! [`ElasticExecutor::remove_task`] (which drains the victim's shards
-//! through the §3.3 reassignment protocol while records keep flowing).
-//! After reallocation each operator gets an intra-executor rebalance
-//! pass (§3.1). The graph's shape never enters the decision — the
-//! scheduler sees one λ/μ pair per executor — so a load spike on one
-//! branch of a diamond pulls cores from the idle branch exactly as it
-//! would from an upstream stage in a chain.
+//! ([`ExecutorGroup::load_sample`], summed over the group's instances)
+//! every `interval`, differences them into the paper's per-executor
+//! measurements (λ from arrivals + standing backlog, μ from processed
+//! records over busy nanoseconds), and feeds them to the model-based
+//! [`DynamicScheduler`] (§4) against a single-node [`ClusterSpec`]
+//! whose core count is the graph's task budget. The decision's core
+//! deltas are applied **live**: grants call [`ExecutorGroup::add_task`]
+//! (placed on the least-loaded instance), revocations call
+//! [`ExecutorGroup::remove_task_newest`] (which drains the victim's
+//! shards through the §3.3 reassignment protocol while records keep
+//! flowing). After reallocation each operator gets an intra-executor
+//! rebalance pass (§3.1). The graph's shape never enters the decision —
+//! the scheduler sees one λ/μ pair per operator group — so a load spike
+//! on one branch of a diamond pulls cores from the idle branch exactly
+//! as it would from an upstream stage in a chain.
+//!
+//! With [`ControllerConfig::auto_instances`] the same λ/μ model also
+//! drives the **instance count**: when an operator's core target
+//! exceeds `max_tasks_per_instance × live instances`, the controller
+//! scales the group out (a live shard migration); when the target fits
+//! comfortably in one fewer instance for `instance_patience`
+//! consecutive ticks, it scales back in. Core grants within the group
+//! always go to the least-loaded instance, so the two levers compose.
 //!
 //! This is the live counterpart of the simulated engine's `SchedTick`
 //! handler — same scheduler crate, same measurement definitions, real
@@ -35,8 +44,8 @@ use elasticutor_scheduler::scheduler::{
 };
 use parking_lot::Mutex;
 
-use crate::executor::{ElasticExecutor, LoadSample};
-use crate::pipeline::BoxedOperator;
+use crate::executor::LoadSample;
+use crate::group::ExecutorGroup;
 
 /// Configuration of the [`LiveController`].
 #[derive(Clone, Debug)]
@@ -67,6 +76,22 @@ pub struct ControllerConfig {
     pub reclaim_surplus: bool,
     /// Consecutive over-target ticks before surplus reclamation starts.
     pub reclaim_patience: u32,
+    /// Let the controller resize operator **instance counts** too: when
+    /// an operator's core target exceeds
+    /// [`Self::max_tasks_per_instance`] × its live instances, the group
+    /// scales out (one instance per tick, a live §3.3 shard migration);
+    /// when the target fits in one fewer instance for
+    /// [`Self::instance_patience`] consecutive ticks, it scales back
+    /// in. Off by default — instance counts then stay wherever the
+    /// builder/user put them.
+    pub auto_instances: bool,
+    /// Task threads one executor instance is allowed to hold before the
+    /// controller prefers adding an instance over piling on more
+    /// threads (the paper's executor-as-scaling-unit boundary).
+    pub max_tasks_per_instance: u32,
+    /// Consecutive ticks an operator's target must fit in fewer
+    /// instances before the controller scales the group in.
+    pub instance_patience: u32,
     /// Log each decision to stderr.
     pub verbose: bool,
 }
@@ -82,6 +107,9 @@ impl Default for ControllerConfig {
             policy: SchedulerPolicy::Optimized,
             reclaim_surplus: true,
             reclaim_patience: 3,
+            auto_instances: false,
+            max_tasks_per_instance: 4,
+            instance_patience: 3,
             verbose: false,
         }
     }
@@ -100,6 +128,10 @@ pub struct ControllerEvent {
     pub targets: Vec<u32>,
     /// Live task counts per stage after applying the decision.
     pub cores: Vec<u32>,
+    /// Live executor-instance counts per stage after applying the
+    /// decision (constant unless `auto_instances` or a manual rescale
+    /// changes them).
+    pub instances: Vec<u32>,
     /// Shard moves initiated by the post-decision rebalance passes.
     pub rebalance_moves: usize,
     /// Whether the queueing model declared the cluster saturated.
@@ -141,7 +173,7 @@ impl Drop for ControllerHandle {
 /// [`PipelineBuilder::controller`](crate::pipeline::PipelineBuilder::controller).
 pub struct LiveController {
     config: ControllerConfig,
-    stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    stages: Vec<Arc<ExecutorGroup>>,
     names: Vec<String>,
     scheduler: DynamicScheduler,
     cluster: ClusterSpec,
@@ -149,6 +181,9 @@ pub struct LiveController {
     mu_estimate: Vec<f64>,
     /// Consecutive ticks each stage has sat above its target.
     surplus_ticks: Vec<u32>,
+    /// Consecutive ticks each stage's target has fit in one fewer
+    /// instance (the `auto_instances` scale-in hysteresis).
+    shrink_ticks: Vec<u32>,
     started: Instant,
     log: Arc<Mutex<Vec<ControllerEvent>>>,
 }
@@ -157,12 +192,12 @@ impl LiveController {
     /// Spawns the controller thread over the pipeline's stages.
     pub(crate) fn spawn(
         config: ControllerConfig,
-        stages: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+        stages: Vec<Arc<ExecutorGroup>>,
         names: Vec<String>,
     ) -> ControllerHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let log = Arc::new(Mutex::new(Vec::new()));
-        let initial_tasks: u32 = stages.iter().map(|s| s.tasks().len() as u32).sum();
+        let initial_tasks: u32 = stages.iter().map(|s| s.total_tasks() as u32).sum();
         assert!(
             initial_tasks <= config.total_cores,
             "pipeline starts {initial_tasks} task threads but the controller budget is {} cores",
@@ -178,6 +213,7 @@ impl LiveController {
             prev: stages.iter().map(|s| s.load_sample()).collect(),
             mu_estimate: vec![config.default_mu; stages.len()],
             surplus_ticks: vec![0; stages.len()],
+            shrink_ticks: vec![0; stages.len()],
             started: Instant::now(),
             log: Arc::clone(&log),
             config,
@@ -237,7 +273,7 @@ impl LiveController {
         let current = Assignment::from_matrix(
             self.stages
                 .iter()
-                .map(|s| vec![s.tasks().len() as u32])
+                .map(|s| vec![s.total_tasks() as u32])
                 .collect(),
         );
         let measurements: Vec<ExecutorMeasurement> = samples
@@ -263,24 +299,47 @@ impl LiveController {
                 Err(_) => return, // infeasible round: keep the current layout
             };
 
+        // Clamp the plan to what the live layout can actually do: a
+        // group can never drop below one task per live instance, so a
+        // target under that floor leaves threads the plan thought it
+        // freed — reality would drift above the budget and the next
+        // tick's `current` would be infeasible. Raise each target to
+        // its group's floor, then shave the slackest stages until the
+        // sum fits the budget again.
+        let floors: Vec<u32> = self.stages.iter().map(|s| s.num_live() as u32).collect();
+        let mut targets: Vec<u32> = decision
+            .targets
+            .iter()
+            .zip(&floors)
+            .map(|(&t, &f)| t.max(f).max(1))
+            .collect();
+        while targets.iter().sum::<u32>() > self.config.total_cores {
+            let Some(j) = (0..targets.len())
+                .filter(|&j| targets[j] > floors[j].max(1))
+                .max_by_key(|&j| targets[j] - floors[j].max(1))
+            else {
+                break; // the floors alone exceed the budget
+            };
+            targets[j] -= 1;
+        }
+
         // Apply: grants first so revoked shards can drain onto the new
-        // threads directly; never drop a stage below one task.
-        for delta in decision.deltas.iter().filter(|d| d.delta > 0) {
-            for _ in 0..delta.delta {
-                let _ = self.stages[delta.executor].add_task();
+        // threads directly; never drop a stage below one task per live
+        // instance. Grants land on the group's least-loaded live
+        // instance, revocations retire the newest thread of its
+        // most-loaded one (cheapest shard drain: it has had the least
+        // time to accumulate ownership).
+        let totals: Vec<u32> = self.stages.iter().map(|s| s.total_tasks() as u32).collect();
+        for (j, stage) in self.stages.iter().enumerate() {
+            for _ in totals[j]..targets[j] {
+                let _ = stage.add_task();
             }
         }
-        for delta in decision.deltas.iter().filter(|d| d.delta < 0) {
-            for _ in 0..(-delta.delta) {
-                let stage = &self.stages[delta.executor];
-                let tasks = stage.tasks();
-                if tasks.len() <= 1 {
+        for (j, stage) in self.stages.iter().enumerate() {
+            for _ in targets[j]..totals[j] {
+                if !stage.remove_task_newest() {
                     break;
                 }
-                // Retire the newest thread (cheapest shard drain: it has
-                // had the least time to accumulate ownership).
-                let victim = *tasks.last().expect("nonempty");
-                let _ = stage.remove_task(victim);
             }
         }
 
@@ -288,15 +347,11 @@ impl LiveController {
         // `ControllerConfig::reclaim_surplus`).
         if self.config.reclaim_surplus {
             for (j, stage) in self.stages.iter().enumerate() {
-                let target = decision.targets[j].max(1);
-                if (stage.tasks().len() as u32) > target {
+                let target = targets[j];
+                if (stage.total_tasks() as u32) > target {
                     self.surplus_ticks[j] += 1;
                     if self.surplus_ticks[j] >= self.config.reclaim_patience {
-                        let tasks = stage.tasks();
-                        if tasks.len() > 1 {
-                            let victim = *tasks.last().expect("nonempty");
-                            let _ = stage.remove_task(victim);
-                        }
+                        stage.remove_task_newest();
                     }
                 } else {
                     self.surplus_ticks[j] = 0;
@@ -304,16 +359,45 @@ impl LiveController {
             }
         }
 
+        // Instance-count decisions (the tentpole lever): the same core
+        // target, divided by the per-instance task ceiling, says how
+        // many executor instances the operator needs. Scale out
+        // eagerly (the spike is live *now*), scale in patiently (a
+        // migration costs a pause — don't thrash on a noisy λ). One
+        // rescale per stage per tick.
+        if self.config.auto_instances {
+            let per = self.config.max_tasks_per_instance.max(1);
+            for (j, stage) in self.stages.iter().enumerate() {
+                let target = decision.targets[j].max(1);
+                let desired = target.div_ceil(per).max(1);
+                let live = stage.num_live() as u32;
+                if desired > live {
+                    self.shrink_ticks[j] = 0;
+                    let _ = stage.scale_out();
+                } else if desired < live {
+                    self.shrink_ticks[j] += 1;
+                    if self.shrink_ticks[j] >= self.config.instance_patience {
+                        let _ = stage.scale_in();
+                        self.shrink_ticks[j] = 0;
+                    }
+                } else {
+                    self.shrink_ticks[j] = 0;
+                }
+            }
+        }
+
         // Intra-executor balancing pass per stage (§3.1).
         let rebalance_moves: usize = self.stages.iter().map(|s| s.rebalance()).sum();
 
-        let cores: Vec<u32> = self.stages.iter().map(|s| s.tasks().len() as u32).collect();
+        let cores: Vec<u32> = self.stages.iter().map(|s| s.total_tasks() as u32).collect();
+        let instances: Vec<u32> = self.stages.iter().map(|s| s.num_live() as u32).collect();
         let event = ControllerEvent {
             at_ms: self.started.elapsed().as_millis() as u64,
             lambda,
             mu,
             targets: decision.targets.clone(),
             cores,
+            instances,
             rebalance_moves,
             saturated: decision.saturated,
         };

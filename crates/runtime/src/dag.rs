@@ -88,6 +88,7 @@ use elasticutor_core::topology::{Edge, EdgeId, Grouping, OperatorKind, Topology,
 
 use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+use crate::group::ExecutorGroup;
 use crate::pipeline::BoxedOperator;
 use crate::record::{Operator, Record, RecordBatch};
 
@@ -104,6 +105,8 @@ struct OpSpec {
     kind: OperatorKind,
     config: ExecutorConfig,
     operator: BoxedOperator,
+    /// `y` — executor instances the operator's group starts with.
+    parallelism: u32,
 }
 
 /// Builder for [`LiveDag`]. Collects operators and grouped edges (the
@@ -149,6 +152,12 @@ pub struct LiveDagBuilder {
     capacity: usize,
     max_batch: usize,
     controller: Option<ControllerConfig>,
+    /// Default instance count for operators without an explicit
+    /// [`Self::parallelism`] call — 1, unless the environment variable
+    /// `ELASTICUTOR_TEST_PARALLELISM` overrides it (the switch CI uses
+    /// to run the whole workspace suite with multi-instance groups, so
+    /// y > 1 paths cannot rot on the default single-instance tests).
+    default_parallelism: u32,
 }
 
 impl Default for LiveDagBuilder {
@@ -167,6 +176,11 @@ impl LiveDagBuilder {
             capacity: 4096,
             max_batch: 64,
             controller: None,
+            default_parallelism: std::env::var("ELASTICUTOR_TEST_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&y| y >= 1)
+                .unwrap_or(1),
         }
     }
 
@@ -217,8 +231,24 @@ impl LiveDagBuilder {
             kind,
             config,
             operator,
+            parallelism: self.default_parallelism,
         });
         id
+    }
+
+    /// Sets `y` — the number of executor instances `op`'s group starts
+    /// with. The operator's shard space is split across the instances
+    /// by a consistent-hash map, and the group can be resized live
+    /// through [`LiveDag::scale_out`]/[`LiveDag::scale_in`] regardless
+    /// of the starting count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown operator id or `y == 0`.
+    pub fn parallelism(&mut self, op: OperatorId, y: u32) -> &mut Self {
+        assert!(y >= 1, "parallelism must be at least 1");
+        self.specs[op.index()].parallelism = y;
+        self
     }
 
     /// Adds a key-grouped edge: every record of a key goes to the key's
@@ -289,17 +319,17 @@ impl LiveDagBuilder {
     /// edges, …) and starts every executor, forwarder, and pump thread.
     pub fn build(self) -> Result<LiveDag> {
         // 1. The core topology is the single source of truth for shape:
-        //    one (parallelism-1) operator per executor, shard spaces
-        //    taken from the executor configs so groupings and routing
-        //    tables agree by construction.
+        //    one executor *group* per operator (y instances over one
+        //    shard space), shard spaces taken from the executor configs
+        //    so groupings and routing tables agree by construction.
         let mut tb = TopologyBuilder::new();
         for spec in &self.specs {
             match spec.kind {
                 OperatorKind::Source => {
-                    tb.source_sharded(spec.name.clone(), 1, spec.config.num_shards)
+                    tb.source_sharded(spec.name.clone(), spec.parallelism, spec.config.num_shards)
                 }
                 OperatorKind::Transform => {
-                    tb.transform(spec.name.clone(), 1, spec.config.num_shards)
+                    tb.transform(spec.name.clone(), spec.parallelism, spec.config.num_shards)
                 }
             };
         }
@@ -329,24 +359,26 @@ impl LiveDagBuilder {
             }
         }
 
-        // 2. Start the executors. Non-sink operators get a bounded
+        // 2. Start the executor groups (y instances each, one shared
+        //    output channel per group). Non-sink operators get a bounded
         //    output channel (unless the config explicitly chose one) so
         //    a stalled consumer blocks the emitting task threads: with a
         //    single outbound edge the output channel *is* that edge's
         //    channel and takes its budget; a fan-out's output channel
         //    uses the default budget and the per-edge budgets apply to
         //    the forwarder's edge channels instead.
-        let mut executors = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
         for (i, spec) in self.specs.into_iter().enumerate() {
             let id = OperatorId::from_index(i);
             let mut config = spec.config;
-            // Every operator is fed by exactly one pump thread, so the
-            // per-task SPSC ring plane is always safe here. Size each
-            // ring to the pump's in-flight budget, floored by the batch
-            // window and capped at 4096 entries: a ring the size of the
-            // budget never hits its full edge, but past ~4096 slots
-            // (≈192 KiB of records) the ring stops fitting in cache and
-            // every record round-trips memory — cheaper to take the
+            // Every operator is fed by exactly one pump thread (which
+            // routes to every instance of the group), so the per-task
+            // SPSC ring plane is always safe here. Size each ring to
+            // the pump's in-flight budget, floored by the batch window
+            // and capped at 4096 entries: a ring the size of the budget
+            // never hits its full edge, but past ~4096 slots (≈192 KiB
+            // of records) the ring stops fitting in cache and every
+            // record round-trips memory — cheaper to take the
             // (yield-priced) full edge than to lose cache residency.
             config.single_producer = true;
             if config.ring_capacity.is_none() {
@@ -366,8 +398,18 @@ impl LiveDagBuilder {
                     _ => config.output_capacity = Some(self.capacity),
                 }
             }
-            executors.push(Arc::new(ElasticExecutor::start(config, spec.operator)));
+            groups.push(Arc::new(ExecutorGroup::start(
+                spec.name,
+                config,
+                spec.operator,
+                spec.parallelism,
+            )));
         }
+        // Stable instance-0 handles backing `LiveDag::executor` (the
+        // manual task-granular elasticity API); dropped before the
+        // groups are dismantled at shutdown.
+        let primaries: Vec<Arc<ElasticExecutor<BoxedOperator>>> =
+            groups.iter().map(|g| g.instance(0)).collect();
 
         let counters = Arc::new(DagCounters {
             ingress_accepted: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -394,7 +436,7 @@ impl LiveDagBuilder {
                 edge_rx[edge_id] = Some(rx);
                 forward_edges.push(ForwardEdge { tx, edge: edge_id });
             }
-            let rx = executors[op.id.index()].outputs().clone();
+            let rx = groups[op.id.index()].outputs().clone();
             let counters = Arc::clone(&counters);
             let op_index = op.id.index();
             let handle = std::thread::Builder::new()
@@ -423,10 +465,11 @@ impl LiveDagBuilder {
                         grouping: edge.grouping,
                         edge: edge_id,
                     },
-                    // Chain fast path: the upstream's output channel is
-                    // the edge channel; this pump applies the grouping.
+                    // Chain fast path: the upstream group's output
+                    // channel is the edge channel; this pump applies
+                    // the grouping.
                     None => Feed::Direct {
-                        rx: executors[edge.from.index()].outputs().clone(),
+                        rx: groups[edge.from.index()].outputs().clone(),
                         grouping: edge.grouping,
                         edge: edge_id,
                     },
@@ -434,7 +477,7 @@ impl LiveDagBuilder {
                 feeds.push(FeedState::new(feed));
             }
             let pump = Pump {
-                executor: Arc::clone(&executors[op.id.index()]),
+                group: Arc::clone(&groups[op.id.index()]),
                 counters: Arc::clone(&counters),
                 op: op.id.index(),
                 num_shards: op.shards_per_executor,
@@ -455,7 +498,7 @@ impl LiveDagBuilder {
             .iter()
             .map(|op| {
                 (topology.downstream(op.id).is_empty())
-                    .then(|| executors[op.id.index()].outputs().clone())
+                    .then(|| groups[op.id.index()].outputs().clone())
             })
             .collect();
         let controller = self.controller.map(|config| {
@@ -464,12 +507,13 @@ impl LiveDagBuilder {
                 .iter()
                 .map(|o| o.name.clone())
                 .collect();
-            LiveController::spawn(config, executors.clone(), names)
+            LiveController::spawn(config, groups.clone(), names)
         });
 
         Ok(LiveDag {
             topology,
-            executors,
+            groups,
+            primaries,
             counters,
             ingress,
             sink_rx,
@@ -551,13 +595,15 @@ impl FeedState {
     }
 }
 
-/// The per-operator pump: merges all inbound feeds into the executor.
+/// The per-operator pump: merges all inbound feeds into the operator's
+/// executor group, routing each shard to its current owner instance.
 struct Pump {
-    executor: Arc<ElasticExecutor<BoxedOperator>>,
+    group: Arc<ExecutorGroup>,
     counters: Arc<DagCounters>,
     op: usize,
     num_shards: u32,
-    /// In-flight records the executor may hold (pushed − processed).
+    /// In-flight records the group may hold (pushed − processed,
+    /// summed over all instances).
     capacity: u64,
     max_batch: usize,
 }
@@ -737,14 +783,27 @@ impl Pump {
     }
 
     /// The pump thread body. Exits once every feed has disconnected and
-    /// its remaining records were fed to the executor.
+    /// its remaining records were fed to the executor group.
     fn run(self, mut feeds: Vec<FeedState>) {
-        // Records handed to the executor; `pushed − processed` is the
-        // executor's in-flight count (this pump is its only feeder).
+        // Records handed to the group; `pushed − processed` is the
+        // group's in-flight count (this pump is its only feeder).
         let mut pushed = 0u64;
         let mut pending: VecDeque<(ShardId, Record)> = VecDeque::new();
         // Fairness cursor: which feed gets polled first this wave.
         let mut first = 0usize;
+        // Wave-local routing state (see the feed loop below): the owner
+        // cache pins each shard's instance for one wave, the buckets
+        // are reused submission buffers keyed by instance id (the
+        // cached `Arc` saves a lock + clone per wave; holding a retired
+        // husk's handle is harmless — husks outlive the group anyway).
+        let mut wave = 0u64;
+        let mut owner_cache: Vec<(u64, u32)> = vec![(0, 0); self.num_shards as usize];
+        type Bucket = (
+            u32,
+            Arc<ElasticExecutor<BoxedOperator>>,
+            Vec<(ShardId, Record)>,
+        );
+        let mut buckets: Vec<Bucket> = Vec::new();
         loop {
             // ---- Collect one wave of up to max_batch routed units,
             //      round-robin over the feeds (order within each feed is
@@ -783,20 +842,58 @@ impl Pump {
                     continue;
                 }
             }
-            // ---- Feed the executor, respecting its in-flight budget:
+            // ---- Feed the group, respecting its in-flight budget:
             //      hold records in hand while it is full (and stop
             //      reading the feeds, which then fill and block the
             //      upstream — that is the backpressure propagation). ----
             while !pending.is_empty() {
                 let room = self
                     .capacity
-                    .saturating_sub(pushed.saturating_sub(self.executor.processed_count()));
+                    .saturating_sub(pushed.saturating_sub(self.group.processed_count()));
                 if room == 0 {
-                    std::thread::sleep(Duration::from_micros(50));
+                    // Parked idle path: sleep on the group's progress
+                    // condvar until at least one more record completes
+                    // (room > 0 ⟺ processed > pushed − capacity; the
+                    // subtraction cannot underflow while room == 0).
+                    // The timeout bounds a lost wakeup to one poll
+                    // interval instead of a hang.
+                    let floor = pushed - self.capacity;
+                    self.group
+                        .progress()
+                        .wait_until(Duration::from_millis(2), || {
+                            self.group.processed_count() > floor
+                        });
                     continue;
                 }
                 let take = (room as usize).min(self.max_batch).min(pending.len());
-                self.executor.submit_batch_routed(pending.drain(..take));
+                // Wave-local routing: the shard→instance router is read
+                // at most once per shard per wave, so a concurrent
+                // rescale flipping a shard's owner mid-wave cannot
+                // split that shard's records across two buckets in
+                // submission-order-dependent ways — every record of a
+                // shard in this wave goes to one instance, and the flip
+                // is only observed by later waves (whose records the
+                // migration pause buffer fences behind this wave).
+                wave += 1;
+                for (shard, record) in pending.drain(..take) {
+                    let slot = &mut owner_cache[shard.index()];
+                    if slot.0 != wave {
+                        *slot = (wave, self.group.instance_of(shard));
+                    }
+                    let owner = slot.1;
+                    match buckets.iter_mut().find(|(id, _, _)| *id == owner) {
+                        Some((_, _, bucket)) => bucket.push((shard, record)),
+                        None => {
+                            let exec = self.group.instance(owner);
+                            buckets.push((owner, exec, vec![(shard, record)]));
+                        }
+                    }
+                }
+                for (_, exec, bucket) in &mut buckets {
+                    if !bucket.is_empty() {
+                        exec.submit_batch_routed(bucket.drain(..));
+                    }
+                }
                 pushed += take as u64;
             }
         }
@@ -862,7 +959,10 @@ pub struct OperatorStats {
 /// backpressure, and ordering model; build one with [`LiveDagBuilder`].
 pub struct LiveDag {
     topology: Topology,
-    executors: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
+    groups: Vec<Arc<ExecutorGroup>>,
+    /// Instance-0 handles backing [`Self::executor`]; dropped at the
+    /// start of shutdown so the groups can be consumed.
+    primaries: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
     counters: Arc<DagCounters>,
     /// Ingress senders, indexed by operator (sources only); `None`d at
     /// shutdown.
@@ -943,8 +1043,10 @@ impl LiveDag {
         self.sink_rx[op.index()].as_ref()
     }
 
-    /// Direct handle to an operator's executor (manual elasticity:
-    /// `add_task`, `remove_task`, `rebalance`, `reassign_shard`).
+    /// Direct handle to an operator's **first** executor instance
+    /// (manual task-granular elasticity: `add_task`, `remove_task`,
+    /// `rebalance`, `reassign_shard`). With `parallelism > 1` this is
+    /// instance 0 only; use [`Self::group`] to reach the whole group.
     ///
     /// As with the chain pipeline, a clone of this `Arc` still alive
     /// when [`Self::shutdown`] runs degrades that operator's teardown:
@@ -952,16 +1054,45 @@ impl LiveDag {
     /// detached rather than joined (they exit when the last clone
     /// drops).
     pub fn executor(&self, op: OperatorId) -> &Arc<ElasticExecutor<BoxedOperator>> {
-        &self.executors[op.index()]
+        &self.primaries[op.index()]
     }
 
-    /// Live task-thread count per operator (the "core" allocation), in
-    /// operator-id order.
+    /// The executor group running `op`: instance handles, the
+    /// shard→instance router, and the live rescaling entry points.
+    pub fn group(&self, op: OperatorId) -> &Arc<ExecutorGroup> {
+        &self.groups[op.index()]
+    }
+
+    /// Adds one executor instance to `op`'s group **live**, migrating
+    /// ~`1/(y+1)` of its shards (state included) to the newcomer via
+    /// the in-process §3.3 handshake while records keep flowing.
+    /// Returns the new instance id.
+    pub fn scale_out(&self, op: OperatorId) -> Result<u32> {
+        self.groups[op.index()].scale_out()
+    }
+
+    /// Retires one executor instance of `op`'s group live, draining its
+    /// shards (and in-flight records) to the surviving instances.
+    /// Returns the retired instance id; errors when the group is
+    /// already at one instance.
+    pub fn scale_in(&self, op: OperatorId) -> Result<u32> {
+        self.groups[op.index()].scale_in()
+    }
+
+    /// Live executor-instance count per operator, in operator-id order.
+    pub fn instances_per_operator(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.num_live()).collect()
+    }
+
+    /// Live task-thread count per operator (the "core" allocation,
+    /// summed over each operator's live instances), in operator-id
+    /// order.
     pub fn cores_per_operator(&self) -> Vec<usize> {
-        self.executors.iter().map(|e| e.tasks().len()).collect()
+        self.groups.iter().map(|g| g.total_tasks()).collect()
     }
 
-    /// Per-operator statistics snapshots, in operator-id order.
+    /// Per-operator statistics snapshots (aggregated over each
+    /// operator's instances), in operator-id order.
     pub fn operator_stats(&self) -> Vec<OperatorStats> {
         self.topology
             .operators()
@@ -969,7 +1100,7 @@ impl LiveDag {
             .map(|op| OperatorStats {
                 name: op.name.clone(),
                 submitted: self.counters.pumped[op.id.index()].load(Ordering::Acquire),
-                stats: self.executors[op.id.index()].stats(),
+                stats: self.groups[op.id.index()].stats(),
             })
             .collect()
     }
@@ -1001,21 +1132,21 @@ impl LiveDag {
             {
                 return false;
             }
-            if c.pumped[i].load(Ordering::Acquire) != self.executors[i].processed_count() {
+            if c.pumped[i].load(Ordering::Acquire) != self.groups[i].processed_count() {
                 return false;
             }
             let outbound: Vec<EdgeId> = self.topology.edges_from(op.id).map(|(id, _)| id).collect();
             match outbound.len() {
                 0 => {}
                 1 => {
-                    if self.executors[i].emitted_count()
+                    if self.groups[i].emitted_count()
                         != c.edge_out[outbound[0]].load(Ordering::Acquire)
                     {
                         return false;
                     }
                 }
                 _ => {
-                    if self.executors[i].emitted_count() != c.fanned[i].load(Ordering::Acquire) {
+                    if self.groups[i].emitted_count() != c.fanned[i].load(Ordering::Acquire) {
                         return false;
                     }
                     for e in outbound {
@@ -1053,14 +1184,18 @@ impl LiveDag {
             controller.stop();
         }
         // 2. Close every ingress; source pumps forward what is buffered,
-        //    then exit.
+        //    then exit. Drop the instance-0 handles backing
+        //    `Self::executor` so they cannot make every group's
+        //    teardown look caller-degraded below.
         for tx in &mut self.ingress {
             tx.take();
         }
-        let n = self.executors.len();
+        self.primaries.clear();
+        let n = self.groups.len();
         // Operators halted in place because a foreign handle kept their
-        // executor alive: their channels never disconnect, so dependent
-        // threads are detached instead of joined.
+        // group (or a live instance of it) alive: their channels never
+        // disconnect, so dependent threads are detached instead of
+        // joined.
         let mut degraded = vec![false; n];
         // Final `emitted` count per operator, captured once its inputs
         // are fully processed (emits happen before the `processed`
@@ -1068,9 +1203,8 @@ impl LiveDag {
         // waits below compare downstream consumption against it.
         let mut emitted_final = vec![0u64; n];
         let mut all_stats: Vec<Option<OperatorStats>> = (0..n).map(|_| None).collect();
-        let executors = std::mem::take(&mut self.executors);
-        let mut executors: Vec<Option<Arc<ElasticExecutor<BoxedOperator>>>> =
-            executors.into_iter().map(Some).collect();
+        let groups = std::mem::take(&mut self.groups);
+        let mut groups: Vec<Option<Arc<ExecutorGroup>>> = groups.into_iter().map(Some).collect();
 
         fn wait(mut check: impl FnMut() -> bool) {
             while !check() {
@@ -1116,8 +1250,8 @@ impl LiveDag {
                     }
                 }
                 let c = Arc::clone(&self.counters);
-                let exec = Arc::clone(executors[vi].as_ref().expect("not yet taken"));
-                wait(|| exec.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
+                let group = Arc::clone(groups[vi].as_ref().expect("not yet taken"));
+                wait(|| group.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
                 drop(pump); // detached
             } else if let Some(pump) = pump {
                 // All feeds disconnect once their producers are gone
@@ -1125,25 +1259,30 @@ impl LiveDag {
                 // the pump forwards everything and exits.
                 pump.join().expect("pump exits cleanly");
             }
-            // Everything the pump handed over is in the executor; wait
-            // for it to finish processing, then record the final emit
-            // count for downstream drain waits.
+            // Everything the pump handed over is in the group; wait for
+            // it to finish processing, then record the final emit count
+            // for downstream drain waits.
             {
                 let c = &self.counters;
-                let exec = executors[vi].as_ref().expect("not yet taken");
-                wait(|| exec.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
-                emitted_final[vi] = exec.emitted_count();
+                let group = groups[vi].as_ref().expect("not yet taken");
+                wait(|| group.processed_count() >= c.pumped[vi].load(Ordering::Acquire));
+                emitted_final[vi] = group.emitted_count();
             }
-            // Shut the executor down. Normally we hold the last
-            // reference (the pump that held a clone was just joined) and
-            // can consume it, which drops its output channel and lets
-            // downstream threads exit. A caller-retained handle degrades
-            // to halting in place.
-            let taken = executors[vi].take().expect("not yet taken");
+            // Dismantle the group. Normally we hold the last reference
+            // (the pump that held a clone was just joined) and can
+            // consume it, which drops the shared output channel and
+            // lets downstream threads exit. A caller-retained handle —
+            // of the group or of any live instance — degrades to
+            // halting in place.
+            let taken = groups[vi].take().expect("not yet taken");
             let stats = match Arc::try_unwrap(taken) {
-                Ok(exec) => exec.shutdown(),
+                Ok(group) => {
+                    let (stats, instance_retained) = group.dismantle();
+                    degraded[vi] |= instance_retained;
+                    stats
+                }
                 Err(shared) => {
-                    let stats = shared.halt_shared();
+                    let stats = shared.halt_in_place();
                     degraded[vi] = true;
                     stats
                 }

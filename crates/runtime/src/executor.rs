@@ -68,9 +68,10 @@
 //! shard back pause the word and know every in-flight forward already
 //! reached the link queue (and therefore precedes its `COMMIT_ACK`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use crossbeam::utils::CachePadded;
@@ -199,6 +200,78 @@ enum TaskMsg {
 /// the executor's shutdown semantics.
 pub type RemoteForwarder = Arc<dyn Fn(ShardId, Record) + Send + Sync>;
 
+/// A waiter-gated progress condvar: task threads call [`Self::notify`]
+/// after each processed batch, and blocked producers (a DAG pump that
+/// filled its in-flight window) park in [`Self::wait_until`] instead of
+/// spin-polling.
+///
+/// The hot path pays one relaxed-ish atomic load when nobody is waiting —
+/// the same waiter-gating idiom as the SPSC ring's consumer wakeup. The
+/// handshake against lost wakeups is the classic Dekker pattern: the
+/// waiter publishes its presence (`waiters` RMW + SeqCst fence) *before*
+/// re-checking the predicate, and the notifier updates progress *before*
+/// its fenced read of `waiters`, so at least one side always observes the
+/// other. Waits additionally take a timeout, so even a misuse (predicate
+/// never satisfied) degrades to bounded-latency polling, never a hang.
+///
+/// One notifier may be shared by several executors — an executor group
+/// passes the same `Arc` to every instance so a pump waiting on the
+/// *sum* of processed counts wakes on progress at any instance.
+#[derive(Debug, Default)]
+pub struct ProgressNotifier {
+    waiters: AtomicU32,
+    lock: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+impl ProgressNotifier {
+    /// Creates an idle notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every parked waiter. Cheap when none are parked.
+    #[inline]
+    pub fn notify(&self) {
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) > 0 {
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until `done()` returns true or `timeout` elapses; returns
+    /// the final predicate value. The predicate is evaluated with the
+    /// waiter flag published, so a concurrent [`Self::notify`] cannot be
+    /// missed.
+    pub fn wait_until(&self, timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+        if done() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let satisfied = loop {
+            if done() {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break done();
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        satisfied
+    }
+}
+
 /// One entry of the slot table: the delivery ends of the task thread
 /// currently occupying the slot. Padded so submitters routing to
 /// different tasks never share a cache line; the `RwLock` reads/writes
@@ -312,6 +385,10 @@ struct Inner<O: Operator> {
     /// coherent by the control plane: set *before* the word flips to
     /// remote, cleared *after* the word is paused back.
     remote_fast: Box<[RwLock<Option<RemoteForwarder>>]>,
+    /// Signalled after every processed batch so blocked producers can
+    /// park instead of spin-polling `processed`. Shared across all
+    /// instances of an executor group.
+    progress: Arc<ProgressNotifier>,
 }
 
 struct RoutingState {
@@ -384,6 +461,33 @@ impl<O: Operator> ElasticExecutor<O> {
     /// `initial_tasks > max_task_slots`, or a `ring_capacity` outside
     /// `2..=2^24`.
     pub fn start(config: ExecutorConfig, operator: O) -> Self {
+        let (out_tx, out_rx) = match config.output_capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
+        Self::start_with_output(config, operator, out_tx, out_rx, Arc::default())
+    }
+
+    /// Starts the executor emitting into a **caller-supplied** output
+    /// channel, with a caller-supplied progress notifier. This is how an
+    /// executor group wires all its instances to one merged output
+    /// stream (every instance holds a clone of the same `Sender`, so
+    /// downstream consumers see a single channel regardless of the
+    /// group's size) and one shared [`ProgressNotifier`] (so a producer
+    /// waiting on the group's summed `processed` count wakes on progress
+    /// at any instance). `config.output_capacity` is ignored — the
+    /// caller already chose the channel's bound.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Self::start`].
+    pub fn start_with_output(
+        config: ExecutorConfig,
+        operator: O,
+        out_tx: Sender<RecordBatch>,
+        out_rx: Receiver<RecordBatch>,
+        progress: Arc<ProgressNotifier>,
+    ) -> Self {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.initial_tasks > 0, "need at least one task");
         assert!(
@@ -396,10 +500,6 @@ impl<O: Operator> ElasticExecutor<O> {
                 "ring_capacity {capacity} outside the supported 2..=2^24 range"
             );
         }
-        let (out_tx, out_rx) = match config.output_capacity {
-            Some(cap) => bounded(cap),
-            None => unbounded(),
-        };
         let max_slots = config.max_task_slots as usize;
         let inner = Arc::new(Inner {
             routing: Mutex::new(RoutingState {
@@ -436,6 +536,7 @@ impl<O: Operator> ElasticExecutor<O> {
             baseline: config.baseline_locked_routing,
             use_rings: config.single_producer && !config.baseline_locked_routing,
             remote_fast: (0..config.num_shards).map(|_| RwLock::new(None)).collect(),
+            progress,
         });
         let executor = Self {
             inner,
@@ -1004,9 +1105,20 @@ impl<O: Operator> ElasticExecutor<O> {
 
     /// Blocks until at least `n` records have been fully processed.
     pub fn wait_for_processed(&self, n: u64) {
-        while self.inner.processed.load(Ordering::Acquire) < n {
-            std::thread::yield_now();
-        }
+        while !self
+            .inner
+            .progress
+            .wait_until(Duration::from_millis(50), || {
+                self.inner.processed.load(Ordering::Acquire) >= n
+            })
+        {}
+    }
+
+    /// The progress notifier task threads signal after each processed
+    /// batch — the handle producers park on instead of spin-polling
+    /// [`Self::processed_count`].
+    pub fn progress_notifier(&self) -> &Arc<ProgressNotifier> {
+        &self.inner.progress
     }
 
     /// Records fully processed so far (cheap atomic read; `stats` clones
@@ -1531,6 +1643,9 @@ fn process_items<O: Operator>(inner: &Inner<O>, slot: usize, items: &[(ShardId, 
     inner
         .processed
         .fetch_add(items.len() as u64, Ordering::AcqRel);
+    // After the counter is visible: wake any producer parked on progress
+    // (one fenced load when nobody waits).
+    inner.progress.notify();
 }
 
 /// Completes (or aborts) the reassignment named by a labeling tuple —

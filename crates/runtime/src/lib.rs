@@ -61,6 +61,7 @@
 pub mod controller;
 pub mod dag;
 pub mod executor;
+pub mod group;
 pub mod migrate;
 pub mod order;
 pub mod pipeline;
@@ -68,7 +69,10 @@ pub mod record;
 
 pub use controller::{ControllerConfig, ControllerEvent, LiveController};
 pub use dag::{LiveDag, LiveDagBuilder, OperatorStats};
-pub use executor::{ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, RemoteForwarder};
+pub use executor::{
+    ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, ProgressNotifier, RemoteForwarder,
+};
+pub use group::{ExecutorGroup, RescaleEvent};
 pub use migrate::{MigrateError, MigrationEndpoint, MigrationReport};
 pub use order::FifoChecker;
 pub use pipeline::{BoxedOperator, Pipeline, PipelineBuilder, StageStats};

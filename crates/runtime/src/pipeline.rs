@@ -45,6 +45,7 @@ use elasticutor_core::ids::OperatorId;
 use crate::controller::{ControllerConfig, ControllerEvent};
 use crate::dag::{LiveDag, LiveDagBuilder};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
+use crate::group::ExecutorGroup;
 use crate::record::{Operator, Record, RecordBatch};
 
 /// A type-erased operator, letting one pipeline mix operator types.
@@ -258,6 +259,13 @@ impl Pipeline {
         self.dag.executor(OperatorId::from_index(i))
     }
 
+    /// The executor group running stage `i`: per-instance handles, the
+    /// shard→instance router, and live rescaling
+    /// ([`ExecutorGroup::scale_out`]/[`ExecutorGroup::scale_in`]).
+    pub fn group(&self, i: usize) -> &Arc<ExecutorGroup> {
+        self.dag.group(OperatorId::from_index(i))
+    }
+
     /// Live task-thread count per stage (the "core" allocation).
     pub fn cores_per_stage(&self) -> Vec<usize> {
         self.dag.cores_per_operator()
@@ -427,7 +435,7 @@ mod tests {
             .build();
         for i in 0..200u64 {
             pipe.submit(Record::new(Key(i), Bytes::new()));
-            let in_flight = i + 1 - pipe.executor(0).processed_count().min(i + 1);
+            let in_flight = i + 1 - pipe.group(0).processed_count().min(i + 1);
             // capacity (8) + ingress channel (8 one-record batches) +
             // the pump's hand (up to max_batch = 8 drained records).
             assert!(in_flight <= 24, "in-flight {in_flight} exceeds the bound");
@@ -477,7 +485,7 @@ mod tests {
         let bound = cap + 2 * (2 * b) + 2 * cap + cap * b;
         for i in 0..400u64 {
             pipe.submit(Record::new(Key(i), Bytes::new()));
-            let done = pipe.executor(1).processed_count();
+            let done = pipe.group(1).processed_count();
             let in_flight = (i + 1).saturating_sub(done);
             assert!(
                 in_flight <= bound,

@@ -88,6 +88,16 @@ impl Operator for Box<dyn Operator> {
     }
 }
 
+/// Shared operator logic: every instance of an executor group boxes a
+/// clone of the same `Arc`, exactly as the task threads *within* one
+/// executor already share one operator value — `process` takes `&self`
+/// and operators are `Send + Sync` by bound.
+impl Operator for std::sync::Arc<dyn Operator> {
+    fn process(&self, record: &Record, state: &StateHandle) -> Vec<Record> {
+        (**self).process(record, state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

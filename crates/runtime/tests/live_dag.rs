@@ -117,11 +117,17 @@ fn shuffle_edge_spreads_one_copy_across_shards() {
     }
     dag.drain();
     assert_eq!(seen.load(Ordering::Relaxed), N, "shuffle sends one copy");
-    let state = Arc::clone(dag.executor(spread).state());
+    // Each shard's state lives at its owning instance (one store per
+    // instance when the group runs with parallelism > 1), so collect
+    // every instance's store before shutdown.
+    let group = dag.group(spread);
+    let states: Vec<_> = (0..group.num_slots() as u32)
+        .map(|id| Arc::clone(group.instance(id).state()))
+        .collect();
     let stats = dag.shutdown();
     assert_eq!(stats[spread.index()].stats.processed, N);
     let covered = (0..SHARDS)
-        .filter(|&s| state.shard_keys(ShardId(s)) > 0)
+        .filter(|&s| states.iter().any(|st| st.shard_keys(ShardId(s)) > 0))
         .count();
     assert_eq!(
         covered, SHARDS as usize,

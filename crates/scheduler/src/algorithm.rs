@@ -119,6 +119,16 @@ pub fn assign_cores(
             available: u64::from(cluster.total_cores()),
         });
     }
+    // A live caller's `current` mirrors real threads, which can drift
+    // above the budget when a revocation was refused (e.g. an executor
+    // already at its minimum). Refuse to plan from an infeasible start
+    // instead of producing an over-capacity assignment.
+    if !current.respects_capacity(cluster) {
+        return Err(AssignError::CapacityExceeded {
+            requested: (0..m).map(|j| u64::from(current.total_of(j))).sum(),
+            available: u64::from(cluster.total_cores()),
+        });
+    }
 
     let mut x = current.clone();
     let mut migration_cost = 0.0;

@@ -145,14 +145,20 @@ fn per_key_fifo_holds_across_two_operators_under_concurrent_elasticity() {
     assert_eq!(outputs, total);
 
     // 4. Conservation in both stages' state stores: per-key counters in
-    //    each stage sum to the total despite shard moves.
+    //    each stage sum to the total despite shard moves. With
+    //    multi-instance groups (ELASTICUTOR_TEST_PARALLELISM) the
+    //    shard space is split across instances, so sum over all of
+    //    them — each shard's state lives at exactly one owner.
     for stage in 0..2 {
-        let store = pipe.executor(stage).state().clone();
+        let group = pipe.group(stage);
         let mut sum = 0u64;
-        for shard in store.shards() {
-            for key in 0..500u64 {
-                if let Some(v) = store.get(shard, Key(key)) {
-                    sum += u64::from_le_bytes(v.as_ref().try_into().expect("8 bytes"));
+        for id in 0..group.num_slots() as u32 {
+            let store = group.instance(id).state().clone();
+            for shard in store.shards() {
+                for key in 0..500u64 {
+                    if let Some(v) = store.get(shard, Key(key)) {
+                        sum += u64::from_le_bytes(v.as_ref().try_into().expect("8 bytes"));
+                    }
                 }
             }
         }

@@ -1,0 +1,854 @@
+//! Chaos suite for the crash-safe migration plane: kills a process at
+//! every journal durability point mid-handshake and proves recovery,
+//! then stresses the live plane with flash crowds, consumer stalls,
+//! and Zipf skew under rescaling.
+//!
+//! **Kill matrix (two-process).** The parent spawns this same binary as
+//! a child (`--child ADDR`), wires a migration link with recovery
+//! journals on both sides, and arms exactly one fail point in the child
+//! via `ELASTICUTOR_FAILPOINTS=<point>=kill`. The child is the victim
+//! in every scenario — as migration *sender* it dies at each of the
+//! four sender journal points (`migrate.snd.{offer,state,commit,ack}`),
+//! as *receiver* at each of the four receiver points
+//! (`migrate.rcv.{offer,commit,durable,ack}`) — plus one clean run.
+//! After the abort the parent respawns the child with the same journal,
+//! both sides run `recover()`, and the harness asserts the contested
+//! shard is owned by **exactly one** process with its preloaded state
+//! digest intact, then pushes a live burst through it gated on per-key
+//! FIFO order and exact record conservation.
+//!
+//! **Live scenarios (single-process).** A 100× flash-crowd spike, a
+//! periodically stalling bounded consumer, and Zipf-skewed load across
+//! scale-out/scale-in — each gated on FIFO + conservation, with
+//! p99/p999 latency recorded.
+//!
+//! Results go to `BENCH_chaos.json` (override with `--out`).
+//! `ELASTICUTOR_QUICK=1` shrinks state sizes and record counts for CI.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_bench::{fmt_latency_ns, quick_mode, Table};
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, ByteReader, Checksum};
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, LinkEvent, LiveDag, MigrationConfig,
+    MigrationEndpoint, Operator, Record,
+};
+use elasticutor_sim::SimRng;
+use elasticutor_state::{ShardSnapshot, StateHandle};
+use elasticutor_workload::{SpikeProfile, StallSchedule, ZipfSampler};
+
+/// Shards per executor; ownership starts split down the middle
+/// (parent `0..32`, child `32..64`).
+const Z: u32 = 64;
+/// The contested shard when the child is the migration sender.
+const SENDER_SHARD: u32 = 40;
+/// The contested shard when the child is the migration receiver.
+const RECEIVER_SHARD: u32 = 8;
+/// Burst keys per contested shard (they hash to it).
+const KEYS_PER_SHARD: usize = 4;
+/// Preload keys live far above anything `keys_for_shard` scans to.
+const PRELOAD_BASE: u64 = 1 << 40;
+const PRELOAD_VALUE_LEN: usize = 256;
+
+fn preload_entries_count() -> usize {
+    if quick_mode() {
+        64
+    } else {
+        512
+    }
+}
+
+fn burst_rounds() -> u64 {
+    if quick_mode() {
+        200
+    } else {
+        1_000
+    }
+}
+
+/// Deterministic keys hashing to `shard` — identical in both processes.
+fn keys_for_shard(shard: u32) -> Vec<Key> {
+    (0u64..)
+        .filter(|k| elasticutor_core::hash::key_to_shard(*k, Z) == shard)
+        .take(KEYS_PER_SHARD)
+        .map(Key)
+        .collect()
+}
+
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn executor(fifo: Arc<FifoChecker>) -> Arc<ElasticExecutor<impl Operator>> {
+    Arc::new(ElasticExecutor::start(
+        ExecutorConfig {
+            num_shards: Z,
+            initial_tasks: 2,
+            ..ExecutorConfig::default()
+        },
+        counting_op(fifo),
+    ))
+}
+
+fn link_config(journal: &Path) -> MigrationConfig {
+    MigrationConfig::default()
+        .with_offer_deadline(Duration::from_secs(10))
+        .with_state_deadline(Duration::from_secs(30))
+        .with_journal(journal)
+}
+
+fn preload(exec: &ElasticExecutor<impl Operator>, shard: u32) {
+    for i in 0..preload_entries_count() as u64 {
+        exec.state().put(
+            ShardId(shard),
+            Key(PRELOAD_BASE + i),
+            Bytes::from(vec![0xC7; PRELOAD_VALUE_LEN]),
+        );
+    }
+}
+
+/// The contested shard's expected final state: the preload plus every
+/// burst key counted `burst_rounds()` times.
+fn expected_final(shard: u32) -> ShardSnapshot {
+    let mut entries: Vec<(Key, Bytes)> = (0..preload_entries_count() as u64)
+        .map(|i| {
+            (
+                Key(PRELOAD_BASE + i),
+                Bytes::from(vec![0xC7; PRELOAD_VALUE_LEN]),
+            )
+        })
+        .collect();
+    entries.extend(
+        keys_for_shard(shard)
+            .into_iter()
+            .map(|k| (k, Bytes::copy_from_slice(&burst_rounds().to_le_bytes()))),
+    );
+    entries.sort_by_key(|(k, _)| *k);
+    ShardSnapshot {
+        shard: ShardId(shard),
+        entries,
+    }
+}
+
+fn digest_of(snap: &ShardSnapshot) -> u64 {
+    let mut c = Checksum::new();
+    snap.fold_checksum(&mut c);
+    c.finish()
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process report (APP payload), as in the migrate bench.
+// ---------------------------------------------------------------------------
+
+struct Report {
+    fifo_violations: u64,
+    processed: u64,
+    /// (shard, state digest) per non-empty shard.
+    shards: Vec<(u32, u64)>,
+}
+
+fn encode_report<O: Operator>(exec: &ElasticExecutor<O>, fifo: &FifoChecker) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::put_u64(&mut out, fifo.violation_count() as u64);
+    wire::put_u64(&mut out, exec.processed_count());
+    let shards: Vec<ShardSnapshot> = exec
+        .state()
+        .shards()
+        .into_iter()
+        .filter_map(|s| exec.state().snapshot_shard(s))
+        .filter(|snap| !snap.is_empty())
+        .collect();
+    wire::put_u32(&mut out, shards.len() as u32);
+    for snap in &shards {
+        wire::put_u32(&mut out, snap.shard.0);
+        wire::put_u64(&mut out, digest_of(snap));
+    }
+    out
+}
+
+fn decode_report(payload: &[u8]) -> Report {
+    let mut r = ByteReader::new(payload);
+    let fifo_violations = r.u64().expect("report");
+    let processed = r.u64().expect("report");
+    let n = r.u32().expect("report");
+    let shards = (0..n)
+        .map(|_| (r.u32().expect("report"), r.u64().expect("report")))
+        .collect();
+    Report {
+        fifo_violations,
+        processed,
+        shards,
+    }
+}
+
+fn request_report<O: Operator>(endpoint: &MigrationEndpoint<O>) -> Report {
+    endpoint
+        .send_app(b"report".to_vec())
+        .expect("request report");
+    let payload = endpoint
+        .app_messages()
+        .recv_timeout(Duration::from_secs(120))
+        .expect("child report");
+    decode_report(&payload)
+}
+
+fn wait_app<O: Operator>(endpoint: &MigrationEndpoint<O>, expect: &[u8]) {
+    let msg = endpoint
+        .app_messages()
+        .recv_timeout(Duration::from_secs(120))
+        .expect("peer app message");
+    assert_eq!(msg.as_slice(), expect, "unexpected peer message");
+}
+
+// ---------------------------------------------------------------------------
+// Child process.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Sender,
+    Receiver,
+}
+
+struct ChildArgs {
+    addr: String,
+    mode: Mode,
+    shard: u32,
+    journal: PathBuf,
+    recovered: bool,
+}
+
+fn child_main(args: ChildArgs) {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = executor(fifo.clone());
+    let endpoint = MigrationEndpoint::connect_with(
+        Arc::clone(&exec),
+        args.addr.as_str(),
+        link_config(&args.journal),
+    )
+    .expect("child connects to parent");
+
+    if args.recovered {
+        // Resolve the journal first — an in-doubt shard of ours must
+        // settle (restore, adopt, or query the parent over this link)
+        // before we blanket-delegate the parent's half around it.
+        let report = endpoint.recover().expect("child recovery");
+        let kept: Vec<ShardId> = report
+            .adopted
+            .iter()
+            .chain(report.restored.iter())
+            .copied()
+            .collect();
+        let delegate: Vec<ShardId> = (0..Z / 2)
+            .map(ShardId)
+            .filter(|s| !kept.contains(s))
+            .collect();
+        endpoint
+            .delegate_shards(&delegate)
+            .expect("child delegates after recovery");
+        endpoint
+            .send_app(b"recovered".to_vec())
+            .expect("announce recovery");
+    } else {
+        endpoint
+            .delegate_shards(&(0..Z / 2).map(ShardId).collect::<Vec<_>>())
+            .expect("child delegates the parent's half");
+        if args.mode == Mode::Sender {
+            preload(&exec, args.shard);
+        }
+        endpoint
+            .send_app(b"ready".to_vec())
+            .expect("announce ready");
+        if args.mode == Mode::Sender {
+            // With a kill armed we abort somewhere inside; without one
+            // (the clean scenario) the migration must succeed.
+            endpoint
+                .migrate_out(ShardId(args.shard))
+                .expect("clean child migration");
+            endpoint
+                .send_app(b"migrated".to_vec())
+                .expect("announce migration");
+        }
+        // Receiver mode: the inbound migration (and the armed kill)
+        // runs on the endpoint's reader thread while we serve below.
+    }
+
+    loop {
+        let msg = endpoint
+            .app_messages()
+            .recv_timeout(Duration::from_secs(120))
+            .expect("parent command");
+        match msg.as_slice() {
+            b"report" => endpoint
+                .send_app(encode_report(&exec, &fifo))
+                .expect("send report"),
+            b"bye" => break,
+            other => panic!("unknown command {other:?}"),
+        }
+    }
+    endpoint.close();
+}
+
+// ---------------------------------------------------------------------------
+// Parent: one kill-matrix scenario.
+// ---------------------------------------------------------------------------
+
+struct KillScenario {
+    name: &'static str,
+    mode: Mode,
+    /// Fail point armed (as `kill`) in the child; `None` = clean run.
+    point: Option<&'static str>,
+}
+
+const KILL_MATRIX: [KillScenario; 9] = [
+    KillScenario {
+        name: "clean",
+        mode: Mode::Sender,
+        point: None,
+    },
+    KillScenario {
+        name: "snd.offer",
+        mode: Mode::Sender,
+        point: Some("migrate.snd.offer"),
+    },
+    KillScenario {
+        name: "snd.state",
+        mode: Mode::Sender,
+        point: Some("migrate.snd.state"),
+    },
+    KillScenario {
+        name: "snd.commit",
+        mode: Mode::Sender,
+        point: Some("migrate.snd.commit"),
+    },
+    KillScenario {
+        name: "snd.ack",
+        mode: Mode::Sender,
+        point: Some("migrate.snd.ack"),
+    },
+    KillScenario {
+        name: "rcv.offer",
+        mode: Mode::Receiver,
+        point: Some("migrate.rcv.offer"),
+    },
+    KillScenario {
+        name: "rcv.commit",
+        mode: Mode::Receiver,
+        point: Some("migrate.rcv.commit"),
+    },
+    KillScenario {
+        name: "rcv.durable",
+        mode: Mode::Receiver,
+        point: Some("migrate.rcv.durable"),
+    },
+    KillScenario {
+        name: "rcv.ack",
+        mode: Mode::Receiver,
+        point: Some("migrate.rcv.ack"),
+    },
+];
+
+struct KillResult {
+    name: &'static str,
+    mode: &'static str,
+    owner: &'static str,
+    recovery_ms: u64,
+    burst_records: u64,
+}
+
+fn spawn_child(
+    exe: &Path,
+    addr: &str,
+    mode: Mode,
+    shard: u32,
+    journal: &Path,
+    point: Option<&str>,
+    recovered: bool,
+) -> std::process::Child {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--child")
+        .arg(addr)
+        .arg("--mode")
+        .arg(match mode {
+            Mode::Sender => "sender",
+            Mode::Receiver => "receiver",
+        })
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--journal")
+        .arg(journal);
+    if recovered {
+        cmd.arg("--recovered");
+    }
+    // The fail point reaches the child only; never inherit one.
+    match point {
+        Some(p) => cmd.env("ELASTICUTOR_FAILPOINTS", format!("{p}=kill")),
+        None => cmd.env_remove("ELASTICUTOR_FAILPOINTS"),
+    };
+    cmd.spawn().expect("spawn child process")
+}
+
+fn run_kill_scenario(sc: &KillScenario, dir: &Path) -> KillResult {
+    let shard = match sc.mode {
+        Mode::Sender => SENDER_SHARD,
+        Mode::Receiver => RECEIVER_SHARD,
+    };
+    let parent_journal = dir.join(format!("{}-parent.journal", sc.name));
+    let child_journal = dir.join(format!("{}-child.journal", sc.name));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let exe = std::env::current_exe().expect("own path");
+
+    let mut child = spawn_child(&exe, &addr, sc.mode, shard, &child_journal, sc.point, false);
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = executor(fifo.clone());
+    let mut endpoint =
+        MigrationEndpoint::accept_with(Arc::clone(&exec), &listener, link_config(&parent_journal))
+            .expect("accept child");
+    endpoint
+        .delegate_shards(&(Z / 2..Z).map(ShardId).collect::<Vec<_>>())
+        .expect("parent delegates the child's half");
+    wait_app(&endpoint, b"ready");
+
+    if sc.mode == Mode::Receiver {
+        preload(&exec, shard);
+        let res = endpoint.migrate_out(ShardId(shard));
+        match (&sc.point, res) {
+            (None, res) => {
+                res.expect("clean migration");
+            }
+            // The armed kill makes any outcome short of success legal:
+            // pre-commit deaths surface as a typed error (the shard was
+            // restored locally), post-commit ones as `InDoubt` (parked
+            // for `recover()`) — and for `rcv.ack` the ACK may even
+            // have reached us first, a plain success.
+            (Some(_), res) => {
+                if let Err(e) = res {
+                    eprintln!("parent: migrate_out under {} -> {e}", sc.name);
+                }
+            }
+        }
+    }
+
+    let recovery_ms = if sc.point.is_some() {
+        // The victim is dead or dying: the sender-mode kill fires
+        // inside the child's own migrate_out, the receiver-mode one
+        // inside the inbound path we just drove.
+        let status = child.wait().expect("child exits");
+        assert!(!status.success(), "{}: child should have died", sc.name);
+        // Satellite contract: a dying link surfaces a typed Dead event
+        // on the endpoint's control channel.
+        let dead_seen = wait_until(Duration::from_secs(10), || {
+            endpoint
+                .events()
+                .try_iter()
+                .any(|e| matches!(e, LinkEvent::Dead { .. }))
+        });
+        assert!(dead_seen, "{}: no LinkEvent::Dead after kill", sc.name);
+        let t0 = Instant::now();
+        endpoint.close();
+        child = spawn_child(&exe, &addr, sc.mode, shard, &child_journal, None, true);
+        endpoint = MigrationEndpoint::accept_with(
+            Arc::clone(&exec),
+            &listener,
+            link_config(&parent_journal),
+        )
+        .expect("accept recovered child");
+        // Rebind the child's half to the fresh link; the contested
+        // shard is settled by recovery below, not blanket delegation.
+        let redelegate: Vec<ShardId> = (Z / 2..Z).filter(|s| *s != shard).map(ShardId).collect();
+        endpoint
+            .delegate_shards(&redelegate)
+            .expect("parent re-delegates");
+        wait_app(&endpoint, b"recovered");
+        let report = endpoint.recover().expect("parent recovery");
+        eprintln!(
+            "parent: {} recovered (restored {:?}, remote {:?}, adopted {:?})",
+            sc.name, report.restored, report.remote, report.adopted
+        );
+        if !exec.owns_shard(ShardId(shard)) {
+            // Neither journal resolution left it here: it lives on the
+            // peer — make sure its forwarder rides the fresh link.
+            endpoint
+                .delegate_shards(&[ShardId(shard)])
+                .expect("rebind contested shard");
+        }
+        t0.elapsed().as_millis() as u64
+    } else {
+        // Clean run: the child's migrate_out races our ownership check;
+        // wait for its completion signal and the final DONE handoff.
+        wait_app(&endpoint, b"migrated");
+        assert!(
+            wait_until(Duration::from_secs(30), || exec.owns_shard(ShardId(shard))),
+            "clean: migrated shard never finished installing"
+        );
+        0
+    };
+
+    // Exactly-one-owner, then a live burst through the contested shard
+    // gated on FIFO + exact conservation (the expected digest encodes
+    // both the intact preload and exactly `burst_rounds()` counts).
+    let parent_owns = exec.owns_shard(ShardId(shard));
+    let keys = keys_for_shard(shard);
+    for round in 1..=burst_rounds() {
+        for &key in &keys {
+            exec.submit(Record::new(key, Bytes::new()).with_seq(round));
+        }
+    }
+    let burst_records = burst_rounds() * keys.len() as u64;
+    let want = digest_of(&expected_final(shard));
+    if parent_owns {
+        let ok = wait_until(Duration::from_secs(60), || {
+            exec.state()
+                .snapshot_shard(ShardId(shard))
+                .is_some_and(|s| digest_of(&s) == want)
+        });
+        assert!(ok, "{}: parent-side digest never settled", sc.name);
+    } else {
+        let ok = wait_until(Duration::from_secs(60), || {
+            request_report(&endpoint)
+                .shards
+                .iter()
+                .any(|&(s, d)| s == shard && d == want)
+        });
+        assert!(ok, "{}: child-side digest never settled", sc.name);
+    }
+    let report = request_report(&endpoint);
+    assert_eq!(report.fifo_violations, 0, "{}: child FIFO", sc.name);
+    assert!(fifo.is_clean(), "{}: parent FIFO", sc.name);
+    if parent_owns {
+        assert!(
+            !report.shards.iter().any(|&(s, _)| s == shard),
+            "{}: sh{shard} hosted on both sides",
+            sc.name
+        );
+    } else {
+        assert!(
+            !exec.state().hosts(ShardId(shard)),
+            "{}: sh{shard} hosted on both sides",
+            sc.name
+        );
+    }
+    assert_eq!(
+        exec.processed_count() + report.processed,
+        burst_records,
+        "{}: burst records processed exactly once across processes",
+        sc.name
+    );
+
+    endpoint.send_app(b"bye".to_vec()).expect("dismiss child");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "{}: child failed: {status}", sc.name);
+    endpoint.close();
+    KillResult {
+        name: sc.name,
+        mode: match sc.mode {
+            Mode::Sender => "sender",
+            Mode::Receiver => "receiver",
+        },
+        owner: if parent_owns { "parent" } else { "child" },
+        recovery_ms,
+        burst_records,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-process live scenarios.
+// ---------------------------------------------------------------------------
+
+struct LiveResult {
+    name: &'static str,
+    records: u64,
+    p99_ns: f64,
+    p999_ns: f64,
+}
+
+/// A 100× flash-crowd spike over Zipf keys: the clock-driven profile
+/// decides how many records are due; conservation and FIFO must hold
+/// through the surge.
+fn flash_crowd() -> LiveResult {
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = executor(fifo.clone());
+    let (base, run_ms) = if quick_mode() {
+        (1_000.0, 700)
+    } else {
+        (2_000.0, 2_500)
+    };
+    let profile = SpikeProfile {
+        base_rate: base,
+        spike_factor: 100.0,
+        spike_start: Duration::from_millis(run_ms / 4),
+        spike_len: Duration::from_millis(run_ms / 4),
+    };
+    const KEYS: usize = 512;
+    let zipf = ZipfSampler::new(KEYS, 0.5);
+    let mut rng = SimRng::new(42);
+    let mut seqs = vec![0u64; KEYS];
+    let start = Instant::now();
+    let mut sent = 0u64;
+    loop {
+        let t = start.elapsed();
+        if t >= Duration::from_millis(run_ms) {
+            break;
+        }
+        let due = profile.due_by(t.as_nanos() as u64);
+        while sent < due {
+            let k = zipf.sample(&mut rng);
+            seqs[k] += 1;
+            exec.submit(Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]));
+            sent += 1;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let ok = wait_until(Duration::from_secs(60), || exec.processed_count() == sent);
+    assert!(ok, "flash_crowd: records lost in the spike");
+    assert!(fifo.is_clean(), "flash_crowd: FIFO violations");
+    let stats = exec.stats();
+    LiveResult {
+        name: "flash_crowd",
+        records: sent,
+        p99_ns: stats.latency.quantile_ns(0.99),
+        p999_ns: stats.latency.quantile_ns(0.999),
+    }
+}
+
+/// A bounded consumer that periodically stops draining: backpressure
+/// stalls the task threads, yet nothing may be lost or reordered.
+fn slow_consumer() -> LiveResult {
+    let fifo = Arc::new(FifoChecker::new());
+    let total: u64 = if quick_mode() { 8_000 } else { 40_000 };
+    let op = {
+        let fifo = Arc::clone(&fifo);
+        move |r: &Record, s: &StateHandle| {
+            fifo.observe(r.key, r.seq);
+            s.update(r.key, |old| {
+                let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+                Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+            });
+            vec![r.clone()]
+        }
+    };
+    let exec = Arc::new(ElasticExecutor::start(
+        ExecutorConfig {
+            num_shards: Z,
+            initial_tasks: 2,
+            output_capacity: Some(64),
+            ..ExecutorConfig::default()
+        },
+        op,
+    ));
+    let schedule = StallSchedule {
+        first_stall: Duration::from_millis(50),
+        period: Duration::from_millis(200),
+        stall_len: Duration::from_millis(if quick_mode() { 60 } else { 100 }),
+    };
+    let consumer = {
+        let exec = Arc::clone(&exec);
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut drained = 0u64;
+            while drained < total {
+                while schedule.is_stalled(start.elapsed().as_nanos() as u64) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                match exec.outputs().recv_timeout(Duration::from_secs(30)) {
+                    Ok(batch) => drained += batch.len() as u64,
+                    Err(_) => panic!("slow_consumer: output went quiet"),
+                }
+            }
+            drained
+        })
+    };
+    const KEYS: u64 = 128;
+    let mut seqs = vec![0u64; KEYS as usize];
+    for i in 0..total {
+        let key = (i * 13) % KEYS;
+        seqs[key as usize] += 1;
+        exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
+    }
+    let drained = consumer.join().expect("consumer thread");
+    assert_eq!(drained, total, "slow_consumer: lost or duplicated records");
+    assert!(fifo.is_clean(), "slow_consumer: FIFO violations");
+    let stats = exec.stats();
+    assert_eq!(stats.processed, total);
+    LiveResult {
+        name: "slow_consumer",
+        records: total,
+        p99_ns: stats.latency.quantile_ns(0.99),
+        p999_ns: stats.latency.quantile_ns(0.999),
+    }
+}
+
+/// Zipf-skewed load while the operator scales out twice and back in
+/// once — shard migrations under skew, FIFO + conservation gated.
+fn zipf_rescale() -> LiveResult {
+    let fifo = Arc::new(FifoChecker::new());
+    let total: u64 = if quick_mode() { 20_000 } else { 60_000 };
+    let mut b = LiveDag::builder();
+    let hot = b.source(
+        "hot",
+        ExecutorConfig {
+            num_shards: Z,
+            initial_tasks: 2,
+            ..ExecutorConfig::default()
+        },
+        counting_op(Arc::clone(&fifo)),
+    );
+    b.parallelism(hot, 1);
+    let dag = b.build().expect("single-operator topology");
+
+    const KEYS: usize = 200;
+    let zipf = ZipfSampler::new(KEYS, 0.8);
+    let mut rng = SimRng::new(7);
+    let mut seqs = vec![0u64; KEYS];
+    for i in 0..total {
+        let k = zipf.sample(&mut rng);
+        seqs[k] += 1;
+        dag.submit(
+            hot,
+            Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]),
+        );
+        if i == total / 4 || i == total / 2 {
+            dag.scale_out(hot).expect("scale out under skew");
+        } else if i == 3 * total / 4 {
+            dag.scale_in(hot).expect("scale in under skew");
+        }
+    }
+    dag.drain();
+    assert!(fifo.is_clean(), "zipf_rescale: FIFO violations");
+    let group = dag.group(hot);
+    let stats = group.stats();
+    assert_eq!(
+        stats.processed, total,
+        "zipf_rescale: lost or duplicated records"
+    );
+    assert_eq!(group.num_live(), 2);
+    LiveResult {
+        name: "zipf_rescale",
+        records: total,
+        p99_ns: stats.latency.quantile_ns(0.99),
+        p999_ns: stats.latency.quantile_ns(0.999),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent main.
+// ---------------------------------------------------------------------------
+
+fn parent_main() {
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let dir = std::env::temp_dir().join(format!("elasticutor-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("journal dir");
+
+    println!(
+        "chaos suite: {} kill scenarios + 3 live scenarios{}",
+        KILL_MATRIX.len(),
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
+
+    let mut kill_results = Vec::new();
+    for sc in &KILL_MATRIX {
+        let res = run_kill_scenario(sc, &dir);
+        println!(
+            "kill {:<12} mode={:<8} owner={:<6} recovery={}ms burst={} ok",
+            res.name, res.mode, res.owner, res.recovery_ms, res.burst_records
+        );
+        kill_results.push(res);
+    }
+    let live_results = vec![flash_crowd(), slow_consumer(), zipf_rescale()];
+
+    let mut table = Table::new(&["scenario", "records", "p99", "p999"]);
+    for r in &live_results {
+        table.row(vec![
+            r.name.to_string(),
+            r.records.to_string(),
+            fmt_latency_ns(r.p99_ns),
+            fmt_latency_ns(r.p999_ns),
+        ]);
+    }
+    println!("\nlive chaos scenarios (FIFO + conservation gated)");
+    table.print();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    json.push_str("  \"kill_matrix\": [\n");
+    for (i, r) in kill_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"owner\": \"{}\", \"recovery_ms\": {}, \"burst_records\": {}}}",
+            r.name, r.mode, r.owner, r.recovery_ms, r.burst_records
+        );
+        json.push_str(if i + 1 < kill_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"live\": [\n");
+    for (i, r) in live_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"records\": {}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0}, \"fifo_violations\": 0}}",
+            r.name, r.records, r.p99_ns, r.p999_ns
+        );
+        json.push_str(if i + 1 < live_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    match flag("--child") {
+        Some(addr) => child_main(ChildArgs {
+            addr,
+            mode: match flag("--mode").expect("--mode").as_str() {
+                "sender" => Mode::Sender,
+                "receiver" => Mode::Receiver,
+                other => panic!("unknown mode {other}"),
+            },
+            shard: flag("--shard").expect("--shard").parse().expect("shard id"),
+            journal: PathBuf::from(flag("--journal").expect("--journal")),
+            recovered: args.iter().any(|a| a == "--recovered"),
+        }),
+        None => parent_main(),
+    }
+}

@@ -1,0 +1,346 @@
+//! Deterministic fault injection: a process-wide registry of named
+//! **fail points** threaded through the runtime's protocol paths (the
+//! migration handshake, the link writer/reader threads, the executor
+//! pause handshake).
+//!
+//! A fail point is a named call site — [`fail_point("migrate.commit_sent")`]
+//! — that normally does nothing. A chaos harness arms it with an
+//! [`FaultAction`] via the environment
+//! (`ELASTICUTOR_FAILPOINTS=migrate.commit_sent=kill,link.write=delay:5ms`)
+//! or programmatically ([`configure`]/[`set`]), and the next time
+//! execution reaches the site the action fires: the process aborts
+//! (`kill` — the in-tree stand-in for `kill -9`), the calling thread
+//! panics (`panic`), a typed [`InjectedFault`] error is returned
+//! (`err`), or the thread sleeps (`delay:<n>ms`). An action may carry a
+//! probability suffix (`err@0.25`) evaluated by a **seeded** per-point
+//! generator (`ELASTICUTOR_FAILPOINT_SEED`), so probabilistic chaos
+//! runs are exactly reproducible.
+//!
+//! # Zero steady-state overhead
+//!
+//! When nothing is armed, [`fail_point`] is two relaxed atomic loads
+//! (a `Once` fast path plus one `AtomicBool`): no map lookup, no lock,
+//! no allocation. Call sites live on protocol and per-frame paths, not
+//! the per-record hot path, so an unarmed build is indistinguishable
+//! from one compiled without fault injection.
+//!
+//! [`fail_point("migrate.commit_sent")`]: fail_point
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Environment variable holding the fail-point spec parsed at first use.
+pub const FAILPOINTS_ENV: &str = "ELASTICUTOR_FAILPOINTS";
+/// Environment variable seeding probabilistic fail points.
+pub const FAILPOINT_SEED_ENV: &str = "ELASTICUTOR_FAILPOINT_SEED";
+
+/// What an armed fail point does when execution reaches it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Abort the process immediately — the `kill -9` analogue (no
+    /// unwinding, no flushing, no destructors).
+    Kill,
+    /// Panic the calling thread.
+    Panic,
+    /// Return a typed [`InjectedFault`] from [`fail_point`].
+    Err,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Disarmed (parse-friendly way to switch a point off in a list).
+    Off,
+}
+
+/// The typed error returned when a fail point armed with
+/// [`FaultAction::Err`] fires. Callers map it into their own error
+/// types (`MigrateError::Injected`, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The fail point that fired.
+    pub point: String,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at fail point `{}`", self.point)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// One armed fail point: its action, optional probability, and a
+/// seeded xorshift state so probabilistic firing is reproducible.
+struct FailPoint {
+    action: FaultAction,
+    probability: Option<f64>,
+    rng: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// Whether *any* fail point is armed — the hot-path gate.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// One-time environment parse, performed on the first `fail_point`.
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<HashMap<String, FailPoint>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn env_seed() -> u64 {
+    std::env::var(FAILPOINT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15)
+}
+
+/// FNV-1a over the point name, mixed with the seed, so every point gets
+/// an independent deterministic stream.
+fn point_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // A zero xorshift state would stick at zero forever.
+    (h ^ env_seed()) | 1
+}
+
+fn init_from_env() {
+    if let Ok(spec) = std::env::var(FAILPOINTS_ENV) {
+        if !spec.trim().is_empty() {
+            if let Err(e) = configure(&spec) {
+                // A typo'd spec must be loud, not silently inert: the
+                // whole point of the variable is a chaos run.
+                panic!("invalid {FAILPOINTS_ENV} spec: {e}");
+            }
+        }
+    }
+}
+
+/// Parses one action: `kill | panic | err | off | delay:<n>ms[@<p>]`
+/// (probability suffix valid on every action).
+fn parse_action(s: &str) -> Result<(FaultAction, Option<f64>), String> {
+    let (action, prob) = match s.split_once('@') {
+        Some((a, p)) => {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| format!("bad probability `{p}` in `{s}`"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability `{p}` outside [0, 1] in `{s}`"));
+            }
+            (a, Some(p))
+        }
+        None => (s, None),
+    };
+    let action = match action {
+        "kill" => FaultAction::Kill,
+        "panic" => FaultAction::Panic,
+        "err" => FaultAction::Err,
+        "off" => FaultAction::Off,
+        _ => match action.strip_prefix("delay:") {
+            Some(dur) => FaultAction::Delay(parse_duration(dur)?),
+            None => return Err(format!("unknown action `{action}`")),
+        },
+    };
+    Ok((action, prob))
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| format!("duration `{s}` needs a unit (us/ms/s)"))?;
+    let n: u64 = num
+        .parse()
+        .map_err(|_| format!("bad duration value `{num}`"))?;
+    match unit {
+        "us" => Ok(Duration::from_micros(n)),
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        _ => Err(format!("unknown duration unit `{unit}`")),
+    }
+}
+
+/// Arms fail points from a spec string: comma-separated
+/// `name=action` pairs, e.g.
+/// `migrate.commit_sent=kill,link.write=delay:5ms,rcv.commit=err@0.5`.
+/// Replaces the arming of every point named in the spec; points not
+/// named keep their current state. Errors on the first malformed pair
+/// without arming anything.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for pair in spec.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, action) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("`{pair}` is not name=action"))?;
+        let (action, probability) = parse_action(action.trim())?;
+        parsed.push((name.trim().to_string(), action, probability));
+    }
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (name, action, probability) in parsed {
+        let seed = point_seed(&name);
+        reg.insert(
+            name,
+            FailPoint {
+                action,
+                probability,
+                rng: AtomicU64::new(seed),
+                hits: AtomicU64::new(0),
+            },
+        );
+    }
+    let any_armed = reg.values().any(|p| p.action != FaultAction::Off);
+    drop(reg);
+    ACTIVE.store(any_armed, Ordering::Release);
+    Ok(())
+}
+
+/// Arms a single fail point programmatically (tests, builders).
+pub fn set(name: &str, action: FaultAction) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.insert(
+        name.to_string(),
+        FailPoint {
+            action,
+            probability: None,
+            rng: AtomicU64::new(point_seed(name)),
+            hits: AtomicU64::new(0),
+        },
+    );
+    let any_armed = reg.values().any(|p| p.action != FaultAction::Off);
+    drop(reg);
+    ACTIVE.store(any_armed, Ordering::Release);
+}
+
+/// Disarms every fail point (the hot path goes back to two loads).
+pub fn clear() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// Times a fail point has fired (action actually taken), for tests.
+pub fn hit_count(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(name)
+        .map_or(0, |p| p.hits.load(Ordering::Relaxed))
+}
+
+/// The fail-point call site. Disarmed (the overwhelmingly common case)
+/// this is two relaxed atomic loads and returns `Ok(())`; armed, it
+/// performs the configured [`FaultAction`].
+#[inline]
+pub fn fail_point(name: &str) -> Result<(), InjectedFault> {
+    ENV_INIT.call_once(init_from_env);
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    fail_point_slow(name)
+}
+
+#[cold]
+fn fail_point_slow(name: &str) -> Result<(), InjectedFault> {
+    let action = {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let Some(point) = reg.get(name) else {
+            return Ok(());
+        };
+        if let Some(p) = point.probability {
+            // Seeded xorshift64*: deterministic per (seed, point name).
+            let mut x = point.rng.load(Ordering::Relaxed);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            point.rng.store(x, Ordering::Relaxed);
+            let draw = (x >> 11) as f64 / (1u64 << 53) as f64;
+            if draw >= p {
+                return Ok(());
+            }
+        }
+        if point.action != FaultAction::Off {
+            point.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        point.action
+    };
+    match action {
+        FaultAction::Off => Ok(()),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        FaultAction::Err => Err(InjectedFault {
+            point: name.to_string(),
+        }),
+        FaultAction::Panic => panic!("fail point `{name}` armed with panic"),
+        FaultAction::Kill => std::process::abort(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so each uses its
+    // own point names and ends with `clear()` hygiene where it matters.
+
+    #[test]
+    fn disarmed_points_are_inert() {
+        assert_eq!(fail_point("test.nothing_armed_here"), Ok(()));
+    }
+
+    #[test]
+    fn err_action_returns_typed_fault() {
+        set("test.err_point", FaultAction::Err);
+        let e = fail_point("test.err_point").unwrap_err();
+        assert_eq!(e.point, "test.err_point");
+        assert!(hit_count("test.err_point") >= 1);
+        set("test.err_point", FaultAction::Off);
+        assert_eq!(fail_point("test.err_point"), Ok(()));
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        set("test.panic_point", FaultAction::Panic);
+        let r = std::panic::catch_unwind(|| fail_point("test.panic_point"));
+        assert!(r.is_err());
+        set("test.panic_point", FaultAction::Off);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        configure("test.a=err, test.b=delay:5ms, test.c=off").unwrap();
+        assert!(fail_point("test.a").is_err());
+        let t = std::time::Instant::now();
+        assert!(fail_point("test.b").is_ok());
+        assert!(t.elapsed() >= Duration::from_millis(5));
+        assert!(fail_point("test.c").is_ok());
+        configure("test.a=off, test.b=off").unwrap();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(configure("nonsense").is_err());
+        assert!(configure("x=explode").is_err());
+        assert!(configure("x=delay:5").is_err());
+        assert!(configure("x=err@1.5").is_err());
+    }
+
+    #[test]
+    fn probability_is_seeded_and_partial() {
+        configure("test.prob=err@0.5").unwrap();
+        let fired: usize = (0..64)
+            .map(|_| usize::from(fail_point("test.prob").is_err()))
+            .sum();
+        // Deterministic for a fixed seed; must be neither never nor
+        // always at p=0.5 over 64 draws.
+        assert!(fired > 0 && fired < 64, "fired {fired}/64");
+        configure("test.prob=off").unwrap();
+    }
+}

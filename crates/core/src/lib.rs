@@ -37,6 +37,10 @@
 //! * [`wire`] — the versioned, length-prefixed frame format and
 //!   primitive encoding helpers shared by every cross-process protocol
 //!   (state migration's control frames and shard-snapshot payloads).
+//! * [`fault`] — deterministic fault injection: named fail points on
+//!   the runtime's protocol paths, armed via `ELASTICUTOR_FAILPOINTS`
+//!   (kill/panic/err/delay, optionally probabilistic with a fixed
+//!   seed), costing nothing when disarmed.
 //! * [`config`] — framework configuration with the paper's defaults.
 //! * [`error`] — shared error type.
 
@@ -45,6 +49,7 @@
 pub mod balance;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod instances;

@@ -138,6 +138,14 @@ pub struct ExecutorConfig {
     /// the submitter back off and retry, so this knob bounds the
     /// records parked between the submitter and each task.
     pub ring_capacity: Option<usize>,
+    /// Failure containment: once a shard accumulates this many operator
+    /// panics, the executor flags it for quarantine. Task threads only
+    /// *request* — [`ElasticExecutor::take_quarantine_requests`] hands
+    /// the flagged shards to a supervisor (see
+    /// [`ExecutorGroup::supervise`](crate::group::ExecutorGroup::supervise)),
+    /// which parks them with [`ElasticExecutor::quarantine_shard`].
+    /// `None` (the default) disables the per-shard panic counter.
+    pub quarantine_after: Option<u32>,
 }
 
 /// Ring capacity used when [`ExecutorConfig::ring_capacity`] is `None`.
@@ -155,6 +163,7 @@ impl Default for ExecutorConfig {
             baseline_locked_routing: std::env::var("ELASTICUTOR_BASELINE").is_ok_and(|v| v == "1"),
             single_producer: false,
             ring_capacity: None,
+            quarantine_after: None,
         }
     }
 }
@@ -372,6 +381,23 @@ struct Inner<O: Operator> {
     /// Records whose `Operator::process` panicked (counted under
     /// `processed` as well — they were consumed).
     operator_panics: AtomicU64,
+    /// Per-shard cumulative operator panic counts — touched only on the
+    /// (already slow) panic path, reset when a quarantined shard is
+    /// released. Allocated regardless, consulted only when
+    /// `quarantine_after` is set.
+    panic_counts: Box<[AtomicU32]>,
+    /// See [`ExecutorConfig::quarantine_after`].
+    quarantine_after: Option<u32>,
+    /// Shards whose panic count crossed the threshold. Task threads
+    /// only *flag* shards here — parking one blocks on the owner task's
+    /// flush marker, so a supervisor thread must run the actual
+    /// [`ElasticExecutor::quarantine_shard`].
+    quarantine_req: Mutex<Vec<ShardId>>,
+    /// Quarantined shards, parked with their extracted state until
+    /// [`ElasticExecutor::release_quarantined`].
+    parked: Mutex<std::collections::BTreeMap<ShardId, ShardSnapshot>>,
+    /// Records dropped because their shard was quarantined.
+    quarantine_dropped: AtomicU64,
     /// Completed reassignments: (sync_ns, total_ns).
     reassignment_log: Mutex<Vec<(u64, u64)>>,
     /// See [`ExecutorConfig::baseline_locked_routing`].
@@ -532,6 +558,11 @@ impl<O: Operator> ElasticExecutor<O> {
             emitted: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
             operator_panics: AtomicU64::new(0),
+            panic_counts: (0..config.num_shards).map(|_| AtomicU32::new(0)).collect(),
+            quarantine_after: config.quarantine_after,
+            quarantine_req: Mutex::new(Vec::new()),
+            parked: Mutex::new(std::collections::BTreeMap::new()),
+            quarantine_dropped: AtomicU64::new(0),
             reassignment_log: Mutex::new(Vec::new()),
             baseline: config.baseline_locked_routing,
             use_rings: config.single_producer && !config.baseline_locked_routing,
@@ -1268,6 +1299,8 @@ impl<O: Operator> ElasticExecutor<O> {
     /// [`Self::abort_migration`] with the returned snapshot. Blocks for
     /// the drain; must not be called from a task thread.
     pub fn begin_migration(&self, shard: ShardId) -> Result<ShardSnapshot> {
+        elasticutor_core::fault::fail_point("executor.pause")
+            .map_err(|e| Error::Infeasible(e.to_string()))?;
         let (flushed, from) = self.pause_and_flush(shard)?;
         if flushed.recv().is_err() {
             // The owner task stopped (executor halting) before it
@@ -1571,6 +1604,228 @@ impl<O: Operator> ElasticExecutor<O> {
         self.inner.routing.lock().remote.keys().copied().collect()
     }
 
+    /// Whether `shard`'s routing is paused — mid-reassignment, or
+    /// parked by a migration that died before resolving. Crash
+    /// recovery uses this to tell a surviving sender (shard parked,
+    /// snapshot extracted) from a freshly restarted process (shard
+    /// plain local and empty).
+    pub fn is_shard_paused(&self, shard: ShardId) -> bool {
+        self.inner.routing.lock().table.is_paused(shard)
+    }
+
+    /// Whether this executor currently owns `shard`: mapped to a local
+    /// task, not remote, not paused. The peer-side answer to a crash
+    /// recovery ownership query.
+    pub fn owns_shard(&self, shard: ShardId) -> bool {
+        let rs = self.inner.routing.lock();
+        !rs.remote.contains_key(&shard)
+            && !rs.table.is_paused(shard)
+            && rs.table.task_of(shard).is_ok()
+    }
+
+    /// Replaces the forwarder of an already-remote shard — a
+    /// re-established link rebinds its delegated shards to the new
+    /// connection instead of re-marking them remote. Errors if the
+    /// shard is not currently remote.
+    pub fn rebind_remote(&self, shard: ShardId, forward: RemoteForwarder) -> Result<()> {
+        let mut rs = self.inner.routing.lock();
+        if !rs.remote.contains_key(&shard) {
+            return Err(Error::Infeasible(format!("{shard} is not remote")));
+        }
+        *self.inner.remote_fast[shard.index()].write() = Some(Arc::clone(&forward));
+        rs.remote.insert(shard, forward);
+        Ok(())
+    }
+
+    /// Drains the pending quarantine requests — shards whose cumulative
+    /// operator panic count crossed
+    /// [`ExecutorConfig::quarantine_after`]. Task threads only flag
+    /// shards; the caller (typically a group supervisor) parks them
+    /// with [`Self::quarantine_shard`], which must run off the task
+    /// threads.
+    pub fn take_quarantine_requests(&self) -> Vec<ShardId> {
+        std::mem::take(&mut *self.inner.quarantine_req.lock())
+    }
+
+    /// Parks `shard`: pauses and flushes it like an outbound migration,
+    /// extracts its state, and installs a black-hole forwarder that
+    /// counts (and drops) every record routed to it — isolating keys
+    /// that keep panicking the operator without taking the task thread,
+    /// or the healthy shards it hosts, down with them. The extracted
+    /// snapshot stays parked until [`Self::release_quarantined`]. Must
+    /// not be called from a task thread (it blocks on that thread's
+    /// flush marker).
+    pub fn quarantine_shard(&self, shard: ShardId) -> Result<()> {
+        let snapshot = self.begin_migration(shard)?;
+        let counter = Arc::clone(&self.inner);
+        let forward: RemoteForwarder = Arc::new(move |_, _| {
+            counter.quarantine_dropped.fetch_add(1, Ordering::Relaxed);
+        });
+        match self.complete_migration(shard, forward, || {}) {
+            Ok(()) => {
+                self.inner.parked.lock().insert(shard, snapshot);
+                Ok(())
+            }
+            Err(e) => {
+                self.abort_migration(snapshot)
+                    .expect("paused shard restores");
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores a quarantined shard: reinstalls its parked snapshot,
+    /// reopens local routing, and resets its panic counter. Records
+    /// dropped while parked stay dropped (see
+    /// [`Self::quarantine_dropped`]).
+    pub fn release_quarantined(&self, shard: ShardId) -> Result<()> {
+        // Clone rather than remove: if the install fails the snapshot
+        // must stay parked. (Rare control-plane path; the copy is the
+        // price of not losing state on a failed release.)
+        let snapshot = self
+            .inner
+            .parked
+            .lock()
+            .get(&shard)
+            .cloned()
+            .ok_or(Error::UnknownShard(shard))?;
+        self.adopt_install(snapshot)?;
+        self.adopt_finish(shard)?;
+        self.inner.parked.lock().remove(&shard);
+        self.inner.panic_counts[shard.index()].store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Shards currently parked by [`Self::quarantine_shard`].
+    pub fn quarantined_shards(&self) -> Vec<ShardId> {
+        self.inner.parked.lock().keys().copied().collect()
+    }
+
+    /// Total records dropped on quarantined shards since start.
+    pub fn quarantine_dropped(&self) -> u64 {
+        self.inner.quarantine_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Reaps task threads that died — a panic escaping the per-record
+    /// containment (unwinding inside a destructor, an OOM abort short
+    /// of killing the process) takes the whole thread with it — and
+    /// re-homes their shards onto survivors, spawning a fresh task
+    /// first if none survive. Records queued at a dead task are lost
+    /// with it (crash semantics); per-key FIFO is preserved because a
+    /// re-homed shard only resumes after the takeover flips the table,
+    /// so no stale delivery can trail the re-homed ones. Returns the
+    /// number of dead tasks reaped.
+    pub fn respawn_dead_tasks(&self) -> usize {
+        // Reap finished threads first, outside the routing lock.
+        let dead: Vec<(TaskId, JoinHandle<()>)> = {
+            let mut threads = self.threads.lock();
+            let mut dead = Vec::new();
+            let mut i = 0;
+            while i < threads.len() {
+                if threads[i].1.is_finished() {
+                    dead.push(threads.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            dead
+        };
+        if dead.is_empty() {
+            return 0;
+        }
+        let dead_ids: Vec<TaskId> = dead.iter().map(|(id, _)| *id).collect();
+        for (_, handle) in dead {
+            let _ = handle.join(); // collect the panic payload, drop it
+        }
+        // Unregister the corpses: close their slots, retire latency.
+        {
+            let mut rs = self.inner.routing.lock();
+            for &task in &dead_ids {
+                rs.draining.remove(&task);
+                rs.senders.remove(&task);
+                if let Some(slot) = rs.task_slots.remove(&task) {
+                    *self.inner.slots[slot].sender.write() = None;
+                    *self.inner.slots[slot].ring.write() = None;
+                    let hist = self.inner.latency.take_cell(slot);
+                    self.inner.retired_latency.lock().merge(&hist);
+                    rs.free_slots.push(slot);
+                }
+            }
+        }
+        // At least one live task must remain to adopt the orphans.
+        if self.inner.routing.lock().senders.is_empty() {
+            self.add_task().expect("respawn replacement task");
+        }
+        self.rehome_orphans(&dead_ids);
+        dead_ids.len()
+    }
+
+    /// Re-homes every shard stranded by the dead tasks in `dead`:
+    /// reassignments whose *source* died lost their labeling tuple with
+    /// the source's queue and are taken over directly; shards plainly
+    /// mapped to a dead task are paused and taken over the same way.
+    /// Labels whose *target* died are left alone — the live source
+    /// still processes the tuple and `handle_label` aborts them itself.
+    fn rehome_orphans(&self, dead: &[TaskId]) {
+        // Lock order: routing before reassigns (the global order).
+        let mut rs = self.inner.routing.lock();
+        let mut tracker = self.inner.reassigns.lock();
+        let survivors: Vec<TaskId> = rs
+            .senders
+            .keys()
+            .copied()
+            .filter(|t| !rs.draining.contains(t))
+            .collect();
+        let mut next = 0usize;
+        let mut takeover = |rs: &mut RoutingState, shard: ShardId| {
+            let target = survivors[next % survivors.len()];
+            next += 1;
+            let buffered = rs
+                .table
+                .finish_reassignment(shard, target)
+                .expect("orphan shard is paused");
+            // Same order as `handle_label`: buffered records reach the
+            // new owner before the word flips, so fast-path deliveries
+            // queue behind them.
+            if !buffered.is_empty() {
+                let batch: Vec<(ShardId, Record)> =
+                    buffered.into_iter().map(|r| (shard, r)).collect();
+                let _ = rs.senders[&target].send(TaskMsg::Batch(batch));
+            }
+            let slot = rs.task_slots[&target] as u32;
+            self.inner.shard_table.finish(shard, slot);
+        };
+        let stranded: Vec<u64> = tracker
+            .pending_labels()
+            .into_iter()
+            .filter(|l| tracker.get(*l).is_some_and(|m| dead.contains(&m.from)))
+            .collect();
+        for label in stranded {
+            let inflight = tracker.abort(label).expect("label is pending");
+            takeover(&mut rs, inflight.shard);
+        }
+        // Plainly-owned orphans. Paused shards without a stranded label
+        // are mid-migration (or awaiting a live source's label) — their
+        // own protocol resolves them; remote shards keep a stale local
+        // mapping by design and route past it.
+        let orphans: Vec<ShardId> = rs
+            .table
+            .assignment()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| dead.contains(t))
+            .map(|(s, _)| ShardId(s as u32))
+            .filter(|s| !rs.remote.contains_key(s) && !rs.table.is_paused(*s))
+            .collect();
+        for shard in orphans {
+            rs.table.pause(shard).expect("orphan shard is idle");
+            // The wait-free handshake: no in-flight fast-path route can
+            // still reference the dead slot after this returns.
+            self.inner.shard_table.pause(shard);
+            takeover(&mut rs, shard);
+        }
+    }
+
     /// Stops all task threads without consuming the executor — the
     /// fallback a [`Pipeline`](crate::pipeline::Pipeline) uses at
     /// shutdown when the caller still holds a clone of the stage handle
@@ -1609,7 +1864,17 @@ fn process_items<O: Operator>(inner: &Inner<O>, slot: usize, items: &[(ShardId, 
         latencies.push(done.saturating_sub(record.created_ns));
         match outcome {
             Ok(outs) => outputs.extend(outs),
-            Err(_) => panics += 1,
+            Err(_) => {
+                panics += 1;
+                // Escalate a repeatedly poisonous shard to a quarantine
+                // request exactly once, when it crosses the threshold.
+                if let Some(limit) = inner.quarantine_after {
+                    let prev = inner.panic_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
+                    if prev + 1 == limit {
+                        inner.quarantine_req.lock().push(*shard);
+                    }
+                }
+            }
         }
     }
     inner

@@ -98,6 +98,18 @@ pub struct RescaleEvent {
     pub live_after: usize,
 }
 
+/// Outcome of one [`ExecutorGroup::supervise`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisionReport {
+    /// Shards parked by this pass (panic threshold crossed).
+    pub quarantined: Vec<ShardId>,
+    /// Dead task threads reaped and replaced.
+    pub respawned: usize,
+    /// Flagged shards whose quarantine could not start (mid-protocol);
+    /// they stay flagged by their counters and surface again.
+    pub quarantine_failures: usize,
+}
+
 /// A live, resizable set of executor instances for one operator. See
 /// the module docs for the routing and rescaling model.
 pub struct ExecutorGroup {
@@ -340,6 +352,73 @@ impl ExecutorGroup {
     /// Completed rescale events, oldest first.
     pub fn rescale_log(&self) -> Vec<RescaleEvent> {
         self.rescales.lock().clone()
+    }
+
+    /// One supervision pass over every live instance: reaps and
+    /// replaces dead task threads
+    /// ([`ElasticExecutor::respawn_dead_tasks`]) and parks every shard
+    /// the instances flagged as poisonous
+    /// ([`ElasticExecutor::take_quarantine_requests`] →
+    /// [`ElasticExecutor::quarantine_shard`]). Meant to be called
+    /// periodically from a control thread — e.g. alongside the
+    /// controller's sampling tick; it blocks on task flush markers and
+    /// must not run on a task thread.
+    pub fn supervise(&self) -> SupervisionReport {
+        // Snapshot the live executors first: quarantining blocks on a
+        // flush marker and must not hold the instances lock against a
+        // concurrent rescale.
+        let live: Vec<Arc<ElasticExecutor<BoxedOperator>>> = {
+            let instances = self.instances.read();
+            instances
+                .iter()
+                .filter(|s| !s.retired)
+                .map(|s| Arc::clone(&s.exec))
+                .collect()
+        };
+        let mut report = SupervisionReport::default();
+        for exec in live {
+            report.respawned += exec.respawn_dead_tasks();
+            for shard in exec.take_quarantine_requests() {
+                match exec.quarantine_shard(shard) {
+                    Ok(()) => report.quarantined.push(shard),
+                    // Shard already mid-protocol (rescale migration in
+                    // flight) or re-flagged concurrently: skip — the
+                    // counter stays above threshold, so it cannot be
+                    // re-requested and silently forgotten.
+                    Err(_) => report.quarantine_failures += 1,
+                }
+            }
+        }
+        report
+    }
+
+    /// All shards currently quarantined, across live instances.
+    pub fn quarantined_shards(&self) -> Vec<ShardId> {
+        self.instances
+            .read()
+            .iter()
+            .filter(|s| !s.retired)
+            .flat_map(|s| s.exec.quarantined_shards())
+            .collect()
+    }
+
+    /// Releases a quarantined shard on whichever live instance parked
+    /// it. Errors with [`Error::UnknownShard`] if no instance holds it.
+    pub fn release_quarantined(&self, shard: ShardId) -> Result<()> {
+        let live: Vec<Arc<ElasticExecutor<BoxedOperator>>> = {
+            let instances = self.instances.read();
+            instances
+                .iter()
+                .filter(|s| !s.retired)
+                .map(|s| Arc::clone(&s.exec))
+                .collect()
+        };
+        for exec in live {
+            if exec.quarantined_shards().contains(&shard) {
+                return exec.release_quarantined(shard);
+            }
+        }
+        Err(Error::UnknownShard(shard))
     }
 
     /// Adds a live instance and migrates the shards the rendezvous map

@@ -1,0 +1,509 @@
+//! The migration **recovery journal**: an append-only, checksummed,
+//! fsync'd log of the cross-process migration protocol's durability
+//! points, written by [`MigrationEndpoint`](crate::migrate::MigrationEndpoint)
+//! and replayed by its `recover()` after a crash.
+//!
+//! # Why a journal
+//!
+//! Shard state lives in memory only; a `kill -9` mid-migration loses
+//! whatever the process held. Without a log, a crash inside the
+//! COMMIT→ACK two-phase-commit window can end with the shard owned by
+//! **both** sides (sender restored + receiver installed) or **neither**
+//! (sender extracted + receiver never committed). The journal makes
+//! every step that transfers responsibility durable *before* the
+//! corresponding frame leaves the process, so a restart can replay the
+//! log and resolve every in-flight migration to exactly one owner.
+//!
+//! # Record format
+//!
+//! Entries are [`elasticutor_core::wire`] frames appended to one file.
+//! Every entry payload ends with an FNV-1a checksum of the preceding
+//! payload bytes. Large snapshots are not one giant frame: the snapshot
+//! streams as `J_SNAP_CHUNK` frames (each an encoded, self-checksummed
+//! [`ShardSnapshot`] slice) and the durability **marker** frame comes
+//! last, carrying the totals and an end-to-end digest — so a torn write
+//! anywhere in the sequence simply leaves no marker, and replay ignores
+//! the orphaned chunks. `fsync` happens at each marker, which is the
+//! moment the protocol is allowed to proceed.
+//!
+//! ```text
+//! sender:    [chunk*] OFFER_SENT … COMMIT_SENT … ACK_RECEIVED RESOLVED_REMOTE
+//! receiver:  [chunk*] STATE_DURABLE … RESOLVED_LOCAL
+//! ```
+//!
+//! # Replay semantics
+//!
+//! [`RecoveryJournal::replay`] folds the entries into at most one open
+//! [`ShardFate`] per shard (later migrations of the same shard override
+//! earlier resolved ones). A frame that cannot be read stops the replay
+//! at the last durable entry (torn tail — expected after a crash). A
+//! frame that reads but fails its checksum is tolerated only at the
+//! tail; mid-file corruption is surfaced as a typed error, because
+//! skipping a possibly-resolving entry could resurrect a migration that
+//! already completed.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, Checksum, WireError};
+use elasticutor_state::ShardSnapshot;
+use parking_lot::Mutex;
+
+/// One encoded snapshot slice of a pending entry (precedes its marker).
+pub const J_SNAP_CHUNK: u8 = 1;
+/// Sender marker: snapshot durable, `OFFER` about to leave.
+pub const J_OFFER_SENT: u8 = 2;
+/// Receiver marker: verified state durable, `COMMIT_ACK` about to leave.
+pub const J_STATE_DURABLE: u8 = 3;
+/// Sender marker: `COMMIT` about to leave (opens the 2PC window).
+pub const J_COMMIT_SENT: u8 = 4;
+/// Sender marker: `COMMIT_ACK` arrived (peer owns the state).
+pub const J_ACK_RECEIVED: u8 = 5;
+/// Terminal: the shard ended up owned locally.
+pub const J_RESOLVED_LOCAL: u8 = 6;
+/// Terminal: the shard ended up owned by the peer.
+pub const J_RESOLVED_REMOTE: u8 = 7;
+
+/// Value bytes per journal snapshot chunk (mirrors the link's `STATE`
+/// chunking so a snapshot that fits the wire fits the journal).
+const JOURNAL_CHUNK_BYTES: u64 = 256 * 1024;
+
+/// How a crash left one shard, per the journal: the open (unresolved)
+/// state [`RecoveryJournal::replay`] hands to `recover()`.
+#[derive(Clone, Debug)]
+pub enum ShardFate {
+    /// Sender journaled the snapshot and (maybe) sent `OFFER`, but
+    /// never sent `COMMIT`: the peer cannot have installed — restore
+    /// locally from the journaled snapshot.
+    SenderOffered(ShardSnapshot),
+    /// Sender sent `COMMIT` but never saw the ack: the classic 2PC
+    /// in-doubt state — ask the peer who owns it, then restore locally
+    /// or settle remote.
+    SenderCommitted(ShardSnapshot),
+    /// Sender saw `COMMIT_ACK`: the peer owns the state — settle the
+    /// shard remote (re-ack).
+    SenderAcked,
+    /// Receiver journaled the verified state but never finished the
+    /// adoption: reinstall from the journal — this side owns it.
+    ReceiverDurable(ShardSnapshot),
+}
+
+/// The folded outcome of a replay.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// Unresolved migrations, one fate per shard.
+    pub open: BTreeMap<ShardId, ShardFate>,
+    /// Total well-formed entries read (diagnostics).
+    pub entries: usize,
+    /// Whether replay stopped at a torn tail (expected after a crash).
+    pub torn_tail: bool,
+}
+
+impl JournalState {
+    /// The open fate of `shard`, if any.
+    pub fn fate(&self, shard: ShardId) -> Option<&ShardFate> {
+        self.open.get(&shard)
+    }
+}
+
+/// The append handle. One journal file per endpoint per process;
+/// appends are serialized by an internal lock, and each marker append
+/// ends with `fsync` before returning.
+pub struct RecoveryJournal {
+    file: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for RecoveryJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryJournal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+/// Appends the entry checksum and frames `payload` into `w`.
+fn append_entry(w: &mut impl Write, kind: u8, mut payload: Vec<u8>) -> std::io::Result<()> {
+    let sum = wire::checksum(&payload);
+    wire::put_u64(&mut payload, sum);
+    wire::write_frame(w, kind, &payload).map_err(|e| match e {
+        WireError::Io(kind) => std::io::Error::from(kind),
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    })
+}
+
+/// Payload of a snapshot marker: shard, totals, end-to-end digest.
+fn marker_payload(snapshot: &ShardSnapshot) -> Vec<u8> {
+    let mut digest = Checksum::new();
+    snapshot.fold_checksum(&mut digest);
+    let mut out = Vec::with_capacity(28);
+    wire::put_u32(&mut out, snapshot.shard.0);
+    wire::put_u64(&mut out, snapshot.len() as u64);
+    wire::put_u64(&mut out, snapshot.value_bytes());
+    wire::put_u64(&mut out, digest.finish());
+    out
+}
+
+impl RecoveryJournal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            file: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends snapshot chunks followed by a marker of `kind`, then
+    /// fsyncs. The marker is the commit point: chunks without one are
+    /// ignored by replay.
+    fn append_snapshot_marker(&self, kind: u8, snapshot: &ShardSnapshot) -> std::io::Result<()> {
+        let mut w = self.file.lock();
+        if !snapshot.is_empty() {
+            for chunk in snapshot.chunks(JOURNAL_CHUNK_BYTES) {
+                append_entry(&mut *w, J_SNAP_CHUNK, chunk.encode())?;
+            }
+        }
+        append_entry(&mut *w, kind, marker_payload(snapshot))?;
+        w.flush()?;
+        w.get_ref().sync_data()
+    }
+
+    /// Appends a shard-only marker, then fsyncs.
+    fn append_shard_marker(&self, kind: u8, shard: ShardId) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(4);
+        wire::put_u32(&mut payload, shard.0);
+        let mut w = self.file.lock();
+        append_entry(&mut *w, kind, payload)?;
+        w.flush()?;
+        w.get_ref().sync_data()
+    }
+
+    /// Sender: the extracted snapshot is durable; `OFFER` may leave.
+    pub fn log_offer_sent(&self, snapshot: &ShardSnapshot) -> std::io::Result<()> {
+        self.append_snapshot_marker(J_OFFER_SENT, snapshot)
+    }
+
+    /// Receiver: the verified inbound state is durable; install and
+    /// `COMMIT_ACK` may proceed.
+    pub fn log_state_durable(&self, snapshot: &ShardSnapshot) -> std::io::Result<()> {
+        self.append_snapshot_marker(J_STATE_DURABLE, snapshot)
+    }
+
+    /// Sender: `COMMIT` is about to leave (opens the in-doubt window).
+    pub fn log_commit_sent(&self, shard: ShardId) -> std::io::Result<()> {
+        self.append_shard_marker(J_COMMIT_SENT, shard)
+    }
+
+    /// Sender: `COMMIT_ACK` arrived — the peer owns the state.
+    pub fn log_ack_received(&self, shard: ShardId) -> std::io::Result<()> {
+        self.append_shard_marker(J_ACK_RECEIVED, shard)
+    }
+
+    /// Terminal: the shard is settled local (restored or adopted).
+    pub fn log_resolved_local(&self, shard: ShardId) -> std::io::Result<()> {
+        self.append_shard_marker(J_RESOLVED_LOCAL, shard)
+    }
+
+    /// Terminal: the shard is settled remote (peer confirmed owner).
+    pub fn log_resolved_remote(&self, shard: ShardId) -> std::io::Result<()> {
+        self.append_shard_marker(J_RESOLVED_REMOTE, shard)
+    }
+
+    /// Replays this journal's file from the start (a fresh read handle;
+    /// appends made so far are visible). See the module docs for torn
+    /// tail vs mid-file corruption semantics.
+    pub fn replay(&self) -> Result<JournalState, WireError> {
+        replay_path(&self.path)
+    }
+}
+
+/// Replays the journal at `path` without opening it for append — what a
+/// restarted process does before deciding how to resolve each shard. A
+/// missing file replays as empty (first run).
+pub fn replay_path(path: impl AsRef<Path>) -> Result<JournalState, WireError> {
+    let file = match File::open(path.as_ref()) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalState::default()),
+        Err(e) => return Err(WireError::Io(e.kind())),
+    };
+    let mut r = BufReader::new(file);
+    replay_stream(&mut r)
+}
+
+/// Chunks assembled for a shard while waiting for their marker.
+#[derive(Default)]
+struct PendingChunks {
+    entries: Vec<(Key, Bytes)>,
+    value_bytes: u64,
+    digest: Checksum,
+}
+
+fn replay_stream(r: &mut impl Read) -> Result<JournalState, WireError> {
+    let mut state = JournalState::default();
+    let mut pending: BTreeMap<ShardId, PendingChunks> = BTreeMap::new();
+    loop {
+        let (kind, payload) = match wire::read_frame(r) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Unreadable frame: either clean EOF or a torn tail —
+                // both end the replay at the last durable entry. (A
+                // torn frame also desyncs the stream, so there is
+                // nothing to resync onto.)
+                state.torn_tail = true;
+                return Ok(state);
+            }
+        };
+        // Entry checksum: the last 8 payload bytes cover the rest.
+        let body = match payload.len().checked_sub(8) {
+            Some(n) if wire::checksum(&payload[..n]) == read_u64_at(&payload, n) => &payload[..n],
+            _ => {
+                // A well-framed but corrupt entry: tolerate only as the
+                // very last frame (torn write inside the payload).
+                return match wire::read_frame(r) {
+                    Err(_) => {
+                        state.torn_tail = true;
+                        Ok(state)
+                    }
+                    Ok(_) => Err(WireError::Corrupt("mid-journal entry checksum mismatch")),
+                };
+            }
+        };
+        state.entries += 1;
+        match kind {
+            J_SNAP_CHUNK => {
+                let chunk = ShardSnapshot::decode(body)?;
+                let slot = pending.entry(chunk.shard).or_default();
+                chunk.fold_checksum(&mut slot.digest);
+                slot.value_bytes += chunk.value_bytes();
+                slot.entries.extend(chunk.entries);
+            }
+            J_OFFER_SENT | J_STATE_DURABLE => {
+                let mut p = wire::ByteReader::new(body);
+                let shard = ShardId(p.u32()?);
+                let entries = p.u64()?;
+                let value_bytes = p.u64()?;
+                let digest = p.u64()?;
+                let assembled = pending.remove(&shard).unwrap_or_default();
+                let snapshot = ShardSnapshot {
+                    shard,
+                    entries: assembled.entries,
+                };
+                let mut whole = Checksum::new();
+                snapshot.fold_checksum(&mut whole);
+                if snapshot.len() as u64 != entries
+                    || assembled.value_bytes != value_bytes
+                    || whole.finish() != digest
+                {
+                    return Err(WireError::Corrupt("journal snapshot digest mismatch"));
+                }
+                let fate = if kind == J_OFFER_SENT {
+                    ShardFate::SenderOffered(snapshot)
+                } else {
+                    ShardFate::ReceiverDurable(snapshot)
+                };
+                state.open.insert(shard, fate);
+            }
+            J_COMMIT_SENT => {
+                let shard = read_shard(body)?;
+                // Promote the offered snapshot into the in-doubt state;
+                // a commit marker without an offer is corruption.
+                match state.open.remove(&shard) {
+                    Some(ShardFate::SenderOffered(s)) => {
+                        state.open.insert(shard, ShardFate::SenderCommitted(s));
+                    }
+                    _ => return Err(WireError::Corrupt("commit marker without an offer entry")),
+                }
+            }
+            J_ACK_RECEIVED => {
+                let shard = read_shard(body)?;
+                match state.open.remove(&shard) {
+                    Some(ShardFate::SenderCommitted(_) | ShardFate::SenderOffered(_)) => {
+                        state.open.insert(shard, ShardFate::SenderAcked);
+                    }
+                    _ => return Err(WireError::Corrupt("ack marker without a commit entry")),
+                }
+            }
+            J_RESOLVED_LOCAL | J_RESOLVED_REMOTE => {
+                let shard = read_shard(body)?;
+                state.open.remove(&shard);
+            }
+            _ => return Err(WireError::Corrupt("unknown journal entry kind")),
+        }
+    }
+}
+
+fn read_shard(body: &[u8]) -> Result<ShardId, WireError> {
+    let mut p = wire::ByteReader::new(body);
+    Ok(ShardId(p.u32()?))
+}
+
+fn read_u64_at(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(shard: u32, n: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: ShardId(shard),
+            entries: (0..n)
+                .map(|k| (Key(k), Bytes::from(vec![(k % 251) as u8; 64])))
+                .collect(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("elasticutor-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let state = replay_path("/nonexistent/elasticutor.journal").unwrap();
+        assert!(state.open.is_empty());
+        assert_eq!(state.entries, 0);
+    }
+
+    #[test]
+    fn sender_lifecycle_folds_to_one_fate() {
+        let path = tmp("sender");
+        let j = RecoveryJournal::open(&path).unwrap();
+        let s = snap(3, 20);
+        j.log_offer_sent(&s).unwrap();
+        match j.replay().unwrap().fate(ShardId(3)) {
+            Some(ShardFate::SenderOffered(got)) => assert_eq!(got, &s),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        j.log_commit_sent(ShardId(3)).unwrap();
+        match j.replay().unwrap().fate(ShardId(3)) {
+            Some(ShardFate::SenderCommitted(got)) => assert_eq!(got, &s),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        j.log_ack_received(ShardId(3)).unwrap();
+        assert!(matches!(
+            j.replay().unwrap().fate(ShardId(3)),
+            Some(ShardFate::SenderAcked)
+        ));
+        j.log_resolved_remote(ShardId(3)).unwrap();
+        assert!(j.replay().unwrap().open.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn receiver_durable_and_empty_snapshots() {
+        let path = tmp("receiver");
+        let j = RecoveryJournal::open(&path).unwrap();
+        let s = snap(5, 9);
+        j.log_state_durable(&s).unwrap();
+        // Empty snapshot on another shard: marker only, no chunks.
+        let empty = ShardSnapshot::empty(ShardId(6));
+        j.log_offer_sent(&empty).unwrap();
+        let state = j.replay().unwrap();
+        match state.fate(ShardId(5)) {
+            Some(ShardFate::ReceiverDurable(got)) => assert_eq!(got, &s),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        match state.fate(ShardId(6)) {
+            Some(ShardFate::SenderOffered(got)) => assert!(got.is_empty()),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        j.log_resolved_local(ShardId(5)).unwrap();
+        j.log_resolved_local(ShardId(6)).unwrap();
+        assert!(j.replay().unwrap().open.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn large_snapshot_chunks_and_survives() {
+        let path = tmp("chunked");
+        let j = RecoveryJournal::open(&path).unwrap();
+        // ~1.3 MiB of values: several 256 KiB journal chunks.
+        let s = ShardSnapshot {
+            shard: ShardId(1),
+            entries: (0..20u64)
+                .map(|k| (Key(k), Bytes::from(vec![k as u8; 64 * 1024])))
+                .collect(),
+        };
+        j.log_offer_sent(&s).unwrap();
+        match j.replay().unwrap().fate(ShardId(1)) {
+            Some(ShardFate::SenderOffered(got)) => assert_eq!(got, &s),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_every_truncation_point() {
+        let path = tmp("torn");
+        let j = RecoveryJournal::open(&path).unwrap();
+        let s = snap(2, 12);
+        j.log_offer_sent(&s).unwrap();
+        let durable = std::fs::read(&path).unwrap();
+        j.log_commit_sent(ShardId(2)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        drop(j);
+        // Truncating anywhere inside the *last* entry must fall back to
+        // the state as of the previous durable marker — never an error.
+        for cut in durable.len()..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let state = replay_path(&path).unwrap();
+            assert!(
+                matches!(state.fate(ShardId(2)), Some(ShardFate::SenderOffered(_))),
+                "cut at {cut}: commit marker should be dropped"
+            );
+            assert!(state.torn_tail);
+        }
+        // The intact file folds to the committed fate.
+        std::fs::write(&path, &full).unwrap();
+        assert!(matches!(
+            replay_path(&path).unwrap().fate(ShardId(2)),
+            Some(ShardFate::SenderCommitted(_))
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_a_typed_error() {
+        let path = tmp("corrupt");
+        let j = RecoveryJournal::open(&path).unwrap();
+        j.log_offer_sent(&snap(1, 4)).unwrap();
+        let first = std::fs::read(&path).unwrap().len();
+        j.log_commit_sent(ShardId(1)).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the *first* entry (skip the 6-byte
+        // frame header) while a valid entry still follows it.
+        bytes[8] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(replay_path(&path).is_err(), "mid-journal flip must error");
+        // The same flip in the final entry is a tolerated torn tail.
+        let mut tail = std::fs::read(&path).unwrap();
+        tail[8] ^= 0xFF; // restore first entry
+        tail[first + 8] ^= 0xFF; // corrupt last entry
+        std::fs::write(&path, &tail).unwrap();
+        let state = replay_path(&path).unwrap();
+        assert!(state.torn_tail);
+        assert!(matches!(
+            state.fate(ShardId(1)),
+            Some(ShardFate::SenderOffered(_))
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -62,6 +62,7 @@ pub mod controller;
 pub mod dag;
 pub mod executor;
 pub mod group;
+pub mod journal;
 pub mod migrate;
 pub mod order;
 pub mod pipeline;
@@ -72,8 +73,12 @@ pub use dag::{LiveDag, LiveDagBuilder, OperatorStats};
 pub use executor::{
     ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, ProgressNotifier, RemoteForwarder,
 };
-pub use group::{ExecutorGroup, RescaleEvent};
-pub use migrate::{MigrateError, MigrationEndpoint, MigrationReport};
+pub use group::{ExecutorGroup, RescaleEvent, SupervisionReport};
+pub use journal::{JournalState, RecoveryJournal, ShardFate};
+pub use migrate::{
+    Backoff, LinkEvent, MigrateError, MigrationConfig, MigrationEndpoint, MigrationReport,
+    RecoveryReport,
+};
 pub use order::FifoChecker;
 pub use pipeline::{BoxedOperator, Pipeline, PipelineBuilder, StageStats};
 pub use record::{monotonic_ns, Operator, Record, RecordBatch};

@@ -16,19 +16,21 @@
 //! ```text
 //! B: pause s (wait-free handshake) → flush marker through the owner
 //!    task's queue → extract ShardSnapshot            [§3.3, in-process]
+//! B:   journal OFFER_SENT (snapshot durable)
 //! B→A  OFFER  (shard, entries, bytes)
 //! A→B  ACCEPT (or REJECT reason)      A keeps routing records to B;
 //!                                     they buffer behind B's pause.
 //! B→A  STATE × n                      chunked snapshot frames
+//! B:   journal COMMIT_SENT (the 2PC window opens)
 //! B→A  COMMIT (totals + checksum)
-//! A:   verify, install state, map s to a local task, hold routing
-//!      closed (local submits buffer)
+//! A:   verify, journal STATE_DURABLE, install state, map s to a local
+//!      task, hold routing closed (local submits buffer)
 //! A→B  COMMIT_ACK
-//! B:   atomically: replay pause buffer as DATA frames, append DONE,
-//!      flip s to remote routing        [the labeling-tuple flip]
+//! B:   journal ACK_RECEIVED, then atomically: replay pause buffer as
+//!      DATA frames, append DONE, flip s to remote routing
 //! B→A  DATA × m, DONE
 //! A:   deliver replayed records ahead of its own buffered ones,
-//!      reopen the fast path
+//!      reopen the fast path, journal RESOLVED_LOCAL
 //! ```
 //!
 //! Per-key FIFO holds across the boundary because of three orderings:
@@ -42,27 +44,51 @@
 //!
 //! # Failure semantics
 //!
-//! Every failure before `COMMIT_ACK` (peer rejection, protocol abort,
-//! disconnect, timeout) surfaces as a typed [`MigrateError`] and
-//! **restores the shard locally**: the snapshot is reinstalled, the
-//! pause buffer drains back to the original owner task, and routing
-//! resumes — no record and no state entry is silently dropped. The
-//! window between sending `COMMIT` and receiving the ack is the classic
-//! two-phase-commit uncertainty: on a link failure there, the sender
-//! restores locally and the receiver (if it already installed) keeps
-//! the copy — a real deployment closes this with a recovery log, which
-//! is out of scope here and called out in the README.
+//! Every failure before `COMMIT` left the sender (peer rejection,
+//! protocol abort, disconnect, timeout) surfaces as a typed
+//! [`MigrateError`] and **restores the shard locally**: the snapshot is
+//! reinstalled, the pause buffer drains back to the original owner
+//! task, and routing resumes — no record and no state entry is silently
+//! dropped. Transient refusals (peer busy with another inbound
+//! migration, shard mid-reassignment) and timeouts are retried with
+//! capped exponential backoff per [`MigrationConfig::retry`].
+//!
+//! The window between sending `COMMIT` and receiving the ack is the
+//! classic two-phase-commit uncertainty. With a recovery journal
+//! configured ([`MigrationConfig::with_journal`]), a link failure there
+//! surfaces [`MigrateError::InDoubt`]: the shard stays parked (paused,
+//! snapshot durable in the journal) until [`MigrationEndpoint::recover`]
+//! on a reconnected link resolves it — querying the peer for ownership
+//! and settling the shard exactly once on exactly one side. Without a
+//! journal, the legacy behavior applies: the sender restores locally
+//! and a receiver that already installed keeps its copy (documented
+//! duplication hazard). `kill -9` at *any* protocol step is covered by
+//! the journal: [`crate::journal`] holds the record format and replay
+//! rules, and `docs/ARCHITECTURE.md` tabulates the per-crash-point
+//! resolution.
+//!
+//! # Fault injection
+//!
+//! The protocol paths carry named [`elasticutor_core::fault`] points
+//! (`migrate.snd.offer`, `migrate.snd.state`, `migrate.snd.commit`,
+//! `migrate.snd.ack`, `migrate.rcv.offer`, `migrate.rcv.commit`,
+//! `migrate.rcv.durable`, `migrate.rcv.ack`, `link.read`, `link.write`,
+//! `executor.pause`), disarmed to a single atomic load in production.
+//! The chaos bench (`bench --bin chaos`) kills a process at each of
+//! them and asserts recovery.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam::mpsc;
+use elasticutor_core::fault;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum, WireError};
 use elasticutor_core::Error;
@@ -70,13 +96,14 @@ use elasticutor_state::ShardSnapshot;
 use parking_lot::Mutex;
 
 use crate::executor::{ElasticExecutor, RemoteForwarder};
+use crate::journal::{RecoveryJournal, ShardFate};
 use crate::record::{monotonic_ns, Operator, Record};
 
 /// `OFFER`: sender proposes migrating a shard (shard, entries, bytes).
 pub const MSG_OFFER: u8 = 1;
 /// `ACCEPT`: receiver agrees to adopt the offered shard.
 pub const MSG_ACCEPT: u8 = 2;
-/// `REJECT`: receiver declines the offer (reason attached).
+/// `REJECT`: receiver declines the offer (transient flag + reason).
 pub const MSG_REJECT: u8 = 3;
 /// `STATE`: one chunk of the shard snapshot (snapshot wire format).
 pub const MSG_STATE: u8 = 4;
@@ -92,6 +119,10 @@ pub const MSG_ABORT: u8 = 8;
 pub const MSG_DATA: u8 = 9;
 /// `APP`: opaque application payload (demo coordination traffic).
 pub const MSG_APP: u8 = 10;
+/// `RESOLVE`: crash recovery asks the peer whether it owns a shard.
+pub const MSG_RESOLVE: u8 = 11;
+/// `RESOLVE_ACK`: the peer's ownership answer (shard, owned flag).
+pub const MSG_RESOLVE_ACK: u8 = 12;
 
 /// Internal writer-thread shutdown sentinel — never put on the wire.
 /// (`LinkShared` itself holds an `out_tx` clone, so the writer cannot
@@ -100,47 +131,199 @@ const MSG_CLOSE_INTERNAL: u8 = 0;
 
 /// Value bytes per `STATE` chunk (big shards stream as many frames).
 const STATE_CHUNK_BYTES: u64 = 256 * 1024;
-/// How long the sender waits for `ACCEPT`.
-const ACCEPT_TIMEOUT: Duration = Duration::from_secs(20);
-/// How long the sender waits for `COMMIT_ACK` (covers install time).
-const COMMIT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Capped exponential backoff between retries of a transiently-failed
+/// migration attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per attempt (≥ 1.0).
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Total attempts (first try included); 1 disables retries.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(50),
+            factor: 2.0,
+            cap: Duration::from_secs(2),
+            max_attempts: 3,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay after failed attempt number `attempt` (0-based):
+    /// `min(cap, base · factor^attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let scaled = self.base.as_secs_f64() * self.factor.powi(attempt.min(64) as i32);
+        Duration::from_secs_f64(scaled.min(self.cap.as_secs_f64()))
+    }
+}
+
+/// Tunable timeouts, retry policy, and journal location of a
+/// [`MigrationEndpoint`] — replacing the hardcoded protocol constants.
+///
+/// ```
+/// use elasticutor_runtime::migrate::{Backoff, MigrationConfig};
+/// use std::time::Duration;
+///
+/// let cfg = MigrationConfig::default()
+///     .with_offer_deadline(Duration::from_secs(5))
+///     .with_retry(Backoff { max_attempts: 5, ..Backoff::default() });
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MigrationConfig {
+    /// How long the sender waits for `ACCEPT`/`REJECT` (also the
+    /// deadline of a recovery ownership query).
+    pub offer_deadline: Duration,
+    /// How long the sender waits for `COMMIT_ACK` (covers the peer's
+    /// verify + journal + install time).
+    pub state_deadline: Duration,
+    /// Retry policy for transient failures (peer busy, timeout).
+    pub retry: Backoff,
+    /// Recovery journal path. `None` (default) disables journaling and
+    /// keeps the documented post-`COMMIT` uncertainty window.
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self {
+            offer_deadline: Duration::from_secs(20),
+            state_deadline: Duration::from_secs(60),
+            retry: Backoff::default(),
+            journal: None,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// Sets the `ACCEPT` deadline.
+    pub fn with_offer_deadline(mut self, d: Duration) -> Self {
+        self.offer_deadline = d;
+        self
+    }
+
+    /// Sets the `COMMIT_ACK` deadline.
+    pub fn with_state_deadline(mut self, d: Duration) -> Self {
+        self.state_deadline = d;
+        self
+    }
+
+    /// Sets the transient-failure retry policy.
+    pub fn with_retry(mut self, retry: Backoff) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables crash-safe migration with a recovery journal at `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Validates the configuration (non-zero deadlines, at least one
+    /// attempt, a non-shrinking backoff factor).
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.offer_deadline.is_zero() || self.state_deadline.is_zero() {
+            return Err(Error::InvalidConfig(
+                "migration deadlines must be non-zero".into(),
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(Error::InvalidConfig(
+                "retry.max_attempts must be at least 1".into(),
+            ));
+        }
+        if self.retry.factor.is_nan() || self.retry.factor < 1.0 {
+            return Err(Error::InvalidConfig(
+                "retry.factor must be at least 1.0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Errors surfaced by the migration transport. Every variant that can
 /// occur after [`MigrationEndpoint::migrate_out`] paused the shard
-/// implies the shard was restored locally (see the module docs for the
-/// post-`COMMIT` uncertainty window).
+/// implies the shard was restored locally — except [`Self::InDoubt`],
+/// which parks the shard for [`MigrationEndpoint::recover`].
 #[derive(Debug)]
 pub enum MigrateError {
     /// A local executor precondition failed (shard not local, shard
     /// mid-reassignment, …).
     Local(Error),
-    /// The peer rejected the offer.
-    Rejected(String),
+    /// The peer rejected the offer. `transient` refusals (peer busy
+    /// with another inbound migration, shard mid-reassignment there)
+    /// are retried per [`MigrationConfig::retry`].
+    Rejected {
+        /// The peer's refusal reason.
+        reason: String,
+        /// Whether the refusal is expected to clear on its own.
+        transient: bool,
+    },
     /// The peer aborted the migration mid-protocol.
     Aborted(String),
     /// The connection failed mid-protocol.
     PeerDisconnected,
-    /// The peer did not answer within the protocol timeout.
+    /// The peer did not answer within the configured deadline.
     Timeout,
     /// Another outbound migration is already running on this link.
     MigrationInFlight,
+    /// The link failed inside the `COMMIT`→`COMMIT_ACK` window with a
+    /// journal configured: ownership is undecided, the shard is parked
+    /// (paused, snapshot durable), and only `recover()` on a
+    /// reconnected endpoint may settle it. Never retried.
+    InDoubt(ShardId),
+    /// A deterministic fault-injection point fired with an `err`
+    /// action ([`elasticutor_core::fault`]).
+    Injected(String),
     /// Malformed wire data from the peer.
     Wire(WireError),
-    /// A socket-level error while establishing or closing the link.
+    /// A socket- or journal-level I/O error.
     Io(std::io::Error),
+}
+
+impl MigrateError {
+    /// Whether retrying the migration can plausibly succeed (the peer
+    /// was busy or slow, not wrong).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MigrateError::Timeout
+                | MigrateError::Rejected {
+                    transient: true,
+                    ..
+                }
+        )
+    }
 }
 
 impl std::fmt::Display for MigrateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MigrateError::Local(e) => write!(f, "local executor error: {e}"),
-            MigrateError::Rejected(r) => write!(f, "peer rejected the migration: {r}"),
+            MigrateError::Rejected { reason, transient } => {
+                let kind = if *transient { "transiently " } else { "" };
+                write!(f, "peer {kind}rejected the migration: {reason}")
+            }
             MigrateError::Aborted(r) => write!(f, "peer aborted the migration: {r}"),
             MigrateError::PeerDisconnected => write!(f, "peer disconnected mid-migration"),
-            MigrateError::Timeout => write!(f, "peer did not answer within the timeout"),
+            MigrateError::Timeout => write!(f, "peer did not answer within the deadline"),
             MigrateError::MigrationInFlight => {
                 write!(f, "an outbound migration is already in flight on this link")
             }
+            MigrateError::InDoubt(s) => {
+                write!(f, "migration of {s} is in doubt; recover() must settle it")
+            }
+            MigrateError::Injected(p) => write!(f, "injected fault at {p}"),
             MigrateError::Wire(e) => write!(f, "wire error: {e}"),
             MigrateError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -186,12 +369,47 @@ pub struct MigrationReport {
     /// Total nanoseconds from initiating the pause until the shard was
     /// remote and the pause buffer replayed (submit-visible stall).
     pub elapsed_ns: u64,
+    /// Attempts taken (1 = no retries).
+    pub attempts: u32,
+}
+
+/// What `recover()` did with each in-doubt shard found in the journal.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Shards restored to local ownership (sender side of an
+    /// unfinished migration the peer never installed).
+    pub restored: Vec<ShardId>,
+    /// Shards settled as remote (the peer confirmed or already
+    /// acknowledged ownership).
+    pub remote: Vec<ShardId>,
+    /// Shards installed locally from the journal (receiver side that
+    /// crashed after the state went durable).
+    pub adopted: Vec<ShardId>,
+}
+
+/// Out-of-band conditions of a migration link, surfaced on the
+/// endpoint's control channel ([`MigrationEndpoint::events`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The link died (EOF, socket error, protocol violation, or an
+    /// explicit close). Emitted once per link.
+    Dead {
+        /// The peer the link was connected to.
+        peer: SocketAddr,
+    },
+    /// A remote-egress forwarder dropped a record because the link was
+    /// already dead — previously a silent condition. Emitted once per
+    /// link (the per-record count is [`MigrationEndpoint::dropped_records`]).
+    ForwardDropped {
+        /// The shard whose record was first dropped.
+        shard: ShardId,
+    },
 }
 
 /// What the reader thread tells a waiting [`MigrationEndpoint::migrate_out`].
 enum PeerEvent {
     Accepted,
-    Rejected(String),
+    Rejected { reason: String, transient: bool },
     Committed,
     Aborted(String),
     Disconnected,
@@ -220,6 +438,20 @@ struct LinkShared {
     written: AtomicU64,
     /// Used to unblock the reader on close.
     stream: TcpStream,
+    /// The recovery journal, if configured — shared with the reader
+    /// thread (receiver-side durability points and `RESOLVE` answers).
+    journal: Option<Arc<RecoveryJournal>>,
+    /// Control-channel events (dead link, dropped forwards).
+    events_tx: Sender<LinkEvent>,
+    /// Latches so each event kind fires at most once per link.
+    dead_event: AtomicBool,
+    drop_event: AtomicBool,
+    /// Records dropped by forwarders after the link died.
+    dropped: AtomicU64,
+    /// The peer address (rides into the `Dead` event).
+    peer: SocketAddr,
+    /// A parked recovery ownership query: `RESOLVE_ACK` answers here.
+    resolve: Mutex<Option<(ShardId, Sender<bool>)>>,
 }
 
 impl LinkShared {
@@ -228,7 +460,12 @@ impl LinkShared {
         if let Some(p) = self.pending.lock().take() {
             let _ = p.events.send(PeerEvent::Disconnected);
         }
+        // Disconnect a parked ownership query (dropping its sender).
+        self.resolve.lock().take();
         let _ = self.stream.shutdown(Shutdown::Both);
+        if !self.dead_event.swap(true, Ordering::SeqCst) {
+            let _ = self.events_tx.send(LinkEvent::Dead { peer: self.peer });
+        }
         // Wake the writer so it can observe the death and exit.
         self.out_tx.push((MSG_CLOSE_INTERNAL, Vec::new()));
     }
@@ -264,46 +501,83 @@ struct Inbound {
 pub struct MigrationEndpoint<O: Operator> {
     executor: Arc<ElasticExecutor<O>>,
     shared: Arc<LinkShared>,
+    config: MigrationConfig,
     app_rx: Receiver<Vec<u8>>,
+    events_rx: Receiver<LinkEvent>,
     peer: SocketAddr,
     reader: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
 }
 
 impl<O: Operator> MigrationEndpoint<O> {
-    /// Accepts one peer connection from `listener` and starts the link.
+    /// Accepts one peer connection from `listener` and starts the link
+    /// with the default [`MigrationConfig`].
     pub fn accept(
         executor: Arc<ElasticExecutor<O>>,
         listener: &TcpListener,
     ) -> Result<Self, MigrateError> {
-        let (stream, peer) = listener.accept()?;
-        Self::start(executor, stream, peer)
+        Self::accept_with(executor, listener, MigrationConfig::default())
     }
 
-    /// Connects to a listening peer and starts the link.
+    /// Accepts one peer connection from `listener` and starts the link
+    /// with `config`.
+    pub fn accept_with(
+        executor: Arc<ElasticExecutor<O>>,
+        listener: &TcpListener,
+        config: MigrationConfig,
+    ) -> Result<Self, MigrateError> {
+        let (stream, peer) = listener.accept()?;
+        Self::start(executor, stream, peer, config)
+    }
+
+    /// Connects to a listening peer and starts the link with the
+    /// default [`MigrationConfig`].
     pub fn connect(
         executor: Arc<ElasticExecutor<O>>,
         addr: impl ToSocketAddrs,
     ) -> Result<Self, MigrateError> {
+        Self::connect_with(executor, addr, MigrationConfig::default())
+    }
+
+    /// Connects to a listening peer and starts the link with `config`.
+    pub fn connect_with(
+        executor: Arc<ElasticExecutor<O>>,
+        addr: impl ToSocketAddrs,
+        config: MigrationConfig,
+    ) -> Result<Self, MigrateError> {
         let stream = TcpStream::connect(addr)?;
         let peer = stream.peer_addr()?;
-        Self::start(executor, stream, peer)
+        Self::start(executor, stream, peer, config)
     }
 
     fn start(
         executor: Arc<ElasticExecutor<O>>,
         stream: TcpStream,
         peer: SocketAddr,
+        config: MigrationConfig,
     ) -> Result<Self, MigrateError> {
+        config.validate().map_err(MigrateError::Local)?;
+        let journal = match &config.journal {
+            Some(path) => Some(Arc::new(RecoveryJournal::open(path)?)),
+            None => None,
+        };
         stream.set_nodelay(true)?;
         let (out_tx, out_rx) = mpsc::queue::<(u8, Vec<u8>)>();
         let (app_tx, app_rx) = unbounded::<Vec<u8>>();
+        let (events_tx, events_rx) = unbounded::<LinkEvent>();
         let shared = Arc::new(LinkShared {
             out_tx,
             pending: Mutex::new(None),
             dead: AtomicBool::new(false),
             written: AtomicU64::new(0),
             stream: stream.try_clone()?,
+            journal,
+            events_tx,
+            dead_event: AtomicBool::new(false),
+            drop_event: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            peer,
+            resolve: Mutex::new(None),
         });
         let writer = {
             let shared = Arc::clone(&shared);
@@ -324,7 +598,9 @@ impl<O: Operator> MigrationEndpoint<O> {
         Ok(Self {
             executor,
             shared,
+            config,
             app_rx,
+            events_rx,
             peer,
             reader: Some(reader),
             writer: Some(writer),
@@ -341,33 +617,65 @@ impl<O: Operator> MigrationEndpoint<O> {
         !self.shared.dead.load(Ordering::SeqCst)
     }
 
+    /// The endpoint's configuration.
+    pub fn config(&self) -> &MigrationConfig {
+        &self.config
+    }
+
     /// Bytes written to the socket so far (all traffic, headers
     /// included).
     pub fn bytes_sent(&self) -> u64 {
         self.shared.written.load(Ordering::Relaxed)
     }
 
+    /// Control-channel events of this link: link death and dropped
+    /// remote forwards, in occurrence order. Each kind fires at most
+    /// once per link.
+    pub fn events(&self) -> &Receiver<LinkEvent> {
+        &self.events_rx
+    }
+
+    /// Records dropped by this link's forwarders after the link died
+    /// (each drop past the first also latches a
+    /// [`LinkEvent::ForwardDropped`]).
+    pub fn dropped_records(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
     /// A forwarder routing records of a shard to this link's peer as
     /// `DATA` frames. Wait-free: the frame is encoded and pushed onto
     /// the link's lock-free egress queue (two atomic operations) — safe
     /// from the executor's fast path and from under its routing lock
-    /// alike. Records offered after the link died are dropped, matching
-    /// the executor's shutdown semantics.
+    /// alike. Records offered after the link died are dropped (matching
+    /// the executor's shutdown semantics), counted, and surfaced once
+    /// as a typed [`LinkEvent::ForwardDropped`] on the control channel.
     pub fn forwarder(&self) -> RemoteForwarder {
         let shared = Arc::clone(&self.shared);
         Arc::new(move |shard: ShardId, record: Record| {
             if !shared.dead.load(Ordering::Relaxed) {
                 shared.out_tx.push((MSG_DATA, encode_data(shard, &record)));
+            } else {
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+                if !shared.drop_event.swap(true, Ordering::Relaxed) {
+                    let _ = shared.events_tx.send(LinkEvent::ForwardDropped { shard });
+                }
             }
         })
     }
 
-    /// Declares `shards` as hosted by the peer (initial ownership
-    /// partitioning, before records flow): each is marked remote in the
-    /// executor with this link's forwarder.
+    /// Declares `shards` as hosted by the peer: each is marked remote
+    /// in the executor with this link's forwarder. A shard that is
+    /// already remote (delegated on a previous link that died) is
+    /// **rebound** to this link instead — reconnection support.
     pub fn delegate_shards(&self, shards: &[ShardId]) -> Result<(), MigrateError> {
         for &shard in shards {
-            self.executor.mark_remote(shard, self.forwarder())?;
+            match self.executor.mark_remote(shard, self.forwarder()) {
+                Ok(()) => {}
+                Err(Error::ShardNotLocal(_)) => {
+                    self.executor.rebind_remote(shard, self.forwarder())?;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(())
     }
@@ -394,9 +702,32 @@ impl<O: Operator> MigrationEndpoint<O> {
 
     /// Migrates `shard` to the peer: the full pause → drain → stream →
     /// commit → replay sequence described in the module docs. Blocks
-    /// until the shard is remote (success) or restored locally (any
-    /// error). One outbound migration per link at a time.
+    /// until the shard is remote (success), restored locally (most
+    /// errors), or parked in doubt ([`MigrateError::InDoubt`], journal
+    /// configured). Transient failures retry with the configured
+    /// backoff. One outbound migration per link at a time.
     pub fn migrate_out(&self, shard: ShardId) -> Result<MigrationReport, MigrateError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.migrate_out_once(shard) {
+                Ok(mut report) => {
+                    report.attempts = attempt + 1;
+                    return Ok(report);
+                }
+                Err(e)
+                    if e.is_transient()
+                        && attempt + 1 < self.config.retry.max_attempts
+                        && self.is_alive() =>
+                {
+                    std::thread::sleep(self.config.retry.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn migrate_out_once(&self, shard: ShardId) -> Result<MigrationReport, MigrateError> {
         if !self.is_alive() {
             return Err(MigrateError::PeerDisconnected);
         }
@@ -422,18 +753,30 @@ impl<O: Operator> MigrationEndpoint<O> {
         let drain_ns = monotonic_ns().saturating_sub(started);
         let result = self.stream_and_commit(shard, &snapshot, &ev_rx, started, drain_ns);
         *self.shared.pending.lock() = None;
-        if let Err(e) = &result {
-            // The shard must come back: reinstall the snapshot, release
-            // the pause buffer to the original owner, resume routing.
-            // Tell the peer too (best effort) so it can drop a
-            // half-assembled copy.
-            let mut reason = Vec::new();
-            wire::put_u32(&mut reason, shard.0);
-            wire::put_bytes(&mut reason, e.to_string().as_bytes());
-            let _ = self.send(MSG_ABORT, reason);
-            self.executor
-                .abort_migration(snapshot)
-                .expect("paused shard restores");
+        match &result {
+            Err(MigrateError::InDoubt(_)) => {
+                // Ownership is undecided: the shard stays parked
+                // (paused, buffering submits) and its snapshot is
+                // durable in the journal. No ABORT — the peer may have
+                // installed. Only recover() may settle this.
+            }
+            Err(e) => {
+                // The shard must come back: reinstall the snapshot,
+                // release the pause buffer to the original owner,
+                // resume routing. Tell the peer too (best effort) so
+                // it can drop a half-assembled copy.
+                let mut reason = Vec::new();
+                wire::put_u32(&mut reason, shard.0);
+                wire::put_bytes(&mut reason, e.to_string().as_bytes());
+                let _ = self.send(MSG_ABORT, reason);
+                self.executor
+                    .abort_migration(snapshot)
+                    .expect("paused shard restores");
+                if let Some(j) = &self.shared.journal {
+                    let _ = j.log_resolved_local(shard);
+                }
+            }
+            Ok(_) => {}
         }
         result
     }
@@ -446,15 +789,25 @@ impl<O: Operator> MigrationEndpoint<O> {
         started: u64,
         drain_ns: u64,
     ) -> Result<MigrationReport, MigrateError> {
+        let journal = self.shared.journal.as_deref();
+        // Durability point 1: the snapshot is on disk before the OFFER
+        // can leave — a crash anywhere past here can restore it.
+        if let Some(j) = journal {
+            j.log_offer_sent(snapshot)?;
+        }
+        fault::fail_point("migrate.snd.offer")
+            .map_err(|e| MigrateError::Injected(e.to_string()))?;
         let mut wire_bytes = 0u64;
         let mut offer = Vec::new();
         wire::put_u32(&mut offer, shard.0);
         wire::put_u64(&mut offer, snapshot.len() as u64);
         wire::put_u64(&mut offer, snapshot.value_bytes());
         wire_bytes += self.send(MSG_OFFER, offer)?;
-        match recv_event(ev_rx, ACCEPT_TIMEOUT)? {
+        match recv_event(ev_rx, self.config.offer_deadline)? {
             PeerEvent::Accepted => {}
-            PeerEvent::Rejected(r) => return Err(MigrateError::Rejected(r)),
+            PeerEvent::Rejected { reason, transient } => {
+                return Err(MigrateError::Rejected { reason, transient })
+            }
             PeerEvent::Aborted(r) => return Err(MigrateError::Aborted(r)),
             PeerEvent::Disconnected => return Err(MigrateError::PeerDisconnected),
             PeerEvent::Committed => {
@@ -477,32 +830,49 @@ impl<O: Operator> MigrationEndpoint<O> {
             chunk.fold_checksum(&mut end_to_end);
             wire_bytes += self.send(MSG_STATE, encoded)?;
         }
+        fault::fail_point("migrate.snd.state")
+            .map_err(|e| MigrateError::Injected(e.to_string()))?;
+        // Durability point 2: COMMIT_SENT opens the 2PC window — from
+        // here until the ack, a crash leaves the shard in doubt and
+        // recovery must ask the peer who owns it.
+        if let Some(j) = journal {
+            j.log_commit_sent(shard)?;
+        }
         let mut commit = Vec::new();
         wire::put_u32(&mut commit, shard.0);
         wire::put_u64(&mut commit, snapshot.len() as u64);
         wire::put_u64(&mut commit, snapshot.value_bytes());
         wire::put_u64(&mut commit, end_to_end.finish());
         wire_bytes += self.send(MSG_COMMIT, commit)?;
-        match recv_event(ev_rx, COMMIT_TIMEOUT) {
+        // Past the COMMIT send, an `err` injection cannot safely abort
+        // (the peer may install); only kill/panic/delay are meaningful.
+        let _ = fault::fail_point("migrate.snd.commit");
+        match recv_event(ev_rx, self.config.state_deadline) {
             Ok(PeerEvent::Committed) => {}
             Ok(PeerEvent::Aborted(r)) => return Err(MigrateError::Aborted(r)),
-            Ok(PeerEvent::Rejected(r)) => return Err(MigrateError::Rejected(r)),
+            Ok(PeerEvent::Rejected { reason, transient }) => {
+                return Err(MigrateError::Rejected { reason, transient })
+            }
             Ok(PeerEvent::Disconnected) | Err(MigrateError::PeerDisconnected) => {
-                return Err(MigrateError::PeerDisconnected)
+                return Err(self.post_commit_failure(shard, MigrateError::PeerDisconnected));
             }
             Ok(PeerEvent::Accepted) => {
                 return Err(MigrateError::Wire(WireError::Corrupt(
                     "duplicate accept from peer",
                 )))
             }
-            Err(e) => {
-                // Post-COMMIT uncertainty: the peer may or may not have
-                // installed. Kill the link so no later protocol step
-                // can half-run, then restore locally (module docs).
-                self.shared.fail();
-                return Err(e);
+            Err(MigrateError::Timeout) => {
+                return Err(self.post_commit_failure(shard, MigrateError::Timeout));
             }
+            Err(e) => return Err(e),
         }
+        // Durability point 4: the ack is on disk before the sender acts
+        // on it. An append failure here must NOT abort — the peer owns
+        // the state; replay then resolves via the peer query instead.
+        if let Some(j) = journal {
+            let _ = j.log_ack_received(shard);
+        }
+        let _ = fault::fail_point("migrate.snd.ack");
         // Atomically: replay the pause buffer as DATA frames, append
         // DONE, flip the shard to remote routing.
         let forward = self.forwarder();
@@ -513,6 +883,9 @@ impl<O: Operator> MigrationEndpoint<O> {
         self.executor.complete_migration(shard, forward, move || {
             out_tx.push((MSG_DONE, done));
         })?;
+        if let Some(j) = journal {
+            let _ = j.log_resolved_remote(shard);
+        }
         Ok(MigrationReport {
             shard,
             entries: snapshot.len(),
@@ -520,7 +893,141 @@ impl<O: Operator> MigrationEndpoint<O> {
             wire_bytes,
             drain_ns,
             elapsed_ns: monotonic_ns().saturating_sub(started),
+            attempts: 1,
         })
+    }
+
+    /// The link failed inside the 2PC window. With a journal the shard
+    /// parks in doubt (recovery settles it); without one, legacy
+    /// behavior: kill the link and let the caller's restore path run —
+    /// accepting the documented duplication hazard.
+    fn post_commit_failure(&self, shard: ShardId, cause: MigrateError) -> MigrateError {
+        self.shared.fail();
+        if self.shared.journal.is_some() {
+            MigrateError::InDoubt(shard)
+        } else {
+            cause
+        }
+    }
+
+    /// Replays this endpoint's recovery journal and settles every
+    /// in-doubt shard to exactly one owner:
+    ///
+    /// | journal fate | resolution |
+    /// |---|---|
+    /// | `OFFER_SENT` (no commit) | restore locally from the journal |
+    /// | `COMMIT_SENT` (no ack) | ask the peer; restore or settle remote |
+    /// | `ACK_RECEIVED` | settle remote (peer owns the state) |
+    /// | `STATE_DURABLE` (receiver) | install locally from the journal |
+    ///
+    /// Works both for a surviving process whose link died mid-handshake
+    /// (shards parked by [`MigrateError::InDoubt`]) and for a freshly
+    /// restarted process pointed at its old journal — call it on the
+    /// **reconnected** endpoint, after [`Self::delegate_shards`] rebound
+    /// any statically-delegated shards. Every resolution is journaled,
+    /// so `recover()` is idempotent across repeated crashes.
+    pub fn recover(&self) -> Result<RecoveryReport, MigrateError> {
+        let journal = self.shared.journal.clone().ok_or_else(|| {
+            MigrateError::Local(Error::InvalidConfig(
+                "recover() needs a journal (MigrationConfig::with_journal)".into(),
+            ))
+        })?;
+        let state = journal.replay()?;
+        let mut report = RecoveryReport::default();
+        for (shard, fate) in state.open {
+            match fate {
+                ShardFate::SenderOffered(snap) => {
+                    self.restore_local(&journal, snap)?;
+                    report.restored.push(shard);
+                }
+                ShardFate::SenderCommitted(snap) => {
+                    if self.query_peer_owns(shard)? {
+                        self.settle_remote(&journal, shard)?;
+                        report.remote.push(shard);
+                    } else {
+                        self.restore_local(&journal, snap)?;
+                        report.restored.push(shard);
+                    }
+                }
+                ShardFate::SenderAcked => {
+                    self.settle_remote(&journal, shard)?;
+                    report.remote.push(shard);
+                }
+                ShardFate::ReceiverDurable(snap) => {
+                    self.restore_local(&journal, snap)?;
+                    report.adopted.push(shard);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Settles an in-doubt shard as locally owned: a surviving sender
+    /// has it parked paused (abort restores snapshot + buffered
+    /// records); a restarted process has it plain local and empty
+    /// (adopt installs the journaled snapshot).
+    fn restore_local(
+        &self,
+        journal: &Arc<RecoveryJournal>,
+        snapshot: ShardSnapshot,
+    ) -> Result<(), MigrateError> {
+        let shard = snapshot.shard;
+        if self.executor.is_shard_paused(shard) {
+            self.executor.abort_migration(snapshot)?;
+        } else {
+            self.executor.adopt_install(snapshot)?;
+            self.executor.adopt_finish(shard)?;
+        }
+        journal.log_resolved_local(shard)?;
+        Ok(())
+    }
+
+    /// Settles an in-doubt shard as peer-owned: a surviving sender
+    /// forwards its parked pause buffer and flips to remote routing (no
+    /// DONE — the peer has no matching inbound migration; forwarded
+    /// records route as ordinary remote DATA); a restarted process just
+    /// marks (or rebinds) the shard remote.
+    fn settle_remote(
+        &self,
+        journal: &Arc<RecoveryJournal>,
+        shard: ShardId,
+    ) -> Result<(), MigrateError> {
+        if self.executor.is_shard_paused(shard) {
+            self.executor
+                .complete_migration(shard, self.forwarder(), || {})?;
+        } else {
+            match self.executor.mark_remote(shard, self.forwarder()) {
+                Ok(()) => {}
+                Err(Error::ShardNotLocal(_)) => {
+                    self.executor.rebind_remote(shard, self.forwarder())?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        journal.log_resolved_remote(shard)?;
+        Ok(())
+    }
+
+    /// Asks the peer whether it owns `shard` (recovery of the
+    /// `COMMIT_SENT` fate). The peer answers from its own journal
+    /// first, falling back to its executor's routing.
+    fn query_peer_owns(&self, shard: ShardId) -> Result<bool, MigrateError> {
+        let (tx, rx) = bounded(1);
+        *self.shared.resolve.lock() = Some((shard, tx));
+        let mut q = Vec::new();
+        wire::put_u32(&mut q, shard.0);
+        if let Err(e) = self.send(MSG_RESOLVE, q) {
+            self.shared.resolve.lock().take();
+            return Err(e);
+        }
+        match rx.recv_timeout(self.config.offer_deadline) {
+            Ok(owned) => Ok(owned),
+            Err(RecvTimeoutError::Timeout) => {
+                self.shared.resolve.lock().take();
+                Err(MigrateError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(MigrateError::PeerDisconnected),
+        }
     }
 
     /// Shuts the link down: closes the socket, stops both threads, and
@@ -612,6 +1119,11 @@ fn writer_loop(
             let _ = w.flush();
             return;
         }
+        // `delay` simulates a slow link; `err`/`kill` a failing one.
+        if fault::fail_point("link.write").is_err() {
+            shared.fail();
+            return;
+        }
         let bytes = wire::frame_wire_bytes(payload.len());
         if wire::write_frame(&mut w, msg_type, &payload).is_err() {
             shared.fail();
@@ -635,6 +1147,9 @@ fn reader_loop<O: Operator>(
     let mut r = BufReader::new(stream);
     let mut inbound = Inbound::default();
     while let Ok((msg_type, payload)) = wire::read_frame(&mut r) {
+        if fault::fail_point("link.read").is_err() {
+            break;
+        }
         if handle_frame(
             &executor,
             &shared,
@@ -651,13 +1166,75 @@ fn reader_loop<O: Operator>(
     // EOF, socket error, or protocol violation: fail the link. If an
     // inbound migration already installed its state, finish the
     // adoption so the shard is servable (the sender's replay is lost
-    // with the link — the README documents the uncertainty window).
+    // with the link; with journals on both sides the sender's recovery
+    // query finds the shard owned here and settles remote).
     shared.fail();
     if let Some(inc) = inbound.current.take() {
         if inc.installed {
             let _ = executor.adopt_finish(inc.shard);
+            if let Some(j) = &shared.journal {
+                let _ = j.log_resolved_local(inc.shard);
+            }
         }
     }
+}
+
+/// Receiver-side refusal classification: which refusals clear on their
+/// own (the sender should retry) vs. which are permanent.
+fn refusal_is_transient(e: &Error) -> bool {
+    matches!(e, Error::ReassignmentInProgress(_))
+}
+
+/// The receiver's verified-commit path: fail points, the STATE_DURABLE
+/// journal entry, and the install. `Err(reason)` answers the sender
+/// with an `ABORT` (and, if the state already went durable, closes the
+/// journal entry so replay cannot resurrect the refused copy).
+fn install_commit<O: Operator>(
+    executor: &Arc<ElasticExecutor<O>>,
+    shared: &Arc<LinkShared>,
+    inc: &mut Incoming,
+) -> Result<(), String> {
+    fault::fail_point("migrate.rcv.commit").map_err(|e| e.to_string())?;
+    let snapshot = ShardSnapshot {
+        shard: inc.shard,
+        entries: std::mem::take(&mut inc.entries),
+    };
+    // Durability point 3: the verified state is on disk before the
+    // install — a crash past here reinstates it from the journal.
+    if let Some(j) = &shared.journal {
+        j.log_state_durable(&snapshot)
+            .map_err(|e| format!("journal append failed: {e}"))?;
+    }
+    let result = fault::fail_point("migrate.rcv.durable")
+        .map_err(|e| e.to_string())
+        .and_then(|()| executor.adopt_install(snapshot).map_err(|e| e.to_string()));
+    if result.is_err() {
+        if let Some(j) = &shared.journal {
+            let _ = j.log_resolved_local(inc.shard);
+        }
+    }
+    result
+}
+
+/// Journal-aware ownership answer for a peer's `RESOLVE` query: an
+/// unresolved receiver-durable fate means the state is (or will be,
+/// once this side recovers) installed here; an acked sender fate means
+/// it was shipped away. Otherwise the live routing table decides.
+fn shard_owned_here<O: Operator>(
+    executor: &Arc<ElasticExecutor<O>>,
+    shared: &Arc<LinkShared>,
+    shard: ShardId,
+) -> bool {
+    if let Some(j) = &shared.journal {
+        if let Ok(state) = j.replay() {
+            match state.fate(shard) {
+                Some(ShardFate::ReceiverDurable(_)) => return true,
+                Some(ShardFate::SenderAcked) => return false,
+                _ => {}
+            }
+        }
+    }
+    executor.owns_shard(shard)
 }
 
 /// Processes one inbound frame. `Err` kills the link (protocol
@@ -679,15 +1256,25 @@ fn handle_frame<O: Operator>(
             // A fresh offer means the sender moved past any stream this
             // side was discarding.
             inbound.discarding = None;
-            let refusal = if inbound.current.is_some() {
-                Some("an inbound migration is already in progress".to_string())
-            } else {
-                executor.can_adopt(shard).err().map(|e| e.to_string())
-            };
+            let refusal: Option<(String, bool)> =
+                if let Err(e) = fault::fail_point("migrate.rcv.offer") {
+                    Some((e.to_string(), true))
+                } else if inbound.current.is_some() {
+                    Some((
+                        "an inbound migration is already in progress".to_string(),
+                        true,
+                    ))
+                } else {
+                    executor
+                        .can_adopt(shard)
+                        .err()
+                        .map(|e| (e.to_string(), refusal_is_transient(&e)))
+                };
             let mut reply = Vec::new();
             wire::put_u32(&mut reply, shard.0);
             match refusal {
-                Some(reason) => {
+                Some((reason, transient)) => {
+                    wire::put_u8(&mut reply, transient as u8);
                     wire::put_bytes(&mut reply, reason.as_bytes());
                     shared.out_tx.push((MSG_REJECT, reply));
                 }
@@ -750,37 +1337,34 @@ fn handle_frame<O: Operator>(
                 .current
                 .as_mut()
                 .ok_or(WireError::Corrupt("commit without an offer"))?;
-            let mut failure: Option<String> = None;
             if shard != inc.shard || inc.installed {
                 return Err(WireError::Corrupt("commit out of sequence"));
             }
-            if entries != inc.entries.len() as u64
+            let verify = if entries != inc.entries.len() as u64
                 || entries != inc.expect_entries
                 || value_bytes != inc.value_bytes
                 || value_bytes != inc.expect_bytes
                 || checksum != inc.checksum.finish()
             {
-                failure = Some("state totals or checksum mismatch".to_string());
+                Err("state totals or checksum mismatch".to_string())
             } else {
-                let snapshot = ShardSnapshot {
-                    shard: inc.shard,
-                    entries: std::mem::take(&mut inc.entries),
-                };
-                if let Err(e) = executor.adopt_install(snapshot) {
-                    failure = Some(e.to_string());
-                }
-            }
+                install_commit(executor, shared, inc)
+            };
             let mut reply = Vec::new();
             wire::put_u32(&mut reply, shard.0);
-            match failure {
-                Some(reason) => {
+            match verify {
+                Err(reason) => {
                     inbound.current = None;
                     wire::put_bytes(&mut reply, reason.as_bytes());
                     shared.out_tx.push((MSG_ABORT, reply));
                 }
-                None => {
+                Ok(()) => {
                     inc.installed = true;
                     shared.out_tx.push((MSG_COMMIT_ACK, reply));
+                    // Dies after the ack is queued: whether it reached
+                    // the sender is genuine TCP nondeterminism — the
+                    // recovery query resolves either outcome.
+                    let _ = fault::fail_point("migrate.rcv.ack");
                 }
             }
         }
@@ -792,8 +1376,17 @@ fn handle_frame<O: Operator>(
                     // Reopen routing: local records buffered during
                     // adoption drain behind the replayed ones.
                     let _ = executor.adopt_finish(shard);
+                    if let Some(j) = &shared.journal {
+                        let _ = j.log_resolved_local(shard);
+                    }
                 }
-                _ => return Err(WireError::Corrupt("done out of sequence")),
+                Some(inc) => {
+                    // Unrelated or premature DONE (e.g. replayed by a
+                    // peer that recovered): keep the assembly, ignore.
+                    inbound.current = Some(inc);
+                }
+                // Stale DONE for a migration recovery already settled.
+                None => {}
             }
         }
         MSG_DATA => {
@@ -824,20 +1417,27 @@ fn handle_frame<O: Operator>(
                 _ => {}
             }
         }
-        MSG_REJECT | MSG_ABORT => {
+        MSG_REJECT => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let transient = p.u8()? != 0;
+            let reason = String::from_utf8_lossy(p.bytes().unwrap_or(b"")).into_owned();
+            let pending = shared.pending.lock();
+            if let Some(out) = pending.as_ref() {
+                if out.shard == shard {
+                    let _ = out.events.send(PeerEvent::Rejected { reason, transient });
+                }
+            }
+        }
+        MSG_ABORT => {
             let mut p = ByteReader::new(payload);
             let shard = ShardId(p.u32()?);
             let reason = String::from_utf8_lossy(p.bytes().unwrap_or(b"")).into_owned();
             let delivered = {
                 let pending = shared.pending.lock();
                 match pending.as_ref() {
-                    Some(p) if p.shard == shard => {
-                        let ev = if msg_type == MSG_REJECT {
-                            PeerEvent::Rejected(reason.clone())
-                        } else {
-                            PeerEvent::Aborted(reason.clone())
-                        };
-                        let _ = p.events.send(ev);
+                    Some(out) if out.shard == shard => {
+                        let _ = out.events.send(PeerEvent::Aborted(reason.clone()));
                         true
                     }
                     _ => false,
@@ -852,7 +1452,32 @@ fn handle_frame<O: Operator>(
                         // Already installed and acked: keep the shard
                         // servable; the abort crossed our ack.
                         let _ = executor.adopt_finish(inc.shard);
+                        if let Some(j) = &shared.journal {
+                            let _ = j.log_resolved_local(inc.shard);
+                        }
                     }
+                }
+            }
+        }
+        MSG_RESOLVE => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let owned = shard_owned_here(executor, shared, shard);
+            let mut reply = Vec::new();
+            wire::put_u32(&mut reply, shard.0);
+            wire::put_u8(&mut reply, owned as u8);
+            shared.out_tx.push((MSG_RESOLVE_ACK, reply));
+        }
+        MSG_RESOLVE_ACK => {
+            let mut p = ByteReader::new(payload);
+            let shard = ShardId(p.u32()?);
+            let owned = p.u8()? != 0;
+            let mut resolve = shared.resolve.lock();
+            if let Some((pending_shard, tx)) = resolve.take() {
+                if pending_shard == shard {
+                    let _ = tx.send(owned);
+                } else {
+                    *resolve = Some((pending_shard, tx));
                 }
             }
         }

@@ -249,7 +249,13 @@ fn offer_rejected_when_receiver_has_local_state() {
 
     let err = ep_a.migrate_out(shard).expect_err("conflicting state");
     assert!(
-        matches!(&err, MigrateError::Rejected(reason) if reason.contains("live local state")),
+        matches!(
+            &err,
+            MigrateError::Rejected {
+                reason,
+                transient: false
+            } if reason.contains("live local state")
+        ),
         "got: {err}"
     );
     // Both copies intact, sender's routing restored.

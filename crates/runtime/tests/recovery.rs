@@ -1,0 +1,376 @@
+//! Crash-recovery of the migration 2PC: every journal fate must settle
+//! to exactly one owner through [`MigrationEndpoint::recover`].
+//!
+//! The two-process version — where the victim really dies at each
+//! durability point via `ELASTICUTOR_FAILPOINTS=...=kill` — is the
+//! `chaos` binary in `elasticutor-bench`. Here the crash is simulated
+//! by hand-writing the journal a dead process would have left (or, for
+//! the surviving-sender case, by a scripted raw-TCP peer that vanishes
+//! mid-2PC), which lets the tests pin down each resolution row of the
+//! `recover()` table in isolation.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_core::hash::key_to_shard;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire;
+use elasticutor_runtime::journal::replay_path;
+use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER};
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationConfig, MigrationEndpoint,
+    Operator, Record, RecoveryJournal,
+};
+use elasticutor_state::{ShardSnapshot, StateHandle};
+
+const NUM_SHARDS: u32 = 8;
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: NUM_SHARDS,
+        initial_tasks: 2,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn read_count(exec: &ElasticExecutor<impl Operator>, shard: ShardId, key: Key) -> Option<u64> {
+    exec.state()
+        .get(shard, key)
+        .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "elasticutor-recovery-{}-{name}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The first two distinct keys hashing to `shard`: one to carry a
+/// preloaded opaque value through the recovery, one for live counting
+/// bursts (the counting operator needs its key's value to stay a
+/// counter).
+fn keys_in(shard: u32) -> (u64, u64) {
+    let mut it = (0u64..).filter(|k| key_to_shard(*k, NUM_SHARDS) == shard);
+    (it.next().unwrap(), it.next().unwrap())
+}
+
+fn snap(shard: u32, entries: &[(u64, &[u8])]) -> ShardSnapshot {
+    ShardSnapshot {
+        shard: ShardId(shard),
+        entries: entries
+            .iter()
+            .map(|(k, v)| (Key(*k), Bytes::copy_from_slice(v)))
+            .collect(),
+    }
+}
+
+/// Links two executors; side A journals to `journal_a`.
+fn link_with_journal<A: Operator, B: Operator>(
+    a: &Arc<ElasticExecutor<A>>,
+    b: &Arc<ElasticExecutor<B>>,
+    journal_a: &PathBuf,
+) -> (MigrationEndpoint<A>, MigrationEndpoint<B>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let b = Arc::clone(b);
+    let accept =
+        std::thread::spawn(move || MigrationEndpoint::accept(b, &listener).expect("accept"));
+    let ep_a = MigrationEndpoint::connect_with(
+        Arc::clone(a),
+        addr,
+        MigrationConfig::default()
+            .with_offer_deadline(Duration::from_secs(5))
+            .with_journal(journal_a),
+    )
+    .expect("connect");
+    let ep_b = accept.join().expect("accept thread");
+    (ep_a, ep_b)
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    cond()
+}
+
+/// `OFFER_SENT` with no commit: the crash happened before the 2PC
+/// window opened, so the peer can never have installed — the restarted
+/// sender restores the shard from its own journal.
+#[test]
+fn offer_sent_restores_locally_from_journal() {
+    let shard = ShardId(3);
+    let (key, _) = keys_in(3);
+    let path = tmp_journal("offer-sent");
+    {
+        let j = RecoveryJournal::open(&path).expect("journal");
+        j.log_offer_sent(&snap(3, &[(key, b"precious")])).unwrap();
+    }
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let (ep_a, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+
+    let report = ep_a.recover().expect("recover");
+    assert_eq!(report.restored, vec![shard]);
+    assert!(report.remote.is_empty() && report.adopted.is_empty());
+    assert_eq!(
+        exec_a.state().get(shard, Key(key)),
+        Some(Bytes::from_static(b"precious"))
+    );
+    assert!(exec_a.owns_shard(shard));
+    // The resolution is journaled: replay shows nothing open, and a
+    // second recovery (another crash right after) is a no-op.
+    assert!(replay_path(&path).expect("replay").open.is_empty());
+    let again = ep_a.recover().expect("recover twice");
+    assert!(again.restored.is_empty() && again.remote.is_empty());
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `COMMIT_SENT` with no ack, and the peer **did** install before the
+/// crash: the recovery query finds the shard owned there, so this side
+/// settles it remote — records submitted here forward over the link.
+#[test]
+fn commit_sent_resolves_remote_when_peer_owns() {
+    let shard = ShardId(3);
+    let (pk, key) = keys_in(3);
+    let path = tmp_journal("commit-remote");
+    {
+        let j = RecoveryJournal::open(&path).expect("journal");
+        let s = snap(3, &[(pk, b"shipped")]);
+        j.log_offer_sent(&s).unwrap();
+        j.log_commit_sent(shard).unwrap();
+    }
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    // The peer hosts the shard (it owns every shard it never gave away).
+    exec_b
+        .state()
+        .put(shard, Key(pk), Bytes::from_static(b"shipped"));
+    let (ep_a, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+
+    let report = ep_a.recover().expect("recover");
+    assert_eq!(report.remote, vec![shard]);
+    assert!(report.restored.is_empty());
+    assert!(!exec_a.owns_shard(shard));
+    assert_eq!(exec_a.remote_shards(), vec![shard]);
+    // The settled routing is live: records land on the peer's copy.
+    for seq in 1..=5u64 {
+        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        read_count(&exec_b, shard, Key(key)) == Some(5)
+    }));
+    assert!(replay_path(&path).expect("replay").open.is_empty());
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `COMMIT_SENT` with no ack, and the peer did **not** install (the
+/// commit never arrived): the recovery query comes back negative and
+/// the sender restores its journaled copy.
+#[test]
+fn commit_sent_restores_when_peer_never_installed() {
+    let shard = ShardId(3);
+    let (key, _) = keys_in(3);
+    let path = tmp_journal("commit-local");
+    {
+        let j = RecoveryJournal::open(&path).expect("journal");
+        let s = snap(3, &[(key, b"kept")]);
+        j.log_offer_sent(&s).unwrap();
+        j.log_commit_sent(shard).unwrap();
+    }
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let (ep_a, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+    // The peer considers the shard ours — it never saw the commit.
+    ep_b.delegate_shards(&[shard]).expect("delegate at B");
+
+    let report = ep_a.recover().expect("recover");
+    assert_eq!(report.restored, vec![shard]);
+    assert!(report.remote.is_empty());
+    assert!(exec_a.owns_shard(shard));
+    assert_eq!(
+        exec_a.state().get(shard, Key(key)),
+        Some(Bytes::from_static(b"kept"))
+    );
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `ACK_RECEIVED`: the peer durably owns the state — no query needed,
+/// the restarted sender just flips the shard to remote routing.
+#[test]
+fn ack_received_settles_remote_without_query() {
+    let shard = ShardId(6);
+    let (key, _) = keys_in(6);
+    let path = tmp_journal("acked");
+    {
+        let j = RecoveryJournal::open(&path).expect("journal");
+        let s = snap(6, &[(key, b"gone")]);
+        j.log_offer_sent(&s).unwrap();
+        j.log_commit_sent(shard).unwrap();
+        j.log_ack_received(shard).unwrap();
+    }
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    exec_b
+        .state()
+        .put(shard, Key(key), Bytes::from_static(b"gone"));
+    let (ep_a, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+
+    let report = ep_a.recover().expect("recover");
+    assert_eq!(report.remote, vec![shard]);
+    assert!(!exec_a.owns_shard(shard));
+    assert!(!exec_a.state().hosts(shard));
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `STATE_DURABLE` (receiver side): the verified snapshot went to disk
+/// before the crash — the restarted receiver reinstates it and serves.
+#[test]
+fn receiver_durable_installs_from_journal() {
+    let shard = ShardId(5);
+    let (pk, key) = keys_in(5);
+    let path = tmp_journal("durable");
+    {
+        let j = RecoveryJournal::open(&path).expect("journal");
+        j.log_state_durable(&snap(5, &[(pk, b"adopted")])).unwrap();
+    }
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let (ep_a, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+    // The sender's half of the same crash: it saw the ack, the shard
+    // lives with us now.
+    ep_b.delegate_shards(&[shard]).expect("delegate at B");
+
+    let report = ep_a.recover().expect("recover");
+    assert_eq!(report.adopted, vec![shard]);
+    assert_eq!(
+        exec_a.state().get(shard, Key(pk)),
+        Some(Bytes::from_static(b"adopted"))
+    );
+    // The adopted shard serves live records.
+    for seq in 1..=4u64 {
+        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        read_count(&exec_a, shard, Key(key)) == Some(4)
+    }));
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The surviving-sender path end to end: a scripted raw-TCP peer
+/// accepts the offer, swallows the state, then vanishes right after
+/// the commit — `migrate_out` parks the shard as [`MigrateError::InDoubt`]
+/// (still buffering submits), and `recover()` on a **reconnected**
+/// endpoint (same journal, a real peer this time) settles it back to
+/// local with snapshot and buffered records intact.
+#[test]
+fn in_doubt_shard_parks_then_recovers_local() {
+    let shard = ShardId(2);
+    let (pk, key) = keys_in(2);
+    let path = tmp_journal("in-doubt");
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    exec_a
+        .state()
+        .put(shard, Key(pk), Bytes::from_static(b"parked"));
+
+    // Scripted peer: ACCEPT the offer, read until COMMIT, then die.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let script = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept");
+        loop {
+            let (msg, payload) = wire::read_frame(&mut s).expect("peer frame");
+            if msg == MSG_OFFER {
+                let mut reply = Vec::new();
+                reply.extend_from_slice(&payload[..4]);
+                wire::write_frame(&mut s, MSG_ACCEPT, &reply).expect("accept reply");
+            } else if msg == MSG_COMMIT {
+                return; // drop the socket mid-2PC
+            }
+        }
+    });
+    let ep_a1 = MigrationEndpoint::connect_with(
+        Arc::clone(&exec_a),
+        addr,
+        MigrationConfig::default()
+            .with_offer_deadline(Duration::from_secs(5))
+            .with_state_deadline(Duration::from_secs(5))
+            .with_journal(&path),
+    )
+    .expect("connect");
+    let err = ep_a1.migrate_out(shard).expect_err("peer died mid-2PC");
+    assert!(
+        matches!(err, MigrateError::InDoubt(s) if s == shard),
+        "got: {err}"
+    );
+    script.join().expect("script thread");
+    assert!(exec_a.is_shard_paused(shard));
+    // Submits to the parked shard buffer rather than drop.
+    for seq in 1..=3u64 {
+        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+    }
+    ep_a1.close();
+
+    // Reconnect to a real peer that never saw the state and recover.
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+    let (ep_a2, ep_b) = link_with_journal(&exec_a, &exec_b, &path);
+    ep_b.delegate_shards(&[shard]).expect("delegate at B");
+    let report = ep_a2.recover().expect("recover");
+    assert_eq!(report.restored, vec![shard]);
+    assert!(exec_a.owns_shard(shard));
+    assert_eq!(
+        exec_a.state().get(shard, Key(pk)),
+        Some(Bytes::from_static(b"parked"))
+    );
+    // The pause buffer drained into the restored shard, in order.
+    assert!(wait_until(Duration::from_secs(10), || {
+        read_count(&exec_a, shard, Key(key)) == Some(3)
+    }));
+    assert!(fifo.is_clean());
+
+    ep_a2.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,214 @@
+//! Panic isolation under supervision: a poison shard whose operator
+//! keeps panicking is quarantined (black-holed, state parked) without
+//! disturbing its neighbors, and a task thread lost to a panic that
+//! escapes the per-record containment is reaped and its shards
+//! re-homed by [`ExecutorGroup::supervise`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_core::hash::key_to_shard;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::{BoxedOperator, ExecutorConfig, ExecutorGroup, FifoChecker, Record};
+use elasticutor_state::StateHandle;
+
+const NUM_SHARDS: u32 = 8;
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cond()
+}
+
+fn keys_in(shard: u32) -> impl Iterator<Item = u64> {
+    (0u64..).filter(move |k| key_to_shard(*k, NUM_SHARDS) == shard)
+}
+
+/// A key whose operator call always panics sends its shard over the
+/// `quarantine_after` threshold; `supervise()` parks it, records to it
+/// are dropped (and counted), every other shard keeps flowing, and
+/// `release_quarantined` brings it back with its state intact.
+#[test]
+fn poison_shard_is_quarantined_and_released() {
+    let poison_shard = 5u32;
+    let mut sh5 = keys_in(poison_shard);
+    let poison_key = sh5.next().unwrap();
+    let healthy_sh5_key = sh5.next().unwrap();
+    let fifo = Arc::new(FifoChecker::new());
+    let op: BoxedOperator = {
+        let fifo = Arc::clone(&fifo);
+        Box::new(move |r: &Record, s: &StateHandle| {
+            if r.key == Key(poison_key) {
+                panic!("poison record");
+            }
+            fifo.observe(r.key, r.seq);
+            s.update(r.key, |old| {
+                let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+                Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+            });
+            Vec::new()
+        })
+    };
+    let group = ExecutorGroup::start(
+        "poisoned",
+        ExecutorConfig {
+            num_shards: NUM_SHARDS,
+            initial_tasks: 2,
+            quarantine_after: Some(3),
+            ..ExecutorConfig::default()
+        },
+        op,
+        1,
+    );
+    let exec = group.primary();
+    exec.state().put(
+        ShardId(poison_shard),
+        Key(1 << 34),
+        Bytes::from_static(b"survives the park"),
+    );
+
+    // Three strikes cross the threshold.
+    for seq in 1..=3u64 {
+        exec.submit(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            group.stats().operator_panics >= 3
+        }),
+        "poison panics not recorded"
+    );
+    let report = group.supervise();
+    assert_eq!(report.quarantined, vec![ShardId(poison_shard)]);
+    assert_eq!(report.respawned, 0);
+    assert_eq!(report.quarantine_failures, 0);
+    assert_eq!(group.quarantined_shards(), vec![ShardId(poison_shard)]);
+
+    // Records to the parked shard are black-holed, not buffered.
+    for seq in 4..=5u64 {
+        exec.submit(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || exec.quarantine_dropped() == 2),
+        "quarantined records not counted as dropped"
+    );
+
+    // Neighbor shards are untouched by the quarantine.
+    let healthy_key = keys_in(0).next().unwrap();
+    for seq in 1..=5u64 {
+        exec.submit(Record::new(Key(healthy_key), Bytes::new()).with_seq(seq));
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        exec.state()
+            .get(ShardId(0), Key(healthy_key))
+            .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+            == Some(5)
+    }));
+
+    // Release: the shard returns with its parked state and serves
+    // non-poison keys again.
+    group
+        .release_quarantined(ShardId(poison_shard))
+        .expect("release");
+    assert!(group.quarantined_shards().is_empty());
+    assert_eq!(
+        exec.state().get(ShardId(poison_shard), Key(1 << 34)),
+        Some(Bytes::from_static(b"survives the park"))
+    );
+    for seq in 1..=3u64 {
+        exec.submit(Record::new(Key(healthy_sh5_key), Bytes::new()).with_seq(seq));
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        exec.state()
+            .get(ShardId(poison_shard), Key(healthy_sh5_key))
+            .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+            == Some(3)
+    }));
+    assert!(fifo.is_clean());
+}
+
+/// A panic payload whose destructor panics again escapes the
+/// per-record containment and takes the whole task thread down —
+/// exactly the class of failure `respawn_dead_tasks` exists for. The
+/// supervisor reaps the corpse, re-homes its shards onto the survivor,
+/// and every shard keeps serving.
+#[test]
+fn dead_task_is_reaped_and_shards_rehomed() {
+    static FIRED: AtomicBool = AtomicBool::new(false);
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            if !FIRED.swap(true, Ordering::SeqCst) {
+                panic!("detonating in the panic-payload destructor");
+            }
+        }
+    }
+    let bomb_key = keys_in(3).next().unwrap();
+    let op: BoxedOperator = Box::new(move |r: &Record, s: &StateHandle| {
+        if r.key == Key(bomb_key) {
+            std::panic::panic_any(Bomb);
+        }
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    });
+    let group = ExecutorGroup::start(
+        "bombed",
+        ExecutorConfig {
+            num_shards: NUM_SHARDS,
+            initial_tasks: 2,
+            ..ExecutorConfig::default()
+        },
+        op,
+        1,
+    );
+    assert_eq!(group.total_tasks(), 2);
+    group
+        .primary()
+        .submit(Record::new(Key(bomb_key), Bytes::new()).with_seq(1));
+
+    // The supervisor notices the dead thread and reaps it.
+    let mut respawned = 0usize;
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            respawned += group.supervise().respawned;
+            respawned >= 1
+        }),
+        "dead task never reaped"
+    );
+    assert_eq!(respawned, 1);
+    // One of two tasks died; the survivor adopted the orphans.
+    assert_eq!(group.total_tasks(), 1);
+
+    // Every shard — including the dead task's re-homed ones — serves.
+    let exec = group.primary();
+    for shard in 0..NUM_SHARDS {
+        // Fresh keys: anything queued at the dead task is crash-lost by
+        // design, so the conservation gate starts after the recovery.
+        let key = keys_in(shard).nth(2).unwrap();
+        for seq in 1..=4u64 {
+            exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+        }
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                exec.state()
+                    .get(ShardId(shard), Key(key))
+                    .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+                    == Some(4)
+            }),
+            "sh{shard} not serving after respawn"
+        );
+    }
+    // A second supervision pass finds nothing further to do.
+    let report = group.supervise();
+    assert_eq!(report.respawned, 0);
+    assert!(report.quarantined.is_empty());
+}

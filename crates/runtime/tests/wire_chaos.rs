@@ -1,0 +1,301 @@
+//! Wire-level chaos against the migration protocol: a live STATE
+//! stream truncated, bit-flipped, or short-read at arbitrary byte
+//! offsets must surface as a **typed** error and leave the executor
+//! consistent — never a panic, never a half-installed shard.
+//!
+//! The corruption loop is deterministic (a fixed xorshift seed picks
+//! the offsets), so a failure reproduces exactly.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_core::hash::key_to_shard;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, Checksum};
+use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER, MSG_STATE};
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationEndpoint, Operator, Record,
+};
+use elasticutor_state::{ShardSnapshot, StateHandle};
+
+const NUM_SHARDS: u32 = 8;
+const SHARD: u32 = 2;
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        num_shards: NUM_SHARDS,
+        initial_tasks: 2,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    cond()
+}
+
+/// A deterministic xorshift64* — no RNG dependency, same offsets every
+/// run.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn migration_snapshot() -> ShardSnapshot {
+    ShardSnapshot {
+        shard: ShardId(SHARD),
+        entries: (0..48u64)
+            .map(|i| {
+                (
+                    Key((1 << 32) + i),
+                    Bytes::from(vec![i as u8 ^ 0x5A; 40 + (i as usize % 17)]),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn digest_of(snap: &ShardSnapshot) -> u64 {
+    let mut c = Checksum::new();
+    snap.fold_checksum(&mut c);
+    c.finish()
+}
+
+/// The exact byte stream a well-behaved sender produces for one full
+/// migration of [`migration_snapshot`]: OFFER, chunked STATE, COMMIT.
+fn sender_stream(snap: &ShardSnapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut offer = Vec::new();
+    wire::put_u32(&mut offer, snap.shard.0);
+    wire::put_u64(&mut offer, snap.len() as u64);
+    wire::put_u64(&mut offer, snap.value_bytes());
+    wire::write_frame(&mut buf, MSG_OFFER, &offer).expect("offer frame");
+    let mut end_to_end = Checksum::new();
+    for chunk in snap.chunks(512) {
+        chunk.fold_checksum(&mut end_to_end);
+        wire::write_frame(&mut buf, MSG_STATE, &chunk.encode()).expect("state frame");
+    }
+    let mut commit = Vec::new();
+    wire::put_u32(&mut commit, snap.shard.0);
+    wire::put_u64(&mut commit, snap.len() as u64);
+    wire::put_u64(&mut commit, snap.value_bytes());
+    wire::put_u64(&mut commit, end_to_end.finish());
+    wire::write_frame(&mut buf, MSG_COMMIT, &commit).expect("commit frame");
+    buf
+}
+
+enum Corruption {
+    /// Send only the first `n` bytes, then close (short read).
+    Truncate(usize),
+    /// Flip one bit at byte `n`, send everything.
+    BitFlip(usize),
+}
+
+/// Feeds one (possibly corrupted) sender stream into a fresh receiver
+/// endpoint over real TCP and checks the all-or-nothing invariant:
+/// afterwards the executor either fully owns the shard with the exact
+/// end-to-end digest, or shows no trace of it — and it still processes
+/// live records either way.
+fn run_receiver_trial(stream_bytes: &[u8], corruption: &Corruption) {
+    let snap = migration_snapshot();
+    let fifo = Arc::new(FifoChecker::new());
+    let exec = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accept = {
+        let exec = Arc::clone(&exec);
+        std::thread::spawn(move || MigrationEndpoint::accept(exec, &listener).expect("accept"))
+    };
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    let endpoint = accept.join().expect("accept thread");
+
+    let mut bytes = stream_bytes.to_vec();
+    let complete = match *corruption {
+        Corruption::Truncate(n) => {
+            bytes.truncate(n);
+            n >= stream_bytes.len()
+        }
+        Corruption::BitFlip(n) => {
+            bytes[n] ^= 1 << (n % 8);
+            false
+        }
+    };
+    sock.write_all(&bytes).expect("send stream");
+    sock.shutdown(std::net::Shutdown::Write).expect("shutdown");
+    // The receiver sees EOF after our bytes: its reader exits, failing
+    // the link (and finishing the adoption if — and only if — the
+    // commit verified).
+    assert!(
+        wait_until(Duration::from_secs(20), || !endpoint.is_alive()),
+        "receiver link did not wind down"
+    );
+
+    // All-or-nothing: either the verified snapshot installed in full
+    // (only possible for the uncorrupted stream) or the store shows no
+    // trace of the transfer — never a partial entry set.
+    let got = exec
+        .state()
+        .snapshot_shard(ShardId(SHARD))
+        .filter(|s| !s.is_empty());
+    if let Some(got) = got {
+        assert_eq!(
+            digest_of(&got),
+            digest_of(&snap),
+            "partial or corrupted install leaked into the store"
+        );
+        assert!(
+            complete,
+            "a corrupted stream must not produce a full install"
+        );
+    } else {
+        assert!(!complete, "the clean stream must install");
+    }
+    // No panic took the executor down: live records still flow.
+    let probe = (0u64..)
+        .find(|k| key_to_shard(*k, NUM_SHARDS) == 0)
+        .unwrap();
+    exec.submit(Record::new(Key(probe), Bytes::new()).with_seq(1));
+    assert!(
+        wait_until(Duration::from_secs(10), || exec.processed_count() >= 1),
+        "executor wedged after corrupted stream"
+    );
+    drop(sock);
+    endpoint.close();
+}
+
+/// Truncation at a deterministic spread of offsets — frame boundaries,
+/// mid-header, mid-payload, and the empty stream.
+#[test]
+fn truncated_state_stream_never_half_installs() {
+    let stream = sender_stream(&migration_snapshot());
+    let mut offsets = vec![0, 1, 4, stream.len() / 2, stream.len() - 1, stream.len()];
+    let mut rng = XorShift(0xE1A5_71C0_70E5);
+    offsets.extend((0..8).map(|_| (rng.next() as usize) % stream.len()));
+    for n in offsets {
+        run_receiver_trial(&stream, &Corruption::Truncate(n));
+    }
+}
+
+/// Single-bit flips at a deterministic spread of offsets: headers,
+/// lengths, payload bytes, checksums. Whatever the bit hits, the
+/// receiver must end the stream with a typed refusal, not state.
+#[test]
+fn bit_flipped_state_stream_never_half_installs() {
+    let stream = sender_stream(&migration_snapshot());
+    let mut offsets = vec![0, 5, stream.len() / 3, stream.len() - 9, stream.len() - 1];
+    let mut rng = XorShift(0x00DD_BA11_CAFE);
+    offsets.extend((0..10).map(|_| (rng.next() as usize) % stream.len()));
+    for n in offsets {
+        run_receiver_trial(&stream, &Corruption::BitFlip(n));
+    }
+}
+
+/// The sender side of the same coin: a peer that answers the OFFER
+/// with garbage (truncated ACCEPT, unknown frame type) or hangs up
+/// mid-read must yield a typed [`MigrateError`] — and the shard stays
+/// local, intact, and serving.
+#[test]
+fn sender_survives_garbage_replies() {
+    // Each script runs against a fresh sender endpoint.
+    type Script = Box<dyn Fn(&mut TcpStream) + Send>;
+    let scripts: Vec<(&str, Script)> = vec![
+        (
+            "truncated accept payload",
+            Box::new(|s: &mut TcpStream| {
+                let (_, _) = wire::read_frame(s).expect("offer");
+                wire::write_frame(s, MSG_ACCEPT, &[0u8; 2]).expect("short accept");
+            }),
+        ),
+        (
+            "unknown frame type",
+            Box::new(|s: &mut TcpStream| {
+                let (_, _) = wire::read_frame(s).expect("offer");
+                wire::write_frame(s, 0xEE, b"nonsense").expect("bogus frame");
+            }),
+        ),
+        (
+            "hangup before reply",
+            Box::new(|s: &mut TcpStream| {
+                let (_, _) = wire::read_frame(s).expect("offer");
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }),
+        ),
+    ];
+    for (name, script) in scripts {
+        let shard = ShardId(SHARD);
+        let key = (0u64..)
+            .find(|k| key_to_shard(*k, NUM_SHARDS) == SHARD)
+            .unwrap();
+        let fifo = Arc::new(FifoChecker::new());
+        let exec = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+        exec.state()
+            .put(shard, Key(1 << 33), Bytes::from_static(b"keep me"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let peer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            script(&mut s);
+        });
+        let endpoint = MigrationEndpoint::connect(Arc::clone(&exec), addr).expect("connect");
+        let err = endpoint
+            .migrate_out(shard)
+            .expect_err("garbage reply must fail the migration");
+        assert!(
+            matches!(
+                err,
+                MigrateError::PeerDisconnected | MigrateError::Wire(_) | MigrateError::Timeout
+            ),
+            "{name}: untyped failure {err}"
+        );
+        peer.join().expect("peer thread");
+        // The abort path restored the shard: still local, still intact,
+        // still serving.
+        assert!(exec.owns_shard(shard), "{name}: shard lost");
+        assert_eq!(
+            exec.state().get(shard, Key(1 << 33)),
+            Some(Bytes::from_static(b"keep me")),
+            "{name}: state lost"
+        );
+        for seq in 1..=3u64 {
+            exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+        }
+        assert!(
+            wait_until(Duration::from_secs(10), || exec
+                .state()
+                .get(shard, Key(key))
+                .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+                == Some(3)),
+            "{name}: restored shard not serving"
+        );
+        assert!(fifo.is_clean());
+        endpoint.close();
+    }
+}

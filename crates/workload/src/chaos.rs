@@ -1,0 +1,113 @@
+//! Chaos-scenario shapes for the robustness harness: flash-crowd rate
+//! spikes and slow-consumer stall windows, as pure time functions so
+//! the bench binary and tests can drive them deterministically.
+//!
+//! Both profiles are clock-driven (`t` is nanoseconds since scenario
+//! start) and carry no state, so a driver can query them at any cadence
+//! without affecting the shape.
+
+use std::time::Duration;
+
+/// A flash-crowd profile: a steady base rate with one multiplicative
+/// spike window — the "100× for a few seconds" shape the chaos suite
+/// throws at a live topology mid-rescale.
+#[derive(Clone, Copy, Debug)]
+pub struct SpikeProfile {
+    /// Steady-state rate in records/second.
+    pub base_rate: f64,
+    /// Multiplier applied during the spike window (e.g. 100.0).
+    pub spike_factor: f64,
+    /// Offset of the spike's start from scenario start.
+    pub spike_start: Duration,
+    /// Length of the spike window.
+    pub spike_len: Duration,
+}
+
+impl SpikeProfile {
+    /// The target rate (records/second) at `t` nanoseconds from start.
+    pub fn rate_at(&self, t_ns: u64) -> f64 {
+        let start = self.spike_start.as_nanos() as u64;
+        let end = start.saturating_add(self.spike_len.as_nanos() as u64);
+        if (start..end).contains(&t_ns) {
+            self.base_rate * self.spike_factor
+        } else {
+            self.base_rate
+        }
+    }
+
+    /// Records due by `t` nanoseconds from start (the integral of
+    /// [`Self::rate_at`]) — drivers emit until their sent-count catches
+    /// up, which keeps the shape exact regardless of polling cadence.
+    pub fn due_by(&self, t_ns: u64) -> u64 {
+        let start = self.spike_start.as_nanos() as u64;
+        let end = start.saturating_add(self.spike_len.as_nanos() as u64);
+        let base = self.base_rate * t_ns as f64 / 1e9;
+        let spiked_ns = t_ns.clamp(start, end) - start;
+        let extra = self.base_rate * (self.spike_factor - 1.0) * spiked_ns as f64 / 1e9;
+        (base + extra) as u64
+    }
+}
+
+/// A slow-consumer profile: periodic windows during which the consumer
+/// stops draining entirely, forcing backpressure through every bounded
+/// edge upstream.
+#[derive(Clone, Copy, Debug)]
+pub struct StallSchedule {
+    /// Offset of the first stall from scenario start.
+    pub first_stall: Duration,
+    /// Distance between stall starts.
+    pub period: Duration,
+    /// Length of each stall window (must be shorter than `period`).
+    pub stall_len: Duration,
+}
+
+impl StallSchedule {
+    /// Whether the consumer should be stalled at `t` nanoseconds from
+    /// scenario start.
+    pub fn is_stalled(&self, t_ns: u64) -> bool {
+        let first = self.first_stall.as_nanos() as u64;
+        if t_ns < first {
+            return false;
+        }
+        let period = (self.period.as_nanos() as u64).max(1);
+        (t_ns - first) % period < self.stall_len.as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_profile_shape() {
+        let p = SpikeProfile {
+            base_rate: 1000.0,
+            spike_factor: 100.0,
+            spike_start: Duration::from_secs(1),
+            spike_len: Duration::from_secs(2),
+        };
+        assert_eq!(p.rate_at(0), 1000.0);
+        assert_eq!(p.rate_at(1_500_000_000), 100_000.0);
+        assert_eq!(p.rate_at(3_000_000_000), 1000.0);
+        // Integral: 1s base + 2s spiked + 1s base.
+        assert_eq!(p.due_by(0), 0);
+        assert_eq!(p.due_by(1_000_000_000), 1000);
+        assert_eq!(p.due_by(3_000_000_000), 3000 + 99 * 1000 * 2);
+        assert_eq!(p.due_by(4_000_000_000), 4000 + 99 * 1000 * 2);
+    }
+
+    #[test]
+    fn stall_schedule_windows() {
+        let s = StallSchedule {
+            first_stall: Duration::from_millis(500),
+            period: Duration::from_secs(1),
+            stall_len: Duration::from_millis(200),
+        };
+        assert!(!s.is_stalled(0));
+        assert!(s.is_stalled(500_000_000));
+        assert!(s.is_stalled(699_999_999));
+        assert!(!s.is_stalled(700_000_000));
+        assert!(s.is_stalled(1_500_000_000));
+        assert!(!s.is_stalled(1_800_000_000));
+    }
+}

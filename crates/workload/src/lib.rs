@@ -12,6 +12,8 @@
 //!   gaps.
 //! * [`micro::MicroWorkload`] — the Figure 5 generator→calculator
 //!   topology with configurable tuple size, CPU cost, rate, and ω.
+//! * [`chaos::SpikeProfile`] / [`chaos::StallSchedule`] — clock-driven
+//!   flash-crowd and slow-consumer shapes for the chaos harness.
 //! * [`sse::SseWorkload`] — a synthetic stand-in for the proprietary
 //!   Shanghai Stock Exchange order trace: the Figure 14 topology
 //!   (transactor → 6 statistics + 5 event operators) fed by a
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod chaos;
 pub mod micro;
 pub mod profile;
 pub mod shuffle;
@@ -31,6 +34,7 @@ pub mod sse;
 pub mod zipf;
 
 pub use arrivals::ArrivalProcess;
+pub use chaos::{SpikeProfile, StallSchedule};
 pub use micro::{MicroConfig, MicroWorkload};
 pub use profile::{CostModel, OperatorProfile};
 pub use shuffle::ShuffledKeySpace;

@@ -299,6 +299,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A baseline that was never committed is a first run, not an
+    // error: report and succeed so a brand-new benchmark's CI job can
+    // record its artifact before anything exists to diff against.
+    // (An existing-but-unparsable baseline stays fatal below.)
+    if !std::path::Path::new(&committed_path).exists() {
+        println!(
+            "bench_diff: no committed baseline at {committed_path} — first run, nothing to diff"
+        );
+        return ExitCode::SUCCESS;
+    }
     let (committed, fresh) = match (load(&committed_path), load(&fresh_path)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {

@@ -15,6 +15,7 @@ use elasticutor_core::ids::{Key, NodeId, ShardId, TaskId};
 use elasticutor_core::routing::RoutingTable;
 use elasticutor_queueing::jackson::{ExecutorLoad, JacksonNetwork};
 use elasticutor_queueing::{allocate, mmk, AllocationRequest};
+use elasticutor_runtime::Ingest;
 use elasticutor_scheduler::assignment::{Assignment, ClusterSpec};
 use elasticutor_scheduler::scheduler::{DynamicScheduler, ExecutorMeasurement, SchedulerConfig};
 use elasticutor_state::StateStore;
@@ -174,7 +175,7 @@ fn bench_live_executor(c: &mut Criterion) {
                 |_r: &Record, _s: &StateHandle| Vec::new(),
             );
             for i in 0..10_000u64 {
-                exec.submit(Record::new(Key(i % 512), Bytes::new()));
+                exec.ingest(Record::new(Key(i % 512), Bytes::new()));
             }
             exec.wait_for_processed(10_000);
             black_box(exec.shutdown());

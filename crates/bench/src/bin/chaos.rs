@@ -18,9 +18,11 @@
 //! FIFO order and exact record conservation.
 //!
 //! **Live scenarios (single-process).** A 100× flash-crowd spike, a
-//! periodically stalling bounded consumer, and Zipf-skewed load across
-//! scale-out/scale-in — each gated on FIFO + conservation, with
-//! p99/p999 latency recorded.
+//! periodically stalling bounded consumer, Zipf-skewed load across
+//! scale-out/scale-in, and a multi-point probabilistic composition —
+//! several `@<prob>` fail points armed at once (seeded, reproducible)
+//! while a shard ping-pongs between two in-process endpoints — each
+//! gated on FIFO + conservation, with p99/p999 latency recorded.
 //!
 //! Results go to `BENCH_chaos.json` (override with `--out`).
 //! `ELASTICUTOR_QUICK=1` shrinks state sizes and record counts for CI.
@@ -35,6 +37,7 @@ use bytes::Bytes;
 use elasticutor_bench::{fmt_latency_ns, quick_mode, Table};
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, LinkEvent, LiveDag, MigrationConfig,
     MigrationEndpoint, Operator, Record,
@@ -516,7 +519,7 @@ fn run_kill_scenario(sc: &KillScenario, dir: &Path) -> KillResult {
     let keys = keys_for_shard(shard);
     for round in 1..=burst_rounds() {
         for &key in &keys {
-            exec.submit(Record::new(key, Bytes::new()).with_seq(round));
+            exec.ingest(Record::new(key, Bytes::new()).with_seq(round));
         }
     }
     let burst_records = burst_rounds() * keys.len() as u64;
@@ -619,7 +622,7 @@ fn flash_crowd() -> LiveResult {
         while sent < due {
             let k = zipf.sample(&mut rng);
             seqs[k] += 1;
-            exec.submit(Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]));
+            exec.ingest(Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]));
             sent += 1;
         }
         std::thread::sleep(Duration::from_micros(500));
@@ -688,7 +691,7 @@ fn slow_consumer() -> LiveResult {
     for i in 0..total {
         let key = (i * 13) % KEYS;
         seqs[key as usize] += 1;
-        exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
+        exec.ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
     }
     let drained = consumer.join().expect("consumer thread");
     assert_eq!(drained, total, "slow_consumer: lost or duplicated records");
@@ -728,10 +731,8 @@ fn zipf_rescale() -> LiveResult {
     for i in 0..total {
         let k = zipf.sample(&mut rng);
         seqs[k] += 1;
-        dag.submit(
-            hot,
-            Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]),
-        );
+        dag.port(hot)
+            .ingest(Record::new(Key(k as u64), Bytes::new()).with_seq(seqs[k]));
         if i == total / 4 || i == total / 2 {
             dag.scale_out(hot).expect("scale out under skew");
         } else if i == 3 * total / 4 {
@@ -755,6 +756,131 @@ fn zipf_rescale() -> LiveResult {
     }
 }
 
+/// Multi-point probabilistic fault composition: both halves of the
+/// migration handshake carry seeded `@<prob>` errs while every link
+/// frame may be delay-jittered — all armed at once, in one process (the
+/// fail-point registry is process-global, so a single spec reaches the
+/// sender path, the receiver path, and the writer threads of *both*
+/// endpoints). A shard ping-pongs between two executors; some rounds
+/// must fail (pre-commit errs restore the shard locally), some must
+/// succeed, and after disarming, conservation + FIFO + exactly-one-owner
+/// must hold as if nothing had happened.
+fn probabilistic_faults() -> LiveResult {
+    use elasticutor_core::fault;
+    let spec = "migrate.snd.offer=err@0.35,migrate.snd.state=err@0.25,\
+                migrate.rcv.offer=err@0.15,link.write=delay:200us@0.05";
+    fault::configure(spec).expect("valid probabilistic spec");
+
+    let fifo_a = Arc::new(FifoChecker::new());
+    let fifo_b = Arc::new(FifoChecker::new());
+    let exec_a = executor(fifo_a.clone());
+    let exec_b = executor(fifo_b.clone());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let connector = {
+        let exec_b = Arc::clone(&exec_b);
+        std::thread::spawn(move || {
+            MigrationEndpoint::connect_with(exec_b, addr.as_str(), MigrationConfig::default())
+                .expect("connect b endpoint")
+        })
+    };
+    let ep_a =
+        MigrationEndpoint::accept_with(Arc::clone(&exec_a), &listener, MigrationConfig::default())
+            .expect("accept a endpoint");
+    let ep_b = connector.join().expect("connector thread");
+
+    let shard = ShardId(SENDER_SHARD);
+    preload(&exec_a, SENDER_SHARD);
+
+    let rounds = if quick_mode() { 14 } else { 40 };
+    let mut at_a = true;
+    let mut successes = 0u64;
+    let mut failures = 0u64;
+    for _ in 0..rounds {
+        let res = if at_a {
+            ep_a.migrate_out(shard)
+        } else {
+            ep_b.migrate_out(shard)
+        };
+        match res {
+            Ok(_) => {
+                at_a = !at_a;
+                successes += 1;
+                // The receiver installs on its reader thread; wait for
+                // ownership so the return trip starts from solid ground.
+                let owner = if at_a { &exec_a } else { &exec_b };
+                assert!(
+                    wait_until(Duration::from_secs(30), || owner.owns_shard(shard)),
+                    "probabilistic_faults: migrated shard never installed"
+                );
+            }
+            Err(e) => {
+                eprintln!("probabilistic_faults: injected round failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let err_hits = fault::hit_count("migrate.snd.offer") + fault::hit_count("migrate.snd.state");
+    let jitter_hits = fault::hit_count("link.write");
+    fault::clear();
+
+    // The seeded draws must have produced a genuine mix: the composed
+    // spec fired (partially — it's a probability, not a certainty) and
+    // the protocol still made forward progress through it.
+    assert!(
+        successes > 0,
+        "probabilistic_faults: no round ever succeeded"
+    );
+    assert!(
+        failures > 0 && err_hits > 0,
+        "probabilistic_faults: err@p points never fired (hits={err_hits})"
+    );
+    eprintln!(
+        "probabilistic_faults: {successes} ok / {failures} injected-fail rounds, \
+         {err_hits} err hits, {jitter_hits} delay hits"
+    );
+
+    // Exactly one owner, then the usual burst + digest conservation.
+    let (owner_exec, loser_exec) = if at_a {
+        (&exec_a, &exec_b)
+    } else {
+        (&exec_b, &exec_a)
+    };
+    assert!(owner_exec.owns_shard(shard), "settled owner lost the shard");
+    assert!(
+        !loser_exec.state().hosts(shard),
+        "probabilistic_faults: sh{SENDER_SHARD} hosted on both sides"
+    );
+    let keys = keys_for_shard(SENDER_SHARD);
+    for round in 1..=burst_rounds() {
+        for &key in &keys {
+            owner_exec.ingest(Record::new(key, Bytes::new()).with_seq(round));
+        }
+    }
+    let burst_records = burst_rounds() * keys.len() as u64;
+    let want = digest_of(&expected_final(SENDER_SHARD));
+    assert!(
+        wait_until(Duration::from_secs(60), || {
+            owner_exec
+                .state()
+                .snapshot_shard(shard)
+                .is_some_and(|s| digest_of(&s) == want)
+        }),
+        "probabilistic_faults: burst digest never settled"
+    );
+    assert!(fifo_a.is_clean() && fifo_b.is_clean(), "FIFO violations");
+
+    let stats = owner_exec.stats();
+    ep_a.close();
+    ep_b.close();
+    LiveResult {
+        name: "probabilistic_faults",
+        records: burst_records,
+        p99_ns: stats.latency.quantile_ns(0.99),
+        p999_ns: stats.latency.quantile_ns(0.999),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Parent main.
 // ---------------------------------------------------------------------------
@@ -770,7 +896,7 @@ fn parent_main() {
     std::fs::create_dir_all(&dir).expect("journal dir");
 
     println!(
-        "chaos suite: {} kill scenarios + 3 live scenarios{}",
+        "chaos suite: {} kill scenarios + 4 live scenarios{}",
         KILL_MATRIX.len(),
         if quick_mode() { " (quick mode)" } else { "" }
     );
@@ -784,7 +910,12 @@ fn parent_main() {
         );
         kill_results.push(res);
     }
-    let live_results = vec![flash_crowd(), slow_consumer(), zipf_rescale()];
+    let live_results = vec![
+        flash_crowd(),
+        slow_consumer(),
+        zipf_rescale(),
+        probabilistic_faults(),
+    ];
 
     let mut table = Table::new(&["scenario", "records", "p99", "p999"]);
     for r in &live_results {

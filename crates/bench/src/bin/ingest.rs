@@ -1,0 +1,332 @@
+//! TCP ingress bench: a localhost flood over 1000 concurrent
+//! connections plus a slow-client arm, both feeding a live pipeline
+//! through `TcpIngress` and gated on exact conservation and
+//! per-connection FIFO.
+//!
+//! **flood** — 1000 sockets open at once (8 writer threads × 125
+//! connections each), every connection streaming record frames as fast
+//! as the loopback takes them. Each connection owns one key with
+//! strictly increasing seqs, so the pipeline-side `FifoChecker` proves
+//! per-connection arrival order survived the epoll readers, the credit
+//! ledger, and the DAG admission path. The gate: every record sent is
+//! decoded, delivered, and processed exactly once, zero protocol
+//! errors, zero FIFO violations.
+//!
+//! **slow_client** — fewer connections written in 16-byte slivers with
+//! pauses, so nearly every epoll wakeup sees a partial frame. Same
+//! gates; exercises the incremental reassembly path the flood mostly
+//! skips past.
+//!
+//! Results go to `BENCH_ingest.json` (override with `--out`).
+//! `ELASTICUTOR_QUICK=1` shrinks record counts for CI (the connection
+//! count of the flood arm stays at 1000 — concurrency is the point).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_bench::{fmt_latency_ns, fmt_rate, quick_mode, Table};
+use elasticutor_ingress::{write_record_frame, IngressConfig, TcpIngress};
+use elasticutor_runtime::{ExecutorConfig, FifoChecker, Ingest, Pipeline, Record, RecordBatch};
+use elasticutor_state::StateHandle;
+
+const PAYLOAD: &[u8] = b"ingest!!";
+const FRAME_RECORDS: u64 = 50;
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+/// One pipeline stage counting records and checking per-key FIFO.
+fn checked_pipeline(fifo: Arc<FifoChecker>, processed: Arc<AtomicU64>) -> Arc<Pipeline> {
+    Arc::new(
+        Pipeline::builder()
+            .stage(
+                "count",
+                ExecutorConfig {
+                    num_shards: 64,
+                    initial_tasks: 2,
+                    ..ExecutorConfig::default()
+                },
+                move |r: &Record, _s: &StateHandle| {
+                    fifo.observe(r.key, r.seq);
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    Vec::new()
+                },
+            )
+            .capacity(16_384)
+            .build(),
+    )
+}
+
+/// Frames `[start, end)` seqs for `key` as ready-to-send wire bytes.
+fn frame_bytes(key: u64, start: u64, end: u64) -> Vec<u8> {
+    let records: RecordBatch = (start..end)
+        .map(|seq| Record::new(key.into(), Bytes::from_static(PAYLOAD)).with_seq(seq))
+        .collect();
+    let mut out = Vec::with_capacity(6 + records.len() * 28);
+    write_record_frame(&mut out, &records).expect("encode frame");
+    out
+}
+
+struct ArmResult {
+    arm: &'static str,
+    connections: u64,
+    records: u64,
+    elapsed_ns: u64,
+    records_per_sec: u64,
+    mib_per_s: f64,
+    stalls: u64,
+    p99_ns: f64,
+}
+
+/// 1000 concurrent connections flooding the ingress as fast as loopback
+/// allows. `writer_threads` share the sockets so a 1-core box is not
+/// asked for a thousand OS threads.
+fn flood(connections: u64, per_conn: u64, writer_threads: u64) -> ArmResult {
+    let fifo = Arc::new(FifoChecker::new());
+    let processed = Arc::new(AtomicU64::new(0));
+    let pipe = checked_pipeline(Arc::clone(&fifo), Arc::clone(&processed));
+    let ingress = TcpIngress::bind(
+        IngressConfig {
+            readers: 2,
+            credit: 4_096,
+            ..IngressConfig::default()
+        },
+        Arc::clone(&pipe) as Arc<dyn Ingest>,
+    )
+    .expect("bind ingress");
+    let addr = ingress.local_addr();
+
+    let start = Instant::now();
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let lo = w * connections / writer_threads;
+                let hi = (w + 1) * connections / writer_threads;
+                // All of this thread's sockets are opened before the
+                // first record: the flood runs with every connection
+                // concurrently established.
+                let mut socks: Vec<TcpStream> = (lo..hi)
+                    .map(|_| TcpStream::connect(addr).expect("connect flood client"))
+                    .collect();
+                let mut sent = 0u64;
+                for frame_start in (1..=per_conn).step_by(FRAME_RECORDS as usize) {
+                    let frame_end = (frame_start + FRAME_RECORDS).min(per_conn + 1);
+                    for (i, sock) in socks.iter_mut().enumerate() {
+                        let key = lo + i as u64;
+                        sock.write_all(&frame_bytes(key, frame_start, frame_end))
+                            .expect("flood write");
+                        sent += frame_end - frame_start;
+                    }
+                }
+                for sock in &mut socks {
+                    sock.flush().expect("flood flush");
+                }
+                sent
+            })
+        })
+        .collect();
+    let total: u64 = writers.into_iter().map(|t| t.join().expect("writer")).sum();
+    assert_eq!(total, connections * per_conn);
+
+    assert!(
+        wait_until(Duration::from_secs(300), || {
+            processed.load(Ordering::Relaxed) == total
+        }),
+        "flood: pipeline processed {} of {total}",
+        processed.load(Ordering::Relaxed)
+    );
+    let elapsed = start.elapsed();
+    let stats = ingress.shutdown();
+
+    // The gates: exact conservation end to end, clean protocol, and
+    // per-connection FIFO all the way into the operator.
+    assert_eq!(stats.accepted, connections, "flood: connection count");
+    assert_eq!(stats.records_in, total, "flood: decode conservation");
+    assert_eq!(
+        stats.records_delivered, total,
+        "flood: delivery conservation"
+    );
+    assert_eq!(stats.protocol_errors, 0, "flood: protocol errors");
+    assert!(
+        fifo.is_clean(),
+        "flood: FIFO violations {:?}",
+        fifo.violations()
+    );
+    assert_eq!(fifo.keys_seen() as u64, connections);
+
+    let pipe = Arc::try_unwrap(pipe).unwrap_or_else(|_| panic!("pipeline still shared"));
+    let stage = pipe.stage_stats().remove(0);
+    pipe.shutdown();
+    ArmResult {
+        arm: "flood",
+        connections,
+        records: total,
+        elapsed_ns: elapsed.as_nanos() as u64,
+        records_per_sec: (total as f64 / elapsed.as_secs_f64()) as u64,
+        mib_per_s: stats.bytes_in as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        stalls: stats.stalls,
+        p99_ns: stage.stats.latency.quantile_ns(0.99),
+    }
+}
+
+/// Slow clients: every frame dribbles in 16-byte slivers with pauses,
+/// so the readers continuously reassemble partial frames.
+fn slow_client(connections: u64, per_conn: u64) -> ArmResult {
+    let fifo = Arc::new(FifoChecker::new());
+    let processed = Arc::new(AtomicU64::new(0));
+    let pipe = checked_pipeline(Arc::clone(&fifo), Arc::clone(&processed));
+    let ingress = TcpIngress::bind(
+        IngressConfig {
+            readers: 2,
+            ..IngressConfig::default()
+        },
+        Arc::clone(&pipe) as Arc<dyn Ingest>,
+    )
+    .expect("bind ingress");
+    let addr = ingress.local_addr();
+
+    let start = Instant::now();
+    // One writer thread sweeps all connections, advancing each by one
+    // sliver per sweep — interleaved partial frames across the pool.
+    let total = {
+        let mut socks: Vec<TcpStream> = (0..connections)
+            .map(|_| TcpStream::connect(addr).expect("connect slow client"))
+            .collect();
+        let mut streams: Vec<(Vec<u8>, usize, u64)> =
+            (0..connections).map(|_| (Vec::new(), 0, 1u64)).collect();
+        let mut live = connections;
+        while live > 0 {
+            live = 0;
+            for (i, sock) in socks.iter_mut().enumerate() {
+                let (buf, pos, next_seq) = &mut streams[i];
+                if *pos == buf.len() {
+                    if *next_seq > per_conn {
+                        continue;
+                    }
+                    let end = (*next_seq + 20).min(per_conn + 1);
+                    *buf = frame_bytes(i as u64, *next_seq, end);
+                    *pos = 0;
+                    *next_seq = end;
+                }
+                let sliver = (*pos + 16).min(buf.len());
+                sock.write_all(&buf[*pos..sliver]).expect("slow write");
+                *pos = sliver;
+                live += 1;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        for sock in &mut socks {
+            sock.flush().expect("slow flush");
+        }
+        connections * per_conn
+    };
+
+    assert!(
+        wait_until(Duration::from_secs(300), || {
+            processed.load(Ordering::Relaxed) == total
+        }),
+        "slow_client: pipeline processed {} of {total}",
+        processed.load(Ordering::Relaxed)
+    );
+    let elapsed = start.elapsed();
+    let stats = ingress.shutdown();
+
+    assert_eq!(stats.records_in, total, "slow_client: decode conservation");
+    assert_eq!(
+        stats.records_delivered, total,
+        "slow_client: delivery conservation"
+    );
+    assert_eq!(stats.protocol_errors, 0, "slow_client: protocol errors");
+    assert!(fifo.is_clean(), "slow_client: FIFO violations");
+    assert_eq!(fifo.keys_seen() as u64, connections);
+
+    let pipe = Arc::try_unwrap(pipe).unwrap_or_else(|_| panic!("pipeline still shared"));
+    let stage = pipe.stage_stats().remove(0);
+    pipe.shutdown();
+    ArmResult {
+        arm: "slow_client",
+        connections,
+        records: total,
+        elapsed_ns: elapsed.as_nanos() as u64,
+        records_per_sec: (total as f64 / elapsed.as_secs_f64()) as u64,
+        mib_per_s: stats.bytes_in as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        stalls: stats.stalls,
+        p99_ns: stage.stats.latency.quantile_ns(0.99),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    let (flood_per_conn, slow_conns, slow_per_conn) = if quick_mode() {
+        (200, 40, 60)
+    } else {
+        (2_000, 100, 400)
+    };
+    println!(
+        "ingest bench: 1000-connection flood + slow-client arm{}",
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
+
+    let results = vec![
+        flood(1_000, flood_per_conn, 8),
+        slow_client(slow_conns, slow_per_conn),
+    ];
+
+    let mut table = Table::new(&["arm", "conns", "records", "rec/s", "MiB/s", "stalls", "p99"]);
+    for r in &results {
+        table.row(vec![
+            r.arm.to_string(),
+            r.connections.to_string(),
+            r.records.to_string(),
+            fmt_rate(r.records_per_sec as f64),
+            format!("{:.1}", r.mib_per_s),
+            r.stalls.to_string(),
+            fmt_latency_ns(r.p99_ns),
+        ]);
+    }
+    println!("\ningress arms (conservation + per-connection FIFO gated)");
+    table.print();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    json.push_str("  \"ingest\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"arm\": \"{}\", \"connections\": {}, \"records\": {}, \"elapsed_ns\": {}, \
+             \"records_per_sec\": {}, \"mib_per_s\": {:.1}, \"stalls\": {}, \"p99_ns\": {:.0}, \
+             \"protocol_errors\": 0, \"fifo_violations\": 0}}",
+            r.arm,
+            r.connections,
+            r.records,
+            r.elapsed_ns,
+            r.records_per_sec,
+            r.mib_per_s,
+            r.stalls,
+            r.p99_ns
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -35,6 +35,7 @@ use bytes::Bytes;
 use elasticutor_bench::{fmt_bytes, fmt_latency_ns, quick_mode, Table};
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, MigrationEndpoint, Operator, Record,
 };
@@ -114,7 +115,7 @@ fn run_load<O: Operator>(exec: &ElasticExecutor<O>, shards: &[u32], progress: &A
     let keys: Vec<Key> = shards.iter().flat_map(|&s| keys_for_shard(s)).collect();
     for round in 1..=rounds() {
         for &key in &keys {
-            exec.submit(Record::new(key, Bytes::new()).with_seq(round));
+            exec.ingest(Record::new(key, Bytes::new()).with_seq(round));
         }
         progress.store(round, Ordering::Release);
         // Pace the source a little so migrations overlap live traffic.

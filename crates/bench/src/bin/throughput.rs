@@ -45,6 +45,7 @@ use bytes::Bytes;
 use elasticutor_bench::{quick_mode, Table};
 use elasticutor_core::ids::Key;
 use elasticutor_runtime::dag::LiveDag;
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     monotonic_ns, ElasticExecutor, ExecutorConfig, FifoChecker, Pipeline, Record,
 };
@@ -135,7 +136,7 @@ fn run_submit_path(mode: Mode, submitters: usize, total: u64) -> RunResult {
                 if mode == Mode::Baseline {
                     for i in 0..per_thread {
                         let key = Key(i * submitters_stride(t) + t);
-                        exec.submit(Record::new(key, Bytes::new()));
+                        exec.ingest(Record::new(key, Bytes::new()));
                     }
                 } else {
                     let mut batch = Vec::with_capacity(SUBMIT_BATCH);
@@ -147,7 +148,7 @@ fn run_submit_path(mode: Mode, submitters: usize, total: u64) -> RunResult {
                             let key = Key(j * submitters_stride(t) + t);
                             batch.push(Record::new_at(key, Bytes::new(), now));
                         }
-                        exec.submit_batch(batch.drain(..));
+                        exec.ingest_batch(std::mem::take(&mut batch));
                     }
                 }
             })
@@ -212,13 +213,13 @@ fn run_pipeline(baseline: bool, cores: u32, total: u64) -> PipelineResult {
         .stage("sink", stage_config(), |_r: &Record, _s: &StateHandle| {
             Vec::new()
         })
-        .stage_capacity(16_384)
+        .capacity(16_384)
         .max_batch(SUBMIT_BATCH)
         .build();
     let start = Instant::now();
     if baseline {
         for i in 0..total {
-            pipe.submit(Record::new(Key(i % 4096), Bytes::new()));
+            pipe.ingest(Record::new(Key(i % 4096), Bytes::new()));
         }
     } else {
         let mut i = 0u64;
@@ -228,7 +229,7 @@ fn run_pipeline(baseline: bool, cores: u32, total: u64) -> PipelineResult {
             let batch: Vec<Record> = (i..end)
                 .map(|k| Record::new_at(Key(k % 4096), Bytes::new(), now))
                 .collect();
-            pipe.submit_batch(batch);
+            pipe.ingest_batch(batch);
             i = end;
         }
     }
@@ -321,7 +322,7 @@ fn run_zipf_rescale(scale_out: bool, total: u64) -> RescaleResult {
                 Record::new_at(Key(key), Bytes::new(), now).with_seq(seqs[key as usize])
             })
             .collect();
-        dag.submit_batch(hot, batch);
+        dag.port(hot).ingest_batch(batch);
         if scale_out && i < total / 4 && end >= total / 4 {
             dag.scale_out(hot)
                 .expect("grow hot operator to 2 instances");
@@ -428,7 +429,7 @@ fn run_fanout(
         let batch: Vec<Record> = (i..end)
             .map(|k| Record::new_at(Key(k % 4096), payload.clone(), now))
             .collect();
-        dag.submit_batch(source, batch);
+        dag.port(source).ingest_batch(batch);
         i = end;
     }
     dag.drain();

@@ -1,0 +1,213 @@
+//! Record framing for the ingress plane.
+//!
+//! Clients speak the workspace wire protocol ([`elasticutor_core::wire`]):
+//! every message is a version/type/length-prefixed frame, and ingress
+//! defines exactly one message type, [`RECORD_FRAME`], whose payload is a
+//! batch of records:
+//!
+//! ```text
+//! payload := count:u32  record*count
+//! record  := key:u64  seq:u64  payload_len:u32  payload_bytes
+//! ```
+//!
+//! All integers are little-endian, matching the rest of the wire module.
+//! `created_ns` is deliberately *not* transported: latency is measured
+//! from ingest, so the decoder restamps each batch with one
+//! [`monotonic_ns`] read (the same single-clock-call batching trick the
+//! in-process sources use).
+//!
+//! Two decode surfaces exist because the two ingress paths read
+//! differently:
+//!
+//! * [`decode_batch`] — payload slice → records, for callers that
+//!   already hold one whole frame (e.g. [`crate::replay`], which reads
+//!   frames with the blocking [`elasticutor_core::wire::read_frame`]).
+//! * [`FrameScanner`] — an incremental byte-stream scanner for the
+//!   nonblocking TCP readers, which see frames sliced arbitrarily by
+//!   the socket: feed it whatever `read(2)` returned, pull out every
+//!   frame that has fully arrived.
+
+use bytes::Bytes;
+use elasticutor_core::wire::{
+    self, put_bytes, put_u32, put_u64, ByteReader, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use elasticutor_runtime::{monotonic_ns, Record, RecordBatch};
+
+/// Wire message type for a record batch (`b'R'`).
+pub const RECORD_FRAME: u8 = b'R';
+
+/// Encodes a record batch into a [`RECORD_FRAME`] payload.
+pub fn encode_batch(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + records.len() * 24);
+    put_u32(&mut out, records.len() as u32);
+    for r in records {
+        put_u64(&mut out, r.key.value());
+        put_u64(&mut out, r.seq);
+        put_bytes(&mut out, &r.payload);
+    }
+    out
+}
+
+/// Writes one [`RECORD_FRAME`] (header + encoded batch) to `w`.
+pub fn write_record_frame(
+    w: &mut impl std::io::Write,
+    records: &[Record],
+) -> Result<(), WireError> {
+    wire::write_frame(w, RECORD_FRAME, &encode_batch(records))
+}
+
+/// Decodes a [`RECORD_FRAME`] payload back into records.
+///
+/// Every record in the batch is stamped with the *current*
+/// [`monotonic_ns`] — transport time is invisible to latency accounting,
+/// which starts the clock at ingest.
+pub fn decode_batch(payload: &[u8]) -> Result<RecordBatch, WireError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    let now = monotonic_ns();
+    let mut records = Vec::with_capacity(count.min(64 * 1024));
+    for _ in 0..count {
+        let key = r.u64()?;
+        let seq = r.u64()?;
+        let bytes = r.bytes()?;
+        records.push(Record::new_at(key.into(), Bytes::copy_from_slice(bytes), now).with_seq(seq));
+    }
+    if !r.is_empty() {
+        return Err(WireError::Corrupt("trailing bytes after record batch"));
+    }
+    Ok(records)
+}
+
+/// Incremental frame scanner for a nonblocking byte stream.
+///
+/// The TCP readers hand it raw socket bytes via [`FrameScanner::extend`]
+/// and drain complete frames with [`FrameScanner::next_frame`]; partial
+/// frames stay buffered until the rest arrives. Header validation
+/// (version, length ceiling) happens as soon as the six header bytes are
+/// in, so an oversized or wrong-version frame is rejected before its
+/// body is ever buffered.
+#[derive(Debug, Default)]
+pub struct FrameScanner {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameScanner {
+    /// Creates an empty scanner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes (whatever the socket read returned).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the live
+        // tail, so steady-state extend/next cycles are O(bytes) total.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pulls the next complete frame, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "keep reading"; an error means the stream is not
+    /// speaking the protocol and the connection should be dropped (a
+    /// byte-stream scanner cannot resynchronize after a bad header).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_LEN as usize {
+            return Ok(None);
+        }
+        if avail[0] != WIRE_VERSION {
+            return Err(WireError::BadVersion(avail[0]));
+        }
+        let msg_type = avail[1];
+        let len = u32::from_le_bytes(avail[2..6].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(u64::from(len)));
+        }
+        let total = FRAME_HEADER_LEN as usize + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN as usize..total].to_vec();
+        self.pos += total;
+        Ok(Some((msg_type, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticutor_core::ids::Key;
+
+    fn batch(n: u64) -> RecordBatch {
+        (0..n)
+            .map(|i| {
+                Record::new(Key(i % 3), Bytes::from(vec![i as u8; i as usize % 5])).with_seq(i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_key_seq_payload() {
+        let original = batch(17);
+        let decoded = decode_batch(&encode_batch(&original)).unwrap();
+        assert_eq!(decoded.len(), original.len());
+        for (a, b) in original.iter().zip(&decoded) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn scanner_reassembles_byte_by_byte() {
+        let mut wire_bytes = Vec::new();
+        write_record_frame(&mut wire_bytes, &batch(4)).unwrap();
+        write_record_frame(&mut wire_bytes, &batch(2)).unwrap();
+
+        let mut scanner = FrameScanner::new();
+        let mut frames = Vec::new();
+        for b in &wire_bytes {
+            scanner.extend(std::slice::from_ref(b));
+            while let Some(f) = scanner.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, RECORD_FRAME);
+        assert_eq!(decode_batch(&frames[0].1).unwrap().len(), 4);
+        assert_eq!(decode_batch(&frames[1].1).unwrap().len(), 2);
+        assert_eq!(scanner.buffered(), 0);
+    }
+
+    #[test]
+    fn scanner_rejects_bad_version_and_oversized() {
+        let mut s = FrameScanner::new();
+        s.extend(&[9, b'R', 0, 0, 0, 0]);
+        assert!(matches!(s.next_frame(), Err(WireError::BadVersion(9))));
+
+        let mut s = FrameScanner::new();
+        let mut hdr = vec![WIRE_VERSION, b'R'];
+        hdr.extend_from_slice(&u32::MAX.to_le_bytes());
+        s.extend(&hdr);
+        assert!(matches!(s.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing() {
+        let payload = encode_batch(&batch(3));
+        assert!(decode_batch(&payload[..payload.len() - 1]).is_err());
+        let mut padded = payload;
+        padded.push(0);
+        assert!(decode_batch(&padded).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic file replay.
+//!
+//! A replay file is just the ingress wire stream captured to disk: a
+//! sequence of [`RECORD_FRAME`]s. [`ReplayWriter`] produces one,
+//! [`FileReplaySource`] plays it back through the runtime's [`Source`]
+//! pump — so a workload recorded once drives the DAG identically on
+//! every run (keys, seqs, payloads, batch boundaries; only `created_ns`
+//! is restamped at decode, because latency is measured from ingest).
+//!
+//! Benchmarks and regression tests use this to take the network out of
+//! the loop while exercising the exact codec path TCP ingress uses.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use elasticutor_core::wire::{read_frame, WireError};
+use elasticutor_runtime::{Pull, Record, RecordBatch, Source};
+
+use crate::codec::{decode_batch, write_record_frame, RECORD_FRAME};
+use crate::IngressError;
+
+/// Streams record batches into a replay file.
+pub struct ReplayWriter {
+    out: BufWriter<File>,
+    records: u64,
+}
+
+impl ReplayWriter {
+    /// Creates (truncates) `path` and returns a writer over it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            records: 0,
+        })
+    }
+
+    /// Appends one batch as a single [`RECORD_FRAME`]. Batch boundaries
+    /// are preserved by the file format and replayed as written.
+    pub fn append(&mut self, records: &[Record]) -> Result<(), IngressError> {
+        write_record_frame(&mut self.out, records)?;
+        self.records += records.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and closes the file, returning the total record count.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+/// Convenience: writes `records` to `path` as max-`batch`-sized frames.
+pub fn write_replay_file(
+    path: impl AsRef<Path>,
+    records: &[Record],
+    batch: usize,
+) -> Result<u64, IngressError> {
+    let mut w = ReplayWriter::create(path).map_err(IngressError::Io)?;
+    for chunk in records.chunks(batch.max(1)) {
+        w.append(chunk)?;
+    }
+    w.finish().map_err(IngressError::Io)
+}
+
+/// A [`Source`] that replays a capture file frame by frame.
+///
+/// Each [`Source::pull`] decodes at most one frame (already-decoded
+/// records are served first), so pump batch sizes follow the recorded
+/// batch boundaries. End of file ends the source cleanly; a malformed
+/// file panics — replay files are build artifacts, and a corrupt one is
+/// a bug to surface, not an input to tolerate.
+pub struct FileReplaySource {
+    input: BufReader<File>,
+    pending: RecordBatch,
+    served: usize,
+    replayed: u64,
+}
+
+impl FileReplaySource {
+    /// Opens `path` for replay.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            input: BufReader::new(File::open(path)?),
+            pending: Vec::new(),
+            served: 0,
+            replayed: 0,
+        })
+    }
+
+    /// Records handed to the pump so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+}
+
+impl Source for FileReplaySource {
+    fn pull(&mut self, max: usize) -> Pull {
+        if self.served == self.pending.len() {
+            self.pending.clear();
+            self.served = 0;
+            match read_frame(&mut self.input) {
+                Ok((RECORD_FRAME, payload)) => {
+                    self.pending = decode_batch(&payload).expect("corrupt replay file");
+                }
+                Ok((other, _)) => panic!("replay file contains non-record frame {other:#x}"),
+                Err(WireError::Io(io::ErrorKind::UnexpectedEof)) => return Pull::Done,
+                Err(e) => panic!("corrupt replay file: {e}"),
+            }
+        }
+        let take = max.min(self.pending.len() - self.served);
+        let batch = self.pending[self.served..self.served + take].to_vec();
+        self.served += take;
+        self.replayed += batch.len() as u64;
+        if batch.is_empty() {
+            // A recorded empty frame: nothing to hand over this round.
+            Pull::Idle
+        } else {
+            Pull::Batch(batch)
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! Nonblocking epoll TCP ingress.
+//!
+//! [`TcpIngress`] turns a listening socket into a [`Ingest`] feeder: an
+//! acceptor thread plus `readers` reader threads, each running its own
+//! level-triggered epoll loop over the connections pinned to it. A
+//! connection lives on one reader for its whole life, so the records of
+//! one connection enter the DAG in exactly the byte order the client
+//! wrote them (per-connection FIFO — the network analog of the §2.1
+//! per-key ordering requirement).
+//!
+//! # Credit-based backpressure
+//!
+//! Each connection holds at most `credit` decoded-but-undelivered
+//! records. Delivery uses [`Ingest::try_ingest_batch`], the non-blocking
+//! edge-budget admission path, so a full DAG never blocks a reader
+//! thread; rejected suffixes are pushed back in order and retried. When
+//! a connection's backlog reaches its credit the reader *mutes* its
+//! epoll registration (interest mask 0) and stops reading the socket —
+//! the kernel receive buffer fills, the TCP window closes, and the
+//! remote sender stalls. Once the DAG drains the backlog below half the
+//! credit the registration is re-armed. Memory per connection is thereby
+//! bounded by `credit` records plus one socket read buffer, no matter
+//! how slow the DAG runs.
+//!
+//! # Failure containment
+//!
+//! A client that breaks the framing protocol (bad version, oversized
+//! length, corrupt batch, unknown message type) is disconnected with a
+//! typed [`IngressError`] — records decoded before the bad frame are
+//! still delivered, every other connection is untouched, and nothing
+//! panics. Stats record the error and [`TcpIngress::take_last_error`]
+//! exposes the most recent one for inspection.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use epoll::{Epoll, EventFd, EPOLLIN};
+
+use elasticutor_runtime::{Ingest, Record};
+
+use crate::codec::{decode_batch, FrameScanner, RECORD_FRAME};
+use crate::IngressError;
+
+/// Reserved epoll cookie for a thread's wakeup doorbell.
+const BELL: u64 = u64::MAX;
+/// Epoll cookie of the listening socket on the acceptor thread.
+const LISTENER: u64 = 0;
+
+/// Tuning knobs for [`TcpIngress::bind`].
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Number of reader threads; connections are pinned round-robin.
+    pub readers: usize,
+    /// Per-connection ceiling of decoded-but-undelivered records before
+    /// the socket is muted (credit-based backpressure).
+    pub credit: usize,
+    /// Largest batch handed to the [`Ingest`] target per admission call.
+    pub max_batch: usize,
+    /// Socket read buffer size in bytes.
+    pub read_buffer: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            readers: 2,
+            credit: 1024,
+            max_batch: 256,
+            read_buffer: 64 << 10,
+        }
+    }
+}
+
+/// Monotonic ingress counters, shared by all ingress threads.
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    protocol_errors: AtomicU64,
+    frames_in: AtomicU64,
+    records_in: AtomicU64,
+    records_delivered: AtomicU64,
+    bytes_in: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A point-in-time copy of the ingress counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections fully closed (peer EOF, error, or protocol fault).
+    pub closed: u64,
+    /// Connections dropped for speaking the protocol wrong.
+    pub protocol_errors: u64,
+    /// Record frames decoded.
+    pub frames_in: u64,
+    /// Records decoded off sockets.
+    pub records_in: u64,
+    /// Records delivered into the [`Ingest`] target.
+    pub records_delivered: u64,
+    /// Raw socket bytes read.
+    pub bytes_in: u64,
+    /// Times a connection was muted because its credit ran out.
+    pub stalls: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> IngressStats {
+        IngressStats {
+            accepted: self.accepted.load(Ordering::Acquire),
+            closed: self.closed.load(Ordering::Acquire),
+            protocol_errors: self.protocol_errors.load(Ordering::Acquire),
+            frames_in: self.frames_in.load(Ordering::Acquire),
+            records_in: self.records_in.load(Ordering::Acquire),
+            records_delivered: self.records_delivered.load(Ordering::Acquire),
+            bytes_in: self.bytes_in.load(Ordering::Acquire),
+            stalls: self.stalls.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// One reader-thread mailbox: the acceptor hands off new connections
+/// through the channel and rings the bell to unpark the epoll wait.
+struct ReaderPost {
+    tx: Sender<TcpStream>,
+    bell: Arc<EventFd>,
+}
+
+/// A running TCP ingress endpoint. Dropping it without calling
+/// [`TcpIngress::shutdown`] aborts the threads less gracefully (they
+/// still exit, but undelivered decoded records are flushed blocking on
+/// the target either way).
+pub struct TcpIngress {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    last_error: Arc<Mutex<Option<IngressError>>>,
+    posts: Vec<ReaderPost>,
+    acceptor_bell: Arc<EventFd>,
+    acceptor: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpIngress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpIngress")
+            .field("local_addr", &self.local_addr)
+            .field("readers", &self.readers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpIngress {
+    /// Binds the listener and spawns the acceptor and reader threads.
+    /// Every decoded record is pushed into `target` (a [`Pipeline`],
+    /// [`LiveDag`] port, executor, or any other [`Ingest`]).
+    ///
+    /// [`Pipeline`]: elasticutor_runtime::Pipeline
+    /// [`LiveDag`]: elasticutor_runtime::LiveDag
+    pub fn bind(config: IngressConfig, target: Arc<dyn Ingest>) -> io::Result<TcpIngress> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Stats::default());
+        let last_error = Arc::new(Mutex::new(None));
+
+        let n_readers = config.readers.max(1);
+        let mut posts = Vec::with_capacity(n_readers);
+        let mut readers = Vec::with_capacity(n_readers);
+        for i in 0..n_readers {
+            let (tx, rx) = unbounded();
+            let bell = Arc::new(EventFd::new()?);
+            posts.push(ReaderPost {
+                tx,
+                bell: Arc::clone(&bell),
+            });
+            let reader = ReaderThread {
+                rx,
+                bell,
+                stop: Arc::clone(&stop),
+                stats: Arc::clone(&stats),
+                last_error: Arc::clone(&last_error),
+                target: Arc::clone(&target),
+                credit: config.credit.max(1),
+                max_batch: config.max_batch.max(1),
+                read_buffer: config.read_buffer.max(512),
+            };
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("ingress-reader-{i}"))
+                    .spawn(move || reader.run())
+                    .expect("spawn ingress reader"),
+            );
+        }
+
+        let acceptor_bell = Arc::new(EventFd::new()?);
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let bell = Arc::clone(&acceptor_bell);
+            let mailboxes: Vec<(Sender<TcpStream>, Arc<EventFd>)> = posts
+                .iter()
+                .map(|p| (p.tx.clone(), Arc::clone(&p.bell)))
+                .collect();
+            std::thread::Builder::new()
+                .name("ingress-acceptor".to_string())
+                .spawn(move || accept_loop(listener, bell, mailboxes, stop, stats))
+                .expect("spawn ingress acceptor")
+        };
+
+        Ok(TcpIngress {
+            local_addr,
+            stop,
+            stats,
+            last_error,
+            posts,
+            acceptor_bell,
+            acceptor: Some(acceptor),
+            readers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the ingress counters.
+    pub fn stats(&self) -> IngressStats {
+        self.stats.snapshot()
+    }
+
+    /// Takes the most recent protocol error, if any connection was
+    /// dropped for one since the last call.
+    pub fn take_last_error(&self) -> Option<IngressError> {
+        self.last_error.lock().expect("ingress error slot").take()
+    }
+
+    /// Stops accepting, delivers every already-decoded record into the
+    /// target (blocking), joins all threads, and returns final stats.
+    /// Bytes still in kernel socket buffers at this point are dropped —
+    /// shutdown is "stop the intake", not "drain the world".
+    pub fn shutdown(mut self) -> IngressStats {
+        self.stop.store(true, Ordering::Release);
+        self.acceptor_bell.ring();
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for post in &self.posts {
+            post.bell.ring();
+        }
+        for t in self.readers.drain(..) {
+            let _ = t.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for TcpIngress {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.acceptor_bell.ring();
+        for post in &self.posts {
+            post.bell.ring();
+        }
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for t in self.readers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accepts connections and deals them round-robin to the readers.
+fn accept_loop(
+    listener: TcpListener,
+    bell: Arc<EventFd>,
+    mailboxes: Vec<(Sender<TcpStream>, Arc<EventFd>)>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+) {
+    let epoll = Epoll::new().expect("acceptor epoll");
+    epoll
+        .add(listener.as_raw_fd(), EPOLLIN, LISTENER)
+        .expect("register listener");
+    epoll
+        .add(bell.raw_fd(), EPOLLIN, BELL)
+        .expect("register acceptor bell");
+
+    let mut events = Vec::new();
+    let mut next = 0usize;
+    loop {
+        if epoll.wait(&mut events, 500).is_err() {
+            continue;
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        for ev in &events {
+            if ev.data == BELL {
+                bell.drain();
+                continue;
+            }
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        stats.accepted.fetch_add(1, Ordering::AcqRel);
+                        let (tx, reader_bell) = &mailboxes[next % mailboxes.len()];
+                        next += 1;
+                        if tx.send(stream).is_ok() {
+                            reader_bell.ring();
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    // Transient accept failures (per-process fd limit,
+                    // aborted handshake): drop that one attempt.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+/// One pinned connection on a reader thread.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    token: u64,
+    scanner: FrameScanner,
+    /// Decoded, not yet admitted into the DAG. Bounded by the credit.
+    pending: VecDeque<Record>,
+    /// Socket interest withdrawn (credit exhausted).
+    muted: bool,
+    /// No more bytes will arrive (EOF, I/O error, or protocol fault);
+    /// the conn is removed once `pending` drains.
+    finished: bool,
+}
+
+/// State and main loop of one reader thread.
+struct ReaderThread {
+    rx: Receiver<TcpStream>,
+    bell: Arc<EventFd>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    last_error: Arc<Mutex<Option<IngressError>>>,
+    target: Arc<dyn Ingest>,
+    credit: usize,
+    max_batch: usize,
+    read_buffer: usize,
+}
+
+impl ReaderThread {
+    fn run(self) {
+        let epoll = Epoll::new().expect("reader epoll");
+        epoll
+            .add(self.bell.raw_fd(), EPOLLIN, BELL)
+            .expect("register reader bell");
+
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut buf = vec![0u8; self.read_buffer];
+        let mut events = Vec::new();
+        let mut next_token: u64 = 1;
+
+        loop {
+            // Short timeout while records are parked so admission
+            // retries promptly; long otherwise (the bell cuts through).
+            let parked = conns.values().any(|c| !c.pending.is_empty());
+            let timeout = if parked { 1 } else { 250 };
+            if epoll.wait(&mut events, timeout).is_err() {
+                continue;
+            }
+
+            for ev in &events {
+                if ev.data == BELL {
+                    self.bell.drain();
+                    while let Ok(stream) = self.rx.try_recv() {
+                        let fd = stream.as_raw_fd();
+                        let token = next_token;
+                        next_token += 1;
+                        if epoll.add(fd, EPOLLIN, token).is_ok() {
+                            conns.insert(
+                                token,
+                                Conn {
+                                    stream,
+                                    fd,
+                                    token,
+                                    scanner: FrameScanner::new(),
+                                    pending: VecDeque::new(),
+                                    muted: false,
+                                    finished: false,
+                                },
+                            );
+                        }
+                    }
+                    continue;
+                }
+                if let Some(conn) = conns.get_mut(&ev.data) {
+                    self.read_conn(conn, &epoll, &mut buf, ev.closed());
+                }
+            }
+
+            if self.stop.load(Ordering::Acquire) {
+                // Blocking final flush: every decoded record reaches the
+                // target so intake counters stay conserved.
+                for conn in conns.values_mut() {
+                    let remaining: Vec<Record> = conn.pending.drain(..).collect();
+                    if !remaining.is_empty() {
+                        self.stats
+                            .records_delivered
+                            .fetch_add(remaining.len() as u64, Ordering::AcqRel);
+                        self.target.ingest_batch(remaining);
+                    }
+                }
+                return;
+            }
+
+            self.flush_and_rearm(&epoll, &mut conns);
+        }
+    }
+
+    /// Drains the socket until `WouldBlock`, EOF, or credit exhaustion,
+    /// decoding complete frames into `conn.pending`.
+    fn read_conn(&self, conn: &mut Conn, epoll: &Epoll, buf: &mut [u8], closed: bool) {
+        if conn.finished {
+            return;
+        }
+        if conn.muted {
+            // Interest mask 0 still reports EPOLLERR/EPOLLHUP (a reset
+            // peer). The kernel discarded any buffered data with the
+            // reset, so finish the conn rather than busy-spin on the
+            // unmaskable level-triggered event.
+            if closed {
+                self.finish_conn(conn, epoll, None);
+            }
+            return;
+        }
+        loop {
+            if conn.pending.len() >= self.credit {
+                return; // flush_and_rearm will mute below
+            }
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    self.finish_conn(conn, epoll, None);
+                    return;
+                }
+                Ok(n) => {
+                    self.stats.bytes_in.fetch_add(n as u64, Ordering::AcqRel);
+                    conn.scanner.extend(&buf[..n]);
+                    if let Err(e) = self.drain_frames(conn) {
+                        self.stats.protocol_errors.fetch_add(1, Ordering::AcqRel);
+                        self.finish_conn(conn, epoll, Some(e));
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.finish_conn(conn, epoll, None);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame currently buffered for `conn`.
+    fn drain_frames(&self, conn: &mut Conn) -> Result<(), IngressError> {
+        loop {
+            match conn.scanner.next_frame() {
+                Ok(None) => return Ok(()),
+                Ok(Some((RECORD_FRAME, payload))) => {
+                    let records = decode_batch(&payload).map_err(IngressError::Wire)?;
+                    self.stats.frames_in.fetch_add(1, Ordering::AcqRel);
+                    self.stats
+                        .records_in
+                        .fetch_add(records.len() as u64, Ordering::AcqRel);
+                    conn.pending.extend(records);
+                }
+                Ok(Some((other, _))) => return Err(IngressError::UnknownFrame(other)),
+                Err(e) => return Err(IngressError::Wire(e)),
+            }
+        }
+    }
+
+    /// Marks a connection as byte-stream-over: deregisters it from the
+    /// epoll so it stops generating events, records the typed error when
+    /// the cause was a protocol fault, and leaves `pending` for the
+    /// flush phase — already-decoded records are still delivered.
+    fn finish_conn(&self, conn: &mut Conn, epoll: &Epoll, error: Option<IngressError>) {
+        if !conn.finished {
+            conn.finished = true;
+            let _ = epoll.delete(conn.fd);
+        }
+        if let Some(e) = error {
+            *self.last_error.lock().expect("ingress error slot") = Some(e);
+        }
+    }
+
+    /// Non-blocking admission of each connection's backlog, in arrival
+    /// order, then the credit/mute bookkeeping.
+    fn flush_and_rearm(&self, epoll: &Epoll, conns: &mut HashMap<u64, Conn>) {
+        let mut done = Vec::new();
+        for conn in conns.values_mut() {
+            while !conn.pending.is_empty() {
+                let take = self.max_batch.min(conn.pending.len());
+                let chunk: Vec<Record> = conn.pending.drain(..take).collect();
+                let offered = chunk.len();
+                match self.target.try_ingest_batch(chunk) {
+                    Ok(()) => {
+                        self.stats
+                            .records_delivered
+                            .fetch_add(offered as u64, Ordering::AcqRel);
+                    }
+                    Err(rest) => {
+                        // The un-admitted suffix comes back in order;
+                        // park it at the front and retry next tick.
+                        self.stats
+                            .records_delivered
+                            .fetch_add((offered - rest.len()) as u64, Ordering::AcqRel);
+                        for r in rest.into_iter().rev() {
+                            conn.pending.push_front(r);
+                        }
+                        break;
+                    }
+                }
+            }
+
+            if conn.finished {
+                if conn.pending.is_empty() {
+                    done.push(conn.token);
+                }
+                continue;
+            }
+            if !conn.muted && conn.pending.len() >= self.credit {
+                if epoll.modify(conn.fd, 0, conn.token).is_ok() {
+                    conn.muted = true;
+                    self.stats.stalls.fetch_add(1, Ordering::AcqRel);
+                }
+            } else if conn.muted
+                && conn.pending.len() < self.credit / 2
+                && epoll.modify(conn.fd, EPOLLIN, conn.token).is_ok()
+            {
+                conn.muted = false;
+            }
+        }
+        for token in done {
+            conns.remove(&token);
+            self.stats.closed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}

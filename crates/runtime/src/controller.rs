@@ -47,6 +47,16 @@ use parking_lot::Mutex;
 use crate::executor::LoadSample;
 use crate::group::ExecutorGroup;
 
+/// A cumulative arrival-count probe for one stage: returns the number
+/// of records accepted *upstream* of the stage's executors (e.g. at a
+/// [`SourcePort`](crate::dag::SourcePort), before the ingress channel).
+/// When present, the controller differentiates this count instead of
+/// the executor's own arrival counter, so records parked in an ingress
+/// channel — the system-edge backlog an external feeder builds up —
+/// inflate the stage's λ and draw cores to it (paper §4's demand model
+/// measured at the true edge of the system).
+pub type LambdaProbe = Arc<dyn Fn() -> u64 + Send + Sync>;
+
 /// Configuration of the [`LiveController`].
 #[derive(Clone, Debug)]
 pub struct ControllerConfig {
@@ -178,6 +188,9 @@ pub struct LiveController {
     scheduler: DynamicScheduler,
     cluster: ClusterSpec,
     prev: Vec<LoadSample>,
+    /// Per-stage arrival probes; `None` falls back to the stage's own
+    /// arrival counter.
+    probes: Vec<Option<LambdaProbe>>,
     mu_estimate: Vec<f64>,
     /// Consecutive ticks each stage has sat above its target.
     surplus_ticks: Vec<u32>,
@@ -190,11 +203,15 @@ pub struct LiveController {
 
 impl LiveController {
     /// Spawns the controller thread over the pipeline's stages.
+    /// `probes` supplies an optional [`LambdaProbe`] per stage (same
+    /// order as `stages`).
     pub(crate) fn spawn(
         config: ControllerConfig,
         stages: Vec<Arc<ExecutorGroup>>,
         names: Vec<String>,
+        probes: Vec<Option<LambdaProbe>>,
     ) -> ControllerHandle {
+        assert_eq!(probes.len(), stages.len(), "one probe slot per stage");
         let stop = Arc::new(AtomicBool::new(false));
         let log = Arc::new(Mutex::new(Vec::new()));
         let initial_tasks: u32 = stages.iter().map(|s| s.total_tasks() as u32).sum();
@@ -210,7 +227,8 @@ impl LiveController {
                 ..SchedulerConfig::default()
             }),
             cluster: ClusterSpec::uniform(1, config.total_cores),
-            prev: stages.iter().map(|s| s.load_sample()).collect(),
+            prev: Self::sample_stages(&stages, &probes),
+            probes,
             mu_estimate: vec![config.default_mu; stages.len()],
             surplus_ticks: vec![0; stages.len()],
             shrink_ticks: vec![0; stages.len()],
@@ -240,10 +258,31 @@ impl LiveController {
         }
     }
 
+    /// Samples every stage, substituting each probed stage's arrival
+    /// count with its [`LambdaProbe`] reading (taken *after* the
+    /// executor sample, so `arrivals >= processed` still holds — a
+    /// record is probe-counted before it can ever be processed).
+    fn sample_stages(
+        stages: &[Arc<ExecutorGroup>],
+        probes: &[Option<LambdaProbe>],
+    ) -> Vec<LoadSample> {
+        stages
+            .iter()
+            .zip(probes)
+            .map(|(stage, probe)| {
+                let mut sample = stage.load_sample();
+                if let Some(probe) = probe {
+                    sample.arrivals = probe();
+                }
+                sample
+            })
+            .collect()
+    }
+
     /// One scheduling round: measure → model → reallocate → rebalance.
     fn tick(&mut self) {
         let window_s = self.config.interval.as_secs_f64();
-        let samples: Vec<LoadSample> = self.stages.iter().map(|s| s.load_sample()).collect();
+        let samples: Vec<LoadSample> = Self::sample_stages(&self.stages, &self.probes);
 
         let mut lambda = Vec::with_capacity(samples.len());
         let mut mu = Vec::with_capacity(samples.len());

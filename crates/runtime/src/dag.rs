@@ -16,8 +16,9 @@
 //! Three thread roles move records between executors:
 //!
 //! * **Ingress pumps** feed each *source* operator from its bounded
-//!   ingress channel ([`LiveDag::submit`] blocks when it fills — the
-//!   DAG-wide backpressure root).
+//!   ingress channel (a [`SourcePort`]'s blocking ingest stalls when it
+//!   fills — the DAG-wide backpressure root — and its nonblocking
+//!   ingest hands the overflow back to the caller).
 //! * **Fan-out forwarders** exist only for operators with **two or
 //!   more** outbound edges: one thread drains the operator's output
 //!   channel, wraps each batch in an `Arc`, and sends one **pointer**
@@ -46,7 +47,7 @@
 //! into its executor. A slow operator therefore stalls its pump, which
 //! stops reading its edge channels, which fills them and blocks the
 //! upstream forwarder (or the upstream executor's task threads
-//! directly), hop by hop back to [`LiveDag::submit`]. On a fan-out, a
+//! directly), hop by hop back to the [`SourcePort`]s. On a fan-out, a
 //! stalled *branch* stalls the forwarder and with it — deliberately —
 //! every sibling branch: records are never dropped to keep a fast
 //! branch fed, so conservation holds and the stall reaches the source.
@@ -80,15 +81,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use elasticutor_core::error::{Error, Result};
 use elasticutor_core::hash::key_to_shard;
 use elasticutor_core::ids::{OperatorId, ShardId};
 use elasticutor_core::topology::{Edge, EdgeId, Grouping, OperatorKind, Topology, TopologyBuilder};
 
-use crate::controller::{ControllerConfig, ControllerEvent, ControllerHandle, LiveController};
+use parking_lot::RwLock;
+
+use crate::controller::{
+    ControllerConfig, ControllerEvent, ControllerHandle, LambdaProbe, LiveController,
+};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::group::ExecutorGroup;
+use crate::ingest::Ingest;
 use crate::pipeline::BoxedOperator;
 use crate::record::{Operator, Record, RecordBatch};
 
@@ -134,8 +140,10 @@ struct OpSpec {
 ///     .key_edge(right, merge);
 /// let dag = b.build().expect("a diamond is acyclic");
 ///
+/// use elasticutor_runtime::ingest::Ingest;
+/// let port = dag.port(source);
 /// for i in 0..10u64 {
-///     dag.submit(source, Record::new(i.into(), Bytes::new()));
+///     port.ingest(Record::new(i.into(), Bytes::new()));
 /// }
 /// dag.drain();
 /// // Each record went down both branches into the merge.
@@ -185,7 +193,8 @@ impl LiveDagBuilder {
     }
 
     /// Adds a source operator — an entry point records are
-    /// [`LiveDag::submit`]ted to. Sources run their operator logic on
+    /// fed through via [`LiveDag::port`]. Sources run their operator
+    /// logic on
     /// the ingress stream like any other executor; they just have no
     /// inbound edges. Returns the id used to wire edges.
     pub fn source(
@@ -279,7 +288,7 @@ impl LiveDagBuilder {
     /// Sets the default backpressure budget, in records: every operator
     /// admits at most this many submitted-but-unprocessed records, and
     /// every bounded channel (ingress, edge, non-sink outputs) holds at
-    /// most this many batch slots. See `PipelineBuilder::stage_capacity`
+    /// most this many batch slots. See `PipelineBuilder::capacity`
     /// for the exact per-hop buffering arithmetic — it is unchanged.
     pub fn capacity(&mut self, records: usize) -> &mut Self {
         self.capacity = records.max(1);
@@ -446,14 +455,24 @@ impl LiveDagBuilder {
             forwarders[op.id.index()] = Some(handle);
         }
 
-        // 4. Ingress channels for sources; one pump per operator.
-        let mut ingress: Vec<Option<Sender<RecordBatch>>> = (0..n).map(|_| None).collect();
+        // 4. Ingress channels for sources; one pump per operator. Each
+        //    source's sender lives inside a shared [`SourcePort`] so
+        //    external feeders (TCP readers, replay pumps) can hold a
+        //    clone that shutdown can revoke.
+        let mut ports: Vec<Option<SourcePort>> = (0..n).map(|_| None).collect();
         let mut pumps: Vec<Option<JoinHandle<()>>> = (0..n).map(|_| None).collect();
         for op in topology.operators() {
             let mut feeds: Vec<FeedState> = Vec::new();
             if op.kind == OperatorKind::Source {
                 let (tx, rx) = bounded::<RecordBatch>(self.capacity);
-                ingress[op.id.index()] = Some(tx);
+                ports[op.id.index()] = Some(SourcePort {
+                    shared: Arc::new(PortShared {
+                        tx: RwLock::new(Some(tx)),
+                        counters: Arc::clone(&counters),
+                        op: op.id.index(),
+                        max_batch: self.max_batch,
+                    }),
+                });
                 feeds.push(FeedState::new(Feed::Ingress(rx)));
             }
             for (edge_id, edge) in topology.edges_into(op.id) {
@@ -507,20 +526,46 @@ impl LiveDagBuilder {
                 .iter()
                 .map(|o| o.name.clone())
                 .collect();
-            LiveController::spawn(config, groups.clone(), names)
+            // Source operators report λ from the *edge of the system*
+            // (records accepted at the port, which includes everything
+            // still waiting in the ingress channel) rather than from
+            // their executor's arrival counter — so a backlog building
+            // in front of a slow source inflates its λ and draws cores,
+            // instead of being invisible to the §4 model.
+            let probes: Vec<Option<LambdaProbe>> = topology
+                .operators()
+                .iter()
+                .map(|op| {
+                    (op.kind == OperatorKind::Source).then(|| {
+                        let counters = Arc::clone(&counters);
+                        let i = op.id.index();
+                        Arc::new(move || counters.ingress_accepted[i].load(Ordering::Acquire))
+                            as LambdaProbe
+                    })
+                })
+                .collect();
+            LiveController::spawn(config, groups.clone(), names, probes)
         });
+
+        let sources: Vec<OperatorId> = topology
+            .operators()
+            .iter()
+            .filter(|op| op.kind == OperatorKind::Source)
+            .map(|op| op.id)
+            .collect();
+        let sole_source = (sources.len() == 1).then(|| sources[0]);
 
         Ok(LiveDag {
             topology,
             groups,
             primaries,
             counters,
-            ingress,
+            ports,
+            sole_source,
             sink_rx,
             pumps,
             forwarders,
             controller,
-            max_batch: self.max_batch,
         })
     }
 }
@@ -532,7 +577,7 @@ impl LiveDagBuilder {
 /// any waiting; production counters before the channel send), so a
 /// record is visible in at least one pairwise comparison at all times.
 struct DagCounters {
-    /// Records accepted by [`LiveDag::submit`] per (source) operator.
+    /// Records accepted by each (source) operator's [`SourcePort`].
     ingress_accepted: Vec<AtomicU64>,
     /// Records handed to each operator's executor by its pump, counted
     /// at receipt (post-replication for broadcast edges — the unit the
@@ -891,7 +936,7 @@ impl Pump {
                 }
                 for (_, exec, bucket) in &mut buckets {
                     if !bucket.is_empty() {
-                        exec.submit_batch_routed(bucket.drain(..));
+                        exec.ingest_batch_routed(bucket.drain(..));
                     }
                 }
                 pushed += take as u64;
@@ -955,6 +1000,114 @@ pub struct OperatorStats {
     pub stats: ExecutorStats,
 }
 
+/// The state behind a [`SourcePort`], shared by every clone. The sender
+/// sits behind an `RwLock<Option<…>>` so [`LiveDag::shutdown`] can
+/// revoke it: a port retained by an external feeder then drops records
+/// instead of wedging the source pump's teardown join.
+struct PortShared {
+    tx: RwLock<Option<Sender<RecordBatch>>>,
+    counters: Arc<DagCounters>,
+    op: usize,
+    max_batch: usize,
+}
+
+/// A cloneable, shutdown-safe [`Ingest`] handle to one source operator's
+/// ingress channel — what external feeders (the `elasticutor-ingress`
+/// TCP readers, [`spawn_source`](crate::ingest::spawn_source) pumps,
+/// tests) hold instead of the whole [`LiveDag`]. Obtained from
+/// [`LiveDag::port`].
+///
+/// Records ingested after [`LiveDag::shutdown`] are dropped silently
+/// (and not counted), matching executor shutdown semantics.
+#[derive(Clone)]
+pub struct SourcePort {
+    shared: Arc<PortShared>,
+}
+
+impl std::fmt::Debug for SourcePort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourcePort")
+            .field("op", &self.shared.op)
+            .field("accepted", &Ingest::accepted(self))
+            .finish()
+    }
+}
+
+impl Ingest for SourcePort {
+    /// Blocks while the graph is backpressured (the source at capacity
+    /// and its ingress channel full). Batches are split so no channel
+    /// slot holds more than the builder's `max_batch` records; the
+    /// accepted counter is bumped *before* each send so a quiescence
+    /// check never sees a sent-but-uncounted record.
+    fn ingest_batch(&self, batch: RecordBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let s = &self.shared;
+        let guard = s.tx.read();
+        let Some(tx) = guard.as_ref() else {
+            return; // shut down: drop, uncounted
+        };
+        let mut chunk = Vec::with_capacity(batch.len().min(s.max_batch));
+        for record in batch {
+            chunk.push(record);
+            if chunk.len() == s.max_batch {
+                let full = std::mem::replace(&mut chunk, Vec::with_capacity(s.max_batch));
+                s.counters.ingress_accepted[s.op].fetch_add(full.len() as u64, Ordering::AcqRel);
+                let _ = tx.send(full);
+            }
+        }
+        if !chunk.is_empty() {
+            s.counters.ingress_accepted[s.op].fetch_add(chunk.len() as u64, Ordering::AcqRel);
+            let _ = tx.send(chunk);
+        }
+    }
+
+    /// Nonblocking admission: accepts `max_batch`-sized chunks while the
+    /// ingress channel has room, returning the remainder at the first
+    /// full slot. Unlike the blocking path the accepted counter is
+    /// bumped *after* each successful `try_send` (a pre-bumped count
+    /// could never be taken back on `Full`), so a concurrent quiescence
+    /// probe racing this call can transiently see the channel ahead of
+    /// the counter — harmless for [`LiveDag::drain`]'s two-clean-reads
+    /// discipline, but don't treat a single `is_quiescent` read as a
+    /// fence against in-flight `try_ingest_batch` calls.
+    fn try_ingest_batch(&self, batch: RecordBatch) -> std::result::Result<(), RecordBatch> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let s = &self.shared;
+        let guard = s.tx.read();
+        let Some(tx) = guard.as_ref() else {
+            return Ok(()); // shut down: drop, uncounted
+        };
+        let mut iter = batch.into_iter();
+        loop {
+            let chunk: RecordBatch = iter.by_ref().take(s.max_batch).collect();
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            let n = chunk.len() as u64;
+            match tx.try_send(chunk) {
+                Ok(()) => {
+                    s.counters.ingress_accepted[s.op].fetch_add(n, Ordering::AcqRel);
+                }
+                Err(TrySendError::Full(chunk)) => {
+                    let mut rest = chunk;
+                    rest.extend(iter);
+                    return Err(rest);
+                }
+                Err(TrySendError::Disconnected(_)) => return Ok(()),
+            }
+        }
+    }
+
+    fn accepted(&self) -> u64 {
+        let s = &self.shared;
+        s.counters.ingress_accepted[s.op].load(Ordering::Acquire)
+    }
+}
+
 /// A running elastic dataflow graph. See the module docs for the wiring,
 /// backpressure, and ordering model; build one with [`LiveDagBuilder`].
 pub struct LiveDag {
@@ -964,15 +1117,17 @@ pub struct LiveDag {
     /// start of shutdown so the groups can be consumed.
     primaries: Vec<Arc<ElasticExecutor<BoxedOperator>>>,
     counters: Arc<DagCounters>,
-    /// Ingress senders, indexed by operator (sources only); `None`d at
-    /// shutdown.
-    ingress: Vec<Option<Sender<RecordBatch>>>,
+    /// Ingress ports, indexed by operator (sources only); their senders
+    /// are revoked at shutdown.
+    ports: Vec<Option<SourcePort>>,
+    /// `Some` iff the topology has exactly one source — the operator
+    /// the whole-graph [`Ingest`] impl feeds.
+    sole_source: Option<OperatorId>,
     /// Output receivers of sink operators, indexed by operator.
     sink_rx: Vec<Option<Receiver<RecordBatch>>>,
     pumps: Vec<Option<JoinHandle<()>>>,
     forwarders: Vec<Option<JoinHandle<()>>>,
     controller: Option<ControllerHandle>,
-    max_batch: usize,
 }
 
 impl LiveDag {
@@ -986,54 +1141,43 @@ impl LiveDag {
         &self.topology
     }
 
-    /// Feeds a record into a source operator. Blocks when the graph is
-    /// backpressured (the source at capacity and its ingress channel
-    /// full).
+    /// The [`Ingest`] port of a source operator — a cloneable,
+    /// `'static` handle external feeders hold without owning the graph.
+    /// See [`SourcePort`] for blocking/nonblocking admission and
+    /// shutdown semantics.
     ///
     /// # Panics
     ///
     /// Panics if `source` is not a source operator of this topology.
-    pub fn submit(&self, source: OperatorId, record: Record) {
-        self.counters.ingress_accepted[source.index()].fetch_add(1, Ordering::AcqRel);
-        self.ingress[source.index()]
+    pub fn port(&self, source: OperatorId) -> SourcePort {
+        self.ports[source.index()]
             .as_ref()
             .expect("operator is a running source")
-            .send(vec![record])
-            .expect("ingress pump alive");
+            .clone()
     }
 
-    /// Feeds a batch into a source operator through amortized channel
-    /// sends, splitting so no ingress slot holds more than the builder's
-    /// `max_batch` records. Blocks like [`Self::submit`] when
-    /// backpressured; empty batches are ignored.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `source` is not a source operator of this topology.
-    pub fn submit_batch(&self, source: OperatorId, batch: RecordBatch) {
-        if batch.is_empty() {
-            return;
-        }
-        self.counters.ingress_accepted[source.index()]
-            .fetch_add(batch.len() as u64, Ordering::AcqRel);
-        let tx = self.ingress[source.index()]
+    /// The single source's port, for the whole-graph [`Ingest`] impl.
+    fn sole_port(&self) -> &SourcePort {
+        let source = self.sole_source.expect(
+            "graph has multiple sources — name the entry point with `LiveDag::port(source)`",
+        );
+        self.ports[source.index()]
             .as_ref()
-            .expect("operator is a running source");
-        if batch.len() <= self.max_batch {
-            tx.send(batch).expect("ingress pump alive");
-            return;
-        }
-        let mut chunk = Vec::with_capacity(self.max_batch);
-        for record in batch {
-            chunk.push(record);
-            if chunk.len() == self.max_batch {
-                let full = std::mem::replace(&mut chunk, Vec::with_capacity(self.max_batch));
-                tx.send(full).expect("ingress pump alive");
-            }
-        }
-        if !chunk.is_empty() {
-            tx.send(chunk).expect("ingress pump alive");
-        }
+            .expect("sole source has a port")
+    }
+
+    /// Renamed: use [`Self::port`] + [`Ingest::ingest`].
+    #[doc(hidden)]
+    #[deprecated(note = "use `port(source)` + `Ingest::ingest`")]
+    pub fn submit(&self, source: OperatorId, record: Record) {
+        self.port(source).ingest(record);
+    }
+
+    /// Renamed: use [`Self::port`] + [`Ingest::ingest_batch`].
+    #[doc(hidden)]
+    #[deprecated(note = "use `port(source)` + `Ingest::ingest_batch`")]
+    pub fn submit_batch(&self, source: OperatorId, batch: RecordBatch) {
+        self.port(source).ingest_batch(batch);
     }
 
     /// The output stream of a sink operator (one with no outbound
@@ -1118,7 +1262,7 @@ impl LiveDag {
     /// results for the user).
     ///
     /// Uses monotonic counters only; a `true` from a single call is
-    /// trustworthy provided no concurrent `submit` is racing it. Each
+    /// trustworthy provided no concurrent ingest is racing it. Each
     /// counter is incremented as the record passes its point
     /// (consumption at receipt, production before the send), so a
     /// record in flight always fails at least one of the equalities.
@@ -1183,12 +1327,14 @@ impl LiveDag {
         if let Some(controller) = self.controller.take() {
             controller.stop();
         }
-        // 2. Close every ingress; source pumps forward what is buffered,
-        //    then exit. Drop the instance-0 handles backing
-        //    `Self::executor` so they cannot make every group's
-        //    teardown look caller-degraded below.
-        for tx in &mut self.ingress {
-            tx.take();
+        // 2. Revoke every ingress port's sender (a retained `SourcePort`
+        //    clone goes inert instead of keeping the pump's channel
+        //    alive); source pumps forward what is buffered, then exit.
+        //    Drop the instance-0 handles backing `Self::executor` so
+        //    they cannot make every group's teardown look
+        //    caller-degraded below.
+        for port in self.ports.iter().flatten() {
+            port.shared.tx.write().take();
         }
         self.primaries.clear();
         let n = self.groups.len();
@@ -1317,6 +1463,27 @@ impl LiveDag {
             .into_iter()
             .map(|s| s.expect("every operator visited"))
             .collect()
+    }
+}
+
+/// Whole-graph ingestion for single-source topologies: the common case
+/// where "feed the DAG" is unambiguous. Multi-source graphs must name
+/// the entry point via [`LiveDag::port`].
+///
+/// # Panics
+///
+/// Every method panics if the topology has more than one source.
+impl Ingest for LiveDag {
+    fn ingest_batch(&self, batch: RecordBatch) {
+        self.sole_port().ingest_batch(batch);
+    }
+
+    fn try_ingest_batch(&self, batch: RecordBatch) -> std::result::Result<(), RecordBatch> {
+        self.sole_port().try_ingest_batch(batch)
+    }
+
+    fn accepted(&self) -> u64 {
+        self.sole_port().accepted()
     }
 }
 

@@ -2,11 +2,11 @@
 //!
 //! # The lock-free data plane
 //!
-//! Steady-state record flow (`submit` → route → process → emit) acquires
+//! Steady-state record flow (`ingest` → route → process → emit) acquires
 //! **no global lock**. The two-tier routing table is split in two:
 //!
 //! * a dense [`AtomicShardTable`] — one `AtomicU64` per shard packing
-//!   `slot | epoch | paused | in-flight` — read wait-free by `submit`
+//!   `slot | epoch | paused | in-flight` — read wait-free by `ingest`
 //!   (one `fetch_add`, no retry loop), resolving to a task **slot**: an
 //!   index into a fixed array of cache-line-padded sender cells;
 //! * the original `Mutex<RoutingState>` survives only as the slow path
@@ -18,7 +18,7 @@
 //! mutual exclusion: `pause` sets the shard's paused bit and then waits
 //! for the in-flight count to drain, so every fast-path delivery that
 //! read the pre-pause owner is enqueued *before* the labeling tuple,
-//! and every later submit observes the bit and diverts to the buffer.
+//! and every later ingest observes the bit and diverts to the buffer.
 //! Per-key FIFO therefore holds exactly as in the locked design.
 //!
 //! Metrics are sharded the same way: each task slot owns a cache-line
@@ -119,7 +119,7 @@ pub struct ExecutorConfig {
     /// the field always win over the environment.
     pub baseline_locked_routing: bool,
     /// Declares that a **single thread** performs all submissions
-    /// (`submit`/`submit_routed`/`submit_batch*`), enabling the per-task
+    /// (`ingest`/`ingest_routed`/`ingest_batch*`), enabling the per-task
     /// SPSC ring fast path: records go straight into the owner task's
     /// bounded ring instead of its Mutex+Condvar channel. The
     /// [`LiveDag`](crate::dag::LiveDag) builder turns this on for every
@@ -183,7 +183,7 @@ struct TaskEnvelope {
 
 /// Work delivered to task threads.
 enum TaskMsg {
-    /// A single routed record (fast path of `submit`, slow-path
+    /// A single routed record (fast path of `ingest`, slow-path
     /// deliveries, and baseline mode).
     One(ShardId, Record),
     /// A routed batch: all records target this task, in arrival order.
@@ -369,7 +369,7 @@ struct Inner<O: Operator> {
     outputs: Sender<RecordBatch>,
     /// Per-shard record counters for the balancer (reset on rebalance).
     shard_counts: Vec<AtomicU64>,
-    /// Records accepted by `submit` (λ numerator for live controllers).
+    /// Records accepted by `ingest` (λ numerator for live controllers).
     arrivals: AtomicU64,
     processed: AtomicU64,
     /// Records emitted downstream (lets a pipeline detect quiescence of
@@ -439,7 +439,7 @@ struct RoutingState {
 /// [`ElasticExecutor::load_sample`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LoadSample {
-    /// Records accepted by `submit` since start.
+    /// Records accepted by `ingest` since start.
     pub arrivals: u64,
     /// Records fully processed since start.
     pub processed: u64,
@@ -460,7 +460,7 @@ pub struct ExecutorStats {
     pub operator_panics: u64,
     /// Live task count.
     pub tasks: usize,
-    /// Latency distribution (submit → processed), merged across task
+    /// Latency distribution (ingest → processed), merged across task
     /// slots (live and retired).
     pub latency: LatencyHistogram,
     /// Completed reassignments as (sync_ns, total_ns) pairs.
@@ -602,29 +602,20 @@ impl<O: Operator> ElasticExecutor<O> {
         ))
     }
 
-    /// Submits a record for processing. Routing is synchronous (the
-    /// caller acts as the receiver daemon) and, in steady state,
-    /// wait-free: one atomic RMW on the shard word plus an uncontended
-    /// sender-cell read. Processing is asynchronous on whichever task
-    /// owns the record's shard.
-    pub fn submit(&self, record: Record) {
-        let shard = self.shard_of(&record);
-        self.submit_routed(shard, record);
-    }
-
     /// Submits a record to an explicitly chosen shard, bypassing the
     /// key → shard hash — the delivery primitive behind shuffle and
     /// broadcast edges of a [`LiveDag`](crate::dag::LiveDag), whose
     /// shard is picked by the edge's grouping rather than the key. Same
-    /// wait-free routing and ordering guarantees as [`Self::submit`],
-    /// but per-*shard* FIFO instead of per-key (per-key FIFO follows
-    /// only when the caller routes each key consistently, as the key
-    /// hash does).
+    /// wait-free routing and ordering guarantees as
+    /// [`Ingest::ingest`](crate::ingest::Ingest::ingest), but
+    /// per-*shard* FIFO instead of per-key (per-key FIFO follows only
+    /// when the caller routes each key consistently, as the key hash
+    /// does).
     ///
     /// # Panics
     ///
     /// Panics if `shard` is outside `0..num_shards`.
-    pub fn submit_routed(&self, shard: ShardId, record: Record) {
+    pub fn ingest_routed(&self, shard: ShardId, record: Record) {
         self.inner.arrivals.fetch_add(1, Ordering::Relaxed);
         self.inner.shard_counts[shard.index()].fetch_add(1, Ordering::Relaxed);
         if self.inner.baseline {
@@ -708,41 +699,33 @@ impl<O: Operator> ElasticExecutor<O> {
         }
     }
 
-    /// Submits a batch of records, amortizing channel synchronization:
-    /// records are routed individually (wait-free) but grouped per
-    /// destination task into one channel send each. Per-key FIFO holds —
-    /// records of one key share a shard, a shard's owner cannot change
-    /// mid-wave (the route guards pin it), waves preserve submission
-    /// order, and a shard observed paused diverts for the rest of the
-    /// call so no later record can overtake through the fast path.
-    ///
-    /// The input iterator is consumed in bounded waves of
-    /// [`ROUTE_WAVE`](Self::submit_batch) records: route guards are held
-    /// only across one wave's grouping and sends — never while pulling
-    /// from the caller's iterator — so a slow or unbounded iterator
-    /// cannot stall a concurrent reassignment's pause handshake, and the
-    /// number of guards alive per call stays far below the shard word's
-    /// in-flight capacity.
-    pub fn submit_batch(&self, records: impl IntoIterator<Item = Record>) {
-        self.submit_batch_routed(records.into_iter().map(|r| (self.shard_of(&r), r)));
-    }
-
     /// Submits a batch of `(shard, record)` pairs with the shard chosen
-    /// by the caller — the batched form of [`Self::submit_routed`], with
-    /// the same wave-by-wave amortization and FIFO guarantees as
-    /// [`Self::submit_batch`] (order within the batch is preserved
-    /// per shard; a shard observed paused diverts for the rest of the
-    /// call).
+    /// by the caller — the batched form of [`Self::ingest_routed`],
+    /// amortizing channel synchronization: records are routed
+    /// individually (wait-free) but grouped per destination task into
+    /// one channel send each. Per-key FIFO holds when the caller routes
+    /// each key consistently — records of one key share a shard, a
+    /// shard's owner cannot change mid-wave (the route guards pin it),
+    /// waves preserve submission order, and a shard observed paused
+    /// diverts for the rest of the call so no later record can overtake
+    /// through the fast path.
+    ///
+    /// The input iterator is consumed in bounded waves of 256 records:
+    /// route guards are held only across one wave's grouping and sends —
+    /// never while pulling from the caller's iterator — so a slow or
+    /// unbounded iterator cannot stall a concurrent reassignment's pause
+    /// handshake, and the number of guards alive per call stays far
+    /// below the shard word's in-flight capacity.
     ///
     /// # Panics
     ///
     /// Panics if any shard is outside `0..num_shards`.
-    pub fn submit_batch_routed(&self, records: impl IntoIterator<Item = (ShardId, Record)>) {
+    pub fn ingest_batch_routed(&self, records: impl IntoIterator<Item = (ShardId, Record)>) {
         /// Records routed (and guards held) per wave.
         const ROUTE_WAVE: usize = 256;
         if self.inner.baseline {
             for (shard, record) in records {
-                self.submit_routed(shard, record);
+                self.ingest_routed(shard, record);
             }
             return;
         }
@@ -1249,7 +1232,7 @@ fn halt<O: Operator>(
     }
     drop(threads);
     // Unregister the stopped tasks so the executor reports itself as
-    // halted (`tasks()` empty) and late `submit`s drop records instead
+    // halted (`tasks()` empty) and late `ingest`s drop records instead
     // of feeding channels nobody drains: both the registry and the
     // fast-path sender cells are cleared, and slot latency history is
     // folded into the retired aggregate.
@@ -1273,6 +1256,68 @@ fn halt<O: Operator>(
         latency: inner.retired_latency.lock().clone(),
         reassignments: inner.reassignment_log.lock().clone(),
         state_bytes: inner.state.total_bytes(),
+    }
+}
+
+/// The unified entry surface (see [`crate::ingest`]): key-hash routing
+/// over the same wait-free fast path the routed primitives use.
+impl<O: Operator> crate::ingest::Ingest for ElasticExecutor<O> {
+    /// Routing is synchronous (the caller acts as the receiver daemon)
+    /// and, in steady state, wait-free: one atomic RMW on the shard word
+    /// plus an uncontended sender-cell read. Processing is asynchronous
+    /// on whichever task owns the record's shard.
+    fn ingest(&self, record: Record) {
+        let shard = self.shard_of(&record);
+        self.ingest_routed(shard, record);
+    }
+
+    fn ingest_batch(&self, batch: RecordBatch) {
+        self.ingest_batch_routed(batch.into_iter().map(|r| (self.shard_of(&r), r)));
+    }
+
+    /// The executor has no bounded ingress queue — admission is the
+    /// wait-free route itself (a full SPSC ring is absorbed by a bounded
+    /// backoff-and-reroute, not a park) — so this never rejects.
+    fn try_ingest_batch(&self, batch: RecordBatch) -> std::result::Result<(), RecordBatch> {
+        crate::ingest::Ingest::ingest_batch(self, batch);
+        Ok(())
+    }
+
+    fn accepted(&self) -> u64 {
+        self.inner.arrivals.load(Ordering::Acquire)
+    }
+}
+
+/// Deprecated pre-[`Ingest`](crate::ingest::Ingest) entry points, kept
+/// as thin forwarders for one release.
+impl<O: Operator> ElasticExecutor<O> {
+    /// Renamed: use [`Ingest::ingest`](crate::ingest::Ingest::ingest).
+    #[doc(hidden)]
+    #[deprecated(note = "use `Ingest::ingest`")]
+    pub fn submit(&self, record: Record) {
+        crate::ingest::Ingest::ingest(self, record);
+    }
+
+    /// Renamed: use [`Self::ingest_routed`].
+    #[doc(hidden)]
+    #[deprecated(note = "renamed to `ingest_routed`")]
+    pub fn submit_routed(&self, shard: ShardId, record: Record) {
+        self.ingest_routed(shard, record);
+    }
+
+    /// Renamed: use
+    /// [`Ingest::ingest_batch`](crate::ingest::Ingest::ingest_batch).
+    #[doc(hidden)]
+    #[deprecated(note = "use `Ingest::ingest_batch`")]
+    pub fn submit_batch(&self, records: impl IntoIterator<Item = Record>) {
+        self.ingest_batch_routed(records.into_iter().map(|r| (self.shard_of(&r), r)));
+    }
+
+    /// Renamed: use [`Self::ingest_batch_routed`].
+    #[doc(hidden)]
+    #[deprecated(note = "renamed to `ingest_batch_routed`")]
+    pub fn submit_batch_routed(&self, records: impl IntoIterator<Item = (ShardId, Record)>) {
+        self.ingest_batch_routed(records);
     }
 }
 

@@ -610,6 +610,56 @@ impl ExecutorGroup {
     }
 }
 
+/// The unified entry surface (see [`crate::ingest`]): key → shard by
+/// the stable hash, shard → instance by the wait-free router, then the
+/// owning instance's routed fast path. Safe under a concurrent rescale:
+/// a record routed to an instance that just lost the shard lands in the
+/// §3.3 pause buffer and is flushed to the new owner by the migration.
+impl crate::ingest::Ingest for ExecutorGroup {
+    fn ingest(&self, record: crate::record::Record) {
+        let shard = ShardId(elasticutor_core::hash::key_to_shard(
+            record.key.value(),
+            self.template.num_shards,
+        ));
+        let owner = self.instance_of(shard);
+        self.instance(owner).ingest_routed(shard, record);
+    }
+
+    /// Records are bucketed per owning instance — one routed-batch call
+    /// each — preserving order within every bucket. Per-key FIFO holds
+    /// because a key's shard is stable and a shard's records stay in one
+    /// bucket per call.
+    fn ingest_batch(&self, batch: RecordBatch) {
+        let num_shards = self.template.num_shards;
+        let mut buckets: Vec<(u32, Vec<(ShardId, crate::record::Record)>)> = Vec::new();
+        for record in batch {
+            let shard = ShardId(elasticutor_core::hash::key_to_shard(
+                record.key.value(),
+                num_shards,
+            ));
+            let owner = self.instance_of(shard);
+            match buckets.iter_mut().find(|(o, _)| *o == owner) {
+                Some((_, bucket)) => bucket.push((shard, record)),
+                None => buckets.push((owner, vec![(shard, record)])),
+            }
+        }
+        for (owner, bucket) in buckets {
+            self.instance(owner).ingest_batch_routed(bucket);
+        }
+    }
+
+    /// Group admission never parks (instances absorb bursts in their
+    /// rings and pause buffers), so this never rejects.
+    fn try_ingest_batch(&self, batch: RecordBatch) -> std::result::Result<(), RecordBatch> {
+        crate::ingest::Ingest::ingest_batch(self, batch);
+        Ok(())
+    }
+
+    fn accepted(&self) -> u64 {
+        self.load_sample().arrivals
+    }
+}
+
 impl std::fmt::Debug for ExecutorGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecutorGroup")

@@ -1,0 +1,418 @@
+//! The unified ingestion surface: one way in, at every layer.
+//!
+//! Before this module the runtime had four parallel front doors —
+//! `submit`, `submit_batch`, `submit_routed`, `submit_batch_routed` —
+//! re-implemented with slightly different semantics on
+//! [`ElasticExecutor`](crate::ElasticExecutor),
+//! [`Pipeline`](crate::Pipeline) and [`LiveDag`](crate::LiveDag), and
+//! missing entirely on [`ExecutorGroup`](crate::ExecutorGroup). Sources
+//! (TCP readers, file replay, generators) had to know which layer they
+//! were feeding. This module collapses all of that into:
+//!
+//! * [`Ingest`] — the single entry trait every layer implements. Push a
+//!   [`Record`] or a [`RecordBatch`]; the implementation hashes keys,
+//!   routes shards and applies its own admission policy.
+//! * [`Source`] — a pull-style producer of record batches. The runtime
+//!   pumps it ([`spawn_source`]) so *pull* composes with *push* without
+//!   the source knowing about threads, channels, or backpressure.
+//! * [`Sink`] — the mirror image for egress: a consumer the runtime
+//!   drives from an output channel ([`spawn_sink`]).
+//!
+//! Backpressure contract: [`Ingest::ingest_batch`] *blocks* until the
+//! layer accepts the records (bounded channels / rings push back), while
+//! [`Ingest::try_ingest_batch`] never blocks and returns the suffix that
+//! was not accepted — the primitive the epoll ingress plane uses to turn
+//! a slow DAG into muted sockets instead of unbounded buffers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::record::{Record, RecordBatch};
+
+/// The one way to push records into an elastic layer.
+///
+/// Implemented by [`ElasticExecutor`](crate::ElasticExecutor) (routes to
+/// the owning task), [`ExecutorGroup`](crate::ExecutorGroup) (routes
+/// across rescaling instances), [`LiveDag`](crate::LiveDag) /
+/// [`SourcePort`](crate::dag::SourcePort) (feeds a source operator's
+/// ingress channel) and [`Pipeline`](crate::Pipeline) (feeds the first
+/// stage). Trait-object safe: sources hold an `Arc<dyn Ingest>` and stay
+/// agnostic of the layer behind it.
+pub trait Ingest: Send + Sync {
+    /// Pushes one record, blocking until it is accepted.
+    fn ingest(&self, record: Record) {
+        self.ingest_batch(vec![record]);
+    }
+
+    /// Pushes a batch in order, blocking until all records are accepted.
+    /// Layers with a smaller internal batch bound split the batch; order
+    /// is preserved.
+    fn ingest_batch(&self, batch: RecordBatch);
+
+    /// Pushes as much of `batch` as the layer will accept *without
+    /// blocking*. `Ok(())` means everything was accepted; `Err(rest)`
+    /// returns the not-yet-accepted **suffix** in original order — the
+    /// accepted prefix is already in flight, so re-submitting `rest`
+    /// later preserves FIFO.
+    fn try_ingest_batch(&self, batch: RecordBatch) -> Result<(), RecordBatch>;
+
+    /// Cumulative count of records this entry point has accepted —
+    /// the λ (arrival-rate) observable the §4 controller differentiates.
+    fn accepted(&self) -> u64;
+}
+
+/// Every `Arc<I>` ingests by delegating to `I`, so sources can hold
+/// shared handles without a blanket-impl conflict.
+impl<I: Ingest + ?Sized> Ingest for Arc<I> {
+    fn ingest(&self, record: Record) {
+        (**self).ingest(record);
+    }
+    fn ingest_batch(&self, batch: RecordBatch) {
+        (**self).ingest_batch(batch);
+    }
+    fn try_ingest_batch(&self, batch: RecordBatch) -> Result<(), RecordBatch> {
+        (**self).try_ingest_batch(batch)
+    }
+    fn accepted(&self) -> u64 {
+        (**self).accepted()
+    }
+}
+
+/// What a [`Source::pull`] produced.
+#[derive(Debug)]
+pub enum Pull {
+    /// Records, in stream order. May be shorter than the requested max.
+    Batch(RecordBatch),
+    /// Nothing available right now; the pump backs off briefly and asks
+    /// again. A live TCP tail or a throttled generator returns this.
+    Idle,
+    /// The stream is finished; the pump exits. A replayed file returns
+    /// this at EOF.
+    Done,
+}
+
+/// A pull-style record producer — the counterpart of [`Ingest`].
+///
+/// Implementations only produce data; the pump spawned by
+/// [`spawn_source`] owns pacing, batching and backpressure. `pull` takes
+/// `&mut self` — a source is single-threaded by construction, which is
+/// what makes per-source FIFO trivial.
+pub trait Source: Send + 'static {
+    /// Produces up to `max` records, or reports [`Pull::Idle`] /
+    /// [`Pull::Done`].
+    fn pull(&mut self, max: usize) -> Pull;
+}
+
+/// Handle to a pump thread driving a [`Source`] into an [`Ingest`].
+#[derive(Debug)]
+pub struct SourceHandle {
+    stop: Arc<AtomicBool>,
+    pumped: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SourceHandle {
+    /// Records pumped into the ingest layer so far.
+    pub fn pumped(&self) -> u64 {
+        self.pumped.load(Ordering::Acquire)
+    }
+
+    /// Whether the pump thread has exited (source done or stopped).
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(|t| t.is_finished())
+    }
+
+    /// Waits for the source to report [`Pull::Done`]; returns the total
+    /// record count pumped.
+    pub fn join(mut self) -> u64 {
+        if let Some(t) = self.thread.take() {
+            t.join().expect("source pump panicked");
+        }
+        self.pumped()
+    }
+
+    /// Stops the pump at the next batch boundary and joins it; returns
+    /// the total record count pumped.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("source pump panicked");
+        }
+        self.pumped()
+    }
+}
+
+impl Drop for SourceHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns a pump thread that pulls `source` in batches of up to
+/// `max_batch` and pushes them into `ingest` (blocking form, so a slow
+/// downstream pushes back into the source's pacing). Returns a
+/// [`SourceHandle`] to observe, stop, or await the pump.
+pub fn spawn_source<S: Source>(
+    name: &str,
+    mut source: S,
+    ingest: impl Ingest + 'static,
+    max_batch: usize,
+) -> SourceHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let pumped = Arc::new(AtomicU64::new(0));
+    let max_batch = max_batch.max(1);
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let pumped = Arc::clone(&pumped);
+        std::thread::Builder::new()
+            .name(format!("source-{name}"))
+            .spawn(move || {
+                let mut idle_us: u64 = 50;
+                while !stop.load(Ordering::Acquire) {
+                    match source.pull(max_batch) {
+                        Pull::Batch(batch) => {
+                            idle_us = 50;
+                            let n = batch.len() as u64;
+                            if n == 0 {
+                                continue;
+                            }
+                            ingest.ingest_batch(batch);
+                            pumped.fetch_add(n, Ordering::AcqRel);
+                        }
+                        Pull::Idle => {
+                            // Exponential backoff capped at 2 ms keeps an
+                            // idle source cheap without adding visible
+                            // latency when data resumes.
+                            std::thread::sleep(Duration::from_micros(idle_us));
+                            idle_us = (idle_us * 2).min(2_000);
+                        }
+                        Pull::Done => break,
+                    }
+                }
+            })
+            .expect("spawn source pump")
+    };
+    SourceHandle {
+        stop,
+        pumped,
+        thread: Some(thread),
+    }
+}
+
+/// A push-style record consumer — the egress mirror of [`Source`].
+///
+/// `consume` takes `&mut self`: one sink instance is driven by exactly
+/// one pump thread, so sinks can buffer, write files, or keep running
+/// aggregates without locking.
+pub trait Sink: Send + 'static {
+    /// Consumes one output batch (stream order).
+    fn consume(&mut self, batch: RecordBatch);
+
+    /// Flushes buffered output; called once when the stream ends.
+    fn flush(&mut self) {}
+}
+
+/// Handle to a pump thread draining an output channel into a [`Sink`].
+#[derive(Debug)]
+pub struct SinkHandle<S> {
+    thread: Option<JoinHandle<(S, u64)>>,
+}
+
+impl<S> SinkHandle<S> {
+    /// Waits for the output channel to disconnect, then returns the sink
+    /// (after [`Sink::flush`]) and the total record count consumed.
+    pub fn join(mut self) -> (S, u64) {
+        self.thread
+            .take()
+            .expect("sink already joined")
+            .join()
+            .expect("sink pump panicked")
+    }
+}
+
+/// Spawns a pump thread that drains `rx` into `sink` until every sender
+/// is dropped (typically: until the DAG is shut down), then flushes.
+pub fn spawn_sink<S: Sink>(
+    name: &str,
+    rx: crossbeam::channel::Receiver<RecordBatch>,
+    mut sink: S,
+) -> SinkHandle<S> {
+    let thread = std::thread::Builder::new()
+        .name(format!("sink-{name}"))
+        .spawn(move || {
+            let mut consumed = 0u64;
+            while let Ok(batch) = rx.recv() {
+                consumed += batch.len() as u64;
+                sink.consume(batch);
+            }
+            sink.flush();
+            (sink, consumed)
+        })
+        .expect("spawn sink pump");
+    SinkHandle {
+        thread: Some(thread),
+    }
+}
+
+/// A [`Source`] over an in-memory record list — the simplest way to
+/// replay a fixed dataset through any [`Ingest`] layer, and the
+/// reference implementation tests pump mechanics against.
+#[derive(Debug)]
+pub struct VecSource {
+    records: std::vec::IntoIter<Record>,
+}
+
+impl VecSource {
+    /// A source yielding `records` in order, then [`Pull::Done`].
+    pub fn new(records: RecordBatch) -> Self {
+        Self {
+            records: records.into_iter(),
+        }
+    }
+}
+
+impl Source for VecSource {
+    fn pull(&mut self, max: usize) -> Pull {
+        let batch: RecordBatch = self.records.by_ref().take(max.max(1)).collect();
+        if batch.is_empty() {
+            Pull::Done
+        } else {
+            Pull::Batch(batch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use elasticutor_core::ids::Key;
+    use parking_lot::Mutex;
+
+    /// An Ingest that records everything and can simulate a full layer.
+    struct Capture {
+        got: Mutex<RecordBatch>,
+        accepted: AtomicU64,
+        cap: Option<usize>,
+    }
+
+    impl Capture {
+        fn new(cap: Option<usize>) -> Arc<Self> {
+            Arc::new(Self {
+                got: Mutex::new(Vec::new()),
+                accepted: AtomicU64::new(0),
+                cap,
+            })
+        }
+    }
+
+    impl Ingest for Capture {
+        fn ingest_batch(&self, batch: RecordBatch) {
+            self.accepted
+                .fetch_add(batch.len() as u64, Ordering::AcqRel);
+            self.got.lock().extend(batch);
+        }
+        fn try_ingest_batch(&self, mut batch: RecordBatch) -> Result<(), RecordBatch> {
+            let room = match self.cap {
+                Some(cap) => cap.saturating_sub(self.got.lock().len()),
+                None => batch.len(),
+            };
+            if room >= batch.len() {
+                self.ingest_batch(batch);
+                Ok(())
+            } else {
+                let rest = batch.split_off(room);
+                self.ingest_batch(batch);
+                Err(rest)
+            }
+        }
+        fn accepted(&self) -> u64 {
+            self.accepted.load(Ordering::Acquire)
+        }
+    }
+
+    fn records(n: u64) -> RecordBatch {
+        (0..n)
+            .map(|i| Record::new(Key(i % 7), Bytes::new()).with_seq(i))
+            .collect()
+    }
+
+    #[test]
+    fn vec_source_pumps_everything_in_order() {
+        let sink = Capture::new(None);
+        let handle = spawn_source("t", VecSource::new(records(1000)), Arc::clone(&sink), 64);
+        assert_eq!(handle.join(), 1000);
+        let got = sink.got.lock();
+        assert_eq!(got.len(), 1000);
+        assert!(got.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(sink.accepted(), 1000);
+    }
+
+    #[test]
+    fn default_ingest_wraps_single_record() {
+        let sink = Capture::new(None);
+        sink.ingest(Record::new(Key(1), Bytes::new()).with_seq(42));
+        assert_eq!(sink.accepted(), 1);
+        assert_eq!(sink.got.lock()[0].seq, 42);
+    }
+
+    #[test]
+    fn try_ingest_returns_ordered_suffix() {
+        let sink = Capture::new(Some(3));
+        let rest = sink.try_ingest_batch(records(5)).unwrap_err();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].seq, 3);
+        assert_eq!(rest[1].seq, 4);
+        assert_eq!(sink.accepted(), 3);
+    }
+
+    #[test]
+    fn source_handle_stop_halts_an_idle_source() {
+        struct Forever;
+        impl Source for Forever {
+            fn pull(&mut self, _max: usize) -> Pull {
+                Pull::Idle
+            }
+        }
+        let sink = Capture::new(None);
+        let handle = spawn_source("idle", Forever, sink, 8);
+        assert_eq!(handle.stop(), 0);
+    }
+
+    #[test]
+    fn sink_pump_drains_until_disconnect_and_flushes() {
+        struct CountSink {
+            n: u64,
+            flushed: bool,
+        }
+        impl Sink for CountSink {
+            fn consume(&mut self, batch: RecordBatch) {
+                self.n += batch.len() as u64;
+            }
+            fn flush(&mut self) {
+                self.flushed = true;
+            }
+        }
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let handle = spawn_sink(
+            "t",
+            rx,
+            CountSink {
+                n: 0,
+                flushed: false,
+            },
+        );
+        tx.send(records(10)).unwrap();
+        tx.send(records(5)).unwrap();
+        drop(tx);
+        let (sink, consumed) = handle.join();
+        assert_eq!(consumed, 15);
+        assert_eq!(sink.n, 15);
+        assert!(sink.flushed);
+    }
+}

@@ -36,7 +36,7 @@
 //! and property tests drive.
 //!
 //! ```
-//! use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
+//! use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Ingest, Operator, Record};
 //! use elasticutor_state::StateHandle;
 //! use bytes::Bytes;
 //!
@@ -52,7 +52,7 @@
 //! }
 //!
 //! let exec = ElasticExecutor::start(ExecutorConfig::default(), Count);
-//! exec.submit(Record::new(7u64.into(), Bytes::new()));
+//! exec.ingest(Record::new(7u64.into(), Bytes::new()));
 //! exec.shutdown();
 //! ```
 
@@ -62,18 +62,22 @@ pub mod controller;
 pub mod dag;
 pub mod executor;
 pub mod group;
+pub mod ingest;
 pub mod journal;
 pub mod migrate;
 pub mod order;
 pub mod pipeline;
 pub mod record;
 
-pub use controller::{ControllerConfig, ControllerEvent, LiveController};
-pub use dag::{LiveDag, LiveDagBuilder, OperatorStats};
+pub use controller::{ControllerConfig, ControllerEvent, LambdaProbe, LiveController};
+pub use dag::{LiveDag, LiveDagBuilder, OperatorStats, SourcePort};
 pub use executor::{
     ElasticExecutor, ExecutorConfig, ExecutorStats, LoadSample, ProgressNotifier, RemoteForwarder,
 };
 pub use group::{ExecutorGroup, RescaleEvent, SupervisionReport};
+pub use ingest::{
+    spawn_sink, spawn_source, Ingest, Pull, Sink, SinkHandle, Source, SourceHandle, VecSource,
+};
 pub use journal::{JournalState, RecoveryJournal, ShardFate};
 pub use migrate::{
     Backoff, LinkEvent, MigrateError, MigrationConfig, MigrationEndpoint, MigrationReport,

@@ -3,11 +3,11 @@
 //!
 //! [`Pipeline`] wires N [`ElasticExecutor`]s into a chain (source →
 //! operators → sink) with **bounded-queue backpressure** between
-//! stages: each stage admits at most `stage_capacity` in-flight records
-//! (submitted but not yet processed); the pump feeding it blocks until
+//! stages: each stage admits at most `capacity` in-flight records
+//! (ingested but not yet processed); the pump feeding it blocks until
 //! the stage drains, and the stall propagates upstream hop by hop until
-//! [`Pipeline::submit`] itself blocks — the live analog of the
-//! simulated engine's high/low-watermark source pausing.
+//! the pipeline's blocking [`Ingest`] entry itself stalls — the live
+//! analog of the simulated engine's high/low-watermark source pausing.
 //!
 //! Since the DAG generalization, `Pipeline` is a thin wrapper over
 //! [`LiveDag`]: [`PipelineBuilder::build`]
@@ -31,10 +31,9 @@
 //! Channels carry [`RecordBatch`]es, not single records: task threads
 //! emit each processed batch's outputs as one send, and every pump
 //! drains up to [`PipelineBuilder::max_batch`] records per wakeup before
-//! handing them to the next stage through one amortized
-//! `submit_batch`. Batching never reorders — batches preserve arrival
-//! order and per-key order is per-shard order, which batch grouping
-//! respects.
+//! handing them to the next stage through one amortized routed batch.
+//! Batching never reorders — batches preserve arrival order and per-key
+//! order is per-shard order, which batch grouping respects.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -43,9 +42,10 @@ use crossbeam::channel::Receiver;
 use elasticutor_core::ids::OperatorId;
 
 use crate::controller::{ControllerConfig, ControllerEvent};
-use crate::dag::{LiveDag, LiveDagBuilder};
+use crate::dag::{LiveDag, LiveDagBuilder, SourcePort};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::group::ExecutorGroup;
+use crate::ingest::Ingest;
 use crate::record::{Operator, Record, RecordBatch};
 
 /// A type-erased operator, letting one pipeline mix operator types.
@@ -61,7 +61,7 @@ struct StageSpec {
 /// Builder for [`Pipeline`].
 pub struct PipelineBuilder {
     stages: Vec<StageSpec>,
-    stage_capacity: usize,
+    capacity: usize,
     max_batch: usize,
     controller: Option<ControllerConfig>,
 }
@@ -77,7 +77,7 @@ impl PipelineBuilder {
     pub fn new() -> Self {
         Self {
             stages: Vec::new(),
-            stage_capacity: 4096,
+            capacity: 4096,
             max_batch: 64,
             controller: None,
         }
@@ -99,18 +99,31 @@ impl PipelineBuilder {
     }
 
     /// Sets the bounded in-flight budget per stage: each stage admits at
-    /// most this many submitted-but-unprocessed **records** (enforced by
+    /// most this many ingested-but-unprocessed **records** (enforced by
     /// its pump). The ingress and inter-stage channels are bounded to
     /// the same number of **batch slots**; ingress slots and pump
     /// submissions hold at most [`Self::max_batch`] records each, and a
     /// task emits one output batch per input batch, so the records
-    /// buffered per hop are bounded by `stage_capacity × max_batch ×
-    /// fanout` (fanout = the operator's output amplification, 1 for
-    /// filters/maps) and the stall still propagates to
-    /// [`Pipeline::submit`].
-    pub fn stage_capacity(mut self, capacity: usize) -> Self {
-        self.stage_capacity = capacity.max(1);
+    /// buffered per hop are bounded by `capacity × max_batch × fanout`
+    /// (fanout = the operator's output amplification, 1 for
+    /// filters/maps) and the stall still propagates to the pipeline's
+    /// blocking [`Ingest`] entry.
+    ///
+    /// One knob family across the three builders: this `capacity` and
+    /// [`LiveDagBuilder::capacity`] are the same per-operator budget
+    /// (the DAG adds per-edge [`LiveDagBuilder::edge_capacity`]
+    /// overrides), while `ExecutorConfig::ring_capacity` sizes the
+    /// per-task SPSC rings *inside* one executor.
+    pub fn capacity(mut self, records: usize) -> Self {
+        self.capacity = records.max(1);
         self
+    }
+
+    /// Renamed: use [`Self::capacity`].
+    #[doc(hidden)]
+    #[deprecated(note = "renamed to `capacity`")]
+    pub fn stage_capacity(self, capacity: usize) -> Self {
+        self.capacity(capacity)
     }
 
     /// Sets the batch amortization window: the record count at which a
@@ -144,7 +157,7 @@ impl PipelineBuilder {
     pub fn build(self) -> Pipeline {
         assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
         let mut dag = LiveDagBuilder::new();
-        dag.capacity(self.stage_capacity);
+        dag.capacity(self.capacity);
         dag.max_batch(self.max_batch);
         if let Some(config) = self.controller {
             dag.controller(config);
@@ -208,27 +221,26 @@ impl Pipeline {
         PipelineBuilder::new()
     }
 
-    /// Feeds a record into the first stage. Blocks when the pipeline is
-    /// backpressured (first stage at capacity and ingress channel full).
-    ///
-    /// Each call sends a one-record batch (one small allocation); a
-    /// high-rate source should accumulate and use [`Self::submit_batch`]
-    /// instead, which amortizes both the allocation and the channel
-    /// synchronization.
-    pub fn submit(&self, record: Record) {
-        self.dag.submit(self.source, record);
+    /// The first stage's [`SourcePort`] — a cloneable, `'static`
+    /// [`Ingest`] handle external feeders (TCP readers, replay pumps)
+    /// hold without owning the pipeline. Records ingested after
+    /// [`Self::shutdown`] are dropped silently.
+    pub fn port(&self) -> SourcePort {
+        self.dag.port(self.source)
     }
 
-    /// Feeds a batch into the first stage through amortized channel
-    /// sends — the ingress for high-rate sources. Batches larger than
-    /// the builder's [`max_batch`](PipelineBuilder::max_batch) are split
-    /// so one ingress channel slot never holds more than `max_batch`
-    /// records (keeping the buffering bound of
-    /// [`stage_capacity`](PipelineBuilder::stage_capacity) honest).
-    /// Blocks like [`Self::submit`] when backpressured; empty batches
-    /// are ignored.
+    /// Renamed: use [`Ingest::ingest`].
+    #[doc(hidden)]
+    #[deprecated(note = "use `Ingest::ingest`")]
+    pub fn submit(&self, record: Record) {
+        self.ingest(record);
+    }
+
+    /// Renamed: use [`Ingest::ingest_batch`].
+    #[doc(hidden)]
+    #[deprecated(note = "use `Ingest::ingest_batch`")]
     pub fn submit_batch(&self, batch: RecordBatch) {
-        self.dag.submit_batch(self.source, batch);
+        self.ingest_batch(batch);
     }
 
     /// The output stream of the last stage, in batches (flatten for a
@@ -294,7 +306,7 @@ impl Pipeline {
     /// stage and no record sits in any inter-stage channel.
     ///
     /// Uses monotonic counters only, so a `true` from a single call is
-    /// trustworthy provided no concurrent `submit` is racing it:
+    /// trustworthy provided no concurrent ingest is racing it:
     /// ingress-accepted = stage-0 submitted = stage-0 processed, and for
     /// each hop, stage i's emitted = stage i+1's submitted = processed.
     pub fn is_quiescent(&self) -> bool {
@@ -320,6 +332,31 @@ impl Pipeline {
                 stats: op.stats,
             })
             .collect()
+    }
+}
+
+/// The unified entry surface (see [`crate::ingest`]), feeding the
+/// first stage. The blocking forms stall while the pipeline is
+/// backpressured (first stage at capacity and ingress channel full);
+/// [`Ingest::try_ingest_batch`] instead hands the overflow back —
+/// see [`SourcePort`] for the exact admission semantics. Single records
+/// cost a one-record batch allocation; high-rate sources should
+/// accumulate and use [`Ingest::ingest_batch`], which amortizes both
+/// the allocation and the channel synchronization (batches are split so
+/// one ingress slot never exceeds the builder's
+/// [`max_batch`](PipelineBuilder::max_batch), keeping the
+/// [`capacity`](PipelineBuilder::capacity) buffering bound honest).
+impl Ingest for Pipeline {
+    fn ingest_batch(&self, batch: RecordBatch) {
+        self.dag.port(self.source).ingest_batch(batch);
+    }
+
+    fn try_ingest_batch(&self, batch: RecordBatch) -> Result<(), RecordBatch> {
+        self.dag.port(self.source).try_ingest_batch(batch)
+    }
+
+    fn accepted(&self) -> u64 {
+        self.dag.port(self.source).accepted()
     }
 }
 
@@ -356,7 +393,7 @@ mod tests {
             )
             .build();
         for i in 0..1_000u64 {
-            pipe.submit(Record::new(Key(i % 17), Bytes::new()).with_seq(i));
+            pipe.ingest(Record::new(Key(i % 17), Bytes::new()).with_seq(i));
         }
         pipe.drain();
         let out: Vec<Record> = pipe.outputs().try_iter().flatten().collect();
@@ -388,7 +425,7 @@ mod tests {
             )
             .build();
         for i in 0..100u64 {
-            pipe.submit(Record::new(Key(i), Bytes::new()));
+            pipe.ingest(Record::new(Key(i), Bytes::new()));
         }
         pipe.drain();
         assert_eq!(pipe.outputs().try_iter().flatten().count(), 100); // 50 even keys × 2
@@ -404,7 +441,7 @@ mod tests {
             .stage("same", ExecutorConfig::default(), passthrough())
             .build();
         for i in 0..50u64 {
-            pipe.submit(Record::new(Key(i), Bytes::new()));
+            pipe.ingest(Record::new(Key(i), Bytes::new()));
         }
         pipe.drain();
         let stats = pipe.shutdown();
@@ -430,11 +467,11 @@ mod tests {
                     vec![r.clone()]
                 },
             )
-            .stage_capacity(8)
+            .capacity(8)
             .max_batch(8)
             .build();
         for i in 0..200u64 {
-            pipe.submit(Record::new(Key(i), Bytes::new()));
+            pipe.ingest(Record::new(Key(i), Bytes::new()));
             let in_flight = i + 1 - pipe.group(0).processed_count().min(i + 1);
             // capacity (8) + ingress channel (8 one-record batches) +
             // the pump's hand (up to max_batch = 8 drained records).
@@ -473,7 +510,7 @@ mod tests {
                     vec![r.clone()]
                 },
             )
-            .stage_capacity(cap as usize)
+            .capacity(cap as usize)
             .max_batch(8)
             .build();
         // Per hop a record can sit in: the ingress channel (cap
@@ -484,7 +521,7 @@ mod tests {
         let b = 8u64;
         let bound = cap + 2 * (2 * b) + 2 * cap + cap * b;
         for i in 0..400u64 {
-            pipe.submit(Record::new(Key(i), Bytes::new()));
+            pipe.ingest(Record::new(Key(i), Bytes::new()));
             let done = pipe.group(1).processed_count();
             let in_flight = (i + 1).saturating_sub(done);
             assert!(
@@ -513,7 +550,7 @@ mod tests {
             |r: &Record, _s: &StateHandle| vec![r.clone()],
         );
         for i in 0..50u64 {
-            exec.submit(Record::new(Key(i), Bytes::new()));
+            exec.ingest(Record::new(Key(i), Bytes::new()));
         }
         let stats = exec.shutdown();
         // Everything processed up to the moment the channel filled was
@@ -529,7 +566,7 @@ mod tests {
             .stage("b", ExecutorConfig::default(), passthrough())
             .build();
         for i in 0..500u64 {
-            pipe.submit(Record::new(Key(i % 7), Bytes::new()));
+            pipe.ingest(Record::new(Key(i % 7), Bytes::new()));
         }
         pipe.drain();
         // A clone of stage 0's handle outlives the pipeline — shutdown
@@ -556,7 +593,7 @@ mod tests {
             )
             .build();
         for i in 0..20_000u64 {
-            pipe.submit(Record::new(Key(i % 100), Bytes::new()));
+            pipe.ingest(Record::new(Key(i % 100), Bytes::new()));
             if i == 5_000 {
                 pipe.executor(0).add_task().expect("grow");
                 pipe.executor(0).rebalance();

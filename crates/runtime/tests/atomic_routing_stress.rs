@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, FifoChecker, Operator, Record};
 use elasticutor_state::StateHandle;
 
@@ -79,10 +80,10 @@ fn concurrent_submitters_survive_reassignment_storm() {
                         batch.push(record);
                         // Odd batch size to interleave with shard moves.
                         if batch.len() == 33 || i + 1 == PER_THREAD {
-                            exec.submit_batch(batch.drain(..));
+                            exec.ingest_batch(std::mem::take(&mut batch));
                         }
                     } else {
-                        exec.submit(record);
+                        exec.ingest(record);
                     }
                 }
             })

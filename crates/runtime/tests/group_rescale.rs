@@ -14,6 +14,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use elasticutor_core::hash::key_to_shard;
 use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{ExecutorConfig, ExecutorGroup, FifoChecker, LiveDag, Operator, Record};
 use elasticutor_state::StateHandle;
 
@@ -70,10 +71,8 @@ fn dag_scale_out_under_live_load_keeps_fifo_and_conservation() {
     for i in 0..TOTAL {
         let key = (i * 17) % KEYS;
         seqs[key as usize] += 1;
-        dag.submit(
-            hot,
-            Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
-        );
+        dag.port(hot)
+            .ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
         match i {
             10_000 => {
                 let id = dag.scale_out(hot).expect("grow to 2 instances");
@@ -175,7 +174,7 @@ fn concurrent_submitters_survive_rescales_with_fifo_and_conservation() {
                     let shard = ShardId(key_to_shard(key, SHARDS));
                     let record = Record::new(Key(key), Bytes::new()).with_seq(seq / 25 + 1);
                     let owner = group.instance_of(shard);
-                    group.instance(owner).submit_routed(shard, record);
+                    group.instance(owner).ingest_routed(shard, record);
                 }
             })
         })
@@ -272,7 +271,7 @@ fn scale_in_drains_in_flight_ring_items() {
         let shard = ShardId(key_to_shard(key, SHARDS));
         let record = Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]);
         let owner = group.instance_of(shard);
-        group.instance(owner).submit_routed(shard, record);
+        group.instance(owner).ingest_routed(shard, record);
         if i == TOTAL / 2 {
             // Mid-burst: the victim's rings are loaded. Retiring it
             // must flush every queued item through the handshake.

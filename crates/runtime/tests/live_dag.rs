@@ -10,6 +10,7 @@ use bytes::Bytes;
 use elasticutor_core::error::Error;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_runtime::dag::LiveDag;
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{ExecutorConfig, FifoChecker, Operator, Record};
 use elasticutor_state::StateHandle;
 
@@ -51,7 +52,8 @@ fn fan_out_key_edges_deliver_one_copy_per_target() {
 
     const N: u64 = 2_000;
     for i in 0..N {
-        dag.submit(source, Record::new(Key(i % 31), Bytes::new()).with_seq(i));
+        dag.port(source)
+            .ingest(Record::new(Key(i % 31), Bytes::new()).with_seq(i));
     }
     dag.drain();
     assert_eq!(left_n.load(Ordering::Relaxed), N);
@@ -77,7 +79,8 @@ fn broadcast_edge_replicates_to_every_shard() {
     const N: u64 = 500;
     for i in 0..N {
         // One fixed key: only the broadcast replication may spread it.
-        dag.submit(source, Record::new(Key(7), Bytes::new()).with_seq(i));
+        dag.port(source)
+            .ingest(Record::new(Key(7), Bytes::new()).with_seq(i));
     }
     dag.drain();
     assert_eq!(
@@ -113,7 +116,8 @@ fn shuffle_edge_spreads_one_copy_across_shards() {
 
     const N: u64 = 800;
     for i in 0..N {
-        dag.submit(source, Record::new(Key(1), Bytes::new()).with_seq(i));
+        dag.port(source)
+            .ingest(Record::new(Key(1), Bytes::new()).with_seq(i));
     }
     dag.drain();
     assert_eq!(seen.load(Ordering::Relaxed), N, "shuffle sends one copy");
@@ -201,10 +205,8 @@ fn fan_in_holds_per_edge_fifo_under_concurrent_branch_load() {
                 for i in 0..PER_SOURCE {
                     let key = i % KEYS;
                     seqs[key as usize] += 1;
-                    dag.submit(
-                        source,
-                        Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
-                    );
+                    dag.port(source)
+                        .ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
                 }
             })
         })
@@ -269,10 +271,8 @@ fn diamond_reaches_quiescence_and_conserves_records() {
     for i in 0..N {
         let key = i % KEYS;
         seqs[key as usize] += 1;
-        dag.submit(
-            source,
-            Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]),
-        );
+        dag.port(source)
+            .ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
     }
     dag.drain();
     assert!(dag.is_quiescent(), "drain must leave the DAG quiescent");
@@ -303,7 +303,8 @@ fn diamond_shutdown_survives_retained_branch_handle() {
         .key_edge(right, merge);
     let dag = b.build().expect("valid diamond");
     for i in 0..1_000u64 {
-        dag.submit(source, Record::new(Key(i % 13), Bytes::new()));
+        dag.port(source)
+            .ingest(Record::new(Key(i % 13), Bytes::new()));
     }
     dag.drain();
     // A clone of one branch's handle outlives the DAG: teardown must
@@ -327,7 +328,7 @@ fn outputs_are_exposed_for_sinks_only() {
     assert!(dag.outputs(source).is_none());
     assert!(dag.outputs(mid).is_none());
     let rx = dag.outputs(sink).expect("sink exposes outputs");
-    dag.submit(source, Record::new(Key(1), Bytes::new()));
+    dag.port(source).ingest(Record::new(Key(1), Bytes::new()));
     dag.drain();
     assert_eq!(rx.try_iter().flatten().count(), 1);
     dag.shutdown();
@@ -399,7 +400,8 @@ fn per_edge_budget_overrides_apply() {
         .edge_capacity(source, right, 2);
     let dag = b.build().expect("valid topology with edge override");
     for i in 0..3_000u64 {
-        dag.submit(source, Record::new(Key(i % 11), Bytes::new()));
+        dag.port(source)
+            .ingest(Record::new(Key(i % 11), Bytes::new()));
     }
     dag.drain();
     assert_eq!(left_n.load(Ordering::Relaxed), 3_000);
@@ -451,10 +453,10 @@ fn arc_shared_fanout_never_leaks_cross_branch_mutation() {
     for i in 0..N {
         batch.push(Record::new(Key(i % 13), Bytes::from_static(PAYLOAD)).with_seq(i));
         if batch.len() == 64 {
-            dag.submit_batch(source, std::mem::take(&mut batch));
+            dag.port(source).ingest_batch(std::mem::take(&mut batch));
         }
     }
-    dag.submit_batch(source, batch);
+    dag.port(source).ingest_batch(batch);
     dag.drain();
     assert_eq!(
         corrupted.load(Ordering::Relaxed),
@@ -501,7 +503,8 @@ fn broadcast_shares_payloads_across_all_shards() {
     b.broadcast_edge(source, fanout).key_edge(source, twist);
     let dag = b.build().expect("valid broadcast fan-out");
     for i in 0..N {
-        dag.submit(source, Record::new(Key(i), Bytes::from_static(PAYLOAD)));
+        dag.port(source)
+            .ingest(Record::new(Key(i), Bytes::from_static(PAYLOAD)));
     }
     dag.drain();
     assert_eq!(intact.load(Ordering::Relaxed), N * u64::from(SHARDS));

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId, TaskId};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
 use elasticutor_state::StateHandle;
 
@@ -50,7 +51,7 @@ fn processes_and_counts() {
         Vec::new()
     });
     for i in 0..1000u64 {
-        exec.submit(Record::new(Key(i % 10), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 10), Bytes::new()));
     }
     exec.wait_for_processed(1000);
     // Every key was counted exactly 100 times, wherever its shard lives.
@@ -76,7 +77,7 @@ fn operator_outputs_are_emitted() {
         vec![Record::new(r.key, Bytes::from_static(b"out"))]
     });
     for i in 0..100u64 {
-        exec.submit(Record::new(Key(i), Bytes::new()));
+        exec.ingest(Record::new(Key(i), Bytes::new()));
     }
     exec.wait_for_processed(100);
     let mut outs = 0;
@@ -106,7 +107,7 @@ fn per_key_order_survives_concurrent_reassignments() {
             for i in 0..50_000u64 {
                 let key = (i * 31) % 64;
                 seqs[key as usize] += 1;
-                exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
+                exec.ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
             }
         })
     };
@@ -144,7 +145,7 @@ fn scale_up_then_down_preserves_work() {
         Vec::new()
     });
     for i in 0..5_000u64 {
-        exec.submit(Record::new(Key(i % 100), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 100), Bytes::new()));
     }
     // Scale out to 4 tasks and spread the load.
     let t1 = exec.add_task().unwrap();
@@ -152,13 +153,13 @@ fn scale_up_then_down_preserves_work() {
     let t3 = exec.add_task().unwrap();
     exec.rebalance();
     for i in 0..5_000u64 {
-        exec.submit(Record::new(Key(i % 100), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 100), Bytes::new()));
     }
     // Scale back in.
     exec.remove_task(t1).unwrap();
     exec.remove_task(t3).unwrap();
     for i in 0..5_000u64 {
-        exec.submit(Record::new(Key(i % 100), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 100), Bytes::new()));
     }
     exec.wait_for_processed(15_000);
     assert_eq!(exec.tasks().len(), 2);
@@ -208,7 +209,7 @@ fn rebalance_spreads_hot_load() {
     // after adding tasks and rebalancing, the shards must spread.
     let exec = ElasticExecutor::start(config(16, 1), |_: &Record, _: &StateHandle| Vec::new());
     for i in 0..1_000u64 {
-        exec.submit(Record::new(Key(i % 64), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 64), Bytes::new()));
     }
     exec.add_task().unwrap();
     exec.add_task().unwrap();
@@ -266,7 +267,7 @@ fn state_is_shared_not_migrated() {
     });
     let key = Key(3);
     let shard = ShardId(elasticutor_core::hash::key_to_shard(3, 4));
-    exec.submit(Record::new(key, Bytes::from_static(b"payload")));
+    exec.ingest(Record::new(key, Bytes::from_static(b"payload")));
     exec.wait_for_processed(1);
     let before = exec.state().total_bytes();
     let owner = exec.assignment()[shard.index()];
@@ -310,7 +311,7 @@ fn operator_panic_does_not_kill_the_executor() {
         if key == 13 {
             poisons += 1;
         }
-        exec.submit(Record::new(Key(key), Bytes::new()));
+        exec.ingest(Record::new(Key(key), Bytes::new()));
     }
     exec.wait_for_processed(total);
     // Healthy keys were all counted despite interleaved panics.
@@ -338,7 +339,7 @@ fn executor_scales_after_panics() {
         Vec::new()
     });
     for i in 0..1_000u64 {
-        exec.submit(Record::new(Key(i), Bytes::new()));
+        exec.ingest(Record::new(Key(i), Bytes::new()));
     }
     exec.add_task().expect("grow after panics");
     let moves = exec.rebalance();

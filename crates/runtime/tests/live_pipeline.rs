@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use elasticutor_core::ids::Key;
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ControllerConfig, ExecutorConfig, FifoChecker, Operator, Pipeline, Record,
 };
@@ -53,7 +54,7 @@ fn controller_grows_hot_stage_under_load() {
                 order: Arc::clone(&order),
             },
         )
-        .stage_capacity(65_536)
+        .capacity(65_536)
         .controller(ControllerConfig {
             interval: Duration::from_millis(80),
             total_cores: 6,
@@ -70,7 +71,7 @@ fn controller_grows_hot_stage_under_load() {
     for i in 0..total {
         let key = i % 64;
         seqs[key as usize] += 1;
-        pipe.submit(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
+        pipe.ingest(Record::new(Key(key), Bytes::new()).with_seq(seqs[key as usize]));
         next += gap;
         let now = Instant::now();
         if next > now {

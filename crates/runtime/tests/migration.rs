@@ -14,6 +14,7 @@ use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire;
 use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_OFFER, MSG_STATE};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationEndpoint, Operator, Record,
 };
@@ -97,7 +98,7 @@ fn trade_shards_between_endpoints_under_live_load() {
         std::thread::spawn(move || {
             for round in 1..=rounds {
                 for &key in &keys {
-                    exec_a.submit(Record::new(key, Bytes::new()).with_seq(round));
+                    exec_a.ingest(Record::new(key, Bytes::new()).with_seq(round));
                 }
                 std::thread::sleep(Duration::from_micros(50));
             }
@@ -216,7 +217,7 @@ fn peer_disconnect_mid_state_aborts_and_restores() {
     assert!(exec.remote_shards().is_empty());
     let processed_before = exec.processed_count();
     for (i, &key) in keys.iter().take(10).enumerate() {
-        exec.submit(Record::new(key, Bytes::new()).with_seq(i as u64 + 1));
+        exec.ingest(Record::new(key, Bytes::new()).with_seq(i as u64 + 1));
     }
     exec.wait_for_processed(processed_before + 10);
     assert!(fifo.is_clean());

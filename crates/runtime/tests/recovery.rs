@@ -20,6 +20,7 @@ use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire;
 use elasticutor_runtime::journal::replay_path;
 use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationConfig, MigrationEndpoint,
     Operator, Record, RecoveryJournal,
@@ -181,7 +182,7 @@ fn commit_sent_resolves_remote_when_peer_owns() {
     assert_eq!(exec_a.remote_shards(), vec![shard]);
     // The settled routing is live: records land on the peer's copy.
     for seq in 1..=5u64 {
-        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+        exec_a.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
     }
     assert!(wait_until(Duration::from_secs(10), || {
         read_count(&exec_b, shard, Key(key)) == Some(5)
@@ -287,7 +288,7 @@ fn receiver_durable_installs_from_journal() {
     );
     // The adopted shard serves live records.
     for seq in 1..=4u64 {
-        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+        exec_a.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
     }
     assert!(wait_until(Duration::from_secs(10), || {
         read_count(&exec_a, shard, Key(key)) == Some(4)
@@ -349,7 +350,7 @@ fn in_doubt_shard_parks_then_recovers_local() {
     assert!(exec_a.is_shard_paused(shard));
     // Submits to the parked shard buffer rather than drop.
     for seq in 1..=3u64 {
-        exec_a.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+        exec_a.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
     }
     ep_a1.close();
 

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor_core::ids::Key;
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{ElasticExecutor, ExecutorConfig, FifoChecker, Record};
 use elasticutor_state::StateHandle;
 
@@ -77,11 +78,11 @@ fn ring_plane_survives_slot_reuse_churn() {
         for key in 0..KEYS {
             batch.push(Record::new(Key(key), Bytes::new()).with_seq(seq));
             if batch.len() == 128 {
-                exec.submit_batch(batch.drain(..));
+                exec.ingest_batch(std::mem::take(&mut batch));
             }
         }
     }
-    exec.submit_batch(batch.drain(..));
+    exec.ingest_batch(std::mem::take(&mut batch));
     exec.wait_for_processed(KEYS * PER_KEY);
     stop.store(true, Ordering::Relaxed);
     let cycles = churn.join().expect("churn thread exits");
@@ -116,7 +117,7 @@ fn tiny_ring_capacity_exercises_full_edge() {
     );
     assert!(exec.add_task().is_ok());
     for seq in 0..TOTAL {
-        exec.submit(Record::new(Key(seq % 16), Bytes::new()).with_seq(seq / 16));
+        exec.ingest(Record::new(Key(seq % 16), Bytes::new()).with_seq(seq / 16));
     }
     exec.wait_for_processed(TOTAL);
     let stats = exec.shutdown();
@@ -131,7 +132,11 @@ fn custom_ring_capacity_is_honored() {
         ring_config(4, Some(4096)),
         |_r: &Record, _s: &StateHandle| Vec::new(),
     );
-    exec.submit_batch((0..1_000u64).map(|i| Record::new(Key(i), Bytes::new())));
+    exec.ingest_batch(
+        (0..1_000u64)
+            .map(|i| Record::new(Key(i), Bytes::new()))
+            .collect(),
+    );
     exec.wait_for_processed(1_000);
     assert_eq!(exec.shutdown().processed, 1_000);
 }
@@ -189,10 +194,10 @@ fn reassignment_watermarks_preserve_order() {
     for seq in 0..TOTAL {
         batch.push(Record::new(Key(seq % 8), Bytes::new()).with_seq(seq / 8));
         if batch.len() == 256 {
-            exec.submit_batch(batch.drain(..));
+            exec.ingest_batch(std::mem::take(&mut batch));
         }
     }
-    exec.submit_batch(batch.drain(..));
+    exec.ingest_batch(std::mem::take(&mut batch));
     exec.wait_for_processed(TOTAL);
     stop.store(true, Ordering::Relaxed);
     let moves = mover.join().expect("mover exits");

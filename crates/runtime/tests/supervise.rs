@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use elasticutor_core::hash::key_to_shard;
 use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{BoxedOperator, ExecutorConfig, ExecutorGroup, FifoChecker, Record};
 use elasticutor_state::StateHandle;
 
@@ -76,7 +77,7 @@ fn poison_shard_is_quarantined_and_released() {
 
     // Three strikes cross the threshold.
     for seq in 1..=3u64 {
-        exec.submit(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
+        exec.ingest(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
     }
     assert!(
         wait_until(Duration::from_secs(10), || {
@@ -92,7 +93,7 @@ fn poison_shard_is_quarantined_and_released() {
 
     // Records to the parked shard are black-holed, not buffered.
     for seq in 4..=5u64 {
-        exec.submit(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
+        exec.ingest(Record::new(Key(poison_key), Bytes::new()).with_seq(seq));
     }
     assert!(
         wait_until(Duration::from_secs(10), || exec.quarantine_dropped() == 2),
@@ -102,7 +103,7 @@ fn poison_shard_is_quarantined_and_released() {
     // Neighbor shards are untouched by the quarantine.
     let healthy_key = keys_in(0).next().unwrap();
     for seq in 1..=5u64 {
-        exec.submit(Record::new(Key(healthy_key), Bytes::new()).with_seq(seq));
+        exec.ingest(Record::new(Key(healthy_key), Bytes::new()).with_seq(seq));
     }
     assert!(wait_until(Duration::from_secs(10), || {
         exec.state()
@@ -122,7 +123,7 @@ fn poison_shard_is_quarantined_and_released() {
         Some(Bytes::from_static(b"survives the park"))
     );
     for seq in 1..=3u64 {
-        exec.submit(Record::new(Key(healthy_sh5_key), Bytes::new()).with_seq(seq));
+        exec.ingest(Record::new(Key(healthy_sh5_key), Bytes::new()).with_seq(seq));
     }
     assert!(wait_until(Duration::from_secs(10), || {
         exec.state()
@@ -173,7 +174,7 @@ fn dead_task_is_reaped_and_shards_rehomed() {
     assert_eq!(group.total_tasks(), 2);
     group
         .primary()
-        .submit(Record::new(Key(bomb_key), Bytes::new()).with_seq(1));
+        .ingest(Record::new(Key(bomb_key), Bytes::new()).with_seq(1));
 
     // The supervisor notices the dead thread and reaps it.
     let mut respawned = 0usize;
@@ -195,7 +196,7 @@ fn dead_task_is_reaped_and_shards_rehomed() {
         // design, so the conservation gate starts after the recovery.
         let key = keys_in(shard).nth(2).unwrap();
         for seq in 1..=4u64 {
-            exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+            exec.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
         }
         assert!(
             wait_until(Duration::from_secs(10), || {

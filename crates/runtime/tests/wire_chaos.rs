@@ -16,6 +16,7 @@ use elasticutor_core::hash::key_to_shard;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, Checksum};
 use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER, MSG_STATE};
+use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationEndpoint, Operator, Record,
 };
@@ -182,7 +183,7 @@ fn run_receiver_trial(stream_bytes: &[u8], corruption: &Corruption) {
     let probe = (0u64..)
         .find(|k| key_to_shard(*k, NUM_SHARDS) == 0)
         .unwrap();
-    exec.submit(Record::new(Key(probe), Bytes::new()).with_seq(1));
+    exec.ingest(Record::new(Key(probe), Bytes::new()).with_seq(1));
     assert!(
         wait_until(Duration::from_secs(10), || exec.processed_count() >= 1),
         "executor wedged after corrupted stream"
@@ -285,7 +286,7 @@ fn sender_survives_garbage_replies() {
             "{name}: state lost"
         );
         for seq in 1..=3u64 {
-            exec.submit(Record::new(Key(key), Bytes::new()).with_seq(seq));
+            exec.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
         }
         assert!(
             wait_until(Duration::from_secs(10), || exec

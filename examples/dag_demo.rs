@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use elasticutor::core::ids::Key;
 use elasticutor::runtime::dag::LiveDag;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{ControllerConfig, ExecutorConfig, FifoChecker, Operator, Record};
 use elasticutor::state::StateHandle;
 
@@ -138,10 +139,8 @@ fn drive(
     while phase_start.elapsed() < duration {
         let key = *sent % seqs.len() as u64;
         seqs[key as usize] += 1;
-        dag.submit(
-            source,
-            Record::new(key.into(), payload.clone()).with_seq(seqs[key as usize]),
-        );
+        dag.port(source)
+            .ingest(Record::new(key.into(), payload.clone()).with_seq(seqs[key as usize]));
         *sent += 1;
         next += gap;
         let now = Instant::now();

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{
     ControllerConfig, ExecutorConfig, FifoChecker, Operator, Pipeline, Record,
 };
@@ -130,7 +131,7 @@ fn drive(
     while phase_start.elapsed() < duration {
         let key = *sent % seqs.len() as u64;
         seqs[key as usize] += 1;
-        pipe.submit(Record::new(key.into(), payload.clone()).with_seq(seqs[key as usize]));
+        pipe.ingest(Record::new(key.into(), payload.clone()).with_seq(seqs[key as usize]));
         *sent += 1;
         next += gap;
         let now = Instant::now();
@@ -160,7 +161,7 @@ fn main() {
                 delivered: Arc::clone(&delivered),
             },
         )
-        .stage_capacity(8_192)
+        .capacity(8_192)
         .controller(ControllerConfig {
             interval: Duration::from_millis(120),
             total_cores: TOTAL_CORES,

@@ -10,6 +10,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bytes::Bytes;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
 use elasticutor::state::StateHandle;
 
@@ -43,7 +44,7 @@ fn main() {
     // 2. Stream 100k records over 1000 keys; grow to 4 cores mid-stream.
     let total = 100_000u64;
     for i in 0..total {
-        exec.submit(Record::new((i % 1000).into(), Bytes::new()));
+        exec.ingest(Record::new((i % 1000).into(), Bytes::new()));
         if i == total / 4 {
             // The scheduler granted us three more cores.
             for _ in 0..3 {

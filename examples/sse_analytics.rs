@@ -12,6 +12,7 @@
 //! Run with: `cargo run --release --example sse_analytics`
 
 use bytes::Bytes;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{ElasticExecutor, ExecutorConfig, Operator, Record};
 use elasticutor::state::StateHandle;
 use elasticutor::workload::{SseConfig, SseWorkload, TupleSource};
@@ -80,7 +81,7 @@ fn main() {
         // Synthesize price/volume from the tuple's key and time.
         let price_cents = 1_000 + (tuple.key.value() * 7 + now_ns / 1_000_000) % 500;
         let volume = 1 + now_ns % 97;
-        exec.submit(Record::new(tuple.key, encode_order(price_cents, volume)));
+        exec.ingest(Record::new(tuple.key, encode_order(price_cents, volume)));
 
         if i == total / 2 {
             // Half-way: the hot-stock rotation has shifted load. Grant

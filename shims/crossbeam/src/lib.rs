@@ -139,6 +139,52 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is full; the value is handed back.
+        Full(T),
+        /// All receivers are gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether this is the [`TrySendError::Full`] variant.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// Whether this is the [`TrySendError::Disconnected`] variant.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is drained
     /// and disconnected.
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -287,6 +333,30 @@ pub mod channel {
             // Notify only when someone is actually parked: a receiver
             // increments the count under this same lock before waiting,
             // so a zero read here means no wakeup can be lost.
+            let wake = inner.recv_waiters > 0;
+            drop(inner);
+            if wake {
+                self.shared.not_empty.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Non-blocking send: hands the value back instead of parking
+        /// when a bounded channel is full (or every receiver is gone).
+        /// The ingress plane's credit path uses this so a stalled DAG
+        /// surfaces as `Full` — the caller keeps the records queued on
+        /// the connection and stops reading its socket.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = inner.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            inner.queue.push_back(value);
             let wake = inner.recv_waiters > 0;
             drop(inner);
             if wake {
@@ -467,6 +537,20 @@ pub mod channel {
             let a = thread::spawn(move || rx1.iter().count());
             let b = thread::spawn(move || rx2.iter().count());
             assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            let err = tx.try_send(4).unwrap_err();
+            assert!(err.is_disconnected());
+            assert_eq!(err.into_inner(), 4);
         }
 
         #[test]

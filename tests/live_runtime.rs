@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor::core::ids::Key;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{ElasticExecutor, ExecutorConfig, FifoChecker, Operator, Record};
 use elasticutor::state::StateHandle;
 use elasticutor::workload::{MicroConfig, MicroWorkload, TupleSource};
@@ -63,7 +64,7 @@ fn per_key_order_survives_concurrent_scaling_and_rebalancing() {
     for i in 0..total {
         let (gap, t) = workload.next_tuple(now);
         now += gap;
-        exec.submit(Record::new(t.key, Bytes::new()).with_seq(t.seq));
+        exec.ingest(Record::new(t.key, Bytes::new()).with_seq(t.seq));
         // Interleave aggressive elasticity operations with traffic.
         match i {
             10_000 => {
@@ -113,7 +114,7 @@ fn reassignments_complete_and_log_sync_times() {
         |_r: &Record, _s: &StateHandle| Vec::new(),
     );
     for i in 0..20_000u64 {
-        exec.submit(Record::new(Key(i % 100), Bytes::new()));
+        exec.ingest(Record::new(Key(i % 100), Bytes::new()));
         if i % 5_000 == 4_999 {
             exec.rebalance();
         }
@@ -140,7 +141,7 @@ fn outputs_flow_downstream() {
     );
     let n = 1_000u64;
     for i in 0..n {
-        exec.submit(Record::new(Key(i), Bytes::from_static(b"p")));
+        exec.ingest(Record::new(Key(i), Bytes::from_static(b"p")));
     }
     exec.wait_for_processed(n);
     let mut outputs = Vec::new();

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use elasticutor::core::ids::Key;
+use elasticutor::runtime::Ingest;
 use elasticutor::runtime::{ExecutorConfig, FifoChecker, Operator, Pipeline, Record};
 use elasticutor::state::StateHandle;
 use elasticutor::workload::{MicroConfig, MicroWorkload, TupleSource};
@@ -75,7 +76,7 @@ fn per_key_fifo_holds_across_two_operators_under_concurrent_elasticity() {
                 processed: Arc::clone(&processed),
             },
         )
-        .stage_capacity(1024)
+        .capacity(1024)
         .build();
 
     // A skewed keyed stream with per-key sequence numbers.
@@ -94,7 +95,7 @@ fn per_key_fifo_holds_across_two_operators_under_concurrent_elasticity() {
     for i in 0..total {
         let (gap, t) = workload.next_tuple(now);
         now += gap;
-        pipe.submit(Record::new(t.key, Bytes::new()).with_seq(t.seq));
+        pipe.ingest(Record::new(t.key, Bytes::new()).with_seq(t.seq));
         // Aggressive concurrent elasticity on BOTH stages while the
         // stream flows: grow, rebalance (shard reassignments), shrink.
         match i {

@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use elasticutor_bench::{fmt_latency_ns, quick_mode, Table};
+use elasticutor_bench::{fmt_latency_ns, hardware_threads, quick_mode, Table};
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum};
 use elasticutor_runtime::Ingest;
@@ -931,6 +931,7 @@ fn parent_main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
     json.push_str("  \"kill_matrix\": [\n");
     for (i, r) in kill_results.iter().enumerate() {
         let _ = write!(

@@ -1,0 +1,653 @@
+//! Durability plane proof + measurement: kill-matrix crash tests for
+//! the per-group WAL/checkpoint store, recovery throughput rows, and
+//! the pause-window accounting of a durable migration.
+//!
+//! **Kill matrix (two-process).** The parent spawns this same binary as
+//! a child (`--child DIR --scenario NAME`); the child opens a durable
+//! [`StateStore`] at `DIR`, runs a scripted op sequence, arms exactly
+//! one `state.*` fail point as `kill` mid-script, and dies inside the
+//! durability machinery (WAL append, torn install, each checkpoint
+//! step, each compaction step). The parent asserts the child really
+//! died, reopens the directory **in-process**, and gates recovery on a
+//! byte-exact match against the model the script implies — every
+//! scenario's surviving prefix is deterministic, so "close enough"
+//! never passes.
+//!
+//! **Throughput rows.** WAL append rate, checkpoint spill rate, WAL
+//! replay rate, and checkpoint-load rate, all on temp dirs.
+//!
+//! **Durable migration.** Two in-process executors trade a ≥16 MiB
+//! shard with durability on while records stream into it: the base
+//! snapshot ships live, so the gate asserts the pause-window bytes
+//! (`sync_wire_bytes`) are a small fraction of the full stream.
+//!
+//! Results go to `BENCH_durability.json` (override with `--out`).
+//! `ELASTICUTOR_QUICK=1` shrinks op counts for CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_bench::{fmt_bytes, hardware_threads, quick_mode, Table};
+use elasticutor_core::fault::{self, FaultAction};
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_runtime::Ingest;
+use elasticutor_runtime::{
+    ElasticExecutor, ExecutorConfig, FifoChecker, MigrationConfig, MigrationEndpoint, Operator,
+    Record,
+};
+use elasticutor_state::{DurableOptions, ShardSnapshot, StateHandle, StateStore};
+
+/// Shards in the kill-matrix store.
+const KM_SHARDS: u32 = 8;
+/// Keys cycle through this range; shard = key % KM_SHARDS.
+const KM_KEYS: u64 = 64;
+/// The shard receiving the torn `install-torn` snapshot.
+const INSTALL_SHARD: u32 = 3;
+
+fn km_shard(key: u64) -> ShardId {
+    ShardId((key % u64::from(KM_SHARDS)) as u32)
+}
+
+enum ScriptedOp {
+    Put(u64, Vec<u8>),
+    Del(u64),
+}
+
+/// Op `i` of the scripted sequence: mostly puts with index-derived
+/// values, every 9th op a delete — identical in child and parent.
+fn scripted_op(i: u64) -> ScriptedOp {
+    if i % 9 == 8 {
+        ScriptedOp::Del((i * 5) % KM_KEYS)
+    } else {
+        let key = (i * 7) % KM_KEYS;
+        let len = 32 + (i as usize % 96);
+        ScriptedOp::Put(key, vec![((i * 31) % 251) as u8; len])
+    }
+}
+
+fn scripted_model(ops: u64) -> BTreeMap<u64, Vec<u8>> {
+    let mut model = BTreeMap::new();
+    for i in 0..ops {
+        match scripted_op(i) {
+            ScriptedOp::Put(k, v) => {
+                model.insert(k, v);
+            }
+            ScriptedOp::Del(k) => {
+                model.remove(&k);
+            }
+        }
+    }
+    model
+}
+
+fn apply_to_store(store: &StateStore, i: u64) {
+    match scripted_op(i) {
+        ScriptedOp::Put(k, v) => {
+            store.put(km_shard(k), Key(k), Bytes::from(v));
+        }
+        ScriptedOp::Del(k) => {
+            store.remove(km_shard(k), Key(k));
+        }
+    }
+}
+
+/// The snapshot whose install the `install-torn` scenario tears: big
+/// enough that the WAL writes it as several chunk frames before the
+/// marker the kill prevents.
+fn torn_install_snapshot() -> ShardSnapshot {
+    ShardSnapshot {
+        shard: ShardId(INSTALL_SHARD),
+        entries: (0..4u64)
+            .map(|i| {
+                (
+                    Key(1 << 40 | i),
+                    Bytes::from(vec![0xB6 ^ i as u8; 160 * 1024]),
+                )
+            })
+            .collect(),
+    }
+}
+
+struct KillScenario {
+    name: &'static str,
+    /// Fail point armed (as `kill`) mid-script; `None` = clean run.
+    point: Option<&'static str>,
+    /// Scripted ops that must survive the crash, byte-exact.
+    surviving_ops: u64,
+}
+
+/// Ops before the mid-script arm (the `wal-append` / `install-torn`
+/// cut) and the full script length.
+const ARM_AT: u64 = 120;
+const FULL_OPS: u64 = 240;
+
+const KILL_MATRIX: [KillScenario; 10] = [
+    KillScenario {
+        name: "clean",
+        point: None,
+        surviving_ops: FULL_OPS,
+    },
+    // Dies at the head of the append for op ARM_AT: exactly the first
+    // ARM_AT ops are on disk.
+    KillScenario {
+        name: "wal-append",
+        point: Some("state.wal.append"),
+        surviving_ops: ARM_AT,
+    },
+    // Dies between an install's chunk frames and its marker: the torn
+    // install must vanish, the preceding ops must not.
+    KillScenario {
+        name: "install-torn",
+        point: Some("state.wal.install"),
+        surviving_ops: ARM_AT,
+    },
+    // Checkpoint steps: every op was WAL-durable before the checkpoint
+    // started, so whichever step dies, nothing may be lost.
+    KillScenario {
+        name: "ckpt-begin",
+        point: Some("state.ckpt.begin"),
+        surviving_ops: FULL_OPS,
+    },
+    KillScenario {
+        name: "ckpt-rotate",
+        point: Some("state.ckpt.rotate"),
+        surviving_ops: FULL_OPS,
+    },
+    KillScenario {
+        name: "ckpt-run",
+        point: Some("state.ckpt.run"),
+        surviving_ops: FULL_OPS,
+    },
+    KillScenario {
+        name: "ckpt-manifest",
+        point: Some("state.ckpt.manifest"),
+        surviving_ops: FULL_OPS,
+    },
+    KillScenario {
+        name: "ckpt-cleanup",
+        point: Some("state.ckpt.cleanup"),
+        surviving_ops: FULL_OPS,
+    },
+    // Compaction reads committed runs only; dying mid-merge or before
+    // the manifest swap must leave the previous manifest authoritative.
+    KillScenario {
+        name: "compact-write",
+        point: Some("state.compact.write"),
+        surviving_ops: FULL_OPS,
+    },
+    KillScenario {
+        name: "compact-manifest",
+        point: Some("state.compact.manifest"),
+        surviving_ops: FULL_OPS,
+    },
+];
+
+// ---------------------------------------------------------------------------
+// Child process: run the script, arm the kill, die inside the store.
+// ---------------------------------------------------------------------------
+
+fn child_main(dir: PathBuf, scenario: String) {
+    let sc = KILL_MATRIX
+        .iter()
+        .find(|s| s.name == scenario)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario}"));
+    let store =
+        StateStore::open_durable(KM_SHARDS, DurableOptions::new(dir).manual()).expect("child open");
+    match sc.name {
+        "clean" => {
+            for i in 0..FULL_OPS {
+                apply_to_store(&store, i);
+                if i == 79 || i == 159 {
+                    store.checkpoint().expect("clean checkpoint");
+                }
+            }
+            store.compact().expect("clean compact");
+        }
+        "wal-append" => {
+            for i in 0..ARM_AT {
+                apply_to_store(&store, i);
+            }
+            fault::set("state.wal.append", FaultAction::Kill);
+            apply_to_store(&store, ARM_AT); // dies inside the append
+            unreachable!("armed kill did not fire");
+        }
+        "install-torn" => {
+            for i in 0..ARM_AT {
+                apply_to_store(&store, i);
+            }
+            // Extract first (shards open hosted): the Drop is durable,
+            // then the re-install tears between its chunk frames and
+            // the marker — recovery must leave the shard empty.
+            store
+                .extract_shard(ShardId(INSTALL_SHARD))
+                .expect("extract before torn install");
+            fault::set("state.wal.install", FaultAction::Kill);
+            store.install_shard(torn_install_snapshot()); // dies mid-install
+            unreachable!("armed kill did not fire");
+        }
+        name if name.starts_with("ckpt-") => {
+            for i in 0..FULL_OPS {
+                apply_to_store(&store, i);
+            }
+            fault::set(sc.point.expect("armed scenario"), FaultAction::Kill);
+            let _ = store.checkpoint(); // dies at the armed step
+            unreachable!("armed kill did not fire");
+        }
+        name if name.starts_with("compact-") => {
+            // Two checkpoints make two runs, the compactor's minimum.
+            for i in 0..FULL_OPS {
+                apply_to_store(&store, i);
+                if i == FULL_OPS / 2 {
+                    store.checkpoint().expect("first checkpoint");
+                }
+            }
+            store.checkpoint().expect("second checkpoint");
+            fault::set(sc.point.expect("armed scenario"), FaultAction::Kill);
+            let _ = store.compact(); // dies at the armed step
+            unreachable!("armed kill did not fire");
+        }
+        other => panic!("unhandled scenario {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent: one kill scenario = spawn, die, reopen, verify byte-exact.
+// ---------------------------------------------------------------------------
+
+struct KillResult {
+    name: &'static str,
+    surviving_entries: usize,
+    recover_ms: f64,
+}
+
+fn run_kill_scenario(sc: &KillScenario, base: &Path) -> KillResult {
+    let dir = base.join(sc.name);
+    std::fs::create_dir_all(&dir).expect("scenario dir");
+    let exe = std::env::current_exe().expect("own path");
+    let status = std::process::Command::new(&exe)
+        .arg("--child")
+        .arg(&dir)
+        .arg("--scenario")
+        .arg(sc.name)
+        .env_remove("ELASTICUTOR_FAILPOINTS")
+        .status()
+        .expect("spawn child");
+    if sc.point.is_some() {
+        assert!(
+            !status.success(),
+            "{}: the armed kill should have taken the child down",
+            sc.name
+        );
+    } else {
+        assert!(
+            status.success(),
+            "{}: clean child failed: {status}",
+            sc.name
+        );
+    }
+
+    let t0 = Instant::now();
+    let store = StateStore::open_durable(KM_SHARDS, DurableOptions::new(dir.clone()).manual())
+        .unwrap_or_else(|e| panic!("{}: recovery failed: {e}", sc.name));
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Byte-exact: per shard, exactly the model's keys with the model's
+    // bytes — conservation and integrity in one comparison.
+    let mut model = scripted_model(sc.surviving_ops);
+    if sc.name == "install-torn" {
+        // The child's durable Drop emptied this shard; the torn
+        // re-install must not have brought anything back.
+        model.retain(|k, _| km_shard(*k) != ShardId(INSTALL_SHARD));
+    }
+    let mut surviving_entries = 0usize;
+    for s in 0..KM_SHARDS {
+        let shard = ShardId(s);
+        let expected: Vec<(Key, Bytes)> = model
+            .iter()
+            .filter(|(k, _)| km_shard(**k) == shard)
+            .map(|(k, v)| (Key(*k), Bytes::from(v.clone())))
+            .collect();
+        let got = store
+            .snapshot_shard(shard)
+            .map(|snap| snap.entries)
+            .unwrap_or_default();
+        assert_eq!(
+            got, expected,
+            "{}: shard {shard} diverged after recovery",
+            sc.name
+        );
+        surviving_entries += expected.len();
+    }
+    // The torn install must not have resurrected partial entries.
+    if sc.name == "install-torn" {
+        assert!(
+            store
+                .snapshot_shard(ShardId(INSTALL_SHARD))
+                .is_none_or(|s| s.entries.iter().all(|(k, _)| k.0 < 1 << 40)),
+            "install-torn: partial install leaked through recovery"
+        );
+    }
+    // And the recovered store still takes writes + checkpoints.
+    store.put(ShardId(0), Key(0), Bytes::from_static(b"post-recovery"));
+    store.checkpoint().expect("post-recovery checkpoint");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    KillResult {
+        name: sc.name,
+        surviving_entries,
+        recover_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Throughput rows.
+// ---------------------------------------------------------------------------
+
+struct TputResult {
+    mode: &'static str,
+    ops: u64,
+    mib_per_s: f64,
+}
+
+fn throughput_rows(base: &Path) -> Vec<TputResult> {
+    let ops: u64 = if quick_mode() { 10_000 } else { 100_000 };
+    const VALUE: usize = 256;
+    let payload = vec![0xA5u8; VALUE];
+    let total_mib = (ops * VALUE as u64) as f64 / (1 << 20) as f64;
+    let mut rows = Vec::new();
+
+    // WAL append: every put is one framed, checksummed append.
+    let dir = base.join("tput");
+    let store = StateStore::open_durable(KM_SHARDS, DurableOptions::new(dir.clone()).manual())
+        .expect("tput open");
+    let t0 = Instant::now();
+    for i in 0..ops {
+        store.put(
+            km_shard(i % KM_KEYS),
+            Key(i % 4096),
+            Bytes::from(payload.clone()),
+        );
+    }
+    rows.push(TputResult {
+        mode: "wal_append",
+        ops,
+        mib_per_s: total_mib / t0.elapsed().as_secs_f64(),
+    });
+
+    // WAL replay: reopen with everything still in the log.
+    drop(store);
+    let t0 = Instant::now();
+    let store = StateStore::open_durable(KM_SHARDS, DurableOptions::new(dir.clone()).manual())
+        .expect("replay open");
+    rows.push(TputResult {
+        mode: "wal_replay",
+        ops,
+        mib_per_s: total_mib / t0.elapsed().as_secs_f64(),
+    });
+
+    // Checkpoint: spill the dirty shards to a sorted run.
+    let t0 = Instant::now();
+    assert!(store.checkpoint().expect("tput checkpoint"));
+    rows.push(TputResult {
+        mode: "checkpoint",
+        ops,
+        mib_per_s: total_mib / t0.elapsed().as_secs_f64(),
+    });
+
+    // Checkpoint load: reopen with everything in the run, WAL empty.
+    drop(store);
+    let t0 = Instant::now();
+    let store = StateStore::open_durable(KM_SHARDS, DurableOptions::new(dir.clone()).manual())
+        .expect("run-load open");
+    rows.push(TputResult {
+        mode: "run_load",
+        ops,
+        mib_per_s: total_mib / t0.elapsed().as_secs_f64(),
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Durable migration: pause-window bytes vs. the full stream.
+// ---------------------------------------------------------------------------
+
+struct MigResult {
+    state_bytes: u64,
+    wire_bytes: u64,
+    sync_wire_bytes: u64,
+    live_records: u64,
+    drain_ms: f64,
+    elapsed_ms: f64,
+}
+
+fn counting_op(fifo: Arc<FifoChecker>) -> impl Operator {
+    move |r: &Record, s: &StateHandle| {
+        fifo.observe(r.key, r.seq);
+        s.update(r.key, |old| {
+            let n = old.map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+            Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+        });
+        Vec::new()
+    }
+}
+
+fn durable_migration(base: &Path) -> MigResult {
+    const SHARDS: u32 = 16;
+    let shard = ShardId(5);
+    // ≥ 16 MiB of shard state: the acceptance floor, quick mode or not.
+    const ENTRIES: u64 = 128;
+    const VALUE: usize = 128 * 1024;
+
+    let fifo_a = Arc::new(FifoChecker::new());
+    let fifo_b = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(
+        ExecutorConfig {
+            num_shards: SHARDS,
+            initial_tasks: 2,
+            durability: Some(base.join("mig-sender")),
+            ..ExecutorConfig::default()
+        },
+        counting_op(fifo_a.clone()),
+    ));
+    assert!(exec_a.state().is_durable());
+    let exec_b = Arc::new(ElasticExecutor::start(
+        ExecutorConfig {
+            num_shards: SHARDS,
+            initial_tasks: 2,
+            durability: None,
+            ..ExecutorConfig::default()
+        },
+        counting_op(fifo_b.clone()),
+    ));
+    for i in 0..ENTRIES {
+        exec_a.state().put(
+            shard,
+            Key(1 << 32 | i),
+            Bytes::from(vec![(i % 251) as u8; VALUE]),
+        );
+    }
+    let state_bytes = ENTRIES * VALUE as u64;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let connector = {
+        let exec_b = Arc::clone(&exec_b);
+        std::thread::spawn(move || {
+            MigrationEndpoint::connect_with(exec_b, addr.as_str(), MigrationConfig::default())
+                .expect("connect receiver")
+        })
+    };
+    let ep_a =
+        MigrationEndpoint::accept_with(Arc::clone(&exec_a), &listener, MigrationConfig::default())
+            .expect("accept link");
+    let ep_b = connector.join().expect("connector thread");
+
+    // Live writers during the migration: their puts ride the WAL tail
+    // instead of stalling behind a paused full-state stream.
+    let live_keys: Vec<Key> = (0u64..)
+        .filter(|k| elasticutor_core::hash::key_to_shard(*k, SHARDS) == shard.0)
+        .take(4)
+        .map(Key)
+        .collect();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let feeder = {
+        let exec_a = Arc::clone(&exec_a);
+        let keys = live_keys.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                seq += 1;
+                for &k in &keys {
+                    exec_a.ingest(Record::new(k, Bytes::new()).with_seq(seq));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            seq * keys.len() as u64
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20)); // writers in flight
+    let report = ep_a.migrate_out(shard).expect("durable migration");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let sent = feeder.join().expect("feeder thread");
+
+    // The whole point: the pause window shipped the tail + control
+    // frames, not the 16 MiB base — require at least a 10× separation.
+    assert_eq!(report.entries as u64, ENTRIES + live_keys.len() as u64);
+    assert!(
+        report.sync_wire_bytes * 10 < report.wire_bytes,
+        "pause-window bytes {} not a small fraction of the stream {}",
+        report.sync_wire_bytes,
+        report.wire_bytes
+    );
+    // Conservation across the handover: every live record processed
+    // exactly once, on whichever side it landed.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while exec_a.processed_count() + exec_b.processed_count() < sent {
+        assert!(Instant::now() < deadline, "live records lost in handover");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(exec_a.processed_count() + exec_b.processed_count(), sent);
+    assert!(fifo_a.is_clean() && fifo_b.is_clean(), "FIFO violation");
+    assert!(exec_b.state().hosts(shard) && !exec_a.state().hosts(shard));
+
+    ep_a.close();
+    ep_b.close();
+    let _ = std::fs::remove_dir_all(base.join("mig-sender"));
+    MigResult {
+        state_bytes,
+        wire_bytes: report.wire_bytes,
+        sync_wire_bytes: report.sync_wire_bytes,
+        live_records: sent,
+        drain_ms: report.drain_ns as f64 / 1e6,
+        elapsed_ms: report.elapsed_ns as f64 / 1e6,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent main.
+// ---------------------------------------------------------------------------
+
+fn parent_main() {
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_durability.json".to_string());
+    let base = std::env::temp_dir().join(format!("elasticutor-durbench-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("bench dir");
+
+    println!(
+        "durability suite: {} kill scenarios + throughput + durable migration{}",
+        KILL_MATRIX.len(),
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
+
+    let mut kill_results = Vec::new();
+    for sc in &KILL_MATRIX {
+        let res = run_kill_scenario(sc, &base);
+        println!(
+            "kill {:<18} entries={:<4} recover={:.2}ms byte-exact ok",
+            res.name, res.surviving_entries, res.recover_ms
+        );
+        kill_results.push(res);
+    }
+
+    let tput = throughput_rows(&base);
+    let mut table = Table::new(&["mode", "ops", "MiB/s"]);
+    for r in &tput {
+        table.row(vec![
+            r.mode.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.mib_per_s),
+        ]);
+    }
+    println!("\ndurable store throughput");
+    table.print();
+
+    let mig = durable_migration(&base);
+    println!(
+        "\ndurable migration: state={} wire={} pause-window={} ({}x smaller) live={} drain={:.2}ms",
+        fmt_bytes(mig.state_bytes),
+        fmt_bytes(mig.wire_bytes),
+        fmt_bytes(mig.sync_wire_bytes),
+        mig.wire_bytes / mig.sync_wire_bytes.max(1),
+        mig.live_records,
+        mig.drain_ms
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
+    json.push_str("  \"kill_matrix\": [\n");
+    for (i, r) in kill_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"surviving_entries\": {}, \"recover_ms\": {:.3}}}",
+            r.name, r.surviving_entries, r.recover_ms
+        );
+        json.push_str(if i + 1 < kill_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"throughput\": [\n");
+    for (i, r) in tput.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"ops\": {}, \"mib_per_s\": {:.1}}}",
+            r.mode, r.ops, r.mib_per_s
+        );
+        json.push_str(if i + 1 < tput.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"migration\": {{\"state_bytes\": {}, \"wire_bytes\": {}, \"sync_wire_bytes\": {}, \"live_records\": {}, \"drain_ms\": {:.2}, \"elapsed_ms\": {:.2}}}",
+        mig.state_bytes, mig.wire_bytes, mig.sync_wire_bytes, mig.live_records, mig.drain_ms, mig.elapsed_ms
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    match flag("--child") {
+        Some(dir) => child_main(PathBuf::from(dir), flag("--scenario").expect("--scenario")),
+        None => parent_main(),
+    }
+}

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use elasticutor_bench::{fmt_latency_ns, fmt_rate, quick_mode, Table};
+use elasticutor_bench::{fmt_latency_ns, fmt_rate, hardware_threads, quick_mode, Table};
 use elasticutor_ingress::{write_record_frame, IngressConfig, TcpIngress};
 use elasticutor_runtime::{ExecutorConfig, FifoChecker, Ingest, Pipeline, Record, RecordBatch};
 use elasticutor_state::StateHandle;
@@ -308,6 +308,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
     json.push_str("  \"ingest\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use elasticutor_bench::{fmt_bytes, fmt_latency_ns, quick_mode, Table};
+use elasticutor_bench::{fmt_bytes, fmt_latency_ns, hardware_threads, quick_mode, Table};
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum};
 use elasticutor_runtime::Ingest;
@@ -471,6 +471,7 @@ fn parent_main() {
     // --- JSON artifact --------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
     json.push_str("  \"correctness\": {\n");
     let _ = writeln!(json, "    \"records\": {total_records},");
     let _ = writeln!(json, "    \"fifo_violations\": 0,");

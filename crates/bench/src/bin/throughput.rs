@@ -42,7 +42,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use elasticutor_bench::{quick_mode, Table};
+use elasticutor_bench::{hardware_threads, quick_mode, Table};
 use elasticutor_core::ids::Key;
 use elasticutor_runtime::dag::LiveDag;
 use elasticutor_runtime::Ingest;
@@ -712,11 +712,7 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(
-        json,
-        "  \"hardware_threads\": {},",
-        std::thread::available_parallelism().map_or(0, usize::from)
-    );
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
     json.push_str("  \"submit_path\": [\n");
     for (i, r) in submit_runs.iter().enumerate() {
         json_run(&mut json, r, true);

@@ -29,6 +29,13 @@ pub fn csv_mode() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// Hardware threads on this machine, for labelling bench artifacts —
+/// `bench_diff` refuses to compare results that do not carry this so
+/// numbers from different machine classes are never diffed blindly.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// A simple aligned text table.
 pub struct Table {
     headers: Vec<String>,

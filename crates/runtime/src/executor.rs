@@ -68,6 +68,7 @@
 //! shard back pause the word and know every in-flight forward already
 //! reached the link queue (and therefore precedes its `COMMIT_ACK`).
 
+use std::path::PathBuf;
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -81,7 +82,7 @@ use elasticutor_core::ids::{ShardId, TaskId};
 use elasticutor_core::reassign::ReassignmentTracker;
 use elasticutor_core::routing::{AtomicShardTable, FastRoute, RouteDecision, RoutingTable};
 use elasticutor_metrics::{LatencyHistogram, ShardedHistogram};
-use elasticutor_state::{ShardSnapshot, StateStore};
+use elasticutor_state::{DurableOptions, ShardSnapshot, StateStore};
 use parking_lot::{Mutex, RwLock};
 
 use crate::record::{monotonic_ns, Operator, Record, RecordBatch};
@@ -146,6 +147,21 @@ pub struct ExecutorConfig {
     /// which parks them with [`ElasticExecutor::quarantine_shard`].
     /// `None` (the default) disables the per-shard panic counter.
     pub quarantine_after: Option<u32>,
+    /// Root directory of the durable state backend. `Some(dir)` makes
+    /// [`ElasticExecutor::start`] open (or crash-recover) the state
+    /// store via [`StateStore::open_durable`]: every mutation is
+    /// write-ahead logged, checkpoints spill immutable runs, and a
+    /// restart from the same directory replays the WAL over the newest
+    /// checkpoint to rebuild every hosted shard exactly. `None` (the
+    /// default) keeps the pure in-memory store.
+    ///
+    /// The environment variable `ELASTICUTOR_DURABILITY` seeds the
+    /// default: `tmpdir` picks a unique temporary directory per
+    /// executor (the switch CI uses to run the whole workspace suite
+    /// against the durable path), any other non-empty value is used as
+    /// the directory itself. Explicit assignments win over the
+    /// environment.
+    pub durability: Option<PathBuf>,
 }
 
 /// Ring capacity used when [`ExecutorConfig::ring_capacity`] is `None`.
@@ -164,7 +180,23 @@ impl Default for ExecutorConfig {
             single_producer: false,
             ring_capacity: None,
             quarantine_after: None,
+            durability: default_durability(),
         }
+    }
+}
+
+/// Resolves [`ExecutorConfig::durability`]'s default from the
+/// `ELASTICUTOR_DURABILITY` environment variable (see the field docs).
+fn default_durability() -> Option<PathBuf> {
+    static TMPDIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    match std::env::var("ELASTICUTOR_DURABILITY") {
+        Ok(v) if v == "tmpdir" => Some(std::env::temp_dir().join(format!(
+            "elasticutor-dur-{}-{}",
+            std::process::id(),
+            TMPDIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))),
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
     }
 }
 
@@ -549,7 +581,16 @@ impl<O: Operator> ElasticExecutor<O> {
             latency: ShardedHistogram::new(max_slots),
             retired_latency: Mutex::new(LatencyHistogram::new()),
             reassigns: Mutex::new(ReassignmentTracker::new()),
-            state: Arc::new(StateStore::with_shards(config.num_shards)),
+            state: match &config.durability {
+                // Open-or-recover: a fresh directory starts all dense
+                // shards hosted empty (same shape as `with_shards`); a
+                // reused one replays its WAL over the newest checkpoint.
+                Some(dir) => {
+                    StateStore::open_durable(config.num_shards, DurableOptions::new(dir.clone()))
+                        .unwrap_or_else(|e| panic!("open durable state at {}: {e}", dir.display()))
+                }
+                None => Arc::new(StateStore::with_shards(config.num_shards)),
+            },
             operator,
             outputs: out_tx,
             shard_counts: (0..config.num_shards).map(|_| AtomicU64::new(0)).collect(),
@@ -1359,6 +1400,38 @@ impl<O: Operator> ElasticExecutor<O> {
             .state
             .extract_shard(shard)
             .unwrap_or_else(|| ShardSnapshot::empty(shard)))
+    }
+
+    /// [`Self::begin_migration`] with a staging step between the drain
+    /// and the extraction: once the shard is paused and fully drained,
+    /// `stage` runs on a **copy** of its state while the store still
+    /// hosts it. The durable migration path journals the snapshot there,
+    /// so a crash between the journal write and the WAL's `Drop` record
+    /// (which `extract_shard` logs) can never leave both sides empty —
+    /// whichever write survived carries the same bytes. If `stage`
+    /// errors, the pause unwinds and the shard resumes locally.
+    pub fn begin_migration_staged<F>(&self, shard: ShardId, stage: F) -> Result<ShardSnapshot>
+    where
+        F: FnOnce(&ShardSnapshot) -> Result<()>,
+    {
+        elasticutor_core::fault::fail_point("executor.pause")
+            .map_err(|e| Error::Infeasible(e.to_string()))?;
+        let (flushed, from) = self.pause_and_flush(shard)?;
+        if flushed.recv().is_err() {
+            self.unwind_pause(shard);
+            return Err(Error::UnknownTask(from));
+        }
+        let snapshot = self
+            .inner
+            .state
+            .snapshot_shard(shard)
+            .unwrap_or_else(|| ShardSnapshot::empty(shard));
+        if let Err(e) = stage(&snapshot) {
+            self.unwind_pause(shard);
+            return Err(e);
+        }
+        self.inner.state.extract_shard(shard);
+        Ok(snapshot)
     }
 
     /// Pauses both routing tiers of `shard` and enqueues a flush marker

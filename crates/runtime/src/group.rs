@@ -158,9 +158,18 @@ impl ExecutorGroup {
             .map(|s| AtomicU32::new(map.instance_of(s)))
             .collect();
         let instances = (0..parallelism)
-            .map(|_| InstanceSlot {
+            .map(|i| InstanceSlot {
                 exec: Arc::new(ElasticExecutor::start_with_output(
-                    config.clone(),
+                    // Each instance needs its own durable directory: a
+                    // WAL is single-writer, and instance i's shards are
+                    // disjoint from instance j's.
+                    ExecutorConfig {
+                        durability: config
+                            .durability
+                            .as_ref()
+                            .map(|p| p.join(format!("instance-{i}"))),
+                        ..config.clone()
+                    },
                     Box::new(Arc::clone(&operator)) as BoxedOperator,
                     out_tx.clone(),
                     out_rx.clone(),
@@ -431,6 +440,11 @@ impl ExecutorGroup {
         let new_exec = Arc::new(ElasticExecutor::start_with_output(
             ExecutorConfig {
                 output_capacity: None,
+                durability: self
+                    .template
+                    .durability
+                    .as_ref()
+                    .map(|p| p.join(format!("instance-{new_id}"))),
                 ..self.template.clone()
             },
             Box::new(Arc::clone(&self.operator)) as BoxedOperator,

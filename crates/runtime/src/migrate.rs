@@ -42,6 +42,23 @@
 //! A buffered locally during adoption, and reopens its fast path only
 //! after both.
 //!
+//! # Durable stores
+//!
+//! When the executor's [`elasticutor_state::StateStore`] is durable
+//! (opened with [`crate::ExecutorConfig`]`::durability`), the sender
+//! reorders the stream so the pause window no longer scales with state
+//! size: the base snapshot streams as `STATE` chunks **while the shard
+//! keeps serving records**, with the store's WAL tail capture recording
+//! every concurrent put/delete. Only then does the shard pause — the
+//! captured tail ships as `TAIL` frames (batches of WAL ops) and
+//! `COMMIT` carries the *final* totals and a whole-snapshot digest. The
+//! receiver replays the tail over the streamed base (absolute ops, last
+//! writer wins) and verifies the rebuilt state against the commit. The
+//! journal's `OFFER_SENT` entry moves under the pause, written while
+//! the shard is still installed — atomically before the extraction logs
+//! the WAL `Drop` — so a crash between the two leaves either the WAL or
+//! the journal (or both, identically) holding the state, never neither.
+//!
 //! # Failure semantics
 //!
 //! Every failure before `COMMIT` left the sender (peer rejection,
@@ -92,7 +109,7 @@ use elasticutor_core::fault;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire::{self, ByteReader, Checksum, WireError};
 use elasticutor_core::Error;
-use elasticutor_state::ShardSnapshot;
+use elasticutor_state::{decode_tail, encode_tail, ShardSnapshot, WalOp};
 use parking_lot::Mutex;
 
 use crate::executor::{ElasticExecutor, RemoteForwarder};
@@ -123,6 +140,10 @@ pub const MSG_APP: u8 = 10;
 pub const MSG_RESOLVE: u8 = 11;
 /// `RESOLVE_ACK`: the peer's ownership answer (shard, owned flag).
 pub const MSG_RESOLVE_ACK: u8 = 12;
+/// `TAIL`: durable-migration pause-window delta — a batch of WAL ops
+/// (puts/deletes) the sender logged while the base snapshot streamed
+/// live. Sent between the last `STATE` chunk and `COMMIT`.
+pub const MSG_TAIL: u8 = 13;
 
 /// Internal writer-thread shutdown sentinel — never put on the wire.
 /// (`LinkShared` itself holds an `out_tx` clone, so the writer cannot
@@ -363,6 +384,13 @@ pub struct MigrationReport {
     /// Bytes put on the wire for the migration itself (control frames +
     /// encoded state, headers included; replayed live records excluded).
     pub wire_bytes: u64,
+    /// Bytes put on the wire **while the shard was paused** — the part
+    /// of `wire_bytes` that contributes to the submit-visible stall.
+    /// With a durable store the base snapshot streams live and only the
+    /// WAL tail + control frames ship under the pause, so this is far
+    /// below `wire_bytes` for large shards; on the legacy path the
+    /// whole stream is paused and the two are equal.
+    pub sync_wire_bytes: u64,
     /// Nanoseconds from initiating the pause until the shard's pending
     /// records were drained and its state extracted.
     pub drain_ns: u64,
@@ -479,6 +507,11 @@ struct Incoming {
     entries: Vec<(Key, Bytes)>,
     value_bytes: u64,
     checksum: Checksum,
+    /// Pause-window WAL ops from `TAIL` frames (durable sender only);
+    /// applied over the streamed base entries at `COMMIT`.
+    tail: Vec<WalOp>,
+    /// Encoded bytes of `tail` received so far (runaway guard).
+    tail_bytes: u64,
     /// Set once `COMMIT` installed the state; between install and
     /// `DONE`, replayed `DATA` records bypass the adoption buffer.
     installed: bool,
@@ -742,17 +775,29 @@ impl<O: Operator> MigrationEndpoint<O> {
                 events: ev_tx,
             });
         }
-        let started = monotonic_ns();
-        let snapshot = match self.executor.begin_migration(shard) {
-            Ok(s) => s,
-            Err(e) => {
-                *self.shared.pending.lock() = None;
-                return Err(MigrateError::Local(e));
-            }
+        let result = if self.executor.state().is_durable() {
+            self.migrate_out_durable(shard, &ev_rx)
+        } else {
+            self.migrate_out_full(shard, &ev_rx)
         };
-        let drain_ns = monotonic_ns().saturating_sub(started);
-        let result = self.stream_and_commit(shard, &snapshot, &ev_rx, started, drain_ns);
         *self.shared.pending.lock() = None;
+        result
+    }
+
+    /// Legacy (non-durable) outbound path: pause first, then stream the
+    /// whole extracted snapshot under the pause.
+    fn migrate_out_full(
+        &self,
+        shard: ShardId,
+        ev_rx: &Receiver<PeerEvent>,
+    ) -> Result<MigrationReport, MigrateError> {
+        let started = monotonic_ns();
+        let snapshot = self
+            .executor
+            .begin_migration(shard)
+            .map_err(MigrateError::Local)?;
+        let drain_ns = monotonic_ns().saturating_sub(started);
+        let result = self.stream_and_commit(shard, &snapshot, ev_rx, started, drain_ns);
         match &result {
             Err(MigrateError::InDoubt(_)) => {
                 // Ownership is undecided: the shard stays parked
@@ -765,10 +810,7 @@ impl<O: Operator> MigrationEndpoint<O> {
                 // release the pause buffer to the original owner,
                 // resume routing. Tell the peer too (best effort) so
                 // it can drop a half-assembled copy.
-                let mut reason = Vec::new();
-                wire::put_u32(&mut reason, shard.0);
-                wire::put_bytes(&mut reason, e.to_string().as_bytes());
-                let _ = self.send(MSG_ABORT, reason);
+                self.send_abort(shard, e);
                 self.executor
                     .abort_migration(snapshot)
                     .expect("paused shard restores");
@@ -779,6 +821,200 @@ impl<O: Operator> MigrationEndpoint<O> {
             Ok(_) => {}
         }
         result
+    }
+
+    /// Durable outbound path: the base snapshot streams **live** (the
+    /// shard keeps serving records) while the store's WAL tail capture
+    /// records every concurrent put/delete. Only then does the shard
+    /// pause — the pause window ships just the captured tail plus the
+    /// control frames, so the submit-visible stall is proportional to
+    /// the write rate during the stream, not to the shard's state size.
+    ///
+    /// Journal points shift accordingly: `OFFER_SENT` is logged under
+    /// the pause (with the *final* snapshot), atomically before the
+    /// extraction logs the WAL `Drop` — so a crash between the two
+    /// leaves either the WAL hosting the shard (journal entry is then
+    /// redundant) or the journal holding the authoritative copy.
+    fn migrate_out_durable(
+        &self,
+        shard: ShardId,
+        ev_rx: &Receiver<PeerEvent>,
+    ) -> Result<MigrationReport, MigrateError> {
+        let state = Arc::clone(self.executor.state());
+        let journal = self.shared.journal.clone();
+        let started = monotonic_ns();
+        state.start_tail(shard);
+        // Phase 1: live base stream. Any failure here leaves the shard
+        // untouched and running — no restore needed, just drop the tail
+        // capture and tell the peer to discard its half assembly.
+        let phase1 = (|| -> Result<(ShardSnapshot, u64), MigrateError> {
+            fault::fail_point("migrate.snd.offer")
+                .map_err(|e| MigrateError::Injected(e.to_string()))?;
+            let base = state
+                .snapshot_shard(shard)
+                .unwrap_or_else(|| ShardSnapshot {
+                    shard,
+                    entries: Vec::new(),
+                });
+            let mut wire_bytes = 0u64;
+            let mut offer = Vec::new();
+            wire::put_u32(&mut offer, shard.0);
+            wire::put_u64(&mut offer, base.len() as u64);
+            wire::put_u64(&mut offer, base.value_bytes());
+            wire_bytes += self.send(MSG_OFFER, offer)?;
+            match recv_event(ev_rx, self.config.offer_deadline)? {
+                PeerEvent::Accepted => {}
+                PeerEvent::Rejected { reason, transient } => {
+                    return Err(MigrateError::Rejected { reason, transient })
+                }
+                PeerEvent::Aborted(r) => return Err(MigrateError::Aborted(r)),
+                PeerEvent::Disconnected => return Err(MigrateError::PeerDisconnected),
+                PeerEvent::Committed => {
+                    return Err(MigrateError::Wire(WireError::Corrupt(
+                        "peer acknowledged a commit before one was sent",
+                    )))
+                }
+            }
+            for chunk in base.chunks(STATE_CHUNK_BYTES) {
+                let encoded = chunk.encode();
+                if encoded.len() as u64 > u64::from(wire::MAX_FRAME_LEN) {
+                    return Err(MigrateError::Wire(WireError::Oversized(
+                        encoded.len() as u64
+                    )));
+                }
+                wire_bytes += self.send(MSG_STATE, encoded)?;
+            }
+            fault::fail_point("migrate.snd.state")
+                .map_err(|e| MigrateError::Injected(e.to_string()))?;
+            Ok((base, wire_bytes))
+        })();
+        let (_base, mut wire_bytes) = match phase1 {
+            Ok(v) => v,
+            Err(e) => {
+                state.cancel_tail(shard);
+                self.send_abort(shard, &e);
+                return Err(e);
+            }
+        };
+        // Phase 2: pause + extract. The stage closure journals the
+        // final snapshot while the shard is paused but still installed,
+        // closing the crash race between the journal append and the
+        // WAL `Drop` the extraction logs.
+        let drain_started = monotonic_ns();
+        let journal_for_stage = journal.clone();
+        let staged = self.executor.begin_migration_staged(shard, move |snap| {
+            if let Some(j) = &journal_for_stage {
+                j.log_offer_sent(snap)
+                    .map_err(|e| Error::Infeasible(format!("journal append failed: {e}")))?;
+            }
+            Ok(())
+        });
+        let snapshot = match staged {
+            Ok(s) => s,
+            Err(e) => {
+                state.cancel_tail(shard);
+                let e = MigrateError::Local(e);
+                self.send_abort(shard, &e);
+                return Err(e);
+            }
+        };
+        let drain_ns = monotonic_ns().saturating_sub(drain_started);
+        let tail = state.take_tail(shard);
+        // Phase 3: ship the tail, commit, ack, hand over. From here the
+        // shard is extracted: errors must restore it (or park it in
+        // doubt inside the 2PC window).
+        let result = (|| -> Result<u64, MigrateError> {
+            let mut sync_bytes = 0u64;
+            for payload in encode_tail(&tail) {
+                sync_bytes += self.send(MSG_TAIL, payload)?;
+            }
+            if let Some(j) = &journal {
+                j.log_commit_sent(shard)?;
+            }
+            let mut digest = Checksum::new();
+            snapshot.fold_checksum(&mut digest);
+            let mut commit = Vec::new();
+            wire::put_u32(&mut commit, shard.0);
+            wire::put_u64(&mut commit, snapshot.len() as u64);
+            wire::put_u64(&mut commit, snapshot.value_bytes());
+            wire::put_u64(&mut commit, digest.finish());
+            sync_bytes += self.send(MSG_COMMIT, commit)?;
+            let _ = fault::fail_point("migrate.snd.commit");
+            match recv_event(ev_rx, self.config.state_deadline) {
+                Ok(PeerEvent::Committed) => {}
+                Ok(PeerEvent::Aborted(r)) => return Err(MigrateError::Aborted(r)),
+                Ok(PeerEvent::Rejected { reason, transient }) => {
+                    return Err(MigrateError::Rejected { reason, transient })
+                }
+                Ok(PeerEvent::Disconnected) | Err(MigrateError::PeerDisconnected) => {
+                    return Err(self.post_commit_failure(shard, MigrateError::PeerDisconnected));
+                }
+                Ok(PeerEvent::Accepted) => {
+                    return Err(MigrateError::Wire(WireError::Corrupt(
+                        "duplicate accept from peer",
+                    )))
+                }
+                Err(MigrateError::Timeout) => {
+                    return Err(self.post_commit_failure(shard, MigrateError::Timeout));
+                }
+                Err(e) => return Err(e),
+            }
+            if let Some(j) = &journal {
+                let _ = j.log_ack_received(shard);
+            }
+            let _ = fault::fail_point("migrate.snd.ack");
+            let forward = self.forwarder();
+            let out_tx = self.shared.out_tx.clone();
+            let mut done = Vec::new();
+            wire::put_u32(&mut done, shard.0);
+            sync_bytes += wire::frame_wire_bytes(done.len());
+            self.executor.complete_migration(shard, forward, move || {
+                out_tx.push((MSG_DONE, done));
+            })?;
+            if let Some(j) = &journal {
+                let _ = j.log_resolved_remote(shard);
+            }
+            Ok(sync_bytes)
+        })();
+        match result {
+            Ok(sync_bytes) => {
+                wire_bytes += sync_bytes;
+                Ok(MigrationReport {
+                    shard,
+                    entries: snapshot.len(),
+                    value_bytes: snapshot.value_bytes(),
+                    wire_bytes,
+                    sync_wire_bytes: sync_bytes,
+                    drain_ns,
+                    elapsed_ns: monotonic_ns().saturating_sub(started),
+                    attempts: 1,
+                })
+            }
+            Err(e @ MigrateError::InDoubt(_)) => {
+                // Parked: snapshot durable in the journal, only
+                // recover() settles it. (Same contract as the legacy
+                // path.)
+                Err(e)
+            }
+            Err(e) => {
+                self.send_abort(shard, &e);
+                self.executor
+                    .abort_migration(snapshot)
+                    .expect("paused shard restores");
+                if let Some(j) = &journal {
+                    let _ = j.log_resolved_local(shard);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort `ABORT` so the peer drops a half-assembled copy.
+    fn send_abort(&self, shard: ShardId, cause: &MigrateError) {
+        let mut reason = Vec::new();
+        wire::put_u32(&mut reason, shard.0);
+        wire::put_bytes(&mut reason, cause.to_string().as_bytes());
+        let _ = self.send(MSG_ABORT, reason);
     }
 
     fn stream_and_commit(
@@ -891,6 +1127,8 @@ impl<O: Operator> MigrationEndpoint<O> {
             entries: snapshot.len(),
             value_bytes: snapshot.value_bytes(),
             wire_bytes,
+            // The whole stream happened under the pause.
+            sync_wire_bytes: wire_bytes,
             drain_ns,
             elapsed_ns: monotonic_ns().saturating_sub(started),
             attempts: 1,
@@ -965,15 +1203,24 @@ impl<O: Operator> MigrationEndpoint<O> {
     /// Settles an in-doubt shard as locally owned: a surviving sender
     /// has it parked paused (abort restores snapshot + buffered
     /// records); a restarted process has it plain local and empty
-    /// (adopt installs the journaled snapshot).
+    /// (adopt installs the journaled snapshot). A restarted **durable**
+    /// process may already host the shard's state — the WAL replayed it
+    /// (the crash hit between the journal append and the WAL `Drop`, or
+    /// after a receiver's install was logged); the journal entry is
+    /// then redundant and only needs closing.
     fn restore_local(
         &self,
         journal: &Arc<RecoveryJournal>,
         snapshot: ShardSnapshot,
     ) -> Result<(), MigrateError> {
         let shard = snapshot.shard;
+        let st = self.executor.state();
         if self.executor.is_shard_paused(shard) {
             self.executor.abort_migration(snapshot)?;
+        } else if st.is_durable() && st.shard_keys(shard) > 0 {
+            // WAL-recovered state is authoritative and identical to (or
+            // newer than) the journaled snapshot: installing over it
+            // would be a double-install.
         } else {
             self.executor.adopt_install(snapshot)?;
             self.executor.adopt_finish(shard)?;
@@ -992,7 +1239,18 @@ impl<O: Operator> MigrationEndpoint<O> {
         journal: &Arc<RecoveryJournal>,
         shard: ShardId,
     ) -> Result<(), MigrateError> {
+        let st = self.executor.state();
         if self.executor.is_shard_paused(shard) {
+            self.executor
+                .complete_migration(shard, self.forwarder(), || {})?;
+        } else if st.is_durable() && st.shard_keys(shard) > 0 {
+            // A durable restart can re-host state the peer now owns
+            // (the crash predated the WAL `Drop`). The peer's copy is
+            // authoritative: extract the stale local one — logging the
+            // `Drop` this time — and flip to remote routing.
+            self.executor
+                .begin_migration(shard)
+                .map_err(MigrateError::Local)?;
             self.executor
                 .complete_migration(shard, self.forwarder(), || {})?;
         } else {
@@ -1185,6 +1443,28 @@ fn refusal_is_transient(e: &Error) -> bool {
     matches!(e, Error::ReassignmentInProgress(_))
 }
 
+/// Applies a received WAL tail over the streamed base entries. Tail
+/// ops are absolute (full values, not diffs) and idempotent: last
+/// writer wins, deletes remove — the same replay rule the durable
+/// store itself uses, so base + tail equals the sender's final state.
+fn apply_tail(inc: &mut Incoming) {
+    let mut map: std::collections::BTreeMap<Key, Bytes> =
+        std::mem::take(&mut inc.entries).into_iter().collect();
+    for op in inc.tail.drain(..) {
+        match op {
+            WalOp::Put { key, value, .. } => {
+                map.insert(key, value);
+            }
+            WalOp::Del { key, .. } => {
+                map.remove(&key);
+            }
+            // encode_tail never emits whole-shard ops.
+            WalOp::Install(_) | WalOp::Drop { .. } => {}
+        }
+    }
+    inc.entries = map.into_iter().collect();
+}
+
 /// The receiver's verified-commit path: fail points, the STATE_DURABLE
 /// journal entry, and the install. `Err(reason)` answers the sender
 /// with an `ABORT` (and, if the state already went durable, closes the
@@ -1286,6 +1566,8 @@ fn handle_frame<O: Operator>(
                         entries: Vec::new(),
                         value_bytes: 0,
                         checksum: Checksum::new(),
+                        tail: Vec::new(),
+                        tail_bytes: 0,
                         installed: false,
                     });
                     shared.out_tx.push((MSG_ACCEPT, reply));
@@ -1321,6 +1603,44 @@ fn handle_frame<O: Operator>(
                 shared.out_tx.push((MSG_ABORT, reply));
             }
         }
+        MSG_TAIL => {
+            // Tail frames of a stream this side already aborted drain
+            // harmlessly, like their STATE siblings.
+            if inbound.discarding.is_some() {
+                return Ok(());
+            }
+            let inc = inbound
+                .current
+                .as_mut()
+                .ok_or(WireError::Corrupt("tail without an offer"))?;
+            if inc.installed {
+                return Err(WireError::Corrupt("tail out of sequence"));
+            }
+            inc.tail_bytes += payload.len() as u64;
+            let decoded = if inc.tail_bytes > u64::from(wire::MAX_FRAME_LEN) {
+                Err("migration tail exceeds the frame cap")
+            } else {
+                match decode_tail(payload) {
+                    Ok(ops) if ops.iter().all(|op| op.shard() == inc.shard) => Ok(ops),
+                    Ok(_) => Err("migration tail op for the wrong shard"),
+                    Err(_) => Err("corrupt migration tail"),
+                }
+            };
+            match decoded {
+                Ok(ops) => inc.tail.extend(ops),
+                Err(reason) => {
+                    // Same shape as the runaway-STATE guard: drop the
+                    // assembly, answer ABORT, drain the rest.
+                    let shard = inc.shard;
+                    inbound.current = None;
+                    inbound.discarding = Some(shard);
+                    let mut reply = Vec::new();
+                    wire::put_u32(&mut reply, shard.0);
+                    wire::put_bytes(&mut reply, reason.as_bytes());
+                    shared.out_tx.push((MSG_ABORT, reply));
+                }
+            }
+        }
         MSG_COMMIT => {
             let mut p = ByteReader::new(payload);
             let shard = ShardId(p.u32()?);
@@ -1340,12 +1660,35 @@ fn handle_frame<O: Operator>(
             if shard != inc.shard || inc.installed {
                 return Err(WireError::Corrupt("commit out of sequence"));
             }
-            let verify = if entries != inc.entries.len() as u64
-                || entries != inc.expect_entries
-                || value_bytes != inc.value_bytes
-                || value_bytes != inc.expect_bytes
-                || checksum != inc.checksum.finish()
-            {
+            let base_ok = if inc.tail.is_empty() {
+                // Legacy verify: the stream is the final state and must
+                // match both the OFFER and the COMMIT exactly.
+                entries == inc.entries.len() as u64
+                    && entries == inc.expect_entries
+                    && value_bytes == inc.value_bytes
+                    && value_bytes == inc.expect_bytes
+                    && checksum == inc.checksum.finish()
+            } else {
+                // Durable sender: the base streamed live, then a WAL
+                // tail shipped the pause-window delta. Apply the tail
+                // over the base (absolute ops, last writer wins) and
+                // verify the COMMIT's *final* totals and digest against
+                // the rebuilt state.
+                apply_tail(inc);
+                let rebuilt = ShardSnapshot {
+                    shard: inc.shard,
+                    entries: std::mem::take(&mut inc.entries),
+                };
+                let mut digest = Checksum::new();
+                rebuilt.fold_checksum(&mut digest);
+                let ok = entries == rebuilt.len() as u64
+                    && value_bytes == rebuilt.value_bytes()
+                    && checksum == digest.finish();
+                inc.entries = rebuilt.entries;
+                inc.value_bytes = value_bytes;
+                ok
+            };
+            let verify = if !base_ok {
                 Err("state totals or checksum mismatch".to_string())
             } else {
                 install_commit(executor, shared, inc)

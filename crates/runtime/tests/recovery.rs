@@ -19,7 +19,7 @@ use elasticutor_core::hash::key_to_shard;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_core::wire;
 use elasticutor_runtime::journal::replay_path;
-use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER};
+use elasticutor_runtime::migrate::{MSG_ACCEPT, MSG_COMMIT, MSG_OFFER, MSG_STATE};
 use elasticutor_runtime::Ingest;
 use elasticutor_runtime::{
     ElasticExecutor, ExecutorConfig, FifoChecker, MigrateError, MigrationConfig, MigrationEndpoint,
@@ -374,4 +374,119 @@ fn in_doubt_shard_parks_then_recovers_local() {
     ep_a2.close();
     ep_b.close();
     let _ = std::fs::remove_file(&path);
+}
+
+/// Durable store + journal, peer death **mid-STATE**: the sender is
+/// streaming the live base snapshot when the scripted peer vanishes.
+/// Depending on when the link death is observed, the attempt either
+/// restores the shard immediately (pre-commit failure) or parks it in
+/// doubt — both must converge after a full simulated process restart
+/// (same durability dir, same journal): `recover()` leaves the WAL and
+/// the journal agreeing on exactly one owner, with the shard's bytes
+/// intact.
+#[test]
+fn durable_sender_mid_state_crash_recovers_one_owner() {
+    let shard = ShardId(4);
+    let path = tmp_journal("durable-mid-state");
+    let dur_dir =
+        std::env::temp_dir().join(format!("elasticutor-recovery-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dur_dir);
+
+    let mut cfg = config();
+    cfg.durability = Some(dur_dir.clone());
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(cfg, counting_op(fifo.clone())));
+    assert!(exec_a.state().is_durable());
+    // Several STATE chunks' worth of state, so the peer's death really
+    // lands inside the stream.
+    let keys: Vec<u64> = (0u64..)
+        .filter(|k| key_to_shard(*k, NUM_SHARDS) == 4)
+        .take(10)
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        exec_a
+            .state()
+            .put(shard, Key(*k), Bytes::from(vec![i as u8; 64 * 1024]));
+    }
+    let before = exec_a
+        .state()
+        .snapshot_shard(shard)
+        .expect("hosted")
+        .entries;
+
+    // Scripted peer: ACCEPT the offer, read one STATE chunk, vanish.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let script = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept");
+        loop {
+            let (msg, payload) = wire::read_frame(&mut s).expect("peer frame");
+            if msg == MSG_OFFER {
+                let mut reply = Vec::new();
+                reply.extend_from_slice(&payload[..4]);
+                wire::write_frame(&mut s, MSG_ACCEPT, &reply).expect("accept reply");
+            } else if msg == MSG_STATE {
+                return; // drop the socket mid-stream
+            }
+        }
+    });
+    let ep_a1 = MigrationEndpoint::connect_with(
+        Arc::clone(&exec_a),
+        addr,
+        MigrationConfig::default()
+            .with_offer_deadline(Duration::from_secs(5))
+            .with_state_deadline(Duration::from_secs(5))
+            .with_journal(&path),
+    )
+    .expect("connect");
+    let err = ep_a1.migrate_out(shard).expect_err("peer died mid-stream");
+    let parked = matches!(&err, MigrateError::InDoubt(s) if *s == shard);
+    script.join().expect("script thread");
+    if !parked {
+        // Pre-commit failure: the shard must already be fully restored.
+        assert!(exec_a.owns_shard(shard), "restore failed after {err}");
+        assert_eq!(
+            exec_a
+                .state()
+                .snapshot_shard(shard)
+                .expect("hosted")
+                .entries,
+            before
+        );
+    }
+    ep_a1.close();
+
+    // Simulated `kill -9` + restart: tear the process-local half down
+    // and reopen the same durability dir and journal from scratch.
+    Arc::try_unwrap(exec_a)
+        .unwrap_or_else(|_| panic!("sole executor owner"))
+        .shutdown();
+    let mut cfg2 = config();
+    cfg2.durability = Some(dur_dir.clone());
+    let exec_a2 = Arc::new(ElasticExecutor::start(cfg2, counting_op(fifo.clone())));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo)));
+    let (ep_a2, ep_b) = link_with_journal(&exec_a2, &exec_b, &path);
+    // B never installed anything; it treats the shard as A's.
+    ep_b.delegate_shards(&[shard]).expect("delegate at B");
+    ep_a2.recover().expect("recover");
+
+    // Exactly one owner — A — with byte-exact state, however the crash
+    // interleaved with the WAL `Drop`/journal appends.
+    assert!(exec_a2.owns_shard(shard));
+    assert_eq!(exec_b.state().shard_keys(shard), 0);
+    let after = exec_a2
+        .state()
+        .snapshot_shard(shard)
+        .expect("hosted")
+        .entries;
+    assert_eq!(after, before, "recovered shard diverged");
+    // The journal closed every fate; a second recovery is a no-op.
+    assert!(replay_path(&path).expect("replay").open.is_empty());
+    let again = ep_a2.recover().expect("recover twice");
+    assert!(again.restored.is_empty() && again.remote.is_empty() && again.adopted.is_empty());
+
+    ep_a2.close();
+    ep_b.close();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dur_dir);
 }

@@ -19,11 +19,27 @@
 //! * Byte accounting is maintained per shard so engines can (a) model
 //!   migration cost `s_j` and (b) report the paper's state-migration-rate
 //!   metric without walking the data.
+//!
+//! ## Durability
+//!
+//! [`StateStore::open_durable`] puts a per-group write-ahead log plus
+//! checkpoint/restore machinery behind the same API: every mutation is
+//! logged as a checksummed [`WalOp`] frame (`wal`), checkpoints spill
+//! immutable sorted runs reusing the snapshot wire format (`runs`) and
+//! truncate the WAL, and crash recovery replays the WAL over the newest
+//! checkpoint (`recover`) to rebuild every hosted shard exactly. A
+//! non-durable store pays one `Option` branch per mutation and nothing
+//! else.
 
 #![warn(missing_docs)]
 
+pub mod recover;
+pub mod runs;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
+pub use recover::{DurableOptions, DurableStats};
 pub use snapshot::{ShardSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use store::{StateHandle, StateStore};
+pub use wal::{decode_tail, encode_tail, read_wal, WalError, WalOp, WalReplay, WalWriter};

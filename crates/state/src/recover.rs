@@ -1,0 +1,646 @@
+//! Durable-store orchestration: the manifest, checkpoint/truncate,
+//! background compaction, and crash recovery.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/MANIFEST            one checksummed frame: seq, wal epoch, run list, live set
+//! <dir>/wal-XXXXXXXX.wal    WAL epoch files (current epoch = highest)
+//! <dir>/run-XXXXXXXX.run    immutable sorted checkpoint runs
+//! ```
+//!
+//! The manifest is the **commit point** of every checkpoint and
+//! compaction: it is rewritten via temp + `fsync` + `rename`, so readers
+//! see either the old or the new manifest, never a mix. Everything else
+//! follows from which manifest won:
+//!
+//! * **Checkpoint**: rotate the WAL to a fresh epoch, snapshot the dirty
+//!   shards (no locks held), spill them as a run, then commit a manifest
+//!   naming the new run and the new epoch. Only after the commit are the
+//!   old epochs deleted. A crash anywhere leaves either the old manifest
+//!   (old epochs intact, replay reproduces everything; the orphan run is
+//!   swept) or the new one (old epochs ignored).
+//! * **Compaction** rewrites all runs into one (newest shard copy wins,
+//!   dropped shards filtered out) and commits it the same way.
+//! * **Recovery** loads runs in manifest order (later overrides earlier,
+//!   whole-shard), filtered to the manifest's live set, then replays WAL
+//!   epochs `>= manifest.wal_epoch` in ascending order. Epochs present
+//!   on disk must be contiguous among themselves — a gap means a
+//!   committed epoch vanished, which recovery refuses to paper over.
+//!   Replayed shards seed the dirty set, so the next checkpoint persists
+//!   them before truncating the epochs that carried them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use elasticutor_core::fault;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, ByteReader, Checksum};
+use parking_lot::Mutex;
+
+use crate::runs::{read_run, sync_dir, write_run};
+use crate::wal::{checked_body, read_wal, WalError, WalOp, WalWriter};
+use crate::ShardSnapshot;
+
+/// The manifest's single frame kind.
+const M_MANIFEST: u8 = 64;
+
+/// Default WAL-bytes threshold at which maintenance checkpoints.
+const DEFAULT_CHECKPOINT_WAL_BYTES: u64 = 8 * 1024 * 1024;
+/// Default run count at which maintenance compacts.
+const DEFAULT_COMPACT_MIN_RUNS: usize = 4;
+
+/// Configuration for [`StateStore::open_durable`](crate::StateStore::open_durable).
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// Directory holding the WAL, runs, and manifest (created if absent).
+    pub dir: PathBuf,
+    /// WAL bytes in the current epoch that trigger an automatic
+    /// checkpoint (when maintenance is on).
+    pub checkpoint_wal_bytes: u64,
+    /// Run count that triggers automatic compaction (when maintenance
+    /// is on).
+    pub compact_min_runs: usize,
+    /// Whether to run the background maintenance thread (auto
+    /// checkpoint + compaction). Tests that want deterministic disk
+    /// layouts turn this off and call the operations directly.
+    pub maintenance: bool,
+}
+
+impl DurableOptions {
+    /// Options rooted at `dir` with default thresholds and maintenance
+    /// enabled.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            checkpoint_wal_bytes: DEFAULT_CHECKPOINT_WAL_BYTES,
+            compact_min_runs: DEFAULT_COMPACT_MIN_RUNS,
+            maintenance: true,
+        }
+    }
+
+    /// Disables the background maintenance thread.
+    pub fn manual(mut self) -> Self {
+        self.maintenance = false;
+        self
+    }
+
+    /// Overrides the auto-checkpoint WAL-bytes threshold.
+    pub fn checkpoint_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_wal_bytes = bytes;
+        self
+    }
+
+    /// Overrides the auto-compaction run-count threshold.
+    pub fn compact_min_runs(mut self, runs: usize) -> Self {
+        self.compact_min_runs = runs;
+        self
+    }
+}
+
+/// A snapshot of the durable backend's disk accounting, for benches and
+/// tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Bytes appended to the current WAL epoch.
+    pub wal_bytes: u64,
+    /// The current WAL epoch number.
+    pub wal_epoch: u64,
+    /// Number of live checkpoint runs.
+    pub runs: usize,
+    /// The manifest sequence number (bumps at each checkpoint/compaction).
+    pub manifest_seq: u64,
+    /// Shards currently dirty (mutated since the last checkpoint).
+    pub dirty_shards: usize,
+}
+
+/// The durable-state manifest: which runs and which WAL epoch
+/// reconstruct the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Manifest {
+    pub seq: u64,
+    pub wal_epoch: u64,
+    /// Run sequence numbers, oldest first — later runs override earlier
+    /// ones shard-by-shard at recovery.
+    pub runs: Vec<u64>,
+    /// Shards the store hosted at manifest time. Runs may still carry
+    /// shards that later migrated away; this set filters them out.
+    pub live: BTreeSet<ShardId>,
+}
+
+impl Manifest {
+    fn initial(num_shards: u32) -> Self {
+        Self {
+            seq: 0,
+            wal_epoch: 0,
+            runs: Vec::new(),
+            live: (0..num_shards).map(ShardId).collect(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        wire::put_u64(&mut body, self.seq);
+        wire::put_u64(&mut body, self.wal_epoch);
+        wire::put_u32(&mut body, self.runs.len() as u32);
+        for r in &self.runs {
+            wire::put_u64(&mut body, *r);
+        }
+        wire::put_u32(&mut body, self.live.len() as u32);
+        for s in &self.live {
+            wire::put_u32(&mut body, s.0);
+        }
+        let mut c = Checksum::new();
+        c.write(&[M_MANIFEST]);
+        c.write(&body);
+        wire::put_u64(&mut body, c.finish());
+        let mut out = Vec::new();
+        wire::write_frame(&mut out, M_MANIFEST, &body).expect("manifest frame within cap");
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, WalError> {
+        let mut cursor = data;
+        let (kind, payload) = wire::read_frame(&mut cursor)?;
+        if kind != M_MANIFEST {
+            return Err(WalError::Corrupt("manifest frame kind"));
+        }
+        if !cursor.is_empty() {
+            return Err(WalError::Corrupt("trailing bytes after manifest frame"));
+        }
+        let body =
+            checked_body(kind, &payload).map_err(|_| WalError::Corrupt("manifest checksum"))?;
+        let mut r = ByteReader::new(body);
+        let seq = r.u64()?;
+        let wal_epoch = r.u64()?;
+        let run_count = r.u32()?;
+        let mut runs = Vec::with_capacity((run_count as usize).min(4096));
+        for _ in 0..run_count {
+            runs.push(r.u64()?);
+        }
+        let live_count = r.u32()?;
+        let mut live = BTreeSet::new();
+        for _ in 0..live_count {
+            live.insert(ShardId(r.u32()?));
+        }
+        if !r.is_empty() {
+            return Err(WalError::Corrupt("trailing bytes in manifest body"));
+        }
+        Ok(Self {
+            seq,
+            wal_epoch,
+            runs,
+            live,
+        })
+    }
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch:08}.wal"))
+}
+
+fn run_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("run-{seq:08}.run"))
+}
+
+/// Parses `prefix-XXXXXXXX.ext` file names back to their number.
+fn parse_numbered(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(ext)?
+        .parse::<u64>()
+        .ok()
+}
+
+/// Writes the manifest atomically (temp + fsync + rename + dir sync) —
+/// the commit point of checkpoint and compaction.
+fn write_manifest(dir: &Path, m: &Manifest) -> Result<(), WalError> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&m.encode())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, manifest_path(dir))?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+fn injected(point: &'static str) -> impl FnOnce(fault::InjectedFault) -> WalError {
+    move |_| WalError::Corrupt(point)
+}
+
+/// Mutable durable-backend state, guarded by one mutex. Held briefly:
+/// per-append during [`Durability::log`], and across the manifest swap
+/// inside checkpoint/compaction.
+pub(crate) struct DurInner {
+    wal: WalWriter,
+    epoch: u64,
+    manifest: Manifest,
+    next_run_seq: u64,
+    /// Shards mutated since the last checkpoint — exactly the shards
+    /// whose data lives only in WAL epochs a checkpoint would truncate.
+    dirty: BTreeSet<ShardId>,
+    /// Migration tails being recorded: live `Put`/`Del` ops per shard,
+    /// captured while the base snapshot streams to the receiver.
+    tails: BTreeMap<ShardId, Vec<WalOp>>,
+}
+
+/// The durable backend behind a [`StateStore`](crate::StateStore):
+/// WAL writer, manifest, and the checkpoint/compaction machinery.
+pub struct Durability {
+    dir: PathBuf,
+    opts: DurableOptions,
+    inner: Mutex<DurInner>,
+    /// Serializes checkpoint and compaction (both rewrite the manifest
+    /// and shuffle files); never held while shard locks are held.
+    ckpt_lock: Mutex<()>,
+}
+
+/// What [`Durability::open`] recovered from disk.
+pub(crate) struct Recovered {
+    pub dur: Durability,
+    /// Per-shard reconstructed state (live shards with data).
+    pub shards: BTreeMap<ShardId, Vec<(Key, Bytes)>>,
+    /// Every live shard — a live shard absent from `shards` recovered
+    /// empty but is still hosted.
+    pub live: BTreeSet<ShardId>,
+}
+
+impl Durability {
+    /// Opens (or creates) the durable directory and runs recovery:
+    /// manifest, then runs, then WAL replay. See the module docs for
+    /// ordering and tolerance rules.
+    pub(crate) fn open(num_shards: u32, opts: DurableOptions) -> Result<Recovered, WalError> {
+        let dir = opts.dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = match std::fs::read(manifest_path(&dir)) {
+            Ok(data) => Manifest::decode(&data)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Manifest::initial(num_shards),
+            Err(e) => return Err(e.into()),
+        };
+
+        // Scan the directory once for epochs and run files.
+        let mut disk_epochs: Vec<u64> = Vec::new();
+        let mut disk_runs: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(e) = parse_numbered(name, "wal-", ".wal") {
+                disk_epochs.push(e);
+            } else if let Some(s) = parse_numbered(name, "run-", ".run") {
+                disk_runs.push(s);
+            }
+        }
+        disk_epochs.sort_unstable();
+
+        // Load runs in manifest order: later runs override earlier ones
+        // whole-shard; the live set filters out shards that migrated
+        // away after the run was written.
+        let mut shards: BTreeMap<ShardId, BTreeMap<Key, Bytes>> = BTreeMap::new();
+        for seq in &manifest.runs {
+            for snap in read_run(&run_path(&dir, *seq))? {
+                if manifest.live.contains(&snap.shard) {
+                    shards.insert(snap.shard, snap.entries.into_iter().collect());
+                }
+            }
+        }
+        let mut live = manifest.live.clone();
+
+        // Replay WAL epochs >= the manifest's, ascending. Epochs below
+        // it are truncated leftovers; epochs present must be contiguous
+        // among themselves (a mid-sequence gap is a lost committed
+        // epoch). A torn tail is legal only in the newest epoch — the
+        // one a crash could have interrupted.
+        let replay_epochs: Vec<u64> = disk_epochs
+            .iter()
+            .copied()
+            .filter(|e| *e >= manifest.wal_epoch)
+            .collect();
+        for pair in replay_epochs.windows(2) {
+            if pair[1] != pair[0] + 1 {
+                return Err(WalError::Corrupt("wal epoch gap"));
+            }
+        }
+        let mut dirty: BTreeSet<ShardId> = BTreeSet::new();
+        for (i, epoch) in replay_epochs.iter().enumerate() {
+            let replay = read_wal(&wal_path(&dir, *epoch))?;
+            if replay.torn_tail && i + 1 != replay_epochs.len() {
+                return Err(WalError::Corrupt("torn tail in non-final wal epoch"));
+            }
+            for op in replay.ops {
+                dirty.insert(op.shard());
+                match op {
+                    WalOp::Put { shard, key, value } => {
+                        shards.entry(shard).or_default().insert(key, value);
+                        live.insert(shard);
+                    }
+                    WalOp::Del { shard, key } => {
+                        if let Some(map) = shards.get_mut(&shard) {
+                            map.remove(&key);
+                        }
+                    }
+                    WalOp::Install(snap) => {
+                        live.insert(snap.shard);
+                        shards.insert(snap.shard, snap.entries.into_iter().collect());
+                    }
+                    WalOp::Drop { shard } => {
+                        live.remove(&shard);
+                        shards.remove(&shard);
+                    }
+                }
+            }
+        }
+        shards.retain(|s, _| live.contains(s));
+
+        // Open a fresh epoch above everything seen — never append to a
+        // possibly-torn file.
+        let epoch = replay_epochs
+            .last()
+            .copied()
+            .unwrap_or(manifest.wal_epoch)
+            .max(manifest.wal_epoch)
+            + 1;
+        let wal = WalWriter::create(&wal_path(&dir, epoch))?;
+        let next_run_seq = disk_runs.iter().copied().max().unwrap_or(0) + 1;
+
+        // Sweep orphans now that recovery committed to this manifest:
+        // temp files, runs it does not reference, epochs it truncated.
+        let keep_runs: BTreeSet<u64> = manifest.runs.iter().copied().collect();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let orphan = name.ends_with(".tmp")
+                || parse_numbered(name, "run-", ".run").is_some_and(|s| !keep_runs.contains(&s))
+                || parse_numbered(name, "wal-", ".wal").is_some_and(|e| e < manifest.wal_epoch);
+            if orphan {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+
+        let dur = Durability {
+            dir,
+            opts,
+            inner: Mutex::new(DurInner {
+                wal,
+                epoch,
+                manifest,
+                next_run_seq,
+                dirty,
+                tails: BTreeMap::new(),
+            }),
+            ckpt_lock: Mutex::new(()),
+        };
+        Ok(Recovered {
+            dur,
+            shards: shards
+                .into_iter()
+                .map(|(s, m)| (s, m.into_iter().collect()))
+                .collect(),
+            live,
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub(crate) fn options(&self) -> &DurableOptions {
+        &self.opts
+    }
+
+    /// Appends one op to the WAL. Called with the mutated shard's lock
+    /// held (mutation first, log second — the shard lock orders the two
+    /// for any one key). Panics on I/O failure: a durable store that
+    /// cannot log can no longer uphold its contract, and the mutation
+    /// API has no error channel (classic write-ahead stores share this
+    /// stance).
+    pub(crate) fn log(&self, op: &WalOp) {
+        let mut inner = self.inner.lock();
+        if let Some(tail) = inner.tails.get_mut(&op.shard()) {
+            if matches!(op, WalOp::Put { .. } | WalOp::Del { .. }) {
+                tail.push(op.clone());
+            }
+        }
+        inner.dirty.insert(op.shard());
+        inner.wal.append(op).expect("wal append failed");
+    }
+
+    /// Forces the current WAL epoch to stable storage.
+    pub(crate) fn sync(&self) -> Result<(), WalError> {
+        self.inner.lock().wal.sync()
+    }
+
+    pub(crate) fn stats(&self) -> DurableStats {
+        let inner = self.inner.lock();
+        DurableStats {
+            wal_bytes: inner.wal.bytes_written(),
+            wal_epoch: inner.epoch,
+            runs: inner.manifest.runs.len(),
+            manifest_seq: inner.manifest.seq,
+            dirty_shards: inner.dirty.len(),
+        }
+    }
+
+    /// Starts recording a migration tail for `shard`: every subsequent
+    /// `Put`/`Del` logged for it is also captured until taken or
+    /// cancelled.
+    pub(crate) fn start_tail(&self, shard: ShardId) {
+        self.inner.lock().tails.insert(shard, Vec::new());
+    }
+
+    /// Stops recording and returns the captured tail.
+    pub(crate) fn take_tail(&self, shard: ShardId) -> Vec<WalOp> {
+        self.inner.lock().tails.remove(&shard).unwrap_or_default()
+    }
+
+    /// Drops a recording without returning it.
+    pub(crate) fn cancel_tail(&self, shard: ShardId) {
+        self.inner.lock().tails.remove(&shard);
+    }
+
+    /// Checkpoints the store: rotate the WAL, spill dirty shards as a
+    /// run, commit a new manifest, delete truncated epochs. Returns
+    /// `false` if nothing was dirty. `store_shards`/`snapshot` abstract
+    /// the store so this module stays free of a circular dependency.
+    pub(crate) fn checkpoint(
+        &self,
+        live_shards: impl FnOnce() -> Vec<ShardId>,
+        snapshot: impl Fn(ShardId) -> Option<ShardSnapshot>,
+    ) -> Result<bool, WalError> {
+        let _serial = self.ckpt_lock.lock();
+        fault::fail_point("state.ckpt.begin").map_err(injected("state.ckpt.begin"))?;
+
+        // Rotate: new epoch file first, then swap the writer and take
+        // the dirty set. Ops racing the swap land in one epoch or the
+        // other; either way replay sees them (idempotent, absolute).
+        let (dirty, new_epoch, run_seq, old_manifest) = {
+            let mut inner = self.inner.lock();
+            if inner.dirty.is_empty() {
+                return Ok(false);
+            }
+            let new_epoch = inner.epoch + 1;
+            // Create outside the lock? Creation is cheap and failure
+            // must leave the writer untouched, so do it while holding.
+            let wal = WalWriter::create(&wal_path(&self.dir, new_epoch))?;
+            inner.wal = wal;
+            inner.epoch = new_epoch;
+            let dirty = std::mem::take(&mut inner.dirty);
+            let run_seq = inner.next_run_seq;
+            inner.next_run_seq += 1;
+            (dirty, new_epoch, run_seq, inner.manifest.clone())
+        };
+        // From here on, any failure re-merges the taken dirty set so the
+        // next checkpoint still persists those shards.
+        let result = self.checkpoint_commit(
+            &dirty,
+            new_epoch,
+            run_seq,
+            old_manifest,
+            snapshot,
+            live_shards,
+        );
+        if result.is_err() {
+            self.inner.lock().dirty.extend(dirty);
+        }
+        result
+    }
+
+    fn checkpoint_commit(
+        &self,
+        dirty: &BTreeSet<ShardId>,
+        new_epoch: u64,
+        run_seq: u64,
+        old_manifest: Manifest,
+        snapshot: impl Fn(ShardId) -> Option<ShardSnapshot>,
+        live_shards: impl FnOnce() -> Vec<ShardId>,
+    ) -> Result<bool, WalError> {
+        fault::fail_point("state.ckpt.rotate").map_err(injected("state.ckpt.rotate"))?;
+
+        // Snapshot the dirty shards with no durable locks held — only
+        // each shard's own read lock, briefly. Shards dirtied then
+        // dropped (migrated away) snapshot as None and are simply not
+        // in the run; the manifest's live set is what un-hosts them.
+        let snaps: Vec<ShardSnapshot> = dirty.iter().filter_map(|s| snapshot(*s)).collect();
+        let wrote_run = !snaps.is_empty();
+        if wrote_run {
+            write_run(&run_path(&self.dir, run_seq), &snaps)?;
+        }
+        fault::fail_point("state.ckpt.run").map_err(injected("state.ckpt.run"))?;
+
+        let live: BTreeSet<ShardId> = live_shards().into_iter().collect();
+        let mut new_manifest = old_manifest;
+        new_manifest.seq += 1;
+        new_manifest.wal_epoch = new_epoch;
+        if wrote_run {
+            new_manifest.runs.push(run_seq);
+        }
+        new_manifest.live = live;
+        fault::fail_point("state.ckpt.manifest").map_err(injected("state.ckpt.manifest"))?;
+        {
+            // The manifest swap is the commit point; holding the inner
+            // lock across it keeps `stats()` and rotation consistent.
+            let mut inner = self.inner.lock();
+            write_manifest(&self.dir, &new_manifest)?;
+            inner.manifest = new_manifest;
+        }
+        fault::fail_point("state.ckpt.cleanup").map_err(injected("state.ckpt.cleanup"))?;
+
+        // Truncate: epochs below the committed one are dead weight.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_numbered(name, "wal-", ".wal").is_some_and(|e| e < new_epoch) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(true)
+    }
+
+    /// Merges all runs into one (newest shard copy wins, non-live
+    /// shards dropped) and commits a manifest referencing only the
+    /// merged run. Returns `false` when fewer than two runs exist.
+    pub(crate) fn compact(&self) -> Result<bool, WalError> {
+        let _serial = self.ckpt_lock.lock();
+        let (runs, live, run_seq) = {
+            let mut inner = self.inner.lock();
+            if inner.manifest.runs.len() < 2 {
+                return Ok(false);
+            }
+            let run_seq = inner.next_run_seq;
+            inner.next_run_seq += 1;
+            (
+                inner.manifest.runs.clone(),
+                inner.manifest.live.clone(),
+                run_seq,
+            )
+        };
+        // Whole-shard replacement, newest run wins — the same rule
+        // recovery applies when loading runs in manifest order.
+        let mut merged: BTreeMap<ShardId, ShardSnapshot> = BTreeMap::new();
+        for seq in &runs {
+            for snap in read_run(&run_path(&self.dir, *seq))? {
+                if live.contains(&snap.shard) {
+                    merged.insert(snap.shard, snap);
+                }
+            }
+        }
+        fault::fail_point("state.compact.write").map_err(injected("state.compact.write"))?;
+        let snaps: Vec<ShardSnapshot> = merged.into_values().collect();
+        write_run(&run_path(&self.dir, run_seq), &snaps)?;
+        fault::fail_point("state.compact.manifest").map_err(injected("state.compact.manifest"))?;
+        {
+            let mut inner = self.inner.lock();
+            let mut new_manifest = inner.manifest.clone();
+            new_manifest.seq += 1;
+            new_manifest.runs = vec![run_seq];
+            write_manifest(&self.dir, &new_manifest)?;
+            inner.manifest = new_manifest;
+        }
+        for seq in &runs {
+            let _ = std::fs::remove_file(run_path(&self.dir, *seq));
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip_and_strictness() {
+        let m = Manifest {
+            seq: 7,
+            wal_epoch: 3,
+            runs: vec![1, 4, 9],
+            live: [ShardId(0), ShardId(5), ShardId(300)].into_iter().collect(),
+        };
+        let data = m.encode();
+        assert_eq!(Manifest::decode(&data).unwrap(), m);
+        for i in 0..data.len() {
+            let mut bad = data.clone();
+            bad[i] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "flip at {i} accepted");
+        }
+        for n in 0..data.len() {
+            assert!(Manifest::decode(&data[..n]).is_err(), "cut at {n} accepted");
+        }
+    }
+
+    #[test]
+    fn initial_manifest_hosts_dense_range() {
+        let m = Manifest::initial(4);
+        assert_eq!(m.live.len(), 4);
+        assert!(m.live.contains(&ShardId(3)));
+        assert_eq!(m.wal_epoch, 0);
+        assert!(m.runs.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Immutable sorted checkpoint runs.
+//!
+//! A checkpoint spills each dirty shard into a **run file**: a sequence
+//! of checksummed frames reusing [`ShardSnapshot`] as the payload format
+//! (the same bytes that travel on a migration wire). Runs are written to
+//! a temp file, `fsync`ed, then renamed into place and the directory
+//! synced — a run either exists completely or not at all, so reading is
+//! **strict**: any damage is a typed [`WalError`], never a tolerated
+//! torn tail (that discipline belongs to the WAL alone).
+//!
+//! Frame kinds:
+//!
+//! | kind | payload |
+//! |---|---|
+//! | `R_CHUNK` | one snapshot chunk of the current shard |
+//! | `R_SHARD` | marker sealing the preceding chunks: shard, entries, value bytes, digest |
+//! | `R_SEAL` | final frame: shard count — a run missing it was never committed |
+
+use std::io::Write;
+use std::path::Path;
+
+use elasticutor_core::ids::ShardId;
+use elasticutor_core::wire::{self, ByteReader, Checksum};
+
+use crate::wal::{checked_body, WalError};
+use crate::ShardSnapshot;
+
+/// One snapshot chunk of the shard currently being written.
+pub const R_CHUNK: u8 = 16;
+/// Marker sealing one shard's chunks.
+pub const R_SHARD: u8 = 17;
+/// Final frame sealing the whole run.
+pub const R_SEAL: u8 = 18;
+
+/// Encoded bytes per chunk frame inside a run.
+const RUN_CHUNK_BYTES: u64 = 256 * 1024;
+
+fn push_frame(buf: &mut Vec<u8>, kind: u8, mut body: Vec<u8>) {
+    let mut c = Checksum::new();
+    c.write(&[kind]);
+    c.write(&body);
+    wire::put_u64(&mut body, c.finish());
+    wire::write_frame(buf, kind, &body).expect("run frame within cap");
+}
+
+/// `fsync` on a directory so a rename into it survives power loss.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    // Best-effort on platforms where directories cannot be opened.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Writes `snapshots` as one immutable run at `path` (temp + fsync +
+/// rename + dir-sync). Returns the file's size in bytes.
+pub fn write_run(path: &Path, snapshots: &[ShardSnapshot]) -> Result<u64, WalError> {
+    let dir = path
+        .parent()
+        .ok_or(WalError::Corrupt("run path has no parent"))?;
+    let tmp = path.with_extension("tmp");
+    let mut buf = Vec::new();
+    for snap in snapshots {
+        for chunk in snap.chunks(RUN_CHUNK_BYTES) {
+            push_frame(&mut buf, R_CHUNK, chunk.encode());
+        }
+        let mut digest = Checksum::new();
+        snap.fold_checksum(&mut digest);
+        let mut marker = Vec::with_capacity(36);
+        wire::put_u32(&mut marker, snap.shard.0);
+        wire::put_u64(&mut marker, snap.len() as u64);
+        wire::put_u64(&mut marker, snap.value_bytes());
+        wire::put_u64(&mut marker, digest.finish());
+        push_frame(&mut buf, R_SHARD, marker);
+    }
+    let mut seal = Vec::with_capacity(12);
+    wire::put_u64(&mut seal, snapshots.len() as u64);
+    push_frame(&mut buf, R_SEAL, seal);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    sync_dir(dir)?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads a run back, strictly: every frame checksum must verify, every
+/// shard's marker totals must match its chunks, and the seal must close
+/// the file exactly.
+pub fn read_run(path: &Path) -> Result<Vec<ShardSnapshot>, WalError> {
+    let data = std::fs::read(path)?;
+    let mut cursor = &data[..];
+    let mut shards = Vec::new();
+    let mut pending: Vec<ShardSnapshot> = Vec::new();
+    let mut sealed = false;
+    while !cursor.is_empty() {
+        if sealed {
+            return Err(WalError::Corrupt("run frames after seal"));
+        }
+        let (kind, payload) = wire::read_frame(&mut cursor)?;
+        let body =
+            checked_body(kind, &payload).map_err(|_| WalError::Corrupt("run frame checksum"))?;
+        match kind {
+            R_CHUNK => {
+                let chunk = ShardSnapshot::decode(body)
+                    .map_err(|_| WalError::Corrupt("run chunk failed snapshot decode"))?;
+                if let Some(first) = pending.first() {
+                    if first.shard != chunk.shard {
+                        return Err(WalError::Corrupt("run chunks switch shards unsealed"));
+                    }
+                }
+                pending.push(chunk);
+            }
+            R_SHARD => {
+                let mut r = ByteReader::new(body);
+                let shard = ShardId(r.u32()?);
+                let entries = r.u64()?;
+                let value_bytes = r.u64()?;
+                let digest = r.u64()?;
+                if !r.is_empty() {
+                    return Err(WalError::Corrupt("trailing bytes in run shard marker"));
+                }
+                let mut combined = ShardSnapshot::empty(shard);
+                for chunk in pending.drain(..) {
+                    if chunk.shard != shard {
+                        return Err(WalError::Corrupt("run marker names a different shard"));
+                    }
+                    combined.entries.extend(chunk.entries);
+                }
+                let mut c = Checksum::new();
+                combined.fold_checksum(&mut c);
+                if combined.len() as u64 != entries
+                    || combined.value_bytes() != value_bytes
+                    || c.finish() != digest
+                {
+                    return Err(WalError::Corrupt("run marker totals mismatch"));
+                }
+                shards.push(combined);
+            }
+            R_SEAL => {
+                if !pending.is_empty() {
+                    return Err(WalError::Corrupt("run sealed with unmarked chunks"));
+                }
+                let mut r = ByteReader::new(body);
+                let count = r.u64()?;
+                if !r.is_empty() {
+                    return Err(WalError::Corrupt("trailing bytes in run seal"));
+                }
+                if count != shards.len() as u64 {
+                    return Err(WalError::Corrupt("run seal shard count mismatch"));
+                }
+                sealed = true;
+            }
+            _ => return Err(WalError::Corrupt("unknown run frame kind")),
+        }
+    }
+    if !sealed {
+        return Err(WalError::Corrupt("run missing seal"));
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use elasticutor_core::ids::Key;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("elasticutor-run-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("r.run")
+    }
+
+    fn sample_runs() -> Vec<ShardSnapshot> {
+        vec![
+            ShardSnapshot {
+                shard: ShardId(0),
+                entries: (0..100u64)
+                    .map(|i| (Key(i), Bytes::from(vec![i as u8; 64])))
+                    .collect(),
+            },
+            ShardSnapshot::empty(ShardId(4)),
+            ShardSnapshot {
+                shard: ShardId(7),
+                entries: vec![(Key(9), Bytes::from_static(b"lone"))],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp_path("roundtrip");
+        let snaps = sample_runs();
+        let bytes = write_run(&path, &snaps).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(read_run(&path).unwrap(), snaps);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn any_damage_is_a_typed_error() {
+        let path = tmp_path("damage");
+        write_run(&path, &sample_runs()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        // Truncation anywhere: strict error (runs are atomic — a short
+        // file means the rename lied, which we refuse to paper over).
+        for n in [0, 1, 7, data.len() / 2, data.len() - 1] {
+            assert!(
+                decode_slice(&data[..n]).is_err(),
+                "truncation at {n} accepted"
+            );
+        }
+        // A sample of single-bit flips.
+        for i in (0..data.len()).step_by(97) {
+            let mut bad = data.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(decode_slice(&bad).is_err(), "bit flip at {i} accepted");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    /// read_run over a byte slice, via a scratch file.
+    fn decode_slice(data: &[u8]) -> Result<Vec<ShardSnapshot>, WalError> {
+        let path = tmp_path("slice");
+        std::fs::write(&path, data).unwrap();
+        let out = read_run(&path);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        out
+    }
+}

@@ -1,12 +1,16 @@
 //! The process-wide shard-grouped state store.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId};
 use parking_lot::RwLock;
+
+use crate::recover::{Durability, DurableOptions, DurableStats};
+use crate::wal::{WalError, WalOp};
 
 /// One shard's data plus its byte accounting.
 #[derive(Default)]
@@ -53,6 +57,10 @@ pub struct StateStore {
     /// Total value bytes across shards (kept eventually-exact via atomic
     /// deltas; used for cheap `s_j` reads by the scheduler).
     total_bytes: AtomicU64,
+    /// The durable backend, when opened via [`Self::open_durable`].
+    /// `None` keeps the in-memory store allocation-identical to before
+    /// durability existed — one branch per mutation is the whole cost.
+    dur: Option<Arc<Durability>>,
 }
 
 impl StateStore {
@@ -150,10 +158,15 @@ impl StateStore {
     pub fn put(&self, shard: ShardId, key: Key, value: Bytes) -> Option<Bytes> {
         self.with_cell_write(shard, true, |cell| {
             let new_len = value.len() as u64;
-            let old = cell.entries.insert(key, value);
+            let old = cell.entries.insert(key, value.clone());
             let old_len = old.as_ref().map_or(0, |v| v.len() as u64);
             cell.bytes = cell.bytes + new_len - old_len;
             self.adjust_total(old_len, new_len);
+            // Logged under the shard's write lock, after the mutation:
+            // the lock serializes WAL order with mutation order per key.
+            if let Some(dur) = &self.dur {
+                dur.log(&WalOp::Put { shard, key, value });
+            }
             old
         })
         .expect("create-mode write always finds a cell")
@@ -167,6 +180,11 @@ impl StateStore {
                 cell.bytes -= v.len() as u64;
                 self.total_bytes
                     .fetch_sub(v.len() as u64, Ordering::Relaxed);
+                // A remove of an absent key logs nothing — replay would
+                // be a no-op anyway.
+                if let Some(dur) = &self.dur {
+                    dur.log(&WalOp::Del { shard, key });
+                }
             }
             old
         })
@@ -190,14 +208,24 @@ impl StateStore {
             match next {
                 Some(v) => {
                     let new_len = v.len() as u64;
-                    cell.entries.insert(key, v);
+                    cell.entries.insert(key, v.clone());
                     cell.bytes = cell.bytes + new_len - old_len;
                     self.adjust_total(old_len, new_len);
+                    if let Some(dur) = &self.dur {
+                        dur.log(&WalOp::Put {
+                            shard,
+                            key,
+                            value: v,
+                        });
+                    }
                 }
                 None => {
                     if cell.entries.remove(&key).is_some() {
                         cell.bytes -= old_len;
                         self.total_bytes.fetch_sub(old_len, Ordering::Relaxed);
+                        if let Some(dur) = &self.dur {
+                            dur.log(&WalOp::Del { shard, key });
+                        }
                     }
                 }
             }
@@ -244,6 +272,9 @@ impl StateStore {
             let entries = std::mem::take(&mut guard.entries);
             guard.bytes = 0;
             guard.hosted = false;
+            if let Some(dur) = &self.dur {
+                dur.log(&WalOp::Drop { shard });
+            }
             return Some(crate::ShardSnapshot {
                 shard,
                 entries: entries.into_iter().collect(),
@@ -252,6 +283,9 @@ impl StateStore {
         let cell = self.dynamic.write().remove(&shard)?;
         let guard = cell.read();
         self.total_bytes.fetch_sub(guard.bytes, Ordering::Relaxed);
+        if let Some(dur) = &self.dur {
+            dur.log(&WalOp::Drop { shard });
+        }
         Some(crate::ShardSnapshot {
             shard,
             entries: guard.entries.iter().map(|(k, v)| (*k, v.clone())).collect(),
@@ -271,6 +305,10 @@ impl StateStore {
     /// protocol guarantees extract-before-install).
     pub fn install_shard(&self, snapshot: crate::ShardSnapshot) {
         let bytes: u64 = snapshot.entries.iter().map(|(_, v)| v.len() as u64).sum();
+        // Logged as a whole-shard `Install` after the mutation; the
+        // clone is cheap (`Bytes` are refcounted) and only taken when
+        // durable.
+        let log_op = self.dur.as_ref().map(|_| WalOp::Install(snapshot.clone()));
         if let Some(cell) = self.dense.get(snapshot.shard.index()) {
             let mut guard = cell.write();
             assert!(
@@ -282,6 +320,9 @@ impl StateStore {
             guard.bytes = bytes;
             guard.hosted = true;
             self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+            if let (Some(dur), Some(op)) = (&self.dur, &log_op) {
+                dur.log(op);
+            }
             return;
         }
         let mut reg = self.dynamic.write();
@@ -297,6 +338,9 @@ impl StateStore {
         };
         reg.insert(snapshot.shard, Arc::new(RwLock::new(cell)));
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let (Some(dur), Some(op)) = (&self.dur, &log_op) {
+            dur.log(op);
+        }
     }
 
     /// A [`StateHandle`] scoped to one shard, the interface handed to
@@ -306,6 +350,168 @@ impl StateStore {
             store: Arc::clone(self),
             shard,
         }
+    }
+
+    // ---- durable backend -------------------------------------------------
+
+    /// Opens (or recovers) a durable store rooted at `opts.dir`: loads
+    /// the newest checkpoint runs, replays the WAL over them, and
+    /// rebuilds every hosted shard exactly as it was at the crash.
+    /// Shards `0..num_shards` form the dense fast path, exactly as in
+    /// [`Self::with_shards`]; a fresh directory starts with all of them
+    /// hosted empty.
+    pub fn open_durable(num_shards: u32, opts: DurableOptions) -> Result<Arc<Self>, WalError> {
+        let recovered = Durability::open(num_shards, opts)?;
+        let maintenance = recovered.dur.options().maintenance;
+        let mut store = StateStore {
+            dense: (0..num_shards)
+                .map(|i| {
+                    RwLock::new(if recovered.live.contains(&ShardId(i)) {
+                        ShardCell::hosted()
+                    } else {
+                        ShardCell::default()
+                    })
+                })
+                .collect(),
+            dynamic: RwLock::new(BTreeMap::new()),
+            total_bytes: AtomicU64::new(0),
+            dur: None,
+        };
+        // Seed recovered contents directly (dur is still None: recovery
+        // must not re-log what the disk already holds).
+        let mut total = 0u64;
+        for (shard, entries) in recovered.shards {
+            let bytes: u64 = entries.iter().map(|(_, v)| v.len() as u64).sum();
+            total += bytes;
+            let cell = ShardCell {
+                entries: entries.into_iter().collect(),
+                bytes,
+                hosted: true,
+            };
+            if let Some(slot) = store.dense.get(shard.index()) {
+                *slot.write() = cell;
+            } else {
+                store
+                    .dynamic
+                    .get_mut()
+                    .insert(shard, Arc::new(RwLock::new(cell)));
+            }
+        }
+        // Live shards beyond the dense range with no recovered data
+        // still need a hosted (empty) cell.
+        for shard in &recovered.live {
+            if shard.index() >= store.dense.len() && !store.dynamic.get_mut().contains_key(shard) {
+                store
+                    .dynamic
+                    .get_mut()
+                    .insert(*shard, Arc::new(RwLock::new(ShardCell::hosted())));
+            }
+        }
+        store.total_bytes = AtomicU64::new(total);
+        store.dur = Some(Arc::new(recovered.dur));
+        let store = Arc::new(store);
+        if maintenance {
+            Self::spawn_maintenance(&store);
+        }
+        Ok(store)
+    }
+
+    /// Whether this store has a durable backend.
+    pub fn is_durable(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// The durable directory, when durable.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.dur.as_deref().map(Durability::dir)
+    }
+
+    /// Checkpoints now: rotates the WAL, spills dirty shards as an
+    /// immutable run, commits the manifest, truncates old WAL epochs.
+    /// Returns `Ok(false)` when there was nothing dirty (or the store
+    /// is not durable).
+    pub fn checkpoint(&self) -> Result<bool, WalError> {
+        match &self.dur {
+            Some(dur) => dur.checkpoint(|| self.shards(), |s| self.snapshot_shard(s)),
+            None => Ok(false),
+        }
+    }
+
+    /// Merges all checkpoint runs into one. Returns `Ok(false)` with
+    /// fewer than two runs (or when not durable).
+    pub fn compact(&self) -> Result<bool, WalError> {
+        match &self.dur {
+            Some(dur) => dur.compact(),
+            None => Ok(false),
+        }
+    }
+
+    /// Forces the WAL to stable storage (process aborts are already
+    /// safe without this; power loss is not).
+    pub fn sync_wal(&self) -> Result<(), WalError> {
+        match &self.dur {
+            Some(dur) => dur.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Disk accounting for benches and tests; `None` when not durable.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.dur.as_ref().map(|d| d.stats())
+    }
+
+    /// Starts recording a migration tail for `shard`: `Put`/`Del` ops
+    /// logged for it from now on are also captured, so a migration can
+    /// stream a base snapshot while the shard stays live and ship only
+    /// the delta during the pause window. No-op when not durable.
+    pub fn start_tail(&self, shard: ShardId) {
+        if let Some(dur) = &self.dur {
+            dur.start_tail(shard);
+        }
+    }
+
+    /// Stops recording and returns the captured ops (empty when not
+    /// durable or not recording).
+    pub fn take_tail(&self, shard: ShardId) -> Vec<WalOp> {
+        self.dur
+            .as_ref()
+            .map(|d| d.take_tail(shard))
+            .unwrap_or_default()
+    }
+
+    /// Abandons a tail recording.
+    pub fn cancel_tail(&self, shard: ShardId) {
+        if let Some(dur) = &self.dur {
+            dur.cancel_tail(shard);
+        }
+    }
+
+    /// The background maintenance loop: checkpoint when the WAL epoch
+    /// grows past the configured bytes, compact when runs pile up.
+    /// Holds only a `Weak` — the loop dies with the store.
+    fn spawn_maintenance(store: &Arc<Self>) {
+        let weak: Weak<Self> = Arc::downgrade(store);
+        std::thread::Builder::new()
+            .name("elasticutor-dur-maint".into())
+            .spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let Some(store) = weak.upgrade() else { return };
+                let Some(dur) = store.dur.as_ref() else {
+                    return;
+                };
+                let stats = dur.stats();
+                let opts = dur.options();
+                // Maintenance failures are not fatal: the next tick
+                // retries, and an injected fault should surface in the
+                // test's own checkpoint call, not here.
+                if stats.wal_bytes >= opts.checkpoint_wal_bytes {
+                    let _ = store.checkpoint();
+                }
+                if stats.runs >= opts.compact_min_runs {
+                    let _ = store.compact();
+                }
+            })
+            .expect("spawn durability maintenance thread");
     }
 }
 

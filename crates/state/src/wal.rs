@@ -1,0 +1,599 @@
+//! The per-shard-group write-ahead log.
+//!
+//! Every mutation a durable [`StateStore`](crate::StateStore) applies is
+//! first-class here as a [`WalOp`], encoded as one length-prefixed
+//! [`elasticutor_core::wire`] frame whose payload carries a trailing
+//! FNV-64 checksum — the same per-entry discipline as the migration
+//! recovery journal. A whole-shard install streams as chunk frames
+//! followed by a marker frame (marker-last atomicity: a crash mid-install
+//! leaves unmarked chunks that replay discards as torn tail), mirroring
+//! `runtime/src/journal.rs`.
+//!
+//! # Frame kinds
+//!
+//! | kind | payload |
+//! |---|---|
+//! | `W_PUT` | shard `u32`, key `u64`, value bytes, checksum `u64` |
+//! | `W_DEL` | shard `u32`, key `u64`, checksum `u64` |
+//! | `W_CHUNK` | one [`ShardSnapshot`] chunk (snapshot wire format), checksum `u64` |
+//! | `W_INSTALL` | shard `u32`, entries `u64`, value bytes `u64`, digest `u64`, checksum `u64` |
+//! | `W_DROP` | shard `u32`, checksum `u64` |
+//!
+//! The checksum is FNV-1a over the frame kind byte plus the payload that
+//! precedes it, so a bit flip anywhere in a record — including its kind
+//! byte — fails validation.
+//!
+//! # Torn tails vs. corruption
+//!
+//! [`read_wal`] tolerates exactly one failure shape: damage at the
+//! **physical end** of the file (a crash mid-append). Everything decoded
+//! before it is returned; the torn suffix is reported, never applied
+//! half-way. Damage *followed by* further readable frames is mid-file
+//! corruption and surfaces as a typed [`WalError`] — silently skipping a
+//! committed record would be data loss.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use bytes::Bytes;
+use elasticutor_core::fault;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_core::wire::{self, ByteReader, Checksum, WireError};
+
+use crate::ShardSnapshot;
+
+/// `PUT`: one key written (full value — replay is idempotent).
+pub const W_PUT: u8 = 1;
+/// `DEL`: one key removed.
+pub const W_DEL: u8 = 2;
+/// `CHUNK`: part of a whole-shard install (snapshot wire format).
+pub const W_CHUNK: u8 = 3;
+/// `INSTALL`: the marker sealing the preceding chunks of an install.
+pub const W_INSTALL: u8 = 4;
+/// `DROP`: the shard left this store (migrated out or discarded).
+pub const W_DROP: u8 = 5;
+
+/// Encoded bytes per install chunk frame (large shards span many).
+pub const WAL_CHUNK_BYTES: u64 = 256 * 1024;
+
+/// Errors raised by the durable state backend (WAL, checkpoint runs,
+/// manifest, recovery). Every decoding path returns one of these —
+/// corrupt on-disk bytes must never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// An I/O error from the filesystem.
+    Io(std::io::ErrorKind),
+    /// A wire-level decoding failure (bad version, truncated frame, …).
+    Wire(WireError),
+    /// The input parsed structurally but failed a semantic check
+    /// (checksum mismatch mid-file, epoch gap, marker total mismatch, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(kind) => write!(f, "wal i/o error: {kind}"),
+            WalError::Wire(e) => write!(f, "wal wire error: {e}"),
+            WalError::Corrupt(what) => write!(f, "corrupt wal data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.kind())
+    }
+}
+
+impl From<WireError> for WalError {
+    fn from(e: WireError) -> Self {
+        WalError::Wire(e)
+    }
+}
+
+/// One logged state mutation. `Put`/`Del` carry absolute values, so
+/// replaying an op over state that already reflects it is a no-op —
+/// the property checkpoint rotation and migration tail-shipping lean on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// A key written with its full new value.
+    Put {
+        /// The shard the key lives in.
+        shard: ShardId,
+        /// The written key.
+        key: Key,
+        /// The full value after the write.
+        value: Bytes,
+    },
+    /// A key removed.
+    Del {
+        /// The shard the key lived in.
+        shard: ShardId,
+        /// The removed key.
+        key: Key,
+    },
+    /// A whole shard installed (migration adoption, recovery restore).
+    Install(ShardSnapshot),
+    /// A whole shard dropped (migrated out or discarded).
+    Drop {
+        /// The dropped shard.
+        shard: ShardId,
+    },
+}
+
+impl WalOp {
+    /// The shard this op touches.
+    pub fn shard(&self) -> ShardId {
+        match self {
+            WalOp::Put { shard, .. } | WalOp::Del { shard, .. } | WalOp::Drop { shard } => *shard,
+            WalOp::Install(snap) => snap.shard,
+        }
+    }
+}
+
+/// Appends one checksummed frame to `buf`: the payload grows a trailing
+/// FNV-64 over `kind || payload` before framing.
+fn push_frame(buf: &mut Vec<u8>, kind: u8, mut body: Vec<u8>) {
+    let mut c = Checksum::new();
+    c.write(&[kind]);
+    c.write(&body);
+    wire::put_u64(&mut body, c.finish());
+    wire::write_frame(buf, kind, &body).expect("wal frame within cap");
+}
+
+/// Splits a frame payload into body + checksum and validates it.
+/// `Err(())` means the *entry* is damaged (the frame itself framed
+/// fine) — the caller decides whether that is a torn tail or mid-file
+/// corruption.
+pub(crate) fn checked_body(kind: u8, payload: &[u8]) -> Result<&[u8], ()> {
+    if payload.len() < 8 {
+        return Err(());
+    }
+    let (body, tail) = payload.split_at(payload.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let mut c = Checksum::new();
+    c.write(&[kind]);
+    c.write(body);
+    if c.finish() != stored {
+        return Err(());
+    }
+    Ok(body)
+}
+
+fn encode_put(buf: &mut Vec<u8>, shard: ShardId, key: Key, value: &Bytes) {
+    let mut body = Vec::with_capacity(16 + value.len() + 12);
+    wire::put_u32(&mut body, shard.0);
+    wire::put_u64(&mut body, key.value());
+    wire::put_bytes(&mut body, value);
+    push_frame(buf, W_PUT, body);
+}
+
+fn encode_del(buf: &mut Vec<u8>, shard: ShardId, key: Key) {
+    let mut body = Vec::with_capacity(20);
+    wire::put_u32(&mut body, shard.0);
+    wire::put_u64(&mut body, key.value());
+    push_frame(buf, W_DEL, body);
+}
+
+fn encode_drop(buf: &mut Vec<u8>, shard: ShardId) {
+    let mut body = Vec::with_capacity(12);
+    wire::put_u32(&mut body, shard.0);
+    push_frame(buf, W_DROP, body);
+}
+
+/// The marker body sealing an install: totals plus the entry digest of
+/// the combined chunks.
+fn encode_install_marker(buf: &mut Vec<u8>, snap: &ShardSnapshot) {
+    let mut digest = Checksum::new();
+    snap.fold_checksum(&mut digest);
+    let mut body = Vec::with_capacity(36);
+    wire::put_u32(&mut body, snap.shard.0);
+    wire::put_u64(&mut body, snap.len() as u64);
+    wire::put_u64(&mut body, snap.value_bytes());
+    wire::put_u64(&mut body, digest.finish());
+    push_frame(buf, W_INSTALL, body);
+}
+
+/// A writer over one WAL epoch file. Every append is a single `write`
+/// syscall of fully-framed bytes, so a process abort — the in-tree
+/// `kill -9` analogue — never loses an acknowledged append (the bytes
+/// are in the page cache); [`Self::sync`] additionally forces them to
+/// stable storage for power-loss durability.
+pub struct WalWriter {
+    file: File,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) the epoch file at `path`.
+    pub fn create(path: &Path) -> Result<Self, WalError> {
+        Ok(Self {
+            file: File::create(path)?,
+            bytes: 0,
+        })
+    }
+
+    /// Appends one op as a complete frame (or chunk frames + marker for
+    /// an install). Carries the `state.wal.append` fail point before any
+    /// byte is written, and `state.wal.install` between an install's
+    /// chunks and its marker — the torn-install crash point.
+    pub fn append(&mut self, op: &WalOp) -> Result<(), WalError> {
+        fault::fail_point("state.wal.append")
+            .map_err(|_| WalError::Corrupt("injected fault at state.wal.append"))?;
+        let mut buf = Vec::new();
+        match op {
+            WalOp::Put { shard, key, value } => encode_put(&mut buf, *shard, *key, value),
+            WalOp::Del { shard, key } => encode_del(&mut buf, *shard, *key),
+            WalOp::Drop { shard } => encode_drop(&mut buf, *shard),
+            WalOp::Install(snap) => {
+                for chunk in snap.chunks(WAL_CHUNK_BYTES) {
+                    push_frame(&mut buf, W_CHUNK, chunk.encode());
+                }
+                self.file.write_all(&buf)?;
+                self.bytes += buf.len() as u64;
+                // The marker is a separate write: a kill here leaves
+                // sealed-off chunks that replay discards as torn tail.
+                fault::fail_point("state.wal.install")
+                    .map_err(|_| WalError::Corrupt("injected fault at state.wal.install"))?;
+                let mut marker = Vec::new();
+                encode_install_marker(&mut marker, snap);
+                self.file.write_all(&marker)?;
+                self.bytes += marker.len() as u64;
+                return Ok(());
+            }
+        }
+        self.file.write_all(&buf)?;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended bytes to stable storage (power-loss durability;
+    /// process-abort durability needs no sync).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Bytes appended to this epoch so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// The outcome of replaying one WAL epoch file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Fully-validated ops, in append order.
+    pub ops: Vec<WalOp>,
+    /// Whether the file ended in a damaged or unmarked suffix (crash
+    /// mid-append) that was discarded.
+    pub torn_tail: bool,
+    /// Bytes up to and including the last fully-validated op — the
+    /// clean prefix a repair would truncate to.
+    pub valid_bytes: u64,
+}
+
+/// Replays one epoch file. See the module docs for the torn-tail vs.
+/// mid-file-corruption contract.
+pub fn read_wal(path: &Path) -> Result<WalReplay, WalError> {
+    let data = std::fs::read(path)?;
+    decode_wal(&data)
+}
+
+/// [`read_wal`] over in-memory bytes (the chaos sweep drives this
+/// directly).
+pub fn decode_wal(data: &[u8]) -> Result<WalReplay, WalError> {
+    let mut ops = Vec::new();
+    let mut cursor = data;
+    let mut valid_bytes = 0u64;
+    // Chunks of an install awaiting their marker.
+    let mut pending: Vec<ShardSnapshot> = Vec::new();
+    // A frame that framed fine but failed its entry checksum: tolerated
+    // only if nothing readable follows (then it is the torn tail).
+    let mut suspect = false;
+    loop {
+        if cursor.is_empty() {
+            // Unmarked chunks at physical EOF: a crash between an
+            // install's chunks and its marker. Discard as torn tail.
+            let torn = suspect || !pending.is_empty();
+            return Ok(WalReplay {
+                ops,
+                torn_tail: torn,
+                valid_bytes,
+            });
+        }
+        let (kind, payload) = match wire::read_frame(&mut cursor) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Unreadable bytes at the tail — the crash-torn suffix.
+                return Ok(WalReplay {
+                    ops,
+                    torn_tail: true,
+                    valid_bytes,
+                });
+            }
+        };
+        if suspect {
+            // The damaged entry was *followed* by a readable frame, so
+            // it was not the physical tail: committed data is damaged.
+            return Err(WalError::Corrupt("mid-wal entry checksum mismatch"));
+        }
+        let Ok(body) = checked_body(kind, &payload) else {
+            suspect = true;
+            continue;
+        };
+        let consumed = (data.len() - cursor.len()) as u64;
+        match kind {
+            W_CHUNK => {
+                let chunk = ShardSnapshot::decode(body).map_err(|_| {
+                    // Structurally valid checksummed frame whose inner
+                    // snapshot does not parse: real corruption.
+                    WalError::Corrupt("install chunk failed snapshot decode")
+                })?;
+                if let Some(first) = pending.first() {
+                    if first.shard != chunk.shard {
+                        return Err(WalError::Corrupt("install chunks switch shards"));
+                    }
+                }
+                pending.push(chunk);
+                // valid_bytes holds back until the marker seals them.
+            }
+            W_INSTALL => {
+                let mut r = ByteReader::new(body);
+                let shard = ShardId(r.u32()?);
+                let entries = r.u64()?;
+                let value_bytes = r.u64()?;
+                let digest = r.u64()?;
+                if !r.is_empty() {
+                    return Err(WalError::Corrupt("trailing bytes in install marker"));
+                }
+                let mut combined = ShardSnapshot::empty(shard);
+                for chunk in pending.drain(..) {
+                    if chunk.shard != shard {
+                        return Err(WalError::Corrupt("install marker names a different shard"));
+                    }
+                    combined.entries.extend(chunk.entries);
+                }
+                let mut c = Checksum::new();
+                combined.fold_checksum(&mut c);
+                if combined.len() as u64 != entries
+                    || combined.value_bytes() != value_bytes
+                    || c.finish() != digest
+                {
+                    return Err(WalError::Corrupt("install marker totals mismatch"));
+                }
+                ops.push(WalOp::Install(combined));
+                valid_bytes = consumed;
+            }
+            W_PUT | W_DEL | W_DROP => {
+                if !pending.is_empty() {
+                    return Err(WalError::Corrupt("install chunks not sealed by a marker"));
+                }
+                let mut r = ByteReader::new(body);
+                let shard = ShardId(r.u32()?);
+                let op = match kind {
+                    W_PUT => {
+                        let key = Key(r.u64()?);
+                        let value = Bytes::copy_from_slice(r.bytes()?);
+                        WalOp::Put { shard, key, value }
+                    }
+                    W_DEL => WalOp::Del {
+                        shard,
+                        key: Key(r.u64()?),
+                    },
+                    _ => WalOp::Drop { shard },
+                };
+                if !r.is_empty() {
+                    return Err(WalError::Corrupt("trailing bytes in wal op"));
+                }
+                ops.push(op);
+                valid_bytes = consumed;
+            }
+            _ => {
+                // Unknown kind *with a valid checksum* is data from a
+                // future format version, not a bit flip.
+                return Err(WalError::Corrupt("unknown wal frame kind"));
+            }
+        }
+    }
+}
+
+/// Encodes migration-tail ops (`Put`/`Del` only) into `MSG_TAIL` frame
+/// payloads, each holding a `u32` op count followed by that many op
+/// frames and staying under roughly [`WAL_CHUNK_BYTES`] so a huge tail
+/// streams as several frames.
+pub fn encode_tail(ops: &[WalOp]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut frames = Vec::new();
+    let mut count = 0u32;
+    let flush = |out: &mut Vec<Vec<u8>>, frames: &mut Vec<u8>, count: &mut u32| {
+        if *count > 0 {
+            let mut payload = Vec::with_capacity(4 + frames.len());
+            wire::put_u32(&mut payload, *count);
+            payload.extend_from_slice(frames);
+            out.push(payload);
+            frames.clear();
+            *count = 0;
+        }
+    };
+    for op in ops {
+        match op {
+            WalOp::Put { shard, key, value } => encode_put(&mut frames, *shard, *key, value),
+            WalOp::Del { shard, key } => encode_del(&mut frames, *shard, *key),
+            // Installs and drops never ride a migration tail: the tail
+            // records live mutations of one still-hosted shard.
+            WalOp::Install(_) | WalOp::Drop { .. } => continue,
+        }
+        count += 1;
+        if frames.len() as u64 >= WAL_CHUNK_BYTES {
+            flush(&mut out, &mut frames, &mut count);
+        }
+    }
+    flush(&mut out, &mut frames, &mut count);
+    out
+}
+
+/// Decodes one `MSG_TAIL` payload. Strict: the announced count must be
+/// present exactly, every checksum must verify, and nothing may trail.
+pub fn decode_tail(payload: &[u8]) -> Result<Vec<WalOp>, WalError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut cursor = r.take(r.remaining())?;
+    let mut ops = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let (kind, frame_payload) = wire::read_frame(&mut cursor)?;
+        let body = checked_body(kind, &frame_payload)
+            .map_err(|_| WalError::Corrupt("tail op checksum"))?;
+        let mut b = ByteReader::new(body);
+        let shard = ShardId(b.u32()?);
+        let op = match kind {
+            W_PUT => {
+                let key = Key(b.u64()?);
+                let value = Bytes::copy_from_slice(b.bytes()?);
+                WalOp::Put { shard, key, value }
+            }
+            W_DEL => WalOp::Del {
+                shard,
+                key: Key(b.u64()?),
+            },
+            _ => return Err(WalError::Corrupt("tail frame is not a put or del")),
+        };
+        if !b.is_empty() {
+            return Err(WalError::Corrupt("trailing bytes in tail op"));
+        }
+        ops.push(op);
+    }
+    if !cursor.is_empty() {
+        return Err(WalError::Corrupt("trailing bytes after tail ops"));
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_roundtrip(ops: &[WalOp]) -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!(
+            "elasticutor-wal-test-{}-{:p}",
+            std::process::id(),
+            ops
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in ops {
+            w.append(op).unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        let replay = decode_wal(&data).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.ops, ops);
+        assert_eq!(replay.valid_bytes, data.len() as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+        data
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Put {
+                shard: ShardId(1),
+                key: Key(10),
+                value: Bytes::from_static(b"alpha"),
+            },
+            WalOp::Del {
+                shard: ShardId(1),
+                key: Key(10),
+            },
+            WalOp::Install(ShardSnapshot {
+                shard: ShardId(2),
+                entries: (0..40u64)
+                    .map(|i| (Key(i), Bytes::from(vec![i as u8; 33])))
+                    .collect(),
+            }),
+            WalOp::Drop { shard: ShardId(3) },
+            WalOp::Put {
+                shard: ShardId(2),
+                key: Key(7),
+                value: Bytes::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        ops_roundtrip(&sample_ops());
+    }
+
+    #[test]
+    fn truncated_file_is_a_torn_tail_never_an_error() {
+        let data = ops_roundtrip(&sample_ops());
+        for n in 0..data.len() {
+            let replay = decode_wal(&data[..n]).expect("truncation never errors");
+            // Decoded ops are always an exact prefix of what was logged;
+            // a cut that is not at a frame boundary reports a torn tail.
+            assert_eq!(replay.ops[..], sample_ops()[..replay.ops.len()]);
+            assert!(
+                replay.torn_tail || replay.valid_bytes == n as u64,
+                "byte {n}: clean replay but {} valid bytes",
+                replay.valid_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn mid_file_bit_flip_is_typed() {
+        let data = ops_roundtrip(&sample_ops());
+        // Flip a byte of the very first op's value: readable frames
+        // follow, so this must be Corrupt, not a silent skip.
+        let mut bad = data.clone();
+        bad[10] ^= 0x40;
+        assert!(decode_wal(&bad).is_err());
+    }
+
+    #[test]
+    fn tail_roundtrip_and_strictness() {
+        let ops = vec![
+            WalOp::Put {
+                shard: ShardId(5),
+                key: Key(1),
+                value: Bytes::from_static(b"v1"),
+            },
+            WalOp::Del {
+                shard: ShardId(5),
+                key: Key(2),
+            },
+        ];
+        let frames = encode_tail(&ops);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(decode_tail(&frames[0]).unwrap(), ops);
+        // Any single-bit flip must surface as a typed error.
+        for i in 0..frames[0].len() {
+            let mut bad = frames[0].clone();
+            bad[i] ^= 1;
+            assert!(decode_tail(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn big_tail_spans_frames() {
+        let ops: Vec<WalOp> = (0..600u64)
+            .map(|i| WalOp::Put {
+                shard: ShardId(0),
+                key: Key(i),
+                value: Bytes::from(vec![0xAB; 1024]),
+            })
+            .collect();
+        let frames = encode_tail(&ops);
+        assert!(frames.len() > 1, "600 KiB of ops should span frames");
+        let decoded: Vec<WalOp> = frames
+            .iter()
+            .flat_map(|f| decode_tail(f).unwrap())
+            .collect();
+        assert_eq!(decoded, ops);
+    }
+}

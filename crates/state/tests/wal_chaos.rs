@@ -1,0 +1,151 @@
+//! Byte-level chaos against the WAL codec, mirroring the migration
+//! protocol's `wire_chaos` suite: a recorded log is truncated at
+//! **every** byte offset and single-bit-flipped at every byte, and the
+//! decoder must answer each case with either a clean prefix of the
+//! original ops (possibly marked torn) or a typed [`WalError`] — never
+//! a panic, never an altered or half-applied record.
+
+use bytes::Bytes;
+use elasticutor_core::ids::{Key, ShardId};
+use elasticutor_state::wal::decode_wal;
+use elasticutor_state::{ShardSnapshot, WalOp, WalWriter};
+
+/// A representative log: small puts, deletes, a chunked install (value
+/// sizes force multiple chunk frames), a drop, and trailing puts so
+/// damage in the middle has committed data after it.
+fn sample_ops() -> Vec<WalOp> {
+    let mut ops: Vec<WalOp> = (0..6u64)
+        .map(|i| WalOp::Put {
+            shard: ShardId((i % 3) as u32),
+            key: Key(i),
+            value: Bytes::from(vec![i as u8; 16 + (i as usize * 7) % 40]),
+        })
+        .collect();
+    ops.push(WalOp::Del {
+        shard: ShardId(1),
+        key: Key(4),
+    });
+    ops.push(WalOp::Install(ShardSnapshot {
+        shard: ShardId(5),
+        entries: (0..24u64)
+            .map(|i| (Key(i * 3), Bytes::from(vec![0xC3 ^ i as u8; 64])))
+            .collect(),
+    }));
+    ops.push(WalOp::Drop { shard: ShardId(2) });
+    ops.extend((100..104u64).map(|i| WalOp::Put {
+        shard: ShardId(0),
+        key: Key(i),
+        value: Bytes::from(vec![0xEE; 8]),
+    }));
+    ops
+}
+
+/// Records [`sample_ops`] through the real writer and returns the raw
+/// log bytes.
+fn recorded_log() -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("elasticutor-walchaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("recorded.wal");
+    let mut w = WalWriter::create(&path).unwrap();
+    for op in sample_ops() {
+        w.append(&op).unwrap();
+    }
+    let data = std::fs::read(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    data
+}
+
+/// Whatever the decoder returns, the ops must be an exact prefix of
+/// what was recorded — a corrupted log may lose the tail, but it must
+/// never invent, reorder, or mutate a record.
+fn assert_prefix(ops: &[WalOp], label: &str) {
+    let original = sample_ops();
+    assert!(ops.len() <= original.len(), "{label}: more ops out than in");
+    assert_eq!(
+        ops,
+        &original[..ops.len()],
+        "{label}: decoded ops are not a prefix of the recorded ops"
+    );
+}
+
+/// Truncation at every byte offset: always `Ok` (a shorter file is a
+/// crash, not corruption), always a clean prefix, and a cut off a frame
+/// boundary always reports its torn tail.
+#[test]
+fn truncation_at_every_offset_yields_a_clean_prefix() {
+    let data = recorded_log();
+    for n in 0..=data.len() {
+        let replay =
+            decode_wal(&data[..n]).unwrap_or_else(|e| panic!("truncation at {n} errored: {e}"));
+        assert_prefix(&replay.ops, &format!("truncate {n}"));
+        assert!(
+            replay.valid_bytes <= n as u64,
+            "truncate {n}: valid_bytes past the cut"
+        );
+        assert!(
+            replay.torn_tail || replay.valid_bytes == n as u64,
+            "truncate {n}: silent data loss ({} valid bytes)",
+            replay.valid_bytes
+        );
+    }
+    // The untouched log replays completely.
+    let full = decode_wal(&data).unwrap();
+    assert_eq!(full.ops, sample_ops());
+    assert!(!full.torn_tail);
+}
+
+/// A single bit flipped at every byte: the decoder returns a typed
+/// error or a clean (possibly torn) prefix — never panics, never an
+/// altered record. Damage followed by readable frames must not be
+/// skipped silently: the flip may cost the log's tail, never its
+/// middle.
+#[test]
+fn bit_flip_at_every_byte_never_alters_a_record() {
+    let data = recorded_log();
+    let mut errors = 0usize;
+    for i in 0..data.len() {
+        let mut bad = data.clone();
+        bad[i] ^= 1 << (i % 8);
+        match decode_wal(&bad) {
+            Ok(replay) => assert_prefix(&replay.ops, &format!("flip {i}")),
+            Err(_) => errors += 1,
+        }
+    }
+    assert!(
+        errors > 0,
+        "mid-log flips must surface as typed errors somewhere"
+    );
+}
+
+/// Flips across all eight bit positions at a spread of offsets —
+/// headers, kind bytes, lengths, checksums, payload bytes.
+#[test]
+fn all_bit_positions_at_sampled_offsets() {
+    let data = recorded_log();
+    for offset in (0..data.len()).step_by(37) {
+        for bit in 0..8 {
+            let mut bad = data.clone();
+            bad[offset] ^= 1 << bit;
+            if let Ok(replay) = decode_wal(&bad) {
+                assert_prefix(&replay.ops, &format!("offset {offset} bit {bit}"));
+            }
+        }
+    }
+}
+
+/// Truncation *and* a flip inside the surviving prefix — compound
+/// damage must still never mutate a decoded record.
+#[test]
+fn compound_damage_never_mutates_records() {
+    let data = recorded_log();
+    for frac in [3usize, 5, 7] {
+        let cut = data.len() * frac / 8;
+        for i in (0..cut).step_by(53) {
+            let mut bad = data[..cut].to_vec();
+            bad[i] ^= 0x80;
+            if let Ok(replay) = decode_wal(&bad) {
+                assert_prefix(&replay.ops, &format!("cut {cut} flip {i}"));
+            }
+        }
+    }
+}

@@ -316,6 +316,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Artifacts must say what machine class recorded them: comparing a
+    // 1-core recording against a 32-core runner produces deltas that
+    // are pure noise. An artifact without a `hardware_threads` leaf is
+    // malformed, same severity as unparsable JSON.
+    for (path, leaves) in [(&committed_path, &committed), (&fresh_path, &fresh)] {
+        if !leaves
+            .iter()
+            .any(|(p, _)| p == "hardware_threads" || p.ends_with(".hardware_threads"))
+        {
+            eprintln!("bench_diff: {path} has no hardware_threads leaf — refusing to compare unlabelled artifacts");
+            return ExitCode::from(2);
+        }
+    }
 
     let gate_label = match fail_on {
         Some(pct) => format!("fail on >{pct}% throughput regression"),

@@ -57,7 +57,41 @@ const RECEIVER_SHARD: u32 = 8;
 const KEYS_PER_SHARD: usize = 4;
 /// Preload keys live far above anything `keys_for_shard` scans to.
 const PRELOAD_BASE: u64 = 1 << 40;
-const PRELOAD_VALUE_LEN: usize = 256;
+
+/// The large stratum of the payload mixture (shrunk in quick mode so
+/// CI still streams multi-chunk STATE frames without the wall-clock).
+fn large_value_len() -> usize {
+    if quick_mode() {
+        16 * 1024
+    } else {
+        256 * 1024
+    }
+}
+
+/// Payload-size mixture for the kill matrix: mostly 16 B, a 4 KiB band,
+/// and a 256 KiB spike every 16th — so every crash point is exercised
+/// against snapshots and bursts whose frames span three orders of
+/// magnitude.
+fn preload_value_len(i: u64) -> usize {
+    match i % 16 {
+        0 => large_value_len(),
+        1..=3 => 4 * 1024,
+        _ => 16,
+    }
+}
+
+/// The live burst carries the same mixture (sparser on the large
+/// stratum: it rides inside record frames, not snapshot chunks).
+fn burst_payload(round: u64) -> Bytes {
+    let len = if round.is_multiple_of(128) {
+        large_value_len()
+    } else if round.is_multiple_of(16) {
+        4 * 1024
+    } else {
+        16
+    };
+    Bytes::from(vec![0xE1; len])
+}
 
 fn preload_entries_count() -> usize {
     if quick_mode() {
@@ -118,7 +152,7 @@ fn preload(exec: &ElasticExecutor<impl Operator>, shard: u32) {
         exec.state().put(
             ShardId(shard),
             Key(PRELOAD_BASE + i),
-            Bytes::from(vec![0xC7; PRELOAD_VALUE_LEN]),
+            Bytes::from(vec![0xC7; preload_value_len(i)]),
         );
     }
 }
@@ -130,7 +164,7 @@ fn expected_final(shard: u32) -> ShardSnapshot {
         .map(|i| {
             (
                 Key(PRELOAD_BASE + i),
-                Bytes::from(vec![0xC7; PRELOAD_VALUE_LEN]),
+                Bytes::from(vec![0xC7; preload_value_len(i)]),
             )
         })
         .collect();
@@ -519,7 +553,7 @@ fn run_kill_scenario(sc: &KillScenario, dir: &Path) -> KillResult {
     let keys = keys_for_shard(shard);
     for round in 1..=burst_rounds() {
         for &key in &keys {
-            exec.ingest(Record::new(key, Bytes::new()).with_seq(round));
+            exec.ingest(Record::new(key, burst_payload(round)).with_seq(round));
         }
     }
     let burst_records = burst_rounds() * keys.len() as u64;
@@ -854,7 +888,7 @@ fn probabilistic_faults() -> LiveResult {
     let keys = keys_for_shard(SENDER_SHARD);
     for round in 1..=burst_rounds() {
         for &key in &keys {
-            owner_exec.ingest(Record::new(key, Bytes::new()).with_seq(round));
+            owner_exec.ingest(Record::new(key, burst_payload(round)).with_seq(round));
         }
     }
     let burst_records = burst_rounds() * keys.len() as u64;
@@ -932,6 +966,11 @@ fn parent_main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", quick_mode());
     let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
+    let _ = writeln!(
+        json,
+        "  \"payload_mixture\": {{\"small\": 16, \"medium\": 4096, \"large\": {}}},",
+        large_value_len()
+    );
     json.push_str("  \"kill_matrix\": [\n");
     for (i, r) in kill_results.iter().enumerate() {
         let _ = write!(

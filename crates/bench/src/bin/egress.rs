@@ -1,0 +1,762 @@
+//! Chaos suite for the at-least-once egress plane: kills the sink (or
+//! the egress process itself) at every delivery-path fail point and
+//! proves the contract — **zero lost records, per-key FIFO at the
+//! receiver, duplicates bounded by the ACK watermark window** — plus a
+//! degraded-mode throughput gate.
+//!
+//! **Kill matrix (two-process).** The parent drives a [`TcpEgress`]
+//! through a deterministic mixed-size workload while the child runs the
+//! protocol's other half with exactly one fail point armed via
+//! `ELASTICUTOR_FAILPOINTS=<point>=kill@<p>` (seeded, reproducible):
+//!
+//! * `clean` — no fault; baseline drain.
+//! * `sink.mid_frame` — the sink dies on `egress.frame` (post-decode,
+//!   pre-delivery); the egress fails over to a respawned sink and the
+//!   receiver's watermark bounds redelivery.
+//! * `sink.mid_ack` — the sink dies on `egress.ack` (post-delivery,
+//!   pre-ACK); the unACKed tail is retransmitted after the deadline.
+//! * `sink.drain_kill` — the sink is down while the whole workload
+//!   spills to disk, then comes up armed and dies mid-drain; a second
+//!   respawn finishes the drain.
+//! * `failover` — the primary address is never served; everything lands
+//!   on the standby.
+//! * `egress_dies_spill` — roles reversed: the **egress child** dies on
+//!   `egress.spill` with a non-empty outbox; a recovered child reopens
+//!   the spill directory and drains it without re-consuming anything.
+//!
+//! The sink journals every delivery (`delivered.log`, unbuffered
+//! appends) and persists its watermark, so verification reads the disk:
+//! every delivery sequence exactly present, every record's key /
+//! per-key seq / payload checksum matching the deterministic workload,
+//! per-key FIFO on first delivery, duplicates ≤ one frame's worth.
+//!
+//! **Degraded mode (single-process).** A pipeline with an unreachable
+//! sink must keep processing at full rate — DAG throughput with the
+//! egress spilling is gated at ≥ 0.8× the no-sink baseline.
+//!
+//! Results go to `BENCH_egress.json` (override with `--out`).
+//! `ELASTICUTOR_QUICK=1` shrinks record counts and payloads for CI.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use elasticutor_bench::{fmt_rate, hardware_threads, quick_mode, Table};
+use elasticutor_core::ids::Key;
+use elasticutor_core::wire::Checksum;
+use elasticutor_egress::{EgressConfig, EgressServer, EgressServerConfig, TcpEgress};
+use elasticutor_runtime::{Backoff, ExecutorConfig, Ingest, Pipeline, Record, Sink};
+use elasticutor_state::StateHandle;
+
+// ---------------------------------------------------------------------------
+// Deterministic workload: delivery seq `s` fully determines the record.
+// ---------------------------------------------------------------------------
+
+/// Keys cycle round-robin, so per-key record seqs are `(s-1)/KEYS + 1`.
+const KEYS: u64 = 4;
+/// Records per egress batch (= per DATA frame).
+const BATCH: u64 = 8;
+
+fn batches() -> u64 {
+    if quick_mode() {
+        60
+    } else {
+        400
+    }
+}
+
+fn total_records() -> u64 {
+    batches() * BATCH
+}
+
+fn key_of(seq: u64) -> u64 {
+    (seq - 1) % KEYS
+}
+
+fn rec_seq_of(seq: u64) -> u64 {
+    (seq - 1) / KEYS + 1
+}
+
+/// Mixed payload sizes: mostly 16 B, a 4 KiB band, and a large-record
+/// spike every 64th (256 KiB full / 16 KiB quick) — frame sizes span
+/// three orders of magnitude across the kill matrix.
+fn payload_len(seq: u64) -> usize {
+    if seq.is_multiple_of(64) {
+        if quick_mode() {
+            16 * 1024
+        } else {
+            256 * 1024
+        }
+    } else if (1..=3).contains(&(seq % 16)) {
+        4 * 1024
+    } else {
+        16
+    }
+}
+
+fn payload_for(seq: u64) -> Bytes {
+    let fill = (seq as u8).wrapping_mul(31) ^ key_of(seq) as u8;
+    Bytes::from(vec![fill; payload_len(seq)])
+}
+
+fn fnv_of(seq: u64) -> u64 {
+    let mut c = Checksum::new();
+    c.write(&payload_for(seq));
+    c.finish()
+}
+
+/// Pushes the whole workload through `egress` in `BATCH`-record
+/// consumes; delivery seqs are assigned 1..=N in this exact order.
+fn feed(egress: &mut TcpEgress) {
+    let mut seq = 1u64;
+    for _ in 0..batches() {
+        let batch: Vec<Record> = (0..BATCH)
+            .map(|_| {
+                let s = seq;
+                seq += 1;
+                Record::new(Key(key_of(s)), payload_for(s)).with_seq(rec_seq_of(s))
+            })
+            .collect();
+        egress.consume(batch);
+    }
+}
+
+fn retry_policy() -> Backoff {
+    Backoff {
+        base: Duration::from_millis(10),
+        factor: 2.0,
+        cap: Duration::from_millis(200),
+        max_attempts: 3,
+    }
+}
+
+fn egress_config(primary: &str, standby: Option<&str>, spill: PathBuf) -> EgressConfig {
+    let cfg = EgressConfig::new(primary, spill)
+        .with_retry(retry_policy())
+        .with_ack_deadline(Duration::from_millis(300));
+    match standby {
+        Some(s) => cfg.with_standby(s),
+        None => cfg,
+    }
+}
+
+/// A fresh ephemeral address: bound once and dropped, so rebinding it
+/// later carries no TIME_WAIT baggage (a listener with no accepted
+/// connections closes clean).
+fn pick_addr() -> String {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind")
+        .local_addr()
+        .expect("addr")
+        .to_string()
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+fn wait_exit(
+    child: &mut std::process::Child,
+    timeout: Duration,
+) -> Option<std::process::ExitStatus> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            return Some(st);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery-log verification (the sink's on-disk journal of deliveries).
+// ---------------------------------------------------------------------------
+
+/// One delivered record as journaled: `(seq, key, rec_seq, fnv, len)`.
+type Delivery = (u64, u64, u64, u64, usize);
+
+/// Parses `delivered.log` lines (`seq key rec_seq fnv len`). A torn
+/// final line (the sink died mid-append) is tolerated: its frame was
+/// not yet watermarked, so the record reappears intact after recovery.
+fn read_log(path: &Path) -> Vec<Delivery> {
+    let data = std::fs::read_to_string(path).expect("delivered.log");
+    data.lines()
+        .filter_map(|line| {
+            let mut it = line.split_ascii_whitespace();
+            Some((
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Gates the arm: zero loss over `1..=n`, every delivered record
+/// byte-faithful to the workload, per-key FIFO on first delivery, and
+/// duplicates bounded by the watermark window. Returns the dup count.
+fn verify_deliveries(name: &str, lines: &[Delivery], n: u64) -> u64 {
+    let mut seen = vec![0u32; n as usize + 1];
+    let mut last_rec = [0u64; KEYS as usize];
+    for &(seq, key, rec_seq, fnv, len) in lines {
+        assert!(seq >= 1 && seq <= n, "{name}: invented delivery seq {seq}");
+        assert_eq!(key, key_of(seq), "{name}: seq {seq} delivered wrong key");
+        assert_eq!(rec_seq, rec_seq_of(seq), "{name}: seq {seq} wrong rec_seq");
+        assert_eq!(len, payload_len(seq), "{name}: seq {seq} wrong length");
+        assert_eq!(fnv, fnv_of(seq), "{name}: seq {seq} payload altered");
+        if seen[seq as usize] == 0 {
+            let last = &mut last_rec[key as usize];
+            assert_eq!(
+                rec_seq,
+                *last + 1,
+                "{name}: per-key FIFO broken at seq {seq}"
+            );
+            *last = rec_seq;
+        }
+        seen[seq as usize] += 1;
+    }
+    let missing: Vec<u64> = (1..=n).filter(|&s| seen[s as usize] == 0).collect();
+    assert!(
+        missing.is_empty(),
+        "{name}: {} records lost (first: {:?})",
+        missing.len(),
+        &missing[..missing.len().min(8)]
+    );
+    let dups: u64 = seen.iter().map(|&c| u64::from(c.saturating_sub(1))).sum();
+    assert!(
+        dups <= 2 * BATCH,
+        "{name}: {dups} duplicate deliveries — beyond the watermark window"
+    );
+    dups
+}
+
+// ---------------------------------------------------------------------------
+// Child processes.
+// ---------------------------------------------------------------------------
+
+/// Sink child: an [`EgressServer`] journaling every delivery to
+/// `delivered.log` and persisting its watermark in `dir` — both shared
+/// across respawns, so a successor continues where the victim died.
+fn sink_main(bind: String, dir: PathBuf) {
+    std::fs::create_dir_all(&dir).expect("sink dir");
+    let log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("delivered.log"))
+        .expect("open delivered.log");
+    let log = Mutex::new(log);
+    let _server = EgressServer::bind(
+        EgressServerConfig::new(bind).with_watermark_path(dir.join("wm")),
+        Box::new(move |seq, key, rec_seq, payload| {
+            let mut c = Checksum::new();
+            c.write(&payload);
+            let line = format!(
+                "{seq} {} {rec_seq} {} {}\n",
+                key.0,
+                c.finish(),
+                payload.len()
+            );
+            // One raw write per record: page-cache appends survive the
+            // armed abort, and a torn tail is tolerated by the parser.
+            log.lock()
+                .unwrap()
+                .write_all(line.as_bytes())
+                .expect("log append");
+        }),
+    )
+    .expect("sink binds");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Egress child (the `egress_dies_spill` victim/recoverer): consumes
+/// the workload into a [`TcpEgress`] aimed at the parent's server. With
+/// `egress.spill=kill@p` armed it dies mid-workload, leaving a
+/// non-empty outbox; respawned with `--recovered` it re-opens the same
+/// spill directory, drains it (consuming nothing new), and reports the
+/// acked count through `result`.
+fn egress_child_main(addr: String, spill: PathBuf, result: PathBuf, recovered: bool) {
+    let mut egress =
+        TcpEgress::new(egress_config(&addr, None, spill)).expect("egress child opens spill");
+    if !recovered {
+        feed(&mut egress);
+    }
+    assert!(
+        egress.handle().drain(Duration::from_secs(120)),
+        "egress child: drain timed out"
+    );
+    let stats = egress.shutdown(Duration::from_secs(5));
+    let tmp = result.with_extension("tmp");
+    std::fs::write(&tmp, stats.acked.to_string()).expect("write result");
+    std::fs::rename(&tmp, &result).expect("publish result");
+}
+
+fn spawn_sink(exe: &Path, addr: &str, dir: &Path, point: Option<&str>) -> std::process::Child {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--sink").arg(addr).arg("--dir").arg(dir);
+    match point {
+        Some(spec) => cmd.env("ELASTICUTOR_FAILPOINTS", spec),
+        None => cmd.env_remove("ELASTICUTOR_FAILPOINTS"),
+    };
+    cmd.spawn().expect("spawn sink child")
+}
+
+// ---------------------------------------------------------------------------
+// Parent: the kill matrix.
+// ---------------------------------------------------------------------------
+
+enum Plan {
+    /// Clean sink on the primary the whole run.
+    Clean,
+    /// Sink on the primary armed with `spec`; after it dies, a clean
+    /// respawn on the standby finishes the stream.
+    KillThenFailover(&'static str),
+    /// Nothing listens while the whole workload spills; then an armed
+    /// sink dies mid-drain and a clean respawn completes it.
+    SpillThenKill(&'static str),
+    /// The primary is never served; only a clean standby exists.
+    StandbyOnly,
+}
+
+struct ArmResult {
+    name: &'static str,
+    records: u64,
+    duplicates: u64,
+    retransmitted: u64,
+    failovers: u64,
+    connects: u64,
+    drain_ms: u64,
+}
+
+fn run_sink_arm(name: &'static str, plan: Plan, dir: &Path) -> ArmResult {
+    let n = total_records();
+    let exe = std::env::current_exe().expect("own path");
+    let arm_dir = dir.join(name);
+    std::fs::create_dir_all(&arm_dir).expect("arm dir");
+    let sink_dir = arm_dir.join("sink");
+    let (addr_a, addr_b) = (pick_addr(), pick_addr());
+    let cfg = egress_config(&addr_a, Some(&addr_b), arm_dir.join("spill"));
+
+    let mut egress = TcpEgress::new(cfg).expect("egress opens");
+    let handle = egress.handle();
+    let drained = |t: u64| {
+        let h = handle.clone();
+        move || {
+            let s = h.stats();
+            s.acked >= s.last_appended && s.last_appended == t
+        }
+    };
+
+    let drain_ms;
+    let mut survivor = match plan {
+        Plan::Clean => {
+            let child = spawn_sink(&exe, &addr_a, &sink_dir, None);
+            feed(&mut egress);
+            let t0 = Instant::now();
+            assert!(
+                wait_until(Duration::from_secs(120), drained(n)),
+                "{name}: drain timed out"
+            );
+            drain_ms = t0.elapsed().as_millis() as u64;
+            child
+        }
+        Plan::KillThenFailover(spec) => {
+            let mut victim = spawn_sink(&exe, &addr_a, &sink_dir, Some(spec));
+            feed(&mut egress);
+            let st = wait_exit(&mut victim, Duration::from_secs(120))
+                .unwrap_or_else(|| panic!("{name}: armed sink never died"));
+            assert!(!st.success(), "{name}: sink exited clean under {spec}");
+            let t0 = Instant::now();
+            let child = spawn_sink(&exe, &addr_b, &sink_dir, None);
+            assert!(
+                wait_until(Duration::from_secs(120), drained(n)),
+                "{name}: post-failover drain timed out"
+            );
+            drain_ms = t0.elapsed().as_millis() as u64;
+            child
+        }
+        Plan::SpillThenKill(spec) => {
+            feed(&mut egress);
+            let s = handle.stats();
+            assert_eq!(s.last_appended, n, "{name}: outbox incomplete");
+            assert_eq!(s.acked, 0, "{name}: acked with no sink alive");
+            assert!(s.spill_frames > 0, "{name}: nothing spilled");
+            assert!(
+                wait_until(Duration::from_secs(10), || handle.stats().connect_failures
+                    > 0),
+                "{name}: no connect attempts against the dead sink"
+            );
+            let mut victim = spawn_sink(&exe, &addr_a, &sink_dir, Some(spec));
+            let st = wait_exit(&mut victim, Duration::from_secs(120))
+                .unwrap_or_else(|| panic!("{name}: armed sink survived the drain"));
+            assert!(!st.success(), "{name}: sink exited clean under {spec}");
+            let t0 = Instant::now();
+            let child = spawn_sink(&exe, &addr_b, &sink_dir, None);
+            assert!(
+                wait_until(Duration::from_secs(120), drained(n)),
+                "{name}: recovery drain timed out"
+            );
+            drain_ms = t0.elapsed().as_millis() as u64;
+            child
+        }
+        Plan::StandbyOnly => {
+            let child = spawn_sink(&exe, &addr_b, &sink_dir, None);
+            feed(&mut egress);
+            let t0 = Instant::now();
+            assert!(
+                wait_until(Duration::from_secs(120), drained(n)),
+                "{name}: standby drain timed out"
+            );
+            drain_ms = t0.elapsed().as_millis() as u64;
+            assert!(
+                handle.stats().failovers >= 1,
+                "{name}: never failed over to the standby"
+            );
+            child
+        }
+    };
+
+    let stats = egress.shutdown(Duration::from_secs(10));
+    assert_eq!(stats.acked, n, "{name}: not everything was acked");
+    let _ = survivor.kill();
+    let _ = survivor.wait();
+    let duplicates = verify_deliveries(name, &read_log(&sink_dir.join("delivered.log")), n);
+    ArmResult {
+        name,
+        records: n,
+        duplicates,
+        retransmitted: stats.records_retransmitted,
+        failovers: stats.failovers,
+        connects: stats.connects,
+        drain_ms,
+    }
+}
+
+/// Roles reversed: the egress process is the victim, dying on
+/// `egress.spill` with a non-empty outbox. The parent hosts the sink
+/// in-process and verifies the recovered child drains exactly the
+/// accepted prefix — nothing lost, nothing invented, FIFO intact.
+fn run_egress_death_arm(dir: &Path) -> ArmResult {
+    let name = "egress_dies_spill";
+    let arm_dir = dir.join(name);
+    std::fs::create_dir_all(&arm_dir).expect("arm dir");
+    let exe = std::env::current_exe().expect("own path");
+    let log: Arc<Mutex<Vec<Delivery>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    let server = EgressServer::bind(
+        EgressServerConfig::new("127.0.0.1:0").with_watermark_path(arm_dir.join("wm")),
+        Box::new(move |seq, key, rec_seq, payload| {
+            let mut c = Checksum::new();
+            c.write(&payload);
+            sink.lock()
+                .unwrap()
+                .push((seq, key.0, rec_seq, c.finish(), payload.len()));
+        }),
+    )
+    .expect("parent sink binds");
+    let addr = server.local_addr().to_string();
+    let spill = arm_dir.join("spill");
+    let result = arm_dir.join("result");
+
+    let child_cmd = |recovered: bool, point: Option<&str>| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--egress")
+            .arg(&addr)
+            .arg("--spill")
+            .arg(&spill)
+            .arg("--result")
+            .arg(&result);
+        if recovered {
+            cmd.arg("--recovered");
+        }
+        match point {
+            Some(spec) => cmd.env("ELASTICUTOR_FAILPOINTS", spec),
+            None => cmd.env_remove("ELASTICUTOR_FAILPOINTS"),
+        };
+        cmd.spawn().expect("spawn egress child")
+    };
+
+    let mut victim = child_cmd(false, Some("egress.spill=kill@0.1"));
+    let st = wait_exit(&mut victim, Duration::from_secs(120)).expect("victim exits");
+    assert!(
+        !st.success(),
+        "{name}: egress child survived the armed kill"
+    );
+
+    let t0 = Instant::now();
+    let mut recoverer = child_cmd(true, None);
+    let st = wait_exit(&mut recoverer, Duration::from_secs(180)).expect("recoverer exits");
+    assert!(st.success(), "{name}: recovery child failed: {st}");
+    let drain_ms = t0.elapsed().as_millis() as u64;
+
+    let accepted: u64 = std::fs::read_to_string(&result)
+        .expect("result file")
+        .trim()
+        .parse()
+        .expect("accepted count");
+    assert!(accepted > 0, "{name}: the kill fired before any accept");
+    assert!(
+        accepted < total_records(),
+        "{name}: the kill never interrupted the workload"
+    );
+    assert!(
+        wait_until(Duration::from_secs(30), || server.stats().watermark
+            == accepted),
+        "{name}: server watermark never reached the accepted prefix"
+    );
+    let lines = log.lock().unwrap().clone();
+    let duplicates = verify_deliveries(name, &lines, accepted);
+    let stats = server.stats();
+    server.shutdown();
+    ArmResult {
+        name,
+        records: accepted,
+        duplicates,
+        retransmitted: stats.duplicates_dropped,
+        failovers: 0,
+        connects: stats.connections,
+        drain_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode throughput: unreachable sink must not slow the DAG.
+// ---------------------------------------------------------------------------
+
+struct DegradedResult {
+    records: u64,
+    baseline_rps: f64,
+    degraded_rps: f64,
+    spill_frames: u64,
+}
+
+fn degraded_arm(dir: &Path) -> DegradedResult {
+    let m: u64 = if quick_mode() { 40_000 } else { 200_000 };
+    const DAG_KEYS: u64 = 64;
+
+    // A realistic stateful stage (count per key, pass the record on):
+    // DAG throughput is bounded by operator work, so the gate measures
+    // whether the sink *blocks* the DAG — not how a free-running
+    // pass-through shares cores with the sink's encode/write threads.
+    let build = || {
+        Pipeline::builder()
+            .max_batch(256)
+            .stage(
+                "count",
+                ExecutorConfig {
+                    num_shards: 8,
+                    initial_tasks: 2,
+                    ..ExecutorConfig::default()
+                },
+                |r: &Record, s: &StateHandle| {
+                    s.update(r.key, |old| {
+                        let n = old
+                            .map_or(0u64, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+                        Some(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+                    });
+                    vec![r.clone()]
+                },
+            )
+            .build()
+    };
+    let submit_all = |pipe: &Pipeline| -> f64 {
+        let mut seqs = [0u64; DAG_KEYS as usize];
+        let t0 = Instant::now();
+        for i in 0..m {
+            let k = i % DAG_KEYS;
+            seqs[k as usize] += 1;
+            pipe.ingest(
+                Record::new(Key(k), Bytes::from_static(b"0123456789abcdef"))
+                    .with_seq(seqs[k as usize]),
+            );
+        }
+        pipe.drain();
+        m as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    // Baseline: no sink, a trivial drainer keeps the output channel from
+    // accumulating.
+    let pipe = build();
+    let rx = pipe.outputs().clone();
+    let drainer = std::thread::spawn(move || {
+        let mut n = 0u64;
+        while n < m {
+            match rx.recv_timeout(Duration::from_secs(60)) {
+                Ok(batch) => n += batch.len() as u64,
+                Err(_) => break,
+            }
+        }
+        n
+    });
+    let baseline_rps = submit_all(&pipe);
+    assert_eq!(drainer.join().expect("drainer"), m, "baseline lost records");
+    pipe.shutdown();
+
+    // Degraded: the sink spills every record to disk against a dead
+    // address — the DAG must not notice.
+    let pipe = build();
+    let egress = TcpEgress::new(egress_config(
+        &pick_addr(),
+        None,
+        dir.join("degraded-spill"),
+    ))
+    .expect("egress opens");
+    let sink = pipe.attach_sink("egress", egress);
+    let degraded_rps = submit_all(&pipe);
+    pipe.shutdown();
+    let (egress, consumed) = sink.join();
+    assert_eq!(consumed, m, "degraded: sink missed records");
+    let stats = egress.stats();
+    assert_eq!(stats.records_accepted, m, "degraded: outbox missed records");
+    assert!(stats.spill_frames > 0, "degraded: nothing spilled");
+
+    let ratio = degraded_rps / baseline_rps;
+    assert!(
+        ratio >= 0.8,
+        "degraded throughput {degraded_rps:.0} rps fell below 0.8x baseline {baseline_rps:.0} rps"
+    );
+    DegradedResult {
+        records: m,
+        baseline_rps,
+        degraded_rps,
+        spill_frames: stats.spill_frames,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent main.
+// ---------------------------------------------------------------------------
+
+fn parent_main() {
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_egress.json".to_string());
+    let dir = std::env::temp_dir().join(format!("elasticutor-egress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("work dir");
+
+    println!(
+        "egress chaos: 6 kill-matrix arms + degraded-mode gate{}",
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
+
+    let arms: Vec<(&'static str, Plan)> = vec![
+        ("clean", Plan::Clean),
+        (
+            "sink.mid_frame",
+            Plan::KillThenFailover("egress.frame=kill@0.25"),
+        ),
+        (
+            "sink.mid_ack",
+            Plan::KillThenFailover("egress.ack=kill@0.25"),
+        ),
+        (
+            "sink.drain_kill",
+            Plan::SpillThenKill("egress.frame=kill@0.25"),
+        ),
+        ("failover", Plan::StandbyOnly),
+    ];
+    let mut results = Vec::new();
+    for (name, plan) in arms {
+        let r = run_sink_arm(name, plan, &dir);
+        println!(
+            "kill {:<16} records={} dups={} retx={} failovers={} connects={} drain={}ms ok",
+            r.name, r.records, r.duplicates, r.retransmitted, r.failovers, r.connects, r.drain_ms
+        );
+        results.push(r);
+    }
+    let r = run_egress_death_arm(&dir);
+    println!(
+        "kill {:<16} records={} dups={} dropped={} connects={} drain={}ms ok",
+        r.name, r.records, r.duplicates, r.retransmitted, r.connects, r.drain_ms
+    );
+    results.push(r);
+
+    let degraded = degraded_arm(&dir);
+    println!(
+        "degraded: baseline={} degraded={} ratio={:.2} spill_frames={}",
+        fmt_rate(degraded.baseline_rps),
+        fmt_rate(degraded.degraded_rps),
+        degraded.degraded_rps / degraded.baseline_rps,
+        degraded.spill_frames
+    );
+
+    let mut table = Table::new(&["arm", "records", "dups", "retx", "drain_ms"]);
+    for r in &results {
+        table.row(vec![
+            r.name.to_string(),
+            r.records.to_string(),
+            r.duplicates.to_string(),
+            r.retransmitted.to_string(),
+            r.drain_ms.to_string(),
+        ]);
+    }
+    println!("\negress kill matrix (zero-loss + per-key FIFO + bounded-dup gated)");
+    table.print();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
+    json.push_str("  \"kill_matrix\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"records\": {}, \"duplicates\": {}, \"retransmitted\": {}, \"failovers\": {}, \"connects\": {}, \"drain_ms\": {}}}",
+            r.name, r.records, r.duplicates, r.retransmitted, r.failovers, r.connects, r.drain_ms
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"degraded\": {{\"records\": {}, \"baseline_rps\": {:.0}, \"degraded_rps\": {:.0}, \"ratio\": {:.3}, \"spill_frames\": {}}}",
+        degraded.records,
+        degraded.baseline_rps,
+        degraded.degraded_rps,
+        degraded.degraded_rps / degraded.baseline_rps,
+        degraded.spill_frames
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    if let Some(bind) = flag("--sink") {
+        sink_main(bind, PathBuf::from(flag("--dir").expect("--dir")));
+    } else if let Some(addr) = flag("--egress") {
+        egress_child_main(
+            addr,
+            PathBuf::from(flag("--spill").expect("--spill")),
+            PathBuf::from(flag("--result").expect("--result")),
+            args.iter().any(|a| a == "--recovered"),
+        );
+    } else {
+        parent_main();
+    }
+}

@@ -1,7 +1,10 @@
 //! Deterministic fault injection: a process-wide registry of named
 //! **fail points** threaded through the runtime's protocol paths (the
 //! migration handshake, the link writer/reader threads, the executor
-//! pause handshake).
+//! pause handshake) and the egress plane (`egress.write` on the sender's
+//! frame write, `egress.ack` on the receiver's ACK send, `egress.spill`
+//! on the spill-queue append, `egress.frame` on the receiver's frame
+//! delivery — each accepting the usual err/delay/kill actions).
 //!
 //! A fail point is a named call site — [`fail_point("migrate.commit_sent")`]
 //! — that normally does nothing. A chaos harness arms it with an

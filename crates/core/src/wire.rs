@@ -269,6 +269,47 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     c.finish()
 }
 
+// ---------------------------------------------------------------------------
+// Checked frames — the WAL framing discipline.
+// ---------------------------------------------------------------------------
+
+/// Appends one **checked frame** to `out`: the frame payload is `body`
+/// plus a trailing FNV-64 over `msg_type || body`, so a bit flip
+/// anywhere in the stored frame — including its type byte — fails
+/// validation on read.
+///
+/// This is the per-entry discipline shared by the state WAL, the
+/// migration recovery journal, and the egress spill outbox: appenders
+/// write whole checked frames, readers tolerate damage only as a torn
+/// physical tail and surface mid-stream damage as a typed error.
+pub fn put_checked_frame(out: &mut Vec<u8>, msg_type: u8, mut body: Vec<u8>) {
+    let mut c = Checksum::new();
+    c.write(&[msg_type]);
+    c.write(&body);
+    put_u64(&mut body, c.finish());
+    write_frame(out, msg_type, &body).expect("checked frame within cap");
+}
+
+/// Splits a checked frame's payload into body + trailing checksum and
+/// validates it against `msg_type || body`. The error distinguishes a
+/// structurally short payload ([`WireError::Truncated`]) from a stored
+/// checksum mismatch ([`WireError::Corrupt`]); callers decide whether
+/// either is a tolerable torn tail or hard corruption.
+pub fn checked_frame_body(msg_type: u8, payload: &[u8]) -> Result<&[u8], WireError> {
+    if payload.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let (body, tail) = payload.split_at(payload.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let mut c = Checksum::new();
+    c.write(&[msg_type]);
+    c.write(body);
+    if c.finish() != stored {
+        return Err(WireError::Corrupt("checked frame checksum mismatch"));
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +391,28 @@ mod tests {
         r.u32().unwrap();
         r.u64().unwrap();
         assert_eq!(r.bytes(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn checked_frame_roundtrip_and_flip_sweep() {
+        let mut buf = Vec::new();
+        put_checked_frame(&mut buf, 9, b"checked payload".to_vec());
+        let (t, payload) = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(t, 9);
+        assert_eq!(checked_frame_body(9, &payload).unwrap(), b"checked payload");
+        // The checksum covers the type byte.
+        assert!(matches!(
+            checked_frame_body(8, &payload),
+            Err(WireError::Corrupt(_))
+        ));
+        // Any single-bit flip in the payload must be caught.
+        for i in 0..payload.len() {
+            let mut bad = payload.clone();
+            bad[i] ^= 1;
+            assert!(checked_frame_body(9, &bad).is_err(), "flip at byte {i}");
+        }
+        // A payload too short to even hold the checksum is truncated.
+        assert_eq!(checked_frame_body(9, b"short"), Err(WireError::Truncated));
     }
 
     #[test]

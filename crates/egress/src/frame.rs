@@ -1,0 +1,214 @@
+//! Egress protocol framing.
+//!
+//! Three message types ride the workspace wire protocol
+//! ([`elasticutor_core::wire`]), all using the **checked frame**
+//! discipline (a trailing FNV-64 over `msg_type || body`, the same
+//! framing the durability WAL uses) so a flipped bit anywhere in a
+//! frame is a typed error, never a silently altered record:
+//!
+//! ```text
+//! DATA  (b'E'):  first_seq:u64  count:u32  record*count   [checksum:u64]
+//!   record := key:u64  rec_seq:u64  payload_len:u32  payload_bytes
+//! ACK   (b'A'):  watermark:u64                            [checksum:u64]
+//! HELLO (b'H'):  watermark:u64                            [checksum:u64]
+//! ```
+//!
+//! A DATA frame carries `count` records with **delivery sequence
+//! numbers** `first_seq .. first_seq + count - 1`: a monotonic
+//! per-egress counter assigned once when the record is accepted, the
+//! backbone of the at-least-once contract. `rec_seq` is the record's
+//! own per-key sequence from ingest — transported opaquely so the
+//! receiver can run the same per-key FIFO checks the DAG does.
+//!
+//! The receiver answers with ACK frames carrying a **watermark**: every
+//! delivery seq `<= watermark` is durably delivered, and any record at
+//! or below it arriving again is a duplicate to drop. HELLO is the
+//! watermark sent once by the receiver when a connection opens, letting
+//! a (re)connecting sender rewind its cursor to exactly the first
+//! unacknowledged frame.
+
+use bytes::Bytes;
+use elasticutor_core::ids::Key;
+use elasticutor_core::wire::{self, ByteReader, WireError};
+use elasticutor_runtime::Record;
+
+/// Wire message type of a record-batch data frame (`b'E'`).
+pub const MSG_EGRESS_DATA: u8 = b'E';
+/// Wire message type of a receiver ACK carrying a watermark (`b'A'`).
+pub const MSG_EGRESS_ACK: u8 = b'A';
+/// Wire message type of the receiver's connection-open watermark (`b'H'`).
+pub const MSG_EGRESS_HELLO: u8 = b'H';
+
+/// One record inside a decoded [`DataFrame`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgressRecord {
+    /// Partitioning key.
+    pub key: Key,
+    /// The record's own per-key sequence number from ingest.
+    pub rec_seq: u64,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// A decoded DATA frame: `records[i]` has delivery seq `first_seq + i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Delivery sequence number of the first record.
+    pub first_seq: u64,
+    /// The records, in delivery order.
+    pub records: Vec<EgressRecord>,
+}
+
+impl DataFrame {
+    /// Delivery seq of the last record in the frame.
+    pub fn last_seq(&self) -> u64 {
+        self.first_seq + self.records.len() as u64 - 1
+    }
+}
+
+/// Appends one checked DATA frame for `records` (delivery seqs
+/// `first_seq..`) to `out`, returning the last delivery seq.
+pub fn encode_data_frame(out: &mut Vec<u8>, first_seq: u64, records: &[Record]) -> u64 {
+    assert!(!records.is_empty(), "empty egress data frame");
+    let mut body = Vec::with_capacity(12 + records.len() * 24);
+    wire::put_u64(&mut body, first_seq);
+    wire::put_u32(&mut body, records.len() as u32);
+    for r in records {
+        wire::put_u64(&mut body, r.key.value());
+        wire::put_u64(&mut body, r.seq);
+        wire::put_bytes(&mut body, &r.payload);
+    }
+    wire::put_checked_frame(out, MSG_EGRESS_DATA, body);
+    first_seq + records.len() as u64 - 1
+}
+
+/// Decodes (and checksum-verifies) a DATA frame payload.
+pub fn decode_data_frame(payload: &[u8]) -> Result<DataFrame, WireError> {
+    let body = wire::checked_frame_body(MSG_EGRESS_DATA, payload)?;
+    let mut r = ByteReader::new(body);
+    let first_seq = r.u64()?;
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(WireError::Corrupt("empty egress data frame"));
+    }
+    let mut records = Vec::with_capacity(count.min(64 * 1024));
+    for _ in 0..count {
+        let key = Key(r.u64()?);
+        let rec_seq = r.u64()?;
+        let payload = Bytes::copy_from_slice(r.bytes()?);
+        records.push(EgressRecord {
+            key,
+            rec_seq,
+            payload,
+        });
+    }
+    if !r.is_empty() {
+        return Err(WireError::Corrupt("trailing bytes after egress batch"));
+    }
+    Ok(DataFrame { first_seq, records })
+}
+
+/// Reads just the delivery-seq range `(first, last)` of a DATA frame
+/// payload, verifying the checksum — what the spill scanner needs
+/// without materializing the records.
+pub fn data_frame_seq_range(payload: &[u8]) -> Result<(u64, u64), WireError> {
+    let body = wire::checked_frame_body(MSG_EGRESS_DATA, payload)?;
+    let mut r = ByteReader::new(body);
+    let first_seq = r.u64()?;
+    let count = r.u32()? as u64;
+    if count == 0 {
+        return Err(WireError::Corrupt("empty egress data frame"));
+    }
+    Ok((first_seq, first_seq + count - 1))
+}
+
+/// Appends one checked control frame (ACK or HELLO) carrying
+/// `watermark` to `out`.
+pub fn encode_ctrl_frame(out: &mut Vec<u8>, msg_type: u8, watermark: u64) {
+    debug_assert!(msg_type == MSG_EGRESS_ACK || msg_type == MSG_EGRESS_HELLO);
+    let mut body = Vec::with_capacity(8);
+    wire::put_u64(&mut body, watermark);
+    wire::put_checked_frame(out, msg_type, body);
+}
+
+/// Decodes (and checksum-verifies) an ACK or HELLO payload into its
+/// watermark.
+pub fn decode_ctrl_frame(msg_type: u8, payload: &[u8]) -> Result<u64, WireError> {
+    let body = wire::checked_frame_body(msg_type, payload)?;
+    let mut r = ByteReader::new(body);
+    let watermark = r.u64()?;
+    if !r.is_empty() {
+        return Err(WireError::Corrupt("trailing bytes after egress watermark"));
+    }
+    Ok(watermark)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    Key(i % 3),
+                    Bytes::from(vec![i as u8; (i as usize * 7) % 32]),
+                )
+                .with_seq(i + 100)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let rs = records(9);
+        let mut out = Vec::new();
+        let last = encode_data_frame(&mut out, 41, &rs);
+        assert_eq!(last, 49);
+
+        let (msg_type, payload) = {
+            let mut r = std::io::Cursor::new(&out[..]);
+            wire::read_frame(&mut r).unwrap()
+        };
+        assert_eq!(msg_type, MSG_EGRESS_DATA);
+        let frame = decode_data_frame(&payload).unwrap();
+        assert_eq!(frame.first_seq, 41);
+        assert_eq!(frame.last_seq(), 49);
+        assert_eq!(data_frame_seq_range(&payload).unwrap(), (41, 49));
+        for (a, b) in rs.iter().zip(&frame.records) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.seq, b.rec_seq);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn ctrl_frame_roundtrip_and_type_binding() {
+        let mut out = Vec::new();
+        encode_ctrl_frame(&mut out, MSG_EGRESS_ACK, 777);
+        let (msg_type, payload) = {
+            let mut r = std::io::Cursor::new(&out[..]);
+            wire::read_frame(&mut r).unwrap()
+        };
+        assert_eq!(msg_type, MSG_EGRESS_ACK);
+        assert_eq!(decode_ctrl_frame(MSG_EGRESS_ACK, &payload).unwrap(), 777);
+        // The checksum binds the message type: an ACK payload replayed
+        // as a HELLO is corruption, not a valid watermark.
+        assert!(decode_ctrl_frame(MSG_EGRESS_HELLO, &payload).is_err());
+    }
+
+    #[test]
+    fn data_frame_flip_sweep_is_typed() {
+        let mut out = Vec::new();
+        encode_data_frame(&mut out, 1, &records(5));
+        let payload = out[6..].to_vec();
+        for i in 0..payload.len() {
+            let mut bad = payload.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                decode_data_frame(&bad).is_err(),
+                "flip at {i} went undetected"
+            );
+        }
+    }
+}

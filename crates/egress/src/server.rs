@@ -1,0 +1,358 @@
+//! [`EgressServer`] — the receiving side of the egress protocol.
+//!
+//! Accepts connections from [`crate::TcpEgress`] senders, leads each
+//! with a HELLO carrying its watermark, verifies and decodes DATA
+//! frames, drops already-delivered records (delivery seq `<=`
+//! watermark), hands fresh ones to the delivery callback **in order**,
+//! and ACKs the advanced watermark. The watermark can be persisted to a
+//! file *after* delivery, so a restarted server redelivers at most the
+//! records of the frame it died in — at-least-once, duplicates bounded
+//! by the ACK window.
+//!
+//! Concurrent connections (a sender racing its own reconnect) are safe:
+//! delivery and the watermark live under one lock, so a record is
+//! delivered once no matter which connection carries it first.
+//!
+//! Fail points: `egress.frame` fires after a DATA frame is decoded but
+//! before delivery (kill = the sink dying mid-frame), `egress.ack`
+//! before the ACK write (err = ACK suppressed — upstream retransmits;
+//! kill = the sink dying mid-ACK).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use elasticutor_core::fault;
+use elasticutor_core::ids::Key;
+use elasticutor_ingress::FrameScanner;
+
+use crate::frame::{
+    decode_data_frame, encode_ctrl_frame, MSG_EGRESS_ACK, MSG_EGRESS_DATA, MSG_EGRESS_HELLO,
+};
+use crate::EgressError;
+
+/// A delivered record: delivery seq, key, the record's own per-key seq,
+/// and its payload.
+pub type DeliverFn = dyn FnMut(u64, Key, u64, Bytes) + Send;
+
+/// Tunables of an [`EgressServer`].
+#[derive(Clone, Debug)]
+pub struct EgressServerConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub bind: String,
+    /// Send an ACK after this many delivered DATA frames (1 = every
+    /// frame). The watermark in each ACK covers everything delivered,
+    /// so a larger value only widens the duplicate window.
+    pub ack_every_frames: u32,
+    /// Persist the watermark here (write-then-rename) after each
+    /// frame's delivery; on bind, an existing file seeds the watermark
+    /// so a restarted server keeps deduplicating.
+    pub watermark_path: Option<PathBuf>,
+    /// Per-connection socket read timeout (idle poll; also bounds
+    /// shutdown latency).
+    pub io_timeout: Duration,
+}
+
+impl EgressServerConfig {
+    /// Config bound to `bind` with defaults for everything else.
+    pub fn new(bind: impl Into<String>) -> Self {
+        Self {
+            bind: bind.into(),
+            ack_every_frames: 1,
+            watermark_path: None,
+            io_timeout: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the watermark persistence file.
+    pub fn with_watermark_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.watermark_path = Some(path.into());
+        self
+    }
+
+    /// Sets the ACK cadence in frames.
+    pub fn with_ack_every(mut self, frames: u32) -> Self {
+        self.ack_every_frames = frames.max(1);
+        self
+    }
+}
+
+/// Point-in-time counters of a running [`EgressServer`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// DATA frames processed (including all-duplicate ones).
+    pub frames: u64,
+    /// Records handed to the delivery callback.
+    pub records_delivered: u64,
+    /// Records dropped as duplicates (delivery seq `<=` watermark).
+    pub duplicates_dropped: u64,
+    /// Connections dropped for protocol violations (corrupt or unknown
+    /// frames).
+    pub protocol_errors: u64,
+    /// Current watermark.
+    pub watermark: u64,
+}
+
+struct DeliveryState {
+    watermark: u64,
+    deliver: Box<DeliverFn>,
+}
+
+struct ServerShared {
+    delivery: Mutex<DeliveryState>,
+    watermark_path: Option<PathBuf>,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    records_delivered: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    protocol_errors: AtomicU64,
+    watermark: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// The reference receiver. Bind it, point a [`crate::TcpEgress`] at
+/// [`Self::local_addr`], and every record comes out of the delivery
+/// callback exactly once per watermark window, in delivery order.
+pub struct EgressServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl EgressServer {
+    /// Binds and starts accepting. `deliver` is called under the
+    /// server's delivery lock: `(delivery_seq, key, rec_seq, payload)`,
+    /// strictly increasing `delivery_seq`.
+    pub fn bind(config: EgressServerConfig, deliver: Box<DeliverFn>) -> Result<Self, EgressError> {
+        let listener = TcpListener::bind(&config.bind)?;
+        Self::bind_on(listener, config, deliver)
+    }
+
+    /// Like [`Self::bind`], but adopts an already-bound listener
+    /// (`config.bind` is ignored) — port handoff for tests and the
+    /// chaos bench.
+    pub fn bind_on(
+        listener: TcpListener,
+        config: EgressServerConfig,
+        deliver: Box<DeliverFn>,
+    ) -> Result<Self, EgressError> {
+        let local_addr = listener.local_addr()?;
+        let initial_watermark = match &config.watermark_path {
+            Some(p) => read_watermark_file(p),
+            None => 0,
+        };
+        let shared = Arc::new(ServerShared {
+            delivery: Mutex::new(DeliveryState {
+                watermark: initial_watermark,
+                deliver,
+            }),
+            watermark_path: config.watermark_path.clone(),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            records_delivered: AtomicU64::new(0),
+            duplicates_dropped: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            watermark: AtomicU64::new(initial_watermark),
+            stop: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("egress-server".into())
+                .spawn(move || accept_loop(&listener, &shared, &config))
+                .expect("spawn egress server")
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared;
+        ServerStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            frames: s.frames.load(Ordering::Relaxed),
+            records_delivered: s.records_delivered.load(Ordering::Relaxed),
+            duplicates_dropped: s.duplicates_dropped.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            watermark: s.watermark.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes the listener, and joins the accept
+    /// thread. Active connection handlers exit at their next read
+    /// timeout.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Poke the listener out of accept() with a throwaway connect.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EgressServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn read_watermark_file(path: &PathBuf) -> u64 {
+    match std::fs::read(path) {
+        Ok(data) if data.len() == 8 => u64::from_le_bytes(data.try_into().expect("8 bytes")),
+        _ => 0,
+    }
+}
+
+fn persist_watermark(path: &PathBuf, watermark: u64) {
+    // Write-then-rename: a crash mid-persist leaves the previous value,
+    // which only widens the duplicate window — never loses records.
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, watermark.to_le_bytes()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>, config: &EgressServerConfig) {
+    loop {
+        let (sock, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let config = config.clone();
+        // One handler thread per connection: reconnect races between a
+        // sender's old and new sockets must not deadlock behind each
+        // other, and the shared delivery lock keeps them correct.
+        let _ = std::thread::Builder::new()
+            .name("egress-server-conn".into())
+            .spawn(move || {
+                if handle_connection(&sock, &shared, &config).is_err() {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = sock.shutdown(Shutdown::Both);
+            });
+    }
+}
+
+fn handle_connection(
+    sock: &TcpStream,
+    shared: &ServerShared,
+    config: &EgressServerConfig,
+) -> Result<(), EgressError> {
+    let _ = sock.set_nodelay(true);
+    let _ = sock.set_read_timeout(Some(config.io_timeout));
+
+    // Lead with HELLO: the sender rewinds its cursor to our watermark.
+    let mut out = Vec::with_capacity(32);
+    encode_ctrl_frame(
+        &mut out,
+        MSG_EGRESS_HELLO,
+        shared.watermark.load(Ordering::Acquire),
+    );
+    (&mut (&*sock)).write_all(&out)?;
+
+    let mut scanner = FrameScanner::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut frames_since_ack = 0u32;
+    loop {
+        while let Some((msg_type, payload)) = scanner.next_frame()? {
+            if msg_type != MSG_EGRESS_DATA {
+                return Err(EgressError::UnknownFrame(msg_type));
+            }
+            let frame = decode_data_frame(&payload)?;
+            // Dies "mid-frame": after the frame is on the wire and
+            // verified, before any of it is delivered or acked.
+            let _ = fault::fail_point("egress.frame");
+            shared.frames.fetch_add(1, Ordering::Relaxed);
+
+            {
+                let mut st = shared.delivery.lock().unwrap_or_else(|e| e.into_inner());
+                let mut delivered = 0u64;
+                let mut dups = 0u64;
+                for (i, rec) in frame.records.iter().enumerate() {
+                    let seq = frame.first_seq + i as u64;
+                    if seq <= st.watermark {
+                        dups += 1;
+                    } else {
+                        (st.deliver)(seq, rec.key, rec.rec_seq, rec.payload.clone());
+                        delivered += 1;
+                    }
+                }
+                if frame.last_seq() > st.watermark {
+                    st.watermark = frame.last_seq();
+                    shared.watermark.store(st.watermark, Ordering::Release);
+                    if let Some(p) = &shared.watermark_path {
+                        // After delivery, before the ACK: a crash here
+                        // redelivers at most this frame (at-least-once).
+                        persist_watermark(p, st.watermark);
+                    }
+                }
+                shared
+                    .records_delivered
+                    .fetch_add(delivered, Ordering::Relaxed);
+                shared.duplicates_dropped.fetch_add(dups, Ordering::Relaxed);
+            }
+
+            frames_since_ack += 1;
+            if frames_since_ack >= config.ack_every_frames {
+                frames_since_ack = 0;
+                // Dies "mid-ACK" (kill), or an err action suppresses
+                // the ACK — the sender's deadline then forces a
+                // rewind-retransmit, all dups dropped here.
+                if fault::fail_point("egress.ack").is_ok() {
+                    let mut ack = Vec::with_capacity(32);
+                    encode_ctrl_frame(
+                        &mut ack,
+                        MSG_EGRESS_ACK,
+                        shared.watermark.load(Ordering::Acquire),
+                    );
+                    (&mut (&*sock)).write_all(&ack)?;
+                }
+            }
+        }
+        match (&mut (&*sock)).read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => scanner.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(EgressError::Io(e)),
+        }
+    }
+}

@@ -94,7 +94,7 @@ use crate::controller::{
 };
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::group::ExecutorGroup;
-use crate::ingest::Ingest;
+use crate::ingest::{spawn_sink, Ingest, Sink, SinkHandle};
 use crate::pipeline::BoxedOperator;
 use crate::record::{Operator, Record, RecordBatch};
 
@@ -1185,6 +1185,21 @@ impl LiveDag {
     /// their downstream edges.
     pub fn outputs(&self, op: OperatorId) -> Option<&Receiver<RecordBatch>> {
         self.sink_rx[op.index()].as_ref()
+    }
+
+    /// Attaches a [`Sink`] consumer to a sink operator's output stream
+    /// on a dedicated pump thread (see [`spawn_sink`]); `None` for
+    /// non-sinks. The handle joins after [`Self::shutdown`] drains the
+    /// channel. Multiple sinks on one operator **split** its batches
+    /// (the channel is MPMC).
+    pub fn attach_sink<S: Sink>(
+        &self,
+        op: OperatorId,
+        name: &str,
+        sink: S,
+    ) -> Option<SinkHandle<S>> {
+        self.outputs(op)
+            .map(|rx| spawn_sink(name, rx.clone(), sink))
     }
 
     /// Direct handle to an operator's **first** executor instance

@@ -42,7 +42,7 @@
 //! skipping a possibly-resolving entry could resurrect a migration that
 //! already completed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -97,6 +97,12 @@ pub enum ShardFate {
 pub struct JournalState {
     /// Unresolved migrations, one fate per shard.
     pub open: BTreeMap<ShardId, ShardFate>,
+    /// Shards whose **latest** resolution settled them on the peer
+    /// (`J_RESOLVED_REMOTE` not later overridden). A durable restart
+    /// replays the state WAL — which still remembers the shard was
+    /// dropped — but without this set the endpoint would forget the
+    /// shard lives remotely and leave it unroutable.
+    pub resolved_remote: BTreeSet<ShardId>,
     /// Total well-formed entries read (diagnostics).
     pub entries: usize,
     /// Whether replay stopped at a torn tail (expected after a crash).
@@ -334,9 +340,15 @@ fn replay_stream(r: &mut impl Read) -> Result<JournalState, WireError> {
                     _ => return Err(WireError::Corrupt("ack marker without a commit entry")),
                 }
             }
-            J_RESOLVED_LOCAL | J_RESOLVED_REMOTE => {
+            J_RESOLVED_LOCAL => {
                 let shard = read_shard(body)?;
                 state.open.remove(&shard);
+                state.resolved_remote.remove(&shard);
+            }
+            J_RESOLVED_REMOTE => {
+                let shard = read_shard(body)?;
+                state.open.remove(&shard);
+                state.resolved_remote.insert(shard);
             }
             _ => return Err(WireError::Corrupt("unknown journal entry kind")),
         }

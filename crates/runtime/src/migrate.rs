@@ -94,6 +94,7 @@
 //! The chaos bench (`bench --bin chaos`) kills a process at each of
 //! them and asserts recovery.
 
+use std::collections::BTreeSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -413,6 +414,11 @@ pub struct RecoveryReport {
     /// Shards installed locally from the journal (receiver side that
     /// crashed after the state went durable).
     pub adopted: Vec<ShardId>,
+    /// Shards whose journal history ended in `RESOLVED_REMOTE` and that
+    /// were re-delegated to the peer on this link: a **durable** restart
+    /// replays the WAL (which remembers the `Drop`), so the shard is
+    /// neither local nor routed anywhere until recovery re-points it.
+    pub redelegated: Vec<ShardId>,
 }
 
 /// Out-of-band conditions of a migration link, surfaced on the
@@ -1196,6 +1202,32 @@ impl<O: Operator> MigrationEndpoint<O> {
                     report.adopted.push(shard);
                 }
             }
+        }
+        // Closed migrations that settled REMOTE need re-pointing after a
+        // durable restart: the WAL faithfully replayed the shard's `Drop`,
+        // so nothing is local — but nothing routes to the peer either.
+        // Re-delegate on this link unless the shard meanwhile came back
+        // (non-empty local copy, an in-doubt resolution above, or a
+        // parked pause — all of which are authoritative over history).
+        let settled: BTreeSet<ShardId> = report
+            .restored
+            .iter()
+            .chain(report.remote.iter())
+            .chain(report.adopted.iter())
+            .copied()
+            .collect();
+        let st = self.executor.state();
+        let already_remote: BTreeSet<ShardId> = self.executor.remote_shards().into_iter().collect();
+        for shard in state.resolved_remote {
+            if settled.contains(&shard)
+                || already_remote.contains(&shard)
+                || st.shard_keys(shard) > 0
+                || self.executor.is_shard_paused(shard)
+            {
+                continue;
+            }
+            self.delegate_shards(&[shard])?;
+            report.redelegated.push(shard);
         }
         Ok(report)
     }

@@ -45,7 +45,7 @@ use crate::controller::{ControllerConfig, ControllerEvent};
 use crate::dag::{LiveDag, LiveDagBuilder, SourcePort};
 use crate::executor::{ElasticExecutor, ExecutorConfig, ExecutorStats};
 use crate::group::ExecutorGroup;
-use crate::ingest::Ingest;
+use crate::ingest::{spawn_sink, Ingest, Sink, SinkHandle};
 use crate::record::{Operator, Record, RecordBatch};
 
 /// A type-erased operator, letting one pipeline mix operator types.
@@ -247,6 +247,16 @@ impl Pipeline {
     /// per-record view; batch order is processing order).
     pub fn outputs(&self) -> &Receiver<RecordBatch> {
         self.dag.outputs(self.sink).expect("last stage is the sink")
+    }
+
+    /// Attaches a [`Sink`] consumer to the pipeline's output stream on
+    /// a dedicated pump thread (see [`spawn_sink`]). The returned
+    /// handle joins after [`Self::shutdown`] drains the channel.
+    /// Multiple attached sinks **split** the output batches between
+    /// them (the channel is MPMC), so attach one sink per pipeline
+    /// unless splitting is the intent.
+    pub fn attach_sink<S: Sink>(&self, name: &str, sink: S) -> SinkHandle<S> {
+        spawn_sink(name, self.outputs().clone(), sink)
     }
 
     /// Number of stages.

@@ -490,3 +490,86 @@ fn durable_sender_mid_state_crash_recovers_one_owner() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir_all(&dur_dir);
 }
+
+/// A migration that **completed** (journal closed with RESOLVED_REMOTE)
+/// followed by a durable restart: the WAL replays the shard's `Drop`,
+/// so the restarted sender neither hosts the shard nor remembers the
+/// remote routing — `recover()` must re-delegate it from the journal's
+/// resolved-remote history, or records for the shard would re-home
+/// locally and split-brain against the peer's live copy.
+#[test]
+fn resolved_remote_is_redelegated_after_durable_restart() {
+    let shard = ShardId(7);
+    let (pk, key) = keys_in(7);
+    let path = tmp_journal("resolved-remote");
+    let dur_dir = std::env::temp_dir().join(format!(
+        "elasticutor-recovery-redelegate-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dur_dir);
+
+    let mut cfg = config();
+    cfg.durability = Some(dur_dir.clone());
+    let fifo = Arc::new(FifoChecker::new());
+    let exec_a = Arc::new(ElasticExecutor::start(cfg, counting_op(fifo.clone())));
+    assert!(exec_a.state().is_durable());
+    exec_a
+        .state()
+        .put(shard, Key(pk), Bytes::from_static(b"moved"));
+    let exec_b = Arc::new(ElasticExecutor::start(config(), counting_op(fifo.clone())));
+
+    // A clean, fully-acked migration A → B; the journal closes the
+    // shard's fate with RESOLVED_REMOTE and the WAL records the Drop.
+    let (ep_a1, ep_b1) = link_with_journal(&exec_a, &exec_b, &path);
+    ep_a1.migrate_out(shard).expect("migrate");
+    assert!(!exec_a.owns_shard(shard));
+    assert_eq!(
+        exec_b.state().get(shard, Key(pk)),
+        Some(Bytes::from_static(b"moved"))
+    );
+    assert!(replay_path(&path).expect("replay").open.is_empty());
+    ep_a1.close();
+    ep_b1.close();
+
+    // Simulated `kill -9` + restart of A: same durability dir, same
+    // journal. The replayed WAL has no copy of the shard — and routing
+    // is process-local, so without recovery A has simply forgotten the
+    // shard lives on B.
+    Arc::try_unwrap(exec_a)
+        .unwrap_or_else(|_| panic!("sole executor owner"))
+        .shutdown();
+    let mut cfg2 = config();
+    cfg2.durability = Some(dur_dir.clone());
+    let exec_a2 = Arc::new(ElasticExecutor::start(cfg2, counting_op(fifo.clone())));
+    // The hazard: routing defaults every shard local, so the restarted
+    // process claims a shard whose state (and ownership) lives on B.
+    assert!(exec_a2.owns_shard(shard));
+    assert_eq!(exec_a2.state().shard_keys(shard), 0);
+
+    let (ep_a2, ep_b2) = link_with_journal(&exec_a2, &exec_b, &path);
+    let report = ep_a2.recover().expect("recover");
+    assert_eq!(report.redelegated, vec![shard]);
+    assert!(report.restored.is_empty() && report.remote.is_empty() && report.adopted.is_empty());
+    assert!(!exec_a2.owns_shard(shard));
+    assert_eq!(exec_a2.remote_shards(), vec![shard]);
+
+    // The re-delegated routing is live: records submitted at A land on
+    // B's copy, in order.
+    for seq in 1..=6u64 {
+        exec_a2.ingest(Record::new(Key(key), Bytes::new()).with_seq(seq));
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        read_count(&exec_b, shard, Key(key)) == Some(6)
+    }));
+    assert!(fifo.is_clean());
+
+    // Idempotent: a second recovery is a no-op — the shard is already
+    // bound remote, which counts as settled routing.
+    let again = ep_a2.recover().expect("recover twice");
+    assert!(again.redelegated.is_empty());
+
+    ep_a2.close();
+    ep_b2.close();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dur_dir);
+}

@@ -329,8 +329,19 @@ impl Durability {
         let mut dirty: BTreeSet<ShardId> = BTreeSet::new();
         for (i, epoch) in replay_epochs.iter().enumerate() {
             let replay = read_wal(&wal_path(&dir, *epoch))?;
-            if replay.torn_tail && i + 1 != replay_epochs.len() {
-                return Err(WalError::Corrupt("torn tail in non-final wal epoch"));
+            if replay.torn_tail {
+                if i + 1 != replay_epochs.len() {
+                    return Err(WalError::Corrupt("torn tail in non-final wal epoch"));
+                }
+                // Tolerated once, repaired now: cut the file back to its
+                // clean prefix so the next open — which will see a fresh
+                // epoch above this one — does not re-judge the same tear
+                // as mid-sequence corruption.
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(wal_path(&dir, *epoch))?;
+                f.set_len(replay.valid_bytes)?;
+                f.sync_data()?;
             }
             for op in replay.ops {
                 dirty.insert(op.shard());

@@ -136,13 +136,10 @@ impl WalOp {
 }
 
 /// Appends one checksummed frame to `buf`: the payload grows a trailing
-/// FNV-64 over `kind || payload` before framing.
-fn push_frame(buf: &mut Vec<u8>, kind: u8, mut body: Vec<u8>) {
-    let mut c = Checksum::new();
-    c.write(&[kind]);
-    c.write(&body);
-    wire::put_u64(&mut body, c.finish());
-    wire::write_frame(buf, kind, &body).expect("wal frame within cap");
+/// FNV-64 over `kind || payload` before framing (the shared checked-
+/// frame discipline from [`wire::put_checked_frame`]).
+fn push_frame(buf: &mut Vec<u8>, kind: u8, body: Vec<u8>) {
+    wire::put_checked_frame(buf, kind, body);
 }
 
 /// Splits a frame payload into body + checksum and validates it.
@@ -150,18 +147,7 @@ fn push_frame(buf: &mut Vec<u8>, kind: u8, mut body: Vec<u8>) {
 /// fine) — the caller decides whether that is a torn tail or mid-file
 /// corruption.
 pub(crate) fn checked_body(kind: u8, payload: &[u8]) -> Result<&[u8], ()> {
-    if payload.len() < 8 {
-        return Err(());
-    }
-    let (body, tail) = payload.split_at(payload.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
-    let mut c = Checksum::new();
-    c.write(&[kind]);
-    c.write(body);
-    if c.finish() != stored {
-        return Err(());
-    }
-    Ok(body)
+    wire::checked_frame_body(kind, payload).map_err(|_| ())
 }
 
 fn encode_put(buf: &mut Vec<u8>, shard: ShardId, key: Key, value: &Bytes) {

@@ -8,7 +8,7 @@
 use bytes::Bytes;
 use elasticutor_core::ids::{Key, ShardId};
 use elasticutor_state::wal::decode_wal;
-use elasticutor_state::{ShardSnapshot, WalOp, WalWriter};
+use elasticutor_state::{DurableOptions, ShardSnapshot, StateStore, WalOp, WalWriter};
 
 /// A representative log: small puts, deletes, a chunked install (value
 /// sizes force multiple chunk frames), a drop, and trailing puts so
@@ -131,6 +131,52 @@ fn all_bit_positions_at_sampled_offsets() {
             }
         }
     }
+}
+
+/// A torn tail must not brick the store: after recovery tolerates the
+/// damage once, subsequent reopens — with **no** checkpoint in between
+/// to rewrite the damaged epoch — must keep succeeding. Regression for
+/// a review finding where the tolerated-torn epoch was replayed again
+/// verbatim on the next open.
+#[test]
+fn reopen_twice_after_torn_tail_without_checkpoint() {
+    let dir = std::env::temp_dir().join(format!(
+        "elasticutor-walchaos-torn-reopen-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // First open: write an op, then simulate a crash mid-append by
+    // tearing the tail of the newest epoch file.
+    {
+        let store = StateStore::open_durable(4, DurableOptions::new(&dir).manual()).unwrap();
+        store.put(ShardId(0), Key(1), Bytes::from_static(b"v"));
+    }
+    let mut wals: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    wals.sort();
+    let newest = wals.last().unwrap().clone();
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&newest)
+        .unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    drop(f);
+    // Second open tolerates the torn tail; third open (still no
+    // checkpoint) must tolerate it again and keep the data.
+    for reopen in 0..2 {
+        let store = StateStore::open_durable(4, DurableOptions::new(&dir).manual())
+            .unwrap_or_else(|e| panic!("store bricked on reopen {reopen}: {e}"));
+        assert_eq!(
+            store.get(ShardId(0), Key(1)),
+            Some(Bytes::from_static(b"v")),
+            "data lost on reopen {reopen}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Truncation *and* a flip inside the surviving prefix — compound

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the Elasticutor workspace.
 pub use elasticutor_cluster as cluster;
 pub use elasticutor_core as core;
+pub use elasticutor_egress as egress;
 pub use elasticutor_ingress as ingress;
 pub use elasticutor_metrics as metrics;
 pub use elasticutor_queueing as queueing;
